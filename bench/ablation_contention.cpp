@@ -1,0 +1,137 @@
+// Ablation for §7 Example 4: the effect of memory access patterns on
+// page-level contention under page-granularity interleaving. Reproduces
+// the paper's three orderings over A(JMAX,KMAX,LMAX):
+//   (a) doacross L, stride-1 inside           — best possible
+//   (b) doacross K, L inside                  — acceptable
+//   (c) doacross J, batching a K buffer       — unacceptable
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/schedule.hpp"
+#include "simsmp/page_memory.hpp"
+#include "simsmp/page_migration.hpp"
+#include "util/array.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr int kJ = 64, kK = 96, kL = 64;
+constexpr std::uint64_t kPage = 16384;  // Origin 2000 page
+constexpr int kProcsPerNode = 2;
+
+llp::simsmp::ContentionReport run_ordering(char which, int procs) {
+  llp::Array3D<double> shape(kJ, kK, kL);
+  llp::simsmp::ContentionAnalyzer an(kPage, procs, kProcsPerNode);
+  auto addr = [&](int j, int k, int l) { return shape.index(j, k, l) * 8; };
+  for (int p = 0; p < procs; ++p) {
+    switch (which) {
+      case 'a': {
+        const auto r = llp::static_block(kL, p, procs);
+        for (int l = static_cast<int>(r.begin); l < r.end; ++l)
+          for (int k = 0; k < kK; ++k)
+            for (int j = 0; j < kJ; ++j) an.access(p, addr(j, k, l));
+        break;
+      }
+      case 'b': {
+        const auto r = llp::static_block(kK, p, procs);
+        for (int k = static_cast<int>(r.begin); k < r.end; ++k)
+          for (int l = 0; l < kL; ++l)
+            for (int j = 0; j < kJ; ++j) an.access(p, addr(j, k, l));
+        break;
+      }
+      default: {
+        const auto r = llp::static_block(kJ, p, procs);
+        for (int j = static_cast<int>(r.begin); j < r.end; ++j)
+          for (int l = 0; l < kL; ++l)
+            for (int k = 0; k < kK; ++k) an.access(p, addr(j, k, l));
+        break;
+      }
+    }
+  }
+  return an.report();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation — §7 Example 4: access-ordering contention under "
+      "page-granularity interleaving (A(64,96,64), 16 KB pages, 2 "
+      "procs/node)");
+
+  llp::Table t({"procs", "ordering", "shared pages%", "shared accesses%",
+                "mean sharers/page", "max sharers", "remote accesses%"});
+  for (int procs : {8, 32, 64}) {
+    for (char o : {'a', 'b', 'c'}) {
+      const auto r = run_ordering(o, procs);
+      const std::string label =
+          o == 'a' ? "(a) doacross L, stride-1"
+                   : (o == 'b' ? "(b) doacross K, L inside"
+                               : "(c) doacross J, K buffer");
+      t.add_row({std::to_string(procs), label,
+                 llp::strfmt("%.1f", 100.0 * r.shared_page_fraction()),
+                 llp::strfmt("%.1f", 100.0 * r.shared_access_fraction()),
+                 llp::strfmt("%.2f", r.mean_sharers),
+                 llp::strfmt("%.0f", r.max_sharers),
+                 llp::strfmt("%.1f", 100.0 * r.remote_access_fraction())});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nOrdering (c) puts every processor on every page (mean sharers ==\n"
+      "processor count): 'a severe amount of contention with a resulting\n"
+      "drop in performance'.\n");
+
+  // §7's remedy hierarchy, demonstrated: run ordering (c)'s writes through
+  // the migrating page memory for several epochs under each policy.
+  bench::heading(
+      "Does page migration help? Ordering (c) under kNone / "
+      "kMigrateToMajority / kReplicateReadOnly (4 epochs, 32 procs)");
+  llp::Table m({"policy", "epoch 1 remote%", "epoch 2", "epoch 3", "epoch 4",
+                "migrations", "replicas"});
+  const int procs = 32;
+  for (auto policy : {llp::simsmp::MigrationPolicy::kNone,
+                      llp::simsmp::MigrationPolicy::kMigrateToMajority,
+                      llp::simsmp::MigrationPolicy::kReplicateReadOnly}) {
+    llp::simsmp::MigratingPageMemory mem(kPage, procs / kProcsPerNode,
+                                         kProcsPerNode);
+    llp::Array3D<double> shape(kJ, kK, kL);
+    std::vector<std::string> row = {
+        policy == llp::simsmp::MigrationPolicy::kNone
+            ? "none (first touch)"
+            : (policy == llp::simsmp::MigrationPolicy::kMigrateToMajority
+                   ? "migrate to majority"
+                   : "replicate read-only")};
+    std::uint64_t migrations = 0, replicas = 0;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      for (int p = 0; p < procs; ++p) {
+        const auto r = llp::static_block(kJ, p, procs);
+        for (int j = static_cast<int>(r.begin); j < r.end; ++j)
+          for (int l = 0; l < kL; ++l)
+            for (int k = 0; k < kK; ++k)
+              // The batching loop READS A but WRITES the shared buffer
+              // region; model the array reads (replicable) plus one write
+              // per gathered line into a per-page shared staging area.
+              mem.access(p, shape.index(j, k, l) * 8, /*write=*/(k % kK) == 0);
+      }
+      const auto s = mem.end_epoch(policy);
+      row.push_back(llp::strfmt("%.1f", 100.0 * s.remote_fraction()));
+      migrations += s.migrations;
+      replicas += s.replicated_pages;
+    }
+    row.push_back(std::to_string(migrations));
+    row.push_back(std::to_string(replicas));
+    m.add_row(row);
+  }
+  std::printf("%s", m.to_string().c_str());
+  std::printf(
+      "\n'No amount of page migration solves this problem — neither does\n"
+      "data placement directives. Data replication/caching can help. But\n"
+      "the best solution is to initially avoid the problem' (§7): the\n"
+      "migrating policy keeps paying ~(nodes-1)/nodes remote on genuinely\n"
+      "shared pages, replication rescues the read traffic but not the\n"
+      "written lines, and ordering (a) — restructuring the loop — never\n"
+      "shares a page in the first place.\n");
+  return 0;
+}

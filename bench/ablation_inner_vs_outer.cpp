@@ -1,0 +1,58 @@
+// Ablation for §4 Example 1 and the related-work observation ([10]): the
+// same loop nest parallelized at the inner, middle, and outer level. A
+// 100^3 zone at 100 cycles/point is swept once per time step; the only
+// difference between the three traces is where the fork-join sits, i.e.
+// how many synchronization events amortize the same work (Table 2).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Ablation — parallelize the inner vs middle vs outer loop of a 100^3 "
+      "nest (100 cycles/point, SGI Origin 2000 300 MHz)");
+
+  const auto machine = llp::model::origin2000_r12k_300();
+  // 1e6 points x 100 cycles at 300 MHz == 1e8 cycles; express as flops at
+  // the delivered rate so seconds_for_flops gives the same time.
+  const double flops =
+      1e8 / machine.clock_hz * machine.sustained_mflops_per_proc * 1e6;
+
+  auto trace_for = [&](double invocations, std::int64_t trips) {
+    llp::model::WorkTrace t;
+    t.loops.push_back(
+        llp::model::LoopWork{"nest", flops, trips, invocations, true, 0.0});
+    return t;
+  };
+  // Inner: one fork-join per (k,l) line; middle: one per l plane; outer:
+  // one per pass.
+  const auto inner = trace_for(100.0 * 100.0, 100);
+  const auto middle = trace_for(100.0, 100);
+  const auto outer = trace_for(1.0, 100);
+
+  llp::simsmp::SmpSimulator sim(machine);
+  llp::Table t({"procs", "inner s/step", "middle s/step", "outer s/step",
+                "inner vs serial", "outer speedup"});
+  const double serial = sim.run(outer, 1).seconds_per_step;
+  for (int p : {1, 2, 8, 32, 64, 128}) {
+    const double ti = sim.run(inner, p).seconds_per_step;
+    const double tm = sim.run(middle, p).seconds_per_step;
+    const double to = sim.run(outer, p).seconds_per_step;
+    t.add_row({std::to_string(p), llp::strfmt("%.4f", ti),
+               llp::strfmt("%.4f", tm), llp::strfmt("%.4f", to),
+               llp::strfmt("%.2fx", serial / ti),
+               llp::strfmt("%.2fx", serial / to)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nInner-loop parallelization pays 10,000 fork-joins per sweep and\n"
+      "runs *slower* than serial at scale — the parallel slowdown the\n"
+      "paper's related work reports for fully automatic parallelization.\n"
+      "The outer loop pays one fork-join and scales to the stair-step\n"
+      "limit. This is Table 2 acted out.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation for §4 Example 2: merging two adjacent parallel loops under one
+// common outer loop halves the number of synchronization events (and, with
+// code blocking, can also improve locality — not modeled here).
+#include <cstdio>
+
+#include "common.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Ablation — Example 2, merging loops to reduce synchronization costs "
+      "(two K/J nests under one L loop; SGI Origin 2000)");
+
+  const auto machine = llp::model::origin2000_r12k_300();
+  // Each of the two loop bodies: one 75 x 70 K/J plane's worth of work at
+  // ~50 cycles/point — the modest per-iteration loops (Example 2) whose
+  // fork-join cost is NOT negligible against their compute.
+  const double cycles_each = 75.0 * 70.0 * 50.0;
+  const double flops_each =
+      cycles_each / machine.clock_hz * machine.sustained_mflops_per_proc * 1e6;
+
+  llp::model::WorkTrace separate;
+  separate.loops.push_back(
+      llp::model::LoopWork{"loop1", flops_each, 70, 1.0, true, 0.0});
+  separate.loops.push_back(
+      llp::model::LoopWork{"loop2", flops_each, 70, 1.0, true, 0.0});
+
+  llp::model::WorkTrace merged;
+  merged.loops.push_back(llp::model::LoopWork{"merged", 2.0 * flops_each, 70,
+                                              1.0, true, 0.0});
+
+  llp::simsmp::SmpSimulator sim(machine);
+  llp::Table t({"procs", "separate s/step", "merged s/step", "sync saved",
+                "gain"});
+  for (int p : {2, 8, 32, 64, 128}) {
+    const auto ts = sim.run(separate, p);
+    const auto tm = sim.run(merged, p);
+    t.add_row({std::to_string(p),
+               llp::strfmt("%.5f", ts.seconds_per_step),
+               llp::strfmt("%.5f", tm.seconds_per_step),
+               llp::strfmt("%.5f", ts.breakdown.sync_s - tm.breakdown.sync_s),
+               llp::strfmt("%.2f%%", 100.0 * (ts.seconds_per_step -
+                                              tm.seconds_per_step) /
+                                         ts.seconds_per_step)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nMerging halves the fork-joins per step. The gain grows with the\n"
+      "processor count because the sync cost does while the compute share\n"
+      "shrinks — at 128 processors it is no longer a rounding error.\n");
+  return 0;
+}

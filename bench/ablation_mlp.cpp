@@ -1,0 +1,50 @@
+// Ablation for §8: straight loop-level parallelism vs Taft's Multi-Level
+// Parallelism (zones concurrent on processor groups, loop-level inside
+// each group) on the paper's own 1M-point case — whose zones are badly
+// imbalanced along J (15/87/89) but share K/L loop dimensions.
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/mlp.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Ablation — loop-level parallelism vs multi-level parallelism (MLP), "
+      "1M-point case on the SGI Origin 2000");
+
+  const auto trace = bench::measure_full_size_trace(
+      f3d::paper_1m_case(0.12), f3d::paper_1m_case(1.0), "mlp");
+  const auto machine = llp::model::origin2000_r12k_300();
+  llp::simsmp::SmpSimulator sim(machine);
+
+  llp::Table t({"procs", "LLP steps/hr", "MLP steps/hr", "MLP groups",
+                "group imbalance", "winner"});
+  for (int p : {4, 8, 16, 32, 64, 96, 128}) {
+    const auto llp_pt = sim.run(trace, p);
+    const auto mlp = llp::model::predict_step_time_mlp(trace, machine, p);
+    const double mlp_sph = 3600.0 / mlp.seconds_per_step;
+    std::string groups;
+    for (std::size_t z = 0; z < mlp.group_sizes.size(); ++z) {
+      if (z) groups += "/";
+      groups += std::to_string(mlp.group_sizes[z]);
+    }
+    t.add_row({std::to_string(p), llp::strfmt("%.0f", llp_pt.steps_per_hour),
+               llp::strfmt("%.0f", mlp_sph), groups,
+               llp::strfmt("%.2f", mlp.group_imbalance()),
+               mlp_sph > llp_pt.steps_per_hour ? "MLP" : "LLP"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\n'Straight loop-level parallelism and MLP appear to be\n"
+      "complementary techniques, each with their own strengths and\n"
+      "weaknesses' (§8): at low-to-moderate processor counts plain LLP\n"
+      "wins — integer groups cannot balance 15/87/89-point zones and the\n"
+      "whole machine attacks each zone in turn — while at high counts MLP\n"
+      "wins because each zone's K/L stair-step is evaluated at the group\n"
+      "size instead of the full machine and fork-joins span fewer\n"
+      "processors.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation for §7 (NUMA) and §8 (software DSM): usable per-processor
+// bandwidth from coherence granularity and latency, and the headroom check
+// that let the paper treat the Origin 2000 as UMA.
+#include <cstdio>
+
+#include "common.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "model/numa.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Ablation — §7/§8: latency-limited per-processor bandwidth "
+      "(bw = line_bytes / latency)");
+
+  llp::Table t({"memory system", "line B", "latency ns", "usable MB/s"});
+  auto row = [&](const char* name, double line, double lat) {
+    t.add_row({name, llp::strfmt("%.0f", line), llp::with_commas(
+                   static_cast<long long>(lat)),
+               llp::strfmt("%.1f",
+                           llp::model::latency_limited_bandwidth_mbs(line, lat))});
+  };
+  row("Origin 2000, local", 128, 310);
+  row("Origin 2000, farthest node", 128, 945);
+  row("Origin 2000, off-node overlapped", 128, 128.0 / 195.0 * 1000.0);
+  row("Convex Exemplar, cross-hypernode", 64, 4000);
+  row("software DSM over cluster", 128, 100000);
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nThe paper's §7 numbers: 412 MB/s down to 135 MB/s without overlap,\n"
+      "~195 MB/s off-node with overlap; §8's SDSM: 1.3 MB/s — 'virtually\n"
+      "impossible to overcome'.\n");
+
+  bench::heading(
+      "Headroom check: the tuned solver's per-processor traffic vs those "
+      "limits");
+
+  // Measure the solver's traffic estimate and simulated per-step time on
+  // the Origin at several processor counts.
+  const auto scaled = f3d::paper_1m_case(0.12);
+  const auto full = f3d::paper_1m_case(1.0);
+  const auto trace = bench::measure_full_size_trace(scaled, full, "numa");
+  const auto numa = llp::model::origin2000_numa();
+  llp::simsmp::SmpSimulator sim(llp::model::origin2000_r12k_300());
+
+  llp::Table h({"procs", "s/step", "traffic MB/s/proc", "worst-case limit",
+                "UMA-like?"});
+  for (int p : {1, 16, 64, 128}) {
+    const auto pt = sim.run(trace, p);
+    const double mbs =
+        trace.total_bytes() / pt.seconds_per_step / 1e6 / p;
+    h.add_row({std::to_string(p), llp::strfmt("%.2f", pt.seconds_per_step),
+               llp::strfmt("%.1f", mbs),
+               llp::strfmt("%.0f MB/s", numa.remote_bandwidth_mbs()),
+               numa.uma_like(mbs) ? "yes" : "NO"});
+  }
+  std::printf("%s", h.to_string().c_str());
+  std::printf(
+      "\nThe paper measured 68 MB/s of traffic for the tuned F3D on a\n"
+      "180 MHz Origin 200 — 'far less than the 135-195 MB/second of usable\n"
+      "bandwidth', so the ccNUMA machine could be treated as UMA. The same\n"
+      "headroom argument holds for this solver's pencil organization. On\n"
+      "the Exemplar (16 MB/s usable cross-hypernode) the identical traffic\n"
+      "does NOT fit — the paper's unsolved Exemplar performance problems.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation for §4 Example 3: hoisting the parallel directive from a
+// callee's loop into a (possibly newly created) loop in the parent
+// subroutine. The original code forks inside SUBB once per J iteration;
+// the restructured code forks once, with each thread running its share of
+// the J loop and calling SUBA/SUBB serially on cache-sized 1-D buffers.
+// The paper: "in general this optimization reduces the number of
+// synchronization events by 1-3 orders of magnitude".
+#include <cstdio>
+
+#include "common.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Ablation — Example 3, parallelizing a parent subroutine "
+      "(J loop of 100 calls; SGI Origin 2000)");
+
+  const auto machine = llp::model::origin2000_r12k_300();
+  // F3D's J sweep over the 59M case's first zone (15 x 450 x 350) at
+  // ~200 cycles/point. The original code loops over the 350 L planes in
+  // the parent and forks inside the callee (parallel over the plane's 450
+  // K lines); the restructured code forks once over L in the parent, with
+  // each thread calling SUBA/SUBB serially on pencil buffers.
+  const int lmax = 350, kmax = 450, jmax = 15;
+  const double cycles_total =
+      static_cast<double>(jmax) * kmax * lmax * 200.0;
+  const double flops_total =
+      cycles_total / machine.clock_hz * machine.sustained_mflops_per_proc *
+      1e6;
+
+  llp::model::WorkTrace callee;
+  callee.loops.push_back(llp::model::LoopWork{
+      "subb_inner", flops_total, kmax, static_cast<double>(lmax), true, 0.0});
+
+  llp::model::WorkTrace parent;
+  parent.loops.push_back(llp::model::LoopWork{
+      "parent_l", flops_total, lmax, 1.0, true, 0.0});
+
+  llp::simsmp::SmpSimulator sim(machine);
+  llp::Table t({"procs", "callee-fork s/step", "callee sync s",
+                "parent-fork s/step", "parent sync s", "gain"});
+  for (int p : {2, 8, 32, 64, 128}) {
+    const auto tc = sim.run(callee, p);
+    const auto tp = sim.run(parent, p);
+    t.add_row({std::to_string(p), llp::strfmt("%.5f", tc.seconds_per_step),
+               llp::strfmt("%.5f", tc.breakdown.sync_s),
+               llp::strfmt("%.5f", tp.seconds_per_step),
+               llp::strfmt("%.5f", tp.breakdown.sync_s),
+               llp::strfmt("%.1f%%",
+                           100.0 * (tc.seconds_per_step - tp.seconds_per_step) /
+                               tc.seconds_per_step)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nThe hoist cuts fork-joins from 350 per sweep to 1 — the paper's\n"
+      "'1-3 orders of magnitude' — and the saving grows from noise at 2\n"
+      "processors to a large fraction of the step at 128, where the\n"
+      "callee version spends more time synchronizing than computing. The\n"
+      "available parallelism changes only from 450 (K lines) to 350 (L\n"
+      "planes), so the stair-step penalty is minor; hoisting above a loop\n"
+      "with too few trips would instead trade sync for stair-step (the\n"
+      "paper's caveat).\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Ablation — loop schedules under non-uniform iteration cost.
+//
+// The paper's sweeps have near-uniform iterations, so C$doacross's static
+// blocks are ideal. But boundary-layer clustering, zonal cut-outs, or
+// convergence-dependent work skew iteration costs, and then the schedule
+// choice matters. This bench assigns deterministic per-iteration weights
+// and computes, for each schedule, the busiest lane's share — i.e. the
+// load-imbalance factor that multiplies the stair-step time.
+//
+// Static/chunked assignments come from the runtime's own partition
+// functions; dynamic/guided are evaluated as an idealized least-loaded
+// assignment of their chunk streams (what a timing-based runtime
+// converges to).
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common.hpp"
+#include "core/schedule.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr int kLanes = 8;
+
+double weight_sum(const std::vector<double>& w, std::int64_t begin,
+                  std::int64_t end) {
+  double s = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    s += w[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+// Imbalance = busiest lane / mean lane for a given per-lane load vector.
+double imbalance(const std::vector<double>& lane_load) {
+  double mx = 0.0, sum = 0.0;
+  for (double v : lane_load) {
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  return mx / (sum / static_cast<double>(lane_load.size()));
+}
+
+double static_block_imbalance(const std::vector<double>& w) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  std::vector<double> load(kLanes, 0.0);
+  for (int t = 0; t < kLanes; ++t) {
+    const auto r = llp::static_block(n, t, kLanes);
+    load[static_cast<std::size_t>(t)] = weight_sum(w, r.begin, r.end);
+  }
+  return imbalance(load);
+}
+
+double static_chunked_imbalance(const std::vector<double>& w,
+                                std::int64_t chunk) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  std::vector<double> load(kLanes, 0.0);
+  for (int t = 0; t < kLanes; ++t) {
+    for (const auto& r : llp::static_chunks(n, t, kLanes, chunk)) {
+      load[static_cast<std::size_t>(t)] += weight_sum(w, r.begin, r.end);
+    }
+  }
+  return imbalance(load);
+}
+
+// Idealized dynamic/guided: chunks are taken in order by whichever lane is
+// least loaded (a perfect work-stealing outcome).
+double greedy_imbalance(const std::vector<double>& w,
+                        const std::function<std::int64_t(std::int64_t)>&
+                            next_chunk_size) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  std::vector<double> load(kLanes, 0.0);
+  std::int64_t i = 0;
+  while (i < n) {
+    const std::int64_t c = std::min(next_chunk_size(n - i), n - i);
+    auto lane = std::min_element(load.begin(), load.end());
+    *lane += weight_sum(w, i, i + c);
+    i += c;
+  }
+  return imbalance(load);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation — schedule quality vs iteration-cost skew "
+      "(8 lanes, busiest-lane / mean-lane factor; 1.0 is perfect)");
+
+  struct Load {
+    const char* name;
+    std::vector<double> w;
+  };
+  std::vector<Load> loads;
+  {
+    Load uniform{"uniform (the solver's sweeps)", {}};
+    for (int i = 0; i < 96; ++i) uniform.w.push_back(1.0);
+    loads.push_back(std::move(uniform));
+
+    Load tri{"triangular (w_i = i+1)", {}};
+    for (int i = 0; i < 96; ++i) tri.w.push_back(i + 1.0);
+    loads.push_back(std::move(tri));
+
+    Load spike{"one hot plane (w=20 at i=10)", {}};
+    for (int i = 0; i < 96; ++i) spike.w.push_back(i == 10 ? 20.0 : 1.0);
+    loads.push_back(std::move(spike));
+
+    Load bl{"boundary-layer (heavy first 16)", {}};
+    for (int i = 0; i < 96; ++i) bl.w.push_back(i < 16 ? 6.0 : 1.0);
+    loads.push_back(std::move(bl));
+  }
+
+  llp::Table t({"workload", "static block", "static chunk=4",
+                "dynamic chunk=2", "guided"});
+  for (const auto& load : loads) {
+    const double sb = static_block_imbalance(load.w);
+    const double sc = static_chunked_imbalance(load.w, 4);
+    const double dy =
+        greedy_imbalance(load.w, [](std::int64_t) { return 2; });
+    const double gd = greedy_imbalance(load.w, [](std::int64_t remaining) {
+      return llp::guided_chunk(remaining, kLanes, 1);
+    });
+    t.add_row({load.name, llp::strfmt("%.3f", sb), llp::strfmt("%.3f", sc),
+               llp::strfmt("%.3f", dy), llp::strfmt("%.3f", gd)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nFor the solver's uniform sweeps the C$doacross static block is\n"
+      "already perfect and costs no scheduling machinery — the paper's\n"
+      "default was the right one. Skewed loads favor chunked or dynamic\n"
+      "schedules; the llp runtime exposes all four via ForOptions, and\n"
+      "instrumented regions report their measured imbalance() so the skew\n"
+      "is visible in the flat profile.\n");
+  return 0;
+}

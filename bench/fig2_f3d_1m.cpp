@@ -1,0 +1,46 @@
+// Reproduces paper Figure 2: time steps/hour vs number of processors for
+// the 1-million grid point case on three machines — SGI Origin 2000
+// (R12000, 300 MHz, 128p), SUN HPC 10000 (400 MHz, 64p), and HP V2500
+// (440 MHz, 16p).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Figure 2 — shared-memory F3D, 1-million grid point case: time "
+      "steps/hour vs processors");
+
+  const auto trace = bench::measure_full_size_trace(
+      f3d::paper_1m_case(0.12), f3d::paper_1m_case(1.0), "f2");
+
+  llp::simsmp::SmpSimulator sgi(llp::model::origin2000_r12k_300());
+  llp::simsmp::SmpSimulator sun(llp::model::sun_hpc10000());
+  llp::simsmp::SmpSimulator hp(llp::model::hp_v2500());
+
+  llp::Table t({"procs", "SGI Origin 2000 300MHz", "SUN HPC 10000",
+                "HP V2500"});
+  for (int p = 1; p <= 128; p += (p < 16 ? 1 : 8)) {
+    std::vector<std::string> row = {std::to_string(p)};
+    row.push_back(llp::strfmt("%.0f", sgi.run(trace, p).steps_per_hour));
+    row.push_back(p <= 64 ? llp::strfmt("%.0f", sun.run(trace, p).steps_per_hour)
+                          : std::string("-"));
+    row.push_back(p <= 16 ? llp::strfmt("%.0f", hp.run(trace, p).steps_per_hour)
+                          : std::string("-"));
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nShape notes (vs the paper's Figure 2):\n"
+      "  * all three machines climb steeply to ~40 processors;\n"
+      "  * the curve flattens between ~48 and ~64 (stair-step of the 70/75\n"
+      "    trip loops) and resumes climbing past 70;\n"
+      "  * the V2500's 16 processors sit on the same curve scaled by its\n"
+      "    per-processor delivered rate.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 3: time steps/hour vs number of processors for
+// the 59-million grid point case on four machines — 64p and 128p SGI
+// Origin 2000s at 195 MHz, the 128p 300 MHz Origin 2000, and the SUN HPC
+// 10000.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "simsmp/smp_simulator.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Figure 3 — shared-memory F3D, 59-million grid point case: time "
+      "steps/hour vs processors");
+
+  const auto trace = bench::measure_full_size_trace(
+      f3d::paper_59m_case(0.05), f3d::paper_59m_case(1.0), "f3");
+
+  llp::simsmp::SmpSimulator o195_64(llp::model::origin2000_r10k_195(64));
+  llp::simsmp::SmpSimulator o195_128(llp::model::origin2000_r10k_195(128));
+  llp::simsmp::SmpSimulator o300(llp::model::origin2000_r12k_300());
+  llp::simsmp::SmpSimulator sun(llp::model::sun_hpc10000());
+
+  llp::Table t({"procs", "Origin 195MHz (64p)", "Origin 195MHz (128p)",
+                "Origin 300MHz (128p)", "SUN HPC 10000 (64p)"});
+  for (int p = 1; p <= 128; p += (p < 16 ? 3 : 8)) {
+    std::vector<std::string> row = {std::to_string(p)};
+    row.push_back(p <= 64
+                      ? llp::strfmt("%.1f", o195_64.run(trace, p).steps_per_hour)
+                      : std::string("-"));
+    row.push_back(llp::strfmt("%.1f", o195_128.run(trace, p).steps_per_hour));
+    row.push_back(llp::strfmt("%.1f", o300.run(trace, p).steps_per_hour));
+    row.push_back(p <= 64 ? llp::strfmt("%.1f", sun.run(trace, p).steps_per_hour)
+                          : std::string("-"));
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nShape notes (vs the paper's Figure 3):\n"
+      "  * the big case scales much further before flattening — available\n"
+      "    parallelism is 350/450 trips instead of 70/75;\n"
+      "  * performance is nearly flat between ~90 and ~112 processors\n"
+      "    (ceil(450/p) = 5 across that window; the paper reports the flat\n"
+      "    between 88 and 104) and rises again by 120;\n"
+      "  * the two 195 MHz Origins trace the same curve, the 64p machine\n"
+      "    simply stopping at 64 — and the 300 MHz machine sits ~1.5x\n"
+      "    higher, matching the clock/delivered-rate ratio.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the doacross runtime itself:
+// fork-join cost, schedule overheads, reduction. These quantify this
+// host's entry in the paper's 2,000..1,000,000-cycle sync-cost range
+// (Table 1's x-axis).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/llp.hpp"
+
+namespace {
+
+void BM_ForkJoin(benchmark::State& state) {
+  llp::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.run([](int) {});
+  }
+  state.counters["lanes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  llp::ForOptions opts;
+  opts.num_threads = 2;
+  opts.schedule = llp::Schedule::kStaticBlock;
+  for (auto _ : state) {
+    llp::parallel_for(
+        0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
+        opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForStatic)->Arg(100)->Arg(10000);
+
+void BM_ParallelForDynamic(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  llp::ForOptions opts;
+  opts.num_threads = 2;
+  opts.schedule = llp::Schedule::kDynamic;
+  opts.chunk = 16;
+  for (auto _ : state) {
+    llp::parallel_for(
+        0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
+        opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForDynamic)->Arg(100)->Arg(10000);
+
+void BM_ParallelForGuided(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  llp::ForOptions opts;
+  opts.num_threads = 2;
+  opts.schedule = llp::Schedule::kGuided;
+  for (auto _ : state) {
+    llp::parallel_for(
+        0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
+        opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForGuided)->Arg(10000);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  llp::ForOptions opts;
+  opts.num_threads = 2;
+  for (auto _ : state) {
+    const double s = llp::parallel_reduce<double>(
+        0, n, 0.0, [](double a, double b) { return a + b; },
+        [](std::int64_t i, double& acc) { acc += 1.0 / (1.0 + i); }, opts);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelReduce)->Arg(10000);
+
+void BM_SerialBaseline(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = i * 0.5;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerialBaseline)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces paper Table 1: the minimum amount of work (in cycles) per
+// parallelized loop required for efficient (<1% sync overhead) execution,
+// for 2/8/32/128 processors at hypothetical sync costs of 1e4/1e5/1e6
+// cycles. Also reports this host's *measured* fork-join cost for context.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/thread_pool.hpp"
+#include "model/sync_cost.hpp"
+#include "perf/timer.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Table 1 — minimum work (cycles) per parallelized loop for <1% "
+      "synchronization overhead");
+
+  const std::vector<std::int64_t> sync_costs = {10000, 100000, 1000000};
+  const std::vector<int> procs = {2, 8, 32, 128};
+
+  llp::Table t({"processors", "sync=10,000", "sync=100,000",
+                "sync=1,000,000"});
+  for (int p : procs) {
+    std::vector<std::string> row = {std::to_string(p)};
+    for (std::int64_t s : sync_costs) {
+      row.push_back(
+          llp::with_commas(llp::model::min_work_for_efficiency(p, s)));
+    }
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nPaper values (ARL-TR-2556 Table 1): identical — the model is\n"
+      "min_work = processors * sync_cycles / 0.01.\n");
+
+  // Context: measure this host's actual fork-join cost.
+  bench::heading("Measured fork-join synchronization cost on this host");
+  llp::Table m({"pool lanes", "ns per fork-join"});
+  for (int lanes : {1, 2, 4, 8}) {
+    llp::ThreadPool pool(lanes);
+    // Warm up, then time a batch of empty parallel regions.
+    for (int i = 0; i < 100; ++i) pool.run([](int) {});
+    const int reps = 2000;
+    llp::perf::Timer timer;
+    for (int i = 0; i < reps; ++i) pool.run([](int) {});
+    const double ns = timer.elapsed() / reps * 1e9;
+    m.add_row({std::to_string(lanes), llp::strfmt("%.0f", ns)});
+  }
+  std::printf("%s", m.to_string().c_str());
+  std::printf(
+      "\nThe paper quotes 2,000 - 1,000,000+ cycles depending on machine\n"
+      "and load (~10-3000 us at 300 MHz); a modern pthread pool sits at the\n"
+      "cheap end of that range.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces paper Table 3: predicted speedup for a loop with 15 units of
+// parallelism, showing the stair-step.
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/stairstep.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::heading(
+      "Table 3 — predicted speedup for a loop with 15 units of parallelism");
+
+  llp::Table t({"processors", "max units on one processor",
+                "predicted speedup", "efficiency"});
+  for (int p = 1; p <= 15; ++p) {
+    t.add_row({std::to_string(p),
+               std::to_string(llp::model::max_units_per_processor(15, p)),
+               llp::strfmt("%.3f", llp::model::stairstep_speedup(15, p)),
+               llp::strfmt("%.3f", llp::model::stairstep_efficiency(15, p))});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nPaper rows (1 / 4 / 5-7 / 8-14 / 15 processors -> 1.0 / 3.75 / 5.0\n"
+      "/ 7.5 / 15.0) are reproduced exactly: S(n,p) = n / ceil(n/p).\n"
+      "Speedup jump points for n=15: ");
+  for (int j : llp::model::speedup_jump_points(15, 15)) std::printf("%d ", j);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Directive-flavored sugar: named, registry-instrumented parallel loops.
+//
+// doacross("rhs_j_flux", LMAX, body) is the C++ spelling of
+//
+//   C$doacross local(...)
+//   DO 10 L = 1, LMAX
+//
+// with the region automatically registered so that (a) it appears in the
+// flat profile, (b) it can be toggled serial/parallel for incremental
+// parallelization, and (c) the SMP simulator can replay it at higher
+// processor counts.
+//
+// serial_region times code that is deliberately left serial (the paper keeps
+// boundary-condition routines serial because their work per sync event is
+// too small — Table 2); recording them is what lets the simulator apply
+// Amdahl's law faithfully.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+#include <utility>
+
+#include "core/parallel_for.hpp"
+
+namespace llp {
+
+/// Named parallel loop over [0, n). The region is created on first use.
+/// Returns the RegionId so hot paths can cache it.
+template <typename Body>
+RegionId doacross(std::string_view name, std::int64_t n, Body&& body,
+                  ForOptions opts = {}) {
+  auto& reg = regions();
+  const RegionId id = reg.define(name, RegionKind::kParallelLoop);
+  opts.region = id;
+  parallel_for(0, n, std::forward<Body>(body), opts);
+  return id;
+}
+
+/// Parallel loop on a previously defined region (avoids the name lookup).
+template <typename Body>
+void doacross(RegionId id, std::int64_t n, Body&& body, ForOptions opts = {}) {
+  opts.region = id;
+  parallel_for(0, n, std::forward<Body>(body), opts);
+}
+
+/// Timed serial section recorded under `name` with RegionKind::kSerial.
+template <typename Fn>
+RegionId serial_region(std::string_view name, Fn&& fn) {
+  auto& reg = regions();
+  const RegionId id = reg.define(name, RegionKind::kSerial);
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  reg.record(id, 0, dt.count());
+  return id;
+}
+
+}  // namespace llp

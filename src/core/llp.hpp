@@ -1,0 +1,9 @@
+// Umbrella header for the loop-level parallelism runtime.
+#pragma once
+
+#include "core/doacross.hpp"    // IWYU pragma: export
+#include "core/parallel_for.hpp"  // IWYU pragma: export
+#include "core/region.hpp"      // IWYU pragma: export
+#include "core/runtime.hpp"     // IWYU pragma: export
+#include "core/schedule.hpp"    // IWYU pragma: export
+#include "core/thread_pool.hpp" // IWYU pragma: export

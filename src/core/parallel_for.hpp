@@ -1,0 +1,261 @@
+// parallel_for / parallel_reduce — the library's doacross constructs.
+//
+// Usage mirrors the paper's Example 1:
+//
+//   CSdoacross local (L,J,K)            llp::parallel_for(0, LMAX, [&](i64 l) {
+//   DO 10 L=1,LMAX                        for (int k = 0; k < KMAX; ++k)
+//     DO 10 K=1,KMAX               =>       for (int j = 0; j < JMAX; ++j)
+//       DO 10 J=1,JMAX                        ... body(j,k,l) ...
+//   10 CONTINUE                          });
+//
+// Only the outer loop is handed to the runtime; the inner loops stay serial
+// inside the body, which is the paper's central prescription (parallelize
+// outer loops, leave the vectorizable inner loops to the compiler/CPU).
+//
+// Locals: anything declared inside the lambda is thread-private, which
+// replaces the directive's `local(...)` clause. Per-thread scratch buffers
+// (the paper's resized pencil arrays) are obtained via the lane index
+// overloads or WorkspacePool in f3d.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/region.hpp"
+#include "core/runtime.hpp"
+#include "core/schedule.hpp"
+#include "core/thread_pool.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace llp {
+
+/// Options for one parallel loop.
+struct ForOptions {
+  Schedule schedule = Schedule::kStaticBlock;
+  std::int64_t chunk = 1;      ///< chunk size for chunked/dynamic schedules
+  int num_threads = 0;         ///< 0 = runtime default
+  RegionId region = kNoRegion; ///< optional registry instrumentation
+};
+
+namespace detail {
+
+/// True if Body is callable as body(i, lane), else it is called as body(i).
+template <typename Body>
+inline constexpr bool kBodyTakesLane =
+    std::is_invocable_v<Body&, std::int64_t, int>;
+
+template <typename Body>
+inline void invoke_body(Body& body, std::int64_t i, int lane) {
+  if constexpr (kBodyTakesLane<Body>) {
+    body(i, lane);
+  } else {
+    (void)lane;
+    body(i);
+  }
+}
+
+template <typename Body>
+void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
+              int nthreads, const ForOptions& opts,
+              std::atomic<std::int64_t>& cursor) {
+  // The shared pool may have more lanes than this loop uses (short loops
+  // clamp nthreads to the trip count); surplus lanes sit the loop out.
+  if (lane >= nthreads) return;
+  switch (opts.schedule) {
+    case Schedule::kStaticBlock: {
+      const IterRange r = static_block(n, lane, nthreads);
+      for (std::int64_t i = r.begin; i < r.end; ++i) {
+        invoke_body(body, begin + i, lane);
+      }
+      break;
+    }
+    case Schedule::kStaticChunked: {
+      for (const IterRange& r : static_chunks(n, lane, nthreads, opts.chunk)) {
+        for (std::int64_t i = r.begin; i < r.end; ++i) {
+          invoke_body(body, begin + i, lane);
+        }
+      }
+      break;
+    }
+    case Schedule::kDynamic: {
+      for (;;) {
+        const std::int64_t start =
+            cursor.fetch_add(opts.chunk, std::memory_order_relaxed);
+        if (start >= n) break;
+        const std::int64_t stop = std::min(start + opts.chunk, n);
+        for (std::int64_t i = start; i < stop; ++i) {
+          invoke_body(body, begin + i, lane);
+        }
+      }
+      break;
+    }
+    case Schedule::kGuided: {
+      for (;;) {
+        std::int64_t start = cursor.load(std::memory_order_relaxed);
+        std::int64_t take = 0;
+        do {
+          if (start >= n) return;
+          take = guided_chunk(n - start, nthreads, opts.chunk);
+        } while (!cursor.compare_exchange_weak(start, start + take,
+                                               std::memory_order_relaxed));
+        const std::int64_t stop = std::min(start + take, n);
+        for (std::int64_t i = start; i < stop; ++i) {
+          invoke_body(body, begin + i, lane);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Parallel loop over [begin, end). Body is invoked as body(i) or
+/// body(i, lane) where lane in [0, nthreads).
+///
+/// Runs serially (still on the calling thread, same iteration order as lane 0
+/// would see) when the effective thread count is 1 or when opts.region names
+/// a region whose parallel execution is disabled — the incremental-
+/// parallelization switch. When opts.region is set, wall time and trip count
+/// are recorded in the registry either way.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
+                  const ForOptions& opts = {}) {
+  LLP_REQUIRE(opts.chunk >= 1, "chunk must be >= 1");
+  const std::int64_t n = end > begin ? end - begin : 0;
+
+  auto& rt = Runtime::instance();
+  int nthreads = opts.num_threads > 0 ? opts.num_threads : rt.num_threads();
+  if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
+
+  const bool instrumented = opts.region != kNoRegion;
+  const bool enabled =
+      !instrumented || rt.regions().parallel_enabled(opts.region);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  bool recorded_lanes = false;
+  double lane_max = 0.0, lane_mean = 0.0;
+
+  if (n > 0) {
+    if (nthreads <= 1 || !enabled) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        detail::invoke_body(body, i, 0);
+      }
+    } else {
+      std::atomic<std::int64_t> cursor{0};
+      ForOptions local = opts;
+      if (local.schedule == Schedule::kDynamic && opts.chunk == 1 && n > 64) {
+        // Avoid a contended counter for trivially small default chunks.
+        local.chunk = std::max<std::int64_t>(1, n / (8 * nthreads));
+      }
+      // Instrumented loops also time each lane so the region can report a
+      // measured load-imbalance factor.
+      struct alignas(kCacheLineBytes) LaneTime {
+        double seconds = 0.0;
+      };
+      std::vector<LaneTime> lane_times(
+          instrumented ? static_cast<std::size_t>(nthreads) : 0);
+      auto lane_fn = [&](int lane) {
+        if (instrumented) {
+          const auto lt0 = std::chrono::steady_clock::now();
+          detail::run_lane(begin, n, body, lane, nthreads, local, cursor);
+          const std::chrono::duration<double> d =
+              std::chrono::steady_clock::now() - lt0;
+          if (lane < nthreads) {
+            lane_times[static_cast<std::size_t>(lane)].seconds = d.count();
+          }
+        } else {
+          detail::run_lane(begin, n, body, lane, nthreads, local, cursor);
+        }
+      };
+      if (opts.num_threads > 0 && opts.num_threads != rt.num_threads()) {
+        // A loop-specific thread count gets its own transient pool, the way
+        // OpenMP honors num_threads() clauses.
+        ThreadPool pool(nthreads);
+        pool.run(lane_fn);
+      } else {
+        rt.pool().run(lane_fn);
+      }
+      if (instrumented) {
+        for (const LaneTime& lt : lane_times) {
+          lane_max = std::max(lane_max, lt.seconds);
+          lane_mean += lt.seconds;
+        }
+        lane_mean /= static_cast<double>(nthreads);
+        recorded_lanes = true;
+      }
+    }
+  }
+
+  if (instrumented) {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    rt.regions().record(opts.region, static_cast<std::uint64_t>(n), dt.count());
+    if (recorded_lanes) {
+      rt.regions().record_lanes(opts.region, lane_max, lane_mean);
+    }
+  }
+}
+
+/// Parallel loop over the collapsed 2-D iteration space [0,n0) x [0,n1),
+/// outer index varying slowest — OpenMP's collapse(2). Useful when a single
+/// outer loop is too short (the paper's boundary-condition faces).
+template <typename Body>
+void parallel_for_2d(std::int64_t n0, std::int64_t n1, Body&& body,
+                     const ForOptions& opts = {}) {
+  LLP_REQUIRE(n0 >= 0 && n1 >= 0, "negative extent");
+  parallel_for(
+      0, n0 * n1,
+      [&body, n1](std::int64_t idx, int lane) {
+        if constexpr (std::is_invocable_v<Body&, std::int64_t, std::int64_t,
+                                          int>) {
+          body(idx / n1, idx % n1, lane);
+        } else {
+          (void)lane;
+          body(idx / n1, idx % n1);
+        }
+      },
+      opts);
+}
+
+/// Parallel reduction over [begin, end). Body is body(i, T& local) or
+/// body(i, T& local, lane); per-lane partials live in cache-line-padded
+/// slots and are combined with `combine` in lane order (deterministic for a
+/// fixed thread count).
+template <typename T, typename Combine, typename Body>
+T parallel_reduce(std::int64_t begin, std::int64_t end, T identity,
+                  Combine combine, Body&& body, const ForOptions& opts = {}) {
+  struct alignas(kCacheLineBytes) Slot {
+    T value;
+  };
+  auto& rt = Runtime::instance();
+  int nthreads = opts.num_threads > 0 ? opts.num_threads : rt.num_threads();
+  const std::int64_t n = end > begin ? end - begin : 0;
+  if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
+  if (nthreads < 1) nthreads = 1;
+
+  std::vector<Slot> slots(static_cast<std::size_t>(nthreads), Slot{identity});
+  parallel_for(
+      begin, end,
+      [&](std::int64_t i, int lane) {
+        if constexpr (std::is_invocable_v<Body&, std::int64_t, T&, int>) {
+          body(i, slots[static_cast<std::size_t>(lane)].value, lane);
+        } else {
+          body(i, slots[static_cast<std::size_t>(lane)].value);
+        }
+      },
+      opts);
+
+  T acc = identity;
+  for (const Slot& s : slots) acc = combine(acc, s.value);
+  return acc;
+}
+
+}  // namespace llp

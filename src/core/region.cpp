@@ -1,0 +1,130 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp {
+
+RegionId RegionRegistry::define(std::string_view name, RegionKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  RegionStats r;
+  r.name = std::string(name);
+  r.kind = kind;
+  r.parallel_enabled = (kind == RegionKind::kParallelLoop);
+  regions_.push_back(std::move(r));
+  return regions_.size() - 1;
+}
+
+RegionId RegionRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  return kNoRegion;
+}
+
+std::size_t RegionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.size();
+}
+
+void RegionRegistry::set_parallel_enabled(RegionId id, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  regions_[id].parallel_enabled = enabled;
+}
+
+bool RegionRegistry::parallel_enabled(RegionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  return regions_[id].parallel_enabled;
+}
+
+void RegionRegistry::set_all_parallel(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : regions_) {
+    if (r.kind == RegionKind::kParallelLoop) r.parallel_enabled = enabled;
+  }
+}
+
+void RegionRegistry::record(RegionId id, std::uint64_t trips, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  auto& r = regions_[id];
+  ++r.invocations;
+  r.total_trips += trips;
+  r.seconds += seconds;
+}
+
+void RegionRegistry::record_lanes(RegionId id, double max_lane_seconds,
+                                  double mean_lane_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  regions_[id].lane_max_seconds += max_lane_seconds;
+  regions_[id].lane_mean_seconds += mean_lane_seconds;
+}
+
+void RegionRegistry::add_flops(RegionId id, double flops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  regions_[id].flops += flops;
+}
+
+void RegionRegistry::add_bytes(RegionId id, double bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  regions_[id].bytes += bytes;
+}
+
+RegionStats RegionRegistry::stats(RegionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  return regions_[id];
+}
+
+std::vector<RegionStats> RegionRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_;
+}
+
+void RegionRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : regions_) {
+    r.invocations = 0;
+    r.total_trips = 0;
+    r.seconds = 0.0;
+    r.flops = 0.0;
+    r.bytes = 0.0;
+    r.lane_max_seconds = 0.0;
+    r.lane_mean_seconds = 0.0;
+  }
+}
+
+std::string RegionRegistry::profile_report() const {
+  auto rows = snapshot();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RegionStats& a, const RegionStats& b) {
+                     return a.seconds > b.seconds;
+                   });
+  double total = 0.0;
+  for (const auto& r : rows) total += r.seconds;
+  std::string out = strfmt("%-32s %8s %10s %12s %8s %9s\n", "region", "kind",
+                           "calls", "time(s)", "%time", "trips/call");
+  for (const auto& r : rows) {
+    out += strfmt("%-32s %8s %10llu %12.6f %7.2f%% %9.1f\n", r.name.c_str(),
+                  r.kind == RegionKind::kParallelLoop
+                      ? (r.parallel_enabled ? "par" : "par-off")
+                      : "serial",
+                  static_cast<unsigned long long>(r.invocations), r.seconds,
+                  total > 0.0 ? 100.0 * r.seconds / total : 0.0,
+                  r.mean_trips());
+  }
+  return out;
+}
+
+}  // namespace llp

@@ -1,0 +1,109 @@
+// Parallel-region registry: the bookkeeping behind incremental
+// parallelization.
+//
+// The paper's methodology (§4) is to profile, parallelize the most expensive
+// loops one at a time, and re-measure — something loop-level parallelism
+// permits and all-or-nothing approaches (HPF, MPI) do not. RegionRegistry is
+// that workflow as an API: every candidate loop is registered once by name,
+// can be switched between serial and parallel execution at runtime, and
+// accumulates a flat profile (invocations, trip counts, wall time, flops,
+// estimated traffic). The same records feed the SMP performance simulator,
+// which replays them for machines with more processors than the host.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llp {
+
+using RegionId = std::size_t;
+inline constexpr RegionId kNoRegion = static_cast<RegionId>(-1);
+
+/// What a region represents, for Amdahl accounting in the simulator.
+enum class RegionKind {
+  kParallelLoop,  ///< a doacross loop; scales with processors
+  kSerial,        ///< deliberately unparallelized code (e.g. BC routines)
+};
+
+/// Flat-profile record for one region (one loop nest or serial section).
+struct RegionStats {
+  std::string name;
+  RegionKind kind = RegionKind::kParallelLoop;
+  bool parallel_enabled = true;   ///< currently run with threads?
+  std::uint64_t invocations = 0;  ///< times the region executed
+  std::uint64_t total_trips = 0;  ///< sum of parallelized-loop trip counts
+  double seconds = 0.0;           ///< total wall time
+  double flops = 0.0;             ///< caller-accumulated floating-point ops
+  double bytes = 0.0;             ///< caller-accumulated memory traffic
+  double lane_max_seconds = 0.0;  ///< sum over invocations of busiest lane
+  double lane_mean_seconds = 0.0; ///< sum over invocations of mean lane time
+
+  /// Average trip count per invocation (0 for serial regions).
+  double mean_trips() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(total_trips) /
+                                  static_cast<double>(invocations);
+  }
+
+  /// Measured load-imbalance factor: busiest lane / mean lane, >= 1 when
+  /// lane timing has been recorded, 0 otherwise. A static schedule over a
+  /// skewed loop shows up here; the fix is chunked/dynamic scheduling or
+  /// restructuring (the profiling step of the paper's methodology).
+  double imbalance() const {
+    return lane_mean_seconds > 0.0 ? lane_max_seconds / lane_mean_seconds
+                                   : 0.0;
+  }
+};
+
+/// Thread-safe registry of regions. Regions are identified by dense ids in
+/// definition order; define() is idempotent by name.
+class RegionRegistry {
+public:
+  /// Register (or look up) a region. Safe to call from multiple threads.
+  RegionId define(std::string_view name,
+                  RegionKind kind = RegionKind::kParallelLoop);
+
+  /// Look up by name; returns kNoRegion if absent.
+  RegionId find(std::string_view name) const;
+
+  std::size_t size() const;
+
+  /// Enable/disable threaded execution of a parallel-loop region. Disabled
+  /// regions run serially — this is the "parallelize one loop at a time"
+  /// switch.
+  void set_parallel_enabled(RegionId id, bool enabled);
+  bool parallel_enabled(RegionId id) const;
+  void set_all_parallel(bool enabled);
+
+  /// Record one execution of the region.
+  void record(RegionId id, std::uint64_t trips, double seconds);
+  /// Record per-lane timing of one parallel execution (for imbalance()).
+  void record_lanes(RegionId id, double max_lane_seconds,
+                    double mean_lane_seconds);
+  /// Attribute floating-point work / traffic to the region (for MFLOPS and
+  /// NUMA-bandwidth reporting).
+  void add_flops(RegionId id, double flops);
+  void add_bytes(RegionId id, double bytes);
+
+  /// Copy of one region's stats (throws on bad id).
+  RegionStats stats(RegionId id) const;
+
+  /// Copy of all regions' stats, in definition order.
+  std::vector<RegionStats> snapshot() const;
+
+  /// Zero all counters, keep definitions and enable flags.
+  void reset_stats();
+
+  /// Render a flat profile sorted by descending total time — the output of
+  /// "prof" that drives which loop to parallelize next.
+  std::string profile_report() const;
+
+private:
+  mutable std::mutex mu_;
+  std::vector<RegionStats> regions_;
+};
+
+}  // namespace llp

@@ -1,0 +1,48 @@
+#include "core/runtime.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace llp {
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::Runtime() {
+  int n = 0;
+  if (const char* env = std::getenv("LLP_NUM_THREADS")) {
+    n = std::atoi(env);
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = n > 0 ? n : 1;
+}
+
+int Runtime::num_threads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void Runtime::set_num_threads(int n) {
+  LLP_REQUIRE(n >= 1, "num_threads must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n != num_threads_) {
+    num_threads_ = n;
+    pool_.reset();  // rebuilt lazily at the new size
+  }
+}
+
+ThreadPool& Runtime::pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pool_ || pool_->size() != num_threads_) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+  return *pool_;
+}
+
+}  // namespace llp

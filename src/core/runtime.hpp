@@ -1,0 +1,48 @@
+// Global runtime: thread count, shared pool, and the region registry.
+//
+// Mirrors the role of the OpenMP runtime: one process-wide configuration
+// (LLP_NUM_THREADS environment variable, overridable via set_num_threads)
+// plus the shared worker pool every doacross construct dispatches to.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "core/region.hpp"
+#include "core/thread_pool.hpp"
+
+namespace llp {
+
+class Runtime {
+public:
+  /// Process-wide instance.
+  static Runtime& instance();
+
+  /// Current lane count used by parallel constructs (>= 1).
+  int num_threads();
+
+  /// Change the lane count; the pool is rebuilt on next use. Thread-safe,
+  /// but must not be called from inside a parallel region.
+  void set_num_threads(int n);
+
+  /// Shared pool, created lazily at the configured size.
+  ThreadPool& pool();
+
+  /// Region registry used by doacross/serial_region instrumentation.
+  RegionRegistry& regions() { return regions_; }
+
+private:
+  Runtime();
+
+  std::mutex mu_;
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+  RegionRegistry regions_;
+};
+
+/// Shorthand accessors.
+inline RegionRegistry& regions() { return Runtime::instance().regions(); }
+inline int num_threads() { return Runtime::instance().num_threads(); }
+inline void set_num_threads(int n) { Runtime::instance().set_num_threads(n); }
+
+}  // namespace llp

@@ -1,0 +1,44 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace llp {
+
+IterRange static_block(std::int64_t n, int thread, int nthreads) noexcept {
+  LLP_ASSERT(nthreads > 0 && thread >= 0 && thread < nthreads && n >= 0);
+  const std::int64_t base = n / nthreads;
+  const std::int64_t extra = n % nthreads;
+  const std::int64_t t = thread;
+  const std::int64_t begin = t * base + std::min<std::int64_t>(t, extra);
+  const std::int64_t len = base + (t < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+std::int64_t max_block_size(std::int64_t n, int nthreads) noexcept {
+  LLP_ASSERT(nthreads > 0 && n >= 0);
+  return (n + nthreads - 1) / nthreads;
+}
+
+std::vector<IterRange> static_chunks(std::int64_t n, int thread, int nthreads,
+                                     std::int64_t chunk) {
+  LLP_REQUIRE(chunk > 0, "chunk must be positive");
+  LLP_REQUIRE(nthreads > 0 && thread >= 0 && thread < nthreads,
+              "bad thread/nthreads");
+  std::vector<IterRange> out;
+  for (std::int64_t start = static_cast<std::int64_t>(thread) * chunk; start < n;
+       start += static_cast<std::int64_t>(nthreads) * chunk) {
+    out.push_back({start, std::min(start + chunk, n)});
+  }
+  return out;
+}
+
+std::int64_t guided_chunk(std::int64_t remaining, int nthreads,
+                          std::int64_t min_chunk) noexcept {
+  LLP_ASSERT(nthreads > 0 && min_chunk > 0);
+  const std::int64_t c = remaining / (2 * static_cast<std::int64_t>(nthreads));
+  return std::max(min_chunk, c);
+}
+
+}  // namespace llp

@@ -1,0 +1,52 @@
+// Loop-iteration scheduling policies for llp::parallel_for.
+//
+// The paper parallelizes with C$doacross, whose default hands each processor
+// one contiguous block of iterations — Schedule::kStaticBlock here. The other
+// policies cover what OpenMP offers (schedule(static,chunk) / dynamic /
+// guided) so the runtime can serve as a general loop-level-parallelism
+// library, and so the schedule-ablation bench can compare them.
+//
+// Partitioning is exposed as pure functions: the stair-step speedup model
+// (model/stairstep.hpp) is literally "the largest share any processor gets
+// under kStaticBlock", so tests tie the two together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llp {
+
+enum class Schedule {
+  kStaticBlock,   ///< one contiguous block per thread (C$doacross default)
+  kStaticChunked, ///< fixed-size chunks dealt round-robin
+  kDynamic,       ///< threads grab fixed-size chunks from a shared counter
+  kGuided,        ///< dynamic with geometrically shrinking chunks
+};
+
+/// Half-open iteration range [begin, end).
+struct IterRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return end <= begin; }
+};
+
+/// Contiguous block assigned to `thread` of `nthreads` under kStaticBlock.
+/// Iterations are spread as evenly as possible: the first (n % nthreads)
+/// threads get one extra iteration.
+IterRange static_block(std::int64_t n, int thread, int nthreads) noexcept;
+
+/// Largest number of iterations any single thread receives under
+/// kStaticBlock — ceil(n / nthreads). This is the quantity behind the
+/// paper's Table 3 / Figure 1 stair-step.
+std::int64_t max_block_size(std::int64_t n, int nthreads) noexcept;
+
+/// All chunks assigned to `thread` under kStaticChunked with `chunk` size.
+std::vector<IterRange> static_chunks(std::int64_t n, int thread, int nthreads,
+                                     std::int64_t chunk);
+
+/// Guided-schedule chunk size given remaining iterations.
+std::int64_t guided_chunk(std::int64_t remaining, int nthreads,
+                          std::int64_t min_chunk) noexcept;
+
+}  // namespace llp

@@ -1,0 +1,87 @@
+#include "core/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace llp {
+
+ThreadPool::ThreadPool(int size) : size_(size) {
+  LLP_REQUIRE(size >= 1, "ThreadPool size must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(size - 1));
+  for (int lane = 1; lane < size; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  LLP_REQUIRE(!in_run_, "ThreadPool::run is not reentrant");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    remaining_ = size_ - 1;
+    ++generation_;
+    in_run_ = true;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread is lane 0.
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+    in_run_ = false;
+  }
+  sync_events_.fetch_add(1, std::memory_order_relaxed);
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [this, seen] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = (--remaining_ == 0);
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace llp

@@ -1,0 +1,75 @@
+// Persistent worker pool with fork-join semantics.
+//
+// This is the machinery behind every C$doacross-style construct in the
+// library. A pool of (size-1) worker threads parks on a condition variable;
+// ThreadPool::run broadcasts one callable to all lanes (the calling thread
+// participates as lane 0) and returns after every lane has finished — a
+// fork-join barrier. That join is exactly the "synchronization event" whose
+// cost the paper's Tables 1 and 2 are about, and micro_runtime measures it.
+//
+// Exceptions thrown by any lane are captured; the first one is rethrown on
+// the calling thread after the join, so a failing loop body cannot deadlock
+// or tear down a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llp {
+
+class ThreadPool {
+public:
+  /// Creates a pool that runs tasks on `size` lanes total: the calling
+  /// thread plus (size-1) dedicated workers. size >= 1.
+  explicit ThreadPool(int size);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of lanes (including the caller's lane 0).
+  int size() const noexcept { return size_; }
+
+  /// Run fn(lane) on every lane in [0, size). Blocks until all lanes finish
+  /// (fork-join). Not reentrant: calling run from inside fn throws.
+  /// If any lane throws, the first captured exception is rethrown here.
+  void run(const std::function<void(int)>& fn);
+
+  /// Number of fork-join synchronization events issued so far.
+  std::uint64_t sync_events() const noexcept {
+    return sync_events_.load(std::memory_order_relaxed);
+  }
+
+private:
+  void worker_loop(int lane);
+
+  const int size_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stopping_ = false;
+  bool in_run_ = false;
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::uint64_t> sync_events_{0};
+
+  // Declared last on purpose: jthreads join in their destructor, and the
+  // workers must be gone before the mutexes/condition variables they use
+  // are destroyed (members destruct in reverse declaration order).
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace llp

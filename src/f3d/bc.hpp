@@ -1,0 +1,48 @@
+// Boundary conditions.
+//
+// Ghost-cell fills applied before each right-hand-side evaluation. These are
+// the routines the paper deliberately leaves serial: a face has JMAX*KMAX
+// points against the interior's JMAX*KMAX*LMAX, so the work per
+// synchronization event is too small to parallelize profitably (Table 2) —
+// at the cost of an Amdahl tail at high processor counts (§4).
+#pragma once
+
+#include "f3d/gas.hpp"
+#include "f3d/zone.hpp"
+
+namespace f3d {
+
+enum class Face { kJMin, kJMax, kKMin, kKMax, kLMin, kLMax };
+inline constexpr int kNumFaces = 6;
+
+enum class BcType {
+  kFreeStream,   ///< ghost = free-stream state (supersonic inflow)
+  kExtrapolate,  ///< ghost = nearest interior cell (supersonic outflow)
+  kSlipWall,     ///< mirror with normal velocity negated (inviscid wall)
+  kNoSlipWall,   ///< mirror with ALL velocity negated (viscous wall)
+  kPeriodic,     ///< ghost = opposite side of the same zone
+  kInterface,    ///< filled by zonal exchange, not by this routine
+};
+
+/// One zone's boundary assignment, indexed by Face.
+struct BoundarySet {
+  BcType face[kNumFaces] = {BcType::kFreeStream, BcType::kExtrapolate,
+                            BcType::kExtrapolate, BcType::kExtrapolate,
+                            BcType::kExtrapolate, BcType::kExtrapolate};
+
+  BcType& operator[](Face f) { return face[static_cast<int>(f)]; }
+  BcType operator[](Face f) const { return face[static_cast<int>(f)]; }
+
+  /// All six faces set to one type.
+  static BoundarySet uniform(BcType t) {
+    BoundarySet b;
+    for (auto& f : b.face) f = t;
+    return b;
+  }
+};
+
+/// Fill the ghost layers of every non-interface face.
+void apply_boundary_conditions(Zone& zone, const BoundarySet& bcs,
+                               const FreeStream& fs);
+
+}  // namespace f3d

@@ -1,0 +1,80 @@
+#include "f3d/case_trace.hpp"
+
+#include "f3d/solver.hpp"
+#include "perf/trace_builder.hpp"
+#include "util/error.hpp"
+
+namespace f3d {
+
+llp::model::WorkTrace measure_full_size_trace(const CaseSpec& scaled,
+                                              const CaseSpec& full,
+                                              const std::string& region_prefix,
+                                              int steps) {
+  LLP_REQUIRE(scaled.zones.size() == full.zones.size(),
+              "scaled and full cases must have the same zone count");
+  LLP_REQUIRE(steps >= 1, "steps must be >= 1");
+
+  auto grid = build_grid(scaled);
+  add_gaussian_pulse(grid, 0.05, 2.0);
+  SolverConfig cfg;
+  cfg.freestream = scaled.freestream;
+  cfg.region_prefix = region_prefix;
+  llp::regions().reset_stats();
+  Solver solver(grid, cfg);
+  solver.run(steps);
+
+  std::vector<llp::RegionStats> mine;
+  for (const auto& r : llp::regions().snapshot()) {
+    if (r.name.rfind(region_prefix + ".", 0) == 0 && r.invocations > 0) {
+      mine.push_back(r);
+    }
+  }
+  llp::model::WorkTrace trace = llp::perf::build_trace(mine, steps);
+
+  // Face/interface point ratios for the serial regions' (small) work.
+  auto face_points = [](const CaseSpec& c) {
+    double sum = 0.0;
+    for (const auto& z : c.zones) {
+      sum += 2.0 * (static_cast<double>(z.jmax) * z.kmax +
+                    static_cast<double>(z.jmax) * z.lmax +
+                    static_cast<double>(z.kmax) * z.lmax);
+    }
+    return sum;
+  };
+  auto iface_points = [](const CaseSpec& c) {
+    double sum = 0.0;
+    for (std::size_t z = 0; z + 1 < c.zones.size(); ++z) {
+      sum += static_cast<double>(c.zones[z].kmax) * c.zones[z].lmax;
+    }
+    return sum;
+  };
+  const double face_ratio = face_points(full) / face_points(scaled);
+  const double iface_ratio = iface_points(scaled) > 0.0
+                                 ? iface_points(full) / iface_points(scaled)
+                                 : 1.0;
+
+  for (auto& loop : trace.loops) {
+    const std::string name = loop.name.substr(region_prefix.size() + 1);
+    if (name == "bc" || name == "exchange") {
+      const double r = (name == "bc") ? face_ratio : iface_ratio;
+      loop.flops_per_step *= r;
+      loop.bytes_per_step *= r;
+      continue;
+    }
+    // Region names are "z<i>.<kernel>".
+    const int zi = std::stoi(name.substr(1, name.find('.') - 1));
+    const std::string kernel = name.substr(name.find('.') + 1);
+    const auto& zs = scaled.zones[static_cast<std::size_t>(zi)];
+    const auto& zf = full.zones[static_cast<std::size_t>(zi)];
+    const double point_ratio =
+        static_cast<double>(zf.points()) / static_cast<double>(zs.points());
+    loop.flops_per_step *= point_ratio;
+    loop.bytes_per_step *= point_ratio;
+    if (loop.parallel) {
+      loop.trips = (kernel == "sweep_l") ? zf.kmax : zf.lmax;
+    }
+  }
+  return trace;
+}
+
+}  // namespace f3d

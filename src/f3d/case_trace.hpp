@@ -1,0 +1,29 @@
+// Measure-and-extrapolate: run a scaled case serially with instrumentation
+// and produce the per-step WorkTrace of the full-size case.
+//
+// This is the library's public version of the method every performance
+// bench uses (and EXPERIMENTS.md documents): per-point FLOPs are size-
+// independent (a tested property), so each region's work scales by its
+// zone's point-count ratio, and each parallelized loop's trip count is
+// replaced by the full-size zone's actual dimension (L for rhs, sweep_j,
+// sweep_k, update; K for sweep_l). Nothing else is extrapolated.
+#pragma once
+
+#include <string>
+
+#include "f3d/cases.hpp"
+#include "model/scaling.hpp"
+
+namespace f3d {
+
+/// Run `steps` of `scaled` serially with region instrumentation under
+/// `region_prefix` (must be unique per call site) and return the per-step
+/// trace extrapolated to `full`. Both cases must have the same zone count
+/// (throws llp::Error otherwise). The global region registry's stats are
+/// reset by the measurement.
+llp::model::WorkTrace measure_full_size_trace(const CaseSpec& scaled,
+                                              const CaseSpec& full,
+                                              const std::string& region_prefix,
+                                              int steps = 3);
+
+}  // namespace f3d

@@ -1,0 +1,204 @@
+#include "f3d/cases.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+int scaled_dim(int dim, double scale) {
+  return std::max(6, static_cast<int>(std::lround(dim * scale)));
+}
+}  // namespace
+
+std::size_t CaseSpec::total_points() const {
+  std::size_t n = 0;
+  for (const auto& z : zones) n += z.points();
+  return n;
+}
+
+CaseSpec paper_1m_case(double scale) {
+  LLP_REQUIRE(scale > 0.0, "scale must be positive");
+  CaseSpec c;
+  c.zones = {ZoneDims{scaled_dim(15, scale), scaled_dim(75, scale),
+                      scaled_dim(70, scale)},
+             ZoneDims{scaled_dim(87, scale), scaled_dim(75, scale),
+                      scaled_dim(70, scale)},
+             ZoneDims{scaled_dim(89, scale), scaled_dim(75, scale),
+                      scaled_dim(70, scale)}};
+  c.freestream.mach = 2.0;
+  c.freestream.alpha_deg = 2.0;
+  c.spacing = 0.1;
+  return c;
+}
+
+CaseSpec paper_59m_case(double scale) {
+  LLP_REQUIRE(scale > 0.0, "scale must be positive");
+  CaseSpec c;
+  c.zones = {ZoneDims{scaled_dim(29, scale), scaled_dim(450, scale),
+                      scaled_dim(350, scale)},
+             ZoneDims{scaled_dim(173, scale), scaled_dim(450, scale),
+                      scaled_dim(350, scale)},
+             ZoneDims{scaled_dim(175, scale), scaled_dim(450, scale),
+                      scaled_dim(350, scale)}};
+  c.freestream.mach = 2.0;
+  c.freestream.alpha_deg = 2.0;
+  c.spacing = 0.05;
+  return c;
+}
+
+CaseSpec wall_compression_case(int n, double mach) {
+  LLP_REQUIRE(n >= 6, "need n >= 6");
+  CaseSpec c;
+  c.zones = {ZoneDims{n, n, n}};
+  c.freestream.mach = mach;
+  // Negative alpha pitches the stream INTO the KMin wall (y-min), so a
+  // slip wall there sees genuine compression.
+  c.freestream.alpha_deg = -2.0;
+  c.spacing = 1.0 / n;
+  return c;
+}
+
+CaseSpec vortex_case(int n) {
+  LLP_REQUIRE(n >= 8, "need n >= 8");
+  CaseSpec c;
+  c.zones = {ZoneDims{n, n, std::max(6, n / 4)}};
+  c.freestream.mach = 0.5;
+  c.freestream.alpha_deg = 0.0;
+  c.spacing = 10.0 / n;  // box [0,10): the standard vortex domain
+  return c;
+}
+
+MultiZoneGrid build_grid(const CaseSpec& spec) {
+  MultiZoneGrid grid(spec.zones, spec.spacing);
+  grid.set_freestream(spec.freestream);
+  return grid;
+}
+
+void make_periodic(MultiZoneGrid& grid) {
+  LLP_REQUIRE(grid.num_zones() == 1,
+              "periodic BCs are only supported for single-zone grids");
+  grid.bcs(0) = BoundarySet::uniform(BcType::kPeriodic);
+}
+
+void add_kmin_wall(MultiZoneGrid& grid) {
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    grid.bcs(z)[Face::kKMin] = BcType::kSlipWall;
+  }
+}
+
+Prim Vortex::exact(const FreeStream& fs, double x, double y) const {
+  // Shu's isentropic vortex in the standard normalization (T_inf = 1,
+  // a_inf = sqrt(gamma)), converted to this solver's a_inf = 1 units:
+  // velocities divide by sqrt(gamma), temperature by gamma.
+  const double dx = x - x0;
+  const double dy = y - y0;
+  const double r2 = dx * dx + dy * dy;
+  const double e = std::exp(0.5 * (1.0 - r2));
+  const double g = kGamma;
+
+  const double du_std = -beta / (2.0 * M_PI) * e * dy;
+  const double dv_std = beta / (2.0 * M_PI) * e * dx;
+  const double t_std =
+      1.0 - (g - 1.0) * beta * beta / (8.0 * g * M_PI * M_PI) * e * e;
+
+  const Prim inf = fs.prim();
+  Prim s;
+  s.rho = std::pow(t_std, 1.0 / (g - 1.0));
+  const double t_ours = t_std / g;
+  s.p = s.rho * t_ours;
+  const double rg = std::sqrt(g);
+  s.u = inf.u + du_std / rg;
+  s.v = inf.v + dv_std / rg;
+  s.w = inf.w;
+  return s;
+}
+
+void initialize_vortex(MultiZoneGrid& grid, const FreeStream& fs,
+                       const Vortex& vortex) {
+  for (int zi = 0; zi < grid.num_zones(); ++zi) {
+    Zone& z = grid.zone(zi);
+    const int ng = Zone::kGhost;
+    for (int l = -ng; l < z.lmax() + ng; ++l) {
+      for (int k = -ng; k < z.kmax() + ng; ++k) {
+        for (int j = -ng; j < z.jmax() + ng; ++j) {
+          const Prim s = vortex.exact(fs, z.x(j), z.y(k));
+          to_conservative(s, z.q_point(j, k, l));
+        }
+      }
+    }
+  }
+}
+
+double vortex_l2_error(const MultiZoneGrid& grid, const FreeStream& fs,
+                       const Vortex& vortex, double t, double extent) {
+  LLP_REQUIRE(extent > 0.0, "extent must be positive");
+  const Prim inf = fs.prim();
+  double err2 = 0.0;
+  std::size_t count = 0;
+  for (int zi = 0; zi < grid.num_zones(); ++zi) {
+    const Zone& z = grid.zone(zi);
+    for (int l = 0; l < z.lmax(); ++l) {
+      for (int k = 0; k < z.kmax(); ++k) {
+        for (int j = 0; j < z.jmax(); ++j) {
+          // Wrap the translated vortex center into the periodic box.
+          auto wrap = [extent](double d) {
+            d = std::fmod(d, extent);
+            if (d > 0.5 * extent) d -= extent;
+            if (d < -0.5 * extent) d += extent;
+            return d;
+          };
+          Vortex moved = vortex;
+          moved.x0 = 0.0;
+          moved.y0 = 0.0;
+          const double dx = wrap(z.x(j) - vortex.x0 - inf.u * t);
+          const double dy = wrap(z.y(k) - vortex.y0 - inf.v * t);
+          const Prim exact = moved.exact(fs, dx, dy);
+          const double rho = z.q(0, j, k, l);
+          const double d = rho - exact.rho;
+          err2 += d * d;
+          ++count;
+        }
+      }
+    }
+  }
+  return std::sqrt(err2 / static_cast<double>(count));
+}
+
+void add_gaussian_pulse(MultiZoneGrid& grid, double amp, double radius_cells) {
+  LLP_REQUIRE(radius_cells > 0.0, "radius must be positive");
+  // Domain center across all zones.
+  double xmin = 1e300, xmax = -1e300;
+  const Zone& z0 = grid.zone(0);
+  const Zone& zl = grid.zone(grid.num_zones() - 1);
+  xmin = z0.x(0);
+  xmax = zl.x(zl.jmax() - 1);
+  const double xc = 0.5 * (xmin + xmax);
+  const double yc = 0.5 * (z0.y(0) + z0.y(z0.kmax() - 1));
+  const double zc = 0.5 * (z0.z(0) + z0.z(z0.lmax() - 1));
+  const double sigma = radius_cells * grid.spacing();
+
+  for (int zi = 0; zi < grid.num_zones(); ++zi) {
+    Zone& z = grid.zone(zi);
+    for (int l = 0; l < z.lmax(); ++l) {
+      for (int k = 0; k < z.kmax(); ++k) {
+        for (int j = 0; j < z.jmax(); ++j) {
+          const double dx = z.x(j) - xc;
+          const double dy = z.y(k) - yc;
+          const double dz = z.z(l) - zc;
+          const double r2 = (dx * dx + dy * dy + dz * dz) / (sigma * sigma);
+          const double gsn = std::exp(-0.5 * r2);
+          Prim s = to_prim(z.q_point(j, k, l));
+          const double factor = 1.0 + amp * gsn;
+          s.rho *= factor;
+          s.p *= std::pow(factor, kGamma);  // isentropic perturbation
+          to_conservative(s, z.q_point(j, k, l));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace f3d

@@ -1,0 +1,102 @@
+#include "f3d/eigen.hpp"
+
+namespace f3d {
+
+namespace {
+
+// Cyclic relabeling so the x-direction formulas serve all three axes:
+// for dir d, mom[0] is the conservative index of the normal momentum and
+// mom[1], mom[2] the two tangential momenta (right-handed order).
+struct Perm {
+  int mom[3];
+};
+
+constexpr Perm kPerm[3] = {
+    {{1, 2, 3}},  // x: normal u, tangents v, w
+    {{2, 3, 1}},  // y: normal v, tangents w, u
+    {{3, 1, 2}},  // z: normal w, tangents u, v
+};
+
+struct Local {
+  double un, ut1, ut2;  // permuted velocities
+  double c, q2, H;
+};
+
+Local local_state(int dir, const double q[kNumVars]) {
+  const Perm& pm = kPerm[dir];
+  Local s;
+  const double rho = q[0];
+  s.un = q[pm.mom[0]] / rho;
+  s.ut1 = q[pm.mom[1]] / rho;
+  s.ut2 = q[pm.mom[2]] / rho;
+  s.q2 = s.un * s.un + s.ut1 * s.ut1 + s.ut2 * s.ut2;
+  const double p = pressure(q);
+  s.c = std::sqrt(kGamma * p / rho);
+  s.H = (q[4] + p) / rho;
+  return s;
+}
+
+}  // namespace
+
+void eigenvalues(int dir, const double q[kNumVars], double lam[kNumVars]) {
+  const double rho = q[0];
+  const double un = q[kPerm[dir].mom[0]] / rho;
+  const double c = sound_speed(q);
+  lam[0] = un - c;
+  lam[1] = un;
+  lam[2] = un;
+  lam[3] = un;
+  lam[4] = un + c;
+}
+
+void apply_left(int dir, const double q[kNumVars], const double x[kNumVars],
+                double w[kNumVars]) {
+  const Perm& pm = kPerm[dir];
+  const Local s = local_state(dir, q);
+
+  // Gather x into the permuted component order [rho, m_n, m_t1, m_t2, E].
+  const double x0 = x[0];
+  const double x1 = x[pm.mom[0]];
+  const double x2 = x[pm.mom[1]];
+  const double x3 = x[pm.mom[2]];
+  const double x4 = x[4];
+
+  const double g = kGamma - 1.0;
+  const double b2 = g / (s.c * s.c);
+  const double b1 = 0.5 * b2 * s.q2;
+  const double uoc = s.un / s.c;
+
+  // Rows of L (see Toro, 3-D Euler, x-split), applied to the permuted x.
+  const double common = -b2 * (s.un * x1 + s.ut1 * x2 + s.ut2 * x3) + b2 * x4;
+  w[0] = 0.5 * (((b1 + uoc) * x0) - x1 / s.c + common);
+  w[1] = (1.0 - b1) * x0 + b2 * (s.un * x1 + s.ut1 * x2 + s.ut2 * x3) -
+         b2 * x4;
+  w[2] = -s.ut1 * x0 + x2;
+  w[3] = -s.ut2 * x0 + x3;
+  w[4] = 0.5 * (((b1 - uoc) * x0) + x1 / s.c + common);
+}
+
+void apply_right(int dir, const double q[kNumVars], const double w[kNumVars],
+                 double x[kNumVars]) {
+  const Perm& pm = kPerm[dir];
+  const Local s = local_state(dir, q);
+
+  // Columns of R in the permuted order; y = R w.
+  const double y0 = w[0] + w[1] + w[4];
+  const double y1 =
+      (s.un - s.c) * w[0] + s.un * w[1] + (s.un + s.c) * w[4];
+  const double y2 = s.ut1 * (w[0] + w[1] + w[4]) + w[2];
+  const double y3 = s.ut2 * (w[0] + w[1] + w[4]) + w[3];
+  const double y4 = (s.H - s.un * s.c) * w[0] + 0.5 * s.q2 * w[1] +
+                    s.ut1 * w[2] + s.ut2 * w[3] +
+                    (s.H + s.un * s.c) * w[4];
+
+  // Scatter back to conservative component order.
+  x[0] = y0;
+  x[pm.mom[0]] = y1;
+  x[pm.mom[1]] = y2;
+  x[pm.mom[2]] = y3;
+  x[4] = y4;
+}
+
+}  // namespace f3d

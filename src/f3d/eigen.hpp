@@ -1,0 +1,36 @@
+// Eigensystem of the 3-D Euler flux Jacobian for the diagonalized
+// approximate-factorization scheme (Pulliam–Chaussée diagonal ADI).
+//
+// For direction n in {x,y,z}, A_n = dF_n/dQ = R_n diag(lambda) L_n with
+//   lambda = [u_n - c, u_n, u_n, u_n, u_n + c].
+//
+// The implicit sweeps project the right-hand side into characteristic
+// variables with L, solve five scalar tridiagonal systems, and project back
+// with R. Only axis directions are needed on a Cartesian grid; y and z reuse
+// the x-direction matrices through a cyclic relabeling of the velocity
+// components.
+#pragma once
+
+#include "f3d/gas.hpp"
+
+namespace f3d {
+
+/// Eigenvalues of A_dir at state q, in the fixed order
+/// [un - c, un, un, un, un + c] matching apply_left/apply_right.
+void eigenvalues(int dir, const double q[kNumVars], double lam[kNumVars]);
+
+/// w = L_dir(q) * x: project x into characteristic variables.
+void apply_left(int dir, const double q[kNumVars], const double x[kNumVars],
+                double w[kNumVars]);
+
+/// x = R_dir(q) * w: project characteristic variables back.
+void apply_right(int dir, const double q[kNumVars], const double w[kNumVars],
+                 double x[kNumVars]);
+
+/// Analytic floating-point operation counts for the transforms (used by the
+/// solver's FLOP accounting).
+inline constexpr double kFlopsApplyLeft = 60.0;
+inline constexpr double kFlopsApplyRight = 55.0;
+inline constexpr double kFlopsEigenvalues = 15.0;
+
+}  // namespace f3d

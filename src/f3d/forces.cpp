@@ -1,0 +1,98 @@
+#include "f3d/forces.hpp"
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+double q_inf(const FreeStream& fs) {
+  const Prim s = fs.prim();
+  const double v2 = s.u * s.u + s.v * s.v + s.w * s.w;
+  return 0.5 * s.rho * v2;
+}
+}  // namespace
+
+double WallForce::cx(const FreeStream& fs) const {
+  LLP_REQUIRE(area > 0.0, "no wall area integrated");
+  return fx / (q_inf(fs) * area);
+}
+double WallForce::cy(const FreeStream& fs) const {
+  LLP_REQUIRE(area > 0.0, "no wall area integrated");
+  return fy / (q_inf(fs) * area);
+}
+double WallForce::cz(const FreeStream& fs) const {
+  LLP_REQUIRE(area > 0.0, "no wall area integrated");
+  return fz / (q_inf(fs) * area);
+}
+
+WallForce integrate_wall_force(const Zone& zone, Face face) {
+  WallForce f;
+  const int jm = zone.jmax(), km = zone.kmax(), lm = zone.lmax();
+
+  // Outward-of-domain unit normal and per-cell face area.
+  double nx = 0.0, ny = 0.0, nz = 0.0, cell_area = 0.0;
+  switch (face) {
+    case Face::kJMin: nx = -1.0; cell_area = zone.dy() * zone.dz(); break;
+    case Face::kJMax: nx = 1.0; cell_area = zone.dy() * zone.dz(); break;
+    case Face::kKMin: ny = -1.0; cell_area = zone.dx() * zone.dz(); break;
+    case Face::kKMax: ny = 1.0; cell_area = zone.dx() * zone.dz(); break;
+    case Face::kLMin: nz = -1.0; cell_area = zone.dx() * zone.dy(); break;
+    case Face::kLMax: nz = 1.0; cell_area = zone.dx() * zone.dy(); break;
+  }
+
+  auto accumulate = [&](const double* q) {
+    const double p = pressure(q);
+    f.fx += p * cell_area * nx;
+    f.fy += p * cell_area * ny;
+    f.fz += p * cell_area * nz;
+    f.area += cell_area;
+  };
+
+  switch (face) {
+    case Face::kJMin:
+      for (int l = 0; l < lm; ++l)
+        for (int k = 0; k < km; ++k) accumulate(zone.q_point(0, k, l));
+      break;
+    case Face::kJMax:
+      for (int l = 0; l < lm; ++l)
+        for (int k = 0; k < km; ++k) accumulate(zone.q_point(jm - 1, k, l));
+      break;
+    case Face::kKMin:
+      for (int l = 0; l < lm; ++l)
+        for (int j = 0; j < jm; ++j) accumulate(zone.q_point(j, 0, l));
+      break;
+    case Face::kKMax:
+      for (int l = 0; l < lm; ++l)
+        for (int j = 0; j < jm; ++j) accumulate(zone.q_point(j, km - 1, l));
+      break;
+    case Face::kLMin:
+      for (int k = 0; k < km; ++k)
+        for (int j = 0; j < jm; ++j) accumulate(zone.q_point(j, k, 0));
+      break;
+    case Face::kLMax:
+      for (int k = 0; k < km; ++k)
+        for (int j = 0; j < jm; ++j) accumulate(zone.q_point(j, k, lm - 1));
+      break;
+  }
+  return f;
+}
+
+WallForce total_wall_force(const MultiZoneGrid& grid) {
+  WallForce total;
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    for (int fi = 0; fi < kNumFaces; ++fi) {
+      const BcType bc = grid.bcs(z).face[fi];
+      if (bc == BcType::kSlipWall || bc == BcType::kNoSlipWall) {
+        const WallForce f =
+            integrate_wall_force(grid.zone(z), static_cast<Face>(fi));
+        total.fx += f.fx;
+        total.fy += f.fy;
+        total.fz += f.fz;
+        total.area += f.area;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace f3d

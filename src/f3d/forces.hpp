@@ -1,0 +1,35 @@
+// Surface force integration — what the paper's users (ARL projectile
+// aerodynamicists) ran F3D *for*.
+//
+// Integrates the pressure force over a zone face treated as a solid wall
+// (slip or no-slip): F = sum over face cells of p * A * n, with the wall
+// pressure taken from the first interior cell (the standard zeroth-order
+// wall-pressure extraction on a Cartesian grid). Coefficients are
+// normalized by q_inf = 0.5 * rho_inf * V_inf^2 and the face's total area.
+#pragma once
+
+#include "f3d/bc.hpp"
+#include "f3d/gas.hpp"
+#include "f3d/multizone.hpp"
+
+namespace f3d {
+
+struct WallForce {
+  double fx = 0.0, fy = 0.0, fz = 0.0;  ///< force components (pressure only)
+  double area = 0.0;                    ///< integrated face area
+
+  /// Pressure-force coefficients normalized by q_inf * area.
+  double cx(const FreeStream& fs) const;
+  double cy(const FreeStream& fs) const;
+  double cz(const FreeStream& fs) const;
+};
+
+/// Integrate the pressure force exerted BY the fluid ON the wall `face`
+/// of `zone` (the force points from fluid into the wall: along the
+/// outward-of-domain normal).
+WallForce integrate_wall_force(const Zone& zone, Face face);
+
+/// Sum over every zone face carrying a wall BC (slip or no-slip).
+WallForce total_wall_force(const MultiZoneGrid& grid);
+
+}  // namespace f3d

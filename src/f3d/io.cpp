@@ -1,0 +1,97 @@
+#include "f3d/io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace f3d {
+
+namespace {
+constexpr const char* kMagic = "F3DQ1";
+}
+
+void write_solution(std::ostream& out, const MultiZoneGrid& grid) {
+  out << kMagic << ' ' << grid.num_zones() << '\n';
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    const Zone& zn = grid.zone(z);
+    out << zn.jmax() << ' ' << zn.kmax() << ' ' << zn.lmax() << '\n';
+  }
+  for (int zi = 0; zi < grid.num_zones(); ++zi) {
+    const Zone& z = grid.zone(zi);
+    std::vector<double> buf;
+    buf.reserve(z.interior_points() * kNumVars);
+    for (int l = 0; l < z.lmax(); ++l) {
+      for (int k = 0; k < z.kmax(); ++k) {
+        for (int j = 0; j < z.jmax(); ++j) {
+          const double* q = z.q_point(j, k, l);
+          buf.insert(buf.end(), q, q + kNumVars);
+        }
+      }
+    }
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size() * sizeof(double)));
+  }
+  LLP_REQUIRE(out.good(), "write failed");
+}
+
+void read_solution(std::istream& in, MultiZoneGrid& grid) {
+  std::string magic;
+  int zones = 0;
+  in >> magic >> zones;
+  LLP_REQUIRE(in.good() && magic == kMagic, "not an F3D solution stream");
+  LLP_REQUIRE(zones == grid.num_zones(), "zone count mismatch");
+  for (int z = 0; z < zones; ++z) {
+    int jm = 0, km = 0, lm = 0;
+    in >> jm >> km >> lm;
+    LLP_REQUIRE(in.good(), "truncated header");
+    LLP_REQUIRE(jm == grid.zone(z).jmax() && km == grid.zone(z).kmax() &&
+                    lm == grid.zone(z).lmax(),
+                "zone dimension mismatch");
+  }
+  in.ignore(1);  // the newline before the binary payload
+  for (int zi = 0; zi < zones; ++zi) {
+    Zone& z = grid.zone(zi);
+    std::vector<double> buf(z.interior_points() * kNumVars);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size() * sizeof(double)));
+    LLP_REQUIRE(in.good(), "truncated payload");
+    std::size_t idx = 0;
+    for (int l = 0; l < z.lmax(); ++l) {
+      for (int k = 0; k < z.kmax(); ++k) {
+        for (int j = 0; j < z.jmax(); ++j) {
+          double* q = z.q_point(j, k, l);
+          for (int n = 0; n < kNumVars; ++n) q[n] = buf[idx++];
+        }
+      }
+    }
+  }
+}
+
+void save_solution(const std::string& path, const MultiZoneGrid& grid) {
+  std::ofstream out(path, std::ios::binary);
+  LLP_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  write_solution(out, grid);
+}
+
+void load_solution(const std::string& path, MultiZoneGrid& grid) {
+  std::ifstream in(path, std::ios::binary);
+  LLP_REQUIRE(in.is_open(), "cannot open " + path + " for reading");
+  read_solution(in, grid);
+}
+
+void write_plane_csv(std::ostream& out, const Zone& zone, int k) {
+  LLP_REQUIRE(k >= 0 && k < zone.kmax(), "plane out of range");
+  out << "x,z,rho,u,v,w,p\n";
+  for (int l = 0; l < zone.lmax(); ++l) {
+    for (int j = 0; j < zone.jmax(); ++j) {
+      const Prim s = to_prim(zone.q_point(j, k, l));
+      out << llp::strfmt("%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n", zone.x(j),
+                         zone.z(l), s.rho, s.u, s.v, s.w, s.p);
+    }
+  }
+}
+
+}  // namespace f3d

@@ -1,0 +1,33 @@
+// Solution I/O: a PLOT3D-flavored multi-zone solution file format.
+//
+// Text header (magic, zone count, dims per zone) followed by the raw
+// binary Q data of every zone, interior cells only, in Fortran order with
+// the variable index fastest — the layout the solver stores. Reading a
+// solution back restores the interior bitwise; ghost cells are rebuilt by
+// the next step's boundary conditions and exchange, so a checkpointed run
+// continues exactly (test_io verifies run(10) == run(5)+save+load+run(5)).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "f3d/multizone.hpp"
+
+namespace f3d {
+
+/// Write the grid's interior solution to a stream (binary payload).
+void write_solution(std::ostream& out, const MultiZoneGrid& grid);
+
+/// Read a solution written by write_solution into `grid`, whose zone
+/// dimensions must match exactly (throws llp::Error otherwise).
+void read_solution(std::istream& in, MultiZoneGrid& grid);
+
+/// Convenience file wrappers.
+void save_solution(const std::string& path, const MultiZoneGrid& grid);
+void load_solution(const std::string& path, MultiZoneGrid& grid);
+
+/// Write one K-plane of one zone as CSV (x, z, rho, u, v, w, p) — the
+/// quick-look output the examples use.
+void write_plane_csv(std::ostream& out, const Zone& zone, int k);
+
+}  // namespace f3d

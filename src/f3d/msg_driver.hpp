@@ -1,0 +1,52 @@
+// Message-passing zonal driver (paper §8, Behr's F3D port).
+//
+// Runs the multi-zone solver with one rank per zone: each rank owns one
+// zone (a single-zone grid whose interface faces are marked kInterface),
+// and the zonal ghost exchange that MultiZoneGrid::exchange() performs
+// through shared memory becomes explicit sendrecv of interface planes.
+//
+// The computation is identical — the integration test checks bitwise
+// agreement with the shared-memory solver — but the programmer had to
+// write pack/unpack buffers, neighbor bookkeeping, and tag choreography,
+// which is exactly the §8 trade-off ("worked and produced a credible
+// level of performance, [but] was significantly more difficult to
+// implement").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "msg/message_passing.hpp"
+
+namespace f3d {
+
+struct MsgRunResult {
+  std::vector<double> residuals;         ///< per-step global residual (RMS)
+  std::vector<std::uint64_t> checksums;  ///< per-zone final checksums, rank order
+  llp::msg::WorldStats traffic;
+};
+
+/// Optional per-zone initial perturbation (applied identically by the
+/// shared-memory comparison run); zone_index is the zone's position in
+/// the case.
+using ZoneInit = std::function<void(Zone&, int zone_index)>;
+
+/// Run `steps` of the case with one rank per zone. The returned checksums
+/// are FNV digests of each zone's interior, combined in rank order; use
+/// per_zone_checksums() on a shared-memory grid to compare.
+MsgRunResult run_message_passing_solver(const CaseSpec& spec, int steps,
+                                        const SolverConfig& base_config,
+                                        const ZoneInit& init = {});
+
+/// Order-sensitive combination of the per-zone checksums (matches
+/// f3d::checksum of the equivalent multi-zone grid? No — zone digests are
+/// combined, not the raw field; use the same function on both sides).
+std::uint64_t combined_checksum(const std::vector<std::uint64_t>& digests);
+
+/// Per-zone checksums of a shared-memory grid, for comparison against
+/// MsgRunResult::checksums.
+std::vector<std::uint64_t> per_zone_checksums(const MultiZoneGrid& grid);
+
+}  // namespace f3d

@@ -1,0 +1,72 @@
+#include "f3d/multizone.hpp"
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+MultiZoneGrid::MultiZoneGrid(const std::vector<ZoneDims>& dims, double h)
+    : h_(h) {
+  LLP_REQUIRE(!dims.empty(), "need at least one zone");
+  LLP_REQUIRE(h > 0.0, "spacing must be positive");
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    LLP_REQUIRE(dims[i].kmax == dims[0].kmax && dims[i].lmax == dims[0].lmax,
+                "zones must share K/L dimensions");
+    LLP_REQUIRE(dims[i].jmax >= Zone::kGhost && dims[i - 1].jmax >= Zone::kGhost,
+                "zones must be at least kGhost cells deep for the exchange");
+  }
+  zones_.reserve(dims.size());
+  bcs_.resize(dims.size());
+  double x0 = 0.0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    zones_.emplace_back(dims[i], h, h, h, x0);
+    x0 += dims[i].jmax * h;
+  }
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    BoundarySet& b = bcs_[i];
+    b[Face::kJMin] = (i == 0) ? BcType::kFreeStream : BcType::kInterface;
+    b[Face::kJMax] =
+        (i + 1 == dims.size()) ? BcType::kExtrapolate : BcType::kInterface;
+    b[Face::kKMin] = BcType::kFreeStream;
+    b[Face::kKMax] = BcType::kFreeStream;
+    b[Face::kLMin] = BcType::kFreeStream;
+    b[Face::kLMax] = BcType::kFreeStream;
+  }
+}
+
+std::size_t MultiZoneGrid::total_points() const {
+  std::size_t n = 0;
+  for (const auto& z : zones_) n += z.interior_points();
+  return n;
+}
+
+void MultiZoneGrid::set_freestream(const FreeStream& fs) {
+  for (auto& z : zones_) z.set_freestream(fs);
+}
+
+void MultiZoneGrid::exchange() {
+  for (std::size_t i = 0; i + 1 < zones_.size(); ++i) {
+    Zone& left = zones_[i];
+    Zone& right = zones_[i + 1];
+    const int jl = left.jmax();
+    const int km = left.kmax(), lm = left.lmax();
+    const int ng = Zone::kGhost;
+    for (int l = -ng; l < lm + ng; ++l) {
+      for (int k = -ng; k < km + ng; ++k) {
+        for (int d = 1; d <= ng; ++d) {
+          // Left zone's JMax ghosts read the right zone's first cells.
+          double* lg = left.q_point(jl + d - 1, k, l);
+          const double* rs = right.q_point(d - 1, k, l);
+          // Right zone's JMin ghosts read the left zone's last cells.
+          double* rg = right.q_point(-d, k, l);
+          const double* ls = left.q_point(jl - d, k, l);
+          for (int n = 0; n < kNumVars; ++n) {
+            lg[n] = rs[n];
+            rg[n] = ls[n];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace f3d

@@ -1,0 +1,51 @@
+// Multi-zone grid: blocks stacked along J with ghost-cell exchange.
+//
+// The paper's test cases are zonal grids (1M case: zones 15/87/89 x 75 x 70;
+// 59M case: 29/173/175 x 450 x 350) — three blocks splitting the body axis.
+// Adjacent zones share K/L dimensions and exchange kGhost layers of cells
+// across their J interfaces each step. The exchange is cheap and left
+// serial, like the BC routines.
+#pragma once
+
+#include <vector>
+
+#include "f3d/bc.hpp"
+#include "f3d/zone.hpp"
+
+namespace f3d {
+
+class MultiZoneGrid {
+public:
+  /// Build zones left-to-right along x with uniform spacing h in all
+  /// directions. Interfaces get BcType::kInterface automatically; exterior
+  /// faces default to: inflow (free stream) at the first zone's JMin,
+  /// extrapolation at the last zone's JMax, free stream on all K/L faces.
+  MultiZoneGrid(const std::vector<ZoneDims>& dims, double h);
+
+  int num_zones() const noexcept { return static_cast<int>(zones_.size()); }
+  Zone& zone(int i) { return zones_[static_cast<std::size_t>(i)]; }
+  const Zone& zone(int i) const { return zones_[static_cast<std::size_t>(i)]; }
+
+  BoundarySet& bcs(int i) { return bcs_[static_cast<std::size_t>(i)]; }
+  const BoundarySet& bcs(int i) const {
+    return bcs_[static_cast<std::size_t>(i)];
+  }
+
+  double spacing() const noexcept { return h_; }
+
+  /// Total interior grid points across zones.
+  std::size_t total_points() const;
+
+  /// Set every zone to the free stream.
+  void set_freestream(const FreeStream& fs);
+
+  /// Copy interface ghost cells from neighboring zones' interiors.
+  void exchange();
+
+private:
+  std::vector<Zone> zones_;
+  std::vector<BoundarySet> bcs_;
+  double h_;
+};
+
+}  // namespace f3d

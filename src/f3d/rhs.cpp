@@ -1,0 +1,124 @@
+#include "f3d/rhs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+
+// Neighbor strides in interior index space per direction.
+struct Offset {
+  int dj, dk, dl;
+};
+constexpr Offset kOffset[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+// JST dissipation flux at the j+1/2 (or k/l) interface between cells c0 and
+// its +1 neighbor, using the four cells c-1..c+2 along the direction.
+// Returns d[n]; caller accumulates d_{i+1/2} - d_{i-1/2}.
+inline void dissipation_interface(const double* qm1, const double* q0,
+                                  const double* qp1, const double* qp2,
+                                  int dir, double inv_h, double kappa2,
+                                  double kappa4, double d[kNumVars]) {
+  const double pm1 = pressure(qm1);
+  const double p0 = pressure(q0);
+  const double pp1 = pressure(qp1);
+  const double pp2 = pressure(qp2);
+
+  // Pressure switch at the two cells adjoining the interface.
+  const double nu0 =
+      std::abs(pp1 - 2.0 * p0 + pm1) / (pp1 + 2.0 * p0 + pm1);
+  const double nu1 =
+      std::abs(pp2 - 2.0 * pp1 + p0) / (pp2 + 2.0 * pp1 + p0);
+  const double eps2 = kappa2 * std::max(nu0, nu1);
+  const double eps4 = std::max(0.0, kappa4 - eps2);
+
+  // Spectral radius averaged across the interface, scaled by 1/h so the
+  // dissipation has flux-divergence units.
+  const double sig =
+      0.5 * (spectral_radius(dir, q0) + spectral_radius(dir, qp1)) * inv_h;
+
+  for (int n = 0; n < kNumVars; ++n) {
+    const double d1 = qp1[n] - q0[n];
+    const double d3 = qp2[n] - 3.0 * qp1[n] + 3.0 * q0[n] - qm1[n];
+    d[n] = sig * (eps2 * d1 - eps4 * d3);
+  }
+}
+
+}  // namespace
+
+void compute_rhs_plane(const Zone& zone, int l, double dt,
+                       const RhsConfig& config, llp::Array4D<double>& rhs) {
+  LLP_REQUIRE(l >= 0 && l < zone.lmax(), "plane out of range");
+  const int jm = zone.jmax(), km = zone.kmax();
+  const double inv_h[3] = {1.0 / zone.dx(), 1.0 / zone.dy(), 1.0 / zone.dz()};
+  const int ng = Zone::kGhost;
+
+  double fp[kNumVars], fm[kNumVars];
+  double dp[kNumVars], dm[kNumVars];
+
+  for (int k = 0; k < km; ++k) {
+    for (int j = 0; j < jm; ++j) {
+      double r[kNumVars] = {0.0, 0.0, 0.0, 0.0, 0.0};
+      for (int dir = 0; dir < 3; ++dir) {
+        const Offset o = kOffset[dir];
+        const double* qm2 =
+            zone.q_point(j - 2 * o.dj, k - 2 * o.dk, l - 2 * o.dl);
+        const double* qm1 = zone.q_point(j - o.dj, k - o.dk, l - o.dl);
+        const double* q0 = zone.q_point(j, k, l);
+        const double* qp1 = zone.q_point(j + o.dj, k + o.dk, l + o.dl);
+        const double* qp2 =
+            zone.q_point(j + 2 * o.dj, k + 2 * o.dk, l + 2 * o.dl);
+
+        // Central flux difference: (F_{+1} - F_{-1}) / (2h).
+        flux(dir, qp1, fp);
+        flux(dir, qm1, fm);
+        const double half_inv = 0.5 * inv_h[dir];
+
+        // Dissipation fluxes at the two interfaces of this cell.
+        dissipation_interface(qm1, q0, qp1, qp2, dir, inv_h[dir],
+                              config.kappa2, config.kappa4, dp);
+        dissipation_interface(qm2, qm1, q0, qp1, dir, inv_h[dir],
+                              config.kappa2, config.kappa4, dm);
+
+        for (int n = 0; n < kNumVars; ++n) {
+          r[n] += (fp[n] - fm[n]) * half_inv - (dp[n] - dm[n]);
+        }
+      }
+      if (config.viscous.enabled) {
+        // Thin-layer viscous divergence in K: (Fv[k+1/2]-Fv[k-1/2])/dy.
+        double fvp[kNumVars], fvm[kNumVars];
+        viscous_flux_k_face(zone.q_point(j, k, l), zone.q_point(j, k + 1, l),
+                            zone.dy(), config.viscous, fvp);
+        viscous_flux_k_face(zone.q_point(j, k - 1, l), zone.q_point(j, k, l),
+                            zone.dy(), config.viscous, fvm);
+        for (int n = 0; n < kNumVars; ++n) {
+          r[n] -= (fvp[n] - fvm[n]) * inv_h[1];
+        }
+      }
+      for (int n = 0; n < kNumVars; ++n) {
+        rhs(n, j + ng, k + ng, l + ng) = -dt * r[n];
+      }
+    }
+  }
+}
+
+double rhs_plane_sumsq(const Zone& zone, int l,
+                       const llp::Array4D<double>& rhs) {
+  const int jm = zone.jmax(), km = zone.kmax();
+  const int ng = Zone::kGhost;
+  double s = 0.0;
+  for (int k = 0; k < km; ++k) {
+    for (int j = 0; j < jm; ++j) {
+      for (int n = 0; n < kNumVars; ++n) {
+        const double v = rhs(n, j + ng, k + ng, l + ng);
+        s += v * v;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace f3d

@@ -1,0 +1,36 @@
+// Explicit right-hand side: central flux differences plus scalar JST
+// artificial dissipation.
+//
+// R(Q) approximates the flux divergence; the implicit update solves
+//   (I + dt A_j)(I + dt A_k)(I + dt A_l) dQ = -dt R(Q).
+//
+// The RHS is evaluated plane-by-plane so the solver can parallelize the
+// outer L loop (a doacross with lmax trips) while the inner J/K loops stay
+// serial and vectorizable — the paper's Example 1 structure.
+#pragma once
+
+#include "f3d/viscous.hpp"
+#include "f3d/zone.hpp"
+#include "util/array.hpp"
+
+namespace f3d {
+
+struct RhsConfig {
+  double kappa2 = 0.5;        ///< 2nd-difference (shock) dissipation gain
+  double kappa4 = 1.0 / 64.0; ///< 4th-difference (background) gain
+  ViscousConfig viscous;      ///< thin-layer terms (off by default)
+};
+
+/// Compute rhs(n,j,k,l) = -dt * R(Q) for all interior cells of plane l.
+/// `rhs` must have the zone's padded shape; ghosts of Q must be current.
+void compute_rhs_plane(const Zone& zone, int l, double dt,
+                       const RhsConfig& config, llp::Array4D<double>& rhs);
+
+/// L2 norm of R(Q)*dt over one plane (used for residual monitoring):
+/// sum of squares of the plane's rhs entries.
+double rhs_plane_sumsq(const Zone& zone, int l, const llp::Array4D<double>& rhs);
+
+/// Analytic FLOPs per interior grid point of compute_rhs_plane.
+inline constexpr double kFlopsPerPointRhs = 340.0;
+
+}  // namespace f3d

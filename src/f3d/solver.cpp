@@ -1,0 +1,218 @@
+#include "f3d/solver.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace f3d {
+
+namespace {
+// Analytic per-point traffic estimates (bytes/step) for the NUMA check.
+// The pencil organization re-reads Q once per kernel and writes dQ once;
+// scratch stays in cache. These are deliberately coarse — the paper's
+// comparison only needs the order of magnitude (68 MB/s vs 135+ MB/s).
+constexpr double kBytesPerPointRhs = 3.0 * kNumVars * 8.0;
+constexpr double kBytesPerPointSweep = 2.0 * kNumVars * 8.0;
+constexpr double kBytesPerPointUpdate = 2.0 * kNumVars * 8.0;
+constexpr double kFlopsPerPointUpdate = 1.0 * kNumVars;
+}  // namespace
+
+Solver::Solver(MultiZoneGrid& grid, SolverConfig config)
+    : grid_(grid), config_(std::move(config)) {
+  LLP_REQUIRE(config_.cfl > 0.0, "cfl must be positive");
+  LLP_REQUIRE(config_.kappa_i >= 0.0, "kappa_i must be nonnegative");
+  LLP_REQUIRE(config_.cfl_growth >= 1.0, "cfl_growth must be >= 1");
+  LLP_REQUIRE(config_.cfl_max >= config_.cfl,
+              "cfl_max must be >= the starting cfl");
+  cfl_ = config_.cfl;
+  dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
+
+  if (config_.mode == SweepMode::kRisc) {
+    engine_ = std::make_unique<RiscSweeps>();
+  } else {
+    engine_ = std::make_unique<VectorSweeps>();
+  }
+
+  rhs_.reserve(static_cast<std::size_t>(grid_.num_zones()));
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    const Zone& zn = grid_.zone(z);
+    rhs_.emplace_back(kNumVars, zn.jmax() + 2 * Zone::kGhost,
+                      zn.kmax() + 2 * Zone::kGhost,
+                      zn.lmax() + 2 * Zone::kGhost);
+  }
+  define_regions();
+}
+
+void Solver::define_regions() {
+  auto& reg = llp::regions();
+  const auto kind = config_.mode == SweepMode::kRisc
+                        ? llp::RegionKind::kParallelLoop
+                        : llp::RegionKind::kSerial;
+  const std::string pre =
+      config_.region_prefix.empty() ? "" : config_.region_prefix + ".";
+  regions_.clear();
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    const std::string base = pre + "z" + std::to_string(z) + ".";
+    ZoneRegions r;
+    r.rhs = reg.define(base + "rhs", kind);
+    r.sweep_j = reg.define(base + "sweep_j", kind);
+    r.sweep_k = reg.define(base + "sweep_k", kind);
+    r.sweep_l = reg.define(base + "sweep_l", kind);
+    r.update = reg.define(base + "update", kind);
+    regions_.push_back(r);
+  }
+  bc_region_ = reg.define(pre + "bc", llp::RegionKind::kSerial);
+  exchange_region_ = reg.define(pre + "exchange", llp::RegionKind::kSerial);
+}
+
+void Solver::step() {
+  auto& reg = llp::regions();
+
+  // Boundary conditions and zonal exchange: cheap, deliberately serial
+  // (Table 2: a face offers ~1/LMAX of the interior's work per sync).
+  // Their work is mostly copies; attribute a small equivalent-FLOP cost so
+  // the scaling model carries an honest (tiny) Amdahl tail.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    double face_points = 0.0;
+    for (int z = 0; z < grid_.num_zones(); ++z) {
+      const Zone& zn = grid_.zone(z);
+      apply_boundary_conditions(grid_.zone(z), grid_.bcs(z),
+                                config_.freestream);
+      face_points += 2.0 * (static_cast<double>(zn.jmax()) * zn.kmax() +
+                            static_cast<double>(zn.jmax()) * zn.lmax() +
+                            static_cast<double>(zn.kmax()) * zn.lmax());
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    reg.record(bc_region_, 0, dt.count());
+    reg.add_flops(bc_region_, face_points * Zone::kGhost * 2.0);
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    grid_.exchange();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    reg.record(exchange_region_, 0, dt.count());
+    double iface_points = 0.0;
+    for (int z = 0; z + 1 < grid_.num_zones(); ++z) {
+      const Zone& zn = grid_.zone(z);
+      iface_points += static_cast<double>(zn.kmax()) * zn.lmax();
+    }
+    reg.add_flops(exchange_region_, iface_points * Zone::kGhost * 2.0);
+  }
+
+  double sumsq = 0.0;
+  std::size_t total_points = 0;
+
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    Zone& zone = grid_.zone(z);
+    llp::Array4D<double>& rhs = rhs_[static_cast<std::size_t>(z)];
+    const ZoneRegions& rg = regions_[static_cast<std::size_t>(z)];
+    const double pts = static_cast<double>(zone.interior_points());
+    total_points += zone.interior_points();
+
+    // Right-hand side, one task per L plane, with the residual reduced
+    // across lanes.
+    llp::ForOptions opts;
+    opts.region = rg.rhs;
+    sumsq += llp::parallel_reduce<double>(
+        0, zone.lmax(), 0.0, [](double a, double b) { return a + b; },
+        [&](std::int64_t l, double& acc) {
+          compute_rhs_plane(zone, static_cast<int>(l), dt_, config_.rhs, rhs);
+          acc += rhs_plane_sumsq(zone, static_cast<int>(l), rhs);
+        },
+        opts);
+    const double rhs_flops =
+        kFlopsPerPointRhs +
+        (config_.rhs.viscous.enabled ? kFlopsPerPointViscous : 0.0);
+    reg.add_flops(rg.rhs, pts * rhs_flops);
+    reg.add_bytes(rg.rhs, pts * kBytesPerPointRhs);
+
+    // Implicit factored sweeps. A direction is cyclic when its min face
+    // wraps (periodic BCs set both faces together).
+    const BoundarySet& bcs = grid_.bcs(z);
+    const bool per_j = bcs[Face::kJMin] == BcType::kPeriodic;
+    const bool per_k = bcs[Face::kKMin] == BcType::kPeriodic;
+    const bool per_l = bcs[Face::kLMin] == BcType::kPeriodic;
+
+    engine_->sweep(zone, 0, dt_, config_.kappa_i, rhs, rg.sweep_j, per_j);
+    reg.add_flops(rg.sweep_j, pts * kFlopsPerPointSweep);
+    reg.add_bytes(rg.sweep_j, pts * kBytesPerPointSweep);
+
+    engine_->sweep(zone, 1, dt_, config_.kappa_i, rhs, rg.sweep_k, per_k);
+    reg.add_flops(rg.sweep_k, pts * kFlopsPerPointSweep);
+    reg.add_bytes(rg.sweep_k, pts * kBytesPerPointSweep);
+
+    engine_->sweep(zone, 2, dt_, config_.kappa_i, rhs, rg.sweep_l, per_l);
+    reg.add_flops(rg.sweep_l, pts * kFlopsPerPointSweep);
+    reg.add_bytes(rg.sweep_l, pts * kBytesPerPointSweep);
+
+    // Update Q += dQ, one task per L plane.
+    const int ng = Zone::kGhost;
+    llp::ForOptions uopts;
+    uopts.region = rg.update;
+    llp::parallel_for(
+        0, zone.lmax(),
+        [&](std::int64_t l) {
+          for (int k = 0; k < zone.kmax(); ++k) {
+            for (int j = 0; j < zone.jmax(); ++j) {
+              double* qp = zone.q_point(j, k, static_cast<int>(l));
+              for (int n = 0; n < kNumVars; ++n) {
+                qp[n] += rhs(n, j + ng, k + ng, static_cast<int>(l) + ng);
+              }
+            }
+          }
+        },
+        uopts);
+    reg.add_flops(rg.update, pts * kFlopsPerPointUpdate);
+    reg.add_bytes(rg.update, pts * kBytesPerPointUpdate);
+  }
+
+  // RMS of R = (rhs / dt) over all interior values.
+  residual_ = std::sqrt(sumsq / (static_cast<double>(total_points) * kNumVars)) /
+              dt_;
+  ++steps_;
+
+  // CFL ramping toward deep steady-state convergence: grow while the
+  // residual falls, back off to the starting CFL when it rises.
+  if (config_.cfl_growth > 1.0) {
+    if (prev_residual_ >= 0.0 && residual_ < prev_residual_) {
+      cfl_ = std::min(config_.cfl_max, cfl_ * config_.cfl_growth);
+    } else if (prev_residual_ >= 0.0 && residual_ > prev_residual_) {
+      cfl_ = config_.cfl;
+    }
+    dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
+  }
+  prev_residual_ = residual_;
+}
+
+double Solver::run(int steps) {
+  LLP_REQUIRE(steps >= 1, "steps must be >= 1");
+  for (int i = 0; i < steps; ++i) step();
+  return residual_;
+}
+
+double Solver::flops_per_step() const {
+  double pts = 0.0;
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    pts += static_cast<double>(grid_.zone(z).interior_points());
+  }
+  const double viscous =
+      config_.rhs.viscous.enabled ? kFlopsPerPointViscous : 0.0;
+  return pts * (kFlopsPerPointRhs + viscous + 3.0 * kFlopsPerPointSweep +
+                kFlopsPerPointUpdate);
+}
+
+double Solver::bytes_per_step() const {
+  double pts = 0.0;
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    pts += static_cast<double>(grid_.zone(z).interior_points());
+  }
+  return pts * (kBytesPerPointRhs + 3.0 * kBytesPerPointSweep +
+                kBytesPerPointUpdate);
+}
+
+}  // namespace f3d

@@ -1,0 +1,100 @@
+// The implicit multi-zone solver driver.
+//
+// One time step, per zone:
+//   1. boundary conditions + zonal exchange (serial regions);
+//   2. right-hand side, doacross over L planes;
+//   3. implicit J, K, L sweeps (the SweepEngine), doacross over L, L, K;
+//   4. update Q += dQ, doacross over L.
+//
+// Every loop is registered with the region registry under
+// "z<i>.<kernel>", so the flat profile, the incremental-parallelization
+// switches, and the SMP simulator all see the real loop structure. In
+// SweepMode::kVector the same regions are registered as serial and the
+// plane-buffer engine is used — the untuned baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "f3d/multizone.hpp"
+#include "f3d/rhs.hpp"
+#include "f3d/sweeps.hpp"
+
+namespace f3d {
+
+enum class SweepMode {
+  kVector,  ///< plane buffers, serial (legacy organization)
+  kRisc,    ///< pencil buffers, outer loops parallelized
+};
+
+struct SolverConfig {
+  FreeStream freestream;
+  double cfl = 2.0;            ///< dt = cfl * h / (M + 1)
+  RhsConfig rhs;               ///< dissipation gains
+  double kappa_i = 0.25;       ///< implicit smoothing gain
+  SweepMode mode = SweepMode::kRisc;
+  std::string region_prefix;   ///< optional namespace for region names
+
+  /// Steady-state CFL ramping: while the residual is falling, multiply
+  /// the CFL by cfl_growth each step up to cfl_max (1.0 disables); a
+  /// residual rise resets to the starting CFL. Note the AF trade-off:
+  /// factorization error grows with dt, so per-step effectiveness peaks
+  /// at moderate CFL — ramp when wall-clock per unit of pseudo-time
+  /// matters, not when per-step residual reduction does.
+  double cfl_growth = 1.0;
+  double cfl_max = 10.0;
+};
+
+class Solver {
+public:
+  Solver(MultiZoneGrid& grid, SolverConfig config);
+
+  /// Advance one time step; updates residual().
+  void step();
+
+  /// Advance n steps; returns the final residual.
+  double run(int steps);
+
+  /// RMS of the flux divergence R(Q) over all interior cells after the
+  /// latest step (steady-state convergence monitor).
+  double residual() const noexcept { return residual_; }
+
+  int steps_taken() const noexcept { return steps_; }
+  double dt() const noexcept { return dt_; }
+  /// Current effective CFL (grows under cfl_growth).
+  double cfl() const noexcept { return cfl_; }
+  const SolverConfig& config() const noexcept { return config_; }
+  MultiZoneGrid& grid() noexcept { return grid_; }
+
+  /// Analytic floating-point work of one step (all zones).
+  double flops_per_step() const;
+
+  /// Estimated main-memory traffic of one step in bytes (used for the §7
+  /// NUMA-headroom check; the RISC organization's reuse keeps this low).
+  double bytes_per_step() const;
+
+private:
+  void define_regions();
+
+  MultiZoneGrid& grid_;
+  SolverConfig config_;
+  double dt_;
+  double cfl_;
+  double residual_ = 0.0;
+  double prev_residual_ = -1.0;
+  int steps_ = 0;
+
+  std::unique_ptr<SweepEngine> engine_;
+  std::vector<llp::Array4D<double>> rhs_;  // per-zone padded work array
+
+  struct ZoneRegions {
+    llp::RegionId rhs, sweep_j, sweep_k, sweep_l, update;
+  };
+  std::vector<ZoneRegions> regions_;
+  llp::RegionId bc_region_ = llp::kNoRegion;
+  llp::RegionId exchange_region_ = llp::kNoRegion;
+};
+
+}  // namespace f3d

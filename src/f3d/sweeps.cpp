@@ -1,0 +1,204 @@
+#include "f3d/sweeps.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "f3d/eigen.hpp"
+#include "f3d/tridiag.hpp"
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+
+// Transverse indices (t0,t1) for task (outer, inner) of a dir sweep; see
+// solve_pencil's convention.
+inline void transverse(int dir, int outer, int inner, int& t0, int& t1) {
+  switch (dir) {
+    case 0: t0 = inner; t1 = outer; break;  // (k,l)
+    case 1: t0 = inner; t1 = outer; break;  // (j,l)
+    default: t0 = inner; t1 = outer; break; // (j,k)
+  }
+}
+
+}  // namespace
+
+void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
+                       llp::Array4D<double>& rhs, llp::RegionId region,
+                       bool periodic) {
+  const SweepShape shape = sweep_shape(zone, dir);
+  const std::size_t lanes =
+      static_cast<std::size_t>(llp::Runtime::instance().num_threads());
+  if (workspaces_.size() < lanes) workspaces_.resize(lanes);
+
+  llp::doacross(region, shape.outer_n, [&](std::int64_t outer, int lane) {
+    PencilWorkspace& ws = workspaces_[static_cast<std::size_t>(lane)];
+    for (int inner = 0; inner < shape.inner_n; ++inner) {
+      int t0, t1;
+      transverse(dir, static_cast<int>(outer), inner, t0, t1);
+      solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, periodic);
+    }
+  });
+}
+
+void VectorSweeps::ensure(int line_n, int inner_n) {
+  if (line_n <= cap_line_ && inner_n <= cap_inner_) return;
+  cap_line_ = std::max(cap_line_, line_n);
+  cap_inner_ = std::max(cap_inner_, inner_n);
+  const std::size_t plane =
+      static_cast<std::size_t>(cap_line_) * static_cast<std::size_t>(cap_inner_);
+  q_.resize(5 * plane);
+  r_.resize(5 * plane);
+  w_.resize(5 * plane);
+  lam_.resize(5 * plane);
+  a_.resize(plane);
+  b_.resize(plane);
+  c_.resize(plane);
+  d_.resize(plane);
+}
+
+std::size_t VectorSweeps::scratch_bytes() const {
+  return (q_.size() + r_.size() + w_.size() + lam_.size() + a_.size() +
+          b_.size() + c_.size() + d_.size()) *
+         sizeof(double);
+}
+
+void VectorSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
+                         llp::Array4D<double>& rhs, llp::RegionId region,
+                         bool periodic) {
+  const auto start = std::chrono::steady_clock::now();
+  const SweepShape shape = sweep_shape(zone, dir);
+  const int n = shape.line_n;
+  const int m = shape.inner_n;
+  ensure(n, m);
+  const int ng = Zone::kGhost;
+
+  const double h[3] = {zone.dx(), zone.dy(), zone.dz()};
+  const double inv_h = 1.0 / h[dir];
+  const double hd = 0.5 * dt * inv_h;
+
+  // Plane-buffer layout: point (i, s) at plane index i*m + s, so the
+  // transverse index s is stride-1 — the vector dimension.
+  auto at = [m](int i, int s) {
+    return static_cast<std::size_t>(i) * m + static_cast<std::size_t>(s);
+  };
+
+  for (int outer = 0; outer < shape.outer_n; ++outer) {
+    // Phase 1: gather the whole plane and project to characteristics.
+    // The inner loop runs over s (the vector dimension); the gather from
+    // the J/K/L-ordered zone arrays is strided — the "matrix transpose"
+    // operation legacy vector codes performed.
+    for (int i = 0; i < n; ++i) {
+      for (int s = 0; s < m; ++s) {
+        int t0, t1;
+        transverse(dir, outer, s, t0, t1);
+        int j, k, l;
+        switch (dir) {
+          case 0: j = i; k = t0; l = t1; break;
+          case 1: j = t0; k = i; l = t1; break;
+          default: j = t0; k = t1; l = i; break;
+        }
+        const double* qp = zone.q_point(j, k, l);
+        const std::size_t idx = at(i, s);
+        double qloc[kNumVars], rloc[kNumVars], wloc[kNumVars],
+            lamloc[kNumVars];
+        for (int v = 0; v < kNumVars; ++v) {
+          qloc[v] = qp[v];
+          rloc[v] = rhs(v, j + ng, k + ng, l + ng);
+        }
+        eigenvalues(dir, qloc, lamloc);
+        apply_left(dir, qloc, rloc, wloc);
+        for (int v = 0; v < kNumVars; ++v) {
+          q_[5 * idx + v] = qloc[v];
+          r_[5 * idx + v] = rloc[v];
+          w_[5 * idx + v] = wloc[v];
+          lam_[5 * idx + v] = lamloc[v];
+        }
+      }
+    }
+
+    // Phase 2: five batched tridiagonal solves, vectorized across s, with
+    // the same flux-split implicit operator as the pencil engine (see
+    // sweep_common.cpp) — the two variants must do identical arithmetic.
+    const double hu = 2.0 * hd;
+    for (int v = 0; v < kNumVars; ++v) {
+      for (int i = 0; i < n; ++i) {
+        const int im = (i > 0) ? i - 1 : (periodic ? n - 1 : -1);
+        const int ip = (i < n - 1) ? i + 1 : (periodic ? 0 : -1);
+        for (int s = 0; s < m; ++s) {
+          const std::size_t idx = at(i, s);
+          const double lam_0 = lam_[5 * idx + v];
+          const double sr = std::max(std::abs(lam_[5 * idx + 0]),
+                                     std::abs(lam_[5 * idx + 4]));
+          const double eps = kappa_i * dt * inv_h * sr;
+          double a = 0.0, c = 0.0;
+          const double b = 1.0 + hu * std::abs(lam_0) + 2.0 * eps;
+          if (im >= 0) {
+            a = -hu * std::max(lam_[5 * at(im, s) + v], 0.0) - eps;
+          }
+          if (ip >= 0) {
+            c = hu * std::min(lam_[5 * at(ip, s) + v], 0.0) - eps;
+          }
+          a_[idx] = a;
+          b_[idx] = b;
+          c_[idx] = c;
+          d_[idx] = w_[5 * idx + v];
+        }
+      }
+      const std::size_t plane = static_cast<std::size_t>(n) * m;
+      if (periodic) {
+        // Cyclic systems do not batch into the vector-layout Thomas; solve
+        // each line with the same cyclic solver the pencil engine uses so
+        // the arithmetic matches.
+        std::vector<double> la(n), lb(n), lc(n), ld(n);
+        for (int s = 0; s < m; ++s) {
+          for (int i = 0; i < n; ++i) {
+            la[i] = a_[at(i, s)];
+            lb[i] = b_[at(i, s)];
+            lc[i] = c_[at(i, s)];
+            ld[i] = d_[at(i, s)];
+          }
+          solve_periodic_tridiagonal(la, lb, lc, ld);
+          for (int i = 0; i < n; ++i) d_[at(i, s)] = ld[i];
+        }
+      } else {
+        solve_tridiagonal_batch_vector_layout(
+            std::span<const double>(a_.data(), plane),
+            std::span<double>(b_.data(), plane),
+            std::span<const double>(c_.data(), plane),
+            std::span<double>(d_.data(), plane), n, m);
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int s = 0; s < m; ++s) {
+          w_[5 * at(i, s) + v] = d_[at(i, s)];
+        }
+      }
+    }
+
+    // Phase 3: back-project the whole plane and scatter.
+    for (int i = 0; i < n; ++i) {
+      for (int s = 0; s < m; ++s) {
+        int t0, t1;
+        transverse(dir, outer, s, t0, t1);
+        int j, k, l;
+        switch (dir) {
+          case 0: j = i; k = t0; l = t1; break;
+          case 1: j = t0; k = i; l = t1; break;
+          default: j = t0; k = t1; l = i; break;
+        }
+        const std::size_t idx = at(i, s);
+        double out[kNumVars];
+        apply_right(dir, &q_[5 * idx], &w_[5 * idx], out);
+        for (int v = 0; v < kNumVars; ++v) {
+          rhs(v, j + ng, k + ng, l + ng) = out[v];
+        }
+      }
+    }
+  }
+
+  const std::chrono::duration<double> dtime =
+      std::chrono::steady_clock::now() - start;
+  llp::regions().record(region, 0, dtime.count());
+}
+
+}  // namespace f3d

@@ -1,0 +1,71 @@
+// Sweep engines: the two implementations the paper contrasts.
+//
+// VectorSweeps is the legacy organization: to vectorize around the Thomas
+// recurrence, it batches a whole plane of lines and runs every stage across
+// the plane with the transverse index innermost — requiring plane-sized
+// scratch arrays (the original F3D's layout, §4 item 4).
+//
+// RiscSweeps is the tuned organization: one line (pencil) at a time with
+// line-sized scratch that lives in cache, and the *outer* transverse loop
+// handed to the doacross runtime (§4 items 1–4, Example 3).
+//
+// Both compute the same arithmetic; tests assert their results agree to
+// roundoff, which is the paper's "no changes to the algorithm or the
+// convergence properties" requirement.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "f3d/sweep_common.hpp"
+#include "f3d/zone.hpp"
+
+namespace f3d {
+
+class SweepEngine {
+public:
+  virtual ~SweepEngine() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Apply the implicit sweep in direction dir (0=J,1=K,2=L) to rhs in
+  /// place. `region` receives the timing/trip record. `periodic` marks a
+  /// direction whose two faces wrap onto each other (cyclic lines).
+  virtual void sweep(const Zone& zone, int dir, double dt, double kappa_i,
+                     llp::Array4D<double>& rhs, llp::RegionId region,
+                     bool periodic = false) = 0;
+};
+
+/// Pencil-buffer engine, outer loop parallelized with doacross.
+class RiscSweeps final : public SweepEngine {
+public:
+  std::string_view name() const override { return "risc"; }
+  void sweep(const Zone& zone, int dir, double dt, double kappa_i,
+             llp::Array4D<double>& rhs, llp::RegionId region,
+             bool periodic = false) override;
+
+private:
+  std::vector<PencilWorkspace> workspaces_;  // one per lane
+};
+
+/// Plane-buffer engine, serial, vector-machine loop order.
+class VectorSweeps final : public SweepEngine {
+public:
+  std::string_view name() const override { return "vector"; }
+  void sweep(const Zone& zone, int dir, double dt, double kappa_i,
+             llp::Array4D<double>& rhs, llp::RegionId region,
+             bool periodic = false) override;
+
+  /// Bytes of scratch currently held (plane-proportional; the reason the
+  /// vector organization cannot stay in cache for production zone sizes).
+  std::size_t scratch_bytes() const;
+
+private:
+  void ensure(int line_n, int inner_n);
+
+  llp::AlignedVector<double> q_, r_, w_, lam_;   // 5 * line_n * inner_n each
+  llp::AlignedVector<double> a_, b_, c_, d_;     // line_n * inner_n each
+  int cap_line_ = 0, cap_inner_ = 0;
+};
+
+}  // namespace f3d

@@ -1,0 +1,96 @@
+#include "f3d/tridiag.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+void solve_tridiagonal(std::span<const double> a, std::span<double> b,
+                       std::span<const double> c, std::span<double> d) {
+  const std::size_t n = d.size();
+  LLP_REQUIRE(n >= 1, "empty system");
+  LLP_REQUIRE(a.size() == n && b.size() == n && c.size() == n,
+              "span size mismatch");
+  // Forward elimination.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = a[i] / b[i - 1];
+    b[i] -= m * c[i - 1];
+    d[i] -= m * d[i - 1];
+  }
+  // Back substitution.
+  d[n - 1] /= b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    d[i] = (d[i] - c[i] * d[i + 1]) / b[i];
+  }
+}
+
+void solve_tridiagonal_batch_vector_layout(std::span<const double> a,
+                                           std::span<double> b,
+                                           std::span<const double> c,
+                                           std::span<double> d, int n, int m) {
+  LLP_REQUIRE(n >= 1 && m >= 1, "empty batch");
+  const std::size_t total = static_cast<std::size_t>(n) * m;
+  LLP_REQUIRE(a.size() == total && b.size() == total && c.size() == total &&
+                  d.size() == total,
+              "span size mismatch");
+  auto at = [m](int i, int s) {
+    return static_cast<std::size_t>(i) * m + static_cast<std::size_t>(s);
+  };
+  // Forward elimination: the recurrence runs over i, the inner loop over
+  // systems s is independent (this is the loop a vector compiler targets).
+  for (int i = 1; i < n; ++i) {
+    for (int s = 0; s < m; ++s) {
+      const double w = a[at(i, s)] / b[at(i - 1, s)];
+      b[at(i, s)] -= w * c[at(i - 1, s)];
+      d[at(i, s)] -= w * d[at(i - 1, s)];
+    }
+  }
+  for (int s = 0; s < m; ++s) {
+    d[at(n - 1, s)] /= b[at(n - 1, s)];
+  }
+  for (int i = n - 2; i >= 0; --i) {
+    for (int s = 0; s < m; ++s) {
+      d[at(i, s)] = (d[at(i, s)] - c[at(i, s)] * d[at(i + 1, s)]) / b[at(i, s)];
+    }
+  }
+}
+
+void solve_periodic_tridiagonal(std::span<const double> a, std::span<double> b,
+                                std::span<const double> c,
+                                std::span<double> d) {
+  const std::size_t n = d.size();
+  LLP_REQUIRE(n >= 3, "periodic system needs n >= 3");
+  LLP_REQUIRE(a.size() == n && b.size() == n && c.size() == n,
+              "span size mismatch");
+  // Sherman–Morrison: write the cyclic matrix as T + alpha * u v^T with
+  // u = (gamma, 0, ..., 0, a[0])?  Use the standard construction:
+  //   gamma = -b[0];  modified diagonal b'[0] = b[0] - gamma,
+  //   b'[n-1] = b[n-1] - a[0]*c[n-1]/gamma,
+  // solve T x1 = d and T x2 = u, then combine.
+  const double gamma = -b[0];
+  std::vector<double> bb(b.begin(), b.end());
+  bb[0] = b[0] - gamma;
+  bb[n - 1] = b[n - 1] - a[0] * c[n - 1] / gamma;
+
+  std::vector<double> u(n, 0.0);
+  u[0] = gamma;
+  u[n - 1] = c[n - 1];
+
+  std::vector<double> b1(bb);
+  std::vector<double> x1(d.begin(), d.end());
+  solve_tridiagonal(a, b1, c, x1);
+
+  std::vector<double> b2(bb);
+  solve_tridiagonal(a, b2, c, u);  // u now holds x2
+
+  const double vx1 = x1[0] + a[0] / gamma * x1[n - 1];
+  const double vx2 = 1.0 + u[0] + a[0] / gamma * u[n - 1];
+  LLP_REQUIRE(vx2 != 0.0, "singular periodic system");
+  const double factor = vx1 / vx2;
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = x1[i] - factor * u[i];
+  }
+}
+
+}  // namespace f3d

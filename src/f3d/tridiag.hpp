@@ -1,0 +1,42 @@
+// Tridiagonal line solvers for the implicit sweeps.
+//
+// The recurrence in the Thomas algorithm is what made these loops
+// non-vectorizable along the sweep direction and hence what forced the
+// original vector code to batch whole planes (vectorizing *across* lines).
+// The RISC version solves one pencil at a time instead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace f3d {
+
+/// Solve a tridiagonal system in place with the Thomas algorithm:
+///   a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i],  i = 0..n-1
+/// (a[0] and c[n-1] are ignored). On return d holds x; b and d are
+/// overwritten. Requires diagonal dominance for stability (the implicit
+/// operator guarantees it). All spans must have equal size >= 1.
+void solve_tridiagonal(std::span<const double> a, std::span<double> b,
+                       std::span<const double> c, std::span<double> d);
+
+/// Batched Thomas across `m` independent systems of length n, stored
+/// line-contiguously: coefficient arrays are n*m with system s at stride 1
+/// and element i at stride m (i.e. "vector" layout — element i of every
+/// system is contiguous). This is the plane-buffer organization the vector
+/// code used: the inner loop runs across systems and vectorizes.
+void solve_tridiagonal_batch_vector_layout(std::span<const double> a,
+                                           std::span<double> b,
+                                           std::span<const double> c,
+                                           std::span<double> d, int n, int m);
+
+/// Solve a periodic tridiagonal system (x[-1] == x[n-1], x[n] == x[0]) via
+/// the Sherman–Morrison correction. b and d are overwritten; on return d
+/// holds x. Requires n >= 3.
+void solve_periodic_tridiagonal(std::span<const double> a, std::span<double> b,
+                                std::span<const double> c,
+                                std::span<double> d);
+
+/// Analytic FLOP count of one Thomas solve of length n.
+inline constexpr double tridiag_flops(int n) { return 8.0 * n; }
+
+}  // namespace f3d

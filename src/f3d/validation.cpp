@@ -1,0 +1,108 @@
+#include "f3d/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+void check_same_shape(const MultiZoneGrid& a, const MultiZoneGrid& b) {
+  LLP_REQUIRE(a.num_zones() == b.num_zones(), "zone count mismatch");
+  for (int z = 0; z < a.num_zones(); ++z) {
+    LLP_REQUIRE(a.zone(z).jmax() == b.zone(z).jmax() &&
+                    a.zone(z).kmax() == b.zone(z).kmax() &&
+                    a.zone(z).lmax() == b.zone(z).lmax(),
+                "zone dimension mismatch");
+  }
+}
+
+template <typename Fn>
+void for_all_interior(const MultiZoneGrid& g, Fn&& fn) {
+  for (int zi = 0; zi < g.num_zones(); ++zi) {
+    const Zone& z = g.zone(zi);
+    for (int l = 0; l < z.lmax(); ++l) {
+      for (int k = 0; k < z.kmax(); ++k) {
+        for (int j = 0; j < z.jmax(); ++j) {
+          fn(zi, j, k, l);
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
+std::uint64_t checksum(const MultiZoneGrid& grid) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for_all_interior(grid, [&](int zi, int j, int k, int l) {
+    const double* q = grid.zone(zi).q_point(j, k, l);
+    for (int n = 0; n < kNumVars; ++n) mix(q[n]);
+  });
+  return h;
+}
+
+double linf_diff(const MultiZoneGrid& a, const MultiZoneGrid& b) {
+  check_same_shape(a, b);
+  double m = 0.0;
+  for_all_interior(a, [&](int zi, int j, int k, int l) {
+    const double* qa = a.zone(zi).q_point(j, k, l);
+    const double* qb = b.zone(zi).q_point(j, k, l);
+    for (int n = 0; n < kNumVars; ++n) {
+      m = std::max(m, std::abs(qa[n] - qb[n]));
+    }
+  });
+  return m;
+}
+
+double l2_diff(const MultiZoneGrid& a, const MultiZoneGrid& b) {
+  check_same_shape(a, b);
+  double s = 0.0;
+  std::size_t count = 0;
+  for_all_interior(a, [&](int zi, int j, int k, int l) {
+    const double* qa = a.zone(zi).q_point(j, k, l);
+    const double* qb = b.zone(zi).q_point(j, k, l);
+    for (int n = 0; n < kNumVars; ++n) {
+      const double d = qa[n] - qb[n];
+      s += d * d;
+      ++count;
+    }
+  });
+  return std::sqrt(s / static_cast<double>(count));
+}
+
+int first_divergence(const RunHistory& a, const RunHistory& b,
+                     double residual_tol) {
+  const std::size_t n = std::min(a.steps(), b.steps());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.checksums[i] != b.checksums[i]) return static_cast<int>(i);
+    const double scale =
+        std::max(std::abs(a.residuals[i]), std::abs(b.residuals[i]));
+    if (scale > 0.0 &&
+        std::abs(a.residuals[i] - b.residuals[i]) / scale > residual_tol) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool residual_decreasing(const RunHistory& history, double factor) {
+  const std::size_t n = history.steps();
+  LLP_REQUIRE(n >= 8, "need at least 8 steps to judge a trend");
+  const std::size_t q = n / 4;
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < q; ++i) head += history.residuals[i];
+  for (std::size_t i = n - q; i < n; ++i) tail += history.residuals[i];
+  return tail < factor * head;
+}
+
+}  // namespace f3d

@@ -1,0 +1,60 @@
+// Validation tooling (paper §6).
+//
+// The paper's workflow tuned one loop at a time and re-validated constantly:
+// quick few-step checks, converged-solution comparisons, daily version
+// numbers so "diff" could bisect regressions. This header is that workflow
+// as an API:
+//
+//   * checksum()        — a deterministic digest of a solution, cheap enough
+//                         to log every run ("quick and dirty tests");
+//   * linf_diff / l2_diff — field comparison between two solutions (the
+//                         converged-solution check, and the tool that proves
+//                         the vector and RISC variants agree);
+//   * RunHistory        — per-step residual/checksum log; first_divergence
+//                         between two histories is exactly the "find which
+//                         version first broke" bisect on one run's timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "f3d/multizone.hpp"
+
+namespace f3d {
+
+/// Order-independent-of-nothing (i.e. fully order-sensitive) FNV-1a digest
+/// of all interior cell values. Identical solutions hash identically on any
+/// platform with IEEE doubles.
+std::uint64_t checksum(const MultiZoneGrid& grid);
+
+/// Max absolute difference over all interior cells and variables. Grids
+/// must have identical zone dimensions.
+double linf_diff(const MultiZoneGrid& a, const MultiZoneGrid& b);
+
+/// Root-mean-square difference over all interior cells and variables.
+double l2_diff(const MultiZoneGrid& a, const MultiZoneGrid& b);
+
+/// Per-step log of a run.
+struct RunHistory {
+  std::vector<double> residuals;
+  std::vector<std::uint64_t> checksums;
+
+  void record(double residual, std::uint64_t digest) {
+    residuals.push_back(residual);
+    checksums.push_back(digest);
+  }
+  std::size_t steps() const { return residuals.size(); }
+};
+
+/// First step at which two histories diverge: checksum mismatch, or
+/// relative residual difference above tol. Returns -1 if they agree over
+/// their common length.
+int first_divergence(const RunHistory& a, const RunHistory& b,
+                     double residual_tol = 1e-12);
+
+/// True if the residual trend is (noisily) decreasing: the mean of the last
+/// quarter is below `factor` times the mean of the first quarter.
+bool residual_decreasing(const RunHistory& history, double factor = 0.5);
+
+}  // namespace f3d

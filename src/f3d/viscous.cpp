@@ -1,0 +1,42 @@
+#include "f3d/viscous.hpp"
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+void viscous_flux_k_face(const double qk[kNumVars],
+                         const double qkp1[kNumVars], double dy,
+                         const ViscousConfig& config, double fv[kNumVars]) {
+  LLP_ASSERT(dy > 0.0 && config.reynolds > 0.0 && config.prandtl > 0.0);
+  const Prim a = to_prim(qk);
+  const Prim b = to_prim(qkp1);
+  const double inv_dy = 1.0 / dy;
+
+  // Face-centered derivatives and velocities.
+  const double uy = (b.u - a.u) * inv_dy;
+  const double vy = (b.v - a.v) * inv_dy;
+  const double wy = (b.w - a.w) * inv_dy;
+  const double uf = 0.5 * (a.u + b.u);
+  const double vf = 0.5 * (a.v + b.v);
+  const double wf = 0.5 * (a.w + b.w);
+
+  // Temperature in a_inf = 1 units: T = p / rho (so T_inf = 1/gamma).
+  const double ta = a.p / a.rho;
+  const double tb = b.p / b.rho;
+  const double ty = (tb - ta) * inv_dy;
+
+  const double mu_over_re = 1.0 / config.reynolds;  // constant viscosity
+  const double tau_xy = mu_over_re * uy;
+  const double tau_yy = mu_over_re * (4.0 / 3.0) * vy;
+  const double tau_zy = mu_over_re * wy;
+  const double heat =
+      mu_over_re * kGamma / (config.prandtl * (kGamma - 1.0)) * ty;
+
+  fv[0] = 0.0;
+  fv[1] = tau_xy;
+  fv[2] = tau_yy;
+  fv[3] = tau_zy;
+  fv[4] = uf * tau_xy + vf * tau_yy + wf * tau_zy + heat;
+}
+
+}  // namespace f3d

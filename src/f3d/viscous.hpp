@@ -1,0 +1,41 @@
+// Thin-layer viscous terms (the "NS" in F3D's zonal Navier-Stokes).
+//
+// The thin-layer approximation keeps viscous derivatives only in the
+// wall-normal direction — K here, matching the solver's slip/no-slip wall
+// on the KMin face. With constant dynamic viscosity mu (laminar flow,
+// nondimensionalized so mu/rho_inf/a_inf/L = 1/Re):
+//
+//   F_v = 1/Re * [ 0,
+//                  mu u_y,
+//                  (4/3) mu v_y,
+//                  mu w_y,
+//                  u mu u_y + (4/3) v mu v_y + w mu w_y
+//                    + mu gamma/(Pr (gamma-1)) T_y ]
+//
+// evaluated at K faces with central differences and added to the RHS as
+// (F_v[k+1/2] - F_v[k-1/2]) / dy. The terms are treated explicitly; the
+// diffusion stability limit nu dt/dy^2 stays small for the Reynolds
+// numbers and grids the tests and examples use.
+#pragma once
+
+#include "f3d/gas.hpp"
+
+namespace f3d {
+
+struct ViscousConfig {
+  bool enabled = false;
+  double reynolds = 10000.0;  ///< Re based on a_inf and unit length
+  double prandtl = 0.72;
+};
+
+/// Viscous flux at the face between cells qk (index k) and qkp1 (k+1),
+/// thin-layer in the K direction. dy is the K spacing; fv receives the
+/// 5-component flux (already including the 1/Re factor).
+void viscous_flux_k_face(const double qk[kNumVars],
+                         const double qkp1[kNumVars], double dy,
+                         const ViscousConfig& config, double fv[kNumVars]);
+
+/// Analytic FLOPs per grid point of the thin-layer viscous update.
+inline constexpr double kFlopsPerPointViscous = 60.0;
+
+}  // namespace f3d

@@ -1,0 +1,36 @@
+#include "f3d/zone.hpp"
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+Zone::Zone(ZoneDims dims, double dx, double dy, double dz, double x0,
+           double y0, double z0)
+    : dims_(dims),
+      dx_(dx),
+      dy_(dy),
+      dz_(dz),
+      x0_(x0),
+      y0_(y0),
+      z0_(z0),
+      storage_(kNumVars, dims.jmax + 2 * kGhost, dims.kmax + 2 * kGhost,
+               dims.lmax + 2 * kGhost) {
+  LLP_REQUIRE(dims.jmax >= 1 && dims.kmax >= 1 && dims.lmax >= 1,
+              "zone dims must be >= 1");
+  LLP_REQUIRE(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell sizes must be positive");
+}
+
+void Zone::set_freestream(const FreeStream& fs) {
+  double qinf[kNumVars];
+  fs.conservative(qinf);
+  for (int l = -kGhost; l < lmax() + kGhost; ++l) {
+    for (int k = -kGhost; k < kmax() + kGhost; ++k) {
+      for (int j = -kGhost; j < jmax() + kGhost; ++j) {
+        double* qp = q_point(j, k, l);
+        for (int n = 0; n < kNumVars; ++n) qp[n] = qinf[n];
+      }
+    }
+  }
+}
+
+}  // namespace f3d

@@ -1,0 +1,79 @@
+// A structured zone: one block of the multi-zone grid.
+//
+// Zones are uniform Cartesian boxes of jmax x kmax x lmax cell centers with
+// kGhost layers of ghost cells on every face (the 4th-difference dissipation
+// stencil needs two). Interior indices run 0..jmax-1; ghost indices extend
+// to -kGhost and jmax+kGhost-1. The paper's test cases split the domain into
+// three zones along J (the body axis), exactly like F3D's zonal grids.
+#pragma once
+
+#include <cstddef>
+
+#include "f3d/gas.hpp"
+#include "util/array.hpp"
+
+namespace f3d {
+
+struct ZoneDims {
+  int jmax = 1;
+  int kmax = 1;
+  int lmax = 1;
+  std::size_t points() const {
+    return static_cast<std::size_t>(jmax) * kmax * lmax;
+  }
+};
+
+class Zone {
+public:
+  static constexpr int kGhost = 2;
+
+  Zone(ZoneDims dims, double dx, double dy, double dz, double x0 = 0.0,
+       double y0 = 0.0, double z0 = 0.0);
+
+  int jmax() const noexcept { return dims_.jmax; }
+  int kmax() const noexcept { return dims_.kmax; }
+  int lmax() const noexcept { return dims_.lmax; }
+  const ZoneDims& dims() const noexcept { return dims_; }
+  std::size_t interior_points() const noexcept { return dims_.points(); }
+
+  double dx() const noexcept { return dx_; }
+  double dy() const noexcept { return dy_; }
+  double dz() const noexcept { return dz_; }
+
+  /// Cell-center coordinates (interior index space).
+  double x(int j) const noexcept { return x0_ + (j + 0.5) * dx_; }
+  double y(int k) const noexcept { return y0_ + (k + 0.5) * dy_; }
+  double z(int l) const noexcept { return z0_ + (l + 0.5) * dz_; }
+
+  /// Conservative variable n at cell (j,k,l); ghost indices allowed.
+  double& q(int n, int j, int k, int l) noexcept {
+    return storage_(n, j + kGhost, k + kGhost, l + kGhost);
+  }
+  double q(int n, int j, int k, int l) const noexcept {
+    return storage_(n, j + kGhost, k + kGhost, l + kGhost);
+  }
+
+  /// Pointer to the 5-vector at cell (j,k,l).
+  double* q_point(int j, int k, int l) noexcept {
+    return storage_.point(j + kGhost, k + kGhost, l + kGhost);
+  }
+  const double* q_point(int j, int k, int l) const noexcept {
+    return storage_.point(j + kGhost, k + kGhost, l + kGhost);
+  }
+
+  /// Set every cell (ghosts included) to the free-stream state.
+  void set_freestream(const FreeStream& fs);
+
+  /// Raw storage (used by the validation checksum and the contention
+  /// analyzer, which needs linear offsets).
+  llp::Array4D<double>& storage() noexcept { return storage_; }
+  const llp::Array4D<double>& storage() const noexcept { return storage_; }
+
+private:
+  ZoneDims dims_;
+  double dx_, dy_, dz_;
+  double x0_, y0_, z0_;
+  llp::Array4D<double> storage_;
+};
+
+}  // namespace f3d

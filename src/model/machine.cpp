@@ -1,0 +1,147 @@
+#include "model/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+double MachineConfig::sync_seconds(int processors) const {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  return (sync_base_ns + sync_ns_per_proc * processors) * 1e-9;
+}
+
+double MachineConfig::sync_cycles(int processors) const {
+  return sync_seconds(processors) * clock_hz;
+}
+
+double MachineConfig::seconds_for_flops(double flops) const {
+  LLP_REQUIRE(flops >= 0.0, "flops must be nonnegative");
+  return flops / (sustained_mflops_per_proc * 1e6);
+}
+
+MachineConfig origin2000_r12k_300() {
+  MachineConfig m;
+  m.name = "SGI Origin 2000 (R12000, 300 MHz, 128p)";
+  m.clock_hz = 300e6;
+  m.peak_mflops_per_proc = 600.0;
+  m.sustained_mflops_per_proc = 237.0;  // Table 4, p=1, 1M case
+  m.max_processors = 128;
+  m.sync_base_ns = 15000.0;
+  m.sync_ns_per_proc = 600.0;
+  m.numa = origin2000_numa();
+  m.l2_cache_bytes = 8 * 1024 * 1024;
+  return m;
+}
+
+MachineConfig origin2000_r10k_195(int processors) {
+  LLP_REQUIRE(processors == 64 || processors == 128,
+              "paper used 64p and 128p 195 MHz Origins");
+  MachineConfig m = origin2000_r12k_300();
+  m.name = "SGI Origin 2000 (R10000, 195 MHz, " + std::to_string(processors) +
+           "p)";
+  m.clock_hz = 195e6;
+  m.peak_mflops_per_proc = 390.0;
+  // Same memory system, slower core: scale delivered rate with clock.
+  m.sustained_mflops_per_proc = 237.0 * 195.0 / 300.0;
+  m.max_processors = processors;
+  m.l2_cache_bytes = 4 * 1024 * 1024;
+  return m;
+}
+
+MachineConfig sun_hpc10000() {
+  MachineConfig m;
+  m.name = "SUN HPC 10000 (UltraSPARC II, 400 MHz, 64p)";
+  m.clock_hz = 400e6;
+  m.peak_mflops_per_proc = 800.0;
+  m.sustained_mflops_per_proc = 180.0;  // Table 4, p=1, 1M case
+  m.max_processors = 64;
+  // Starfire's snoopy-over-crossbar coherence: flatter but higher base cost.
+  m.sync_base_ns = 25000.0;
+  m.sync_ns_per_proc = 400.0;
+  m.numa = origin2000_numa();
+  m.numa.local_latency_ns = 560.0;   // Starfire is flat (UMA-ish) but slower
+  m.numa.remote_latency_ns = 560.0;
+  m.numa.line_bytes = 64.0;
+  m.numa.overlapped_offnode_mbs = 400.0;
+  m.l2_cache_bytes = 4 * 1024 * 1024;
+  return m;
+}
+
+MachineConfig hp_v2500() {
+  MachineConfig m;
+  m.name = "HP V2500 (PA-8500, 440 MHz, 16p)";
+  m.clock_hz = 440e6;
+  m.peak_mflops_per_proc = 1760.0;  // 4 flops/cycle peak on PA-8500
+  m.sustained_mflops_per_proc = 320.0;
+  m.max_processors = 16;
+  m.sync_base_ns = 8000.0;
+  m.sync_ns_per_proc = 500.0;
+  m.numa = origin2000_numa();
+  m.numa.local_latency_ns = 290.0;
+  m.numa.remote_latency_ns = 290.0;  // single-cabinet V-Class is UMA
+  m.l2_cache_bytes = 1024 * 1024;
+  return m;
+}
+
+MachineConfig sgi_power_challenge() {
+  MachineConfig m;
+  m.name = "SGI Power Challenge (R10000, 195 MHz)";
+  m.clock_hz = 195e6;
+  m.peak_mflops_per_proc = 390.0;
+  m.sustained_mflops_per_proc = 140.0;
+  m.max_processors = 16;
+  m.sync_base_ns = 10000.0;
+  m.sync_ns_per_proc = 800.0;
+  m.numa = origin2000_numa();
+  m.numa.local_latency_ns = 900.0;   // shared-bus memory, flat but slow
+  m.numa.remote_latency_ns = 900.0;
+  m.l2_cache_bytes = 2 * 1024 * 1024;
+  return m;
+}
+
+MachineConfig convex_spp1000() {
+  MachineConfig m;
+  m.name = "Convex Exemplar SPP-1000 (PA-7100, 100 MHz)";
+  m.clock_hz = 100e6;
+  m.peak_mflops_per_proc = 200.0;
+  m.sustained_mflops_per_proc = 40.0;
+  m.max_processors = 64;
+  m.sync_base_ns = 60000.0;
+  m.sync_ns_per_proc = 4000.0;
+  m.numa = exemplar_numa();
+  m.l2_cache_bytes = 1024 * 1024;
+  return m;
+}
+
+MachineConfig software_dsm_cluster() {
+  MachineConfig m;
+  m.name = "Workstation cluster w/ software DSM";
+  m.clock_hz = 300e6;
+  m.peak_mflops_per_proc = 600.0;
+  m.sustained_mflops_per_proc = 237.0;
+  m.max_processors = 64;
+  m.sync_base_ns = 200000.0;  // software barrier over the network
+  m.sync_ns_per_proc = 50000.0;
+  m.numa = software_dsm_numa();
+  m.l2_cache_bytes = 8 * 1024 * 1024;
+  return m;
+}
+
+MachineConfig cray_c90() {
+  MachineConfig m;
+  m.name = "Cray C90 (vector, 244 MHz, 16p)";
+  m.clock_hz = 244e6;
+  m.peak_mflops_per_proc = 952.0;   // dual vector pipes x 2 flops
+  m.sustained_mflops_per_proc = 450.0;  // well-vectorized CFD
+  m.max_processors = 16;
+  // Hardware semaphores + flat SRAM memory: microsecond-class sync.
+  m.sync_base_ns = 2000.0;
+  m.sync_ns_per_proc = 250.0;
+  m.numa = origin2000_numa();
+  m.numa.local_latency_ns = 100.0;  // no cache, flat fast SRAM
+  m.numa.remote_latency_ns = 100.0;
+  m.numa.overlapped_offnode_mbs = 10000.0;  // streaming vector memory
+  m.l2_cache_bytes = 0;  // vector machines had no data cache (§3)
+  return m;
+}
+
+}  // namespace llp::model

@@ -1,0 +1,73 @@
+// Named machine configurations for the SMP performance simulator.
+//
+// Each config captures the handful of constants the paper's effects depend
+// on: clock rate, delivered (not peak!) per-processor throughput — the paper
+// is explicit that peak MFLOPS mislead (§5) — the synchronization-cost curve,
+// and the NUMA memory model. Delivered throughput is anchored to the
+// single-processor rows of Table 4 (Origin 2000/R12000: 237 MFLOPS of
+// 600 peak; HPC 10000/UltraSPARC II: 180 MFLOPS of 800 peak).
+#pragma once
+
+#include <string>
+
+#include "model/numa.hpp"
+
+namespace llp::model {
+
+struct MachineConfig {
+  std::string name;
+  double clock_hz = 300e6;
+  double peak_mflops_per_proc = 600.0;
+  double sustained_mflops_per_proc = 237.0;  ///< delivered, tuned code
+  int max_processors = 128;
+
+  /// Fork-join synchronization cost: sync_ns(p) = base + per_proc * p.
+  /// The paper quotes 2,000 cycles to 1,000,000+ cycles depending on the
+  /// machine and load (§3); these defaults sit in that range.
+  double sync_base_ns = 15000.0;
+  double sync_ns_per_proc = 600.0;
+
+  NumaModel numa;
+
+  double l2_cache_bytes = 8 * 1024 * 1024;
+
+  /// Sync cost for exiting a parallel region on p processors.
+  double sync_seconds(int processors) const;
+  /// Same, in processor clock cycles (for comparison with Table 1).
+  double sync_cycles(int processors) const;
+
+  /// Time to execute `flops` floating-point operations on one processor at
+  /// the delivered rate.
+  double seconds_for_flops(double flops) const;
+};
+
+/// SGI Origin 2000, R12000 @ 300 MHz, 128 processors (Table 4, Figures 2–3).
+MachineConfig origin2000_r12k_300();
+
+/// SGI Origin 2000, R10000 @ 195 MHz, 64 or 128 processors (Figure 3).
+MachineConfig origin2000_r10k_195(int processors);
+
+/// SUN HPC 10000, UltraSPARC II @ 400 MHz, 64 processors (Table 4).
+MachineConfig sun_hpc10000();
+
+/// HP V2500 @ 440 MHz, 16 processors (Figure 2, "Guide" curve).
+MachineConfig hp_v2500();
+
+/// SGI Power Challenge, R10000 @ 195 MHz (serial-tuning testbed, §5).
+MachineConfig sgi_power_challenge();
+
+/// Convex Exemplar SPP-1000 (heavily NUMA; the machine the vector code was
+/// unusably slow on and where NUMA problems were never solved, §5–§7).
+MachineConfig convex_spp1000();
+
+/// A deliberately bad software-DSM "machine" for the §8 comparison.
+MachineConfig software_dsm_cluster();
+
+/// Cray C90 vector supercomputer (§2: "from the mid-1970s to the
+/// mid-1990s, the terms 'vector computers' and 'supercomputers' were
+/// nearly synonymous"). Sustained rate assumes well-vectorized code; this
+/// is the machine whose single-processor performance sets the paper's
+/// acceptability bar.
+MachineConfig cray_c90();
+
+}  // namespace llp::model

@@ -1,0 +1,127 @@
+#include "model/mlp.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+int zone_of_region(const std::string& name) {
+  // Find a "z<digits>." component, possibly after a dotted prefix.
+  std::size_t start = 0;
+  while (start < name.size()) {
+    if (name[start] == 'z' && start + 1 < name.size() &&
+        std::isdigit(static_cast<unsigned char>(name[start + 1]))) {
+      std::size_t end = start + 1;
+      while (end < name.size() &&
+             std::isdigit(static_cast<unsigned char>(name[end]))) {
+        ++end;
+      }
+      if (end < name.size() && name[end] == '.') {
+        return std::stoi(name.substr(start + 1, end - start - 1));
+      }
+    }
+    const std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return -1;
+}
+
+double MlpResult::group_imbalance() const {
+  if (zone_seconds.empty()) return 0.0;
+  double sum = 0.0, mx = 0.0;
+  for (double s : zone_seconds) {
+    sum += s;
+    mx = std::max(mx, s);
+  }
+  const double mean = sum / static_cast<double>(zone_seconds.size());
+  return mean > 0.0 ? mx / mean : 0.0;
+}
+
+std::vector<int> partition_processors(const std::vector<double>& zone_flops,
+                                      int processors) {
+  const int zones = static_cast<int>(zone_flops.size());
+  LLP_REQUIRE(zones >= 1, "need at least one zone");
+  LLP_REQUIRE(processors >= zones,
+              "MLP needs at least one processor per zone");
+  const double total =
+      std::accumulate(zone_flops.begin(), zone_flops.end(), 0.0);
+  LLP_REQUIRE(total > 0.0, "zones have no work");
+
+  // Largest-remainder apportionment with a floor of 1.
+  std::vector<int> out(static_cast<std::size_t>(zones), 1);
+  int assigned = zones;
+  std::vector<std::pair<double, int>> remainders;
+  for (int z = 0; z < zones; ++z) {
+    const double ideal =
+        zone_flops[static_cast<std::size_t>(z)] / total * processors;
+    const int extra = std::max(0, static_cast<int>(ideal) - 1);
+    out[static_cast<std::size_t>(z)] += extra;
+    assigned += extra;
+    remainders.emplace_back(ideal - static_cast<int>(ideal), z);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < processors; ++i) {
+    out[static_cast<std::size_t>(remainders[i % remainders.size()].second)]++;
+    ++assigned;
+  }
+  while (assigned > processors) {
+    // Floor-of-1 overshoot on tiny processor counts: trim the largest.
+    auto it = std::max_element(out.begin(), out.end());
+    LLP_REQUIRE(*it > 1, "cannot trim below one processor per zone");
+    --(*it);
+    --assigned;
+  }
+  return out;
+}
+
+MlpResult predict_step_time_mlp(const WorkTrace& trace,
+                                const MachineConfig& machine,
+                                int processors) {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+
+  // Split the trace by zone.
+  int max_zone = -1;
+  for (const auto& l : trace.loops) {
+    max_zone = std::max(max_zone, zone_of_region(l.name));
+  }
+  LLP_REQUIRE(max_zone >= 0, "trace has no zone-tagged regions");
+  const int zones = max_zone + 1;
+
+  std::vector<WorkTrace> per_zone(static_cast<std::size_t>(zones));
+  WorkTrace global;
+  for (const auto& l : trace.loops) {
+    const int z = zone_of_region(l.name);
+    if (z >= 0) {
+      per_zone[static_cast<std::size_t>(z)].loops.push_back(l);
+    } else {
+      global.loops.push_back(l);
+    }
+  }
+
+  std::vector<double> zone_flops;
+  zone_flops.reserve(per_zone.size());
+  for (const auto& t : per_zone) zone_flops.push_back(t.total_flops());
+
+  MlpResult r;
+  r.group_sizes = partition_processors(zone_flops, processors);
+  for (int z = 0; z < zones; ++z) {
+    const auto st = predict_step_time(per_zone[static_cast<std::size_t>(z)],
+                                      machine,
+                                      r.group_sizes[static_cast<std::size_t>(z)]);
+    r.zone_seconds.push_back(st.total());
+  }
+  // Zones overlap; the global serial tail does not.
+  for (const auto& l : global.loops) {
+    r.serial_seconds += machine.seconds_for_flops(l.flops_per_step);
+  }
+  r.seconds_per_step =
+      *std::max_element(r.zone_seconds.begin(), r.zone_seconds.end()) +
+      r.serial_seconds;
+  return r;
+}
+
+}  // namespace llp::model

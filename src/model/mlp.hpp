@@ -1,0 +1,54 @@
+// Multi-Level Parallelism (paper §8, Taft's OVERFLOW-MLP).
+//
+// Straight loop-level parallelism runs every zone's loops one after
+// another across ALL processors. MLP adds a coarse level: zones execute
+// concurrently, each on its own processor group, with loop-level
+// parallelism inside the group. The paper calls the two "complementary
+// techniques, each with their own strengths and weaknesses" — this model
+// quantifies that:
+//
+//   + MLP pays each fork-join over a small group (cheaper sync) and each
+//     zone's stair-step is evaluated at the group size (finer granularity
+//     at high processor counts);
+//   - MLP inherits the zones' load imbalance: the step finishes when the
+//     slowest group does, and integer group sizes cannot balance the
+//     paper's 15/87/89-point zones exactly.
+//
+// Zones are identified by the "z<i>." prefix the solver gives its region
+// names; loops without the prefix (bc, exchange) remain global serial work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/scaling.hpp"
+
+namespace llp::model {
+
+/// Zone index encoded in a region name ("z3.sweep_j" -> 3, with an
+/// optional dotted prefix before the z), or -1 for global (non-zone) work.
+int zone_of_region(const std::string& name);
+
+struct MlpResult {
+  double seconds_per_step = 0.0;
+  std::vector<int> group_sizes;   ///< processors assigned to each zone
+  std::vector<double> zone_seconds;  ///< per-zone group time
+  double serial_seconds = 0.0;    ///< global serial tail (bc/exchange)
+
+  /// Group-level load imbalance: slowest zone / mean zone time.
+  double group_imbalance() const;
+};
+
+/// Split `processors` into one group per zone, proportional to each
+/// zone's floating-point work (largest-remainder rounding, every group
+/// gets at least one). Requires processors >= number of zones.
+std::vector<int> partition_processors(const std::vector<double>& zone_flops,
+                                      int processors);
+
+/// Predict one step under MLP: zones run concurrently on their groups
+/// (each internally via predict_step_time), global serial work runs once.
+MlpResult predict_step_time_mlp(const WorkTrace& trace,
+                                const MachineConfig& machine, int processors);
+
+}  // namespace llp::model

@@ -1,0 +1,62 @@
+#include "model/numa.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+double latency_limited_bandwidth_mbs(double line_bytes, double latency_ns) {
+  LLP_REQUIRE(line_bytes > 0.0 && latency_ns > 0.0, "positive args required");
+  // bytes/ns == GB/s; scale to MB/s (decimal).
+  return line_bytes / latency_ns * 1000.0;
+}
+
+double NumaModel::local_bandwidth_mbs() const {
+  return latency_limited_bandwidth_mbs(line_bytes, local_latency_ns);
+}
+
+double NumaModel::remote_bandwidth_mbs() const {
+  return latency_limited_bandwidth_mbs(line_bytes, remote_latency_ns);
+}
+
+bool NumaModel::uma_like(double traffic_mbs) const {
+  return traffic_mbs <= remote_bandwidth_mbs();
+}
+
+double NumaModel::bandwidth_slowdown(double traffic_mbs) const {
+  LLP_REQUIRE(traffic_mbs >= 0.0, "traffic must be nonnegative");
+  const double limit = std::max(remote_bandwidth_mbs(), overlapped_offnode_mbs);
+  if (traffic_mbs <= limit) return 1.0;
+  return traffic_mbs / limit;
+}
+
+NumaModel origin2000_numa() {
+  return NumaModel{};  // defaults are the Origin 2000 numbers from §7
+}
+
+NumaModel exemplar_numa() {
+  NumaModel m;
+  m.line_bytes = 64.0;
+  m.local_latency_ns = 500.0;
+  // CTI ring between hypernodes: about an order of magnitude slower.
+  m.remote_latency_ns = 4000.0;
+  m.overlapped_offnode_mbs = 32.0;
+  m.page_bytes = 4096.0;
+  m.processors_per_node = 8;
+  return m;
+}
+
+NumaModel software_dsm_numa() {
+  NumaModel m;
+  m.line_bytes = 128.0;
+  m.local_latency_ns = 300.0;
+  m.remote_latency_ns = 100000.0;  // ~100 us software coherence
+  // 128 B / 100 us = 1.3 MB/s (the paper's §8 figure); no overlap to speak of.
+  m.overlapped_offnode_mbs = 1.3;
+  m.page_bytes = 4096.0;
+  m.processors_per_node = 1;
+  return m;
+}
+
+}  // namespace llp::model

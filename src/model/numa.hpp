@@ -1,0 +1,61 @@
+// NUMA memory-system model (paper §7).
+//
+// The paper's argument: on a 128-processor SGI Origin 2000, memory latency
+// for a cache line ranges from 310 ns (local) to 945 ns (farthest node).
+// Without out-of-order/prefetch overlap, a processor that misses on every
+// line sees a usable bandwidth of line_bytes / latency:
+//
+//     128 B / 310 ns = 412 MB/s   ...   128 B / 945 ns = 135 MB/s
+//
+// and overlapped off-node accesses top out near 195 MB/s. The tuned F3D
+// generates only 68 MB/s of traffic, far below even the worst-case number,
+// which is why the ccNUMA machine could be treated as UMA. This header
+// makes those arithmetic facts a typed model so the ablation bench and the
+// SMP simulator share one implementation.
+#pragma once
+
+namespace llp::model {
+
+/// Bandwidth (MB/s, decimal megabytes) achieved by back-to-back misses of
+/// `line_bytes`-byte transfers at `latency_ns` each, with no overlap.
+double latency_limited_bandwidth_mbs(double line_bytes, double latency_ns);
+
+/// Parameters of one machine's NUMA memory system.
+struct NumaModel {
+  double line_bytes = 128.0;        ///< coherence granularity
+  double local_latency_ns = 310.0;  ///< nearest memory
+  double remote_latency_ns = 945.0; ///< farthest memory
+  double overlapped_offnode_mbs = 195.0;  ///< best-case off-node with prefetch
+  double page_bytes = 16384.0;      ///< interleaving unit across nodes
+  int processors_per_node = 2;      ///< Origin 2000 node = 2 procs + memory
+
+  /// Usable per-processor bandwidth without overlap at local latency.
+  double local_bandwidth_mbs() const;
+  /// Usable per-processor bandwidth without overlap at remote latency.
+  double remote_bandwidth_mbs() const;
+
+  /// True if a program generating `traffic_mbs` per processor stays below
+  /// the worst-case un-overlapped remote bandwidth — i.e. the machine can
+  /// be treated as UMA for this program (the paper's 68 MB/s case).
+  bool uma_like(double traffic_mbs) const;
+
+  /// Slowdown factor (>= 1) applied to memory-bound time when per-processor
+  /// demand exceeds the usable off-node bandwidth. Demand below the limit
+  /// costs nothing; above it, time scales with demand/limit.
+  double bandwidth_slowdown(double traffic_mbs) const;
+};
+
+/// The SGI Origin 2000 numbers quoted in §7 (Laudon & Lenoski).
+NumaModel origin2000_numa();
+
+/// A "heavily NUMA" machine in the spirit of the Convex Exemplar, whose
+/// off-node path goes through a slower interconnect; the paper never got
+/// acceptable performance there.
+NumaModel exemplar_numa();
+
+/// Software distributed shared memory over a cluster (§8): 128-byte
+/// coherence at ~100 us latency gives ~1.3 MB/s per processor — the reason
+/// SDSM "is virtually impossible to overcome" for multi-direction codes.
+NumaModel software_dsm_numa();
+
+}  // namespace llp::model

@@ -1,0 +1,89 @@
+#include "model/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/stairstep.hpp"
+#include "util/error.hpp"
+
+namespace llp::model {
+
+double WorkTrace::total_flops() const {
+  double s = 0.0;
+  for (const auto& l : loops) s += l.flops_per_step;
+  return s;
+}
+
+double WorkTrace::total_bytes() const {
+  double s = 0.0;
+  for (const auto& l : loops) s += l.bytes_per_step;
+  return s;
+}
+
+double WorkTrace::serial_fraction() const {
+  double serial = 0.0, total = 0.0;
+  for (const auto& l : loops) {
+    total += l.flops_per_step;
+    if (!l.parallel) serial += l.flops_per_step;
+  }
+  return total > 0.0 ? serial / total : 0.0;
+}
+
+StepTime predict_step_time(const WorkTrace& trace, const MachineConfig& machine,
+                           int processors) {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  LLP_REQUIRE(processors <= machine.max_processors,
+              "machine does not have that many processors");
+
+  StepTime t;
+  for (const auto& l : trace.loops) {
+    const double serial_compute = machine.seconds_for_flops(l.flops_per_step);
+    if (!l.parallel || processors == 1) {
+      t.serial_s += serial_compute;
+      continue;
+    }
+    LLP_REQUIRE(l.trips >= 1, "parallel loop with no iterations: " + l.name);
+    // Busiest processor runs ceil(trips/p) of the trips; its share of the
+    // region's compute is that fraction of the serial compute time.
+    const double share =
+        static_cast<double>(max_units_per_processor(l.trips, processors)) /
+        static_cast<double>(l.trips);
+    t.compute_s += serial_compute * share;
+    t.sync_s += l.invocations_per_step * machine.sync_seconds(processors);
+  }
+
+  // NUMA bandwidth check (one correction pass): per-processor traffic demand
+  // at the uncorrected step time. Only the parallel compute portion is
+  // memory-bound in this model; sync and serial time are left alone.
+  const double uncorrected = t.total();
+  if (uncorrected > 0.0 && processors > 1) {
+    const double demand_mbs =
+        trace.total_bytes() / uncorrected / 1e6 / processors;
+    const double slow = machine.numa.bandwidth_slowdown(demand_mbs);
+    t.compute_s *= slow;
+  }
+  return t;
+}
+
+double amdahl_speedup(double serial_fraction, int processors) {
+  LLP_REQUIRE(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+              "serial_fraction must be in [0,1]");
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  return 1.0 /
+         (serial_fraction + (1.0 - serial_fraction) / processors);
+}
+
+WorkTrace scale_trace(const WorkTrace& trace, double work_scale,
+                      double trip_scale) {
+  LLP_REQUIRE(work_scale > 0.0 && trip_scale > 0.0, "scales must be positive");
+  WorkTrace out = trace;
+  for (auto& l : out.loops) {
+    l.flops_per_step *= work_scale;
+    l.bytes_per_step *= work_scale;
+    l.trips = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(l.trips * trip_scale)));
+  }
+  return out;
+}
+
+}  // namespace llp::model

@@ -1,0 +1,71 @@
+// Execution-driven scaling model: replay a measured work trace on a target
+// machine at any processor count.
+//
+// This is the bridge between real runs of the solver on the host and the
+// paper's 64/128-processor results. A WorkTrace describes one time step as a
+// sequence of regions, each with its floating-point work, the trip count of
+// its parallelized loop, how many fork-joins it issues, and its memory
+// traffic. predict_step_time then composes the paper's three effects:
+//
+//   * stair-step:   a parallel region's compute time scales by
+//                    ceil(trips/p)/trips, not 1/p (Table 3 / Figure 1);
+//   * sync cost:    every region invocation pays machine.sync_seconds(p)
+//                    (Tables 1–2);
+//   * Amdahl:       serial regions do not scale at all;
+//   * NUMA:         if per-processor traffic exceeds usable off-node
+//                    bandwidth, compute time stretches accordingly (§7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+
+namespace llp::model {
+
+/// One region's contribution to a single time step.
+struct LoopWork {
+  std::string name;
+  double flops_per_step = 0.0;        ///< total FP work in this region
+  std::int64_t trips = 1;             ///< parallelized-loop trip count
+  double invocations_per_step = 1.0;  ///< fork-join events per step
+  bool parallel = true;               ///< false: serial region (Amdahl tail)
+  double bytes_per_step = 0.0;        ///< memory traffic estimate
+};
+
+/// A time step's worth of work, machine-independent.
+struct WorkTrace {
+  std::vector<LoopWork> loops;
+
+  double total_flops() const;
+  double total_bytes() const;
+  /// Fraction of single-processor time spent in serial regions.
+  double serial_fraction() const;
+};
+
+/// Where a predicted step's time went.
+struct StepTime {
+  double compute_s = 0.0;  ///< parallel-region compute (stair-stepped)
+  double serial_s = 0.0;   ///< unparallelized regions
+  double sync_s = 0.0;     ///< fork-join events
+  double total() const { return compute_s + serial_s + sync_s; }
+};
+
+/// Predict one time step on `machine` with `processors` processors.
+StepTime predict_step_time(const WorkTrace& trace, const MachineConfig& machine,
+                           int processors);
+
+/// Classic Amdahl speedup with serial fraction f: 1 / (f + (1-f)/p).
+double amdahl_speedup(double serial_fraction, int processors);
+
+/// Scale a trace's volume terms (flops, bytes) by `work_scale` and its loop
+/// trip counts by `trip_scale`, leaving invocation counts per step fixed.
+/// Used to extrapolate a trace measured on a scaled-down grid to the
+/// paper's full-size cases: per-point work is size-independent (a property
+/// test checks this), so flops scale with point count while trip counts
+/// scale with the parallelized dimension.
+WorkTrace scale_trace(const WorkTrace& trace, double work_scale,
+                      double trip_scale);
+
+}  // namespace llp::model

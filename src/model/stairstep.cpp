@@ -1,0 +1,63 @@
+#include "model/stairstep.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+std::int64_t max_units_per_processor(std::int64_t n_units, int processors) {
+  LLP_REQUIRE(n_units >= 1, "n_units must be >= 1");
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  return (n_units + processors - 1) / processors;
+}
+
+double stairstep_speedup(std::int64_t n_units, int processors) {
+  return static_cast<double>(n_units) /
+         static_cast<double>(max_units_per_processor(n_units, processors));
+}
+
+double stairstep_efficiency(std::int64_t n_units, int processors) {
+  return stairstep_speedup(n_units, processors) /
+         static_cast<double>(processors);
+}
+
+std::vector<int> speedup_jump_points(std::int64_t n_units,
+                                     int max_processors) {
+  LLP_REQUIRE(n_units >= 1 && max_processors >= 1, "positive args required");
+  std::vector<int> jumps;
+  std::int64_t prev = n_units + 1;  // sentinel larger than any ceil value
+  for (int p = 1; p <= max_processors; ++p) {
+    const std::int64_t c = max_units_per_processor(n_units, p);
+    if (c < prev) {
+      jumps.push_back(p);
+      prev = c;
+    }
+  }
+  return jumps;
+}
+
+int equivalent_processors(std::int64_t n_units, int processors) {
+  const std::int64_t c = max_units_per_processor(n_units, processors);
+  // Smallest p with ceil(n/p) == c is ceil(n/c).
+  const std::int64_t p = (n_units + c - 1) / c;
+  return static_cast<int>(p);
+}
+
+double composite_stairstep_speedup(const std::vector<std::int64_t>& units,
+                                   const std::vector<double>& fractions,
+                                   int processors) {
+  LLP_REQUIRE(units.size() == fractions.size() && !units.empty(),
+              "units/fractions must pair and be nonempty");
+  double fsum = 0.0;
+  double time = 0.0;  // normalized parallel time
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    LLP_REQUIRE(fractions[i] >= 0.0, "fractions must be nonnegative");
+    fsum += fractions[i];
+    time += fractions[i] / stairstep_speedup(units[i], processors);
+  }
+  LLP_REQUIRE(std::abs(fsum - 1.0) < 1e-6, "fractions must sum to 1");
+  return 1.0 / time;
+}
+
+}  // namespace llp::model

@@ -1,0 +1,46 @@
+// Stair-step speedup model for finite loop-level parallelism
+// (paper §4, Table 3 and Figure 1; observed in §5, Table 4, Figures 2–3).
+//
+// A parallelized loop with n independent iterations ("units of parallelism")
+// run on p processors finishes when the busiest processor finishes, and the
+// busiest processor executes ceil(n/p) iterations under a static block
+// schedule. The ideal speedup is therefore
+//
+//     S(n, p) = n / ceil(n/p),
+//
+// which is flat wherever ceil(n/p) is constant — e.g. with n = 450 (the K
+// dimension of the paper's 59-million-point zones), S is flat for all
+// p in [90, 112] (ceil = 5), matching the measured flat between 88 and 104
+// processors in Table 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llp::model {
+
+/// Iterations assigned to the busiest processor: ceil(n/p).
+std::int64_t max_units_per_processor(std::int64_t n_units, int processors);
+
+/// Ideal stair-step speedup S(n,p) = n / ceil(n/p).
+double stairstep_speedup(std::int64_t n_units, int processors);
+
+/// Parallel efficiency S(n,p)/p in (0,1].
+double stairstep_efficiency(std::int64_t n_units, int processors);
+
+/// Processor counts (<= n_units) at which the speedup jumps, i.e. the p
+/// where ceil(n/p) decreases: the paper's "jumps at M/5, M/4, M/3, M/2, M".
+std::vector<int> speedup_jump_points(std::int64_t n_units, int max_processors);
+
+/// Smallest p achieving the same speedup as `processors` — adding
+/// processors beyond this wastes them until the next jump point.
+int equivalent_processors(std::int64_t n_units, int processors);
+
+/// Composite ideal speedup for work spread over several loops with distinct
+/// trip counts: time fractions weight each loop's stair-step. `fractions`
+/// must sum to ~1 and pair with `units`.
+double composite_stairstep_speedup(const std::vector<std::int64_t>& units,
+                                   const std::vector<double>& fractions,
+                                   int processors);
+
+}  // namespace llp::model

@@ -1,0 +1,28 @@
+#include "model/sync_cost.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+std::int64_t min_work_for_efficiency(int processors, std::int64_t sync_cycles,
+                                     double overhead_fraction) {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  LLP_REQUIRE(sync_cycles >= 0, "sync_cycles must be >= 0");
+  LLP_REQUIRE(overhead_fraction > 0.0 && overhead_fraction <= 1.0,
+              "overhead_fraction must be in (0,1]");
+  const double w = static_cast<double>(processors) *
+                   static_cast<double>(sync_cycles) / overhead_fraction;
+  return static_cast<std::int64_t>(w + 0.5);
+}
+
+double sync_overhead_fraction(std::int64_t work_cycles, int processors,
+                              std::int64_t sync_cycles) {
+  LLP_REQUIRE(work_cycles > 0, "work_cycles must be positive");
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  const double parallel_time =
+      static_cast<double>(work_cycles) / static_cast<double>(processors);
+  return static_cast<double>(sync_cycles) /
+         (parallel_time + static_cast<double>(sync_cycles));
+}
+
+}  // namespace llp::model

@@ -1,0 +1,33 @@
+// Synchronization-cost efficiency model (paper §3, Table 1).
+//
+// Exiting a parallel region costs a synchronization event whose price on
+// scalable SMPs ranges from ~2,000 to ~1,000,000 cycles depending on the
+// machine and load. The paper's efficiency criterion: keep that cost below
+// 1% of the loop's runtime. With p processors the (perfectly parallelized)
+// loop runs in W/p cycles, so
+//
+//     sync <= overhead * W / p   =>   W >= p * sync / overhead.
+//
+// With overhead = 1% this reproduces Table 1 exactly
+// (e.g. p=128, sync=1e6  ->  W = 12,800,000,000 cycles).
+#pragma once
+
+#include <cstdint>
+
+namespace llp::model {
+
+/// Default efficiency target: sync cost at most 1% of loop runtime.
+inline constexpr double kDefaultOverheadFraction = 0.01;
+
+/// Minimum serial work (cycles) a loop must contain for the sync cost to
+/// stay below `overhead_fraction` of its parallel runtime on p processors.
+std::int64_t min_work_for_efficiency(
+    int processors, std::int64_t sync_cycles,
+    double overhead_fraction = kDefaultOverheadFraction);
+
+/// Fraction of runtime lost to synchronization for a loop with `work`
+/// cycles run on p processors (assumes perfect division of work).
+double sync_overhead_fraction(std::int64_t work_cycles, int processors,
+                              std::int64_t sync_cycles);
+
+}  // namespace llp::model

@@ -1,0 +1,59 @@
+#include "model/work_per_sync.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::model {
+
+std::int64_t work_per_sync_1d(std::int64_t n, std::int64_t cycles_per_point) {
+  LLP_REQUIRE(n > 0 && cycles_per_point > 0, "positive args required");
+  return n * cycles_per_point;
+}
+
+std::int64_t work_per_sync_2d(std::int64_t jmax, std::int64_t kmax,
+                              LoopLevel level, std::int64_t cycles_per_point) {
+  LLP_REQUIRE(jmax > 0 && kmax > 0 && cycles_per_point > 0,
+              "positive args required");
+  switch (level) {
+    case LoopLevel::kInner:
+      return jmax * cycles_per_point;
+    case LoopLevel::kOuter:
+      return jmax * kmax * cycles_per_point;
+    case LoopLevel::kMiddle:
+      break;
+  }
+  throw Error("work_per_sync_2d: kMiddle is invalid for a 2-D nest");
+}
+
+std::int64_t work_per_sync_3d(std::int64_t jmax, std::int64_t kmax,
+                              std::int64_t lmax, LoopLevel level,
+                              std::int64_t cycles_per_point) {
+  LLP_REQUIRE(jmax > 0 && kmax > 0 && lmax > 0 && cycles_per_point > 0,
+              "positive args required");
+  switch (level) {
+    case LoopLevel::kInner:
+      return jmax * cycles_per_point;
+    case LoopLevel::kMiddle:
+      return jmax * kmax * cycles_per_point;
+    case LoopLevel::kOuter:
+      return jmax * kmax * lmax * cycles_per_point;
+  }
+  throw Error("work_per_sync_3d: bad LoopLevel");
+}
+
+std::int64_t work_per_sync_boundary(std::int64_t n0, std::int64_t n1,
+                                    LoopLevel level,
+                                    std::int64_t cycles_per_point) {
+  LLP_REQUIRE(n0 > 0 && n1 > 0 && cycles_per_point > 0,
+              "positive args required");
+  switch (level) {
+    case LoopLevel::kInner:
+      return n0 * cycles_per_point;
+    case LoopLevel::kOuter:
+      return n0 * n1 * cycles_per_point;
+    case LoopLevel::kMiddle:
+      break;
+  }
+  throw Error("work_per_sync_boundary: kMiddle is invalid for a face");
+}
+
+}  // namespace llp::model

@@ -1,0 +1,47 @@
+// Available work per synchronization event (paper §3, Table 2).
+//
+// If a loop nest over a zone is parallelized at a given nesting level, each
+// execution of the parallel region amortizes one synchronization event over
+// the work enclosed by that level. For a 3-D zone of JMAX x KMAX x LMAX
+// points at w cycles/point:
+//
+//   parallelize inner  loop -> sync per (k,l) line   -> JMAX * w per sync
+//   parallelize middle loop -> sync per l plane      -> JMAX*KMAX * w
+//   parallelize outer  loop -> one sync per pass     -> JMAX*KMAX*LMAX * w
+//
+// and similarly for boundary-condition faces (one dimension collapsed).
+// This is why the paper parallelizes outer loops and leaves BC routines
+// serial: the outer loop offers 4 orders of magnitude more work per sync.
+#pragma once
+
+#include <cstdint>
+
+namespace llp::model {
+
+/// Which loop of the nest carries the parallel directive.
+enum class LoopLevel {
+  kInner,
+  kMiddle,  ///< 3-D nests only
+  kOuter,
+};
+
+/// Work (cycles) available per synchronization event for a 1-D loop.
+std::int64_t work_per_sync_1d(std::int64_t n, std::int64_t cycles_per_point);
+
+/// Work per sync for a 2-D zone (jmax fastest). kMiddle is invalid here.
+std::int64_t work_per_sync_2d(std::int64_t jmax, std::int64_t kmax,
+                              LoopLevel level, std::int64_t cycles_per_point);
+
+/// Work per sync for a 3-D zone (jmax fastest, lmax slowest).
+std::int64_t work_per_sync_3d(std::int64_t jmax, std::int64_t kmax,
+                              std::int64_t lmax, LoopLevel level,
+                              std::int64_t cycles_per_point);
+
+/// Work per sync for a boundary-condition face of a 3-D zone: the face is
+/// n0 x n1 points; the parallel directive sits on the face's inner or outer
+/// loop (kMiddle is invalid).
+std::int64_t work_per_sync_boundary(std::int64_t n0, std::int64_t n1,
+                                    LoopLevel level,
+                                    std::int64_t cycles_per_point);
+
+}  // namespace llp::model

@@ -1,0 +1,161 @@
+#include "msg/message_passing.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace llp::msg {
+
+namespace {
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+}  // namespace
+
+class World {
+public:
+  explicit World(int ranks) : ranks_(ranks), mailboxes_(ranks) {
+    LLP_REQUIRE(ranks >= 1, "need at least one rank");
+    reduce_values_.assign(static_cast<std::size_t>(ranks), 0.0);
+  }
+
+  int size() const noexcept { return ranks_; }
+
+  void deliver(int src, int dest, int tag, std::span<const double> data) {
+    LLP_REQUIRE(dest >= 0 && dest < ranks_, "bad destination rank");
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(
+          Message{src, tag, std::vector<double>(data.begin(), data.end())});
+    }
+    box.cv.notify_all();
+  }
+
+  void receive(int me, int src, int tag, std::span<double> out) {
+    LLP_REQUIRE(src >= 0 && src < ranks_, "bad source rank");
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          LLP_REQUIRE(it->payload.size() == out.size(),
+                      "receive size mismatch");
+          std::copy(it->payload.begin(), it->payload.end(), out.begin());
+          box.queue.erase(it);
+          return;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    const std::uint64_t gen = barrier_generation_;
+    if (++barrier_count_ == ranks_) {
+      barrier_count_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock,
+                       [this, gen] { return barrier_generation_ != gen; });
+    }
+  }
+
+  double allreduce_sum(int rank, double x) {
+    reduce_values_[static_cast<std::size_t>(rank)] = x;
+    barrier();  // all contributions visible
+    double sum = 0.0;
+    for (double v : reduce_values_) sum += v;  // deterministic rank order
+    barrier();  // nobody overwrites until everyone has read
+    return sum;
+  }
+
+private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  const int ranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::vector<double> reduce_values_;
+};
+
+int Communicator::size() const noexcept { return world_.size(); }
+
+void Communicator::send(int dest, int tag, std::span<const double> data) {
+  world_.deliver(rank_, dest, tag, data);
+  ++messages_sent_;
+  bytes_sent_ += data.size() * sizeof(double);
+}
+
+void Communicator::recv(int src, int tag, std::span<double> out) {
+  world_.receive(rank_, src, tag, out);
+}
+
+void Communicator::sendrecv(int dest, int send_tag,
+                            std::span<const double> send_data, int src,
+                            int recv_tag, std::span<double> recv_data) {
+  send(dest, send_tag, send_data);
+  recv(src, recv_tag, recv_data);
+}
+
+void Communicator::barrier() {
+  world_.barrier();
+  ++barriers_;
+}
+
+double Communicator::allreduce_sum(double x) {
+  const double sum = world_.allreduce_sum(rank_, x);
+  barriers_ += 2;  // the two internal barriers
+  return sum;
+}
+
+WorldStats run(int ranks, const std::function<void(Communicator&)>& fn) {
+  World world(ranks);
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    comms.push_back(Communicator(world, r));
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          fn(comms[static_cast<std::size_t>(r)]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  WorldStats stats;
+  for (const auto& c : comms) {
+    stats.total_messages += c.messages_sent();
+    stats.total_bytes += c.bytes_sent();
+    stats.barriers_per_rank = c.barriers();  // equal across ranks
+  }
+  return stats;
+}
+
+}  // namespace llp::msg

@@ -1,0 +1,92 @@
+// In-process message passing (paper §8, Behr's SHMEM/MPI port of F3D).
+//
+// The paper's related work implemented loop-level parallelism with
+// explicit message passing because the target machines (T3D/T3E, IBM SP)
+// had no hardware-coherent shared memory. It "worked and produced a
+// credible level of performance, [but] was significantly more difficult
+// to implement". This module provides a faithful miniature of that
+// programming model — ranks, two-sided send/recv, barriers, reductions,
+// halo exchange — running ranks as threads in one process so the contrast
+// in programming effort and synchronization structure can be demonstrated
+// and tested without an MPI installation.
+//
+// Semantics (deliberately MPI-like):
+//   * send(dest, tag, data) is buffered and non-blocking: the payload is
+//     copied into the destination mailbox;
+//   * recv(src, tag, out) blocks until a matching message arrives;
+//     messages from the same (src, tag) arrive in send order; the payload
+//     must match the receive buffer's size exactly;
+//   * barrier() blocks until every rank arrives;
+//   * allreduce_sum combines a double across ranks (deterministic order).
+//
+// Per-rank traffic statistics feed the cost comparison against fork-join
+// synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace llp::msg {
+
+class World;
+class Communicator;
+
+/// Aggregate traffic over one run().
+struct WorldStats {
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t barriers_per_rank = 0;
+};
+
+/// Run fn on `ranks` threads, each with its own Communicator. Blocks until
+/// all ranks return; the first exception thrown by any rank is rethrown.
+WorldStats run(int ranks, const std::function<void(Communicator&)>& fn);
+
+/// A rank's handle to the communication world.
+class Communicator {
+public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Buffered, non-blocking send of `data` to `dest` with `tag`.
+  void send(int dest, int tag, std::span<const double> data);
+
+  /// Blocking receive of exactly out.size() doubles from (src, tag).
+  void recv(int src, int tag, std::span<double> out);
+
+  /// send + recv in one call, safe against pairwise exchange deadlock
+  /// (send is buffered, so ordering does not matter — this is sugar).
+  void sendrecv(int dest, int send_tag, std::span<const double> send_data,
+                int src, int recv_tag, std::span<double> recv_data);
+
+  /// Block until every rank has entered the barrier.
+  void barrier();
+
+  /// Sum of x across ranks, returned to all (combined in rank order).
+  double allreduce_sum(double x);
+
+  /// Messages and payload bytes this rank has sent.
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  /// Barriers (including those inside allreduce) this rank has entered.
+  std::uint64_t barriers() const noexcept { return barriers_; }
+
+private:
+  friend class World;
+  friend WorldStats run(int ranks,
+                        const std::function<void(Communicator&)>& fn);
+  Communicator(World& world, int rank) : world_(world), rank_(rank) {}
+
+  World& world_;
+  int rank_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace llp::msg

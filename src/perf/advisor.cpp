@@ -1,0 +1,81 @@
+#include "perf/advisor.hpp"
+
+#include <algorithm>
+
+#include "model/sync_cost.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace llp::perf {
+
+std::vector<Advice> advise(const std::vector<llp::RegionStats>& profile,
+                           const llp::model::MachineConfig& machine,
+                           int processors, double overhead_target) {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  LLP_REQUIRE(overhead_target > 0.0 && overhead_target <= 1.0,
+              "overhead_target must be in (0,1]");
+
+  const double sync_cycles = machine.sync_cycles(processors);
+  const auto min_work = static_cast<double>(
+      llp::model::min_work_for_efficiency(
+          processors, static_cast<std::int64_t>(sync_cycles),
+          overhead_target));
+
+  std::vector<Advice> out;
+  for (const auto& r : profile) {
+    if (r.invocations == 0 || r.flops <= 0.0) continue;
+    Advice a;
+    a.region = r.name;
+    a.trips = r.mean_trips();
+    // Per-invocation work on the target machine, in its cycles.
+    const double flops_per_inv =
+        r.flops / static_cast<double>(r.invocations);
+    a.work_cycles = flops_per_inv / (machine.sustained_mflops_per_proc * 1e6) *
+                    machine.clock_hz;
+    a.min_work_cycles = min_work;
+    a.overhead_fraction = llp::model::sync_overhead_fraction(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(a.work_cycles)),
+        processors, static_cast<std::int64_t>(sync_cycles));
+
+    if (r.kind == llp::RegionKind::kSerial) {
+      a.parallelize = false;
+      a.reason = "serial region (boundary-condition class): too little work "
+                 "per sync event (Table 2)";
+    } else if (a.work_cycles < min_work) {
+      a.parallelize = false;
+      a.reason = strfmt("work below Table 1 threshold: sync would cost "
+                        "%.1f%% of the loop",
+                        100.0 * a.overhead_fraction);
+    } else if (a.trips >= 1.0 && a.trips < processors) {
+      a.parallelize = true;
+      a.reason = strfmt("worth it, but only %.0f units of parallelism for "
+                        "%d processors (stair-step: ceil ratio %.0f)",
+                        a.trips, processors,
+                        a.trips > 0 ? static_cast<double>(processors) / a.trips
+                                    : 0.0);
+    } else {
+      a.parallelize = true;
+      a.reason = "clear win: ample work and parallelism";
+    }
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(), [](const Advice& x, const Advice& y) {
+    return x.work_cycles > y.work_cycles;
+  });
+  return out;
+}
+
+std::string format_advice(const std::vector<Advice>& advice) {
+  llp::Table t({"region", "verdict", "work cyc/inv", "threshold", "trips",
+                "reason"});
+  for (const auto& a : advice) {
+    t.add_row({a.region, a.parallelize ? "PARALLELIZE" : "keep serial",
+               llp::with_commas(static_cast<long long>(a.work_cycles)),
+               llp::with_commas(static_cast<long long>(a.min_work_cycles)),
+               llp::strfmt("%.0f", a.trips), a.reason});
+  }
+  return t.to_string();
+}
+
+}  // namespace llp::perf

@@ -1,0 +1,47 @@
+// Parallelization advisor: the paper's §3-§4 decision rules as code.
+//
+// Given a measured serial profile and a target machine, recommend for each
+// candidate loop whether the fork-join is worth it:
+//
+//   * Table 1: the loop's work per invocation must exceed
+//     min_work_for_efficiency(p, sync_cycles(p)) or the sync overhead
+//     exceeds the 1% budget — the reason boundary-condition loops stay
+//     serial;
+//   * Table 3: a trip count far below the processor count wastes most of
+//     the machine in the stair-step (flagged, not vetoed: the loop may
+//     still be worth parallelizing at fewer processors).
+//
+// This automates the judgment the authors made by hand from prof output —
+// "we needed to know which loops were expensive enough to justify being
+// parallelized (both in terms of the effort and additional overhead)" (§6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/region.hpp"
+#include "model/machine.hpp"
+
+namespace llp::perf {
+
+struct Advice {
+  std::string region;
+  bool parallelize = false;
+  double work_cycles = 0.0;      ///< per invocation, on the target machine
+  double min_work_cycles = 0.0;  ///< Table 1 threshold at p
+  double overhead_fraction = 0.0;///< predicted sync share if parallelized
+  double trips = 0.0;            ///< available parallelism
+  std::string reason;
+};
+
+/// Evaluate every parallel-loop region with recorded work. Regions of kind
+/// kSerial are reported with parallelize=false and a Table 2 rationale.
+/// Sorted by descending work.
+std::vector<Advice> advise(const std::vector<llp::RegionStats>& profile,
+                           const llp::model::MachineConfig& machine,
+                           int processors, double overhead_target = 0.01);
+
+/// Render the advice as a table.
+std::string format_advice(const std::vector<Advice>& advice);
+
+}  // namespace llp::perf

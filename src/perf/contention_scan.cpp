@@ -1,0 +1,61 @@
+#include "perf/contention_scan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace llp::perf {
+
+double region_cpu_seconds(const llp::RegionStats& r, int processors) {
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  if (r.kind == llp::RegionKind::kSerial || !r.parallel_enabled) {
+    return r.seconds;  // one lane working
+  }
+  if (r.lane_mean_seconds > 0.0) {
+    // Lane timing available: mean lane time x lanes is actual CPU time.
+    return r.lane_mean_seconds * processors;
+  }
+  return r.seconds * processors;  // conservative: all lanes busy for wall
+}
+
+std::vector<ContentionSuspect> contention_scan(
+    const std::vector<ScalingProfile>& profiles, double growth_threshold) {
+  LLP_REQUIRE(profiles.size() >= 2, "need profiles at >= 2 processor counts");
+  LLP_REQUIRE(growth_threshold > 1.0, "growth_threshold must exceed 1");
+
+  auto lo = std::min_element(
+      profiles.begin(), profiles.end(),
+      [](const auto& a, const auto& b) { return a.processors < b.processors; });
+  auto hi = std::max_element(
+      profiles.begin(), profiles.end(),
+      [](const auto& a, const auto& b) { return a.processors < b.processors; });
+  LLP_REQUIRE(lo->processors < hi->processors,
+              "profiles must span distinct processor counts");
+
+  std::vector<ContentionSuspect> out;
+  for (const auto& base : lo->regions) {
+    const auto match = std::find_if(
+        hi->regions.begin(), hi->regions.end(),
+        [&](const llp::RegionStats& r) { return r.name == base.name; });
+    if (match == hi->regions.end()) continue;
+    const double cpu_lo = region_cpu_seconds(base, lo->processors);
+    const double cpu_hi = region_cpu_seconds(*match, hi->processors);
+    if (cpu_lo <= 0.0) continue;
+    const double growth = cpu_hi / cpu_lo;
+    if (growth >= growth_threshold) {
+      ContentionSuspect s;
+      s.region = base.name;
+      s.cpu_time_growth = growth;
+      s.wall_speedup =
+          match->seconds > 0.0 ? base.seconds / match->seconds : 0.0;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ContentionSuspect& a, const ContentionSuspect& b) {
+              return a.cpu_time_growth > b.cpu_time_growth;
+            });
+  return out;
+}
+
+}  // namespace llp::perf

@@ -1,0 +1,47 @@
+// Contention detection from fixed-size scaling profiles (paper §7).
+//
+// "The best way to identify the problem now is to profile fixed size runs
+// with varying numbers of processors and look for subroutines that are
+// consuming additional CPU cycles as the number of processors increases.
+// [If] the number of cache misses is remaining relatively constant ...
+// then one almost certainly has a problem with contention."
+//
+// contention_scan takes per-processor-count profiles of the same
+// fixed-size run and flags regions whose total CPU time (wall time summed
+// across the lanes actually working, approximated as busiest-lane time x
+// processors when lane data exists, else wall x processors) grows with the
+// processor count instead of staying flat.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace llp::perf {
+
+/// One fixed-size run's profile at a given processor count.
+struct ScalingProfile {
+  int processors = 1;
+  std::vector<llp::RegionStats> regions;
+};
+
+struct ContentionSuspect {
+  std::string region;
+  double cpu_time_growth = 0.0;  ///< CPU-seconds at max procs / at min procs
+  double wall_speedup = 0.0;     ///< wall at min procs / wall at max procs
+};
+
+/// Estimated CPU seconds consumed by a region in one profile.
+double region_cpu_seconds(const llp::RegionStats& r, int processors);
+
+/// Flag regions whose CPU time grows by more than `growth_threshold`
+/// between the smallest and largest processor count. Requires >= 2
+/// profiles with distinct processor counts; regions must appear (by name)
+/// in the first profile to be considered. Results sorted by descending
+/// growth.
+std::vector<ContentionSuspect> contention_scan(
+    const std::vector<ScalingProfile>& profiles,
+    double growth_threshold = 1.5);
+
+}  // namespace llp::perf

@@ -1,0 +1,36 @@
+#include "perf/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::perf {
+
+double time_steps_per_hour(double seconds_per_step) {
+  LLP_REQUIRE(seconds_per_step > 0.0, "seconds_per_step must be positive");
+  return 3600.0 / seconds_per_step;
+}
+
+double mflops(double flops, double seconds) {
+  LLP_REQUIRE(seconds > 0.0, "seconds must be positive");
+  LLP_REQUIRE(flops >= 0.0, "flops must be nonnegative");
+  return flops / seconds / 1e6;
+}
+
+double parallel_efficiency(double t1_seconds, double tp_seconds,
+                           int processors) {
+  LLP_REQUIRE(t1_seconds > 0.0 && tp_seconds > 0.0, "times must be positive");
+  LLP_REQUIRE(processors >= 1, "processors must be >= 1");
+  return (t1_seconds / tp_seconds) / static_cast<double>(processors);
+}
+
+std::string eformat(double value) {
+  LLP_REQUIRE(std::isfinite(value), "value must be finite");
+  if (value == 0.0) return "0.00E0";
+  const double e = std::floor(std::log10(std::abs(value)));
+  const double mant = value / std::pow(10.0, e);
+  return llp::strfmt("%.2fE%d", mant, static_cast<int>(e));
+}
+
+}  // namespace llp::perf

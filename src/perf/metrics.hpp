@@ -1,0 +1,26 @@
+// Performance metrics in the paper's reporting units.
+//
+// The paper argues (§5) for "time steps/hour" over speedup — it lets a user
+// estimate run time directly and does not reward slow serial baselines — and
+// reports delivered MFLOPS alongside so both parallel *and* serial
+// efficiency are visible. These helpers keep every bench on those units.
+#pragma once
+
+#include <string>
+
+namespace llp::perf {
+
+/// Time steps per hour from seconds per step.
+double time_steps_per_hour(double seconds_per_step);
+
+/// Delivered MFLOPS.
+double mflops(double flops, double seconds);
+
+/// Parallel efficiency: speedup / processors.
+double parallel_efficiency(double t1_seconds, double tp_seconds,
+                           int processors);
+
+/// Render like the paper's Table 4 MFLOPS column: "3.64E3".
+std::string eformat(double value);
+
+}  // namespace llp::perf

@@ -1,0 +1,38 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+
+namespace llp::perf {
+
+/// Monotonic stopwatch.
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds elapsed time to a double on scope exit.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += timer_.elapsed(); }
+
+private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace llp::perf

@@ -1,0 +1,37 @@
+#include "perf/trace_builder.hpp"
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "util/error.hpp"
+
+namespace llp::perf {
+
+llp::model::WorkTrace build_trace(
+    const std::vector<llp::RegionStats>& snapshot, int steps) {
+  LLP_REQUIRE(steps >= 1, "steps must be >= 1");
+  llp::model::WorkTrace trace;
+  for (const auto& r : snapshot) {
+    if (r.invocations == 0) continue;
+    llp::model::LoopWork w;
+    w.name = r.name;
+    w.flops_per_step = r.flops / steps;
+    w.bytes_per_step = r.bytes / steps;
+    w.invocations_per_step =
+        static_cast<double>(r.invocations) / static_cast<double>(steps);
+    w.parallel =
+        r.kind == llp::RegionKind::kParallelLoop && r.parallel_enabled;
+    w.trips = w.parallel
+                  ? std::max<std::int64_t>(
+                        1, static_cast<std::int64_t>(std::llround(r.mean_trips())))
+                  : 1;
+    trace.loops.push_back(std::move(w));
+  }
+  return trace;
+}
+
+llp::model::WorkTrace build_trace_from_registry(int steps) {
+  return build_trace(llp::regions().snapshot(), steps);
+}
+
+}  // namespace llp::perf

@@ -1,0 +1,28 @@
+// Build a machine-independent WorkTrace from a measured region profile.
+//
+// The solver runs serially on the host with every doacross region
+// instrumented; this translates the resulting RegionRegistry snapshot into
+// the per-step LoopWork records the scaling model replays on target
+// machines. Work is expressed in FLOPs (accumulated analytically by the
+// solver), so the target machine's delivered-MFLOPS rating — not the host's
+// speed — sets absolute time.
+#pragma once
+
+#include <vector>
+
+#include "core/region.hpp"
+#include "model/scaling.hpp"
+
+namespace llp::perf {
+
+/// Convert accumulated region stats over `steps` time steps into a per-step
+/// trace. Regions with zero invocations are skipped. A parallel-loop region
+/// whose threading is currently disabled is emitted as serial — exactly what
+/// incremental parallelization means for scaling.
+llp::model::WorkTrace build_trace(
+    const std::vector<llp::RegionStats>& snapshot, int steps);
+
+/// Convenience: snapshot the global registry.
+llp::model::WorkTrace build_trace_from_registry(int steps);
+
+}  // namespace llp::perf

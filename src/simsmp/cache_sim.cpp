@@ -1,0 +1,184 @@
+#include "simsmp/cache_sim.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::simsmp {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  LLP_REQUIRE(is_pow2(config.line_bytes), "line_bytes must be a power of two");
+  LLP_REQUIRE(config.associativity >= 1, "associativity must be >= 1");
+  LLP_REQUIRE(config.size_bytes >=
+                  config.line_bytes * static_cast<std::uint64_t>(config.associativity),
+              "cache smaller than one set");
+  LLP_REQUIRE(config.size_bytes %
+                      (config.line_bytes *
+                       static_cast<std::uint64_t>(config.associativity)) ==
+                  0,
+              "size must be a multiple of line_bytes*associativity");
+  num_sets_ = config.size_bytes /
+              (config.line_bytes * static_cast<std::uint64_t>(config.associativity));
+  LLP_REQUIRE(is_pow2(num_sets_), "number of sets must be a power of two");
+  const std::size_t slots = num_sets_ * static_cast<std::size_t>(config.associativity);
+  tags_.assign(slots, 0);
+  lru_.assign(slots, 0);
+  valid_.assign(slots, 0);
+}
+
+int CacheSim::access(std::uint64_t addr, std::uint64_t bytes) {
+  LLP_ASSERT(bytes >= 1);
+  const std::uint64_t first = addr / config_.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / config_.line_bytes;
+  int miss_count = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (touch_line(line)) {
+      ++hits_;
+    } else {
+      ++misses_;
+      ++miss_count;
+    }
+  }
+  return miss_count;
+}
+
+bool CacheSim::touch_line(std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr & (num_sets_ - 1);
+  const std::uint64_t tag = line_addr >> 1;  // keep full line id as tag
+  const int assoc = config_.associativity;
+  const std::size_t base = static_cast<std::size_t>(set) * assoc;
+  ++stamp_;
+  // Hit?
+  for (int w = 0; w < assoc; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line_addr) {
+      lru_[base + w] = stamp_;
+      return true;
+    }
+  }
+  (void)tag;
+  // Miss: fill LRU way.
+  std::size_t victim = base;
+  for (int w = 1; w < assoc; ++w) {
+    if (!valid_[base + w]) {
+      victim = base + w;
+      break;
+    }
+    if (lru_[base + w] < lru_[victim]) victim = base + w;
+  }
+  if (!valid_[victim]) {
+    // Prefer any invalid way, including way 0.
+    for (int w = 0; w < assoc; ++w) {
+      if (!valid_[base + w]) {
+        victim = base + w;
+        break;
+      }
+    }
+  }
+  tags_[victim] = line_addr;
+  valid_[victim] = 1;
+  lru_[victim] = stamp_;
+  return false;
+}
+
+double CacheSim::miss_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+void CacheSim::reset() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  stamp_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+TlbSim::TlbSim(const TlbConfig& config) : config_(config) {
+  LLP_REQUIRE(config.entries >= 1, "TLB needs >= 1 entry");
+  LLP_REQUIRE(is_pow2(config.page_bytes), "page_bytes must be a power of two");
+  pages_.assign(static_cast<std::size_t>(config.entries), 0);
+  lru_.assign(static_cast<std::size_t>(config.entries), 0);
+  valid_.assign(static_cast<std::size_t>(config.entries), 0);
+}
+
+bool TlbSim::access(std::uint64_t addr) {
+  const std::uint64_t page = addr / config_.page_bytes;
+  ++stamp_;
+  std::size_t victim = 0;
+  bool found_invalid = false;
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    if (valid_[i] && pages_[i] == page) {
+      lru_[i] = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (!found_invalid) {
+      if (!valid_[i]) {
+        victim = i;
+        found_invalid = true;
+      } else if (lru_[i] < lru_[victim] || !valid_[victim]) {
+        victim = i;
+      }
+    }
+  }
+  pages_[victim] = page;
+  valid_[victim] = 1;
+  lru_[victim] = stamp_;
+  ++misses_;
+  return false;
+}
+
+double TlbSim::miss_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+void TlbSim::reset() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  stamp_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                                 const TlbConfig& tlb)
+    : l1_(l1), l2_(l2), tlb_(tlb) {}
+
+void MemoryHierarchy::access(std::uint64_t addr, std::uint64_t bytes) {
+  tlb_.access(addr);
+  const int l1_misses = l1_.access(addr, bytes);
+  if (l1_misses > 0) {
+    // Only lines missing in L1 proceed to L2; approximate with one L2 access
+    // per missed L1 line at line granularity.
+    const std::uint64_t line = l1_.config().line_bytes;
+    const std::uint64_t first = addr / line;
+    for (int i = 0; i < l1_misses; ++i) {
+      l2_.access((first + static_cast<std::uint64_t>(i)) * line, line);
+    }
+  }
+}
+
+double MemoryHierarchy::estimated_cycles(const HierarchyCosts& costs) const {
+  // Pixie-style: every access costs an L1 hit; L1 misses add the L2 hit
+  // penalty; L2 misses add the memory penalty; TLB misses add theirs.
+  return static_cast<double>(l1_.accesses()) * costs.l1_hit_cycles +
+         static_cast<double>(l1_.misses()) * costs.l2_hit_cycles +
+         static_cast<double>(l2_.misses()) * costs.memory_cycles +
+         static_cast<double>(tlb_.misses()) * costs.tlb_miss_cycles;
+}
+
+double MemoryHierarchy::memory_traffic_bytes() const {
+  return static_cast<double>(l2_.misses()) *
+         static_cast<double>(l2_.config().line_bytes);
+}
+
+void MemoryHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  tlb_.reset();
+}
+
+}  // namespace llp::simsmp

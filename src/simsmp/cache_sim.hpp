@@ -1,0 +1,117 @@
+// Trace-driven cache and TLB simulation (the paper's prof/pixie methodology,
+// §6: "by subtracting those two sets of numbers, one can then estimate the
+// cost of cache and TLB misses").
+//
+// CacheSim is a classic set-associative, LRU, write-allocate cache fed a
+// stream of byte addresses. It is deliberately simple — the paper's serial
+// tuning only needs miss *rates* for competing loop orders and buffer sizes,
+// not cycle accuracy. TlbSim models a fully-associative LRU TLB over pages.
+// MemoryHierarchy chains L1 -> L2 -> memory plus a TLB and produces the
+// miss-cost estimate pixie-style: cycles = hits*t_hit + misses*t_miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llp::simsmp {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint64_t line_bytes = 64;
+  int associativity = 4;
+};
+
+class CacheSim {
+public:
+  explicit CacheSim(const CacheConfig& config);
+
+  /// Touch `bytes` bytes starting at `addr`; accesses spanning lines touch
+  /// every line covered. Returns the number of misses incurred.
+  int access(std::uint64_t addr, std::uint64_t bytes = 8);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  double miss_rate() const noexcept;
+
+  const CacheConfig& config() const noexcept { return config_; }
+
+  /// Forget all contents and zero the counters.
+  void reset();
+
+private:
+  bool touch_line(std::uint64_t line_addr);
+
+  CacheConfig config_;
+  std::uint64_t num_sets_;
+  // tags_[set * assoc + way]; lru_[same] holds a recency stamp.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<char> valid_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+struct TlbConfig {
+  int entries = 64;
+  std::uint64_t page_bytes = 16 * 1024;  // SGI Origin default page
+};
+
+class TlbSim {
+public:
+  explicit TlbSim(const TlbConfig& config);
+
+  /// Touch the page containing addr; returns true on hit.
+  bool access(std::uint64_t addr);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double miss_rate() const noexcept;
+  void reset();
+
+private:
+  TlbConfig config_;
+  std::vector<std::uint64_t> pages_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<char> valid_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Cycle costs for the pixie-style estimate.
+struct HierarchyCosts {
+  double l1_hit_cycles = 1.0;
+  double l2_hit_cycles = 10.0;
+  double memory_cycles = 100.0;
+  double tlb_miss_cycles = 60.0;
+};
+
+/// L1 -> L2 -> memory plus TLB, fed one address stream.
+class MemoryHierarchy {
+public:
+  MemoryHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                  const TlbConfig& tlb);
+
+  void access(std::uint64_t addr, std::uint64_t bytes = 8);
+
+  const CacheSim& l1() const noexcept { return l1_; }
+  const CacheSim& l2() const noexcept { return l2_; }
+  const TlbSim& tlb() const noexcept { return tlb_; }
+
+  /// Estimated memory-hierarchy cycles for the stream so far.
+  double estimated_cycles(const HierarchyCosts& costs = {}) const;
+
+  /// Bytes of main-memory traffic generated (L2 misses x line size).
+  double memory_traffic_bytes() const;
+
+  void reset();
+
+private:
+  CacheSim l1_;
+  CacheSim l2_;
+  TlbSim tlb_;
+};
+
+}  // namespace llp::simsmp

@@ -1,0 +1,81 @@
+#include "simsmp/page_memory.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace llp::simsmp {
+
+PagePlacement::PagePlacement(std::uint64_t page_bytes, int num_nodes)
+    : page_bytes_(page_bytes), num_nodes_(num_nodes) {
+  LLP_REQUIRE(page_bytes >= 1, "page_bytes must be >= 1");
+  LLP_REQUIRE(num_nodes >= 1, "num_nodes must be >= 1");
+}
+
+int PagePlacement::node_of(std::uint64_t addr) const {
+  return static_cast<int>((addr / page_bytes_) % static_cast<std::uint64_t>(num_nodes_));
+}
+
+std::uint64_t PagePlacement::page_of(std::uint64_t addr) const {
+  return addr / page_bytes_;
+}
+
+ContentionAnalyzer::ContentionAnalyzer(std::uint64_t page_bytes,
+                                       int num_processors, int procs_per_node)
+    : page_bytes_(page_bytes),
+      num_processors_(num_processors),
+      procs_per_node_(procs_per_node) {
+  LLP_REQUIRE(page_bytes >= 1, "page_bytes must be >= 1");
+  LLP_REQUIRE(num_processors >= 1 && num_processors <= 128,
+              "supports 1..128 processors");
+  LLP_REQUIRE(procs_per_node >= 1, "procs_per_node must be >= 1");
+}
+
+void ContentionAnalyzer::access(int processor, std::uint64_t addr,
+                                std::uint64_t count) {
+  LLP_REQUIRE(processor >= 0 && processor < num_processors_, "bad processor");
+  const std::uint64_t page = addr / page_bytes_;
+  const int node = processor / procs_per_node_;
+  LLP_REQUIRE(node < 64, "node id exceeds mask width");
+
+  PageInfo& info = pages_[page];
+  if (info.home_node < 0) info.home_node = node;  // first touch
+  info.accesses += count;
+  info.node_mask |= (1ULL << node);
+  if (processor < 64) {
+    info.proc_mask_lo |= (1ULL << processor);
+  } else {
+    info.proc_mask_hi |= (1ULL << (processor - 64));
+  }
+  if (node != info.home_node) info.remote += count;
+  accesses_ += count;
+}
+
+ContentionReport ContentionAnalyzer::report() const {
+  ContentionReport r;
+  r.accesses = accesses_;
+  r.pages = pages_.size();
+  double weighted = 0.0;
+  for (const auto& [page, info] : pages_) {
+    (void)page;
+    const int sharers = std::popcount(info.proc_mask_lo) +
+                        std::popcount(info.proc_mask_hi);
+    if (sharers >= 2) {
+      ++r.shared_pages;
+      r.shared_accesses += info.accesses;
+    }
+    if (sharers > r.max_sharers) r.max_sharers = sharers;
+    weighted += static_cast<double>(sharers) *
+                static_cast<double>(info.accesses);
+    r.remote_accesses += info.remote;
+  }
+  if (accesses_ > 0) r.mean_sharers = weighted / static_cast<double>(accesses_);
+  return r;
+}
+
+void ContentionAnalyzer::reset() {
+  pages_.clear();
+  accesses_ = 0;
+}
+
+}  // namespace llp::simsmp

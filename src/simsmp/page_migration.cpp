@@ -1,0 +1,69 @@
+#include "simsmp/page_migration.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace llp::simsmp {
+
+MigratingPageMemory::MigratingPageMemory(std::uint64_t page_bytes,
+                                         int num_nodes, int procs_per_node)
+    : page_bytes_(page_bytes),
+      num_nodes_(num_nodes),
+      procs_per_node_(procs_per_node) {
+  LLP_REQUIRE(page_bytes >= 1, "page_bytes must be >= 1");
+  LLP_REQUIRE(num_nodes >= 1, "num_nodes must be >= 1");
+  LLP_REQUIRE(procs_per_node >= 1, "procs_per_node must be >= 1");
+}
+
+void MigratingPageMemory::access(int proc, std::uint64_t addr, bool write,
+                                 std::uint64_t count) {
+  LLP_REQUIRE(proc >= 0, "bad processor");
+  const int node = proc / procs_per_node_;
+  LLP_REQUIRE(node < num_nodes_, "processor maps past the last node");
+
+  PageState& page = pages_[addr / page_bytes_];
+  if (page.home < 0) {
+    page.home = node;  // first touch
+    page.epoch_count.assign(static_cast<std::size_t>(num_nodes_), 0);
+  }
+  page.epoch_count[static_cast<std::size_t>(node)] += count;
+  if (write) {
+    page.epoch_writes += count;
+    if (page.replicated) page.replicated = false;  // writes kill replicas
+  }
+
+  current_.accesses += count;
+  const bool served_locally =
+      node == page.home || (page.replicated && !write);
+  if (!served_locally) current_.remote += count;
+}
+
+EpochStats MigratingPageMemory::end_epoch(MigrationPolicy policy) {
+  EpochStats out = current_;
+  for (auto& [id, page] : pages_) {
+    (void)id;
+    if (policy == MigrationPolicy::kReplicateReadOnly &&
+        page.epoch_writes == 0) {
+      if (!page.replicated) {
+        page.replicated = true;
+        ++out.replicated_pages;
+      }
+    } else if (policy == MigrationPolicy::kMigrateToMajority ||
+               policy == MigrationPolicy::kReplicateReadOnly) {
+      const auto it = std::max_element(page.epoch_count.begin(),
+                                       page.epoch_count.end());
+      const int majority = static_cast<int>(it - page.epoch_count.begin());
+      if (*it > 0 && majority != page.home) {
+        page.home = majority;
+        ++out.migrations;
+      }
+    }
+    std::fill(page.epoch_count.begin(), page.epoch_count.end(), 0);
+    page.epoch_writes = 0;
+  }
+  current_ = EpochStats{};
+  return out;
+}
+
+}  // namespace llp::simsmp

@@ -1,0 +1,63 @@
+#include "simsmp/smp_simulator.hpp"
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace llp::simsmp {
+
+SmpSimulator::SmpSimulator(llp::model::MachineConfig machine)
+    : machine_(std::move(machine)) {}
+
+PerfPoint SmpSimulator::run(const llp::model::WorkTrace& trace,
+                            int processors) const {
+  const auto t1 = llp::model::predict_step_time(trace, machine_, 1);
+  const auto tp = llp::model::predict_step_time(trace, machine_, processors);
+
+  PerfPoint pt;
+  pt.processors = processors;
+  pt.breakdown = tp;
+  pt.seconds_per_step = tp.total();
+  LLP_REQUIRE(pt.seconds_per_step > 0.0, "empty trace");
+  pt.steps_per_hour = 3600.0 / pt.seconds_per_step;
+  pt.mflops = trace.total_flops() / pt.seconds_per_step / 1e6;
+  pt.speedup = t1.total() / tp.total();
+  pt.efficiency = pt.speedup / processors;
+  return pt;
+}
+
+std::vector<PerfPoint> SmpSimulator::sweep(
+    const llp::model::WorkTrace& trace,
+    const std::vector<int>& processor_counts) const {
+  std::vector<PerfPoint> out;
+  out.reserve(processor_counts.size());
+  for (int p : processor_counts) out.push_back(run(trace, p));
+  return out;
+}
+
+std::string SmpSimulator::format_sweep(const std::string& title,
+                                       const std::vector<PerfPoint>& points) {
+  llp::Table t({"procs", "steps/hr", "MFLOPS", "speedup", "effic",
+                "compute(s)", "serial(s)", "sync(s)"});
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.processors), strfmt("%.1f", p.steps_per_hour),
+               strfmt("%.0f", p.mflops), strfmt("%.2f", p.speedup),
+               strfmt("%.3f", p.efficiency),
+               strfmt("%.3f", p.breakdown.compute_s),
+               strfmt("%.3f", p.breakdown.serial_s),
+               strfmt("%.4f", p.breakdown.sync_s)});
+  }
+  return title + "\n" + t.to_string();
+}
+
+std::vector<int> table4_processor_counts(int max_processors) {
+  const std::vector<int> paper = {1,  16, 32,  48,  64,  72,
+                                  88, 104, 112, 120, 124};
+  std::vector<int> out;
+  for (int p : paper) {
+    if (p <= max_processors) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace llp::simsmp

@@ -1,0 +1,54 @@
+// Execution-driven SMP performance simulator.
+//
+// Sweeps a measured WorkTrace across processor counts on a target machine
+// and reports performance in the paper's units (time steps/hour, delivered
+// MFLOPS). This is what regenerates Table 4 and Figures 2–3: the trace comes
+// from real instrumented solver runs on the host; the machine constants come
+// from model::MachineConfig; the p-dependence (stair-step, sync, Amdahl,
+// NUMA) comes from model::predict_step_time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/scaling.hpp"
+
+namespace llp::simsmp {
+
+/// One point of a performance sweep.
+struct PerfPoint {
+  int processors = 1;
+  double seconds_per_step = 0.0;
+  double steps_per_hour = 0.0;
+  double mflops = 0.0;      ///< delivered, whole machine
+  double speedup = 0.0;     ///< vs the same machine's p=1
+  double efficiency = 0.0;  ///< speedup / p
+  llp::model::StepTime breakdown;
+};
+
+class SmpSimulator {
+public:
+  explicit SmpSimulator(llp::model::MachineConfig machine);
+
+  const llp::model::MachineConfig& machine() const noexcept { return machine_; }
+
+  /// Predict one processor count.
+  PerfPoint run(const llp::model::WorkTrace& trace, int processors) const;
+
+  /// Predict a list of processor counts (each must be within the machine).
+  std::vector<PerfPoint> sweep(const llp::model::WorkTrace& trace,
+                               const std::vector<int>& processor_counts) const;
+
+  /// Render a sweep as a table in the paper's Table 4 format.
+  static std::string format_sweep(const std::string& title,
+                                  const std::vector<PerfPoint>& points);
+
+private:
+  llp::model::MachineConfig machine_;
+};
+
+/// Processor counts used in the paper's Table 4 (clipped to the machine).
+std::vector<int> table4_processor_counts(int max_processors);
+
+}  // namespace llp::simsmp

@@ -1,0 +1,137 @@
+// Fortran-ordered dense arrays.
+//
+// The paper's code (F3D) is Fortran: A(J,K,L) stores J fastest. All of the
+// loop-ordering, buffer-sizing, and page-contention discussion in the paper
+// (Examples 1–4) assumes that layout, so we reproduce it exactly:
+//
+//   linear(j,k,l) = j + jmax * (k + kmax * l)
+//
+// Array4D adds a leading component index n (e.g. the 5 conservative flow
+// variables), also fastest-varying: Q(n,j,k,l).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace llp {
+
+/// Dense 3-D array, Fortran (column-major) order: first index fastest.
+template <typename T>
+class Array3D {
+public:
+  Array3D() = default;
+
+  Array3D(int jmax, int kmax, int lmax, T init = T{})
+      : jmax_(jmax), kmax_(kmax), lmax_(lmax),
+        data_(checked_size(jmax, kmax, lmax), init) {}
+
+  int jmax() const noexcept { return jmax_; }
+  int kmax() const noexcept { return kmax_; }
+  int lmax() const noexcept { return lmax_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Linear offset of (j,k,l); exposed so memory-system simulators can map
+  /// logical indices to addresses.
+  std::size_t index(int j, int k, int l) const noexcept {
+    return static_cast<std::size_t>(j) +
+           static_cast<std::size_t>(jmax_) *
+               (static_cast<std::size_t>(k) + static_cast<std::size_t>(kmax_) * l);
+  }
+
+  T& operator()(int j, int k, int l) noexcept {
+    LLP_ASSERT(in_bounds(j, k, l));
+    return data_[index(j, k, l)];
+  }
+  const T& operator()(int j, int k, int l) const noexcept {
+    LLP_ASSERT(in_bounds(j, k, l));
+    return data_[index(j, k, l)];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  bool in_bounds(int j, int k, int l) const noexcept {
+    return j >= 0 && j < jmax_ && k >= 0 && k < kmax_ && l >= 0 && l < lmax_;
+  }
+
+private:
+  static std::size_t checked_size(int jmax, int kmax, int lmax) {
+    LLP_REQUIRE(jmax > 0 && kmax > 0 && lmax > 0,
+                "Array3D dims must be positive");
+    return static_cast<std::size_t>(jmax) * kmax * lmax;
+  }
+
+  int jmax_ = 0, kmax_ = 0, lmax_ = 0;
+  AlignedVector<T> data_;
+};
+
+/// Dense 4-D array with a leading component index: Q(n,j,k,l), n fastest.
+/// This is the "reordered array indices" layout the paper's serial tuning
+/// produced — all components of one grid point are contiguous, maximizing
+/// work per cache miss for point-local computations.
+template <typename T>
+class Array4D {
+public:
+  Array4D() = default;
+
+  Array4D(int nvar, int jmax, int kmax, int lmax, T init = T{})
+      : nvar_(nvar), jmax_(jmax), kmax_(kmax), lmax_(lmax),
+        data_(checked_size(nvar, jmax, kmax, lmax), init) {}
+
+  int nvar() const noexcept { return nvar_; }
+  int jmax() const noexcept { return jmax_; }
+  int kmax() const noexcept { return kmax_; }
+  int lmax() const noexcept { return lmax_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  std::size_t index(int n, int j, int k, int l) const noexcept {
+    return static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(nvar_) *
+               (static_cast<std::size_t>(j) +
+                static_cast<std::size_t>(jmax_) *
+                    (static_cast<std::size_t>(k) +
+                     static_cast<std::size_t>(kmax_) * l));
+  }
+
+  T& operator()(int n, int j, int k, int l) noexcept {
+    LLP_ASSERT(in_bounds(n, j, k, l));
+    return data_[index(n, j, k, l)];
+  }
+  const T& operator()(int n, int j, int k, int l) const noexcept {
+    LLP_ASSERT(in_bounds(n, j, k, l));
+    return data_[index(n, j, k, l)];
+  }
+
+  /// Pointer to the nvar-vector at grid point (j,k,l).
+  T* point(int j, int k, int l) noexcept { return &data_[index(0, j, k, l)]; }
+  const T* point(int j, int k, int l) const noexcept {
+    return &data_[index(0, j, k, l)];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  bool in_bounds(int n, int j, int k, int l) const noexcept {
+    return n >= 0 && n < nvar_ && j >= 0 && j < jmax_ && k >= 0 && k < kmax_ &&
+           l >= 0 && l < lmax_;
+  }
+
+private:
+  static std::size_t checked_size(int nvar, int jmax, int kmax, int lmax) {
+    LLP_REQUIRE(nvar > 0 && jmax > 0 && kmax > 0 && lmax > 0,
+                "Array4D dims must be positive");
+    return static_cast<std::size_t>(nvar) * jmax * kmax * lmax;
+  }
+
+  int nvar_ = 0, jmax_ = 0, kmax_ = 0, lmax_ = 0;
+  AlignedVector<T> data_;
+};
+
+}  // namespace llp

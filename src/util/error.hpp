@@ -1,0 +1,43 @@
+// Error handling for the LLP library.
+//
+// The library reports precondition violations by throwing llp::Error.
+// LLP_REQUIRE is used at public API boundaries; internal invariants use
+// LLP_ASSERT, which compiles to nothing in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace llp {
+
+/// Exception type thrown by all LLP components on precondition violation.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace llp
+
+/// Precondition check that is always active (public API boundaries).
+#define LLP_REQUIRE(expr, msg)                                   \
+  do {                                                           \
+    if (!(expr)) ::llp::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define LLP_ASSERT(expr) ((void)0)
+#else
+#define LLP_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::llp::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+#endif

@@ -1,0 +1,43 @@
+// Minimal printf-style string formatting (GCC 12 lacks std::format).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace llp {
+
+/// snprintf into a std::string. Format string must be a literal in callers.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+/// Format a count with thousands separators, e.g. 12800000 -> "12,800,000".
+/// The paper's tables print cycle counts this way.
+inline std::string with_commas(long long v) {
+  std::string s = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int digits = 0;
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    if (digits != 0 && digits % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++digits;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace llp

@@ -1,0 +1,39 @@
+// Deterministic RNG for tests and workload generators (SplitMix64).
+//
+// Benchmarks and property tests must be reproducible run-to-run, so nothing
+// in the library uses std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace llp {
+
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0,1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo,hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0,n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace llp

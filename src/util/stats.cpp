@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace llp {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return s;
+}
+
+double rel_diff(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  if (scale == 0.0) return 0.0;
+  return std::abs(a - b) / scale;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  LLP_REQUIRE(!xs.empty(), "geometric_mean of empty sample");
+  double logsum = 0.0;
+  for (double x : xs) {
+    LLP_REQUIRE(x > 0.0, "geometric_mean requires positive inputs");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  LLP_REQUIRE(x.size() == y.size() && x.size() >= 2,
+              "loglog_slope needs >= 2 matching points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    LLP_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "loglog_slope requires positive data");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace llp

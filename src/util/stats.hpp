@@ -1,0 +1,31 @@
+// Small statistics helpers used by the perf harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace llp {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  std::size_t count = 0;
+};
+
+/// Summarize a sample; returns a zeroed Summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+/// |a-b| relative to max(|a|,|b|), 0 if both are 0. Used by solver-variant
+/// equivalence tests ("no changes to the algorithm").
+double rel_diff(double a, double b);
+
+/// Geometric mean; requires all-positive inputs (throws llp::Error otherwise).
+double geometric_mean(std::span<const double> xs);
+
+/// Least-squares slope of log(y) vs log(x) — observed order of accuracy for
+/// grid-convergence property tests.
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace llp

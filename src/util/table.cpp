@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace llp {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != ',' && c != '-' && c != '+' && c != 'e' &&
+               c != 'E' && c != 'x' && c != '%' && c != '/') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LLP_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LLP_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::string& out, const std::string& cell, std::size_t c,
+                       bool right) {
+    const std::size_t pad = width[c] - cell.size();
+    if (right) out.append(pad, ' ');
+    out += cell;
+    if (!right) out.append(pad, ' ');
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    emit_cell(out, headers_[c], c, false);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      emit_cell(out, row[c], c, looks_numeric(row[c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace llp

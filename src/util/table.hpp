@@ -1,0 +1,32 @@
+// Plain-text table formatter for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables or figures as text;
+// Table gives them a common look: padded columns, a header rule, and optional
+// right alignment for numeric columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llp {
+
+class Table {
+public:
+  /// Column headers define the column count; all rows must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row (throws llp::Error if the cell count mismatches).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table; every column is padded to its widest cell.
+  /// Numeric-looking cells are right-aligned, text cells left-aligned.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llp

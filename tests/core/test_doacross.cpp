@@ -1,0 +1,69 @@
+#include "core/doacross.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+
+namespace {
+
+TEST(Doacross, CreatesNamedRegionAndRuns) {
+  std::atomic<std::int64_t> sum{0};
+  const auto id = llp::doacross("da.sum_loop", 10,
+                                [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+  EXPECT_EQ(llp::regions().find("da.sum_loop"), id);
+}
+
+TEST(Doacross, RecordsStats) {
+  llp::regions().reset_stats();
+  llp::doacross("da.stats_loop", 25, [](std::int64_t) {});
+  const auto id = llp::regions().find("da.stats_loop");
+  const auto s = llp::regions().stats(id);
+  EXPECT_EQ(s.invocations, 1u);
+  EXPECT_EQ(s.total_trips, 25u);
+  EXPECT_GE(s.seconds, 0.0);
+}
+
+TEST(Doacross, ByIdAvoidsLookupButRecords) {
+  const auto id = llp::regions().define("da.by_id");
+  llp::regions().reset_stats();
+  std::atomic<int> n{0};
+  llp::doacross(id, 7, [&](std::int64_t) { n++; });
+  llp::doacross(id, 7, [&](std::int64_t) { n++; });
+  EXPECT_EQ(n.load(), 14);
+  EXPECT_EQ(llp::regions().stats(id).invocations, 2u);
+}
+
+TEST(Doacross, DisabledRegionStillProducesCorrectResult) {
+  const auto id = llp::regions().define("da.toggle");
+  llp::regions().set_parallel_enabled(id, false);
+  std::atomic<std::int64_t> sum{0};
+  llp::doacross(id, 100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+  llp::regions().set_parallel_enabled(id, true);
+  sum = 0;
+  llp::doacross(id, 100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(SerialRegion, RecordsKindSerial) {
+  int runs = 0;
+  const auto id = llp::serial_region("da.serial_bit", [&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+  const auto s = llp::regions().stats(id);
+  EXPECT_EQ(s.kind, llp::RegionKind::kSerial);
+  EXPECT_GE(s.invocations, 1u);
+}
+
+TEST(SerialRegion, TimesTheBody) {
+  llp::regions().reset_stats();
+  const auto id = llp::serial_region("da.timed_serial", [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  });
+  EXPECT_GT(llp::regions().stats(id).seconds, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+#include "core/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::ForOptions;
+using llp::Schedule;
+
+// Every (schedule, thread-count) combination must produce identical results.
+class ParallelForMatrix
+    : public ::testing::TestWithParam<std::tuple<Schedule, int>> {};
+
+TEST_P(ParallelForMatrix, EveryIterationRunsExactlyOnce) {
+  const auto [sched, threads] = GetParam();
+  const std::int64_t n = 257;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  ForOptions opts;
+  opts.schedule = sched;
+  opts.chunk = 3;
+  opts.num_threads = threads;
+  llp::parallel_for(0, n, [&](std::int64_t i) { hits[i]++; }, opts);
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForMatrix, RespectsBeginOffset) {
+  const auto [sched, threads] = GetParam();
+  ForOptions opts;
+  opts.schedule = sched;
+  opts.num_threads = threads;
+  std::atomic<std::int64_t> sum{0};
+  llp::parallel_for(10, 20, [&](std::int64_t i) { sum += i; }, opts);
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST_P(ParallelForMatrix, LaneIndexInRange) {
+  const auto [sched, threads] = GetParam();
+  ForOptions opts;
+  opts.schedule = sched;
+  opts.num_threads = threads;
+  std::atomic<bool> bad{false};
+  llp::parallel_for(
+      0, 100,
+      [&](std::int64_t, int lane) {
+        if (lane < 0 || lane >= threads) bad = true;
+      },
+      opts);
+  EXPECT_FALSE(bad.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelForMatrix,
+    ::testing::Combine(::testing::Values(Schedule::kStaticBlock,
+                                         Schedule::kStaticChunked,
+                                         Schedule::kDynamic,
+                                         Schedule::kGuided),
+                       ::testing::Values(1, 2, 3, 8)));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  llp::parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  llp::parallel_for(5, 2, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, ThreadsClampedToTripCount) {
+  ForOptions opts;
+  opts.num_threads = 16;
+  std::atomic<int> max_lane{0};
+  llp::parallel_for(
+      0, 3,
+      [&](std::int64_t, int lane) {
+        int cur = max_lane.load();
+        while (lane > cur && !max_lane.compare_exchange_weak(cur, lane)) {
+        }
+      },
+      opts);
+  EXPECT_LT(max_lane.load(), 3);
+}
+
+TEST(ParallelFor, RejectsNonPositiveChunk) {
+  ForOptions opts;
+  opts.chunk = 0;
+  EXPECT_THROW(llp::parallel_for(0, 10, [](std::int64_t) {}, opts),
+               llp::Error);
+}
+
+TEST(ParallelFor, BodyExceptionPropagates) {
+  ForOptions opts;
+  opts.num_threads = 4;
+  EXPECT_THROW(llp::parallel_for(
+                   0, 100,
+                   [](std::int64_t i) {
+                     if (i == 57) throw std::runtime_error("body");
+                   },
+                   opts),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, DisabledRegionRunsSerially) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.disabled_region");
+  reg.set_parallel_enabled(id, false);
+  ForOptions opts;
+  opts.num_threads = 8;
+  opts.region = id;
+  std::atomic<int> max_lane{-1};
+  llp::parallel_for(
+      0, 64,
+      [&](std::int64_t, int lane) {
+        int cur = max_lane.load();
+        while (lane > cur && !max_lane.compare_exchange_weak(cur, lane)) {
+        }
+      },
+      opts);
+  EXPECT_EQ(max_lane.load(), 0);  // everything on the calling lane
+}
+
+TEST(ParallelFor, RegionRecordsTripsAndInvocations) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.recorded_region");
+  reg.reset_stats();
+  ForOptions opts;
+  opts.region = id;
+  llp::parallel_for(0, 42, [](std::int64_t) {}, opts);
+  llp::parallel_for(0, 42, [](std::int64_t) {}, opts);
+  const auto s = reg.stats(id);
+  EXPECT_EQ(s.invocations, 2u);
+  EXPECT_EQ(s.total_trips, 84u);
+}
+
+TEST(ParallelFor2D, CoversWholeGrid) {
+  const std::int64_t n0 = 13, n1 = 17;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n0 * n1));
+  ForOptions opts;
+  opts.num_threads = 4;
+  llp::parallel_for_2d(
+      n0, n1, [&](std::int64_t a, std::int64_t b) { hits[a * n1 + b]++; },
+      opts);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2D, IndicesInBounds) {
+  std::atomic<bool> bad{false};
+  llp::parallel_for_2d(5, 7, [&](std::int64_t a, std::int64_t b) {
+    if (a < 0 || a >= 5 || b < 0 || b >= 7) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  for (int threads : {1, 2, 4, 8}) {
+    ForOptions opts;
+    opts.num_threads = threads;
+    const double sum = llp::parallel_reduce<double>(
+        0, 1000, 0.0, [](double a, double b) { return a + b; },
+        [](std::int64_t i, double& acc) { acc += static_cast<double>(i); },
+        opts);
+    EXPECT_DOUBLE_EQ(sum, 499500.0) << threads;
+  }
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ForOptions opts;
+  opts.num_threads = 4;
+  const double m = llp::parallel_reduce<double>(
+      0, 100, -1e300, [](double a, double b) { return a > b ? a : b; },
+      [](std::int64_t i, double& acc) {
+        const double v = static_cast<double>((i * 37) % 101);
+        if (v > acc) acc = v;
+      },
+      opts);
+  EXPECT_DOUBLE_EQ(m, 100.0);
+}
+
+TEST(ParallelReduce, DeterministicForFixedThreadCount) {
+  ForOptions opts;
+  opts.num_threads = 4;
+  auto run = [&] {
+    return llp::parallel_reduce<double>(
+        0, 10000, 0.0, [](double a, double b) { return a + b; },
+        [](std::int64_t i, double& acc) { acc += 1.0 / (1.0 + i); }, opts);
+  };
+  const double a = run();
+  const double b = run();
+  EXPECT_EQ(a, b);  // bitwise: same partition, same combine order
+}
+
+TEST(ParallelReduce, EmptyRangeGivesIdentity) {
+  const double v = llp::parallel_reduce<double>(
+      3, 3, 0.0, [](double a, double b) { return a + b; },
+      [](std::int64_t, double& acc) { acc += 1.0; });
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+namespace {
+
+TEST(ParallelFor, InstrumentedLoopRecordsLaneImbalance) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.lane_imbalance");
+  reg.reset_stats();
+  llp::ForOptions opts;
+  opts.region = id;
+  opts.num_threads = 4;
+  llp::parallel_for(0, 64, [](std::int64_t i) {
+    volatile double x = 0.0;
+    for (std::int64_t k = 0; k < 200 * (i + 1); ++k) x = x + 1.0;
+  }, opts);
+  const auto s = reg.stats(id);
+  EXPECT_GT(s.lane_mean_seconds, 0.0);
+  EXPECT_GE(s.imbalance(), 1.0);
+}
+
+TEST(ParallelFor, SerialExecutionRecordsNoLaneData) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.serial_lanes");
+  reg.reset_stats();
+  llp::ForOptions opts;
+  opts.region = id;
+  opts.num_threads = 1;
+  llp::parallel_for(0, 16, [](std::int64_t) {}, opts);
+  EXPECT_DOUBLE_EQ(reg.stats(id).lane_mean_seconds, 0.0);
+}
+
+}  // namespace

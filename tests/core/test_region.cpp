@@ -1,0 +1,177 @@
+#include "core/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::RegionKind;
+using llp::RegionRegistry;
+
+TEST(RegionRegistry, DefineReturnsDenseIds) {
+  RegionRegistry reg;
+  EXPECT_EQ(reg.define("a"), 0u);
+  EXPECT_EQ(reg.define("b"), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegionRegistry, DefineIsIdempotentByName) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop");
+  EXPECT_EQ(reg.define("loop"), id);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RegionRegistry, FindByName) {
+  RegionRegistry reg;
+  reg.define("x");
+  const auto id = reg.define("y");
+  EXPECT_EQ(reg.find("y"), id);
+  EXPECT_EQ(reg.find("missing"), llp::kNoRegion);
+}
+
+TEST(RegionRegistry, ParallelLoopDefaultsEnabled) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop", RegionKind::kParallelLoop);
+  EXPECT_TRUE(reg.parallel_enabled(id));
+}
+
+TEST(RegionRegistry, SerialDefaultsDisabled) {
+  RegionRegistry reg;
+  const auto id = reg.define("bc", RegionKind::kSerial);
+  EXPECT_FALSE(reg.parallel_enabled(id));
+}
+
+TEST(RegionRegistry, EnableDisableToggle) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop");
+  reg.set_parallel_enabled(id, false);
+  EXPECT_FALSE(reg.parallel_enabled(id));
+  reg.set_parallel_enabled(id, true);
+  EXPECT_TRUE(reg.parallel_enabled(id));
+}
+
+TEST(RegionRegistry, SetAllParallelSkipsSerialRegions) {
+  RegionRegistry reg;
+  const auto loop = reg.define("loop", RegionKind::kParallelLoop);
+  const auto bc = reg.define("bc", RegionKind::kSerial);
+  reg.set_all_parallel(true);
+  EXPECT_TRUE(reg.parallel_enabled(loop));
+  EXPECT_FALSE(reg.parallel_enabled(bc));
+}
+
+TEST(RegionRegistry, RecordAccumulates) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop");
+  reg.record(id, 100, 0.5);
+  reg.record(id, 100, 0.25);
+  const auto s = reg.stats(id);
+  EXPECT_EQ(s.invocations, 2u);
+  EXPECT_EQ(s.total_trips, 200u);
+  EXPECT_DOUBLE_EQ(s.seconds, 0.75);
+  EXPECT_DOUBLE_EQ(s.mean_trips(), 100.0);
+}
+
+TEST(RegionRegistry, FlopsAndBytesAccumulate) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop");
+  reg.add_flops(id, 1e6);
+  reg.add_flops(id, 2e6);
+  reg.add_bytes(id, 500.0);
+  const auto s = reg.stats(id);
+  EXPECT_DOUBLE_EQ(s.flops, 3e6);
+  EXPECT_DOUBLE_EQ(s.bytes, 500.0);
+}
+
+TEST(RegionRegistry, ResetStatsKeepsDefinitionsAndFlags) {
+  RegionRegistry reg;
+  const auto id = reg.define("loop");
+  reg.set_parallel_enabled(id, false);
+  reg.record(id, 10, 0.1);
+  reg.reset_stats();
+  const auto s = reg.stats(id);
+  EXPECT_EQ(s.invocations, 0u);
+  EXPECT_DOUBLE_EQ(s.seconds, 0.0);
+  EXPECT_FALSE(reg.parallel_enabled(id));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RegionRegistry, BadIdThrows) {
+  RegionRegistry reg;
+  EXPECT_THROW(reg.stats(3), llp::Error);
+  EXPECT_THROW(reg.record(0, 1, 0.1), llp::Error);
+  EXPECT_THROW(reg.set_parallel_enabled(9, true), llp::Error);
+}
+
+TEST(RegionRegistry, SnapshotInDefinitionOrder) {
+  RegionRegistry reg;
+  reg.define("first");
+  reg.define("second");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "first");
+  EXPECT_EQ(snap[1].name, "second");
+}
+
+TEST(RegionRegistry, ProfileReportSortsByTime) {
+  RegionRegistry reg;
+  const auto fast = reg.define("fast");
+  const auto slow = reg.define("slow");
+  reg.record(fast, 1, 0.01);
+  reg.record(slow, 1, 1.0);
+  const std::string report = reg.profile_report();
+  EXPECT_LT(report.find("slow"), report.find("fast"));
+}
+
+TEST(RegionRegistry, ConcurrentDefineIsSafe) {
+  RegionRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 100; ++i) {
+        reg.define("shared" + std::to_string(i % 10));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.size(), 10u);
+}
+
+TEST(RegionStats, MeanTripsZeroWithoutInvocations) {
+  llp::RegionStats s;
+  EXPECT_DOUBLE_EQ(s.mean_trips(), 0.0);
+}
+
+}  // namespace
+namespace {
+
+TEST(RegionRegistry, LaneTimesAccumulateAndComputeImbalance) {
+  llp::RegionRegistry reg;
+  const auto id = reg.define("lanes");
+  reg.record_lanes(id, 0.4, 0.2);
+  reg.record_lanes(id, 0.2, 0.1);
+  const auto s = reg.stats(id);
+  EXPECT_DOUBLE_EQ(s.lane_max_seconds, 0.6);
+  EXPECT_DOUBLE_EQ(s.lane_mean_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 2.0);
+}
+
+TEST(RegionRegistry, ImbalanceZeroWithoutLaneData) {
+  llp::RegionStats s;
+  EXPECT_DOUBLE_EQ(s.imbalance(), 0.0);
+}
+
+TEST(RegionRegistry, ResetClearsLaneTimes) {
+  llp::RegionRegistry reg;
+  const auto id = reg.define("lanes2");
+  reg.record_lanes(id, 0.4, 0.2);
+  reg.reset_stats();
+  EXPECT_DOUBLE_EQ(reg.stats(id).lane_max_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(reg.stats(id).imbalance(), 0.0);
+}
+
+}  // namespace

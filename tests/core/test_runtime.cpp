@@ -1,0 +1,40 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Runtime, DefaultThreadCountIsPositive) {
+  EXPECT_GE(llp::num_threads(), 1);
+}
+
+TEST(Runtime, SetNumThreadsChangesCount) {
+  const int orig = llp::num_threads();
+  llp::set_num_threads(3);
+  EXPECT_EQ(llp::num_threads(), 3);
+  llp::set_num_threads(orig);
+}
+
+TEST(Runtime, RejectsNonPositive) {
+  EXPECT_THROW(llp::set_num_threads(0), llp::Error);
+  EXPECT_THROW(llp::set_num_threads(-4), llp::Error);
+}
+
+TEST(Runtime, PoolMatchesConfiguredSize) {
+  const int orig = llp::num_threads();
+  llp::set_num_threads(5);
+  EXPECT_EQ(llp::Runtime::instance().pool().size(), 5);
+  llp::set_num_threads(2);
+  EXPECT_EQ(llp::Runtime::instance().pool().size(), 2);
+  llp::set_num_threads(orig);
+}
+
+TEST(Runtime, RegionsIsProcessWide) {
+  auto& a = llp::regions();
+  auto& b = llp::Runtime::instance().regions();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::IterRange;
+using llp::static_block;
+using llp::static_chunks;
+
+// Property: blocks partition [0,n) exactly — disjoint, complete, in order.
+class StaticBlockPartition
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StaticBlockPartition, CoversRangeExactlyOnce) {
+  const auto [n, threads] = GetParam();
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  std::int64_t prev_end = 0;
+  for (int t = 0; t < threads; ++t) {
+    const IterRange r = static_block(n, t, threads);
+    EXPECT_EQ(r.begin, prev_end) << "blocks must be contiguous";
+    prev_end = r.end;
+    for (std::int64_t i = r.begin; i < r.end; ++i) hits[i]++;
+  }
+  EXPECT_EQ(prev_end, n);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_P(StaticBlockPartition, NoBlockExceedsCeil) {
+  const auto [n, threads] = GetParam();
+  const std::int64_t limit = llp::max_block_size(n, threads);
+  for (int t = 0; t < threads; ++t) {
+    EXPECT_LE(static_block(n, t, threads).size(), limit);
+  }
+}
+
+TEST_P(StaticBlockPartition, BlockSizesDifferByAtMostOne) {
+  const auto [n, threads] = GetParam();
+  std::int64_t lo = n + 1, hi = -1;
+  for (int t = 0; t < threads; ++t) {
+    const auto sz = static_block(n, t, threads).size();
+    lo = std::min(lo, sz);
+    hi = std::max(hi, sz);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaticBlockPartition,
+    ::testing::Combine(::testing::Values(0, 1, 7, 15, 64, 75, 450, 1000),
+                       ::testing::Values(1, 2, 3, 7, 16, 64, 128)));
+
+TEST(MaxBlockSize, IsCeilDivision) {
+  EXPECT_EQ(llp::max_block_size(15, 2), 8);
+  EXPECT_EQ(llp::max_block_size(15, 4), 4);
+  EXPECT_EQ(llp::max_block_size(15, 15), 1);
+  EXPECT_EQ(llp::max_block_size(0, 4), 0);
+  EXPECT_EQ(llp::max_block_size(1, 128), 1);
+}
+
+TEST(StaticChunks, UnionCoversRange) {
+  const int n = 103, threads = 4;
+  const std::int64_t chunk = 7;
+  std::vector<int> hits(n, 0);
+  for (int t = 0; t < threads; ++t) {
+    for (const IterRange& r : static_chunks(n, t, threads, chunk)) {
+      for (std::int64_t i = r.begin; i < r.end; ++i) hits[i]++;
+    }
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(StaticChunks, RoundRobinAssignment) {
+  // With chunk=2, thread 1 of 3 owns [2,4), [8,10), ...
+  const auto rs = static_chunks(12, 1, 3, 2);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].begin, 2);
+  EXPECT_EQ(rs[0].end, 4);
+  EXPECT_EQ(rs[1].begin, 8);
+  EXPECT_EQ(rs[1].end, 10);
+}
+
+TEST(StaticChunks, RejectsBadArgs) {
+  EXPECT_THROW(llp::static_chunks(10, 0, 2, 0), llp::Error);
+  EXPECT_THROW(llp::static_chunks(10, 2, 2, 1), llp::Error);
+}
+
+TEST(GuidedChunk, ShrinksWithRemaining) {
+  const std::int64_t c1 = llp::guided_chunk(1000, 4, 1);
+  const std::int64_t c2 = llp::guided_chunk(100, 4, 1);
+  EXPECT_GT(c1, c2);
+}
+
+TEST(GuidedChunk, NeverBelowMinimum) {
+  EXPECT_EQ(llp::guided_chunk(3, 8, 5), 5);
+  EXPECT_EQ(llp::guided_chunk(0, 8, 2), 2);
+}
+
+TEST(IterRange, SizeAndEmpty) {
+  EXPECT_TRUE((IterRange{3, 3}).empty());
+  EXPECT_TRUE((IterRange{5, 3}).empty());
+  EXPECT_EQ((IterRange{2, 9}).size(), 7);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(ThreadPool, RejectsZeroSize) {
+  EXPECT_THROW(llp::ThreadPool(0), llp::Error);
+}
+
+TEST(ThreadPool, SizeOneRunsOnCaller) {
+  llp::ThreadPool pool(1);
+  int lane_seen = -1;
+  pool.run([&](int lane) { lane_seen = lane; });
+  EXPECT_EQ(lane_seen, 0);
+}
+
+TEST(ThreadPool, AllLanesExecuteExactlyOnce) {
+  for (int size : {1, 2, 4, 8}) {
+    llp::ThreadPool pool(size);
+    std::vector<std::atomic<int>> counts(static_cast<std::size_t>(size));
+    pool.run([&](int lane) { counts[static_cast<std::size_t>(lane)]++; });
+    for (int i = 0; i < size; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, RepeatedRunsWork) {
+  llp::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, SyncEventsCountRuns) {
+  llp::ThreadPool pool(3);
+  EXPECT_EQ(pool.sync_events(), 0u);
+  pool.run([](int) {});
+  pool.run([](int) {});
+  EXPECT_EQ(pool.sync_events(), 2u);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagates) {
+  llp::ThreadPool pool(4);
+  // Worker lanes are 1..3; lane 2 throws.
+  EXPECT_THROW(pool.run([](int lane) {
+                 if (lane == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPool, ExceptionFromCallerLanePropagates) {
+  llp::ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](int lane) {
+                 if (lane == 0) throw std::runtime_error("caller");
+               }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReentrantRunThrows) {
+  llp::ThreadPool pool(2);
+  EXPECT_THROW(pool.run([&](int lane) {
+                 if (lane == 0) pool.run([](int) {});
+               }),
+               llp::Error);
+}
+
+TEST(ThreadPool, ManyPoolsCreateAndDestroy) {
+  for (int i = 0; i < 20; ++i) {
+    llp::ThreadPool pool(3);
+    std::atomic<int> n{0};
+    pool.run([&](int) { n++; });
+    EXPECT_EQ(n.load(), 3);
+  }
+}
+
+TEST(ThreadPool, LanesAreDistinct) {
+  llp::ThreadPool pool(8);
+  std::mutex mu;
+  std::set<int> lanes;
+  pool.run([&](int lane) {
+    std::lock_guard<std::mutex> lock(mu);
+    lanes.insert(lane);
+  });
+  EXPECT_EQ(lanes.size(), 8u);
+  EXPECT_EQ(*lanes.begin(), 0);
+  EXPECT_EQ(*lanes.rbegin(), 7);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include "f3d/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using f3d::BcType;
+using f3d::BoundarySet;
+using f3d::Face;
+using f3d::FreeStream;
+using f3d::Zone;
+
+// Fill the interior with a deterministic non-uniform field.
+void fill_interior(Zone& z, std::uint64_t seed) {
+  llp::SplitMix64 rng(seed);
+  for (int l = 0; l < z.lmax(); ++l)
+    for (int k = 0; k < z.kmax(); ++k)
+      for (int j = 0; j < z.jmax(); ++j) {
+        f3d::Prim s;
+        s.rho = rng.uniform(0.5, 1.5);
+        s.u = rng.uniform(-1.0, 1.0);
+        s.v = rng.uniform(-1.0, 1.0);
+        s.w = rng.uniform(-1.0, 1.0);
+        s.p = rng.uniform(0.5, 1.5);
+        f3d::to_conservative(s, z.q_point(j, k, l));
+      }
+}
+
+TEST(Bc, FreeStreamFillsGhosts) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 1);
+  FreeStream fs;
+  fs.mach = 2.0;
+  BoundarySet bcs = BoundarySet::uniform(BcType::kFreeStream);
+  f3d::apply_boundary_conditions(z, bcs, fs);
+  double qinf[f3d::kNumVars];
+  fs.conservative(qinf);
+  for (int n = 0; n < f3d::kNumVars; ++n) {
+    EXPECT_DOUBLE_EQ(z.q(n, -1, 2, 2), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, -2, 2, 2), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, 4, 2, 2), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, 2, -1, 2), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, 2, 2, 5), qinf[n]);
+  }
+}
+
+TEST(Bc, ExtrapolateCopiesFaceCell) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 2);
+  BoundarySet bcs = BoundarySet::uniform(BcType::kExtrapolate);
+  f3d::apply_boundary_conditions(z, bcs, FreeStream{});
+  for (int n = 0; n < f3d::kNumVars; ++n) {
+    EXPECT_DOUBLE_EQ(z.q(n, -1, 1, 2), z.q(n, 0, 1, 2));
+    EXPECT_DOUBLE_EQ(z.q(n, -2, 1, 2), z.q(n, 0, 1, 2));
+    EXPECT_DOUBLE_EQ(z.q(n, 4, 1, 2), z.q(n, 3, 1, 2));
+    EXPECT_DOUBLE_EQ(z.q(n, 5, 1, 2), z.q(n, 3, 1, 2));
+    EXPECT_DOUBLE_EQ(z.q(n, 1, -1, 2), z.q(n, 1, 0, 2));
+    EXPECT_DOUBLE_EQ(z.q(n, 1, 2, 4), z.q(n, 1, 2, 3));
+  }
+}
+
+TEST(Bc, SlipWallMirrorsNormalMomentum) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 3);
+  BoundarySet bcs = BoundarySet::uniform(BcType::kExtrapolate);
+  bcs[Face::kKMin] = BcType::kSlipWall;
+  f3d::apply_boundary_conditions(z, bcs, FreeStream{});
+  for (int j = 0; j < 4; ++j) {
+    for (int l = 0; l < 4; ++l) {
+      // depth 1 ghost mirrors the first interior cell.
+      EXPECT_DOUBLE_EQ(z.q(0, j, -1, l), z.q(0, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(1, j, -1, l), z.q(1, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(2, j, -1, l), -z.q(2, j, 0, l));  // rho*v flips
+      EXPECT_DOUBLE_EQ(z.q(3, j, -1, l), z.q(3, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(4, j, -1, l), z.q(4, j, 0, l));
+      // depth 2 mirrors the second interior cell.
+      EXPECT_DOUBLE_EQ(z.q(2, j, -2, l), -z.q(2, j, 1, l));
+    }
+  }
+}
+
+TEST(Bc, SlipWallPreservesDensityAndEnergy) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 4);
+  BoundarySet bcs = BoundarySet::uniform(BcType::kSlipWall);
+  f3d::apply_boundary_conditions(z, bcs, FreeStream{});
+  // LMax face: normal momentum is rho*w.
+  EXPECT_DOUBLE_EQ(z.q(0, 1, 1, 4), z.q(0, 1, 1, 3));
+  EXPECT_DOUBLE_EQ(z.q(3, 1, 1, 4), -z.q(3, 1, 1, 3));
+  EXPECT_DOUBLE_EQ(z.q(4, 1, 1, 4), z.q(4, 1, 1, 3));
+}
+
+TEST(Bc, PeriodicWrapsAround) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 5);
+  BoundarySet bcs = BoundarySet::uniform(BcType::kPeriodic);
+  f3d::apply_boundary_conditions(z, bcs, FreeStream{});
+  for (int n = 0; n < f3d::kNumVars; ++n) {
+    EXPECT_DOUBLE_EQ(z.q(n, -1, 1, 1), z.q(n, 3, 1, 1));
+    EXPECT_DOUBLE_EQ(z.q(n, -2, 1, 1), z.q(n, 2, 1, 1));
+    EXPECT_DOUBLE_EQ(z.q(n, 4, 1, 1), z.q(n, 0, 1, 1));
+    EXPECT_DOUBLE_EQ(z.q(n, 5, 1, 1), z.q(n, 1, 1, 1));
+    EXPECT_DOUBLE_EQ(z.q(n, 1, -1, 1), z.q(n, 1, 3, 1));
+    EXPECT_DOUBLE_EQ(z.q(n, 1, 1, 4), z.q(n, 1, 1, 0));
+  }
+}
+
+TEST(Bc, InterfaceFacesAreLeftUntouched) {
+  Zone z({4, 4, 4}, 1, 1, 1);
+  fill_interior(z, 6);
+  // Mark the JMax ghosts with a sentinel, then apply interface BC there.
+  for (int k = 0; k < 4; ++k)
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        z.q(n, 4, k, l) = -777.0;
+      }
+  BoundarySet bcs = BoundarySet::uniform(BcType::kExtrapolate);
+  bcs[Face::kJMax] = BcType::kInterface;
+  f3d::apply_boundary_conditions(z, bcs, FreeStream{});
+  EXPECT_DOUBLE_EQ(z.q(0, 4, 1, 1), -777.0);
+}
+
+TEST(Bc, DefaultBoundarySetIsInflowOutflow) {
+  BoundarySet b;
+  EXPECT_EQ(b[Face::kJMin], BcType::kFreeStream);
+  EXPECT_EQ(b[Face::kJMax], BcType::kExtrapolate);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "f3d/case_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(CaseTrace, TripsMatchFullSizeDimensions) {
+  const auto trace = f3d::measure_full_size_trace(
+      f3d::paper_1m_case(0.1), f3d::paper_1m_case(1.0), "ct.trips", 2);
+  const auto full = f3d::paper_1m_case(1.0);
+  bool saw_sweep_j = false, saw_sweep_l = false;
+  for (const auto& l : trace.loops) {
+    if (l.name == "ct.trips.z1.sweep_j") {
+      EXPECT_EQ(l.trips, full.zones[1].lmax);  // 70
+      saw_sweep_j = true;
+    }
+    if (l.name == "ct.trips.z1.sweep_l") {
+      EXPECT_EQ(l.trips, full.zones[1].kmax);  // 75
+      saw_sweep_l = true;
+    }
+  }
+  EXPECT_TRUE(saw_sweep_j);
+  EXPECT_TRUE(saw_sweep_l);
+}
+
+TEST(CaseTrace, FlopsScaleByPointRatio) {
+  // Measure at two scales against the same full case: the extrapolated
+  // total flops must agree closely (per-point work is size-independent).
+  const auto full = f3d::paper_1m_case(1.0);
+  const auto a = f3d::measure_full_size_trace(f3d::paper_1m_case(0.1), full,
+                                              "ct.fa", 2);
+  const auto b = f3d::measure_full_size_trace(f3d::paper_1m_case(0.15), full,
+                                              "ct.fb", 2);
+  EXPECT_NEAR(a.total_flops(), b.total_flops(), 1e-6 * a.total_flops());
+}
+
+TEST(CaseTrace, SerialRegionsSurvive) {
+  const auto trace = f3d::measure_full_size_trace(
+      f3d::paper_1m_case(0.1), f3d::paper_1m_case(1.0), "ct.serial", 2);
+  int serial = 0;
+  for (const auto& l : trace.loops) {
+    if (!l.parallel) ++serial;
+  }
+  EXPECT_EQ(serial, 2);  // bc + exchange
+}
+
+TEST(CaseTrace, RejectsZoneCountMismatch) {
+  EXPECT_THROW(
+      f3d::measure_full_size_trace(f3d::wall_compression_case(8),
+                                   f3d::paper_1m_case(1.0), "ct.bad", 1),
+      llp::Error);
+}
+
+}  // namespace

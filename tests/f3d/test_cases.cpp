@@ -1,0 +1,136 @@
+#include "f3d/cases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Cases, Paper1MCaseFullScaleDims) {
+  const auto c = f3d::paper_1m_case(1.0);
+  ASSERT_EQ(c.zones.size(), 3u);
+  EXPECT_EQ(c.zones[0].jmax, 15);
+  EXPECT_EQ(c.zones[1].jmax, 87);
+  EXPECT_EQ(c.zones[2].jmax, 89);
+  for (const auto& z : c.zones) {
+    EXPECT_EQ(z.kmax, 75);
+    EXPECT_EQ(z.lmax, 70);
+  }
+  // "1-million grid point" case: 15*75*70 + 87*75*70 + 89*75*70.
+  EXPECT_NEAR(static_cast<double>(c.total_points()), 1.00e6, 0.01e6);
+}
+
+TEST(Cases, Paper59MCaseFullScaleDims) {
+  const auto c = f3d::paper_59m_case(1.0);
+  ASSERT_EQ(c.zones.size(), 3u);
+  EXPECT_EQ(c.zones[0].jmax, 29);
+  EXPECT_EQ(c.zones[1].jmax, 173);
+  EXPECT_EQ(c.zones[2].jmax, 175);
+  for (const auto& z : c.zones) {
+    EXPECT_EQ(z.kmax, 450);
+    EXPECT_EQ(z.lmax, 350);
+  }
+  EXPECT_NEAR(static_cast<double>(c.total_points()), 59.4e6, 0.5e6);
+}
+
+TEST(Cases, ScalePreservesRatios) {
+  const auto c = f3d::paper_1m_case(0.2);
+  EXPECT_EQ(c.zones[0].kmax, 15);  // 75 * 0.2
+  EXPECT_EQ(c.zones[0].lmax, 14);  // 70 * 0.2
+  EXPECT_EQ(c.zones[1].jmax, 17);  // round(87 * 0.2)
+}
+
+TEST(Cases, TinyScaleClampsToValidGrid) {
+  const auto c = f3d::paper_1m_case(0.01);
+  for (const auto& z : c.zones) {
+    EXPECT_GE(z.jmax, 6);
+    EXPECT_GE(z.kmax, 6);
+    EXPECT_GE(z.lmax, 6);
+  }
+}
+
+TEST(Cases, RejectsBadScale) {
+  EXPECT_THROW(f3d::paper_1m_case(0.0), llp::Error);
+  EXPECT_THROW(f3d::paper_59m_case(-1.0), llp::Error);
+}
+
+TEST(Cases, BuildGridSetsFreestream) {
+  const auto c = f3d::wall_compression_case(8);
+  auto g = f3d::build_grid(c);
+  double qinf[f3d::kNumVars];
+  c.freestream.conservative(qinf);
+  EXPECT_DOUBLE_EQ(g.zone(0).q(1, 3, 3, 3), qinf[1]);
+}
+
+TEST(Cases, MakePeriodicSingleZoneOnly) {
+  auto multi = f3d::build_grid(f3d::paper_1m_case(0.08));
+  EXPECT_THROW(f3d::make_periodic(multi), llp::Error);
+  auto single = f3d::build_grid(f3d::vortex_case(12));
+  EXPECT_NO_THROW(f3d::make_periodic(single));
+  EXPECT_EQ(single.bcs(0)[f3d::Face::kJMin], f3d::BcType::kPeriodic);
+}
+
+TEST(Cases, KminWallApplied) {
+  auto g = f3d::build_grid(f3d::wall_compression_case(8));
+  f3d::add_kmin_wall(g);
+  EXPECT_EQ(g.bcs(0)[f3d::Face::kKMin], f3d::BcType::kSlipWall);
+}
+
+TEST(Vortex, ExactDecaysToFreestreamFarAway) {
+  f3d::FreeStream fs;
+  fs.mach = 0.5;
+  f3d::Vortex v;
+  const auto far = v.exact(fs, 50.0, 50.0);
+  const auto inf = fs.prim();
+  EXPECT_NEAR(far.rho, inf.rho, 1e-12);
+  EXPECT_NEAR(far.u, inf.u, 1e-12);
+  EXPECT_NEAR(far.p, inf.p, 1e-12);
+}
+
+TEST(Vortex, CenterIsLowPressure) {
+  f3d::FreeStream fs;
+  fs.mach = 0.5;
+  f3d::Vortex v;
+  const auto center = v.exact(fs, 0.0, 0.0);
+  EXPECT_LT(center.p, fs.prim().p);
+  EXPECT_LT(center.rho, 1.0);
+}
+
+TEST(Vortex, VelocityIsTangential) {
+  f3d::FreeStream fs;
+  fs.mach = 0.0;
+  f3d::Vortex v;
+  // At (1,0) relative to the center, the perturbation is purely +v.
+  const auto s = v.exact(fs, 1.0, 0.0);
+  EXPECT_NEAR(s.u, 0.0, 1e-12);
+  EXPECT_GT(s.v, 0.0);
+}
+
+TEST(Vortex, InitializeThenZeroTimeErrorIsZero) {
+  const auto spec = f3d::vortex_case(16);
+  auto g = f3d::build_grid(spec);
+  f3d::Vortex v;
+  v.x0 = 5.0;
+  v.y0 = 5.0;
+  f3d::initialize_vortex(g, spec.freestream, v);
+  EXPECT_NEAR(f3d::vortex_l2_error(g, spec.freestream, v, 0.0, 10.0), 0.0,
+              1e-12);
+}
+
+TEST(GaussianPulse, PerturbsOnlyNearCenter) {
+  const auto spec = f3d::wall_compression_case(12);
+  auto g = f3d::build_grid(spec);
+  double qinf[f3d::kNumVars];
+  spec.freestream.conservative(qinf);
+  f3d::add_gaussian_pulse(g, 0.1, 1.5);
+  const int mid = 6;
+  EXPECT_GT(g.zone(0).q(0, mid, mid, mid), qinf[0] * 1.01);
+  EXPECT_NEAR(g.zone(0).q(0, 0, 0, 0), qinf[0], 1e-3);
+}
+
+TEST(GaussianPulse, RejectsBadRadius) {
+  auto g = f3d::build_grid(f3d::wall_compression_case(8));
+  EXPECT_THROW(f3d::add_gaussian_pulse(g, 0.1, 0.0), llp::Error);
+}
+
+}  // namespace

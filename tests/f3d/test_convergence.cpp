@@ -1,0 +1,99 @@
+// Accuracy and stability property tests on the isentropic vortex.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+
+namespace {
+
+// Advect the vortex for a fixed physical time on an n^3-ish grid and return
+// the density L2 error against the exact translated solution.
+double vortex_error(int n, double target_time, f3d::SweepMode mode) {
+  const auto spec = f3d::vortex_case(n);
+  auto grid = f3d::build_grid(spec);
+  f3d::make_periodic(grid);
+  f3d::Vortex v;
+  v.x0 = 5.0;
+  v.y0 = 5.0;
+  f3d::initialize_vortex(grid, spec.freestream, v);
+
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.cfl = 0.8;
+  cfg.mode = mode;
+  cfg.region_prefix = "conv.n" + std::to_string(n);
+  f3d::Solver s(grid, cfg);
+
+  // Integer step count closest to the target time.
+  const int steps = std::max(1, static_cast<int>(target_time / s.dt()));
+  s.run(steps);
+  return f3d::vortex_l2_error(grid, spec.freestream, v,
+                              steps * s.dt(), 10.0);
+}
+
+TEST(Convergence, ErrorShrinksWithRefinement) {
+  const double coarse = vortex_error(12, 1.0, f3d::SweepMode::kRisc);
+  const double fine = vortex_error(24, 1.0, f3d::SweepMode::kRisc);
+  EXPECT_LT(fine, coarse * 0.75);
+}
+
+TEST(Convergence, ObservedOrderAtLeastFirst) {
+  const double e1 = vortex_error(12, 1.0, f3d::SweepMode::kRisc);
+  const double e2 = vortex_error(24, 1.0, f3d::SweepMode::kRisc);
+  const double order = std::log2(e1 / e2);
+  EXPECT_GE(order, 0.9);
+}
+
+TEST(Convergence, BothModesConvergeIdentically) {
+  const double er = vortex_error(12, 0.5, f3d::SweepMode::kRisc);
+  const double ev = vortex_error(12, 0.5, f3d::SweepMode::kVector);
+  EXPECT_NEAR(er, ev, 1e-10 * (1.0 + er));
+}
+
+TEST(Stability, SurvivesLargeCfl) {
+  // Implicit scheme: stable at CFL well above the explicit limit.
+  const auto spec = f3d::vortex_case(12);
+  auto grid = f3d::build_grid(spec);
+  f3d::make_periodic(grid);
+  f3d::Vortex v;
+  v.x0 = 5.0;
+  v.y0 = 5.0;
+  f3d::initialize_vortex(grid, spec.freestream, v);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.cfl = 5.0;
+  cfg.region_prefix = "conv.cfl5";
+  f3d::Solver s(grid, cfg);
+  s.run(30);
+  // Solution remains finite and physical.
+  for (int l = 0; l < grid.zone(0).lmax(); ++l)
+    for (int k = 0; k < grid.zone(0).kmax(); ++k)
+      for (int j = 0; j < grid.zone(0).jmax(); ++j) {
+        const double* q = grid.zone(0).q_point(j, k, l);
+        ASSERT_TRUE(std::isfinite(q[0]));
+        ASSERT_GT(q[0], 0.0);
+        ASSERT_GT(f3d::pressure(q), 0.0);
+      }
+}
+
+TEST(Stability, SupersonicMultiZoneLongRun) {
+  const auto spec = f3d::paper_1m_case(0.09);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.1, 2.0);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = "conv.mz";
+  f3d::Solver s(grid, cfg);
+  f3d::RunHistory h;
+  for (int i = 0; i < 40; ++i) {
+    s.step();
+    h.record(s.residual(), 0);
+    ASSERT_TRUE(std::isfinite(s.residual())) << i;
+  }
+  EXPECT_TRUE(f3d::residual_decreasing(h, 0.6));
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+#include "f3d/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using f3d::kNumVars;
+using f3d::Prim;
+
+Prim random_state(llp::SplitMix64& rng) {
+  Prim s;
+  s.rho = rng.uniform(0.3, 2.5);
+  s.u = rng.uniform(-1.5, 1.5);
+  s.v = rng.uniform(-1.5, 1.5);
+  s.w = rng.uniform(-1.5, 1.5);
+  s.p = rng.uniform(0.2, 2.0);
+  return s;
+}
+
+class EigenDirections : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenDirections, LeftThenRightIsIdentity) {
+  const int dir = GetParam();
+  llp::SplitMix64 rng(17 + dir);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Prim s = random_state(rng);
+    double q[kNumVars];
+    f3d::to_conservative(s, q);
+    double x[kNumVars], w[kNumVars], back[kNumVars];
+    for (int n = 0; n < kNumVars; ++n) x[n] = rng.uniform(-1.0, 1.0);
+    f3d::apply_left(dir, q, x, w);
+    f3d::apply_right(dir, q, w, back);
+    for (int n = 0; n < kNumVars; ++n) {
+      EXPECT_NEAR(back[n], x[n], 1e-10) << "dir=" << dir << " n=" << n;
+    }
+  }
+}
+
+TEST_P(EigenDirections, RightThenLeftIsIdentity) {
+  const int dir = GetParam();
+  llp::SplitMix64 rng(23 + dir);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Prim s = random_state(rng);
+    double q[kNumVars];
+    f3d::to_conservative(s, q);
+    double w[kNumVars], x[kNumVars], back[kNumVars];
+    for (int n = 0; n < kNumVars; ++n) w[n] = rng.uniform(-1.0, 1.0);
+    f3d::apply_right(dir, q, w, x);
+    f3d::apply_left(dir, q, x, back);
+    for (int n = 0; n < kNumVars; ++n) {
+      EXPECT_NEAR(back[n], w[n], 1e-10) << "dir=" << dir << " n=" << n;
+    }
+  }
+}
+
+// The decisive property: R diag(lambda) L x must equal the action of the
+// true flux Jacobian dF/dQ on x, verified against central finite
+// differences of the flux itself.
+TEST_P(EigenDirections, DiagonalizationReproducesFluxJacobian) {
+  const int dir = GetParam();
+  llp::SplitMix64 rng(31 + dir);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Prim s = random_state(rng);
+    double q[kNumVars];
+    f3d::to_conservative(s, q);
+
+    double x[kNumVars];
+    for (int n = 0; n < kNumVars; ++n) x[n] = rng.uniform(-0.5, 0.5);
+
+    // A x via the eigensystem.
+    double w[kNumVars], lam[kNumVars], ax_eig[kNumVars];
+    f3d::apply_left(dir, q, x, w);
+    f3d::eigenvalues(dir, q, lam);
+    for (int n = 0; n < kNumVars; ++n) w[n] *= lam[n];
+    f3d::apply_right(dir, q, w, ax_eig);
+
+    // A x via finite differences: (F(q + e x) - F(q - e x)) / (2 e).
+    const double eps = 1e-6;
+    double qp[kNumVars], qm[kNumVars], fp[kNumVars], fm[kNumVars];
+    for (int n = 0; n < kNumVars; ++n) {
+      qp[n] = q[n] + eps * x[n];
+      qm[n] = q[n] - eps * x[n];
+    }
+    f3d::flux(dir, qp, fp);
+    f3d::flux(dir, qm, fm);
+    for (int n = 0; n < kNumVars; ++n) {
+      const double ax_fd = (fp[n] - fm[n]) / (2.0 * eps);
+      EXPECT_NEAR(ax_eig[n], ax_fd, 2e-4 * (1.0 + std::abs(ax_fd)))
+          << "dir=" << dir << " n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST_P(EigenDirections, EigenvalueOrderAndValues) {
+  const int dir = GetParam();
+  Prim s;
+  s.rho = 1.0;
+  s.u = 0.4;
+  s.v = 0.6;
+  s.w = -0.2;
+  s.p = 1.0 / f3d::kGamma;  // c = 1
+  double q[kNumVars], lam[kNumVars];
+  f3d::to_conservative(s, q);
+  f3d::eigenvalues(dir, q, lam);
+  const double un = (dir == 0) ? s.u : (dir == 1 ? s.v : s.w);
+  EXPECT_NEAR(lam[0], un - 1.0, 1e-12);
+  EXPECT_NEAR(lam[1], un, 1e-12);
+  EXPECT_NEAR(lam[2], un, 1e-12);
+  EXPECT_NEAR(lam[3], un, 1e-12);
+  EXPECT_NEAR(lam[4], un + 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDirections, EigenDirections,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Eigen, SupersonicAllEigenvaluesPositive) {
+  Prim s;
+  s.u = 2.0;  // M = 2 along x with c = 1
+  s.p = 1.0 / f3d::kGamma;
+  double q[kNumVars], lam[kNumVars];
+  f3d::to_conservative(s, q);
+  f3d::eigenvalues(0, q, lam);
+  for (int n = 0; n < kNumVars; ++n) EXPECT_GT(lam[n], 0.0);
+}
+
+}  // namespace
+namespace {
+
+TEST(Eigen, SupersonicFlowHasFullyUpwindLambdas) {
+  // At M=2 along each axis, every eigenvalue of that direction is
+  // positive: the flux-split implicit operator becomes purely backward
+  // differenced, the F3D "partially flux-split" streamwise situation.
+  for (int dir = 0; dir < 3; ++dir) {
+    Prim s;
+    s.p = 1.0 / f3d::kGamma;  // c = 1
+    s.u = dir == 0 ? 2.0 : 0.0;
+    s.v = dir == 1 ? 2.0 : 0.0;
+    s.w = dir == 2 ? 2.0 : 0.0;
+    double q[kNumVars], lam[kNumVars];
+    f3d::to_conservative(s, q);
+    f3d::eigenvalues(dir, q, lam);
+    for (int n = 0; n < kNumVars; ++n) EXPECT_GT(lam[n], 0.0) << dir;
+  }
+}
+
+TEST(Eigen, TransformsAreLinearInTheVector) {
+  llp::SplitMix64 rng(77);
+  for (int dir = 0; dir < 3; ++dir) {
+    const Prim s = random_state(rng);
+    double q[kNumVars];
+    f3d::to_conservative(s, q);
+    double x[kNumVars], y[kNumVars], xy[kNumVars];
+    for (int n = 0; n < kNumVars; ++n) {
+      x[n] = rng.uniform(-1.0, 1.0);
+      y[n] = rng.uniform(-1.0, 1.0);
+      xy[n] = 2.0 * x[n] - 3.0 * y[n];
+    }
+    double wx[kNumVars], wy[kNumVars], wxy[kNumVars];
+    f3d::apply_left(dir, q, x, wx);
+    f3d::apply_left(dir, q, y, wy);
+    f3d::apply_left(dir, q, xy, wxy);
+    for (int n = 0; n < kNumVars; ++n) {
+      EXPECT_NEAR(wxy[n], 2.0 * wx[n] - 3.0 * wy[n], 1e-11);
+    }
+  }
+}
+
+}  // namespace

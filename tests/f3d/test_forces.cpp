@@ -1,0 +1,83 @@
+#include "f3d/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+TEST(WallForce, UniformPressureGivesPressureTimesArea) {
+  f3d::Zone z({4, 5, 6}, 0.5, 0.25, 0.125);
+  f3d::FreeStream fs;
+  fs.mach = 2.0;
+  z.set_freestream(fs);
+  const double p_inf = 1.0 / f3d::kGamma;
+
+  const auto f = f3d::integrate_wall_force(z, f3d::Face::kKMin);
+  const double area = 4 * 6 * 0.5 * 0.125;
+  EXPECT_NEAR(f.area, area, 1e-12);
+  EXPECT_NEAR(f.fy, -p_inf * area, 1e-12);  // outward normal is -y
+  EXPECT_NEAR(f.fx, 0.0, 1e-15);
+  EXPECT_NEAR(f.fz, 0.0, 1e-15);
+}
+
+TEST(WallForce, EveryFaceNormalPointsOutward) {
+  f3d::Zone z({4, 4, 4}, 1, 1, 1);
+  f3d::FreeStream fs;
+  z.set_freestream(fs);
+  using f3d::Face;
+  EXPECT_LT(f3d::integrate_wall_force(z, Face::kJMin).fx, 0.0);
+  EXPECT_GT(f3d::integrate_wall_force(z, Face::kJMax).fx, 0.0);
+  EXPECT_LT(f3d::integrate_wall_force(z, Face::kKMin).fy, 0.0);
+  EXPECT_GT(f3d::integrate_wall_force(z, Face::kKMax).fy, 0.0);
+  EXPECT_LT(f3d::integrate_wall_force(z, Face::kLMin).fz, 0.0);
+  EXPECT_GT(f3d::integrate_wall_force(z, Face::kLMax).fz, 0.0);
+}
+
+TEST(WallForce, CoefficientsNormalizeByDynamicPressure) {
+  f3d::Zone z({4, 4, 4}, 1, 1, 1);
+  f3d::FreeStream fs;
+  fs.mach = 2.0;
+  z.set_freestream(fs);
+  const auto f = f3d::integrate_wall_force(z, f3d::Face::kKMin);
+  // |Cy| = p_inf / q_inf = (1/gamma) / (0.5 * M^2) for rho=1, V=M.
+  const double expect = (1.0 / f3d::kGamma) / (0.5 * 4.0);
+  EXPECT_NEAR(f.cy(fs), -expect, 1e-12);
+}
+
+TEST(WallForce, CoefficientRequiresArea) {
+  f3d::WallForce f;
+  f3d::FreeStream fs;
+  EXPECT_THROW(f.cx(fs), llp::Error);
+}
+
+TEST(TotalWallForce, SumsOnlyWallFaces) {
+  auto grid = f3d::build_grid(f3d::paper_1m_case(0.08));
+  // No walls yet: nothing integrated.
+  EXPECT_DOUBLE_EQ(f3d::total_wall_force(grid).area, 0.0);
+  f3d::add_kmin_wall(grid);
+  const auto f = f3d::total_wall_force(grid);
+  EXPECT_GT(f.area, 0.0);
+  EXPECT_LT(f.fy, 0.0);  // uniform pressure pushes down through KMin
+}
+
+TEST(TotalWallForce, CompressionSideLoadAppearsAtAngleOfAttack) {
+  // Mach-2 flow pitched 2 degrees INTO the KMin wall compresses the air
+  // near the wall: after converging a while, wall pressure must exceed
+  // free-stream pressure (|Cy| grows over the uniform-flow value).
+  auto spec = f3d::wall_compression_case(12, 2.0);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_kmin_wall(grid);
+  const double cy0 = std::abs(f3d::total_wall_force(grid).cy(spec.freestream));
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = "forces.aoa";
+  f3d::Solver s(grid, cfg);
+  s.run(40);
+  const double cy1 = std::abs(f3d::total_wall_force(grid).cy(spec.freestream));
+  EXPECT_GT(cy1, cy0 * 1.02);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include "f3d/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using f3d::FreeStream;
+using f3d::kGamma;
+using f3d::kNumVars;
+using f3d::Prim;
+
+Prim random_state(llp::SplitMix64& rng) {
+  Prim s;
+  s.rho = rng.uniform(0.2, 3.0);
+  s.u = rng.uniform(-2.0, 2.0);
+  s.v = rng.uniform(-2.0, 2.0);
+  s.w = rng.uniform(-2.0, 2.0);
+  s.p = rng.uniform(0.1, 3.0);
+  return s;
+}
+
+TEST(Gas, PrimConservativeRoundTrip) {
+  llp::SplitMix64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const Prim s = random_state(rng);
+    double q[kNumVars];
+    f3d::to_conservative(s, q);
+    const Prim back = f3d::to_prim(q);
+    EXPECT_NEAR(back.rho, s.rho, 1e-13);
+    EXPECT_NEAR(back.u, s.u, 1e-13);
+    EXPECT_NEAR(back.v, s.v, 1e-13);
+    EXPECT_NEAR(back.w, s.w, 1e-13);
+    EXPECT_NEAR(back.p, s.p, 1e-12);
+  }
+}
+
+TEST(Gas, PressureOfKnownState) {
+  // rho=1, V=0, E = p/(g-1): pressure recovers exactly.
+  double q[kNumVars] = {1.0, 0.0, 0.0, 0.0, 2.5};
+  EXPECT_NEAR(f3d::pressure(q), (kGamma - 1.0) * 2.5, 1e-15);
+}
+
+TEST(Gas, SoundSpeedOfFreeStreamIsOne) {
+  // The nondimensionalization fixes a_inf = 1.
+  FreeStream fs;
+  fs.mach = 2.0;
+  double q[kNumVars];
+  fs.conservative(q);
+  EXPECT_NEAR(f3d::sound_speed(q), 1.0, 1e-13);
+}
+
+TEST(Gas, FreeStreamVelocityMagnitudeIsMach) {
+  for (double mach : {0.5, 1.0, 2.0, 3.0}) {
+    FreeStream fs;
+    fs.mach = mach;
+    fs.alpha_deg = 2.0;
+    const Prim s = fs.prim();
+    const double v = std::sqrt(s.u * s.u + s.v * s.v + s.w * s.w);
+    EXPECT_NEAR(v, mach, 1e-13) << mach;
+  }
+}
+
+TEST(Gas, AlphaPitchesIntoY) {
+  FreeStream fs;
+  fs.mach = 1.0;
+  fs.alpha_deg = 90.0;
+  const Prim s = fs.prim();
+  EXPECT_NEAR(s.u, 0.0, 1e-13);
+  EXPECT_NEAR(s.v, 1.0, 1e-13);
+}
+
+TEST(Gas, BetaYawsIntoZ) {
+  FreeStream fs;
+  fs.mach = 1.0;
+  fs.beta_deg = 90.0;
+  const Prim s = fs.prim();
+  EXPECT_NEAR(s.w, 1.0, 1e-13);
+}
+
+TEST(Gas, FluxMassComponentIsMomentum) {
+  llp::SplitMix64 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Prim s = random_state(rng);
+    double q[kNumVars], f[kNumVars];
+    f3d::to_conservative(s, q);
+    for (int dir = 0; dir < 3; ++dir) {
+      f3d::flux(dir, q, f);
+      EXPECT_NEAR(f[0], q[1 + dir], 1e-12);
+    }
+  }
+}
+
+TEST(Gas, FluxOfStagnantGasIsPurePressure) {
+  Prim s;
+  s.rho = 1.0;
+  s.u = s.v = s.w = 0.0;
+  s.p = 2.0;
+  double q[kNumVars], f[kNumVars];
+  f3d::to_conservative(s, q);
+  f3d::flux(0, q, f);
+  EXPECT_NEAR(f[0], 0.0, 1e-15);
+  EXPECT_NEAR(f[1], 2.0, 1e-15);  // pressure in the normal momentum slot
+  EXPECT_NEAR(f[2], 0.0, 1e-15);
+  EXPECT_NEAR(f[3], 0.0, 1e-15);
+  EXPECT_NEAR(f[4], 0.0, 1e-15);
+}
+
+TEST(Gas, FluxDirectionsPermuteConsistently) {
+  // A state with velocity along y must produce in the y-flux what a
+  // velocity along x produces in the x-flux (with momenta permuted).
+  Prim sx;
+  sx.u = 1.3;
+  sx.v = 0.0;
+  sx.w = 0.0;
+  sx.rho = 1.1;
+  sx.p = 0.9;
+  Prim sy = sx;
+  sy.u = 0.0;
+  sy.v = 1.3;
+  double qx[kNumVars], qy[kNumVars], fx[kNumVars], fy[kNumVars];
+  f3d::to_conservative(sx, qx);
+  f3d::to_conservative(sy, qy);
+  f3d::flux(0, qx, fx);
+  f3d::flux(1, qy, fy);
+  EXPECT_NEAR(fx[0], fy[0], 1e-13);
+  EXPECT_NEAR(fx[1], fy[2], 1e-13);  // normal momentum slots
+  EXPECT_NEAR(fx[4], fy[4], 1e-13);
+}
+
+TEST(Gas, SpectralRadiusIsVelocityPlusSound) {
+  FreeStream fs;
+  fs.mach = 2.0;
+  double q[kNumVars];
+  fs.conservative(q);
+  EXPECT_NEAR(f3d::spectral_radius(0, q), 2.0 + 1.0, 1e-10);
+}
+
+}  // namespace

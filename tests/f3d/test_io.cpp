@@ -1,0 +1,127 @@
+#include "f3d/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+TEST(SolutionIo, RoundTripIsBitwise) {
+  auto spec = f3d::paper_1m_case(0.08);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.07, 2.0);
+  std::stringstream stream;
+  f3d::write_solution(stream, grid);
+  auto restored = f3d::build_grid(spec);
+  f3d::read_solution(stream, restored);
+  EXPECT_EQ(f3d::checksum(grid), f3d::checksum(restored));
+  EXPECT_DOUBLE_EQ(f3d::linf_diff(grid, restored), 0.0);
+}
+
+TEST(SolutionIo, RejectsWrongMagic) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream stream("NOTQ 1\n6 6 6\n");
+  EXPECT_THROW(f3d::read_solution(stream, grid), llp::Error);
+}
+
+TEST(SolutionIo, RejectsZoneCountMismatch) {
+  auto one = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream stream;
+  f3d::write_solution(stream, one);
+  auto three = f3d::build_grid(f3d::paper_1m_case(0.08));
+  EXPECT_THROW(f3d::read_solution(stream, three), llp::Error);
+}
+
+TEST(SolutionIo, RejectsDimensionMismatch) {
+  auto small = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream stream;
+  f3d::write_solution(stream, small);
+  auto big = f3d::build_grid(f3d::wall_compression_case(8));
+  EXPECT_THROW(f3d::read_solution(stream, big), llp::Error);
+}
+
+TEST(SolutionIo, RejectsTruncatedPayload) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream stream;
+  f3d::write_solution(stream, grid);
+  std::string data = stream.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(f3d::read_solution(cut, grid), llp::Error);
+}
+
+TEST(SolutionIo, CheckpointRestartContinuesExactly) {
+  // The §6 discipline applied to restart: run(10) must equal
+  // run(5) + save + load-into-fresh-grid + run(5), bit for bit.
+  auto spec = f3d::wall_compression_case(10);
+
+  auto straight = f3d::build_grid(spec);
+  f3d::add_kmin_wall(straight);
+  f3d::add_gaussian_pulse(straight, 0.05, 2.0);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = "io.straight";
+  f3d::Solver solver_a(straight, cfg);
+  solver_a.run(10);
+
+  auto first = f3d::build_grid(spec);
+  f3d::add_kmin_wall(first);
+  f3d::add_gaussian_pulse(first, 0.05, 2.0);
+  cfg.region_prefix = "io.first";
+  f3d::Solver solver_b(first, cfg);
+  solver_b.run(5);
+  std::stringstream checkpoint;
+  f3d::write_solution(checkpoint, first);
+
+  auto resumed = f3d::build_grid(spec);
+  f3d::add_kmin_wall(resumed);
+  f3d::read_solution(checkpoint, resumed);
+  cfg.region_prefix = "io.resumed";
+  f3d::Solver solver_c(resumed, cfg);
+  solver_c.run(5);
+
+  EXPECT_EQ(f3d::checksum(straight), f3d::checksum(resumed));
+}
+
+TEST(SolutionIo, PlaneCsvHasHeaderAndRows) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream out;
+  f3d::write_plane_csv(out, grid.zone(0), 2);
+  const std::string s = out.str();
+  EXPECT_EQ(s.rfind("x,z,rho,u,v,w,p\n", 0), 0u);
+  // 6x6 data rows + header.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 37);
+}
+
+TEST(SolutionIo, PlaneCsvRejectsBadPlane) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream out;
+  EXPECT_THROW(f3d::write_plane_csv(out, grid.zone(0), 6), llp::Error);
+}
+
+}  // namespace
+namespace {
+
+TEST(SolutionIo, FilePathWrappersRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/llp_io_roundtrip.q";
+  auto spec = f3d::wall_compression_case(7);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.06, 2.0);
+  f3d::save_solution(path, grid);
+  auto restored = f3d::build_grid(spec);
+  f3d::load_solution(path, restored);
+  EXPECT_EQ(f3d::checksum(grid), f3d::checksum(restored));
+  std::remove(path.c_str());
+}
+
+TEST(SolutionIo, MissingFileThrows) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  EXPECT_THROW(f3d::load_solution("/nonexistent/llp.q", grid), llp::Error);
+}
+
+}  // namespace

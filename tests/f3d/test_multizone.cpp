@@ -1,0 +1,124 @@
+#include "f3d/multizone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using f3d::BcType;
+using f3d::Face;
+using f3d::MultiZoneGrid;
+using f3d::ZoneDims;
+
+TEST(MultiZone, BuildsThreeZonesWithInterfaces) {
+  MultiZoneGrid g({{4, 6, 6}, {5, 6, 6}, {6, 6, 6}}, 0.1);
+  EXPECT_EQ(g.num_zones(), 3);
+  EXPECT_EQ(g.bcs(0)[Face::kJMin], BcType::kFreeStream);
+  EXPECT_EQ(g.bcs(0)[Face::kJMax], BcType::kInterface);
+  EXPECT_EQ(g.bcs(1)[Face::kJMin], BcType::kInterface);
+  EXPECT_EQ(g.bcs(1)[Face::kJMax], BcType::kInterface);
+  EXPECT_EQ(g.bcs(2)[Face::kJMax], BcType::kExtrapolate);
+}
+
+TEST(MultiZone, TotalPoints) {
+  MultiZoneGrid g({{4, 6, 6}, {5, 6, 6}}, 0.1);
+  EXPECT_EQ(g.total_points(), 4u * 36u + 5u * 36u);
+}
+
+TEST(MultiZone, ZonesAbutAlongX) {
+  MultiZoneGrid g({{4, 6, 6}, {5, 6, 6}}, 0.5);
+  // Zone 1's first cell center continues zone 0's grid without a gap.
+  EXPECT_DOUBLE_EQ(g.zone(1).x(0), g.zone(0).x(3) + 0.5);
+}
+
+TEST(MultiZone, RejectsMismatchedTransverseDims) {
+  EXPECT_THROW(MultiZoneGrid({{4, 6, 6}, {5, 7, 6}}, 0.1), llp::Error);
+  EXPECT_THROW(MultiZoneGrid({{4, 6, 6}, {5, 6, 8}}, 0.1), llp::Error);
+}
+
+TEST(MultiZone, RejectsEmptyAndBadSpacing) {
+  EXPECT_THROW(MultiZoneGrid({}, 0.1), llp::Error);
+  EXPECT_THROW(MultiZoneGrid({{4, 4, 4}}, 0.0), llp::Error);
+}
+
+TEST(MultiZone, ExchangeFillsInterfaceGhostsFromNeighborInterior) {
+  MultiZoneGrid g({{4, 5, 5}, {4, 5, 5}}, 0.1);
+  llp::SplitMix64 rng(9);
+  for (int zi = 0; zi < 2; ++zi) {
+    auto& z = g.zone(zi);
+    for (int l = 0; l < 5; ++l)
+      for (int k = 0; k < 5; ++k)
+        for (int j = 0; j < 4; ++j)
+          for (int n = 0; n < f3d::kNumVars; ++n)
+            z.q(n, j, k, l) = rng.uniform(0.0, 1.0);
+  }
+  g.exchange();
+  for (int l = 0; l < 5; ++l) {
+    for (int k = 0; k < 5; ++k) {
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        // Left zone's ghosts = right zone's first interior cells.
+        EXPECT_DOUBLE_EQ(g.zone(0).q(n, 4, k, l), g.zone(1).q(n, 0, k, l));
+        EXPECT_DOUBLE_EQ(g.zone(0).q(n, 5, k, l), g.zone(1).q(n, 1, k, l));
+        // Right zone's ghosts = left zone's last interior cells.
+        EXPECT_DOUBLE_EQ(g.zone(1).q(n, -1, k, l), g.zone(0).q(n, 3, k, l));
+        EXPECT_DOUBLE_EQ(g.zone(1).q(n, -2, k, l), g.zone(0).q(n, 2, k, l));
+      }
+    }
+  }
+}
+
+TEST(MultiZone, SetFreestreamAllZones) {
+  MultiZoneGrid g({{4, 5, 5}, {4, 5, 5}}, 0.1);
+  f3d::FreeStream fs;
+  fs.mach = 1.5;
+  g.set_freestream(fs);
+  double qinf[f3d::kNumVars];
+  fs.conservative(qinf);
+  EXPECT_DOUBLE_EQ(g.zone(1).q(1, 2, 2, 2), qinf[1]);
+}
+
+}  // namespace
+namespace {
+
+TEST(MultiZone, ExchangeIsIdempotent) {
+  f3d::MultiZoneGrid g({{4, 5, 5}, {4, 5, 5}}, 0.1);
+  llp::SplitMix64 rng(17);
+  for (int zi = 0; zi < 2; ++zi) {
+    auto& z = g.zone(zi);
+    for (int l = 0; l < 5; ++l)
+      for (int k = 0; k < 5; ++k)
+        for (int j = 0; j < 4; ++j)
+          for (int n = 0; n < f3d::kNumVars; ++n)
+            z.q(n, j, k, l) = rng.uniform(0.5, 1.5);
+  }
+  g.exchange();
+  // Snapshot all ghost values touched by the exchange...
+  std::vector<double> first;
+  for (int l = 0; l < 5; ++l)
+    for (int k = 0; k < 5; ++k)
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        first.push_back(g.zone(0).q(n, 4, k, l));
+        first.push_back(g.zone(1).q(n, -1, k, l));
+      }
+  g.exchange();
+  std::size_t idx = 0;
+  for (int l = 0; l < 5; ++l)
+    for (int k = 0; k < 5; ++k)
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        EXPECT_DOUBLE_EQ(g.zone(0).q(n, 4, k, l), first[idx++]);
+        EXPECT_DOUBLE_EQ(g.zone(1).q(n, -1, k, l), first[idx++]);
+      }
+}
+
+TEST(MultiZone, ExchangeDoesNotTouchInterior) {
+  f3d::MultiZoneGrid g({{4, 5, 5}, {4, 5, 5}}, 0.1);
+  f3d::FreeStream fs;
+  g.set_freestream(fs);
+  g.zone(0).q(0, 2, 2, 2) = 7.0;
+  g.exchange();
+  EXPECT_DOUBLE_EQ(g.zone(0).q(0, 2, 2, 2), 7.0);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "f3d/rhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "f3d/bc.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using f3d::FreeStream;
+using f3d::RhsConfig;
+using f3d::Zone;
+
+llp::Array4D<double> make_rhs_array(const Zone& z) {
+  return llp::Array4D<double>(f3d::kNumVars, z.jmax() + 2 * Zone::kGhost,
+                              z.kmax() + 2 * Zone::kGhost,
+                              z.lmax() + 2 * Zone::kGhost);
+}
+
+TEST(Rhs, FreeStreamGivesExactZero) {
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  FreeStream fs;
+  fs.mach = 2.0;
+  fs.alpha_deg = 2.0;
+  z.set_freestream(fs);
+  auto rhs = make_rhs_array(z);
+  rhs.fill(99.0);
+  for (int l = 0; l < z.lmax(); ++l) {
+    f3d::compute_rhs_plane(z, l, 0.05, RhsConfig{}, rhs);
+  }
+  const int ng = Zone::kGhost;
+  for (int l = 0; l < 6; ++l)
+    for (int k = 0; k < 6; ++k)
+      for (int j = 0; j < 6; ++j)
+        for (int n = 0; n < f3d::kNumVars; ++n) {
+          EXPECT_DOUBLE_EQ(rhs(n, j + ng, k + ng, l + ng), 0.0);
+        }
+}
+
+TEST(Rhs, PerturbationProducesNonzeroRhs) {
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  FreeStream fs;
+  z.set_freestream(fs);
+  z.q(0, 3, 3, 3) *= 1.1;  // density bump
+  auto rhs = make_rhs_array(z);
+  double sum = 0.0;
+  for (int l = 0; l < z.lmax(); ++l) {
+    f3d::compute_rhs_plane(z, l, 0.05, RhsConfig{}, rhs);
+    sum += f3d::rhs_plane_sumsq(z, l, rhs);
+  }
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Rhs, RhsScalesLinearlyWithDt) {
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  FreeStream fs;
+  z.set_freestream(fs);
+  z.q(0, 2, 2, 2) *= 1.05;
+  auto r1 = make_rhs_array(z);
+  auto r2 = make_rhs_array(z);
+  f3d::compute_rhs_plane(z, 2, 0.01, RhsConfig{}, r1);
+  f3d::compute_rhs_plane(z, 2, 0.02, RhsConfig{}, r2);
+  const int ng = Zone::kGhost;
+  for (int k = 0; k < 6; ++k)
+    for (int j = 0; j < 6; ++j)
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        EXPECT_NEAR(r2(n, j + ng, k + ng, 2 + ng),
+                    2.0 * r1(n, j + ng, k + ng, 2 + ng), 1e-14);
+      }
+}
+
+TEST(Rhs, MirrorSymmetricFieldGivesMirrorSymmetricRhs) {
+  // Field symmetric about the z midplane: the z-momentum RHS must be
+  // antisymmetric, the others symmetric.
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  FreeStream fs;
+  fs.mach = 1.5;
+  z.set_freestream(fs);
+  const int ng = Zone::kGhost;
+  // Symmetric density/pressure bump spanning all cells (ghosts included).
+  for (int l = -ng; l < 6 + ng; ++l) {
+    const double zc = (l + 0.5) - 3.0;  // symmetric coordinate about mid
+    for (int k = -ng; k < 6 + ng; ++k)
+      for (int j = -ng; j < 6 + ng; ++j) {
+        f3d::Prim s = f3d::to_prim(z.q_point(j, k, l));
+        const double bump =
+            1.0 + 0.05 * std::exp(-0.3 * (zc * zc + (j - 2.5) * (j - 2.5)));
+        s.rho *= bump;
+        s.p *= std::pow(bump, f3d::kGamma);
+        f3d::to_conservative(s, z.q_point(j, k, l));
+      }
+  }
+  auto rhs = make_rhs_array(z);
+  for (int l = 0; l < 6; ++l) {
+    f3d::compute_rhs_plane(z, l, 0.05, RhsConfig{}, rhs);
+  }
+  for (int l = 0; l < 3; ++l) {
+    const int lm = 5 - l;  // mirror plane index
+    for (int k = 0; k < 6; ++k)
+      for (int j = 0; j < 6; ++j) {
+        EXPECT_NEAR(rhs(0, j + ng, k + ng, l + ng),
+                    rhs(0, j + ng, k + ng, lm + ng), 1e-12);
+        EXPECT_NEAR(rhs(3, j + ng, k + ng, l + ng),
+                    -rhs(3, j + ng, k + ng, lm + ng), 1e-12);
+        EXPECT_NEAR(rhs(4, j + ng, k + ng, l + ng),
+                    rhs(4, j + ng, k + ng, lm + ng), 1e-12);
+      }
+  }
+}
+
+TEST(Rhs, PlaneOutOfRangeRejected) {
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  auto rhs = make_rhs_array(z);
+  EXPECT_THROW(f3d::compute_rhs_plane(z, 6, 0.05, RhsConfig{}, rhs),
+               llp::Error);
+  EXPECT_THROW(f3d::compute_rhs_plane(z, -1, 0.05, RhsConfig{}, rhs),
+               llp::Error);
+}
+
+TEST(Rhs, SumsqMatchesManualSum) {
+  Zone z({6, 6, 6}, 0.1, 0.1, 0.1);
+  FreeStream fs;
+  z.set_freestream(fs);
+  z.q(4, 2, 3, 1) *= 1.02;
+  auto rhs = make_rhs_array(z);
+  f3d::compute_rhs_plane(z, 1, 0.05, RhsConfig{}, rhs);
+  double manual = 0.0;
+  const int ng = Zone::kGhost;
+  for (int k = 0; k < 6; ++k)
+    for (int j = 0; j < 6; ++j)
+      for (int n = 0; n < f3d::kNumVars; ++n) {
+        const double v = rhs(n, j + ng, k + ng, 1 + ng);
+        manual += v * v;
+      }
+  EXPECT_DOUBLE_EQ(f3d::rhs_plane_sumsq(z, 1, rhs), manual);
+}
+
+}  // namespace

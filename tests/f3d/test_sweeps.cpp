@@ -1,0 +1,229 @@
+#include "f3d/sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/llp.hpp"
+#include "f3d/rhs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using f3d::RiscSweeps;
+using f3d::VectorSweeps;
+using f3d::Zone;
+
+void randomize(Zone& z, llp::Array4D<double>& rhs, std::uint64_t seed) {
+  llp::SplitMix64 rng(seed);
+  const int ng = Zone::kGhost;
+  for (int l = -ng; l < z.lmax() + ng; ++l)
+    for (int k = -ng; k < z.kmax() + ng; ++k)
+      for (int j = -ng; j < z.jmax() + ng; ++j) {
+        f3d::Prim s;
+        s.rho = rng.uniform(0.5, 1.5);
+        s.u = rng.uniform(-1.0, 1.0);
+        s.v = rng.uniform(-1.0, 1.0);
+        s.w = rng.uniform(-1.0, 1.0);
+        s.p = rng.uniform(0.5, 1.5);
+        f3d::to_conservative(s, z.q_point(j, k, l));
+        if (l >= 0 && l < z.lmax() && k >= 0 && k < z.kmax() && j >= 0 &&
+            j < z.jmax()) {
+          for (int n = 0; n < f3d::kNumVars; ++n) {
+            rhs(n, j + ng, k + ng, l + ng) = rng.uniform(-0.1, 0.1);
+          }
+        }
+      }
+}
+
+llp::Array4D<double> make_work(const Zone& z) {
+  return llp::Array4D<double>(f3d::kNumVars, z.jmax() + 2 * Zone::kGhost,
+                              z.kmax() + 2 * Zone::kGhost,
+                              z.lmax() + 2 * Zone::kGhost);
+}
+
+class SweepDirections : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepDirections, ZeroDtIsIdentity) {
+  const int dir = GetParam();
+  Zone z({7, 6, 5}, 0.1, 0.1, 0.1);
+  auto rhs = make_work(z);
+  randomize(z, rhs, 41);
+  auto before = rhs;
+  RiscSweeps engine;
+  const auto region = llp::regions().define("sw.zero_dt");
+  engine.sweep(z, dir, 0.0, 0.25, rhs, region);
+  const int ng = Zone::kGhost;
+  for (int l = 0; l < z.lmax(); ++l)
+    for (int k = 0; k < z.kmax(); ++k)
+      for (int j = 0; j < z.jmax(); ++j)
+        for (int n = 0; n < f3d::kNumVars; ++n) {
+          EXPECT_NEAR(rhs(n, j + ng, k + ng, l + ng),
+                      before(n, j + ng, k + ng, l + ng), 1e-12)
+              << "dir=" << dir;
+        }
+}
+
+TEST_P(SweepDirections, VectorAndRiscAgree) {
+  const int dir = GetParam();
+  Zone z({8, 7, 6}, 0.1, 0.12, 0.09);
+  auto rhs_a = make_work(z);
+  randomize(z, rhs_a, 77);
+  auto rhs_b = rhs_a;
+
+  RiscSweeps risc;
+  VectorSweeps vec;
+  const auto ra = llp::regions().define("sw.agree_risc");
+  const auto rb = llp::regions().define("sw.agree_vec", llp::RegionKind::kSerial);
+  risc.sweep(z, dir, 0.04, 0.25, rhs_a, ra);
+  vec.sweep(z, dir, 0.04, 0.25, rhs_b, rb);
+
+  const int ng = Zone::kGhost;
+  for (int l = 0; l < z.lmax(); ++l)
+    for (int k = 0; k < z.kmax(); ++k)
+      for (int j = 0; j < z.jmax(); ++j)
+        for (int n = 0; n < f3d::kNumVars; ++n) {
+          EXPECT_NEAR(rhs_a(n, j + ng, k + ng, l + ng),
+                      rhs_b(n, j + ng, k + ng, l + ng), 1e-12)
+              << "dir=" << dir;
+        }
+}
+
+TEST_P(SweepDirections, ThreadCountDoesNotChangeResult) {
+  const int dir = GetParam();
+  Zone z({7, 7, 7}, 0.1, 0.1, 0.1);
+  auto rhs_1 = make_work(z);
+  randomize(z, rhs_1, 55);
+  auto rhs_4 = rhs_1;
+
+  const int orig = llp::num_threads();
+  RiscSweeps engine;
+  const auto region = llp::regions().define("sw.threads");
+
+  llp::set_num_threads(1);
+  engine.sweep(z, dir, 0.03, 0.25, rhs_1, region);
+  llp::set_num_threads(4);
+  RiscSweeps engine4;
+  engine4.sweep(z, dir, 0.03, 0.25, rhs_4, region);
+  llp::set_num_threads(orig);
+
+  const int ng = Zone::kGhost;
+  for (int l = 0; l < z.lmax(); ++l)
+    for (int k = 0; k < z.kmax(); ++k)
+      for (int j = 0; j < z.jmax(); ++j)
+        for (int n = 0; n < f3d::kNumVars; ++n) {
+          // Identical per-line arithmetic regardless of which lane ran it.
+          EXPECT_DOUBLE_EQ(rhs_1(n, j + ng, k + ng, l + ng),
+                           rhs_4(n, j + ng, k + ng, l + ng))
+              << "dir=" << dir;
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDirections, SweepDirections,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Sweeps, RegionRecordsOuterLoopTrips) {
+  Zone z({6, 9, 8}, 0.1, 0.1, 0.1);
+  auto rhs = make_work(z);
+  randomize(z, rhs, 3);
+  RiscSweeps engine;
+  auto& reg = llp::regions();
+  const auto region = reg.define("sw.trips");
+  reg.reset_stats();
+  engine.sweep(z, 0, 0.02, 0.25, rhs, region);  // J sweep: outer loop is L
+  EXPECT_EQ(reg.stats(region).total_trips, 8u);
+  engine.sweep(z, 2, 0.02, 0.25, rhs, region);  // L sweep: outer loop is K
+  EXPECT_EQ(reg.stats(region).total_trips, 8u + 9u);
+}
+
+TEST(Sweeps, VectorScratchIsPlaneProportional) {
+  Zone small({6, 6, 6}, 0.1, 0.1, 0.1);
+  Zone big({40, 40, 40}, 0.1, 0.1, 0.1);
+  auto rhs_s = make_work(small);
+  auto rhs_b = make_work(big);
+  randomize(small, rhs_s, 1);
+  randomize(big, rhs_b, 2);
+
+  VectorSweeps vs, vb;
+  const auto r = llp::regions().define("sw.scratch", llp::RegionKind::kSerial);
+  vs.sweep(small, 1, 0.02, 0.25, rhs_s, r);
+  vb.sweep(big, 1, 0.02, 0.25, rhs_b, r);
+  // The big zone's K-plane (40x6... K sweep plane is kmax x jmax) dwarfs
+  // the small zone's; scratch grows accordingly. This is the §4 cache
+  // problem in one assertion.
+  EXPECT_GT(vb.scratch_bytes(), 10 * vs.scratch_bytes());
+}
+
+TEST(SweepShape, MatchesPaperParallelization) {
+  // J and K sweeps parallelize over L; the L sweep parallelizes over K —
+  // so for the paper's zones the available parallelism is the 70/75 (or
+  // 350/450) transverse dimensions, never the small J.
+  Zone z({15, 75, 70}, 0.1, 0.1, 0.1);
+  EXPECT_EQ(f3d::sweep_shape(z, 0).outer_n, 70);
+  EXPECT_EQ(f3d::sweep_shape(z, 1).outer_n, 70);
+  EXPECT_EQ(f3d::sweep_shape(z, 2).outer_n, 75);
+  EXPECT_EQ(f3d::sweep_shape(z, 0).line_n, 15);
+}
+
+TEST(PencilWorkspace, EnsureGrowsMonotonically) {
+  f3d::PencilWorkspace ws;
+  ws.ensure(10);
+  EXPECT_GE(ws.capacity, 10);
+  EXPECT_EQ(ws.q.size(), 50u);
+  ws.ensure(5);  // no shrink
+  EXPECT_GE(ws.capacity, 10);
+  ws.ensure(100);
+  EXPECT_EQ(ws.d.size(), 100u);
+}
+
+}  // namespace
+namespace {
+
+TEST(Sweeps, VectorAndRiscAgreeOnPeriodicLines) {
+  Zone z({8, 8, 8}, 0.1, 0.1, 0.1);
+  auto rhs_a = make_work(z);
+  randomize(z, rhs_a, 91);
+  auto rhs_b = rhs_a;
+  RiscSweeps risc;
+  VectorSweeps vec;
+  const auto ra = llp::regions().define("sw.per_risc");
+  const auto rb = llp::regions().define("sw.per_vec", llp::RegionKind::kSerial);
+  for (int dir = 0; dir < 3; ++dir) {
+    risc.sweep(z, dir, 0.04, 0.25, rhs_a, ra, /*periodic=*/true);
+    vec.sweep(z, dir, 0.04, 0.25, rhs_b, rb, /*periodic=*/true);
+  }
+  const int ng = Zone::kGhost;
+  for (int l = 0; l < z.lmax(); ++l)
+    for (int k = 0; k < z.kmax(); ++k)
+      for (int j = 0; j < z.jmax(); ++j)
+        for (int n = 0; n < f3d::kNumVars; ++n) {
+          ASSERT_NEAR(rhs_a(n, j + ng, k + ng, l + ng),
+                      rhs_b(n, j + ng, k + ng, l + ng), 1e-12);
+        }
+}
+
+TEST(Sweeps, PeriodicSweepCouplesAcrossTheSeam) {
+  // With periodic lines, perturbing the rhs at one end must influence the
+  // solution at the other end (the cyclic solver couples them); with
+  // non-periodic boundary rows it must not.
+  Zone z({10, 6, 6}, 0.1, 0.1, 0.1);
+  f3d::FreeStream fs;
+  fs.mach = 0.8;
+  z.set_freestream(fs);
+
+  auto run_dir0 = [&](bool periodic) {
+    auto rhs = make_work(z);
+    rhs.fill(0.0);
+    const int ng = Zone::kGhost;
+    rhs(0, 9 + ng, 3 + ng, 3 + ng) = 1.0;  // pulse at the last j cell
+    RiscSweeps engine;
+    const auto region = llp::regions().define("sw.seam");
+    engine.sweep(z, 0, 0.5, 0.25, rhs, region, periodic);
+    return rhs(0, 0 + ng, 3 + ng, 3 + ng);  // response at the first j cell
+  };
+
+  const double coupled = run_dir0(true);
+  const double uncoupled = run_dir0(false);
+  EXPECT_GT(std::abs(coupled), 1e-8);
+  EXPECT_LT(std::abs(uncoupled), std::abs(coupled) * 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+#include "f3d/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// Reference: dense Gaussian elimination on the full (possibly cyclic)
+// matrix, partial pivoting.
+std::vector<double> dense_solve(std::vector<std::vector<double>> A,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
+    }
+    std::swap(A[piv], A[col]);
+    std::swap(b[piv], b[col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = A[r][col] / A[col][col];
+      for (std::size_t c = col; c < n; ++c) A[r][c] -= m * A[col][c];
+      b[r] -= m * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= A[i][c] * x[c];
+    x[i] = s / A[i][i];
+  }
+  return x;
+}
+
+struct System {
+  std::vector<double> a, b, c, d;
+};
+
+System random_dd_system(int n, llp::SplitMix64& rng) {
+  System s;
+  s.a.resize(n);
+  s.b.resize(n);
+  s.c.resize(n);
+  s.d.resize(n);
+  for (int i = 0; i < n; ++i) {
+    s.a[i] = rng.uniform(-1.0, 1.0);
+    s.c[i] = rng.uniform(-1.0, 1.0);
+    s.b[i] = 3.0 + rng.uniform(0.0, 1.0);  // diagonally dominant
+    s.d[i] = rng.uniform(-5.0, 5.0);
+  }
+  return s;
+}
+
+class TridiagSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagSizes, MatchesDenseSolve) {
+  const int n = GetParam();
+  llp::SplitMix64 rng(100 + n);
+  System s = random_dd_system(n, rng);
+
+  std::vector<std::vector<double>> A(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    A[i][i] = s.b[i];
+    if (i > 0) A[i][i - 1] = s.a[i];
+    if (i < n - 1) A[i][i + 1] = s.c[i];
+  }
+  const auto xref = dense_solve(A, s.d);
+
+  f3d::solve_tridiagonal(s.a, s.b, s.c, s.d);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(s.d[i], xref[i], 1e-10) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizes,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 450));
+
+TEST(Tridiag, IdentityMatrixReturnsRhs) {
+  std::vector<double> a(5, 0.0), b(5, 1.0), c(5, 0.0);
+  std::vector<double> d = {1.0, 2.0, 3.0, 4.0, 5.0};
+  f3d::solve_tridiagonal(a, b, c, d);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(d[i], i + 1.0);
+}
+
+TEST(Tridiag, RejectsMismatchedSpans) {
+  std::vector<double> a(4), b(5, 1.0), c(5), d(5);
+  EXPECT_THROW(f3d::solve_tridiagonal(a, b, c, d), llp::Error);
+}
+
+TEST(Tridiag, RejectsEmptySystem) {
+  std::vector<double> e;
+  EXPECT_THROW(f3d::solve_tridiagonal(e, e, e, e), llp::Error);
+}
+
+TEST(TridiagBatch, MatchesPerSystemSolves) {
+  const int n = 33, m = 7;
+  llp::SplitMix64 rng(7);
+  // Build m independent systems and their batched (vector layout) copy.
+  std::vector<System> systems;
+  std::vector<double> A(n * m), B(n * m), C(n * m), D(n * m);
+  for (int s = 0; s < m; ++s) systems.push_back(random_dd_system(n, rng));
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < m; ++s) {
+      A[i * m + s] = systems[s].a[i];
+      B[i * m + s] = systems[s].b[i];
+      C[i * m + s] = systems[s].c[i];
+      D[i * m + s] = systems[s].d[i];
+    }
+  }
+  f3d::solve_tridiagonal_batch_vector_layout(A, B, C, D, n, m);
+  for (int s = 0; s < m; ++s) {
+    System sys = systems[s];
+    f3d::solve_tridiagonal(sys.a, sys.b, sys.c, sys.d);
+    for (int i = 0; i < n; ++i) {
+      // Same arithmetic in a different order: bitwise identical.
+      EXPECT_DOUBLE_EQ(D[i * m + s], sys.d[i]) << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST(TridiagBatch, SingleSystemDegeneratesToPlain) {
+  const int n = 20;
+  llp::SplitMix64 rng(3);
+  System s = random_dd_system(n, rng);
+  System copy = s;
+  f3d::solve_tridiagonal_batch_vector_layout(s.a, s.b, s.c, s.d, n, 1);
+  f3d::solve_tridiagonal(copy.a, copy.b, copy.c, copy.d);
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(s.d[i], copy.d[i]);
+}
+
+TEST(TridiagBatch, RejectsBadShape) {
+  std::vector<double> v(10, 1.0);
+  EXPECT_THROW(
+      f3d::solve_tridiagonal_batch_vector_layout(v, v, v, v, 3, 4),  // 12!=10
+      llp::Error);
+}
+
+TEST(TridiagPeriodic, MatchesDenseCyclicSolve) {
+  for (int n : {3, 8, 33}) {
+    llp::SplitMix64 rng(200 + n);
+    System s = random_dd_system(n, rng);
+    std::vector<std::vector<double>> A(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i) {
+      A[i][i] = s.b[i];
+      A[i][(i + n - 1) % n] += s.a[i];
+      A[i][(i + 1) % n] += s.c[i];
+    }
+    const auto xref = dense_solve(A, s.d);
+    f3d::solve_periodic_tridiagonal(s.a, s.b, s.c, s.d);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(s.d[i], xref[i], 1e-9) << n;
+  }
+}
+
+TEST(TridiagPeriodic, RequiresAtLeastThree) {
+  std::vector<double> v(2, 1.0);
+  EXPECT_THROW(f3d::solve_periodic_tridiagonal(v, v, v, v), llp::Error);
+}
+
+TEST(Tridiag, FlopCountPositive) {
+  EXPECT_GT(f3d::tridiag_flops(10), 0.0);
+  EXPECT_DOUBLE_EQ(f3d::tridiag_flops(100), 10.0 * f3d::tridiag_flops(10));
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "f3d/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "f3d/cases.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Checksum, IdenticalGridsMatch) {
+  const auto spec = f3d::wall_compression_case(8);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  EXPECT_EQ(f3d::checksum(a), f3d::checksum(b));
+}
+
+TEST(Checksum, SensitiveToSingleValue) {
+  const auto spec = f3d::wall_compression_case(8);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  b.zone(0).q(2, 3, 4, 5) += 1e-14;
+  EXPECT_NE(f3d::checksum(a), f3d::checksum(b));
+}
+
+TEST(Checksum, IgnoresGhostCells) {
+  const auto spec = f3d::wall_compression_case(8);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  b.zone(0).q(0, -1, 0, 0) = 999.0;
+  EXPECT_EQ(f3d::checksum(a), f3d::checksum(b));
+}
+
+TEST(Diff, ZeroForIdentical) {
+  const auto spec = f3d::paper_1m_case(0.08);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  EXPECT_DOUBLE_EQ(f3d::linf_diff(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(f3d::l2_diff(a, b), 0.0);
+}
+
+TEST(Diff, LinfPicksLargestDeviation) {
+  const auto spec = f3d::wall_compression_case(8);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  b.zone(0).q(0, 1, 1, 1) += 0.5;
+  b.zone(0).q(1, 2, 2, 2) += 0.25;
+  EXPECT_DOUBLE_EQ(f3d::linf_diff(a, b), 0.5);
+}
+
+TEST(Diff, L2AveragesOverAllValues) {
+  const auto spec = f3d::wall_compression_case(8);
+  auto a = f3d::build_grid(spec);
+  auto b = f3d::build_grid(spec);
+  b.zone(0).q(0, 1, 1, 1) += 3.0;
+  const double count = 8.0 * 8.0 * 8.0 * 5.0;
+  EXPECT_NEAR(f3d::l2_diff(a, b), std::sqrt(9.0 / count), 1e-12);
+}
+
+TEST(Diff, ShapeMismatchRejected) {
+  auto a = f3d::build_grid(f3d::wall_compression_case(8));
+  auto b = f3d::build_grid(f3d::wall_compression_case(10));
+  EXPECT_THROW(f3d::linf_diff(a, b), llp::Error);
+}
+
+TEST(RunHistory, FirstDivergenceFindsChecksumMismatch) {
+  f3d::RunHistory a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.record(1.0 / (i + 1), 100 + i);
+    b.record(1.0 / (i + 1), i == 6 ? 999u : 100u + i);
+  }
+  EXPECT_EQ(f3d::first_divergence(a, b), 6);
+}
+
+TEST(RunHistory, FirstDivergenceFindsResidualDrift) {
+  f3d::RunHistory a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.record(1.0, 0);
+    b.record(i >= 4 ? 1.001 : 1.0, 0);
+  }
+  EXPECT_EQ(f3d::first_divergence(a, b, 1e-6), 4);
+}
+
+TEST(RunHistory, AgreementGivesMinusOne) {
+  f3d::RunHistory a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.record(0.5, 42);
+    b.record(0.5, 42);
+  }
+  EXPECT_EQ(f3d::first_divergence(a, b), -1);
+}
+
+TEST(RunHistory, ComparesOnlyCommonPrefix) {
+  f3d::RunHistory a, b;
+  a.record(1.0, 1);
+  b.record(1.0, 1);
+  b.record(2.0, 2);  // extra step in b
+  EXPECT_EQ(f3d::first_divergence(a, b), -1);
+}
+
+TEST(ResidualDecreasing, DetectsDecay) {
+  f3d::RunHistory h;
+  for (int i = 0; i < 20; ++i) h.record(std::pow(0.8, i), 0);
+  EXPECT_TRUE(f3d::residual_decreasing(h));
+}
+
+TEST(ResidualDecreasing, RejectsFlatHistory) {
+  f3d::RunHistory h;
+  for (int i = 0; i < 20; ++i) h.record(1.0, 0);
+  EXPECT_FALSE(f3d::residual_decreasing(h));
+}
+
+TEST(ResidualDecreasing, NeedsEnoughSteps) {
+  f3d::RunHistory h;
+  for (int i = 0; i < 4; ++i) h.record(1.0, 0);
+  EXPECT_THROW(f3d::residual_decreasing(h), llp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include "f3d/viscous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "f3d/bc.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/rhs.hpp"
+#include "f3d/solver.hpp"
+
+namespace {
+
+using f3d::kNumVars;
+using f3d::Prim;
+using f3d::ViscousConfig;
+
+void conserv(double rho, double u, double v, double w, double p,
+             double q[kNumVars]) {
+  Prim s;
+  s.rho = rho;
+  s.u = u;
+  s.v = v;
+  s.w = w;
+  s.p = p;
+  f3d::to_conservative(s, q);
+}
+
+TEST(ViscousFlux, ZeroForUniformFlow) {
+  double qa[kNumVars], qb[kNumVars], fv[kNumVars];
+  conserv(1.0, 2.0, 0.1, -0.3, 0.7, qa);
+  conserv(1.0, 2.0, 0.1, -0.3, 0.7, qb);
+  ViscousConfig cfg;
+  cfg.enabled = true;
+  cfg.reynolds = 1000.0;
+  f3d::viscous_flux_k_face(qa, qb, 0.1, cfg, fv);
+  for (int n = 0; n < kNumVars; ++n) EXPECT_DOUBLE_EQ(fv[n], 0.0);
+}
+
+TEST(ViscousFlux, ShearGivesTauXy) {
+  // du/dy = (2.1 - 2.0)/0.1 = 1.0; tau_xy = mu/Re * du/dy = 1e-3.
+  double qa[kNumVars], qb[kNumVars], fv[kNumVars];
+  conserv(1.0, 2.0, 0.0, 0.0, 1.0 / f3d::kGamma, qa);
+  conserv(1.0, 2.1, 0.0, 0.0, 1.0 / f3d::kGamma, qb);
+  ViscousConfig cfg;
+  cfg.enabled = true;
+  cfg.reynolds = 1000.0;
+  f3d::viscous_flux_k_face(qa, qb, 0.1, cfg, fv);
+  EXPECT_DOUBLE_EQ(fv[0], 0.0);
+  EXPECT_NEAR(fv[1], 1e-3, 1e-15);
+  EXPECT_NEAR(fv[2], 0.0, 1e-15);
+  // Energy flux = u_face * tau_xy (+ zero heat flux at constant T).
+  EXPECT_NEAR(fv[4], 2.05 * 1e-3, 1e-12);
+}
+
+TEST(ViscousFlux, NormalStrainHasFourThirds) {
+  double qa[kNumVars], qb[kNumVars], fv[kNumVars];
+  conserv(1.0, 0.0, 1.0, 0.0, 1.0 / f3d::kGamma, qa);
+  conserv(1.0, 0.0, 1.2, 0.0, 1.0 / f3d::kGamma, qb);
+  ViscousConfig cfg;
+  cfg.enabled = true;
+  cfg.reynolds = 100.0;
+  f3d::viscous_flux_k_face(qa, qb, 0.1, cfg, fv);
+  // dv/dy = 2.0; tau_yy = (4/3)(1/100)(2.0).
+  EXPECT_NEAR(fv[2], 4.0 / 3.0 * 0.02, 1e-14);
+}
+
+TEST(ViscousFlux, HeatFluxFollowsTemperatureGradient) {
+  // Same velocity, different temperature (p/rho): pure conduction.
+  double qa[kNumVars], qb[kNumVars], fv[kNumVars];
+  conserv(1.0, 0.0, 0.0, 0.0, 1.0 / f3d::kGamma, qa);
+  conserv(1.0, 0.0, 0.0, 0.0, 1.2 / f3d::kGamma, qb);
+  ViscousConfig cfg;
+  cfg.enabled = true;
+  cfg.reynolds = 100.0;
+  cfg.prandtl = 0.72;
+  f3d::viscous_flux_k_face(qa, qb, 0.1, cfg, fv);
+  const double ty = (1.2 - 1.0) / f3d::kGamma / 0.1;
+  const double expect =
+      (1.0 / 100.0) * f3d::kGamma / (0.72 * (f3d::kGamma - 1.0)) * ty;
+  EXPECT_NEAR(fv[4], expect, 1e-14);
+  EXPECT_DOUBLE_EQ(fv[1], 0.0);
+}
+
+TEST(ViscousRhs, QuadraticProfileMatchesAnalyticLaplacian) {
+  // u(y) = y^2: d2u/dy2 = 2, so the viscous RHS contribution to the
+  // x-momentum is (1/Re) * 2 (central differences are exact on
+  // quadratics).
+  f3d::Zone z({6, 8, 6}, 0.1, 0.1, 0.1);
+  const int ng = f3d::Zone::kGhost;
+  for (int l = -ng; l < 6 + ng; ++l)
+    for (int k = -ng; k < 8 + ng; ++k)
+      for (int j = -ng; j < 6 + ng; ++j) {
+        const double y = z.y(k);
+        conserv(1.0, y * y, 0.0, 0.0, 1.0 / f3d::kGamma,
+                z.q_point(j, k, l));
+      }
+  llp::Array4D<double> with(kNumVars, 10, 12, 10);
+  llp::Array4D<double> without(kNumVars, 10, 12, 10);
+  f3d::RhsConfig on;
+  on.viscous.enabled = true;
+  on.viscous.reynolds = 50.0;
+  f3d::RhsConfig off;
+  const double dt = 1.0;
+  f3d::compute_rhs_plane(z, 3, dt, on, with);
+  f3d::compute_rhs_plane(z, 3, dt, off, without);
+  // rhs = -dt * R and viscous subtracts from R, so the difference is
+  // +dt * (1/Re) * d2u/dy2 ... times rho=1.
+  const double expect = dt * (1.0 / 50.0) * 2.0;
+  for (int k = 2; k < 6; ++k) {
+    const double diff =
+        with(1, 3 + ng, k + ng, 3 + ng) - without(1, 3 + ng, k + ng, 3 + ng);
+    EXPECT_NEAR(diff, expect, 1e-10) << k;
+  }
+}
+
+TEST(ViscousSolver, FreeStreamStillPreserved) {
+  auto spec = f3d::wall_compression_case(8);
+  auto grid = f3d::build_grid(spec);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.rhs.viscous.enabled = true;
+  cfg.rhs.viscous.reynolds = 1000.0;
+  cfg.region_prefix = "visc.fs";
+  f3d::Solver s(grid, cfg);
+  s.run(3);
+  EXPECT_DOUBLE_EQ(s.residual(), 0.0);
+}
+
+TEST(ViscousSolver, ShearPerturbationDecaysFasterAtLowerReynolds) {
+  auto kinetic_energy_after = [](double reynolds, int steps) {
+    auto spec = f3d::vortex_case(12);
+    auto grid = f3d::build_grid(spec);
+    f3d::make_periodic(grid);
+    // Sinusoidal x-velocity perturbation in y.
+    auto& z = grid.zone(0);
+    const int ng = f3d::Zone::kGhost;
+    for (int l = -ng; l < z.lmax() + ng; ++l)
+      for (int k = -ng; k < z.kmax() + ng; ++k)
+        for (int j = -ng; j < z.jmax() + ng; ++j) {
+          Prim s = f3d::to_prim(z.q_point(j, k, l));
+          s.u += 0.05 * std::sin(2.0 * M_PI * z.y(k) / 10.0);
+          f3d::to_conservative(s, z.q_point(j, k, l));
+        }
+    f3d::SolverConfig cfg;
+    cfg.freestream = spec.freestream;
+    cfg.cfl = 1.0;
+    cfg.rhs.viscous.enabled = true;
+    cfg.rhs.viscous.reynolds = reynolds;
+    cfg.region_prefix = "visc.re" + std::to_string(static_cast<int>(reynolds));
+    f3d::Solver s(grid, cfg);
+    s.run(steps);
+    // Perturbation kinetic energy around the free stream.
+    const Prim inf = spec.freestream.prim();
+    double ke = 0.0;
+    for (int l = 0; l < z.lmax(); ++l)
+      for (int k = 0; k < z.kmax(); ++k)
+        for (int j = 0; j < z.jmax(); ++j) {
+          const Prim s2 = f3d::to_prim(z.q_point(j, k, l));
+          ke += (s2.u - inf.u) * (s2.u - inf.u);
+        }
+    return ke;
+  };
+  // Re=20 gives a diffusion rate nu*k^2 ~ 0.02 per time unit on the
+  // 10-unit box; 30 steps at CFL 1 cover ~17 time units.
+  const double high_re = kinetic_energy_after(10000.0, 30);
+  const double low_re = kinetic_energy_after(20.0, 30);
+  EXPECT_LT(low_re, 0.8 * high_re);
+}
+
+TEST(NoSlipWall, GhostVelocitiesMirrorToZeroAtWall) {
+  f3d::Zone z({4, 4, 4}, 1, 1, 1);
+  f3d::FreeStream fs;
+  fs.mach = 2.0;
+  z.set_freestream(fs);
+  f3d::BoundarySet bcs = f3d::BoundarySet::uniform(f3d::BcType::kExtrapolate);
+  bcs[f3d::Face::kKMin] = f3d::BcType::kNoSlipWall;
+  f3d::apply_boundary_conditions(z, bcs, fs);
+  for (int j = 0; j < 4; ++j)
+    for (int l = 0; l < 4; ++l) {
+      // All momenta negate; density and energy copy.
+      EXPECT_DOUBLE_EQ(z.q(1, j, -1, l), -z.q(1, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(2, j, -1, l), -z.q(2, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(3, j, -1, l), -z.q(3, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(0, j, -1, l), z.q(0, j, 0, l));
+      EXPECT_DOUBLE_EQ(z.q(4, j, -1, l), z.q(4, j, 0, l));
+      // Face-average velocity is zero.
+      EXPECT_DOUBLE_EQ(z.q(1, j, -1, l) + z.q(1, j, 0, l), 0.0);
+    }
+}
+
+TEST(ViscousSolver, FlopAccountingIncludesViscousTerms) {
+  auto spec = f3d::wall_compression_case(8);
+  auto grid_on = f3d::build_grid(spec);
+  auto grid_off = f3d::build_grid(spec);
+  f3d::SolverConfig on;
+  on.freestream = spec.freestream;
+  on.rhs.viscous.enabled = true;
+  on.region_prefix = "visc.fon";
+  f3d::SolverConfig off;
+  off.freestream = spec.freestream;
+  off.region_prefix = "visc.foff";
+  f3d::Solver son(grid_on, on);
+  f3d::Solver soff(grid_off, off);
+  EXPECT_GT(son.flops_per_step(), soff.flops_per_step());
+}
+
+}  // namespace

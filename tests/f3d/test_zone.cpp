@@ -1,0 +1,80 @@
+#include "f3d/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using f3d::FreeStream;
+using f3d::Zone;
+using f3d::ZoneDims;
+
+TEST(Zone, DimsAndPoints) {
+  Zone z({4, 5, 6}, 0.1, 0.1, 0.1);
+  EXPECT_EQ(z.jmax(), 4);
+  EXPECT_EQ(z.kmax(), 5);
+  EXPECT_EQ(z.lmax(), 6);
+  EXPECT_EQ(z.interior_points(), 120u);
+}
+
+TEST(Zone, RejectsBadDims) {
+  EXPECT_THROW(Zone({0, 5, 5}, 0.1, 0.1, 0.1), llp::Error);
+  EXPECT_THROW(Zone({5, 5, 5}, 0.0, 0.1, 0.1), llp::Error);
+}
+
+TEST(Zone, GhostIndicesAddressDistinctStorage) {
+  Zone z({3, 3, 3}, 1.0, 1.0, 1.0);
+  z.q(0, -2, 0, 0) = 1.0;
+  z.q(0, -1, 0, 0) = 2.0;
+  z.q(0, 0, 0, 0) = 3.0;
+  z.q(0, 3, 0, 0) = 4.0;
+  z.q(0, 4, 0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(z.q(0, -2, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z.q(0, -1, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(z.q(0, 0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(z.q(0, 3, 0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(z.q(0, 4, 0, 0), 5.0);
+}
+
+TEST(Zone, CellCenterCoordinates) {
+  Zone z({4, 4, 4}, 0.5, 0.25, 1.0, 10.0, 0.0, -2.0);
+  EXPECT_DOUBLE_EQ(z.x(0), 10.25);
+  EXPECT_DOUBLE_EQ(z.x(1), 10.75);
+  EXPECT_DOUBLE_EQ(z.y(2), 0.625);
+  EXPECT_DOUBLE_EQ(z.z(0), -1.5);
+}
+
+TEST(Zone, GhostCoordinatesExtendGrid) {
+  Zone z({4, 4, 4}, 0.5, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(z.x(-1), z.x(0) - 0.5);
+  EXPECT_DOUBLE_EQ(z.x(4), z.x(3) + 0.5);
+}
+
+TEST(Zone, SetFreestreamFillsGhostsToo) {
+  Zone z({3, 3, 3}, 1.0, 1.0, 1.0);
+  FreeStream fs;
+  fs.mach = 2.0;
+  z.set_freestream(fs);
+  double qinf[f3d::kNumVars];
+  fs.conservative(qinf);
+  for (int n = 0; n < f3d::kNumVars; ++n) {
+    EXPECT_DOUBLE_EQ(z.q(n, -2, -2, -2), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, 4, 4, 4), qinf[n]);
+    EXPECT_DOUBLE_EQ(z.q(n, 1, 1, 1), qinf[n]);
+  }
+}
+
+TEST(Zone, QPointMatchesComponentAccess) {
+  Zone z({3, 3, 3}, 1.0, 1.0, 1.0);
+  double* p = z.q_point(1, 2, 0);
+  p[3] = 42.0;
+  EXPECT_DOUBLE_EQ(z.q(3, 1, 2, 0), 42.0);
+}
+
+TEST(ZoneDims, PointsProduct) {
+  ZoneDims d{15, 75, 70};
+  EXPECT_EQ(d.points(), 78750u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// End-to-end pipeline: real solver run -> region profile -> work trace ->
+// SMP simulation. This is exactly the path the Table 4 / Figure 2-3 benches
+// take, asserted at small scale.
+#include <gtest/gtest.h>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "perf/trace_builder.hpp"
+#include "simsmp/smp_simulator.hpp"
+
+namespace {
+
+llp::model::WorkTrace measured_trace(const std::string& prefix, int steps) {
+  const auto spec = f3d::paper_1m_case(0.1);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = prefix;
+  llp::regions().reset_stats();
+  f3d::Solver s(grid, cfg);
+  s.run(steps);
+  // Keep only this run's regions.
+  auto snap = llp::regions().snapshot();
+  std::vector<llp::RegionStats> mine;
+  for (auto& r : snap) {
+    if (r.name.rfind(prefix + ".", 0) == 0 && r.invocations > 0) {
+      mine.push_back(r);
+    }
+  }
+  return llp::perf::build_trace(mine, steps);
+}
+
+TEST(Pipeline, TraceContainsAllSolverRegions) {
+  const auto trace = measured_trace("pipe.a", 2);
+  // 3 zones x 5 loop kernels + bc + exchange.
+  EXPECT_EQ(trace.loops.size(), 17u);
+  double flops = 0.0;
+  int parallel = 0;
+  for (const auto& l : trace.loops) {
+    flops += l.flops_per_step;
+    if (l.parallel) ++parallel;
+  }
+  EXPECT_GT(flops, 0.0);
+  EXPECT_EQ(parallel, 15);
+}
+
+TEST(Pipeline, TraceTripsMatchZoneDims) {
+  const auto trace = measured_trace("pipe.b", 2);
+  const auto spec = f3d::paper_1m_case(0.1);
+  for (const auto& l : trace.loops) {
+    if (l.name.find("z0.sweep_j") != std::string::npos) {
+      EXPECT_EQ(l.trips, spec.zones[0].lmax);
+    }
+    if (l.name.find("z2.sweep_l") != std::string::npos) {
+      EXPECT_EQ(l.trips, spec.zones[2].kmax);
+    }
+  }
+}
+
+TEST(Pipeline, SimulatedSpeedupIsSubstantialAndBounded) {
+  const auto trace = measured_trace("pipe.c", 2);
+  // Extrapolate the scaled (0.1) run to full size: points scale ~1000x,
+  // trips 10x.
+  const auto full = llp::model::scale_trace(trace, 1000.0, 10.0);
+  llp::simsmp::SmpSimulator sim(llp::model::origin2000_r12k_300());
+  const auto p1 = sim.run(full, 1);
+  const auto p64 = sim.run(full, 64);
+  EXPECT_GT(p64.speedup, 20.0);
+  EXPECT_LE(p64.speedup, 64.0);
+  EXPECT_GT(p64.steps_per_hour, p1.steps_per_hour);
+}
+
+TEST(Pipeline, StairStepVisibleInSimulatedSweep) {
+  const auto trace = measured_trace("pipe.d", 2);
+  const auto full = llp::model::scale_trace(trace, 1000.0, 10.0);
+  llp::simsmp::SmpSimulator sim(llp::model::origin2000_r12k_300());
+  // The 1M case's parallel trips are 70 and 75: the 48->64 window is flat
+  // (Table 4), then 72 jumps.
+  const auto p48 = sim.run(full, 48);
+  const auto p64 = sim.run(full, 64);
+  const auto p72 = sim.run(full, 72);
+  EXPECT_NEAR(p48.steps_per_hour, p64.steps_per_hour,
+              0.05 * p48.steps_per_hour);
+  EXPECT_GT(p72.steps_per_hour, 1.2 * p64.steps_per_hour);
+}
+
+TEST(Pipeline, SunAndSgiDeliveredRatesSimilarPerProcessor) {
+  // §5: delivered per-processor performance of the two vendors is similar
+  // despite very different peaks.
+  const auto trace = measured_trace("pipe.e", 2);
+  const auto full = llp::model::scale_trace(trace, 1000.0, 10.0);
+  llp::simsmp::SmpSimulator sgi(llp::model::origin2000_r12k_300());
+  llp::simsmp::SmpSimulator sun(llp::model::sun_hpc10000());
+  const double sgi1 = sgi.run(full, 1).mflops;
+  const double sun1 = sun.run(full, 1).mflops;
+  EXPECT_LT(std::abs(sgi1 - sun1) / sgi1, 0.35);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include "model/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::model::MachineConfig;
+
+std::vector<MachineConfig> all_machines() {
+  return {llp::model::origin2000_r12k_300(),
+          llp::model::origin2000_r10k_195(64),
+          llp::model::origin2000_r10k_195(128),
+          llp::model::sun_hpc10000(),
+          llp::model::hp_v2500(),
+          llp::model::sgi_power_challenge(),
+          llp::model::convex_spp1000(),
+          llp::model::software_dsm_cluster()};
+}
+
+TEST(Machines, SustainedBelowPeak) {
+  for (const auto& m : all_machines()) {
+    EXPECT_LT(m.sustained_mflops_per_proc, m.peak_mflops_per_proc) << m.name;
+    EXPECT_GT(m.sustained_mflops_per_proc, 0.0) << m.name;
+  }
+}
+
+TEST(Machines, SyncCostInPaperRange) {
+  // §3: "the synchronization cost (for scalable systems) ranges from 2,000
+  // to 1-million cycles (or more)".
+  for (const auto& m : all_machines()) {
+    for (int p : {2, 8, 32}) {
+      if (p > m.max_processors) continue;
+      const double cycles = m.sync_cycles(p);
+      EXPECT_GE(cycles, 2000.0) << m.name << " p=" << p;
+      EXPECT_LE(cycles, 100e6) << m.name << " p=" << p;
+    }
+  }
+}
+
+TEST(Machines, SyncCostGrowsWithProcessors) {
+  for (const auto& m : all_machines()) {
+    EXPECT_LT(m.sync_seconds(2), m.sync_seconds(m.max_processors)) << m.name;
+  }
+}
+
+TEST(Machines, SecondsForFlopsMatchesRate) {
+  const auto m = llp::model::origin2000_r12k_300();
+  // 237 MFLOPS -> 1e6 flops in 1/237 ms.
+  EXPECT_NEAR(m.seconds_for_flops(237e6), 1.0, 1e-9);
+}
+
+TEST(Machines, SecondsForFlopsRejectsNegative) {
+  const auto m = llp::model::sun_hpc10000();
+  EXPECT_THROW(m.seconds_for_flops(-1.0), llp::Error);
+}
+
+TEST(Origin2000, SustainedMatchesTable4Anchor) {
+  // Table 4, p=1, 1M case: 237 MFLOPS delivered of 600 peak.
+  const auto m = llp::model::origin2000_r12k_300();
+  EXPECT_DOUBLE_EQ(m.sustained_mflops_per_proc, 237.0);
+  EXPECT_DOUBLE_EQ(m.peak_mflops_per_proc, 600.0);
+  EXPECT_EQ(m.max_processors, 128);
+}
+
+TEST(Hpc10000, SustainedMatchesTable4Anchor) {
+  // Table 4, p=1, 1M case: 180 MFLOPS delivered of 800 peak.
+  const auto m = llp::model::sun_hpc10000();
+  EXPECT_DOUBLE_EQ(m.sustained_mflops_per_proc, 180.0);
+  EXPECT_DOUBLE_EQ(m.peak_mflops_per_proc, 800.0);
+  EXPECT_EQ(m.max_processors, 64);
+}
+
+TEST(Table4Observation, DeliveredPerProcSimilarAcrossVendors) {
+  // §5: despite 800 vs 600 peak, the delivered per-processor rates of the
+  // two machines are "actually very similar" — within 35% of each other.
+  const auto a = llp::model::origin2000_r12k_300();
+  const auto b = llp::model::sun_hpc10000();
+  const double ratio =
+      a.sustained_mflops_per_proc / b.sustained_mflops_per_proc;
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(Origin195, ClockScaledFrom300) {
+  const auto m = llp::model::origin2000_r10k_195(64);
+  EXPECT_DOUBLE_EQ(m.clock_hz, 195e6);
+  EXPECT_EQ(m.max_processors, 64);
+  EXPECT_LT(m.sustained_mflops_per_proc,
+            llp::model::origin2000_r12k_300().sustained_mflops_per_proc);
+}
+
+TEST(Origin195, OnlyPaperConfigsAllowed) {
+  EXPECT_THROW(llp::model::origin2000_r10k_195(32), llp::Error);
+}
+
+TEST(V2500, SixteenProcessors) {
+  EXPECT_EQ(llp::model::hp_v2500().max_processors, 16);
+}
+
+TEST(SyncSeconds, RejectsBadProcessorCount) {
+  EXPECT_THROW(llp::model::sun_hpc10000().sync_seconds(0), llp::Error);
+}
+
+}  // namespace
+namespace {
+
+TEST(CrayC90, VectorMachineCharacteristics) {
+  const auto m = llp::model::cray_c90();
+  EXPECT_EQ(m.max_processors, 16);
+  EXPECT_DOUBLE_EQ(m.l2_cache_bytes, 0.0);  // vector machines: no cache (§3)
+  EXPECT_DOUBLE_EQ(m.numa.local_latency_ns, m.numa.remote_latency_ns);
+  EXPECT_GT(m.sustained_mflops_per_proc,
+            llp::model::origin2000_r12k_300().sustained_mflops_per_proc);
+}
+
+TEST(CrayC90, ModestRiscCountMatchesOneVectorProcessor) {
+  // §2: the premise that makes vectorizable codes the right target class.
+  const auto c90 = llp::model::cray_c90();
+  const auto origin = llp::model::origin2000_r12k_300();
+  const double ratio =
+      c90.sustained_mflops_per_proc / origin.sustained_mflops_per_proc;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 8.0);  // "modest number"
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "model/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::model::latency_limited_bandwidth_mbs;
+using llp::model::NumaModel;
+
+TEST(LatencyBandwidth, PaperLocalNumber) {
+  // §7: 128 B at 310 ns -> 412 MB/s.
+  EXPECT_NEAR(latency_limited_bandwidth_mbs(128.0, 310.0), 412.0, 1.0);
+}
+
+TEST(LatencyBandwidth, PaperRemoteNumber) {
+  // §7: 128 B at 945 ns -> 135 MB/s.
+  EXPECT_NEAR(latency_limited_bandwidth_mbs(128.0, 945.0), 135.0, 1.0);
+}
+
+TEST(LatencyBandwidth, SoftwareDsmNumber) {
+  // §8: 128 B at 100 us -> 1.3 MB/s, the SDSM killer.
+  EXPECT_NEAR(latency_limited_bandwidth_mbs(128.0, 100000.0), 1.3, 0.05);
+}
+
+TEST(LatencyBandwidth, RejectsBadArgs) {
+  EXPECT_THROW(latency_limited_bandwidth_mbs(0.0, 100.0), llp::Error);
+  EXPECT_THROW(latency_limited_bandwidth_mbs(64.0, 0.0), llp::Error);
+}
+
+TEST(Origin2000Numa, DefaultsMatchPaper) {
+  const NumaModel m = llp::model::origin2000_numa();
+  EXPECT_NEAR(m.local_bandwidth_mbs(), 412.0, 1.0);
+  EXPECT_NEAR(m.remote_bandwidth_mbs(), 135.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.overlapped_offnode_mbs, 195.0);
+}
+
+TEST(Origin2000Numa, TunedCodeTrafficIsUmaLike) {
+  // The paper's tuned F3D generates 68 MB/s per processor — below even the
+  // worst-case remote bandwidth, so the Origin can be treated as UMA.
+  const NumaModel m = llp::model::origin2000_numa();
+  EXPECT_TRUE(m.uma_like(68.0));
+}
+
+TEST(Origin2000Numa, HighTrafficIsNotUmaLike) {
+  const NumaModel m = llp::model::origin2000_numa();
+  EXPECT_FALSE(m.uma_like(500.0));
+}
+
+TEST(BandwidthSlowdown, NoPenaltyUnderLimit) {
+  const NumaModel m = llp::model::origin2000_numa();
+  EXPECT_DOUBLE_EQ(m.bandwidth_slowdown(68.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth_slowdown(0.0), 1.0);
+}
+
+TEST(BandwidthSlowdown, ScalesAboveLimit) {
+  const NumaModel m = llp::model::origin2000_numa();
+  const double s = m.bandwidth_slowdown(390.0);
+  EXPECT_NEAR(s, 2.0, 0.01);  // 390 / 195
+}
+
+TEST(BandwidthSlowdown, RejectsNegativeTraffic) {
+  const NumaModel m = llp::model::origin2000_numa();
+  EXPECT_THROW(m.bandwidth_slowdown(-1.0), llp::Error);
+}
+
+TEST(ExemplarNuma, MuchWorseThanOrigin) {
+  const NumaModel ex = llp::model::exemplar_numa();
+  const NumaModel org = llp::model::origin2000_numa();
+  EXPECT_LT(ex.remote_bandwidth_mbs(), org.remote_bandwidth_mbs());
+  // The tuned code's 68 MB/s does NOT fit under the Exemplar's off-node
+  // path — consistent with the paper's unsolved Exemplar problems.
+  EXPECT_FALSE(ex.uma_like(68.0));
+}
+
+TEST(SoftwareDsmNuma, OffNodeEffectivelyUnusable) {
+  const NumaModel m = llp::model::software_dsm_numa();
+  EXPECT_LT(m.remote_bandwidth_mbs(), 2.0);
+  EXPECT_GT(m.bandwidth_slowdown(68.0), 10.0);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include "model/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/stairstep.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::model::LoopWork;
+using llp::model::MachineConfig;
+using llp::model::predict_step_time;
+using llp::model::WorkTrace;
+
+MachineConfig test_machine() {
+  MachineConfig m = llp::model::origin2000_r12k_300();
+  return m;
+}
+
+WorkTrace single_loop_trace(double flops, std::int64_t trips,
+                            double invocations = 1.0) {
+  WorkTrace t;
+  LoopWork w;
+  w.name = "loop";
+  w.flops_per_step = flops;
+  w.trips = trips;
+  w.invocations_per_step = invocations;
+  w.parallel = true;
+  t.loops.push_back(w);
+  return t;
+}
+
+TEST(WorkTrace, Totals) {
+  WorkTrace t = single_loop_trace(1e9, 100);
+  t.loops.push_back(
+      LoopWork{"serial", 1e8, 1, 1.0, false, 0.0});
+  EXPECT_DOUBLE_EQ(t.total_flops(), 1.1e9);
+  EXPECT_NEAR(t.serial_fraction(), 1e8 / 1.1e9, 1e-12);
+}
+
+TEST(PredictStep, SingleProcessorMatchesDeliveredRate) {
+  const auto m = test_machine();
+  const auto t = single_loop_trace(237e6, 100);
+  const auto s = predict_step_time(t, m, 1);
+  EXPECT_NEAR(s.total(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.sync_s, 0.0);  // p=1 issues no parallel sync
+}
+
+TEST(PredictStep, PerfectDivisorGivesIdealScaling) {
+  const auto m = test_machine();
+  const auto t = single_loop_trace(237e6, 100);
+  const auto s1 = predict_step_time(t, m, 1);
+  const auto s4 = predict_step_time(t, m, 4);
+  // 100 trips on 4 procs: compute scales by exactly 1/4; only sync is added.
+  EXPECT_NEAR(s4.compute_s, s1.total() / 4.0, 1e-9);
+  EXPECT_GT(s4.sync_s, 0.0);
+}
+
+TEST(PredictStep, StairStepFlatBetweenJumps) {
+  const auto m = test_machine();
+  const auto t = single_loop_trace(1e9, 70);  // the 1M case's L dimension
+  // ceil(70/p) = 2 for p in 35..69: compute time identical across the flat.
+  const auto s35 = predict_step_time(t, m, 35);
+  const auto s48 = predict_step_time(t, m, 48);
+  const auto s64 = predict_step_time(t, m, 64);
+  EXPECT_DOUBLE_EQ(s35.compute_s, s48.compute_s);
+  EXPECT_DOUBLE_EQ(s48.compute_s, s64.compute_s);
+  // And the jump at 70 is real.
+  const auto s70 = predict_step_time(t, m, 70);
+  EXPECT_LT(s70.compute_s, s64.compute_s * 0.51);
+}
+
+TEST(PredictStep, ComputeShareMatchesStairstepModel) {
+  const auto m = test_machine();
+  for (int p : {2, 7, 16, 33, 100}) {
+    const auto t = single_loop_trace(1e9, 75);
+    const auto s1 = predict_step_time(t, m, 1);
+    const auto sp = predict_step_time(t, m, p);
+    const double expect =
+        s1.total() / llp::model::stairstep_speedup(75, p);
+    EXPECT_NEAR(sp.compute_s, expect, 1e-12) << p;
+  }
+}
+
+TEST(PredictStep, SerialRegionsDoNotScale) {
+  const auto m = test_machine();
+  WorkTrace t;
+  t.loops.push_back(LoopWork{"serial", 237e6, 1, 1.0, false, 0.0});
+  const auto s1 = predict_step_time(t, m, 1);
+  const auto s64 = predict_step_time(t, m, 64);
+  EXPECT_DOUBLE_EQ(s1.total(), s64.total());
+}
+
+TEST(PredictStep, SyncScalesWithInvocations) {
+  const auto m = test_machine();
+  const auto t1 = single_loop_trace(1e9, 64, 1.0);
+  const auto t100 = single_loop_trace(1e9, 64, 100.0);
+  const auto s1 = predict_step_time(t1, m, 16);
+  const auto s100 = predict_step_time(t100, m, 16);
+  EXPECT_NEAR(s100.sync_s, 100.0 * s1.sync_s, 1e-12);
+}
+
+TEST(PredictStep, NumaSlowdownKicksInForHugeTraffic) {
+  const auto m = test_machine();
+  auto t = single_loop_trace(237e6, 128);
+  const auto before = predict_step_time(t, m, 64);
+  // Saturating traffic: thousands of MB/s per processor of demand.
+  t.loops[0].bytes_per_step = 1e13;
+  const auto after = predict_step_time(t, m, 64);
+  EXPECT_GT(after.compute_s, before.compute_s * 10.0);
+}
+
+TEST(PredictStep, LowTrafficUnaffected) {
+  const auto m = test_machine();
+  auto t = single_loop_trace(237e6, 128);
+  const auto base = predict_step_time(t, m, 64);
+  t.loops[0].bytes_per_step = 1e6;  // tiny
+  const auto low = predict_step_time(t, m, 64);
+  EXPECT_DOUBLE_EQ(base.compute_s, low.compute_s);
+}
+
+TEST(PredictStep, RejectsOverMaxProcessors) {
+  const auto m = llp::model::hp_v2500();  // 16 procs
+  const auto t = single_loop_trace(1e9, 64);
+  EXPECT_THROW(predict_step_time(t, m, 17), llp::Error);
+}
+
+TEST(Amdahl, KnownValues) {
+  EXPECT_DOUBLE_EQ(llp::model::amdahl_speedup(0.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(llp::model::amdahl_speedup(1.0, 8), 1.0);
+  EXPECT_NEAR(llp::model::amdahl_speedup(0.05, 1e9), 20.0, 0.01);
+}
+
+TEST(Amdahl, RejectsBadArgs) {
+  EXPECT_THROW(llp::model::amdahl_speedup(-0.1, 4), llp::Error);
+  EXPECT_THROW(llp::model::amdahl_speedup(0.5, 0), llp::Error);
+}
+
+TEST(ScaleTrace, ScalesWorkAndTrips) {
+  auto t = single_loop_trace(1e6, 10);
+  t.loops[0].bytes_per_step = 100.0;
+  const auto big = llp::model::scale_trace(t, 59.0, 5.0);
+  EXPECT_DOUBLE_EQ(big.loops[0].flops_per_step, 59e6);
+  EXPECT_DOUBLE_EQ(big.loops[0].bytes_per_step, 5900.0);
+  EXPECT_EQ(big.loops[0].trips, 50);
+  EXPECT_DOUBLE_EQ(big.loops[0].invocations_per_step, 1.0);
+}
+
+TEST(ScaleTrace, TripsNeverBelowOne) {
+  const auto t = single_loop_trace(1e6, 3);
+  const auto small = llp::model::scale_trace(t, 0.01, 0.01);
+  EXPECT_EQ(small.loops[0].trips, 1);
+}
+
+TEST(ScaleTrace, RejectsBadScales) {
+  const auto t = single_loop_trace(1e6, 3);
+  EXPECT_THROW(llp::model::scale_trace(t, 0.0, 1.0), llp::Error);
+  EXPECT_THROW(llp::model::scale_trace(t, 1.0, -2.0), llp::Error);
+}
+
+}  // namespace

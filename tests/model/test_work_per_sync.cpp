@@ -1,0 +1,95 @@
+#include "model/work_per_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::model::LoopLevel;
+using llp::model::work_per_sync_1d;
+using llp::model::work_per_sync_2d;
+using llp::model::work_per_sync_3d;
+using llp::model::work_per_sync_boundary;
+
+// Paper Table 2: a 1-million grid point zone at 10/100/1000 cycles/point.
+class Table2Work : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Table2Work, OneDimensional) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_1d(1000000, w), 1000000 * w);
+}
+
+TEST_P(Table2Work, TwoDimensionalInner) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_2d(1000, 1000, LoopLevel::kInner, w), 1000 * w);
+}
+
+TEST_P(Table2Work, TwoDimensionalOuter) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_2d(1000, 1000, LoopLevel::kOuter, w),
+            1000000 * w);
+}
+
+TEST_P(Table2Work, TwoDimensionalBoundary) {
+  const std::int64_t w = GetParam();
+  // A 2-D zone's boundary is a line of 1000 points; parallelizing its only
+  // loop gives one line of work per sync.
+  EXPECT_EQ(work_per_sync_1d(1000, w), 1000 * w);
+}
+
+TEST_P(Table2Work, ThreeDimensionalInner) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_3d(100, 100, 100, LoopLevel::kInner, w), 100 * w);
+}
+
+TEST_P(Table2Work, ThreeDimensionalMiddle) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_3d(100, 100, 100, LoopLevel::kMiddle, w),
+            10000 * w);
+}
+
+TEST_P(Table2Work, ThreeDimensionalOuter) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_3d(100, 100, 100, LoopLevel::kOuter, w),
+            1000000 * w);
+}
+
+TEST_P(Table2Work, BoundaryInnerLoop) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_boundary(100, 100, LoopLevel::kInner, w), 100 * w);
+}
+
+TEST_P(Table2Work, BoundaryOuterLoop) {
+  const std::int64_t w = GetParam();
+  EXPECT_EQ(work_per_sync_boundary(100, 100, LoopLevel::kOuter, w),
+            10000 * w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Table2Work,
+                         ::testing::Values(10, 100, 1000));
+
+TEST(WorkPerSync, OuterBeatsInnerByGridFactor) {
+  // The reason to parallelize outer loops: 4 orders of magnitude more work
+  // per sync for the paper's 100^3 zone.
+  const auto inner = work_per_sync_3d(100, 100, 100, LoopLevel::kInner, 10);
+  const auto outer = work_per_sync_3d(100, 100, 100, LoopLevel::kOuter, 10);
+  EXPECT_EQ(outer / inner, 10000);
+}
+
+TEST(WorkPerSync, MiddleInvalidFor2D) {
+  EXPECT_THROW(work_per_sync_2d(10, 10, LoopLevel::kMiddle, 1), llp::Error);
+}
+
+TEST(WorkPerSync, MiddleInvalidForBoundary) {
+  EXPECT_THROW(work_per_sync_boundary(10, 10, LoopLevel::kMiddle, 1),
+               llp::Error);
+}
+
+TEST(WorkPerSync, RejectsNonPositiveArgs) {
+  EXPECT_THROW(work_per_sync_1d(0, 10), llp::Error);
+  EXPECT_THROW(work_per_sync_3d(10, 10, 10, LoopLevel::kOuter, 0),
+               llp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+#include "msg/message_passing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::msg::Communicator;
+using llp::msg::run;
+
+TEST(MessagePassing, SingleRankRuns) {
+  int seen_size = 0;
+  run(1, [&](Communicator& comm) { seen_size = comm.size(); });
+  EXPECT_EQ(seen_size, 1);
+}
+
+TEST(MessagePassing, RanksAreDistinct) {
+  std::vector<std::atomic<int>> hits(4);
+  run(4, [&](Communicator& comm) { hits[comm.rank()]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MessagePassing, PingPong) {
+  run(2, [](Communicator& comm) {
+    double buf[3];
+    if (comm.rank() == 0) {
+      const double data[3] = {1.0, 2.0, 3.0};
+      comm.send(1, 7, data);
+      comm.recv(1, 8, buf);
+      EXPECT_DOUBLE_EQ(buf[0], 2.0);
+      EXPECT_DOUBLE_EQ(buf[2], 6.0);
+    } else {
+      comm.recv(0, 7, buf);
+      for (double& v : buf) v *= 2.0;
+      comm.send(0, 8, buf);
+    }
+  });
+}
+
+TEST(MessagePassing, MessagesFromSameSourceArriveInOrder) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        const double v = static_cast<double>(i);
+        comm.send(1, 1, std::span<const double>(&v, 1));
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        double v = -1.0;
+        comm.recv(0, 1, std::span<double>(&v, 1));
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(MessagePassing, TagsSelectMessages) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a = 10.0, b = 20.0;
+      comm.send(1, 100, std::span<const double>(&a, 1));
+      comm.send(1, 200, std::span<const double>(&b, 1));
+    } else {
+      double v = 0.0;
+      // Receive the SECOND message first by tag.
+      comm.recv(0, 200, std::span<double>(&v, 1));
+      EXPECT_DOUBLE_EQ(v, 20.0);
+      comm.recv(0, 100, std::span<double>(&v, 1));
+      EXPECT_DOUBLE_EQ(v, 10.0);
+    }
+  });
+}
+
+TEST(MessagePassing, RingHaloExchange) {
+  const int ranks = 5;
+  run(ranks, [ranks](Communicator& comm) {
+    const int right = (comm.rank() + 1) % ranks;
+    const int left = (comm.rank() + ranks - 1) % ranks;
+    const double mine = static_cast<double>(comm.rank());
+    double from_left = -1.0;
+    comm.sendrecv(right, 0, std::span<const double>(&mine, 1), left, 0,
+                  std::span<double>(&from_left, 1));
+    EXPECT_DOUBLE_EQ(from_left, static_cast<double>(left));
+  });
+}
+
+TEST(MessagePassing, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run(4, [&](Communicator& comm) {
+    before++;
+    comm.barrier();
+    if (before.load() != 4) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MessagePassing, AllreduceSum) {
+  run(6, [](Communicator& comm) {
+    const double sum = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(sum, 15.0);
+  });
+}
+
+TEST(MessagePassing, ConsecutiveAllreducesDoNotInterfere) {
+  run(3, [](Communicator& comm) {
+    const double a = comm.allreduce_sum(1.0);
+    const double b = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(a, 3.0);
+    EXPECT_DOUBLE_EQ(b, 3.0);
+  });
+}
+
+TEST(MessagePassing, StatsCountTraffic) {
+  const auto stats = run(2, [](Communicator& comm) {
+    double buf[4] = {0, 0, 0, 0};
+    if (comm.rank() == 0) {
+      comm.send(1, 0, buf);
+      comm.send(1, 0, buf);
+    } else {
+      comm.recv(0, 0, buf);
+      comm.recv(0, 0, buf);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(stats.total_messages, 2u);
+  EXPECT_EQ(stats.total_bytes, 2u * 4u * sizeof(double));
+  EXPECT_EQ(stats.barriers_per_rank, 1u);
+}
+
+TEST(MessagePassing, SizeMismatchThrows) {
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     double small = 0.0;
+                     const double big[2] = {1.0, 2.0};
+                     if (comm.rank() == 0) {
+                       comm.send(1, 0, big);  // then return: never blocks
+                     } else {
+                       // Expect 1 double, get 2: error on the receiver.
+                       comm.recv(0, 0, std::span<double>(&small, 1));
+                     }
+                   }),
+               llp::Error);
+}
+
+TEST(MessagePassing, BadRankThrows) {
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     const double v = 1.0;
+                     comm.send(5, 0, std::span<const double>(&v, 1));
+                   }),
+               llp::Error);
+  EXPECT_THROW(run(0, [](Communicator&) {}), llp::Error);
+}
+
+}  // namespace
+namespace {
+
+TEST(MessagePassing, StressManyMessagesManyRanks) {
+  // Every rank sends 100 messages to every other rank; totals must match
+  // and per-pair FIFO order must hold.
+  const int ranks = 5;
+  const auto stats = run(ranks, [ranks](Communicator& comm) {
+    for (int dest = 0; dest < ranks; ++dest) {
+      if (dest == comm.rank()) continue;
+      for (int i = 0; i < 100; ++i) {
+        const double v = comm.rank() * 1000.0 + i;
+        comm.send(dest, 42, std::span<const double>(&v, 1));
+      }
+    }
+    for (int src = 0; src < ranks; ++src) {
+      if (src == comm.rank()) continue;
+      for (int i = 0; i < 100; ++i) {
+        double v = -1.0;
+        comm.recv(src, 42, std::span<double>(&v, 1));
+        EXPECT_DOUBLE_EQ(v, src * 1000.0 + i);
+      }
+    }
+  });
+  EXPECT_EQ(stats.total_messages, 5u * 4u * 100u);
+}
+
+TEST(MessagePassing, LargePayloadRoundTrip) {
+  run(2, [](Communicator& comm) {
+    std::vector<double> buf(100000);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<double>(i) * 0.25;
+      }
+      comm.send(1, 0, buf);
+    } else {
+      comm.recv(0, 0, buf);
+      EXPECT_DOUBLE_EQ(buf[99999], 99999 * 0.25);
+      EXPECT_DOUBLE_EQ(buf[12345], 12345 * 0.25);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "perf/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::perf::advise;
+using llp::perf::Advice;
+
+llp::RegionStats loop(const std::string& name, double flops,
+                      std::uint64_t invocations, std::uint64_t trips,
+                      llp::RegionKind kind = llp::RegionKind::kParallelLoop) {
+  llp::RegionStats r;
+  r.name = name;
+  r.kind = kind;
+  r.invocations = invocations;
+  r.total_trips = trips * invocations;
+  r.flops = flops;
+  return r;
+}
+
+const llp::model::MachineConfig kMachine = llp::model::origin2000_r12k_300();
+
+TEST(Advisor, HotOuterLoopRecommended) {
+  const auto advice =
+      advise({loop("sweep", 5e10, 10, 450)}, kMachine, 32);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_TRUE(advice[0].parallelize);
+  EXPECT_GT(advice[0].work_cycles, advice[0].min_work_cycles);
+}
+
+TEST(Advisor, TinyLoopRejectedOnTable1Grounds) {
+  // ~4000 flops per invocation: orders of magnitude below the threshold.
+  const auto advice = advise({loop("bc_line", 4e4, 10, 100)}, kMachine, 32);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_FALSE(advice[0].parallelize);
+  EXPECT_NE(advice[0].reason.find("Table 1"), std::string::npos);
+}
+
+TEST(Advisor, SerialRegionsKeptSerial) {
+  const auto advice =
+      advise({loop("bc", 1e10, 10, 0, llp::RegionKind::kSerial)}, kMachine, 32);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_FALSE(advice[0].parallelize);
+  EXPECT_NE(advice[0].reason.find("Table 2"), std::string::npos);
+}
+
+TEST(Advisor, LowTripLoopFlaggedButRecommended) {
+  const auto advice = advise({loop("short", 5e10, 10, 15)}, kMachine, 64);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_TRUE(advice[0].parallelize);
+  EXPECT_NE(advice[0].reason.find("stair-step"), std::string::npos);
+}
+
+TEST(Advisor, SortedByWork) {
+  const auto advice = advise({loop("small", 1e9, 10, 100),
+                              loop("big", 1e11, 10, 100)},
+                             kMachine, 16);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].region, "big");
+}
+
+TEST(Advisor, ThresholdGrowsWithProcessors) {
+  const auto few = advise({loop("x", 1e9, 1, 100)}, kMachine, 2);
+  const auto many = advise({loop("x", 1e9, 1, 100)}, kMachine, 128);
+  ASSERT_EQ(few.size(), 1u);
+  ASSERT_EQ(many.size(), 1u);
+  EXPECT_GT(many[0].min_work_cycles, few[0].min_work_cycles);
+}
+
+TEST(Advisor, SkipsRegionsWithoutMeasurements) {
+  const auto advice = advise({loop("dead", 0.0, 0, 0)}, kMachine, 8);
+  EXPECT_TRUE(advice.empty());
+}
+
+TEST(Advisor, Validation) {
+  EXPECT_THROW(advise({}, kMachine, 0), llp::Error);
+  EXPECT_THROW(advise({}, kMachine, 4, 0.0), llp::Error);
+}
+
+TEST(Advisor, FormatContainsVerdicts) {
+  const auto advice = advise({loop("sweep", 5e10, 10, 450),
+                              loop("tiny", 4e4, 10, 100)},
+                             kMachine, 32);
+  const std::string s = llp::perf::format_advice(advice);
+  EXPECT_NE(s.find("PARALLELIZE"), std::string::npos);
+  EXPECT_NE(s.find("keep serial"), std::string::npos);
+}
+
+}  // namespace

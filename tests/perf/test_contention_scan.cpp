@@ -1,0 +1,98 @@
+#include "perf/contention_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::perf::contention_scan;
+using llp::perf::region_cpu_seconds;
+using llp::perf::ScalingProfile;
+
+llp::RegionStats region(const std::string& name, double wall_seconds,
+                        llp::RegionKind kind = llp::RegionKind::kParallelLoop) {
+  llp::RegionStats r;
+  r.name = name;
+  r.kind = kind;
+  r.parallel_enabled = kind == llp::RegionKind::kParallelLoop;
+  r.invocations = 1;
+  r.seconds = wall_seconds;
+  return r;
+}
+
+TEST(RegionCpuSeconds, SerialIsWallTime) {
+  const auto r = region("bc", 2.0, llp::RegionKind::kSerial);
+  EXPECT_DOUBLE_EQ(region_cpu_seconds(r, 16), 2.0);
+}
+
+TEST(RegionCpuSeconds, ParallelScalesByProcessors) {
+  const auto r = region("loop", 0.5);
+  EXPECT_DOUBLE_EQ(region_cpu_seconds(r, 8), 4.0);
+}
+
+TEST(RegionCpuSeconds, PrefersLaneTimingWhenPresent) {
+  auto r = region("loop", 0.5);
+  r.lane_mean_seconds = 0.3;  // lanes idle part of the wall time
+  EXPECT_DOUBLE_EQ(region_cpu_seconds(r, 8), 2.4);
+}
+
+TEST(ContentionScan, HealthyRegionsNotFlagged) {
+  // Wall time halves with doubled processors: CPU time constant.
+  ScalingProfile p2{2, {region("healthy", 1.0)}};
+  ScalingProfile p16{16, {region("healthy", 0.125)}};
+  const auto suspects = contention_scan({p2, p16});
+  EXPECT_TRUE(suspects.empty());
+}
+
+TEST(ContentionScan, ContendedRegionFlagged) {
+  // The paper's signature: wall time refuses to drop (here it even grows),
+  // so CPU time balloons with processors.
+  ScalingProfile p2{2, {region("healthy", 1.0), region("contended", 0.5)}};
+  ScalingProfile p16{16, {region("healthy", 0.125), region("contended", 0.6)}};
+  const auto suspects = contention_scan({p2, p16});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].region, "contended");
+  EXPECT_NEAR(suspects[0].cpu_time_growth, (0.6 * 16) / (0.5 * 2), 1e-12);
+  EXPECT_LT(suspects[0].wall_speedup, 1.0);
+}
+
+TEST(ContentionScan, SortsByGrowth) {
+  ScalingProfile lo{2, {region("a", 1.0), region("b", 1.0)}};
+  ScalingProfile hi{8, {region("a", 1.0), region("b", 2.0)}};
+  const auto suspects = contention_scan({lo, hi});
+  ASSERT_EQ(suspects.size(), 2u);
+  EXPECT_EQ(suspects[0].region, "b");
+}
+
+TEST(ContentionScan, SerialRegionsAreNeverSuspects) {
+  // Serial wall time is constant by construction: CPU time is flat.
+  ScalingProfile lo{2, {region("bc", 0.2, llp::RegionKind::kSerial)}};
+  ScalingProfile hi{32, {region("bc", 0.2, llp::RegionKind::kSerial)}};
+  EXPECT_TRUE(contention_scan({lo, hi}).empty());
+}
+
+TEST(ContentionScan, UsesExtremeProcessorCounts) {
+  // The middle profile is noise; only min and max are compared.
+  ScalingProfile a{2, {region("x", 1.0)}};
+  ScalingProfile mid{8, {region("x", 100.0)}};
+  ScalingProfile b{16, {region("x", 0.125)}};
+  EXPECT_TRUE(contention_scan({mid, a, b}).empty());
+}
+
+TEST(ContentionScan, Validation) {
+  ScalingProfile only{4, {region("x", 1.0)}};
+  EXPECT_THROW(contention_scan({only}), llp::Error);
+  ScalingProfile dup{4, {region("x", 1.0)}};
+  EXPECT_THROW(contention_scan({only, dup}), llp::Error);
+  ScalingProfile other{8, {region("x", 1.0)}};
+  EXPECT_THROW(contention_scan({only, other}, 1.0), llp::Error);
+}
+
+TEST(ContentionScan, RegionMissingFromHighProfileSkipped) {
+  ScalingProfile lo{2, {region("gone", 1.0)}};
+  ScalingProfile hi{16, {region("different", 1.0)}};
+  EXPECT_TRUE(contention_scan({lo, hi}).empty());
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "perf/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/timer.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Metrics, TimeStepsPerHour) {
+  EXPECT_DOUBLE_EQ(llp::perf::time_steps_per_hour(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(llp::perf::time_steps_per_hour(1.0), 3600.0);
+  // Table 4 p=1 Origin row: 181 steps/hr ~ 19.9 s/step.
+  EXPECT_NEAR(llp::perf::time_steps_per_hour(19.9), 181.0, 1.0);
+}
+
+TEST(Metrics, TimeStepsRejectsNonPositive) {
+  EXPECT_THROW(llp::perf::time_steps_per_hour(0.0), llp::Error);
+  EXPECT_THROW(llp::perf::time_steps_per_hour(-1.0), llp::Error);
+}
+
+TEST(Metrics, Mflops) {
+  EXPECT_DOUBLE_EQ(llp::perf::mflops(1e6, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(llp::perf::mflops(4.83e9, 1.0), 4830.0);
+  EXPECT_THROW(llp::perf::mflops(1e6, 0.0), llp::Error);
+  EXPECT_THROW(llp::perf::mflops(-1.0, 1.0), llp::Error);
+}
+
+TEST(Metrics, ParallelEfficiency) {
+  EXPECT_DOUBLE_EQ(llp::perf::parallel_efficiency(8.0, 1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(llp::perf::parallel_efficiency(8.0, 2.0, 8), 0.5);
+  EXPECT_THROW(llp::perf::parallel_efficiency(0.0, 1.0, 8), llp::Error);
+}
+
+TEST(Metrics, EformatMatchesPaperStyle) {
+  // Table 4 prints MFLOPS like "3.64E3".
+  EXPECT_EQ(llp::perf::eformat(3640.0), "3.64E3");
+  EXPECT_EQ(llp::perf::eformat(180.0), "1.80E2");
+  EXPECT_EQ(llp::perf::eformat(1.02e4), "1.02E4");
+  EXPECT_EQ(llp::perf::eformat(0.0), "0.00E0");
+}
+
+TEST(Metrics, EformatNegativeAndSmall) {
+  EXPECT_EQ(llp::perf::eformat(-3640.0), "-3.64E3");
+  EXPECT_EQ(llp::perf::eformat(0.0123), "1.23E-2");
+}
+
+TEST(Timer, ElapsedIsNonNegativeAndGrows) {
+  llp::perf::Timer t;
+  const double a = t.elapsed();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double b = t.elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, ResetRestarts) {
+  llp::perf::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = t.elapsed();
+  t.reset();
+  EXPECT_LE(t.elapsed(), before + 1e-3);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSink) {
+  double sink_time = 0.0;
+  {
+    llp::perf::ScopedTimer st(sink_time);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(sink_time, 0.0);
+}
+
+}  // namespace

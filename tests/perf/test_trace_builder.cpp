@@ -1,0 +1,97 @@
+#include "perf/trace_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::RegionKind;
+using llp::RegionStats;
+
+RegionStats make_region(const std::string& name, RegionKind kind,
+                        bool enabled, std::uint64_t invocations,
+                        std::uint64_t trips, double flops, double bytes) {
+  RegionStats r;
+  r.name = name;
+  r.kind = kind;
+  r.parallel_enabled = enabled;
+  r.invocations = invocations;
+  r.total_trips = trips;
+  r.flops = flops;
+  r.bytes = bytes;
+  return r;
+}
+
+TEST(TraceBuilder, DividesByStepCount) {
+  std::vector<RegionStats> snap = {make_region(
+      "loop", RegionKind::kParallelLoop, true, 10, 700, 1e9, 2e6)};
+  const auto trace = llp::perf::build_trace(snap, 10);
+  ASSERT_EQ(trace.loops.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.loops[0].flops_per_step, 1e8);
+  EXPECT_DOUBLE_EQ(trace.loops[0].bytes_per_step, 2e5);
+  EXPECT_DOUBLE_EQ(trace.loops[0].invocations_per_step, 1.0);
+  EXPECT_EQ(trace.loops[0].trips, 70);
+  EXPECT_TRUE(trace.loops[0].parallel);
+}
+
+TEST(TraceBuilder, SkipsNeverInvokedRegions) {
+  std::vector<RegionStats> snap = {
+      make_region("dead", RegionKind::kParallelLoop, true, 0, 0, 0, 0),
+      make_region("live", RegionKind::kParallelLoop, true, 5, 50, 1e6, 0)};
+  const auto trace = llp::perf::build_trace(snap, 5);
+  ASSERT_EQ(trace.loops.size(), 1u);
+  EXPECT_EQ(trace.loops[0].name, "live");
+}
+
+TEST(TraceBuilder, DisabledParallelLoopBecomesSerial) {
+  std::vector<RegionStats> snap = {make_region(
+      "off", RegionKind::kParallelLoop, false, 5, 350, 1e6, 0)};
+  const auto trace = llp::perf::build_trace(snap, 5);
+  ASSERT_EQ(trace.loops.size(), 1u);
+  EXPECT_FALSE(trace.loops[0].parallel);
+  EXPECT_EQ(trace.loops[0].trips, 1);
+}
+
+TEST(TraceBuilder, SerialRegionStaysSerial) {
+  std::vector<RegionStats> snap = {
+      make_region("bc", RegionKind::kSerial, false, 5, 0, 1e6, 0)};
+  const auto trace = llp::perf::build_trace(snap, 5);
+  ASSERT_EQ(trace.loops.size(), 1u);
+  EXPECT_FALSE(trace.loops[0].parallel);
+}
+
+TEST(TraceBuilder, MultipleInvocationsPerStep) {
+  // 3 zones -> the same region name pattern appears 3x per step; here one
+  // region runs 30 times over 10 steps.
+  std::vector<RegionStats> snap = {make_region(
+      "multi", RegionKind::kParallelLoop, true, 30, 2100, 3e9, 0)};
+  const auto trace = llp::perf::build_trace(snap, 10);
+  EXPECT_DOUBLE_EQ(trace.loops[0].invocations_per_step, 3.0);
+  EXPECT_EQ(trace.loops[0].trips, 70);  // mean trips per invocation
+}
+
+TEST(TraceBuilder, RejectsBadSteps) {
+  EXPECT_THROW(llp::perf::build_trace({}, 0), llp::Error);
+}
+
+TEST(TraceBuilder, FromGlobalRegistry) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("tb.from_registry");
+  reg.reset_stats();
+  reg.record(id, 42, 0.1);
+  reg.add_flops(id, 4.2e6);
+  const auto trace = llp::perf::build_trace_from_registry(1);
+  bool found = false;
+  for (const auto& l : trace.loops) {
+    if (l.name == "tb.from_registry") {
+      found = true;
+      EXPECT_EQ(l.trips, 42);
+      EXPECT_DOUBLE_EQ(l.flops_per_step, 4.2e6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

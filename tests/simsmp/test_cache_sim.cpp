@@ -1,0 +1,200 @@
+#include "simsmp/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::simsmp::CacheConfig;
+using llp::simsmp::CacheSim;
+using llp::simsmp::MemoryHierarchy;
+using llp::simsmp::TlbConfig;
+using llp::simsmp::TlbSim;
+
+TEST(CacheSim, ConfigValidation) {
+  EXPECT_THROW(CacheSim({1024, 63, 4}), llp::Error);   // non-pow2 line
+  EXPECT_THROW(CacheSim({100, 64, 4}), llp::Error);    // size < one set
+  EXPECT_NO_THROW(CacheSim({1024, 64, 4}));
+}
+
+TEST(CacheSim, FirstAccessMissesSecondHits) {
+  CacheSim c({1024, 64, 2});
+  EXPECT_EQ(c.access(0), 1);
+  EXPECT_EQ(c.access(0), 0);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheSim, SameLineSharesEntry) {
+  CacheSim c({1024, 64, 2});
+  c.access(0);
+  EXPECT_EQ(c.access(56), 0);  // same 64-byte line
+  EXPECT_EQ(c.access(64), 1);  // next line
+}
+
+TEST(CacheSim, AccessSpanningTwoLines) {
+  CacheSim c({1024, 64, 2});
+  const int misses = c.access(60, 8);  // straddles lines 0 and 1
+  EXPECT_EQ(misses, 2);
+}
+
+TEST(CacheSim, SequentialStreamMissRateIsLineFraction) {
+  // Streaming 8-byte accesses through a huge array: one miss per 64-byte
+  // line -> miss rate 1/8.
+  CacheSim c({32 * 1024, 64, 4});
+  for (std::uint64_t addr = 0; addr < 1 << 20; addr += 8) c.access(addr);
+  EXPECT_NEAR(c.miss_rate(), 0.125, 1e-6);
+}
+
+TEST(CacheSim, WorkingSetThatFitsHitsOnRepass) {
+  CacheSim c({32 * 1024, 64, 4});
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 8) c.access(addr);
+  }
+  // Second pass is all hits: total misses == lines of the working set.
+  EXPECT_EQ(c.misses(), 16u * 1024u / 64u);
+}
+
+TEST(CacheSim, WorkingSetTooBigThrashes) {
+  CacheSim c({4 * 1024, 64, 2});
+  // 64 KB working set in a 4 KB cache, streamed twice: LRU gives ~0 reuse.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) c.access(addr);
+  }
+  EXPECT_GT(c.miss_rate(), 0.99);
+}
+
+TEST(CacheSim, LruEvictsOldest) {
+  // Direct-mapped-ish: 2 sets x 2 ways x 64 B = 256 B cache.
+  CacheSim c({256, 64, 2});
+  // Three lines mapping to set 0: line addresses 0, 2, 4 (stride 128 B).
+  c.access(0);
+  c.access(256);
+  c.access(512);  // evicts line 0 (LRU)
+  EXPECT_EQ(c.access(256), 0);  // still resident
+  EXPECT_EQ(c.access(0), 1);    // was evicted
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim c({1024, 64, 2});
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.access(0), 1);  // cold again
+}
+
+TEST(TlbSim, HitsWithinPage) {
+  TlbSim t({4, 4096});
+  t.access(0);
+  EXPECT_EQ(t.misses(), 1u);
+  t.access(4000);
+  EXPECT_EQ(t.hits(), 1u);
+}
+
+TEST(TlbSim, LruReplacement) {
+  TlbSim t({2, 4096});
+  t.access(0 * 4096);
+  t.access(1 * 4096);
+  t.access(2 * 4096);            // evicts page 0
+  t.access(1 * 4096);            // hit
+  EXPECT_EQ(t.hits(), 1u);
+  t.access(0 * 4096);            // miss again
+  EXPECT_EQ(t.misses(), 4u);
+}
+
+TEST(TlbSim, StridedPageWalkMissesEveryPage) {
+  TlbSim t({64, 16384});
+  for (std::uint64_t p = 0; p < 1000; ++p) t.access(p * 16384);
+  EXPECT_EQ(t.misses(), 1000u);
+}
+
+TEST(MemoryHierarchy, L1MissesGoToL2) {
+  MemoryHierarchy h({1024, 64, 2}, {32 * 1024, 64, 4}, {16, 4096});
+  h.access(0);
+  EXPECT_EQ(h.l1().misses(), 1u);
+  EXPECT_EQ(h.l2().misses(), 1u);
+  h.access(0);
+  EXPECT_EQ(h.l1().hits(), 1u);
+  EXPECT_EQ(h.l2().misses(), 1u);  // L1 hit never reaches L2
+}
+
+TEST(MemoryHierarchy, FitsInL2ButNotL1) {
+  MemoryHierarchy h({1024, 64, 2}, {64 * 1024, 64, 4}, {64, 4096});
+  // 16 KB working set: bigger than L1, fits L2.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 16 * 1024; a += 64) h.access(a);
+  }
+  EXPECT_EQ(h.l2().misses(), 256u);  // only the cold pass
+  EXPECT_GT(h.l1().misses(), 256u);  // L1 keeps missing
+}
+
+TEST(MemoryHierarchy, EstimatedCyclesMonotoneInMisses) {
+  MemoryHierarchy cold({1024, 64, 2}, {32 * 1024, 64, 4}, {16, 4096});
+  MemoryHierarchy warm({1024, 64, 2}, {32 * 1024, 64, 4}, {16, 4096});
+  for (std::uint64_t a = 0; a < 8 * 1024; a += 8) cold.access(a);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 512; a += 8) warm.access(a);
+  }
+  const double cold_cpa = cold.estimated_cycles() / cold.l1().accesses();
+  const double warm_cpa = warm.estimated_cycles() / warm.l1().accesses();
+  EXPECT_GT(cold_cpa, warm_cpa);
+}
+
+TEST(MemoryHierarchy, TrafficCountsL2MissBytes) {
+  MemoryHierarchy h({1024, 64, 2}, {32 * 1024, 64, 4}, {16, 4096});
+  for (std::uint64_t a = 0; a < 4096; a += 64) h.access(a);
+  EXPECT_DOUBLE_EQ(h.memory_traffic_bytes(), 4096.0);
+}
+
+}  // namespace
+namespace {
+
+// LRU inclusion property: for the same access stream, a bigger
+// fully-associative LRU cache can never miss more.
+class LruInclusion : public ::testing::TestWithParam<int> {};
+
+TEST_P(LruInclusion, BiggerCacheNeverMissesMore) {
+  const int seed = GetParam();
+  // Pseudo-random working set with locality.
+  std::vector<std::uint64_t> stream;
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  std::uint64_t cursor = 0;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((state >> 60) < 12) {
+      cursor = (state >> 8) % (1 << 16);  // jump
+    } else {
+      cursor += 8;  // stride
+    }
+    stream.push_back(cursor);
+  }
+  // Fully associative LRU: sets == 1 requires size == line * assoc.
+  std::uint64_t prev_misses = ~0ULL;
+  for (int assoc : {8, 16, 32, 64}) {
+    CacheSim c({64ULL * static_cast<std::uint64_t>(assoc), 64, assoc});
+    for (auto a : stream) c.access(a);
+    EXPECT_LE(c.misses(), prev_misses) << "assoc=" << assoc;
+    prev_misses = c.misses();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruInclusion, ::testing::Values(1, 2, 3, 4));
+
+TEST(CacheSim, FullyAssociativeAvoidsConflictMisses) {
+  // Two lines mapping to the same set thrash a direct-mapped cache but
+  // coexist in a 2-way one.
+  CacheSim direct({128, 64, 1});
+  CacheSim assoc({128, 64, 2});
+  for (int i = 0; i < 100; ++i) {
+    direct.access(0);
+    direct.access(128);  // same set in the 2-set direct-mapped cache
+    assoc.access(0);
+    assoc.access(128);
+  }
+  EXPECT_GT(direct.misses(), 100u);
+  EXPECT_EQ(assoc.misses(), 2u);
+}
+
+}  // namespace

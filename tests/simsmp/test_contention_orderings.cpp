@@ -1,0 +1,114 @@
+// Paper §7, Example 4: the three access orderings over A(JMAX,KMAX,LMAX)
+// under page-granularity interleaving. This test drives the contention
+// analyzer with the exact index patterns of the paper's three code fragments
+// and checks the qualitative ranking: (a) best, (b) acceptable, (c)
+// unacceptable.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "simsmp/page_memory.hpp"
+#include "util/array.hpp"
+
+namespace {
+
+using llp::simsmp::ContentionAnalyzer;
+using llp::simsmp::ContentionReport;
+
+// Dims chosen so one L plane is exactly four pages: a page never mixes
+// rows from different analysis corner cases and the geometry is easy to
+// reason about (j-row = 256 B, 16 k-rows per 4096-B page).
+constexpr int kJ = 32, kK = 64, kL = 32;
+constexpr int kProcs = 8;
+constexpr std::uint64_t kPage = 4096;
+
+// Address of A(j,k,l) for an 8-byte Fortran-ordered array.
+std::uint64_t addr(int j, int k, int l) {
+  const llp::Array3D<double> shape(kJ, kK, kL);  // only for the index math
+  return shape.index(j, k, l) * 8;
+}
+
+// (a) C$doacross over L, stride-1 J inside: contiguous slabs per processor.
+ContentionReport ordering_a() {
+  ContentionAnalyzer an(kPage, kProcs, 2);
+  for (int p = 0; p < kProcs; ++p) {
+    const auto r = llp::static_block(kL, p, kProcs);
+    for (int l = static_cast<int>(r.begin); l < static_cast<int>(r.end); ++l)
+      for (int k = 0; k < kK; ++k)
+        for (int j = 0; j < kJ; ++j) an.access(p, addr(j, k, l));
+  }
+  return an.report();
+}
+
+// (b) C$doacross over K, L inside: striped footprints.
+ContentionReport ordering_b() {
+  ContentionAnalyzer an(kPage, kProcs, 2);
+  for (int p = 0; p < kProcs; ++p) {
+    const auto r = llp::static_block(kK, p, kProcs);
+    for (int k = static_cast<int>(r.begin); k < static_cast<int>(r.end); ++k)
+      for (int l = 0; l < kL; ++l)
+        for (int j = 0; j < kJ; ++j) an.access(p, addr(j, k, l));
+  }
+  return an.report();
+}
+
+// (c) C$doacross over J batching a K-buffer: every processor strides
+// through the whole array (the paper's unacceptable pattern).
+ContentionReport ordering_c() {
+  ContentionAnalyzer an(kPage, kProcs, 2);
+  for (int p = 0; p < kProcs; ++p) {
+    const auto r = llp::static_block(kJ, p, kProcs);
+    for (int j = static_cast<int>(r.begin); j < static_cast<int>(r.end); ++j)
+      for (int l = 0; l < kL; ++l)
+        for (int k = 0; k < kK; ++k) an.access(p, addr(j, k, l));
+  }
+  return an.report();
+}
+
+TEST(Example4, OrderingAHasLittleSharing) {
+  const auto r = ordering_a();
+  // Slab boundaries can share a page, but the interior cannot.
+  EXPECT_LT(r.shared_access_fraction(), 0.15);
+}
+
+TEST(Example4, OrderingCSharesEverything) {
+  const auto r = ordering_c();
+  EXPECT_GT(r.shared_access_fraction(), 0.95);
+  EXPECT_DOUBLE_EQ(r.max_sharers, kProcs);
+}
+
+TEST(Example4, RankingMatchesPaper) {
+  // Ideal < acceptable < unacceptable, measured as the access-weighted mean
+  // number of processors sharing each page.
+  const auto a = ordering_a();
+  const auto b = ordering_b();
+  const auto c = ordering_c();
+  EXPECT_LT(a.mean_sharers, b.mean_sharers);
+  EXPECT_LT(b.mean_sharers, c.mean_sharers);
+  EXPECT_NEAR(c.mean_sharers, kProcs, 1e-12);
+  // (b) is *acceptable*: a page is shared by a couple of neighbors, not by
+  // everyone.
+  EXPECT_LT(b.mean_sharers, kProcs / 2.0);
+}
+
+TEST(Example4, AllOrderingsTouchSamePages) {
+  // Same footprint, different sharing — the problem is *who* touches a
+  // page, not how much memory is used.
+  const auto a = ordering_a();
+  const auto c = ordering_c();
+  EXPECT_EQ(a.pages, c.pages);
+  EXPECT_EQ(a.accesses, c.accesses);
+}
+
+TEST(Example4, PageMigrationCannotFixOrderingC) {
+  // §7: "no amount of page migration solves this problem". Migration can
+  // only change a page's home; with all processors touching every page,
+  // the remote fraction cannot drop below (nodes-1)/nodes no matter which
+  // node a page lands on.
+  const auto c = ordering_c();
+  const int nodes = kProcs / 2;
+  // Every page is touched by all nodes equally, so at best 1/nodes of the
+  // accesses can be local.
+  EXPECT_GT(c.remote_access_fraction(), 1.0 - 1.0 / nodes - 0.05);
+}
+
+}  // namespace

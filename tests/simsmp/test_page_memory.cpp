@@ -1,0 +1,92 @@
+#include "simsmp/page_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::simsmp::ContentionAnalyzer;
+using llp::simsmp::PagePlacement;
+
+TEST(PagePlacement, RoundRobinAcrossNodes) {
+  PagePlacement p(4096, 4);
+  EXPECT_EQ(p.node_of(0), 0);
+  EXPECT_EQ(p.node_of(4096), 1);
+  EXPECT_EQ(p.node_of(2 * 4096), 2);
+  EXPECT_EQ(p.node_of(3 * 4096), 3);
+  EXPECT_EQ(p.node_of(4 * 4096), 0);
+}
+
+TEST(PagePlacement, WithinPageSameNode) {
+  PagePlacement p(16384, 8);
+  EXPECT_EQ(p.node_of(100), p.node_of(16383));
+}
+
+TEST(PagePlacement, Validation) {
+  EXPECT_THROW(PagePlacement(0, 4), llp::Error);
+  EXPECT_THROW(PagePlacement(4096, 0), llp::Error);
+}
+
+TEST(ContentionAnalyzer, DisjointPagesNoSharing) {
+  ContentionAnalyzer a(4096, 4, 2);
+  for (int p = 0; p < 4; ++p) {
+    a.access(p, static_cast<std::uint64_t>(p) * 4096, 10);
+  }
+  const auto r = a.report();
+  EXPECT_EQ(r.pages, 4u);
+  EXPECT_EQ(r.shared_pages, 0u);
+  EXPECT_DOUBLE_EQ(r.shared_access_fraction(), 0.0);
+  EXPECT_EQ(r.accesses, 40u);
+}
+
+TEST(ContentionAnalyzer, EveryoneOnOnePageFullySharing) {
+  ContentionAnalyzer a(4096, 8, 2);
+  for (int p = 0; p < 8; ++p) a.access(p, 100);
+  const auto r = a.report();
+  EXPECT_EQ(r.pages, 1u);
+  EXPECT_EQ(r.shared_pages, 1u);
+  EXPECT_DOUBLE_EQ(r.shared_page_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max_sharers, 8.0);
+}
+
+TEST(ContentionAnalyzer, FirstTouchHomesPagesAndCountsRemote) {
+  ContentionAnalyzer a(4096, 4, 2);  // nodes: {0,1}, {2,3}
+  a.access(0, 0);      // proc 0 (node 0) homes the page
+  a.access(1, 8);      // proc 1: same node, not remote
+  a.access(2, 16);     // proc 2 (node 1): remote
+  a.access(3, 24, 5);  // proc 3 (node 1): 5 remote accesses
+  const auto r = a.report();
+  EXPECT_EQ(r.remote_accesses, 6u);
+  EXPECT_NEAR(r.remote_access_fraction(), 6.0 / 8.0, 1e-12);
+}
+
+TEST(ContentionAnalyzer, ProcessorsAbove64Tracked) {
+  ContentionAnalyzer a(4096, 128, 2);
+  a.access(0, 0);
+  a.access(127, 0);
+  const auto r = a.report();
+  EXPECT_DOUBLE_EQ(r.max_sharers, 2.0);
+  EXPECT_EQ(r.shared_pages, 1u);
+}
+
+TEST(ContentionAnalyzer, ResetClears) {
+  ContentionAnalyzer a(4096, 2, 1);
+  a.access(0, 0);
+  a.reset();
+  const auto r = a.report();
+  EXPECT_EQ(r.accesses, 0u);
+  EXPECT_EQ(r.pages, 0u);
+}
+
+TEST(ContentionAnalyzer, RejectsBadProcessor) {
+  ContentionAnalyzer a(4096, 4, 2);
+  EXPECT_THROW(a.access(4, 0), llp::Error);
+  EXPECT_THROW(a.access(-1, 0), llp::Error);
+}
+
+TEST(ContentionAnalyzer, RejectsTooManyProcessors) {
+  EXPECT_THROW(ContentionAnalyzer(4096, 129, 2), llp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "simsmp/page_migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::simsmp::EpochStats;
+using llp::simsmp::MigratingPageMemory;
+using llp::simsmp::MigrationPolicy;
+
+constexpr std::uint64_t kPage = 4096;
+
+TEST(PageMigration, FirstTouchHomesLocally) {
+  MigratingPageMemory mem(kPage, 4, 2);
+  mem.access(0, 0);
+  mem.access(0, 8);
+  const auto s = mem.end_epoch(MigrationPolicy::kNone);
+  EXPECT_EQ(s.accesses, 2u);
+  EXPECT_EQ(s.remote, 0u);
+}
+
+TEST(PageMigration, MisplacedPrivatePageFixedInOneEpoch) {
+  // Proc 0 (node 0) touches first (bad placement for proc 6/node 3).
+  MigratingPageMemory mem(kPage, 4, 2);
+  mem.access(0, 0);
+  for (int i = 0; i < 99; ++i) mem.access(6, 8);
+  const auto e1 = mem.end_epoch(MigrationPolicy::kMigrateToMajority);
+  EXPECT_NEAR(e1.remote_fraction(), 0.99, 0.001);
+  EXPECT_EQ(e1.migrations, 1u);
+  // Next epoch: the page lives on node 3 and proc 6 is local.
+  for (int i = 0; i < 100; ++i) mem.access(6, 8);
+  const auto e2 = mem.end_epoch(MigrationPolicy::kMigrateToMajority);
+  EXPECT_DOUBLE_EQ(e2.remote_fraction(), 0.0);
+}
+
+TEST(PageMigration, TrulySharedPageCannotBeFixedByMigration) {
+  // The paper's point: 8 nodes all hammer the same page equally; whichever
+  // node it is homed on, 7/8 of the traffic is remote, every epoch.
+  MigratingPageMemory mem(kPage, 8, 1);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int p = 0; p < 8; ++p) {
+      for (int i = 0; i < 10; ++i) mem.access(p, 100, /*write=*/true);
+    }
+    const auto s = mem.end_epoch(MigrationPolicy::kMigrateToMajority);
+    EXPECT_GE(s.remote_fraction(), 7.0 / 8.0 - 1e-12) << "epoch " << epoch;
+  }
+}
+
+TEST(PageMigration, ReplicationFixesReadOnlySharing) {
+  MigratingPageMemory mem(kPage, 8, 1);
+  // Epoch 1: everyone reads the same page -> replicated at epoch end.
+  for (int p = 0; p < 8; ++p) mem.access(p, 100, /*write=*/false, 10);
+  const auto e1 = mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  EXPECT_GT(e1.remote_fraction(), 0.8);
+  EXPECT_EQ(e1.replicated_pages, 1u);
+  // Epoch 2: reads are served locally by replicas.
+  for (int p = 0; p < 8; ++p) mem.access(p, 100, /*write=*/false, 10);
+  const auto e2 = mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  EXPECT_DOUBLE_EQ(e2.remote_fraction(), 0.0);
+}
+
+TEST(PageMigration, WriteInvalidatesReplicas) {
+  MigratingPageMemory mem(kPage, 4, 1);
+  for (int p = 0; p < 4; ++p) mem.access(p, 100, false, 10);
+  mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  // One write drops the replica; subsequent remote reads pay again.
+  mem.access(1, 100, /*write=*/true);
+  for (int p = 0; p < 4; ++p) mem.access(p, 100, false, 10);
+  const auto s = mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  EXPECT_GT(s.remote_fraction(), 0.5);
+}
+
+TEST(PageMigration, ReplicatePolicyStillMigratesWrittenPages) {
+  MigratingPageMemory mem(kPage, 4, 1);
+  mem.access(0, 0, true);                       // node 0 homes it
+  for (int i = 0; i < 50; ++i) mem.access(3, 8, true);
+  const auto e1 = mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  EXPECT_EQ(e1.migrations, 1u);  // majority node 3 takes it
+  for (int i = 0; i < 50; ++i) mem.access(3, 8, true);
+  const auto e2 = mem.end_epoch(MigrationPolicy::kReplicateReadOnly);
+  EXPECT_DOUBLE_EQ(e2.remote_fraction(), 0.0);
+}
+
+TEST(PageMigration, NonePolicyNeverMoves) {
+  MigratingPageMemory mem(kPage, 4, 1);
+  mem.access(0, 0);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int i = 0; i < 10; ++i) mem.access(3, 8);
+    const auto s = mem.end_epoch(MigrationPolicy::kNone);
+    EXPECT_EQ(s.migrations, 0u);
+    EXPECT_GT(s.remote_fraction(), 0.9);
+  }
+}
+
+TEST(PageMigration, RejectsBadConfigAndProc) {
+  EXPECT_THROW(MigratingPageMemory(0, 4, 1), llp::Error);
+  MigratingPageMemory mem(kPage, 2, 2);
+  EXPECT_THROW(mem.access(4, 0), llp::Error);  // node 2 of 2
+  EXPECT_THROW(mem.access(-1, 0), llp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "simsmp/smp_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using llp::model::LoopWork;
+using llp::model::WorkTrace;
+using llp::simsmp::SmpSimulator;
+using llp::simsmp::table4_processor_counts;
+
+WorkTrace f3d_like_trace() {
+  // Shaped like the solver's per-step trace for the 1M case: three zones'
+  // sweeps (trips 70/70/75), an RHS (trips 70), and a serial BC tail.
+  WorkTrace t;
+  t.loops.push_back(LoopWork{"rhs", 1.5e9, 70, 3.0, true, 1e8});
+  t.loops.push_back(LoopWork{"sweep_j", 1e9, 70, 3.0, true, 1e8});
+  t.loops.push_back(LoopWork{"sweep_k", 1e9, 70, 3.0, true, 1e8});
+  t.loops.push_back(LoopWork{"sweep_l", 1e9, 75, 3.0, true, 1e8});
+  t.loops.push_back(LoopWork{"bc", 2e7, 1, 1.0, false, 1e6});
+  return t;
+}
+
+TEST(SmpSimulator, SingleProcessorAnchors) {
+  SmpSimulator sim(llp::model::origin2000_r12k_300());
+  const auto pt = sim.run(f3d_like_trace(), 1);
+  EXPECT_EQ(pt.processors, 1);
+  EXPECT_DOUBLE_EQ(pt.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(pt.efficiency, 1.0);
+  // Delivered MFLOPS at p=1 equals the machine's sustained rating.
+  EXPECT_NEAR(pt.mflops, 237.0, 0.5);
+}
+
+TEST(SmpSimulator, StepsPerHourInvertsSeconds) {
+  SmpSimulator sim(llp::model::origin2000_r12k_300());
+  const auto pt = sim.run(f3d_like_trace(), 16);
+  EXPECT_NEAR(pt.steps_per_hour * pt.seconds_per_step, 3600.0, 1e-6);
+}
+
+TEST(SmpSimulator, SpeedupMonotoneUpToParallelismLimit) {
+  SmpSimulator sim(llp::model::origin2000_r12k_300());
+  const auto trace = f3d_like_trace();
+  double prev = 0.0;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto pt = sim.run(trace, p);
+    EXPECT_GE(pt.speedup, prev * 0.999) << p;
+    prev = pt.speedup;
+  }
+}
+
+TEST(SmpSimulator, FlatWhereCeilIsConstant) {
+  SmpSimulator sim(llp::model::origin2000_r12k_300());
+  const auto trace = f3d_like_trace();
+  // ceil(70/p)=2 and ceil(75/p)=2 for p in 38..64: the Table 4 flat.
+  const auto a = sim.run(trace, 48);
+  const auto b = sim.run(trace, 64);
+  EXPECT_NEAR(a.steps_per_hour, b.steps_per_hour,
+              0.02 * a.steps_per_hour);
+  // And 72 sits on the next step up (ceil(75/72)=ceil(70/72)=1).
+  const auto c = sim.run(trace, 72);
+  EXPECT_GT(c.steps_per_hour, 1.3 * b.steps_per_hour);
+}
+
+TEST(SmpSimulator, SerialTailCapsSpeedup) {
+  SmpSimulator sim(llp::model::origin2000_r12k_300());
+  WorkTrace t = f3d_like_trace();
+  t.loops.push_back(LoopWork{"huge_serial", 2e9, 1, 1.0, false, 0.0});
+  const auto pt = sim.run(t, 64);
+  // Serial fraction ~31%: Amdahl caps speedup near 3.
+  EXPECT_LT(pt.speedup, 4.0);
+}
+
+TEST(SmpSimulator, SweepMatchesIndividualRuns) {
+  SmpSimulator sim(llp::model::sun_hpc10000());
+  const auto trace = f3d_like_trace();
+  const auto pts = sim.sweep(trace, {1, 16, 32});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[1].seconds_per_step, sim.run(trace, 16).seconds_per_step);
+}
+
+TEST(SmpSimulator, EmptyTraceRejected) {
+  SmpSimulator sim(llp::model::sun_hpc10000());
+  EXPECT_THROW(sim.run(WorkTrace{}, 1), llp::Error);
+}
+
+TEST(Table4Counts, ClippedToMachine) {
+  const auto counts128 = table4_processor_counts(128);
+  EXPECT_EQ(counts128.back(), 124);
+  const auto counts64 = table4_processor_counts(64);
+  EXPECT_EQ(counts64.back(), 64);
+  for (int p : counts64) EXPECT_LE(p, 64);
+}
+
+TEST(FormatSweep, ContainsTitleAndRows) {
+  SmpSimulator sim(llp::model::hp_v2500());
+  const auto pts = sim.sweep(f3d_like_trace(), {1, 8, 16});
+  const std::string s = SmpSimulator::format_sweep("HP V2500", pts);
+  EXPECT_NE(s.find("HP V2500"), std::string::npos);
+  EXPECT_NE(s.find("steps/hr"), std::string::npos);
+  EXPECT_NE(s.find("16"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "util/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace {
+
+using llp::Array3D;
+using llp::Array4D;
+
+TEST(Array3D, DimensionsAndSize) {
+  Array3D<double> a(3, 5, 7);
+  EXPECT_EQ(a.jmax(), 3);
+  EXPECT_EQ(a.kmax(), 5);
+  EXPECT_EQ(a.lmax(), 7);
+  EXPECT_EQ(a.size(), 3u * 5u * 7u);
+}
+
+TEST(Array3D, FortranOrderFirstIndexFastest) {
+  Array3D<double> a(4, 3, 2);
+  EXPECT_EQ(a.index(0, 0, 0), 0u);
+  EXPECT_EQ(a.index(1, 0, 0), 1u);  // j is stride 1
+  EXPECT_EQ(a.index(0, 1, 0), 4u);  // k is stride jmax
+  EXPECT_EQ(a.index(0, 0, 1), 12u); // l is stride jmax*kmax
+}
+
+TEST(Array3D, IndexCoversAllSlotsExactlyOnce) {
+  Array3D<int> a(5, 4, 3);
+  std::vector<int> seen(a.size(), 0);
+  for (int l = 0; l < 3; ++l)
+    for (int k = 0; k < 4; ++k)
+      for (int j = 0; j < 5; ++j) seen[a.index(j, k, l)]++;
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Array3D, ReadWriteRoundTrip) {
+  Array3D<double> a(3, 3, 3);
+  a(1, 2, 0) = 42.5;
+  EXPECT_DOUBLE_EQ(a(1, 2, 0), 42.5);
+  EXPECT_DOUBLE_EQ(a(0, 0, 0), 0.0);  // default init
+}
+
+TEST(Array3D, FillSetsEveryElement) {
+  Array3D<double> a(2, 2, 2);
+  a.fill(3.25);
+  for (int l = 0; l < 2; ++l)
+    for (int k = 0; k < 2; ++k)
+      for (int j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(a(j, k, l), 3.25);
+}
+
+TEST(Array3D, InitValuePropagates) {
+  Array3D<int> a(2, 2, 2, 7);
+  EXPECT_EQ(a(1, 1, 1), 7);
+}
+
+TEST(Array3D, RejectsNonPositiveDims) {
+  EXPECT_THROW(Array3D<double>(0, 1, 1), llp::Error);
+  EXPECT_THROW(Array3D<double>(1, -1, 1), llp::Error);
+}
+
+TEST(Array3D, DataIsCacheLineAligned) {
+  Array3D<double> a(17, 13, 11);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % llp::kCacheLineBytes,
+            0u);
+}
+
+TEST(Array4D, ComponentIndexFastest) {
+  Array4D<double> a(5, 4, 3, 2);
+  EXPECT_EQ(a.index(0, 0, 0, 0), 0u);
+  EXPECT_EQ(a.index(1, 0, 0, 0), 1u);   // n stride 1
+  EXPECT_EQ(a.index(0, 1, 0, 0), 5u);   // j stride nvar
+  EXPECT_EQ(a.index(0, 0, 1, 0), 20u);  // k stride nvar*jmax
+  EXPECT_EQ(a.index(0, 0, 0, 1), 60u);  // l stride nvar*jmax*kmax
+}
+
+TEST(Array4D, PointReturnsContiguousComponents) {
+  Array4D<double> a(5, 3, 3, 3);
+  double* p = a.point(1, 2, 0);
+  for (int n = 0; n < 5; ++n) p[n] = 10.0 + n;
+  for (int n = 0; n < 5; ++n) EXPECT_DOUBLE_EQ(a(n, 1, 2, 0), 10.0 + n);
+  // Adjacent components are adjacent in memory.
+  EXPECT_EQ(&a(1, 1, 2, 0) - &a(0, 1, 2, 0), 1);
+}
+
+TEST(Array4D, SizeAndFill) {
+  Array4D<float> a(2, 3, 4, 5);
+  EXPECT_EQ(a.size(), 2u * 3u * 4u * 5u);
+  a.fill(1.5f);
+  EXPECT_FLOAT_EQ(a(1, 2, 3, 4), 1.5f);
+}
+
+TEST(Array4D, RejectsNonPositiveDims) {
+  EXPECT_THROW(Array4D<double>(0, 1, 1, 1), llp::Error);
+  EXPECT_THROW(Array4D<double>(5, 1, 0, 1), llp::Error);
+}
+
+TEST(AlignedVector, AllocationAligned) {
+  llp::AlignedVector<double> v(1001);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % llp::kCacheLineBytes,
+            0u);
+}
+
+TEST(AlignedVector, WorksWithOddSizes) {
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    llp::AlignedVector<int> v(n, 3);
+    EXPECT_EQ(v.size(), n);
+    EXPECT_EQ(v[n - 1], 3);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,38 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Strfmt, BasicSubstitution) {
+  EXPECT_EQ(llp::strfmt("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strfmt, FloatPrecision) {
+  EXPECT_EQ(llp::strfmt("%.3f", 1.23456), "1.235");
+}
+
+TEST(Strfmt, EmptyFormat) { EXPECT_EQ(llp::strfmt("%s", ""), ""); }
+
+TEST(Strfmt, LongOutput) {
+  const std::string s = llp::strfmt("%0512d", 1);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '1');
+}
+
+TEST(WithCommas, SmallNumbersUnchanged) {
+  EXPECT_EQ(llp::with_commas(0), "0");
+  EXPECT_EQ(llp::with_commas(999), "999");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(llp::with_commas(1000), "1,000");
+  EXPECT_EQ(llp::with_commas(2000000), "2,000,000");
+  EXPECT_EQ(llp::with_commas(12800000000LL), "12,800,000,000");
+}
+
+TEST(WithCommas, Negative) {
+  EXPECT_EQ(llp::with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace

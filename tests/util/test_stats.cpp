@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Summarize, EmptyGivesZeros) {
+  const llp::Summary s = llp::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::array<double, 1> xs = {4.0};
+  const llp::Summary s = llp::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  const llp::Summary s = llp::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(RelDiff, ZeroForEqual) {
+  EXPECT_DOUBLE_EQ(llp::rel_diff(3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(llp::rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(RelDiff, Symmetric) {
+  EXPECT_DOUBLE_EQ(llp::rel_diff(1.0, 2.0), llp::rel_diff(2.0, 1.0));
+}
+
+TEST(RelDiff, ScalesByLarger) {
+  EXPECT_DOUBLE_EQ(llp::rel_diff(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(llp::rel_diff(-1.0, 1.0), 2.0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  const std::array<double, 2> xs = {1.0, 4.0};
+  EXPECT_NEAR(llp::geometric_mean(xs), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(llp::geometric_mean({}), llp::Error);
+  const std::array<double, 2> bad = {1.0, 0.0};
+  EXPECT_THROW(llp::geometric_mean(bad), llp::Error);
+}
+
+TEST(LogLogSlope, RecoversExactPowerLaw) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // slope 2
+  }
+  EXPECT_NEAR(llp::loglog_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LogLogSlope, NegativeSlope) {
+  std::vector<double> x = {1.0, 10.0, 100.0};
+  std::vector<double> y = {100.0, 10.0, 1.0};
+  EXPECT_NEAR(llp::loglog_slope(x, y), -1.0, 1e-12);
+}
+
+TEST(LogLogSlope, RequiresMatchingPositiveData) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {1.0};
+  EXPECT_THROW(llp::loglog_slope(x, y), llp::Error);
+  std::vector<double> y2 = {1.0, -1.0};
+  EXPECT_THROW(llp::loglog_slope(x, y2), llp::Error);
+}
+
+}  // namespace

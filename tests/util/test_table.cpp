@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(llp::Table({}), llp::Error);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  llp::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), llp::Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), llp::Error);
+}
+
+TEST(Table, RendersHeaderAndRule) {
+  llp::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, PadsColumnsToWidestCell) {
+  llp::Table t({"c"});
+  t.add_row({"short"});
+  t.add_row({"much-longer-cell"});
+  const std::string s = t.to_string();
+  // Each line (after the header) should have the same length.
+  std::size_t prev = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  llp::Table t({"n"});
+  t.add_row({"5"});
+  t.add_row({"12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("    5\n"), std::string::npos);
+}
+
+TEST(Table, TextCellsLeftAligned) {
+  llp::Table t({"word"});
+  t.add_row({"ab"});
+  t.add_row({"abcdef"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("ab    \n"), std::string::npos);
+}
+
+TEST(Table, RowsCount) {
+  llp::Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CommaAndScientificCellsCountAsNumeric) {
+  llp::Table t({"v"});
+  t.add_row({"12,800,000,000"});
+  t.add_row({"3.64E3"});
+  t.add_row({"x"});
+  const std::string s = t.to_string();
+  // The scientific cell is right-aligned: preceded by spaces.
+  EXPECT_NE(s.find("        3.64E3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// f3d_run — command-line driver for the F3D-like solver.
+//
+//   f3d_run [options]
+//     --case NAME        1m | 59m | cube | vortex        (default: 1m)
+//     --scale S          zone-dimension scale factor      (default: 0.15)
+//     --n N              cube/vortex size                 (default: 24)
+//     --steps N          time steps                       (default: 50)
+//     --cfl X            CFL number                       (default: 2.0)
+//     --mode M           risc | vector                    (default: risc)
+//     --threads T        loop-level threads               (default: runtime)
+//     --viscous RE       enable thin-layer terms at Re    (default: off)
+//     --wall             slip wall on KMin
+//     --pulse AMP        add a Gaussian pulse             (default: off)
+//     --save FILE        write the final solution
+//     --load FILE        start from a saved solution
+//     --csv FILE         write the mid-K plane of zone 0 as CSV
+//     --profile          print the flat profile at the end
+//     --advise P         print parallelization advice for P processors
+//                        on a modeled Origin 2000
+//
+// Exit code 0 on success; prints residual history, performance in the
+// paper's metrics, and wall forces when a wall is present.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/llp.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/forces.hpp"
+#include "f3d/io.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+#include "perf/advisor.hpp"
+#include "perf/metrics.hpp"
+#include "perf/timer.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "f3d_run: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: f3d_run [--case 1m|59m|cube|vortex] [--scale S] "
+               "[--n N]\n"
+               "  [--steps N] [--cfl X] [--mode risc|vector] [--threads T]\n"
+               "  [--viscous RE] [--wall] [--pulse AMP] [--save F] "
+               "[--load F]\n"
+               "  [--csv F] [--profile] [--advise P]\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string case_name = "1m";
+  double scale = 0.15;
+  int n = 24;
+  int steps = 50;
+  double cfl = 2.0;
+  std::string mode = "risc";
+  int threads = 0;
+  double viscous_re = 0.0;
+  bool wall = false;
+  double pulse = 0.0;
+  std::string save_path, load_path, csv_path;
+  bool profile = false;
+  int advise = 0;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int i) {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--case") o.case_name = need(i++);
+    else if (a == "--scale") o.scale = std::atof(need(i++));
+    else if (a == "--n") o.n = std::atoi(need(i++));
+    else if (a == "--steps") o.steps = std::atoi(need(i++));
+    else if (a == "--cfl") o.cfl = std::atof(need(i++));
+    else if (a == "--mode") o.mode = need(i++);
+    else if (a == "--threads") o.threads = std::atoi(need(i++));
+    else if (a == "--viscous") o.viscous_re = std::atof(need(i++));
+    else if (a == "--wall") o.wall = true;
+    else if (a == "--pulse") o.pulse = std::atof(need(i++));
+    else if (a == "--save") o.save_path = need(i++);
+    else if (a == "--load") o.load_path = need(i++);
+    else if (a == "--csv") o.csv_path = need(i++);
+    else if (a == "--profile") o.profile = true;
+    else if (a == "--advise") o.advise = std::atoi(need(i++));
+    else if (a == "--help" || a == "-h") usage("help requested");
+    else usage(("unknown option " + a).c_str());
+  }
+  if (o.steps < 1) usage("--steps must be >= 1");
+  if (o.mode != "risc" && o.mode != "vector") usage("bad --mode");
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.threads > 0) llp::set_num_threads(o.threads);
+
+  f3d::CaseSpec spec;
+  if (o.case_name == "1m") spec = f3d::paper_1m_case(o.scale);
+  else if (o.case_name == "59m") spec = f3d::paper_59m_case(o.scale);
+  else if (o.case_name == "cube") spec = f3d::wall_compression_case(o.n);
+  else if (o.case_name == "vortex") spec = f3d::vortex_case(o.n);
+  else usage("unknown --case");
+
+  auto grid = f3d::build_grid(spec);
+  if (o.case_name == "vortex") {
+    f3d::make_periodic(grid);
+    f3d::Vortex v;
+    v.x0 = v.y0 = 5.0;
+    f3d::initialize_vortex(grid, spec.freestream, v);
+  }
+  if (o.wall) f3d::add_kmin_wall(grid);
+  if (o.pulse > 0.0) f3d::add_gaussian_pulse(grid, o.pulse, 2.5);
+  if (!o.load_path.empty()) f3d::load_solution(o.load_path, grid);
+
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.cfl = o.cfl;
+  cfg.mode = o.mode == "risc" ? f3d::SweepMode::kRisc : f3d::SweepMode::kVector;
+  cfg.region_prefix = "run";
+  if (o.viscous_re > 0.0) {
+    cfg.rhs.viscous.enabled = true;
+    cfg.rhs.viscous.reynolds = o.viscous_re;
+  }
+
+  std::printf("f3d_run: case=%s zones=%d points=%zu mode=%s threads=%d "
+              "steps=%d cfl=%.2f%s\n",
+              o.case_name.c_str(), grid.num_zones(), grid.total_points(),
+              o.mode.c_str(), llp::num_threads(), o.steps, o.cfl,
+              o.viscous_re > 0 ? " (viscous)" : "");
+
+  llp::regions().reset_stats();
+  f3d::Solver solver(grid, cfg);
+  llp::perf::Timer wall_clock;
+  for (int s = 0; s < o.steps; ++s) {
+    solver.step();
+    if (s % std::max(1, o.steps / 10) == 0 || s == o.steps - 1) {
+      std::printf("  step %4d  residual %.6e\n", s, solver.residual());
+    }
+  }
+  const double elapsed = wall_clock.elapsed();
+  const double per_step = elapsed / o.steps;
+
+  std::printf("\nperformance: %.1f time steps/hour, %.1f MFLOPS, "
+              "%.3f s/step\n",
+              llp::perf::time_steps_per_hour(per_step),
+              llp::perf::mflops(solver.flops_per_step(), per_step), per_step);
+  std::printf("solution checksum: %016llx\n",
+              static_cast<unsigned long long>(f3d::checksum(grid)));
+
+  if (o.wall) {
+    const auto f = f3d::total_wall_force(grid);
+    std::printf("wall force: Cy = %.5f over area %.4f\n",
+                f.cy(spec.freestream), f.area);
+  }
+  if (!o.save_path.empty()) {
+    f3d::save_solution(o.save_path, grid);
+    std::printf("solution written to %s\n", o.save_path.c_str());
+  }
+  if (!o.csv_path.empty()) {
+    std::ofstream csv(o.csv_path);
+    f3d::write_plane_csv(csv, grid.zone(0), grid.zone(0).kmax() / 2);
+    std::printf("mid-K plane of zone 0 written to %s\n", o.csv_path.c_str());
+  }
+  if (o.profile) {
+    std::printf("\nflat profile:\n%s", llp::regions().profile_report().c_str());
+  }
+  if (o.advise > 0) {
+    const auto advice = llp::perf::advise(
+        llp::regions().snapshot(), llp::model::origin2000_r12k_300(),
+        o.advise);
+    std::printf("\nparallelization advice for %d Origin 2000 processors:\n%s",
+                o.advise, llp::perf::format_advice(advice).c_str());
+  }
+  return 0;
+}
