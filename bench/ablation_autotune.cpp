@@ -1,0 +1,146 @@
+// Ablation — autotuned vs hand-picked vs worst-case loop configuration.
+//
+// The paper's humans picked each loop's schedule once, from prof output.
+// src/tune automates that choice online. This bench runs the deterministic
+// skewed-cost workload from ablation_schedules (triangular weights: the
+// boundary-layer-clustering case where the C$doacross static default is at
+// its worst), exhaustively measures every candidate configuration, then
+// lets the Tuner search the same space and reports how close its converged
+// choice lands to the exhaustive optimum — and how far the worst
+// configuration (what a wrong hand-pick costs) is from both.
+//
+// On a host with few cores the absolute spreads are modest (scheduling
+// quality matters most at high lane counts); the point is the mechanism:
+// the tuner reaches within a few percent of the exhaustive best using a
+// bounded number of the loop's own invocations.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "common.hpp"
+#include "core/llp.hpp"
+#include "tune/candidates.hpp"
+#include "tune/tuner.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::int64_t kTrips = 96;
+constexpr std::int64_t kSpinPerUnit = 600;
+
+// Triangular iteration weights: w_i = i+1, the skew static block mishandles.
+std::vector<double> weights() {
+  std::vector<double> w;
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    w.push_back(static_cast<double>(i + 1));
+  }
+  return w;
+}
+
+double run_once(const std::vector<double>& w, const llp::ForOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  llp::parallel_for(
+      0, kTrips,
+      [&](std::int64_t i) {
+        volatile double x = 0.0;
+        const auto spins = static_cast<std::int64_t>(
+            w[static_cast<std::size_t>(i)] * kSpinPerUnit);
+        for (std::int64_t s = 0; s < spins; ++s) x = x + 1.0;
+      },
+      opts);
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+double measure(const std::vector<double>& w, const llp::LoopConfig& c,
+               int reps = 3) {
+  llp::ForOptions opts;
+  opts.schedule = c.schedule;
+  opts.chunk = c.chunk;
+  opts.num_threads = c.num_threads;
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, run_once(w, opts));
+  return best;
+}
+
+std::string config_name(const llp::LoopConfig& c) {
+  return llp::strfmt("%s chunk=%lld nt=%d",
+                     std::string(llp::tune::schedule_name(c.schedule)).c_str(),
+                     static_cast<long long>(c.chunk), c.num_threads);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation — autotuner vs hand-picked vs worst-case configuration "
+      "(triangular skew, measured wall time)");
+
+  const std::vector<double> w = weights();
+  // Fixed lane count regardless of host cores (this repo's usual pattern:
+  // threads exercise correctness and scheduling overhead; speed claims
+  // route through simsmp). On few-core hosts the spread between rows is
+  // scheduling + oversubscription overhead, which is real tuning signal.
+  const int lanes = 4;
+  llp::set_num_threads(lanes);
+
+  // Exhaustive sweep over the tuner's own candidate space.
+  const auto candidates = llp::tune::candidate_configs(kTrips, lanes);
+  std::vector<double> times;
+  std::size_t best_i = 0, worst_i = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    times.push_back(measure(w, candidates[i]));
+    if (times[i] < times[best_i]) best_i = i;
+    if (times[i] > times[worst_i]) worst_i = i;
+  }
+
+  // The hand-picked default: the C$doacross static block at full lanes
+  // (candidate 0 by construction).
+  const std::size_t hand_i = 0;
+
+  // The tuner searches the same space online, on the loop's own
+  // invocations (successive halving, as a tuning session would).
+  llp::tune::TunerOptions topts;
+  topts.policy = llp::tune::Policy::kSuccessiveHalving;
+  topts.max_threads = lanes;
+  llp::tune::Tuner tuner(topts);
+  auto& rt = llp::Runtime::instance();
+  rt.set_tuner(&tuner);
+  rt.set_auto_tune_enabled(true);
+  const auto region = llp::regions().define("autotune.triangular");
+  llp::ForOptions auto_opts = llp::ForOptions::kAuto;
+  auto_opts.region = region;
+  int invocations = 0;
+  while (!tuner.converged(region, kTrips) && invocations < 128) {
+    run_once(w, auto_opts);
+    ++invocations;
+  }
+  rt.set_tuner(nullptr);
+  rt.set_auto_tune_enabled(false);
+  const llp::LoopConfig tuned = tuner.best(region, kTrips);
+  const double tuned_time = measure(w, tuned);
+
+  llp::Table t({"configuration", "how chosen", "time (ms)", "vs best"});
+  auto row = [&](const std::string& how, const llp::LoopConfig& c, double s) {
+    t.add_row({config_name(c), how, llp::strfmt("%.3f", s * 1e3),
+               llp::strfmt("%.2fx", s / times[best_i])});
+  };
+  row("exhaustive best", candidates[best_i], times[best_i]);
+  row(llp::strfmt("autotuned (%d invocations)", invocations), tuned,
+      tuned_time);
+  row("hand-picked default", candidates[hand_i], times[hand_i]);
+  row("exhaustive worst", candidates[worst_i], times[worst_i]);
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nThe tuner spends a bounded number of the loop's own invocations\n"
+      "and lands on a configuration competitive with the exhaustive best;\n"
+      "the worst-case row is the price of hand-picking wrongly. With\n"
+      "LLP_TUNE=1 the converged choice persists in the .llp_tune DB and\n"
+      "later runs start from it directly.\n");
+  return 0;
+}

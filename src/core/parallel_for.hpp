@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "core/runtime.hpp"
 #include "core/schedule.hpp"
 #include "core/thread_pool.hpp"
+#include "core/tuner_hook.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
@@ -41,7 +43,19 @@ struct ForOptions {
   std::int64_t chunk = 1;      ///< chunk size for chunked/dynamic schedules
   int num_threads = 0;         ///< 0 = runtime default
   RegionId region = kNoRegion; ///< optional registry instrumentation
+
+  /// Consult the runtime's LoopTuner (if installed and enabled) for
+  /// schedule/chunk/num_threads, and report the measured time back after
+  /// the join. Requires a region (the tuner keys on it); the explicit
+  /// fields above become the fallback when tuning is off.
+  bool auto_tune = false;
+
+  /// Ready-made options for an autotuned loop: set `region` and go.
+  static const ForOptions kAuto;
 };
+
+inline const ForOptions ForOptions::kAuto{Schedule::kStaticBlock, 1, 0,
+                                          kNoRegion, true};
 
 namespace detail {
 
@@ -131,12 +145,33 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   const std::int64_t n = end > begin ? end - begin : 0;
 
   auto& rt = Runtime::instance();
-  int nthreads = opts.num_threads > 0 ? opts.num_threads : rt.num_threads();
-  if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
-
   const bool instrumented = opts.region != kNoRegion;
   const bool enabled =
       !instrumented || rt.regions().parallel_enabled(opts.region);
+
+  // kAuto path: let the installed tuner override schedule/chunk/threads for
+  // this invocation. It sees the measurement after the join, closing the
+  // paper's measure -> decide -> configure loop.
+  ForOptions eff = opts;
+  LoopTuner* tuner = nullptr;
+  if (opts.auto_tune && instrumented && enabled && n > 0 &&
+      rt.auto_tune_enabled()) {
+    tuner = rt.tuner();
+    if (tuner != nullptr) {
+      const LoopConfig c = tuner->choose(opts.region, n);
+      eff.schedule = c.schedule;
+      eff.chunk = std::max<std::int64_t>(1, c.chunk);
+      // Never above the runtime lane count: callers (parallel_reduce, lane
+      // workspaces) size per-lane state to at most that many lanes.
+      eff.num_threads = std::min(c.num_threads, rt.num_threads());
+    }
+  }
+  // The exact configuration reported back to the tuner (before clamping,
+  // so it matches the tuner's own candidate identity).
+  const LoopConfig used{eff.schedule, eff.chunk, eff.num_threads};
+
+  int nthreads = eff.num_threads > 0 ? eff.num_threads : rt.num_threads();
+  if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
 
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -150,10 +185,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
       }
     } else {
       std::atomic<std::int64_t> cursor{0};
-      ForOptions local = opts;
-      if (local.schedule == Schedule::kDynamic && opts.chunk == 1 && n > 64) {
+      if (tuner == nullptr && eff.schedule == Schedule::kDynamic &&
+          eff.chunk == 1 && n > 64) {
         // Avoid a contended counter for trivially small default chunks.
-        local.chunk = std::max<std::int64_t>(1, n / (8 * nthreads));
+        // Tuned loops keep their chunk verbatim: the chunk IS the candidate.
+        eff.chunk = std::max<std::int64_t>(1, n / (8 * nthreads));
       }
       // Instrumented loops also time each lane so the region can report a
       // measured load-imbalance factor.
@@ -165,21 +201,23 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
       auto lane_fn = [&](int lane) {
         if (instrumented) {
           const auto lt0 = std::chrono::steady_clock::now();
-          detail::run_lane(begin, n, body, lane, nthreads, local, cursor);
+          detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
           const std::chrono::duration<double> d =
               std::chrono::steady_clock::now() - lt0;
           if (lane < nthreads) {
             lane_times[static_cast<std::size_t>(lane)].seconds = d.count();
           }
         } else {
-          detail::run_lane(begin, n, body, lane, nthreads, local, cursor);
+          detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
         }
       };
-      if (opts.num_threads > 0 && opts.num_threads != rt.num_threads()) {
-        // A loop-specific thread count gets its own transient pool, the way
-        // OpenMP honors num_threads() clauses.
-        ThreadPool pool(nthreads);
-        pool.run(lane_fn);
+      if (eff.num_threads > 0 && eff.num_threads != rt.num_threads()) {
+        // A loop-specific thread count gets its own pool, the way OpenMP
+        // honors num_threads() clauses. Pools are cached per size in the
+        // runtime and checked out for the duration of the loop.
+        auto pool = rt.acquire_transient_pool(nthreads);
+        pool->run(lane_fn);
+        rt.release_transient_pool(std::move(pool));
       } else {
         rt.pool().run(lane_fn);
       }
@@ -201,6 +239,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
     if (recorded_lanes) {
       rt.regions().record_lanes(opts.region, lane_max, lane_mean);
     }
+    if (tuner != nullptr) {
+      const double imbalance =
+          (recorded_lanes && lane_mean > 0.0) ? lane_max / lane_mean : 0.0;
+      tuner->report(opts.region, n, used, dt.count(), imbalance);
+    }
   }
 }
 
@@ -211,6 +254,8 @@ template <typename Body>
 void parallel_for_2d(std::int64_t n0, std::int64_t n1, Body&& body,
                      const ForOptions& opts = {}) {
   LLP_REQUIRE(n0 >= 0 && n1 >= 0, "negative extent");
+  LLP_REQUIRE(n1 == 0 || n0 <= std::numeric_limits<std::int64_t>::max() / n1,
+              "collapsed extent n0*n1 overflows int64");
   parallel_for(
       0, n0 * n1,
       [&body, n1](std::int64_t idx, int lane) {
@@ -237,6 +282,9 @@ T parallel_reduce(std::int64_t begin, std::int64_t end, T identity,
   };
   auto& rt = Runtime::instance();
   int nthreads = opts.num_threads > 0 ? opts.num_threads : rt.num_threads();
+  // An autotuned loop may run at any lane count up to the runtime's, so
+  // the partial slots must cover that whole range.
+  if (opts.auto_tune) nthreads = std::max(nthreads, rt.num_threads());
   const std::int64_t n = end > begin ? end - begin : 0;
   if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
   if (nthreads < 1) nthreads = 1;

@@ -2,10 +2,17 @@
 
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace llp {
+
+namespace {
+// Upper bound on cached transient pools. Tuning explores a small ladder of
+// thread counts, so a handful of sizes covers the steady state.
+constexpr std::size_t kMaxTransientPools = 4;
+}  // namespace
 
 Runtime& Runtime::instance() {
   static Runtime rt;
@@ -21,6 +28,9 @@ Runtime::Runtime() {
     n = static_cast<int>(std::thread::hardware_concurrency());
   }
   num_threads_ = n > 0 ? n : 1;
+  if (const char* env = std::getenv("LLP_TUNE")) {
+    auto_tune_ = env[0] != '\0' && env[0] != '0';
+  }
 }
 
 int Runtime::num_threads() {
@@ -43,6 +53,53 @@ ThreadPool& Runtime::pool() {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
   return *pool_;
+}
+
+std::unique_ptr<ThreadPool> Runtime::acquire_transient_pool(int size) {
+  LLP_REQUIRE(size >= 1, "pool size must be >= 1");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& p : transient_pools_) {
+      if (p && p->size() == size) {
+        auto out = std::move(p);
+        p = std::move(transient_pools_.back());
+        transient_pools_.pop_back();
+        return out;
+      }
+    }
+  }
+  // Construct outside the lock: spawning workers is slow and must not
+  // serialize against unrelated runtime queries.
+  return std::make_unique<ThreadPool>(size);
+}
+
+void Runtime::release_transient_pool(std::unique_ptr<ThreadPool> pool) {
+  if (!pool) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (transient_pools_.size() < kMaxTransientPools) {
+    transient_pools_.push_back(std::move(pool));
+  }
+  // else: dropped; the unique_ptr joins the workers on destruction.
+}
+
+void Runtime::set_tuner(LoopTuner* tuner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tuner_ = tuner;
+}
+
+LoopTuner* Runtime::tuner() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuner_;
+}
+
+bool Runtime::auto_tune_enabled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_tune_;
+}
+
+void Runtime::set_auto_tune_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_tune_ = on;
 }
 
 }  // namespace llp

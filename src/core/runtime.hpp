@@ -3,13 +3,18 @@
 // Mirrors the role of the OpenMP runtime: one process-wide configuration
 // (LLP_NUM_THREADS environment variable, overridable via set_num_threads)
 // plus the shared worker pool every doacross construct dispatches to.
+// It also carries the two autotuning hooks: the master enable switch
+// (LLP_TUNE environment variable / set_auto_tune_enabled) and the installed
+// LoopTuner that ForOptions::kAuto loops consult.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/region.hpp"
 #include "core/thread_pool.hpp"
+#include "core/tuner_hook.hpp"
 
 namespace llp {
 
@@ -28,8 +33,30 @@ public:
   /// Shared pool, created lazily at the configured size.
   ThreadPool& pool();
 
+  /// Check out a pool for a loop whose num_threads differs from the shared
+  /// pool. Pools are cached per size and reused across invocations (the
+  /// autotuner explores thread counts constantly; constructing a pool per
+  /// invocation would swamp the loop it is tuning). The pool is removed
+  /// from the cache while in use, so concurrent loops at the same size
+  /// each get their own — same semantics as a freshly built pool.
+  std::unique_ptr<ThreadPool> acquire_transient_pool(int size);
+  /// Return a checked-out pool to the cache (drops it when the cache is
+  /// full). Skip the call on exception paths — destroying the pool is fine.
+  void release_transient_pool(std::unique_ptr<ThreadPool> pool);
+
   /// Region registry used by doacross/serial_region instrumentation.
   RegionRegistry& regions() { return regions_; }
+
+  /// Autotuner consulted by ForOptions::kAuto loops. Non-owning; nullptr
+  /// detaches. The tuner must outlive every auto loop that runs.
+  void set_tuner(LoopTuner* tuner);
+  LoopTuner* tuner();
+
+  /// Master switch for auto-tuned loops; initialized from LLP_TUNE=1.
+  /// kAuto loops fall back to their explicit options when disabled or when
+  /// no tuner is installed.
+  bool auto_tune_enabled();
+  void set_auto_tune_enabled(bool on);
 
 private:
   Runtime();
@@ -37,6 +64,9 @@ private:
   std::mutex mu_;
   int num_threads_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<ThreadPool>> transient_pools_;
+  LoopTuner* tuner_ = nullptr;
+  bool auto_tune_ = false;
   RegionRegistry regions_;
 };
 

@@ -1,0 +1,53 @@
+// Autotuner hook: how the core runtime talks to an (optional) tuner.
+//
+// The paper's methodology is a human feedback loop — profile, apply the
+// Table 1/2 cost-benefit rules, pick an outer loop and a schedule,
+// re-measure. src/tune automates that loop, but core must not depend on it
+// (dependency order: util → core → perf → tune). So core owns only this
+// minimal interface: a loop marked ForOptions::kAuto asks the installed
+// LoopTuner for a configuration before launch and reports its measured wall
+// time and lane imbalance after the join. The concrete search policy lives
+// behind the interface in llp::tune.
+#pragma once
+
+#include <cstdint>
+
+#include "core/region.hpp"
+#include "core/schedule.hpp"
+
+namespace llp {
+
+/// One point in the configuration space a tuned loop searches:
+/// {schedule} x {chunk} x {num_threads}.
+struct LoopConfig {
+  Schedule schedule = Schedule::kStaticBlock;
+  std::int64_t chunk = 1;
+  int num_threads = 0;  ///< 0 = runtime default
+
+  friend bool operator==(const LoopConfig& a, const LoopConfig& b) {
+    return a.schedule == b.schedule && a.chunk == b.chunk &&
+           a.num_threads == b.num_threads;
+  }
+};
+
+/// Interface consulted by parallel_for for ForOptions::kAuto loops.
+/// Implementations must be thread-safe: auto loops may launch from any
+/// thread, and choose()/report() are called outside the runtime lock.
+/// Neither call may itself enter a parallel construct.
+class LoopTuner {
+public:
+  virtual ~LoopTuner() = default;
+
+  /// Pick the configuration for the next invocation of `region` with
+  /// `trips` iterations.
+  virtual LoopConfig choose(RegionId region, std::int64_t trips) = 0;
+
+  /// Feed back one measured invocation: the configuration actually run,
+  /// its wall time, and the measured busiest-lane/mean-lane imbalance
+  /// factor (0 when no per-lane timing was recorded, e.g. serial runs).
+  virtual void report(RegionId region, std::int64_t trips,
+                      const LoopConfig& used, double seconds,
+                      double imbalance) = 0;
+};
+
+}  // namespace llp

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "tune/tuner.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -21,6 +22,9 @@ constexpr double kFlopsPerPointUpdate = 1.0 * kNumVars;
 
 Solver::Solver(MultiZoneGrid& grid, SolverConfig config)
     : grid_(grid), config_(std::move(config)) {
+  // Install the process-global autotuner when LLP_TUNE=1 (no-op otherwise)
+  // so every auto-marked loop below self-optimizes over the run.
+  llp::tune::init_from_env();
   LLP_REQUIRE(config_.cfl > 0.0, "cfl must be positive");
   LLP_REQUIRE(config_.kappa_i >= 0.0, "kappa_i must be nonnegative");
   LLP_REQUIRE(config_.cfl_growth >= 1.0, "cfl_growth must be >= 1");
@@ -115,9 +119,10 @@ void Solver::step() {
     total_points += zone.interior_points();
 
     // Right-hand side, one task per L plane, with the residual reduced
-    // across lanes.
+    // across lanes. Auto mode: tuned schedule/threads when LLP_TUNE=1.
     llp::ForOptions opts;
     opts.region = rg.rhs;
+    opts.auto_tune = true;
     sumsq += llp::parallel_reduce<double>(
         0, zone.lmax(), 0.0, [](double a, double b) { return a + b; },
         [&](std::int64_t l, double& acc) {

@@ -31,14 +31,23 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
       static_cast<std::size_t>(llp::Runtime::instance().num_threads());
   if (workspaces_.size() < lanes) workspaces_.resize(lanes);
 
-  llp::doacross(region, shape.outer_n, [&](std::int64_t outer, int lane) {
-    PencilWorkspace& ws = workspaces_[static_cast<std::size_t>(lane)];
-    for (int inner = 0; inner < shape.inner_n; ++inner) {
-      int t0, t1;
-      transverse(dir, static_cast<int>(outer), inner, t0, t1);
-      solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, periodic);
-    }
-  });
+  // Auto mode: when a tuner is installed (LLP_TUNE=1), the sweep's
+  // schedule/chunk/thread count come from its measured history instead of
+  // the hand-picked C$doacross default. Off by default — the options fall
+  // back to static block when tuning is disabled.
+  llp::ForOptions opts;
+  opts.auto_tune = true;
+  llp::doacross(
+      region, shape.outer_n,
+      [&](std::int64_t outer, int lane) {
+        PencilWorkspace& ws = workspaces_[static_cast<std::size_t>(lane)];
+        for (int inner = 0; inner < shape.inner_n; ++inner) {
+          int t0, t1;
+          transverse(dir, static_cast<int>(outer), inner, t0, t1);
+          solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, periodic);
+        }
+      },
+      opts);
 }
 
 void VectorSweeps::ensure(int line_n, int inner_n) {

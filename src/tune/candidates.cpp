@@ -1,0 +1,110 @@
+#include "tune/candidates.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "model/sync_cost.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::tune {
+
+std::string_view schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kStaticBlock: return "static_block";
+    case Schedule::kStaticChunked: return "static_chunked";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "static_block";
+}
+
+bool parse_schedule(std::string_view name, Schedule* out) {
+  LLP_REQUIRE(out != nullptr, "null output");
+  if (name == "static_block") *out = Schedule::kStaticBlock;
+  else if (name == "static_chunked") *out = Schedule::kStaticChunked;
+  else if (name == "dynamic") *out = Schedule::kDynamic;
+  else if (name == "guided") *out = Schedule::kGuided;
+  else return false;
+  return true;
+}
+
+int trip_bucket(std::int64_t trips) {
+  int b = 0;
+  while (trips > 1) {
+    trips >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string machine_fingerprint(int max_threads) {
+  return strfmt("hc%u-p%d", std::thread::hardware_concurrency(), max_threads);
+}
+
+std::string make_key(std::string_view region_name, std::int64_t trips,
+                     std::string_view fingerprint) {
+  std::string name(region_name);
+  for (char& c : name) {
+    if (c == '\t' || c == '\n' || c == '\r' || c == '|') c = '_';
+  }
+  return strfmt("%s|b%d|%.*s", name.c_str(), trip_bucket(trips),
+                static_cast<int>(fingerprint.size()), fingerprint.data());
+}
+
+std::vector<LoopConfig> candidate_configs(std::int64_t trips,
+                                          int max_threads) {
+  LLP_REQUIRE(trips >= 0, "negative trip count");
+  LLP_REQUIRE(max_threads >= 1, "max_threads must be >= 1");
+  const int cap = static_cast<int>(
+      std::min<std::int64_t>(max_threads, std::max<std::int64_t>(1, trips)));
+
+  std::vector<LoopConfig> out;
+  if (cap < 2) {
+    out.push_back({Schedule::kStaticBlock, 1, 1});
+    return out;
+  }
+
+  // Static block across the power-of-two thread ladder; the full lane
+  // count first — that is the hand-picked default being competed against.
+  out.push_back({Schedule::kStaticBlock, 1, cap});
+  for (int nt = 2; nt < cap; nt *= 2) {
+    out.push_back({Schedule::kStaticBlock, 1, nt});
+  }
+
+  // Load-balancing schedules at the full lane count, chunk bounded so no
+  // lane is starved of whole chunks.
+  const std::int64_t cmax = std::max<std::int64_t>(1, trips / cap);
+  for (std::int64_t chunk : {std::int64_t{2}, std::int64_t{8}}) {
+    if (chunk <= cmax) out.push_back({Schedule::kStaticChunked, chunk, cap});
+  }
+  for (std::int64_t chunk : {std::int64_t{1}, std::int64_t{4}}) {
+    if (chunk <= cmax) out.push_back({Schedule::kDynamic, chunk, cap});
+  }
+  out.push_back({Schedule::kGuided, 1, cap});
+  return out;
+}
+
+std::vector<LoopConfig> prune_by_sync_cost(
+    std::vector<LoopConfig> candidates, double serial_seconds,
+    const llp::model::MachineConfig& machine, double overhead_target) {
+  LLP_REQUIRE(overhead_target > 0.0 && overhead_target <= 1.0,
+              "overhead_target must be in (0,1]");
+  if (serial_seconds <= 0.0) return candidates;
+  const auto work_cycles = static_cast<std::int64_t>(
+      std::max(1.0, serial_seconds * machine.clock_hz));
+  std::vector<LoopConfig> kept;
+  for (const LoopConfig& c : candidates) {
+    const int p = std::max(1, c.num_threads);
+    const double overhead = llp::model::sync_overhead_fraction(
+        work_cycles, p, static_cast<std::int64_t>(machine.sync_cycles(p)));
+    if (p == 1 || overhead <= overhead_target) kept.push_back(c);
+  }
+  if (kept.empty()) {
+    // Table 2 verdict: too little work per sync event — run it serially.
+    kept.push_back({Schedule::kStaticBlock, 1, 1});
+  }
+  return kept;
+}
+
+}  // namespace llp::tune

@@ -1,0 +1,62 @@
+// Candidate configurations and keys for the per-region autotuner.
+//
+// The search space a tuned loop explores is {schedule} x {chunk} x
+// {num_threads}; exhaustively that is hundreds of points, so the tuner
+// works over a pruned ladder: static block across power-of-two thread
+// counts (the paper's C$doacross default, usually right for the solver's
+// uniform sweeps), plus chunked/dynamic/guided variants at the full lane
+// count for skewed loops. Pruning reuses the Table 1 criterion exactly as
+// perf::advise does: a thread count whose predicted sync overhead exceeds
+// the efficiency budget is dropped before a single trial is spent on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tuner_hook.hpp"
+#include "model/machine.hpp"
+
+namespace llp::tune {
+
+/// Stable text name of a schedule ("static_block", "static_chunked",
+/// "dynamic", "guided") — the on-disk spelling in the tuning DB.
+std::string_view schedule_name(Schedule s);
+
+/// Inverse of schedule_name; returns false (and leaves *out alone) for an
+/// unknown name.
+bool parse_schedule(std::string_view name, Schedule* out);
+
+/// Log2 bucket of a trip count (0 for trips <= 1). Decisions generalize
+/// across nearby trip counts (n=96 vs n=100: same bucket, same tuned
+/// config) but not across scales (n=96 vs n=4096).
+int trip_bucket(std::int64_t trips);
+
+/// Fingerprint of the machine + runtime configuration the measurements
+/// were taken on; tuned configs are only reused on a matching fingerprint.
+std::string machine_fingerprint(int max_threads);
+
+/// DB key for (region name, trip bucket, machine fingerprint). Characters
+/// that would break the line-oriented text DB (tabs, newlines, '|') are
+/// sanitized to '_'.
+std::string make_key(std::string_view region_name, std::int64_t trips,
+                     std::string_view fingerprint);
+
+/// The pruned candidate set for a loop of `trips` iterations on at most
+/// `max_threads` lanes. Deterministic; never empty; the first entry is the
+/// C$doacross-style default the paper would hand-pick.
+std::vector<LoopConfig> candidate_configs(std::int64_t trips,
+                                          int max_threads);
+
+/// Table 1 pruning (the seed rule of perf::advise): given the loop's
+/// estimated serial work in seconds, drop candidates whose thread count
+/// would spend more than `overhead_target` of the loop on synchronization
+/// on `machine`. Always keeps at least one candidate (falling back to a
+/// single-thread config when nothing survives — the "keep it serial"
+/// verdict of Table 2).
+std::vector<LoopConfig> prune_by_sync_cost(
+    std::vector<LoopConfig> candidates, double serial_seconds,
+    const llp::model::MachineConfig& machine, double overhead_target = 0.01);
+
+}  // namespace llp::tune

@@ -1,0 +1,326 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "tune/candidates.hpp"
+#include "util/error.hpp"
+
+namespace llp::tune {
+
+namespace {
+
+// Host-scale constants for the pruning model: a modern core and a
+// microsecond-class fork-join, versus the paper's 300 MHz / 15 us-plus
+// machines. Only the *ratio* of sync cost to measured work matters here.
+llp::model::MachineConfig host_tuning_machine() {
+  llp::model::MachineConfig m;
+  m.name = "host-tuning";
+  m.clock_hz = 1e9;
+  m.sync_base_ns = 2000.0;
+  m.sync_ns_per_proc = 200.0;
+  return m;
+}
+
+bool is_static(Schedule s) {
+  return s == Schedule::kStaticBlock || s == Schedule::kStaticChunked;
+}
+
+}  // namespace
+
+Tuner::Tuner(TunerOptions opts) : opts_(std::move(opts)) {
+  LLP_REQUIRE(opts_.epsilon >= 0.0 && opts_.epsilon <= 1.0,
+              "epsilon must be in [0,1]");
+  LLP_REQUIRE(opts_.warmup_trials >= 1, "warmup_trials must be >= 1");
+  LLP_REQUIRE(opts_.halving_trials >= 1, "halving_trials must be >= 1");
+  if (opts_.machine.name.empty()) opts_.machine = host_tuning_machine();
+}
+
+Tuner::State& Tuner::state_for(RegionId region, std::int64_t trips) {
+  const auto key = std::make_pair(region, trip_bucket(trips));
+  auto it = states_.find(key);
+  if (it != states_.end()) return it->second;
+
+  State s;
+  const int max_threads =
+      opts_.max_threads > 0 ? opts_.max_threads : llp::num_threads();
+  const std::string name = llp::regions().stats(region).name;
+  s.key = make_key(name, trips, machine_fingerprint(max_threads));
+  s.rng = SplitMix64(opts_.seed ^ std::hash<std::string>{}(s.key));
+
+  TunedEntry cached;
+  if (db_.lookup(s.key, &cached)) {
+    // A persisted decision short-circuits the search entirely: identical
+    // decisions across save -> load is the DB's contract.
+    Arm arm;
+    arm.config = cached.config;
+    arm.trials = cached.trials;
+    arm.total_seconds = cached.seconds * static_cast<double>(cached.trials);
+    arm.best_seconds = cached.seconds;
+    s.arms.push_back(arm);
+    s.converged = true;
+    s.committed = cached.config;
+  } else {
+    for (const LoopConfig& c : candidate_configs(trips, max_threads)) {
+      Arm arm;
+      arm.config = c;
+      s.arms.push_back(arm);
+    }
+  }
+  return states_.emplace(key, std::move(s)).first->second;
+}
+
+std::size_t Tuner::best_arm(const State& s) const {
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  bool any_measured = false;
+  for (std::size_t i = 0; i < s.arms.size(); ++i) {
+    const Arm& a = s.arms[i];
+    if (a.trials == 0) continue;
+    any_measured = true;
+    if (a.mean() < best_mean) {
+      best_mean = a.mean();
+      best = i;
+    }
+  }
+  if (any_measured) return best;
+  for (std::size_t i = 0; i < s.arms.size(); ++i) {
+    if (s.arms[i].active) return i;
+  }
+  return 0;
+}
+
+std::size_t Tuner::pick_exploration(State& s) const {
+  // Least-tried active arm; the measured imbalance steers ties. When the
+  // static candidates show real skew (busiest lane well above the mean),
+  // the load-balancing schedules are the ones worth the next trial — the
+  // same reasoning a human applies to RegionStats::imbalance().
+  double static_imbalance = 0.0;
+  for (const Arm& a : s.arms) {
+    if (a.trials > 0 && is_static(a.config.schedule)) {
+      static_imbalance = std::max(static_imbalance, a.last_imbalance);
+    }
+  }
+  const bool prefer_dynamic = static_imbalance > opts_.imbalance_threshold;
+
+  std::uint64_t least = std::numeric_limits<std::uint64_t>::max();
+  for (const Arm& a : s.arms) {
+    if (a.active) least = std::min(least, a.trials);
+  }
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < s.arms.size(); ++i) {
+    if (s.arms[i].active && s.arms[i].trials == least) ties.push_back(i);
+  }
+  if (ties.empty()) return best_arm(s);
+  if (prefer_dynamic) {
+    for (std::size_t i : ties) {
+      if (!is_static(s.arms[i].config.schedule)) return i;
+    }
+  }
+  return ties[s.rng.below(ties.size())];
+}
+
+void Tuner::commit(State& s) {
+  const std::size_t b = best_arm(s);
+  s.converged = true;
+  s.committed = s.arms[b].config;
+  TunedEntry e;
+  e.config = s.arms[b].config;
+  e.seconds = s.arms[b].trials > 0 ? s.arms[b].mean() : 0.0;
+  e.trials = s.total_trials;
+  db_.put(s.key, e);
+}
+
+void Tuner::maybe_prune(State& s, const Arm& measured) {
+  if (s.pruned || !opts_.prune_with_table1) return;
+  s.pruned = true;
+  // One measurement at p threads bounds the serial work by seconds * p
+  // (perfect scaling); that is exactly what Table 1 needs.
+  const double serial_seconds =
+      measured.mean() * std::max(1, measured.config.num_threads);
+  std::vector<LoopConfig> kept;
+  for (const Arm& a : s.arms) kept.push_back(a.config);
+  kept = prune_by_sync_cost(std::move(kept), serial_seconds, opts_.machine,
+                            opts_.overhead_target);
+  for (Arm& a : s.arms) {
+    a.active = std::find(kept.begin(), kept.end(), a.config) != kept.end();
+  }
+  if (std::none_of(s.arms.begin(), s.arms.end(),
+                   [](const Arm& a) { return a.active; })) {
+    // Everything sync-dominated: the Table 2 "keep it serial" verdict.
+    Arm serial;
+    serial.config = {Schedule::kStaticBlock, 1, 1};
+    s.arms.push_back(serial);
+  }
+}
+
+LoopConfig Tuner::choose(RegionId region, std::int64_t trips) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = state_for(region, trips);
+  if (s.converged) return s.committed;
+
+  if (opts_.policy == Policy::kSuccessiveHalving) {
+    for (;;) {
+      const auto target = static_cast<std::uint64_t>(opts_.halving_trials) *
+                          static_cast<std::uint64_t>(s.round + 1);
+      for (Arm& a : s.arms) {
+        if (a.active && a.trials < target) return a.config;
+      }
+      // Round complete: cull the worse half by mean time.
+      std::vector<std::size_t> active;
+      for (std::size_t i = 0; i < s.arms.size(); ++i) {
+        if (s.arms[i].active) active.push_back(i);
+      }
+      if (active.size() <= 1) {
+        commit(s);
+        return s.committed;
+      }
+      std::stable_sort(active.begin(), active.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return s.arms[x].mean() < s.arms[y].mean();
+                       });
+      const std::size_t keep = (active.size() + 1) / 2;
+      for (std::size_t r = keep; r < active.size(); ++r) {
+        s.arms[active[r]].active = false;
+      }
+      ++s.round;
+      if (keep == 1) {
+        commit(s);
+        return s.committed;
+      }
+    }
+  }
+
+  // Epsilon-greedy. Warm-up: every active arm gets its baseline trials.
+  for (const Arm& a : s.arms) {
+    if (a.active && a.trials < static_cast<std::uint64_t>(opts_.warmup_trials))
+      return s.arms[pick_exploration(s)].config;
+  }
+  if (s.rng.uniform() < opts_.epsilon) {
+    return s.arms[pick_exploration(s)].config;
+  }
+  return s.arms[best_arm(s)].config;
+}
+
+void Tuner::report(RegionId region, std::int64_t trips,
+                   const LoopConfig& used, double seconds, double imbalance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = state_for(region, trips);
+  Arm* arm = nullptr;
+  for (Arm& a : s.arms) {
+    if (a.config == used) {
+      arm = &a;
+      break;
+    }
+  }
+  if (arm == nullptr) return;  // a clamped or foreign config; not a candidate
+  ++arm->trials;
+  arm->total_seconds += std::max(0.0, seconds);
+  arm->best_seconds = std::min(arm->best_seconds, std::max(0.0, seconds));
+  if (imbalance > 0.0) arm->last_imbalance = imbalance;
+  ++s.total_trials;
+  if (s.converged) return;
+
+  maybe_prune(s, *arm);
+
+  if (opts_.policy == Policy::kEpsilonGreedy) {
+    std::uint64_t active = 0;
+    for (const Arm& a : s.arms) active += a.active ? 1 : 0;
+    const std::uint64_t warmup =
+        static_cast<std::uint64_t>(opts_.warmup_trials) * active;
+    const std::uint64_t settle =
+        opts_.settle_trials > 0 ? static_cast<std::uint64_t>(opts_.settle_trials)
+                                : 2 * active;
+    if (s.total_trials >= warmup + settle) commit(s);
+  }
+}
+
+bool Tuner::converged(RegionId region, std::int64_t trips) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(std::make_pair(region, trip_bucket(trips)));
+  return it != states_.end() && it->second.converged;
+}
+
+LoopConfig Tuner::best(RegionId region, std::int64_t trips) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(std::make_pair(region, trip_bucket(trips)));
+  if (it == states_.end()) return {};
+  const State& s = it->second;
+  return s.converged ? s.committed : s.arms[best_arm(s)].config;
+}
+
+double Tuner::best_seconds(RegionId region, std::int64_t trips) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(std::make_pair(region, trip_bucket(trips)));
+  if (it == states_.end()) return std::numeric_limits<double>::infinity();
+  const State& s = it->second;
+  const Arm& a = s.arms[best_arm(s)];
+  return a.trials > 0 ? a.mean() : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Tuner::trials(RegionId region, std::int64_t trips) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(std::make_pair(region, trip_bucket(trips)));
+  return it == states_.end() ? 0 : it->second.total_trials;
+}
+
+std::vector<LoopConfig> Tuner::active_candidates(RegionId region,
+                                                 std::int64_t trips) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(std::make_pair(region, trip_bucket(trips)));
+  std::vector<LoopConfig> out;
+  if (it == states_.end()) return out;
+  for (const Arm& a : it->second.arms) {
+    if (a.active) out.push_back(a.config);
+  }
+  return out;
+}
+
+bool Tuner::load_db(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.load(path);
+}
+
+void Tuner::save_db(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  db_.save(path);
+}
+
+namespace {
+std::unique_ptr<Tuner> g_tuner;
+std::string g_db_path;
+}  // namespace
+
+Tuner* global_tuner() { return g_tuner.get(); }
+
+bool init_from_env() {
+  const char* env = std::getenv("LLP_TUNE");
+  const bool requested = env != nullptr && env[0] != '\0' && env[0] != '0';
+  auto& rt = Runtime::instance();
+  if (!requested) {
+    return rt.auto_tune_enabled() && rt.tuner() != nullptr;
+  }
+  if (g_tuner == nullptr) {
+    g_tuner = std::make_unique<Tuner>();
+    const char* db = std::getenv("LLP_TUNE_DB");
+    g_db_path = (db != nullptr && db[0] != '\0') ? db : ".llp_tune";
+    g_tuner->load_db(g_db_path);  // absent file is fine: cold start
+    rt.set_tuner(g_tuner.get());
+    rt.set_auto_tune_enabled(true);
+    std::atexit([] {
+      if (g_tuner != nullptr) {
+        try {
+          g_tuner->save_db(g_db_path);
+        } catch (...) {
+          // Exit path: an unwritable DB must not turn into std::terminate.
+        }
+      }
+    });
+  }
+  return true;
+}
+
+}  // namespace llp::tune

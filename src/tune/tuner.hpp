@@ -1,0 +1,158 @@
+// Online per-region autotuner: closes the paper's measure -> decide ->
+// configure loop.
+//
+// The paper's authors ran F3D, read the prof output, applied the Table 1/2
+// cost-benefit rules, picked an outer loop and a schedule, and re-measured
+// — by hand, for every loop. Tuner automates that judgment: it attaches to
+// RegionIds and, over successive invocations of the same region, searches
+// the {schedule} x {chunk} x {num_threads} space using the measured wall
+// time and lane imbalance that parallel_for already records. The candidate
+// set is pruned up front by the same Table 1 sync-cost threshold that
+// perf::advise applies, so no trials are wasted on thread counts the paper
+// would have rejected on paper.
+//
+// Two search policies:
+//   * kEpsilonGreedy — online default: a warm-up pass over every candidate,
+//     then mostly-exploit with occasional exploration (steered toward
+//     dynamic/guided schedules when the measured imbalance of the static
+//     candidates is high), committing after a bounded settle period.
+//   * kSuccessiveHalving — for benches and tuning sessions: rounds of
+//     trials with the worse half of the candidates culled each round;
+//     converges in at most 2 * trials_per_round * |candidates| invocations.
+//
+// Converged decisions are committed to a TuningDb keyed by (region name,
+// trip bucket, machine fingerprint), so tuned configs persist across runs:
+// a loaded entry short-circuits the search entirely (save -> load ->
+// identical decisions).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tuner_hook.hpp"
+#include "model/machine.hpp"
+#include "tune/tuning_db.hpp"
+#include "util/rng.hpp"
+
+namespace llp::tune {
+
+enum class Policy {
+  kEpsilonGreedy,      ///< online: explore with probability epsilon
+  kSuccessiveHalving,  ///< offline/bench: cull half the field each round
+};
+
+struct TunerOptions {
+  Policy policy = Policy::kEpsilonGreedy;
+  double epsilon = 0.2;     ///< exploration probability after warm-up
+  int warmup_trials = 2;    ///< trials per candidate before exploitation
+  int halving_trials = 2;   ///< trials per candidate per halving round
+  int settle_trials = 0;    ///< eps-greedy trials after warm-up before the
+                            ///< decision is committed; 0 = 2 * |candidates|
+  std::uint64_t seed = 0x5eedc0def00dULL;  ///< deterministic exploration
+  int max_threads = 0;      ///< candidate thread cap; 0 = runtime lane count
+  bool prune_with_table1 = true;  ///< drop sync-dominated thread counts
+
+  /// Sync-overhead budget for pruning. Deliberately looser than Table 1's
+  /// 1% efficiency bar: pruning is a coarse pre-filter (the search still
+  /// measures everything it keeps), and the strict bar would veto every
+  /// sub-millisecond loop before a single trial.
+  double overhead_target = 0.2;
+
+  /// Machine constants for the sync-cost model behind pruning. Leave the
+  /// name empty to use host-scale constants (GHz clock, microsecond
+  /// fork-join) instead of the paper's 1999 machines.
+  llp::model::MachineConfig machine{};
+  double imbalance_threshold = 1.25; ///< steer exploration off static when
+                                     ///< measured imbalance exceeds this
+};
+
+class Tuner final : public llp::LoopTuner {
+public:
+  explicit Tuner(TunerOptions opts = {});
+
+  // LoopTuner interface (thread-safe).
+  LoopConfig choose(RegionId region, std::int64_t trips) override;
+  void report(RegionId region, std::int64_t trips, const LoopConfig& used,
+              double seconds, double imbalance) override;
+
+  /// Has the (region, trip-bucket) search committed to a configuration?
+  bool converged(RegionId region, std::int64_t trips) const;
+
+  /// Current best configuration (the committed one once converged; the
+  /// best-measured-so-far before that; the untried default before any
+  /// measurement).
+  LoopConfig best(RegionId region, std::int64_t trips) const;
+
+  /// Best measured mean seconds so far (+inf before any measurement).
+  double best_seconds(RegionId region, std::int64_t trips) const;
+
+  /// Total invocations reported for the (region, trip-bucket) search.
+  std::uint64_t trials(RegionId region, std::int64_t trips) const;
+
+  /// Candidates still in play (post-pruning / halving culls).
+  std::vector<LoopConfig> active_candidates(RegionId region,
+                                            std::int64_t trips) const;
+
+  /// The DB decisions are committed into. load_db merges (and future
+  /// choose() calls on matching keys use the loaded decisions verbatim);
+  /// save_db persists everything committed so far.
+  bool load_db(const std::string& path);
+  void save_db(const std::string& path) const;
+  TuningDb& db() { return db_; }
+  const TuningDb& db() const { return db_; }
+
+  const TunerOptions& options() const { return opts_; }
+
+private:
+  struct Arm {
+    LoopConfig config;
+    bool active = true;
+    std::uint64_t trials = 0;
+    double total_seconds = 0.0;
+    double best_seconds = std::numeric_limits<double>::infinity();
+    double last_imbalance = 0.0;
+    double mean() const {
+      return trials == 0 ? std::numeric_limits<double>::infinity()
+                         : total_seconds / static_cast<double>(trials);
+    }
+  };
+
+  struct State {
+    std::string key;
+    std::vector<Arm> arms;
+    std::uint64_t total_trials = 0;
+    bool pruned = false;
+    bool converged = false;
+    LoopConfig committed;
+    int round = 0;  // successive-halving round index
+    SplitMix64 rng{0};
+  };
+
+  State& state_for(RegionId region, std::int64_t trips);
+  std::size_t best_arm(const State& s) const;
+  std::size_t pick_exploration(State& s) const;
+  void commit(State& s);
+  void maybe_prune(State& s, const Arm& measured);
+
+  mutable std::mutex mu_;
+  TunerOptions opts_;
+  TuningDb db_;
+  std::map<std::pair<RegionId, int>, State> states_;
+};
+
+/// When LLP_TUNE=1 (or any non-zero value): create the process-global
+/// Tuner, merge the DB at $LLP_TUNE_DB (default ".llp_tune"), install it
+/// into the Runtime, enable auto-tuned loops, and register an at-exit save
+/// of the DB. Idempotent; cheap when LLP_TUNE is unset. Returns whether
+/// auto-tuning is active afterwards.
+bool init_from_env();
+
+/// The process-global tuner installed by init_from_env (nullptr before).
+Tuner* global_tuner();
+
+}  // namespace llp::tune

@@ -1,0 +1,154 @@
+#include "tune/tuning_db.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "tune/candidates.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::tune {
+
+namespace {
+
+// Split a line into exactly `n` tab-separated fields; false on mismatch.
+bool split_tabs(std::string_view line, std::string_view* fields,
+                std::size_t n) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t tab = line.find('\t', start);
+    const bool last = i + 1 == n;
+    if (last != (tab == std::string_view::npos)) return false;
+    fields[i] = last ? line.substr(start) : line.substr(start, tab - start);
+    start = tab + 1;
+  }
+  return true;
+}
+
+bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char buf[32];
+  if (s.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool TuningDb::lookup(const std::string& key, TunedEntry* out) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void TuningDb::put(const std::string& key, const TunedEntry& entry) {
+  LLP_REQUIRE(key.find('\t') == std::string::npos &&
+                  key.find('\n') == std::string::npos,
+              "key must not contain tabs or newlines");
+  entries_[key] = entry;
+}
+
+bool TuningDb::erase(const std::string& key) {
+  return entries_.erase(key) > 0;
+}
+
+void TuningDb::clear() { entries_.clear(); }
+
+std::vector<std::pair<std::string, TunedEntry>> TuningDb::entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string TuningDb::to_text() const {
+  std::string out =
+      "# llp_tune v1 — tuned loop configurations\n"
+      "# key\tschedule\tchunk\tthreads\tseconds\ttrials\n";
+  for (const auto& [key, e] : entries_) {
+    out += strfmt("%s\t%.*s\t%lld\t%d\t%.9e\t%llu\n", key.c_str(),
+                  static_cast<int>(schedule_name(e.config.schedule).size()),
+                  schedule_name(e.config.schedule).data(),
+                  static_cast<long long>(e.config.chunk),
+                  e.config.num_threads, e.seconds,
+                  static_cast<unsigned long long>(e.trials));
+  }
+  return out;
+}
+
+bool TuningDb::parse_text(std::string_view text, std::string* error) {
+  std::size_t lineno = 0;
+  while (!text.empty()) {
+    ++lineno;
+    const std::size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{}
+                                        : text.substr(nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view f[6];
+    TunedEntry e;
+    std::int64_t threads = 0, trials = 0;
+    const bool ok = split_tabs(line, f, 6) && !f[0].empty() &&
+                    parse_schedule(f[1], &e.config.schedule) &&
+                    parse_i64(f[2], &e.config.chunk) && e.config.chunk >= 1 &&
+                    parse_i64(f[3], &threads) && threads >= 1 &&
+                    parse_f64(f[4], &e.seconds) && e.seconds >= 0.0 &&
+                    parse_i64(f[5], &trials) && trials >= 0;
+    if (!ok) {
+      if (error != nullptr) {
+        *error = strfmt("line %zu: malformed tuning entry", lineno);
+      }
+      return false;
+    }
+    e.config.num_threads = static_cast<int>(threads);
+    e.trials = static_cast<std::uint64_t>(trials);
+    entries_[std::string(f[0])] = e;
+  }
+  return true;
+}
+
+bool TuningDb::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_text(buf.str(), error);
+}
+
+void TuningDb::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  LLP_REQUIRE(static_cast<bool>(out), "cannot write tuning DB: " + path);
+  out << to_text();
+  out.flush();
+  LLP_REQUIRE(static_cast<bool>(out), "short write to tuning DB: " + path);
+}
+
+}  // namespace llp::tune

@@ -1,0 +1,71 @@
+// On-disk cache of tuned loop configurations.
+//
+// Once a region has converged, re-running the search on the next program
+// launch would waste the very invocations it optimizes; the DB persists
+// decisions across runs (and ships with reproducible benches). The format
+// is deliberately human-readable, line-oriented text — no new dependencies,
+// diffable, hand-editable:
+//
+//   # llp_tune v1
+//   z0.rhs|b6|hc8-p8<TAB>dynamic<TAB>4<TAB>8<TAB>1.25e-03<TAB>24
+//
+// One entry per line: key, schedule, chunk, threads, best mean seconds,
+// trials behind the decision. Keys come from tune::make_key — (region name,
+// trip-count bucket, machine fingerprint) — so a config is only reused for
+// the loop shape and machine it was measured on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/tuner_hook.hpp"
+
+namespace llp::tune {
+
+/// A committed tuning decision.
+struct TunedEntry {
+  LoopConfig config;
+  double seconds = 0.0;      ///< best measured mean wall time per invocation
+  std::uint64_t trials = 0;  ///< invocations the decision is based on
+};
+
+class TuningDb {
+public:
+  /// Copy the entry for `key` into *out; false if absent.
+  bool lookup(const std::string& key, TunedEntry* out) const;
+
+  /// Insert or overwrite.
+  void put(const std::string& key, const TunedEntry& entry);
+
+  /// Remove one entry; false if absent.
+  bool erase(const std::string& key);
+
+  void clear();
+  std::size_t size() const { return entries_.size(); }
+
+  /// All entries in key order.
+  std::vector<std::pair<std::string, TunedEntry>> entries() const;
+
+  /// Serialize to the text format above.
+  std::string to_text() const;
+
+  /// Merge entries parsed from `text`. Comment ('#') and blank lines are
+  /// skipped; a malformed line aborts the parse, reports via *error (if
+  /// given), and leaves already-merged lines in place. Returns success.
+  bool parse_text(std::string_view text, std::string* error = nullptr);
+
+  /// Merge from a file; false if the file cannot be read or parsed.
+  bool load(const std::string& path, std::string* error = nullptr);
+
+  /// Write the whole DB to a file; throws llp::Error on I/O failure.
+  void save(const std::string& path) const;
+
+private:
+  std::map<std::string, TunedEntry> entries_;
+};
+
+}  // namespace llp::tune

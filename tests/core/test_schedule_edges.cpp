@@ -1,0 +1,134 @@
+// Schedule edge cases: empty loops, chunks larger than the trip count, more
+// threads than iterations, guided chunks that overshoot the remainder, and
+// the determinism contract of parallel_reduce under each schedule. Also the
+// parallel_for_2d collapsed-extent overflow guard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+const llp::Schedule kAllSchedules[] = {
+    llp::Schedule::kStaticBlock, llp::Schedule::kStaticChunked,
+    llp::Schedule::kDynamic, llp::Schedule::kGuided};
+
+llp::ForOptions make_opts(llp::Schedule s, std::int64_t chunk, int threads) {
+  llp::ForOptions o;
+  o.schedule = s;
+  o.chunk = chunk;
+  o.num_threads = threads;
+  return o;
+}
+
+void expect_each_once(std::int64_t n, const llp::ForOptions& opts) {
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  llp::parallel_for(
+      0, n, [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; },
+      opts);
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)], 1)
+        << "i=" << i << " chunk=" << opts.chunk
+        << " nt=" << opts.num_threads;
+  }
+}
+
+TEST(ScheduleEdges, EmptyLoopRunsNoIterationsUnderAnySchedule) {
+  for (llp::Schedule s : kAllSchedules) {
+    int calls = 0;
+    llp::parallel_for(0, 0, [&](std::int64_t) { ++calls; },
+                      make_opts(s, 4, 4));
+    EXPECT_EQ(calls, 0);
+    // Inverted range behaves as empty too.
+    llp::parallel_for(5, 2, [&](std::int64_t) { ++calls; },
+                      make_opts(s, 4, 4));
+    EXPECT_EQ(calls, 0);
+  }
+}
+
+TEST(ScheduleEdges, ChunkLargerThanTripCountCoversEveryIteration) {
+  for (llp::Schedule s : kAllSchedules) {
+    expect_each_once(10, make_opts(s, 64, 4));
+    expect_each_once(10, make_opts(s, 10, 4));  // chunk == n exactly
+  }
+}
+
+TEST(ScheduleEdges, MoreThreadsThanIterationsClampsAndCovers) {
+  for (llp::Schedule s : kAllSchedules) {
+    expect_each_once(3, make_opts(s, 1, 16));
+    expect_each_once(1, make_opts(s, 1, 8));
+  }
+}
+
+TEST(ScheduleEdges, GuidedChunkFloorExceedingRemainingTakesTheRest) {
+  // The chunk-size function itself: min_chunk wins even past the remainder;
+  // run_lane clamps the resulting range to n.
+  EXPECT_EQ(llp::guided_chunk(5, 8, 16), 16);
+  EXPECT_EQ(llp::guided_chunk(1, 8, 1), 1);
+  // And through the full loop: a guided floor far above n still covers
+  // every iteration exactly once.
+  expect_each_once(10, make_opts(llp::Schedule::kGuided, 64, 4));
+}
+
+TEST(ScheduleEdges, IntegerReduceMatchesSerialUnderEverySchedule) {
+  constexpr std::int64_t kN = 97;  // deliberately not a multiple of lanes
+  constexpr std::int64_t kExpected = kN * (kN - 1) / 2;
+  for (llp::Schedule s : kAllSchedules) {
+    for (int threads : {2, 4}) {
+      const auto sum = llp::parallel_reduce<std::int64_t>(
+          0, kN, 0, [](std::int64_t a, std::int64_t b) { return a + b; },
+          [](std::int64_t i, std::int64_t& acc) { acc += i; },
+          make_opts(s, 3, threads));
+      EXPECT_EQ(sum, kExpected) << "nt=" << threads;
+    }
+  }
+}
+
+TEST(ScheduleEdges, DoubleReduceIsBitwiseDeterministicUnderStaticSchedules) {
+  // Static schedules give each lane a fixed iteration set, and the lane
+  // partials combine in lane order — so repeated runs are bitwise equal.
+  // (Dynamic/guided shuffle iterations across lanes run-to-run, so only
+  // static schedules make this promise.)
+  constexpr std::int64_t kN = 127;
+  const llp::Schedule static_schedules[] = {llp::Schedule::kStaticBlock,
+                                            llp::Schedule::kStaticChunked};
+  for (llp::Schedule s : static_schedules) {
+    const auto run = [&] {
+      return llp::parallel_reduce<double>(
+          0, kN, 0.0, [](double a, double b) { return a + b; },
+          [](std::int64_t i, double& acc) {
+            acc += 1.0 / static_cast<double>(i + 1);
+          },
+          make_opts(s, 5, 4));
+    };
+    const double first = run();
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(run(), first);  // bitwise, not approximate
+    }
+  }
+}
+
+TEST(ScheduleEdges, ParallelFor2dRejectsOverflowingCollapsedExtent) {
+  // Satellite regression: n0 * n1 used to overflow silently before the
+  // guard; now it must refuse up front.
+  const std::int64_t big = std::int64_t{1} << 32;
+  EXPECT_THROW(
+      llp::parallel_for_2d(big, big, [](std::int64_t, std::int64_t) {}),
+      llp::Error);
+  EXPECT_THROW(llp::parallel_for_2d(
+                   std::numeric_limits<std::int64_t>::max(), 2,
+                   [](std::int64_t, std::int64_t) {}),
+               llp::Error);
+  // Zero extents sidestep the guard entirely (no overflow when one side is
+  // empty, and nothing runs).
+  int calls = 0;
+  llp::parallel_for_2d(0, big, [&](std::int64_t, std::int64_t) { ++calls; });
+  llp::parallel_for_2d(big, 0, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace

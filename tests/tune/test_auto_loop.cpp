@@ -1,0 +1,181 @@
+// End-to-end ForOptions::kAuto path: a Tuner installed in the Runtime steers
+// real parallel_for invocations (serial and transient-pool lane counts
+// included), every iteration still runs exactly once per invocation, every
+// invocation is reported back, and the search converges. Thread counts are
+// pinned explicitly — this exercises correctness and the measure -> decide
+// -> configure plumbing, not wall-clock speedup.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "tune/candidates.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+using llp::LoopConfig;
+using llp::tune::Policy;
+using llp::tune::Tuner;
+using llp::tune::TunerOptions;
+
+constexpr std::int64_t kTrips = 64;
+constexpr int kLanes = 4;
+
+// RAII: pin the runtime lane count and install a tuner; restore on exit so
+// other tests in the binary see the default runtime.
+class TunerSession {
+public:
+  explicit TunerSession(Tuner* tuner) : prev_threads_(llp::num_threads()) {
+    llp::set_num_threads(kLanes);
+    auto& rt = llp::Runtime::instance();
+    rt.set_tuner(tuner);
+    rt.set_auto_tune_enabled(true);
+  }
+  ~TunerSession() {
+    auto& rt = llp::Runtime::instance();
+    rt.set_tuner(nullptr);
+    rt.set_auto_tune_enabled(false);
+    llp::set_num_threads(prev_threads_);
+  }
+
+private:
+  int prev_threads_;
+};
+
+TunerOptions session_options() {
+  TunerOptions o;
+  o.policy = Policy::kSuccessiveHalving;
+  o.max_threads = kLanes;
+  // Keep multi-thread candidates in play even though the loop body is
+  // microseconds: the point is to traverse every lane-count path.
+  o.prune_with_table1 = false;
+  return o;
+}
+
+TEST(AutoLoop, EveryIterationRunsOncePerInvocationUntilConvergence) {
+  Tuner tuner(session_options());
+  TunerSession session(&tuner);
+  const auto region = llp::regions().define("auto_loop.coverage");
+
+  llp::ForOptions opts = llp::ForOptions::kAuto;
+  opts.region = region;
+
+  (void)tuner.choose(region, kTrips);  // materializes the search state
+  const int bound =
+      2 * tuner.options().halving_trials *
+      static_cast<int>(tuner.active_candidates(region, kTrips).size());
+
+  std::vector<int> counts(static_cast<std::size_t>(kTrips), 0);
+  int invocations = 0;
+  while (!tuner.converged(region, kTrips) && invocations < bound) {
+    llp::parallel_for(
+        0, kTrips,
+        [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; }, opts);
+    ++invocations;
+  }
+
+  ASSERT_TRUE(tuner.converged(region, kTrips))
+      << "no convergence after " << invocations << " invocations";
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], invocations) << "i=" << i;
+  }
+  // Every invocation came back through report().
+  EXPECT_EQ(tuner.trials(region, kTrips),
+            static_cast<std::uint64_t>(invocations));
+
+  // The converged choice keeps steering later invocations; iterations still
+  // run exactly once.
+  llp::parallel_for(
+      0, kTrips,
+      [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; }, opts);
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], invocations + 1);
+  }
+}
+
+TEST(AutoLoop, ReducePartialSlotsCoverTunedLaneCounts) {
+  Tuner tuner(session_options());
+  TunerSession session(&tuner);
+  const auto region = llp::regions().define("auto_loop.reduce");
+
+  llp::ForOptions opts = llp::ForOptions::kAuto;
+  opts.region = region;
+
+  const std::int64_t expected = kTrips * (kTrips - 1) / 2;
+  (void)tuner.choose(region, kTrips);  // materializes the search state
+  const int bound =
+      2 * tuner.options().halving_trials *
+      static_cast<int>(tuner.active_candidates(region, kTrips).size());
+  for (int inv = 0; inv < bound; ++inv) {
+    const auto sum = llp::parallel_reduce<std::int64_t>(
+        0, kTrips, 0, [](std::int64_t a, std::int64_t b) { return a + b; },
+        [](std::int64_t i, std::int64_t& acc) { acc += i; }, opts);
+    ASSERT_EQ(sum, expected) << "invocation " << inv;
+  }
+}
+
+TEST(AutoLoop, DisabledRuntimeFlagBypassesTheTuner) {
+  Tuner tuner(session_options());
+  TunerSession session(&tuner);
+  llp::Runtime::instance().set_auto_tune_enabled(false);
+  const auto region = llp::regions().define("auto_loop.disabled");
+
+  llp::ForOptions opts = llp::ForOptions::kAuto;
+  opts.region = region;
+  std::vector<int> counts(static_cast<std::size_t>(kTrips), 0);
+  llp::parallel_for(
+      0, kTrips,
+      [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; }, opts);
+
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], 1);
+  }
+  EXPECT_EQ(tuner.trials(region, kTrips), 0u);
+}
+
+TEST(AutoLoop, RegionWithParallelDisabledRunsSerialAndSkipsTuning) {
+  Tuner tuner(session_options());
+  TunerSession session(&tuner);
+  const auto region = llp::regions().define("auto_loop.serialized");
+  llp::regions().set_parallel_enabled(region, false);
+
+  llp::ForOptions opts = llp::ForOptions::kAuto;
+  opts.region = region;
+  std::vector<int> counts(static_cast<std::size_t>(kTrips), 0);
+  llp::parallel_for(
+      0, kTrips,
+      [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; }, opts);
+
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], 1);
+  }
+  EXPECT_EQ(tuner.trials(region, kTrips), 0u);
+  llp::regions().set_parallel_enabled(region, true);
+}
+
+TEST(AutoLoop, TransientPoolsRecycleAcrossMixedLaneCounts) {
+  // Satellite regression: loop-specific thread counts check pools out of
+  // the runtime cache and back in. Hammer several sizes interleaved; every
+  // iteration must run exactly once regardless of which pool served it.
+  const int prev = llp::num_threads();
+  llp::set_num_threads(2);
+  std::vector<int> counts(128, 0);
+  for (int rep = 0; rep < 8; ++rep) {
+    for (int nt : {3, 5, 2, 7}) {
+      llp::ForOptions opts;
+      opts.num_threads = nt;
+      llp::parallel_for(
+          0, static_cast<std::int64_t>(counts.size()),
+          [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; },
+          opts);
+    }
+  }
+  llp::set_num_threads(prev);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], 8 * 4) << "i=" << i;
+  }
+}
+
+}  // namespace

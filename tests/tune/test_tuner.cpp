@@ -1,0 +1,315 @@
+// Tuner search-policy tests driven by a deterministic cost model instead of
+// wall time: per-lane loads come from the runtime's own partition functions
+// (static schedules) or an idealized least-loaded assignment of the chunk
+// stream (dynamic/guided) — the same model bench/ablation_schedules uses —
+// plus a per-lane fork-join tax so more threads is not free. choose()/
+// report() are called directly, so convergence and the quality of the
+// converged choice are exact assertions, independent of host core count.
+#include "tune/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "tune/candidates.hpp"
+
+namespace {
+
+using llp::LoopConfig;
+using llp::Schedule;
+using llp::tune::Policy;
+using llp::tune::Tuner;
+using llp::tune::TunerOptions;
+
+constexpr std::int64_t kTrips = 96;
+constexpr int kMaxThreads = 8;
+
+// Triangular iteration weights — the skewed-cost workload from
+// bench/ablation_schedules where the static-block default is at its worst.
+std::vector<double> triangular_weights() {
+  std::vector<double> w;
+  for (std::int64_t i = 0; i < kTrips; ++i) {
+    w.push_back(static_cast<double>(i + 1));
+  }
+  return w;
+}
+
+double weight_sum(const std::vector<double>& w, std::int64_t begin,
+                  std::int64_t end) {
+  double s = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    s += w[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+struct ModeledRun {
+  double seconds = 0.0;
+  double imbalance = 1.0;
+};
+
+// Deterministic cost of one invocation under `c`: busiest lane's work (at a
+// fixed seconds-per-weight-unit scale) plus a fork-join tax per lane.
+ModeledRun model_run(const std::vector<double>& w, const LoopConfig& c) {
+  constexpr double kSecondsPerUnit = 1e-4;
+  constexpr double kSyncPerLane = 2e-6;
+  const auto n = static_cast<std::int64_t>(w.size());
+  const int nt = std::max(1, c.num_threads);
+  std::vector<double> load(static_cast<std::size_t>(nt), 0.0);
+  switch (c.schedule) {
+    case Schedule::kStaticBlock:
+      for (int t = 0; t < nt; ++t) {
+        const auto r = llp::static_block(n, t, nt);
+        load[static_cast<std::size_t>(t)] = weight_sum(w, r.begin, r.end);
+      }
+      break;
+    case Schedule::kStaticChunked:
+      for (int t = 0; t < nt; ++t) {
+        for (const auto& r : llp::static_chunks(n, t, nt, c.chunk)) {
+          load[static_cast<std::size_t>(t)] += weight_sum(w, r.begin, r.end);
+        }
+      }
+      break;
+    case Schedule::kDynamic:
+    case Schedule::kGuided: {
+      // Idealized least-loaded assignment of the chunk stream.
+      std::int64_t i = 0;
+      while (i < n) {
+        std::int64_t take = c.schedule == Schedule::kDynamic
+                                ? c.chunk
+                                : llp::guided_chunk(n - i, nt, c.chunk);
+        take = std::min(take, n - i);
+        auto lane = std::min_element(load.begin(), load.end());
+        *lane += weight_sum(w, i, i + take);
+        i += take;
+      }
+      break;
+    }
+  }
+  double busiest = 0.0, sum = 0.0;
+  for (double v : load) {
+    busiest = std::max(busiest, v);
+    sum += v;
+  }
+  ModeledRun run;
+  run.seconds = busiest * kSecondsPerUnit + kSyncPerLane * nt;
+  run.imbalance = sum > 0.0 ? busiest / (sum / static_cast<double>(nt)) : 1.0;
+  return run;
+}
+
+// Drive the tuner with modeled measurements until it converges (or the
+// invocation cap is hit); returns the number of invocations spent.
+int drive(Tuner& tuner, llp::RegionId region, const std::vector<double>& w,
+          int max_invocations) {
+  int inv = 0;
+  while (!tuner.converged(region, kTrips) && inv < max_invocations) {
+    const LoopConfig c = tuner.choose(region, kTrips);
+    const ModeledRun run = model_run(w, c);
+    tuner.report(region, kTrips, c, run.seconds, run.imbalance);
+    ++inv;
+  }
+  return inv;
+}
+
+// Exhaustive best over the same candidate space the tuner searches.
+double exhaustive_best_seconds(const std::vector<double>& w) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const LoopConfig& c : llp::tune::candidate_configs(kTrips, kMaxThreads)) {
+    best = std::min(best, model_run(w, c).seconds);
+  }
+  return best;
+}
+
+TunerOptions test_options(Policy policy) {
+  TunerOptions o;
+  o.policy = policy;
+  o.max_threads = kMaxThreads;
+  // The modeled measurements are exact, so Table 1 pruning would only
+  // shrink the space the convergence bound is stated over.
+  o.prune_with_table1 = false;
+  return o;
+}
+
+TEST(Tuner, SuccessiveHalvingConvergesToNearExhaustiveBest) {
+  const auto w = triangular_weights();
+  Tuner tuner(test_options(Policy::kSuccessiveHalving));
+  const auto region = llp::regions().define("tune.halving.triangular");
+
+  (void)tuner.choose(region, kTrips);  // materializes the search state
+  const auto candidates = tuner.active_candidates(region, kTrips);
+  ASSERT_GT(candidates.size(), 1u);
+  // Paper-facing bound from tuner.hpp: at most 2 * trials_per_round * |C|.
+  const int bound = 2 * tuner.options().halving_trials *
+                    static_cast<int>(candidates.size());
+
+  const int used = drive(tuner, region, w, bound);
+  ASSERT_TRUE(tuner.converged(region, kTrips))
+      << "not converged after " << used << " invocations (bound " << bound
+      << ")";
+
+  const double chosen = model_run(w, tuner.best(region, kTrips)).seconds;
+  EXPECT_LE(chosen, 1.10 * exhaustive_best_seconds(w))
+      << "converged choice is more than 10% off the exhaustive best";
+}
+
+TEST(Tuner, EpsilonGreedyConvergesToNearExhaustiveBest) {
+  const auto w = triangular_weights();
+  Tuner tuner(test_options(Policy::kEpsilonGreedy));
+  const auto region = llp::regions().define("tune.greedy.triangular");
+
+  (void)tuner.choose(region, kTrips);  // materializes the search state
+  const auto candidates = tuner.active_candidates(region, kTrips);
+  ASSERT_GT(candidates.size(), 1u);
+  // warmup_trials per arm, then a settle budget of 2 * |C| (the option's
+  // documented default), plus one invocation to observe the commit.
+  const int c = static_cast<int>(candidates.size());
+  const int bound = tuner.options().warmup_trials * c + 2 * c + 1;
+
+  const int used = drive(tuner, region, w, bound);
+  ASSERT_TRUE(tuner.converged(region, kTrips))
+      << "not converged after " << used << " invocations (bound " << bound
+      << ")";
+
+  const double chosen = model_run(w, tuner.best(region, kTrips)).seconds;
+  EXPECT_LE(chosen, 1.10 * exhaustive_best_seconds(w))
+      << "converged choice is more than 10% off the exhaustive best";
+}
+
+TEST(Tuner, HalvingCullsCandidatesMonotonically) {
+  const auto w = triangular_weights();
+  Tuner tuner(test_options(Policy::kSuccessiveHalving));
+  const auto region = llp::regions().define("tune.halving.culls");
+
+  (void)tuner.choose(region, kTrips);  // materializes the search state
+  std::size_t active = tuner.active_candidates(region, kTrips).size();
+  const int bound = 2 * tuner.options().halving_trials *
+                    static_cast<int>(active);
+  for (int inv = 0; inv < bound && !tuner.converged(region, kTrips); ++inv) {
+    const LoopConfig c = tuner.choose(region, kTrips);
+    const ModeledRun run = model_run(w, c);
+    tuner.report(region, kTrips, c, run.seconds, run.imbalance);
+    const std::size_t now = tuner.active_candidates(region, kTrips).size();
+    EXPECT_LE(now, active);
+    active = now;
+  }
+  EXPECT_EQ(active, 1u);
+}
+
+TEST(Tuner, DbRoundTripReproducesIdenticalDecisions) {
+  const auto w = triangular_weights();
+  const TunerOptions opts = test_options(Policy::kSuccessiveHalving);
+  const auto region = llp::regions().define("tune.db.roundtrip");
+
+  Tuner first(opts);
+  drive(first, region, w, 1024);
+  ASSERT_TRUE(first.converged(region, kTrips));
+  const LoopConfig decided = first.best(region, kTrips);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "tuner-roundtrip.llp_tune";
+  first.save_db(path);
+
+  // A fresh tuner (new process, in effect) loads the DB and must reproduce
+  // the decision verbatim, without spending a single trial. The loaded
+  // entry is consulted when the region's search state first materializes,
+  // i.e. on the first choose().
+  Tuner second(opts);
+  ASSERT_TRUE(second.load_db(path));
+  EXPECT_EQ(second.choose(region, kTrips), decided);
+  EXPECT_TRUE(second.converged(region, kTrips));
+  EXPECT_EQ(second.best(region, kTrips), decided);
+  EXPECT_EQ(second.trials(region, kTrips), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Tuner, ReportWithUnknownConfigIsIgnored) {
+  Tuner tuner(test_options(Policy::kEpsilonGreedy));
+  const auto region = llp::regions().define("tune.unknown.config");
+  (void)tuner.choose(region, kTrips);
+  const LoopConfig alien{Schedule::kDynamic, 999, 3};
+  tuner.report(region, kTrips, alien, 1.0, 1.0);
+  EXPECT_EQ(tuner.trials(region, kTrips), 0u);
+}
+
+TEST(Tuner, TripBucketsTuneIndependently) {
+  const auto w = triangular_weights();
+  Tuner tuner(test_options(Policy::kSuccessiveHalving));
+  const auto region = llp::regions().define("tune.buckets");
+  drive(tuner, region, w, 1024);
+  ASSERT_TRUE(tuner.converged(region, kTrips));
+  // A different scale is a different search — untouched so far.
+  EXPECT_FALSE(tuner.converged(region, kTrips * 64));
+  EXPECT_EQ(tuner.trials(region, kTrips * 64), 0u);
+}
+
+TEST(Tuner, Table1PruningDropsSyncDominatedThreadCounts) {
+  // Host-scale pruning constants (what the Tuner defaults to).
+  llp::model::MachineConfig host;
+  host.name = "host-tuning";
+  host.clock_hz = 1e9;
+  host.sync_base_ns = 2000.0;
+  host.sync_ns_per_proc = 200.0;
+
+  // A microscopic loop: at these sync costs every multi-thread candidate
+  // is sync-dominated, so pruning falls back to serial.
+  const auto candidates = llp::tune::candidate_configs(kTrips, kMaxThreads);
+  const auto pruned = llp::tune::prune_by_sync_cost(
+      candidates, /*serial_seconds=*/1e-7, host, /*overhead_target=*/0.2);
+  ASSERT_FALSE(pruned.empty());
+  for (const LoopConfig& c : pruned) {
+    EXPECT_LE(c.num_threads, 1) << "sync-dominated candidate survived";
+  }
+
+  // A long loop keeps the full ladder.
+  const auto kept = llp::tune::prune_by_sync_cost(
+      candidates, /*serial_seconds=*/1.0, host, /*overhead_target=*/0.2);
+  EXPECT_EQ(kept.size(), candidates.size());
+}
+
+TEST(Tuner, CandidateSetShapeAndDefaults) {
+  const auto candidates = llp::tune::candidate_configs(kTrips, kMaxThreads);
+  ASSERT_FALSE(candidates.empty());
+  // The first entry is the hand-picked C$doacross default: static block at
+  // the full lane count.
+  EXPECT_EQ(candidates[0].schedule, Schedule::kStaticBlock);
+  EXPECT_EQ(candidates[0].num_threads, kMaxThreads);
+  for (const LoopConfig& c : candidates) {
+    EXPECT_GE(c.chunk, 1);
+    EXPECT_GE(c.num_threads, 1);
+    EXPECT_LE(c.num_threads, kMaxThreads);
+  }
+  // Skew-friendly schedules are represented.
+  const auto has = [&](Schedule s) {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [&](const LoopConfig& c) { return c.schedule == s; });
+  };
+  EXPECT_TRUE(has(Schedule::kDynamic));
+  EXPECT_TRUE(has(Schedule::kGuided));
+
+  // A serial cap degenerates to the single serial config.
+  const auto serial = llp::tune::candidate_configs(kTrips, 1);
+  ASSERT_EQ(serial.size(), 1u);
+  EXPECT_EQ(serial[0].num_threads, 1);
+}
+
+TEST(Tuner, DeterministicAcrossRuns) {
+  // Same seed, same measurements -> identical decision and trial count.
+  const auto w = triangular_weights();
+  const TunerOptions opts = test_options(Policy::kEpsilonGreedy);
+  const auto region = llp::regions().define("tune.deterministic");
+
+  Tuner a(opts);
+  const int inv_a = drive(a, region, w, 1024);
+  Tuner b(opts);
+  const int inv_b = drive(b, region, w, 1024);
+  EXPECT_EQ(inv_a, inv_b);
+  EXPECT_EQ(a.best(region, kTrips), b.best(region, kTrips));
+}
+
+}  // namespace

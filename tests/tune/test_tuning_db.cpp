@@ -1,0 +1,158 @@
+#include "tune/tuning_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tune/candidates.hpp"
+
+namespace {
+
+using llp::LoopConfig;
+using llp::Schedule;
+using llp::tune::TunedEntry;
+using llp::tune::TuningDb;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(TuningDb, PutLookupErase) {
+  TuningDb db;
+  TunedEntry e;
+  e.config = {Schedule::kDynamic, 4, 8};
+  e.seconds = 1.5e-3;
+  e.trials = 12;
+  db.put("a|b6|hc8-p8", e);
+  EXPECT_EQ(db.size(), 1u);
+
+  TunedEntry out;
+  ASSERT_TRUE(db.lookup("a|b6|hc8-p8", &out));
+  EXPECT_EQ(out.config, e.config);
+  EXPECT_DOUBLE_EQ(out.seconds, e.seconds);
+  EXPECT_EQ(out.trials, e.trials);
+
+  EXPECT_FALSE(db.lookup("missing", &out));
+  EXPECT_TRUE(db.erase("a|b6|hc8-p8"));
+  EXPECT_FALSE(db.erase("a|b6|hc8-p8"));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(TuningDb, TextRoundTripPreservesEveryEntry) {
+  TuningDb db;
+  const Schedule all[] = {Schedule::kStaticBlock, Schedule::kStaticChunked,
+                          Schedule::kDynamic, Schedule::kGuided};
+  int i = 0;
+  for (Schedule s : all) {
+    TunedEntry e;
+    e.config = {s, 1 + i, 2 + i};
+    e.seconds = 1e-4 * (i + 1);
+    e.trials = static_cast<std::uint64_t>(10 + i);
+    db.put("region" + std::to_string(i) + "|b5|hc8-p8", e);
+    ++i;
+  }
+
+  TuningDb loaded;
+  ASSERT_TRUE(loaded.parse_text(db.to_text()));
+  ASSERT_EQ(loaded.size(), db.size());
+  for (const auto& [key, e] : db.entries()) {
+    TunedEntry out;
+    ASSERT_TRUE(loaded.lookup(key, &out)) << key;
+    EXPECT_EQ(out.config, e.config) << key;
+    EXPECT_DOUBLE_EQ(out.seconds, e.seconds) << key;
+    EXPECT_EQ(out.trials, e.trials) << key;
+  }
+}
+
+TEST(TuningDb, FileRoundTrip) {
+  const std::string path = temp_path("roundtrip.llp_tune");
+  TuningDb db;
+  TunedEntry e;
+  e.config = {Schedule::kGuided, 1, 4};
+  e.seconds = 2.25e-2;
+  e.trials = 7;
+  db.put("z0.sweep_j|b7|hc8-p8", e);
+  db.save(path);
+
+  TuningDb loaded;
+  ASSERT_TRUE(loaded.load(path));
+  TunedEntry out;
+  ASSERT_TRUE(loaded.lookup("z0.sweep_j|b7|hc8-p8", &out));
+  EXPECT_EQ(out.config, e.config);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, ParseSkipsCommentsAndBlankLines) {
+  TuningDb db;
+  ASSERT_TRUE(db.parse_text(
+      "# header\n\n# another comment\nk|b1|f\tdynamic\t2\t4\t1e-3\t5\n\n"));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(TuningDb, ParseRejectsMalformedLines) {
+  const char* bad[] = {
+      "k\tdynamic\t2\t4\t1e-3\n",          // too few fields
+      "k\tmystery\t2\t4\t1e-3\t5\n",       // unknown schedule
+      "k\tdynamic\t0\t4\t1e-3\t5\n",       // chunk < 1
+      "k\tdynamic\t2\t0\t1e-3\t5\n",       // threads < 1
+      "k\tdynamic\t2\t4\tnope\t5\n",       // bad float
+      "\tdynamic\t2\t4\t1e-3\t5\n",        // empty key
+  };
+  for (const char* text : bad) {
+    TuningDb db;
+    std::string error;
+    EXPECT_FALSE(db.parse_text(text, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(TuningDb, LoadMissingFileFails) {
+  TuningDb db;
+  std::string error;
+  EXPECT_FALSE(db.load(temp_path("does-not-exist.llp_tune"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TuningDb, ClearEmptiesAndSaveWritesEmptyFile) {
+  const std::string path = temp_path("clear.llp_tune");
+  TuningDb db;
+  db.put("k|b1|f", {});
+  db.clear();
+  EXPECT_EQ(db.size(), 0u);
+  db.save(path);
+  TuningDb loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, KeySanitizationInMakeKey) {
+  const std::string key =
+      llp::tune::make_key("bad\tname|with\npipes", 96, "hc8-p8");
+  EXPECT_EQ(key.find('\t'), std::string::npos);
+  EXPECT_EQ(key.find('\n'), std::string::npos);
+  // The sanitized name plus the two appended fields.
+  EXPECT_EQ(key, "bad_name_with_pipes|b6|hc8-p8");
+}
+
+TEST(TuningDb, TripBucketsSeparateScalesNotNeighbors) {
+  EXPECT_EQ(llp::tune::trip_bucket(96), llp::tune::trip_bucket(100));
+  EXPECT_NE(llp::tune::trip_bucket(96), llp::tune::trip_bucket(4096));
+  EXPECT_EQ(llp::tune::trip_bucket(0), 0);
+  EXPECT_EQ(llp::tune::trip_bucket(1), 0);
+}
+
+TEST(TuningDb, ScheduleNamesRoundTrip) {
+  const Schedule all[] = {Schedule::kStaticBlock, Schedule::kStaticChunked,
+                          Schedule::kDynamic, Schedule::kGuided};
+  for (Schedule s : all) {
+    Schedule out;
+    ASSERT_TRUE(llp::tune::parse_schedule(llp::tune::schedule_name(s), &out));
+    EXPECT_EQ(out, s);
+  }
+  Schedule out;
+  EXPECT_FALSE(llp::tune::parse_schedule("bogus", &out));
+}
+
+}  // namespace

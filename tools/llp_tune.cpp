@@ -1,0 +1,180 @@
+// llp_tune — inspect, clear, export the tuning DB, or run a tuning session.
+//
+// The paper's tuning loop, as a command: `llp_tune run` executes the
+// deterministic schedule-skew workload from bench/ablation_schedules under
+// an installed Tuner, prints the search trajectory, and persists the
+// decision to the DB that production runs (LLP_TUNE=1) pick up.
+//
+//   llp_tune inspect   [--db PATH]          print the DB as a table
+//   llp_tune export    [--db PATH]          dump the raw DB text to stdout
+//   llp_tune clear     [--db PATH]          remove every entry
+//   llp_tune run       [--db PATH] [--n N] [--invocations N]
+//                      [--policy greedy|halving] [--threads N]
+//                      [--skew triangular|spike|boundary-layer|uniform]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "tune/candidates.hpp"
+#include "tune/tuner.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kDefaultDb = ".llp_tune";
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: llp_tune <inspect|export|clear|run> [--db PATH]\n"
+               "       llp_tune run [--n N] [--invocations N] [--threads N]\n"
+               "                    [--policy greedy|halving]\n"
+               "                    [--skew triangular|spike|boundary-layer|"
+               "uniform]\n");
+  return 2;
+}
+
+std::vector<double> make_weights(const std::string& skew, std::int64_t n) {
+  std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& wi = w[static_cast<std::size_t>(i)];
+    if (skew == "triangular") wi = static_cast<double>(i + 1);
+    else if (skew == "spike") wi = (i == n / 8) ? 20.0 : 1.0;
+    else if (skew == "boundary-layer") wi = (i < n / 6) ? 6.0 : 1.0;
+    // "uniform": all ones
+  }
+  return w;
+}
+
+int cmd_inspect(const std::string& path, bool raw) {
+  llp::tune::TuningDb db;
+  std::string err;
+  if (!db.load(path, &err)) {
+    std::fprintf(stderr, "llp_tune: %s\n", err.c_str());
+    return 1;
+  }
+  if (raw) {
+    std::fputs(db.to_text().c_str(), stdout);
+    return 0;
+  }
+  llp::Table t({"key", "schedule", "chunk", "threads", "mean s/invocation",
+                "trials"});
+  for (const auto& [key, e] : db.entries()) {
+    t.add_row({key, std::string(llp::tune::schedule_name(e.config.schedule)),
+               std::to_string(e.config.chunk),
+               std::to_string(e.config.num_threads),
+               llp::strfmt("%.3e", e.seconds), std::to_string(e.trials)});
+  }
+  std::printf("%s%zu tuned configuration(s) in %s\n", t.to_string().c_str(),
+              db.size(), path.c_str());
+  return 0;
+}
+
+int cmd_clear(const std::string& path) {
+  llp::tune::TuningDb db;
+  db.save(path);  // empty DB overwrites the file
+  std::printf("llp_tune: cleared %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& path, std::int64_t n, int invocations,
+            const std::string& policy, int threads, const std::string& skew) {
+  const std::vector<double> w = make_weights(skew, n);
+
+  if (threads > 0) llp::set_num_threads(threads);
+  llp::tune::TunerOptions topts;
+  topts.policy = policy == "halving" ? llp::tune::Policy::kSuccessiveHalving
+                                     : llp::tune::Policy::kEpsilonGreedy;
+  llp::tune::Tuner tuner(topts);
+  tuner.load_db(path);  // a previous session's decision short-circuits
+
+  auto& rt = llp::Runtime::instance();
+  rt.set_tuner(&tuner);
+  rt.set_auto_tune_enabled(true);
+
+  const auto region = llp::regions().define("llp_tune." + skew);
+  llp::ForOptions opts = llp::ForOptions::kAuto;
+  opts.region = region;
+
+  // Deterministic spin work proportional to the iteration weight: the same
+  // skewed-cost workload the schedule ablation studies.
+  constexpr std::int64_t kSpinPerUnit = 4000;
+  auto body = [&](std::int64_t i) {
+    volatile double x = 0.0;
+    const auto spins = static_cast<std::int64_t>(
+        w[static_cast<std::size_t>(i)] * kSpinPerUnit);
+    for (std::int64_t s = 0; s < spins; ++s) x = x + 1.0;
+  };
+
+  std::printf("tuning '%s' skew, n=%lld, %d invocations, policy=%s\n",
+              skew.c_str(), static_cast<long long>(n), invocations,
+              policy.c_str());
+  for (int inv = 1; inv <= invocations; ++inv) {
+    llp::parallel_for(0, n, body, opts);
+    if (inv % 8 == 0 || inv == invocations ||
+        tuner.converged(region, n)) {
+      const llp::LoopConfig b = tuner.best(region, n);
+      std::printf("  inv %3d: best so far %s chunk=%lld threads=%d "
+                  "(%.3e s)%s\n",
+                  inv,
+                  std::string(llp::tune::schedule_name(b.schedule)).c_str(),
+                  static_cast<long long>(b.chunk), b.num_threads,
+                  tuner.best_seconds(region, n),
+                  tuner.converged(region, n) ? "  [converged]" : "");
+    }
+    if (tuner.converged(region, n)) break;
+  }
+
+  rt.set_tuner(nullptr);  // the tuner dies with this scope
+  tuner.save_db(path);
+  std::printf("saved %zu entr%s to %s\n", tuner.db().size(),
+              tuner.db().size() == 1 ? "y" : "ies", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  std::string db = kDefaultDb;
+  std::string policy = "greedy";
+  std::string skew = "triangular";
+  std::int64_t n = 96;
+  int invocations = 64;
+  int threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--db" && (v = next())) db = v;
+    else if (a == "--policy" && (v = next())) policy = v;
+    else if (a == "--skew" && (v = next())) skew = v;
+    else if (a == "--n" && (v = next())) n = std::atoll(v);
+    else if (a == "--invocations" && (v = next())) invocations = std::atoi(v);
+    else if (a == "--threads" && (v = next())) threads = std::atoi(v);
+    else return usage();
+  }
+  if (n < 1 || invocations < 1) return usage();
+  if (policy != "greedy" && policy != "halving") return usage();
+  if (skew != "triangular" && skew != "spike" && skew != "boundary-layer" &&
+      skew != "uniform") {
+    return usage();
+  }
+
+  try {
+    if (cmd == "inspect") return cmd_inspect(db, /*raw=*/false);
+    if (cmd == "export") return cmd_inspect(db, /*raw=*/true);
+    if (cmd == "clear") return cmd_clear(db);
+    if (cmd == "run") return cmd_run(db, n, invocations, policy, threads, skew);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "llp_tune: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
