@@ -1,0 +1,73 @@
+// Cost of the fault-tolerance machinery on the healthy path: an installed
+// injector whose plan never matches adds one begin() plus one on_lane() per
+// lane to every instrumented loop, and the cooperative cancel poll rides
+// every chunk boundary. Both must stay far below the fork-join cost itself
+// (Table 1's floor) for the robustness layer to be free in production.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "fault/injector.hpp"
+
+namespace {
+
+llp::RegionId bench_region() {
+  static const llp::RegionId r = llp::regions().define("bench.fault.loop");
+  return r;
+}
+
+void run_loop(std::int64_t n, std::vector<double>& out) {
+  llp::ForOptions opts;
+  opts.region = bench_region();
+  opts.num_threads = 2;
+  opts.schedule = llp::Schedule::kDynamic;
+  opts.chunk = 64;
+  llp::parallel_for(
+      0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
+      opts);
+}
+
+void BM_InstrumentedForNoHook(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    run_loop(n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstrumentedForNoHook)->Arg(1000)->Arg(100000);
+
+void BM_InstrumentedForWithIdleInjector(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  // A real plan that never matches this loop's region: the per-invocation
+  // hook cost without any fault actually firing.
+  llp::fault::Injector inj(
+      llp::fault::FaultPlan::parse("throw:bench.fault.other:0:0"));
+  llp::fault::install(&inj);
+  for (auto _ : state) {
+    run_loop(n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  llp::fault::install(nullptr);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["faults"] = static_cast<double>(inj.faults_injected());
+}
+BENCHMARK(BM_InstrumentedForWithIdleInjector)->Arg(1000)->Arg(100000);
+
+void BM_FaultPlanParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto plan = llp::fault::FaultPlan::parse(
+        "nan:run.z0.rhs:6:0:array=q0;delay:z0.sweep_j:*:2:delay=20:count=5;"
+        "seed=42");
+    benchmark::DoNotOptimize(&plan);
+  }
+}
+BENCHMARK(BM_FaultPlanParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Cooperative cancellation for fork-join runs.
+//
+// When one lane of a parallel construct throws, finishing the other lanes'
+// full iteration ranges is pure waste — and on a half-updated solution it is
+// actively harmful. The ThreadPool arms one CancelToken per run and flips it
+// as soon as any lane fails (or the watchdog gives up waiting); the
+// scheduling loops in parallel_for poll it at chunk boundaries, so sibling
+// lanes stop within one chunk of the failure. Long loop bodies can poll
+// llp::cancelled() themselves for finer-grained exits.
+//
+// Cancellation is advisory: a lane that never polls still runs to completion
+// (or hangs — which is what the watchdog deadline is for).
+#pragma once
+
+#include <atomic>
+
+namespace llp {
+
+class CancelToken {
+public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> flag_{false};
+};
+
+namespace detail {
+// Token of the run this thread is currently a lane of (nullptr outside any
+// parallel construct). Set by ThreadPool around each task invocation; nested
+// runs (transient pools) save and restore the outer token.
+inline thread_local const CancelToken* tls_cancel = nullptr;
+
+/// RAII: install a token as this thread's current one for the duration.
+class CancelScope {
+public:
+  explicit CancelScope(const CancelToken* token) noexcept
+      : prev_(tls_cancel) {
+    tls_cancel = token;
+  }
+  ~CancelScope() { tls_cancel = prev_; }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+private:
+  const CancelToken* prev_;
+};
+}  // namespace detail
+
+/// Has the parallel run this thread is executing been cancelled?
+/// Always false outside a parallel construct.
+inline bool cancelled() noexcept {
+  return detail::tls_cancel != nullptr && detail::tls_cancel->cancelled();
+}
+
+}  // namespace llp

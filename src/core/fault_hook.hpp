@@ -1,0 +1,45 @@
+// Fault-injection hook: how the core runtime talks to an (optional)
+// fault injector.
+//
+// Same layering pattern as tuner_hook.hpp: the deterministic injector lives
+// in src/fault, but the injection points are inside parallel_for, so core
+// owns only this minimal interface. A loop with a region calls begin() once
+// per invocation (the injector keys its FaultPlan on region x invocation x
+// lane) and on_lane() on every lane before that lane runs its share of the
+// iteration space. on_lane may throw (injected exception), sleep (injected
+// straggler), poison registered arrays with NaN, or never return (injected
+// hard hang, which the ThreadPool watchdog converts into a TimeoutError).
+//
+// No hook installed (the normal case) costs one nullptr check per loop.
+#pragma once
+
+#include <cstdint>
+
+#include "core/region.hpp"
+
+namespace llp {
+
+/// Interface consulted by parallel_for when a fault hook is installed in the
+/// Runtime. Implementations must be thread-safe: on_lane is called
+/// concurrently from every lane.
+class FaultHook {
+public:
+  virtual ~FaultHook() = default;
+
+  /// Called once at loop entry (before any lane runs, including the serial
+  /// fallback path). Returns the 0-based invocation index of `region`,
+  /// which the injector counts itself so faults key on a stable timeline.
+  virtual std::uint64_t begin(RegionId region) = 0;
+
+  /// Called on each participating lane before it executes its share.
+  /// May throw, delay, poison memory, or hang, per the installed plan.
+  virtual void on_lane(RegionId region, std::uint64_t invocation,
+                       int lane) = 0;
+
+  /// Did any fault fire during `invocation` of `region`? Queried after the
+  /// join so perturbed wall-time measurements can be discarded (e.g. kept
+  /// out of the autotuner's statistics).
+  virtual bool tainted(RegionId region, std::uint64_t invocation) = 0;
+};
+
+}  // namespace llp

@@ -1,7 +1,9 @@
 // Umbrella header for the loop-level parallelism runtime.
 #pragma once
 
+#include "core/cancel.hpp"      // IWYU pragma: export
 #include "core/doacross.hpp"    // IWYU pragma: export
+#include "core/fault_hook.hpp"  // IWYU pragma: export
 #include "core/parallel_for.hpp"  // IWYU pragma: export
 #include "core/region.hpp"      // IWYU pragma: export
 #include "core/runtime.hpp"     // IWYU pragma: export

@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.hpp"
+#include "core/fault_hook.hpp"
 #include "core/region.hpp"
 #include "core/runtime.hpp"
 #include "core/schedule.hpp"
@@ -74,6 +76,10 @@ inline void invoke_body(Body& body, std::int64_t i, int lane) {
   }
 }
 
+// Every schedule polls llp::cancelled() at chunk boundaries (for the static
+// block schedule, whose whole range is one chunk, at every outer iteration),
+// so once a sibling lane throws the rest stop within one chunk instead of
+// finishing full work on half-updated state.
 template <typename Body>
 void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
               int nthreads, const ForOptions& opts,
@@ -85,12 +91,14 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
     case Schedule::kStaticBlock: {
       const IterRange r = static_block(n, lane, nthreads);
       for (std::int64_t i = r.begin; i < r.end; ++i) {
+        if (cancelled()) return;
         invoke_body(body, begin + i, lane);
       }
       break;
     }
     case Schedule::kStaticChunked: {
       for (const IterRange& r : static_chunks(n, lane, nthreads, opts.chunk)) {
+        if (cancelled()) return;
         for (std::int64_t i = r.begin; i < r.end; ++i) {
           invoke_body(body, begin + i, lane);
         }
@@ -99,6 +107,7 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
     }
     case Schedule::kDynamic: {
       for (;;) {
+        if (cancelled()) return;
         const std::int64_t start =
             cursor.fetch_add(opts.chunk, std::memory_order_relaxed);
         if (start >= n) break;
@@ -111,6 +120,7 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
     }
     case Schedule::kGuided: {
       for (;;) {
+        if (cancelled()) return;
         std::int64_t start = cursor.load(std::memory_order_relaxed);
         std::int64_t take = 0;
         do {
@@ -132,6 +142,12 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
 
 /// Parallel loop over [begin, end). Body is invoked as body(i) or
 /// body(i, lane) where lane in [0, nthreads).
+///
+/// Exception semantics: if any lane throws, sibling lanes are cancelled
+/// cooperatively (they stop within one chunk), exactly one exception — the
+/// first captured — is rethrown here, and the pool remains reusable. A lane
+/// that exceeds the runtime watchdog deadline surfaces as llp::TimeoutError
+/// instead of a deadlocked join.
 ///
 /// Runs serially (still on the calling thread, same iteration order as lane 0
 /// would see) when the effective thread count is 1 or when opts.region names
@@ -173,62 +189,78 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   int nthreads = eff.num_threads > 0 ? eff.num_threads : rt.num_threads();
   if (nthreads > n && n > 0) nthreads = static_cast<int>(n);
 
+  // Fault injection (LLP_FAULT): instrumented loops report their invocation
+  // to the installed hook, which may throw / delay / poison / hang inside
+  // on_lane per the active FaultPlan. No hook (the default) costs nothing.
+  FaultHook* fh = instrumented ? rt.fault_hook() : nullptr;
+  const std::uint64_t fault_inv = fh != nullptr ? fh->begin(opts.region) : 0;
+
   const auto t0 = std::chrono::steady_clock::now();
 
   bool recorded_lanes = false;
   double lane_max = 0.0, lane_mean = 0.0;
+  std::exception_ptr run_error;
 
   if (n > 0) {
-    if (nthreads <= 1 || !enabled) {
-      for (std::int64_t i = begin; i < end; ++i) {
-        detail::invoke_body(body, i, 0);
-      }
-    } else {
-      std::atomic<std::int64_t> cursor{0};
-      if (tuner == nullptr && eff.schedule == Schedule::kDynamic &&
-          eff.chunk == 1 && n > 64) {
-        // Avoid a contended counter for trivially small default chunks.
-        // Tuned loops keep their chunk verbatim: the chunk IS the candidate.
-        eff.chunk = std::max<std::int64_t>(1, n / (8 * nthreads));
-      }
-      // Instrumented loops also time each lane so the region can report a
-      // measured load-imbalance factor.
-      struct alignas(kCacheLineBytes) LaneTime {
-        double seconds = 0.0;
-      };
-      std::vector<LaneTime> lane_times(
-          instrumented ? static_cast<std::size_t>(nthreads) : 0);
-      auto lane_fn = [&](int lane) {
-        if (instrumented) {
-          const auto lt0 = std::chrono::steady_clock::now();
-          detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
-          const std::chrono::duration<double> d =
-              std::chrono::steady_clock::now() - lt0;
-          if (lane < nthreads) {
-            lane_times[static_cast<std::size_t>(lane)].seconds = d.count();
-          }
-        } else {
-          detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
+    try {
+      if (nthreads <= 1 || !enabled) {
+        if (fh != nullptr) fh->on_lane(opts.region, fault_inv, 0);
+        for (std::int64_t i = begin; i < end; ++i) {
+          detail::invoke_body(body, i, 0);
         }
-      };
-      if (eff.num_threads > 0 && eff.num_threads != rt.num_threads()) {
-        // A loop-specific thread count gets its own pool, the way OpenMP
-        // honors num_threads() clauses. Pools are cached per size in the
-        // runtime and checked out for the duration of the loop.
-        auto pool = rt.acquire_transient_pool(nthreads);
-        pool->run(lane_fn);
-        rt.release_transient_pool(std::move(pool));
       } else {
-        rt.pool().run(lane_fn);
-      }
-      if (instrumented) {
-        for (const LaneTime& lt : lane_times) {
-          lane_max = std::max(lane_max, lt.seconds);
-          lane_mean += lt.seconds;
+        std::atomic<std::int64_t> cursor{0};
+        if (tuner == nullptr && eff.schedule == Schedule::kDynamic &&
+            eff.chunk == 1 && n > 64) {
+          // Avoid a contended counter for trivially small default chunks.
+          // Tuned loops keep their chunk verbatim: the chunk IS the
+          // candidate.
+          eff.chunk = std::max<std::int64_t>(1, n / (8 * nthreads));
         }
-        lane_mean /= static_cast<double>(nthreads);
-        recorded_lanes = true;
+        // Instrumented loops also time each lane so the region can report a
+        // measured load-imbalance factor.
+        struct alignas(kCacheLineBytes) LaneTime {
+          double seconds = 0.0;
+        };
+        std::vector<LaneTime> lane_times(
+            instrumented ? static_cast<std::size_t>(nthreads) : 0);
+        auto lane_fn = [&](int lane) {
+          if (fh != nullptr) fh->on_lane(opts.region, fault_inv, lane);
+          if (instrumented) {
+            const auto lt0 = std::chrono::steady_clock::now();
+            detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
+            const std::chrono::duration<double> d =
+                std::chrono::steady_clock::now() - lt0;
+            if (lane < nthreads) {
+              lane_times[static_cast<std::size_t>(lane)].seconds = d.count();
+            }
+          } else {
+            detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
+          }
+        };
+        if (eff.num_threads > 0 && eff.num_threads != rt.num_threads()) {
+          // A loop-specific thread count gets its own pool, the way OpenMP
+          // honors num_threads() clauses. Pools are cached per size in the
+          // runtime and checked out for the duration of the loop.
+          auto pool = rt.acquire_transient_pool(nthreads);
+          pool->run(lane_fn);  // on throw the pool is destroyed, not cached
+          rt.release_transient_pool(std::move(pool));
+        } else {
+          rt.pool().run(lane_fn);
+        }
+        if (instrumented) {
+          for (const LaneTime& lt : lane_times) {
+            lane_max = std::max(lane_max, lt.seconds);
+            lane_mean += lt.seconds;
+          }
+          lane_mean /= static_cast<double>(nthreads);
+          recorded_lanes = true;
+        }
       }
+    } catch (...) {
+      // First error wins (the pool already discarded the others); record
+      // the region and tell the tuner the sample is invalid, then rethrow.
+      run_error = std::current_exception();
     }
   }
 
@@ -242,9 +274,17 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
     if (tuner != nullptr) {
       const double imbalance =
           (recorded_lanes && lane_mean > 0.0) ? lane_max / lane_mean : 0.0;
-      tuner->report(opts.region, n, used, dt.count(), imbalance);
+      // A sample is only trustworthy when the run finished and no fault
+      // perturbed it: faulted timings must never steer the search or reach
+      // the persistent TuningDb.
+      const bool sample_valid =
+          run_error == nullptr &&
+          (fh == nullptr || !fh->tainted(opts.region, fault_inv));
+      tuner->report(opts.region, n, used, dt.count(), imbalance,
+                    sample_valid);
     }
   }
+  if (run_error) std::rethrow_exception(run_error);
 }
 
 /// Parallel loop over the collapsed 2-D iteration space [0,n0) x [0,n1),
@@ -274,6 +314,10 @@ void parallel_for_2d(std::int64_t n0, std::int64_t n1, Body&& body,
 /// body(i, T& local, lane); per-lane partials live in cache-line-padded
 /// slots and are combined with `combine` in lane order (deterministic for a
 /// fixed thread count).
+///
+/// Exception semantics follow parallel_for: exactly one error is rethrown
+/// and the per-lane partials are discarded with the call frame — a failed
+/// reduction never returns a partial result.
 template <typename T, typename Combine, typename Body>
 T parallel_reduce(std::int64_t begin, std::int64_t end, T identity,
                   Combine combine, Body&& body, const ForOptions& opts = {}) {

@@ -81,6 +81,18 @@ void RegionRegistry::add_bytes(RegionId id, double bytes) {
   regions_[id].bytes += bytes;
 }
 
+void RegionRegistry::record_fault(RegionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  ++regions_[id].faults;
+}
+
+void RegionRegistry::record_recovery(RegionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LLP_REQUIRE(id < regions_.size(), "bad RegionId");
+  ++regions_[id].recoveries;
+}
+
 RegionStats RegionRegistry::stats(RegionId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   LLP_REQUIRE(id < regions_.size(), "bad RegionId");
@@ -102,6 +114,8 @@ void RegionRegistry::reset_stats() {
     r.bytes = 0.0;
     r.lane_max_seconds = 0.0;
     r.lane_mean_seconds = 0.0;
+    r.faults = 0;
+    r.recoveries = 0;
   }
 }
 

@@ -40,6 +40,8 @@ struct RegionStats {
   double bytes = 0.0;             ///< caller-accumulated memory traffic
   double lane_max_seconds = 0.0;  ///< sum over invocations of busiest lane
   double lane_mean_seconds = 0.0; ///< sum over invocations of mean lane time
+  std::uint64_t faults = 0;       ///< faults observed/injected in this region
+  std::uint64_t recoveries = 0;   ///< recoveries attributed to this region
 
   /// Average trip count per invocation (0 for serial regions).
   double mean_trips() const {
@@ -87,6 +89,12 @@ public:
   /// NUMA-bandwidth reporting).
   void add_flops(RegionId id, double flops);
   void add_bytes(RegionId id, double bytes);
+
+  /// Health accounting: a fault observed in (or injected into) the region,
+  /// and a successful recovery attributed to it. Fed by the fault
+  /// subsystem's injector/HealthMonitor and the solver's retry loop.
+  void record_fault(RegionId id);
+  void record_recovery(RegionId id);
 
   /// Copy of one region's stats (throws on bad id).
   RegionStats stats(RegionId id) const;

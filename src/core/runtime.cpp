@@ -31,6 +31,10 @@ Runtime::Runtime() {
   if (const char* env = std::getenv("LLP_TUNE")) {
     auto_tune_ = env[0] != '\0' && env[0] != '0';
   }
+  if (const char* env = std::getenv("LLP_WATCHDOG_MS")) {
+    const double ms = std::atof(env);
+    if (ms > 0.0) watchdog_seconds_ = ms / 1000.0;
+  }
 }
 
 int Runtime::num_threads() {
@@ -49,32 +53,46 @@ void Runtime::set_num_threads(int n) {
 
 ThreadPool& Runtime::pool() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ && pool_->abandoned()) {
+    // A timed-out lane may never return, so the pool cannot run again.
+    // Destroying it detaches its workers (the hung lane leaks one thread;
+    // the shared state stays alive via shared_ptr) and rebuilding restores
+    // a healthy pool — the runtime recovers from a hang.
+    pool_.reset();
+  }
   if (!pool_ || pool_->size() != num_threads_) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
+  pool_->set_deadline(watchdog_seconds_);
   return *pool_;
 }
 
 std::unique_ptr<ThreadPool> Runtime::acquire_transient_pool(int size) {
   LLP_REQUIRE(size >= 1, "pool size must be >= 1");
+  double deadline = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    deadline = watchdog_seconds_;
     for (auto& p : transient_pools_) {
       if (p && p->size() == size) {
         auto out = std::move(p);
         p = std::move(transient_pools_.back());
         transient_pools_.pop_back();
+        out->set_deadline(deadline);
         return out;
       }
     }
   }
   // Construct outside the lock: spawning workers is slow and must not
   // serialize against unrelated runtime queries.
-  return std::make_unique<ThreadPool>(size);
+  auto out = std::make_unique<ThreadPool>(size);
+  out->set_deadline(deadline);
+  return out;
 }
 
 void Runtime::release_transient_pool(std::unique_ptr<ThreadPool> pool) {
   if (!pool) return;
+  if (pool->abandoned()) return;  // destroyed: detaches its hung lane
   std::lock_guard<std::mutex> lock(mu_);
   if (transient_pools_.size() < kMaxTransientPools) {
     transient_pools_.push_back(std::move(pool));
@@ -100,6 +118,27 @@ bool Runtime::auto_tune_enabled() {
 void Runtime::set_auto_tune_enabled(bool on) {
   std::lock_guard<std::mutex> lock(mu_);
   auto_tune_ = on;
+}
+
+void Runtime::set_fault_hook(FaultHook* hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = hook;
+}
+
+FaultHook* Runtime::fault_hook() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_hook_;
+}
+
+double Runtime::watchdog_seconds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watchdog_seconds_;
+}
+
+void Runtime::set_watchdog_seconds(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watchdog_seconds_ = seconds;
+  if (pool_) pool_->set_deadline(seconds);
 }
 
 }  // namespace llp

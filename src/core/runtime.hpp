@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/fault_hook.hpp"
 #include "core/region.hpp"
 #include "core/thread_pool.hpp"
 #include "core/tuner_hook.hpp"
@@ -58,6 +59,19 @@ public:
   bool auto_tune_enabled();
   void set_auto_tune_enabled(bool on);
 
+  /// Fault-injection hook consulted by instrumented loops. Non-owning;
+  /// nullptr (the default) detaches. The hook must outlive every loop that
+  /// runs while it is installed.
+  void set_fault_hook(FaultHook* hook);
+  FaultHook* fault_hook();
+
+  /// Watchdog deadline applied to every pool this runtime hands out
+  /// (shared and transient); <= 0 disables. Initialized from
+  /// LLP_WATCHDOG_MS. Takes effect immediately on the shared pool and on
+  /// transient pools at their next checkout.
+  double watchdog_seconds();
+  void set_watchdog_seconds(double seconds);
+
 private:
   Runtime();
 
@@ -66,7 +80,9 @@ private:
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<ThreadPool>> transient_pools_;
   LoopTuner* tuner_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
   bool auto_tune_ = false;
+  double watchdog_seconds_ = 0.0;
   RegionRegistry regions_;
 };
 

@@ -1,86 +1,152 @@
 #include "core/thread_pool.hpp"
 
+#include <chrono>
+
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace llp {
 
-ThreadPool::ThreadPool(int size) : size_(size) {
+ThreadPool::ThreadPool(int size)
+    : size_(size), shared_(std::make_shared<Shared>()) {
   LLP_REQUIRE(size >= 1, "ThreadPool size must be >= 1");
   workers_.reserve(static_cast<std::size_t>(size - 1));
   for (int lane = 1; lane < size; ++lane) {
-    workers_.emplace_back([this, lane] { worker_loop(lane); });
+    workers_.emplace_back([sh = shared_, lane] { worker_loop(sh, lane); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  bool detach = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stopping = true;
+    // A hung lane can never be joined. Detach every worker instead: parked
+    // lanes see `stopping` and exit promptly, and the hung lane keeps only
+    // the shared state (held alive by its shared_ptr) — one leaked thread
+    // instead of a deadlocked destructor.
+    detach = poisoned_.load(std::memory_order_relaxed) &&
+             shared_->remaining > 0;
   }
-  start_cv_.notify_all();
-  // jthread joins in its destructor.
+  shared_->start_cv.notify_all();
+  if (detach) {
+    for (auto& w : workers_) w.detach();
+  }
+  // Otherwise jthread joins in its destructor.
+}
+
+bool ThreadPool::abandoned() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->remaining > 0;
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
-  LLP_REQUIRE(!in_run_, "ThreadPool::run is not reentrant");
+  Shared& sh = *shared_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    task_ = &fn;
-    remaining_ = size_ - 1;
-    ++generation_;
-    in_run_ = true;
+    std::unique_lock<std::mutex> lock(sh.mu);
+    if (poisoned_.load(std::memory_order_relaxed)) {
+      // A straggler that eventually reached the join heals the pool; one
+      // that is still out keeps it unusable.
+      LLP_REQUIRE(sh.remaining == 0,
+                  "ThreadPool has an abandoned lane (previous run timed out)");
+      poisoned_.store(false, std::memory_order_relaxed);
+    }
+    LLP_REQUIRE(!sh.in_run, "ThreadPool::run is not reentrant");
+    sh.task = fn;  // owned copy: outlives this frame even on unwind
+    sh.remaining = size_ - 1;
+    ++sh.generation;
+    sh.in_run = true;
+    sh.cancel.reset();
+    {
+      std::lock_guard<std::mutex> elock(sh.error_mu);
+      sh.first_error = nullptr;
+    }
   }
-  start_cv_.notify_all();
+  sh.start_cv.notify_all();
 
   // The calling thread is lane 0.
-  try {
-    fn(0);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mu_);
-    if (!first_error_) first_error_ = std::current_exception();
+  {
+    detail::CancelScope scope(&sh.cancel);
+    try {
+      sh.task(0);
+    } catch (...) {
+      sh.capture_error();
+      sh.cancel.cancel();
+    }
   }
 
+  bool timed_out = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
-    task_ = nullptr;
-    in_run_ = false;
+    std::unique_lock<std::mutex> lock(sh.mu);
+    const auto joined = [&sh] { return sh.remaining == 0; };
+    const double dl = deadline_seconds_.load(std::memory_order_relaxed);
+    if (dl <= 0.0) {
+      sh.done_cv.wait(lock, joined);
+    } else if (!sh.done_cv.wait_for(
+                   lock, std::chrono::duration<double>(dl), joined)) {
+      // Deadline expired: cancel cooperatively, then give compliant
+      // stragglers one more grace deadline to reach the join.
+      sh.cancel.cancel();
+      if (!sh.done_cv.wait_for(lock, std::chrono::duration<double>(dl),
+                               joined)) {
+        timed_out = true;
+        poisoned_.store(true, std::memory_order_release);
+      }
+    }
+    sh.in_run = false;
+    if (!timed_out) sh.task = nullptr;
+    // On timeout the task copy is kept: the missing lane may still be
+    // executing it.
   }
   sync_events_.fetch_add(1, std::memory_order_relaxed);
 
+  if (timed_out) {
+    int missing = 0;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      missing = sh.remaining;
+    }
+    throw TimeoutError(strfmt(
+        "ThreadPool watchdog: %d of %d lanes failed to reach the join "
+        "within %.3f s (+ equal grace); pool abandoned",
+        missing, size_, deadline_seconds_.load(std::memory_order_relaxed)));
+  }
+
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
-    err = first_error_;
-    first_error_ = nullptr;
+    std::lock_guard<std::mutex> lock(sh.error_mu);
+    err = sh.first_error;
+    sh.first_error = nullptr;
   }
   if (err) std::rethrow_exception(err);
 }
 
-void ThreadPool::worker_loop(int lane) {
+void ThreadPool::worker_loop(std::shared_ptr<Shared> sh, int lane) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [this, seen] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      task = task_;
+      std::unique_lock<std::mutex> lock(sh->mu);
+      sh->start_cv.wait(
+          lock, [&] { return sh->stopping || sh->generation != seen; });
+      if (sh->stopping) return;
+      seen = sh->generation;
     }
-    try {
-      (*task)(lane);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+    {
+      detail::CancelScope scope(&sh->cancel);
+      try {
+        sh->task(lane);
+      } catch (...) {
+        sh->capture_error();
+        sh->cancel.cancel();
+      }
     }
     bool last = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      last = (--remaining_ == 0);
+      std::lock_guard<std::mutex> lock(sh->mu);
+      last = (--sh->remaining == 0);
     }
-    if (last) done_cv_.notify_one();
+    if (last) sh->done_cv.notify_one();
   }
 }
 

@@ -7,9 +7,21 @@
 // fork-join barrier. That join is exactly the "synchronization event" whose
 // cost the paper's Tables 1 and 2 are about, and micro_runtime measures it.
 //
-// Exceptions thrown by any lane are captured; the first one is rethrown on
-// the calling thread after the join, so a failing loop body cannot deadlock
-// or tear down a worker.
+// Failure semantics:
+//   * Exceptions thrown by any lane are captured; the first one is rethrown
+//     on the calling thread after the join ("first error wins"), so a
+//     failing loop body cannot deadlock or tear down a worker.
+//   * Every run arms a CancelToken (visible to lane code via
+//     llp::cancelled()); the token flips as soon as any lane throws, so
+//     cooperative siblings stop at their next chunk boundary.
+//   * An optional watchdog deadline bounds the join: if worker lanes have
+//     not finished within `deadline` seconds of lane 0 completing, the pool
+//     cancels cooperatively, waits one more grace deadline, then marks
+//     itself abandoned and throws llp::TimeoutError instead of deadlocking.
+//     An abandoned pool refuses further runs (unless the straggler
+//     eventually arrives, which heals it) and detaches rather than joins
+//     its workers on destruction; the worker-shared state is kept alive by
+//     shared_ptr so a truly hung lane leaks one thread, nothing more.
 #pragma once
 
 #include <atomic>
@@ -17,9 +29,12 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/cancel.hpp"
 
 namespace llp {
 
@@ -40,7 +55,23 @@ public:
   /// Run fn(lane) on every lane in [0, size). Blocks until all lanes finish
   /// (fork-join). Not reentrant: calling run from inside fn throws.
   /// If any lane throws, the first captured exception is rethrown here.
+  /// If the watchdog deadline expires, throws llp::TimeoutError.
   void run(const std::function<void(int)>& fn);
+
+  /// Watchdog deadline in seconds for worker lanes to reach the join after
+  /// lane 0 finishes; <= 0 (the default) waits forever.
+  void set_deadline(double seconds) noexcept {
+    deadline_seconds_.store(seconds, std::memory_order_relaxed);
+  }
+  double deadline() const noexcept {
+    return deadline_seconds_.load(std::memory_order_relaxed);
+  }
+
+  /// True after a watchdog timeout whose straggler has still not arrived:
+  /// the pool cannot run and cannot be safely joined (the Runtime leaks and
+  /// replaces such pools). A pool whose straggler eventually finished heals
+  /// on the next run() and reports false here.
+  bool abandoned() const;
 
   /// Number of fork-join synchronization events issued so far.
   std::uint64_t sync_events() const noexcept {
@@ -48,27 +79,36 @@ public:
   }
 
 private:
-  void worker_loop(int lane);
+  // Everything the workers touch. Held by shared_ptr from each worker so an
+  // abandoned pool's state stays valid for detached (hung) lanes after the
+  // ThreadPool object itself is gone.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable start_cv;
+    std::condition_variable done_cv;
+    std::function<void(int)> task;  // owned copy: cannot dangle on unwind
+    std::uint64_t generation = 0;
+    int remaining = 0;
+    bool stopping = false;
+    bool in_run = false;
+    CancelToken cancel;
+
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    void capture_error() noexcept {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  static void worker_loop(std::shared_ptr<Shared> sh, int lane);
 
   const int size_;
-
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int remaining_ = 0;
-  bool stopping_ = false;
-  bool in_run_ = false;
-
-  std::mutex error_mu_;
-  std::exception_ptr first_error_;
-
+  std::atomic<double> deadline_seconds_{0.0};
+  std::atomic<bool> poisoned_{false};
   std::atomic<std::uint64_t> sync_events_{0};
-
-  // Declared last on purpose: jthreads join in their destructor, and the
-  // workers must be gone before the mutexes/condition variables they use
-  // are destroyed (members destruct in reverse declaration order).
+  std::shared_ptr<Shared> shared_;
   std::vector<std::jthread> workers_;
 };
 

@@ -45,9 +45,13 @@ public:
   /// Feed back one measured invocation: the configuration actually run,
   /// its wall time, and the measured busiest-lane/mean-lane imbalance
   /// factor (0 when no per-lane timing was recorded, e.g. serial runs).
+  /// `sample_valid` is false when the measurement is not trustworthy — the
+  /// invocation threw, was cancelled, tripped the watchdog, or had a fault
+  /// injected into it. Invalid samples must not enter timing statistics
+  /// (or the persistent TuningDb); implementations may still count them.
   virtual void report(RegionId region, std::int64_t trips,
                       const LoopConfig& used, double seconds,
-                      double imbalance) = 0;
+                      double imbalance, bool sample_valid) = 0;
 };
 
 }  // namespace llp

@@ -1,8 +1,12 @@
 #include "f3d/solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 
+#include "f3d/io.hpp"
+#include "f3d/validation.hpp"
 #include "tune/tuner.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -198,6 +202,147 @@ double Solver::run(int steps) {
   LLP_REQUIRE(steps >= 1, "steps must be >= 1");
   for (int i = 0; i < steps; ++i) step();
   return residual_;
+}
+
+std::string RunReport::summary() const {
+  std::string s = llp::strfmt(
+      "steps=%d recoveries=%d checkpoints=%d residual=%.6e", steps_completed,
+      recoveries, checkpoints, final_residual);
+  if (engine_fallback) s += " engine=vector-fallback";
+  if (failed) s += " FAILED: " + failure_reason;
+  return s;
+}
+
+RunReport Solver::run_protected(int steps, RunHistory* history) {
+  LLP_REQUIRE(steps >= 1, "steps must be >= 1");
+  const RecoveryConfig& rc = config_.recovery;
+  RunReport report;
+
+  // In-memory checkpoint: the interior solution (the same bytes a file
+  // checkpoint would hold — ghost cells are rebuilt by the next step's BC
+  // and exchange) plus the scalar time-stepping state.
+  struct Checkpoint {
+    std::string solution;
+    double cfl = 0.0;
+    double residual = 0.0;
+    double prev_residual = -1.0;
+    int steps = 0;
+    std::size_t history_steps = 0;
+  } ckpt;
+
+  auto healthy_now = [&] {
+    return std::isfinite(residual_) && all_finite(grid_);
+  };
+  auto take_checkpoint = [&] {
+    std::ostringstream out(std::ios::binary);
+    write_solution(out, grid_);
+    ckpt.solution = out.str();
+    ckpt.cfl = cfl_;
+    ckpt.residual = residual_;
+    ckpt.prev_residual = prev_residual_;
+    ckpt.steps = steps_;
+    ckpt.history_steps = history ? history->steps() : 0;
+    ++report.checkpoints;
+  };
+  auto rollback = [&] {
+    std::istringstream in(ckpt.solution, std::ios::binary);
+    read_solution(in, grid_);
+    // Back the CFL off from the checkpoint value once per recovery so a
+    // dt-sensitive fault (AF blow-up at an aggressive CFL) clears on
+    // replay; a later healthy checkpoint restores normal ramping.
+    cfl_ = std::max(1e-6, ckpt.cfl * std::pow(rc.cfl_backoff,
+                                              static_cast<double>(
+                                                  report.recoveries)));
+    dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
+    residual_ = ckpt.residual;
+    prev_residual_ = ckpt.prev_residual;
+    steps_ = ckpt.steps;
+    if (history) history->truncate(ckpt.history_steps);
+  };
+
+  // Persistent-fault tracking for the engine fallback: LaneErrors carry
+  // the region that produced them, so repeated faults from one region are
+  // recognizable even across rollbacks.
+  llp::RegionId last_fault_region = llp::kNoRegion;
+  int same_region_faults = 0;
+  auto note_fault = [&](llp::RegionId region) {
+    same_region_faults =
+        (region != llp::kNoRegion && region == last_fault_region)
+            ? same_region_faults + 1
+            : 1;
+    last_fault_region = region;
+    if (!report.engine_fallback && rc.persistent_fault_limit > 0 &&
+        region != llp::kNoRegion &&
+        same_region_faults >= rc.persistent_fault_limit) {
+      // The region keeps faulting under the RISC organization: degrade to
+      // the serial plane-buffer engine and keep going.
+      engine_ = std::make_unique<VectorSweeps>();
+      report.engine_fallback = true;
+    }
+  };
+
+  take_checkpoint();  // step-0 baseline: a first-step fault is recoverable
+  const int target = steps_ + steps;
+  while (steps_ < target) {
+    bool healthy = true;
+    std::string why;
+    llp::RegionId fault_region = llp::kNoRegion;
+    // The step this iteration attempts. A thrown fault leaves steps_
+    // unincremented while the health check sees it incremented; recording
+    // the attempt keeps recovery_steps meaning "the step that faulted"
+    // on both detection paths (and in both NDEBUG and assert builds,
+    // where a NaN may trip an in-step LLP_ASSERT instead of surviving to
+    // the post-step check).
+    const int attempt = steps_ + 1;
+    try {
+      step();
+      const bool due = rc.health_check_every <= 0 ||
+                       (steps_ - ckpt.steps) % rc.health_check_every == 0 ||
+                       steps_ == target;
+      if (due && !healthy_now()) {
+        healthy = false;
+        why = llp::strfmt("health check failed at step %d: non-finite %s",
+                          steps_,
+                          std::isfinite(residual_) ? "solution value"
+                                                   : "residual");
+      }
+    } catch (const llp::LaneError& e) {
+      healthy = false;
+      why = e.what();
+      fault_region = e.region();
+    } catch (const std::exception& e) {
+      healthy = false;
+      why = e.what();
+    }
+
+    if (healthy) {
+      if (history) history->record(residual_, checksum(grid_));
+      if (rc.checkpoint_every > 0 &&
+          steps_ - ckpt.steps >= rc.checkpoint_every && steps_ < target &&
+          healthy_now()) {
+        take_checkpoint();
+      }
+      continue;
+    }
+
+    if (report.recoveries >= rc.max_recoveries) {
+      report.failed = true;
+      report.failure_reason = why;
+      rollback();  // leave the solver on its last healthy state
+      break;
+    }
+    ++report.recoveries;
+    report.recovery_steps.push_back(attempt);
+    if (fault_region != llp::kNoRegion) {
+      llp::regions().record_recovery(fault_region);
+    }
+    note_fault(fault_region);
+    rollback();
+  }
+
+  report.steps_completed = steps_;
+  report.final_residual = residual_;
+  return report;
 }
 
 double Solver::flops_per_step() const {

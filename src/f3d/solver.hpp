@@ -24,9 +24,23 @@
 
 namespace f3d {
 
+struct RunHistory;  // validation.hpp
+
 enum class SweepMode {
   kVector,  ///< plane buffers, serial (legacy organization)
   kRisc,    ///< pencil buffers, outer loops parallelized
+};
+
+/// Graceful-degradation policy for run_protected(). A "fault" is a step
+/// that threw (lane exception, watchdog timeout) or left the solution
+/// non-finite (NaN/Inf in the residual or any interior cell).
+struct RecoveryConfig {
+  int max_recoveries = 0;       ///< rollback budget; 0 = fail on first fault
+  int checkpoint_every = 10;    ///< steps between in-memory checkpoints
+  double cfl_backoff = 0.5;     ///< CFL multiplier applied per recovery
+  int persistent_fault_limit = 3;  ///< consecutive same-region faults before
+                                   ///< falling back to the vector engine
+  int health_check_every = 1;   ///< steps between finite-ness checks
 };
 
 struct SolverConfig {
@@ -45,6 +59,22 @@ struct SolverConfig {
   /// matters, not when per-step residual reduction does.
   double cfl_growth = 1.0;
   double cfl_max = 10.0;
+
+  RecoveryConfig recovery;     ///< run_protected() policy
+};
+
+/// Diagnostic record of a run_protected() invocation.
+struct RunReport {
+  int steps_completed = 0;     ///< total steps standing at return
+  int recoveries = 0;          ///< rollbacks performed
+  int checkpoints = 0;         ///< in-memory checkpoints taken
+  double final_residual = 0.0;
+  bool engine_fallback = false;  ///< degraded to the vector sweep engine
+  bool failed = false;         ///< recovery budget exhausted
+  std::string failure_reason;  ///< what() of the terminal fault, if failed
+  std::vector<int> recovery_steps;  ///< the faulted step behind each recovery
+
+  std::string summary() const;
 };
 
 class Solver {
@@ -56,6 +86,18 @@ public:
 
   /// Advance n steps; returns the final residual.
   double run(int steps);
+
+  /// Advance n steps with fault recovery: after each step a health check
+  /// (finite residual, finite solution) runs, and a step that throws or
+  /// fails the check is rolled back to the last in-memory checkpoint with
+  /// the CFL backed off, up to config().recovery.max_recoveries times.
+  /// Faults attributed to one region persistently (LaneError) trigger a
+  /// fallback from the RISC to the vector sweep engine. Never throws for
+  /// fault-shaped errors — the outcome is described by the returned
+  /// RunReport. If `history` is non-null, per-step residual/checksum pairs
+  /// are recorded and truncated on rollback so the log matches the steps
+  /// that actually stand.
+  RunReport run_protected(int steps, RunHistory* history = nullptr);
 
   /// RMS of the flux divergence R(Q) over all interior cells after the
   /// latest step (steady-state convergence monitor).

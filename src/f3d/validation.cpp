@@ -80,6 +80,21 @@ double l2_diff(const MultiZoneGrid& a, const MultiZoneGrid& b) {
   return std::sqrt(s / static_cast<double>(count));
 }
 
+bool all_finite(const MultiZoneGrid& grid) {
+  bool ok = true;
+  for_all_interior(grid, [&](int zi, int j, int k, int l) {
+    if (!ok) return;
+    const double* q = grid.zone(zi).q_point(j, k, l);
+    for (int n = 0; n < kNumVars; ++n) {
+      if (!std::isfinite(q[n])) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  return ok;
+}
+
 int first_divergence(const RunHistory& a, const RunHistory& b,
                      double residual_tol) {
   const std::size_t n = std::min(a.steps(), b.steps());

@@ -35,6 +35,10 @@ double linf_diff(const MultiZoneGrid& a, const MultiZoneGrid& b);
 /// Root-mean-square difference over all interior cells and variables.
 double l2_diff(const MultiZoneGrid& a, const MultiZoneGrid& b);
 
+/// True iff every interior cell value is finite (no NaN/Inf). The solver's
+/// per-step health check: one poisoned value fails the whole grid.
+bool all_finite(const MultiZoneGrid& grid);
+
 /// Per-step log of a run.
 struct RunHistory {
   std::vector<double> residuals;
@@ -45,6 +49,14 @@ struct RunHistory {
     checksums.push_back(digest);
   }
   std::size_t steps() const { return residuals.size(); }
+
+  /// Drop entries past the first `keep` steps — the history-side of a
+  /// solver rollback, so a recovered run's log matches what actually
+  /// stands after replay. No-op if the history is already that short.
+  void truncate(std::size_t keep) {
+    if (residuals.size() > keep) residuals.resize(keep);
+    if (checksums.size() > keep) checksums.resize(keep);
+  }
 };
 
 /// First step at which two histories diverge: checksum mismatch, or

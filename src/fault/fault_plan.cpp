@@ -1,0 +1,163 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::fault {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  LLP_REQUIRE(!s.empty(), std::string("empty ") + what + " in fault spec");
+  char* end = nullptr;
+  const std::string tmp(s);
+  const unsigned long long v = std::strtoull(tmp.c_str(), &end, 10);
+  LLP_REQUIRE(end != nullptr && *end == '\0',
+              std::string("bad ") + what + " in fault spec: " + tmp);
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(std::string_view s, const char* what) {
+  LLP_REQUIRE(!s.empty(), std::string("empty ") + what + " in fault spec");
+  char* end = nullptr;
+  const std::string tmp(s);
+  const double v = std::strtod(tmp.c_str(), &end);
+  LLP_REQUIRE(end != nullptr && *end == '\0',
+              std::string("bad ") + what + " in fault spec: " + tmp);
+  return v;
+}
+
+FaultKind parse_kind(std::string_view s) {
+  if (s == "throw") return FaultKind::kThrow;
+  if (s == "nan") return FaultKind::kNan;
+  if (s == "delay") return FaultKind::kDelay;
+  if (s == "hang") return FaultKind::kHang;
+  throw Error("unknown fault kind: " + std::string(s) +
+              " (want throw|nan|delay|hang)");
+}
+
+FaultSpec parse_entry(std::string_view entry) {
+  const auto fields = split(entry, ':');
+  LLP_REQUIRE(fields.size() >= 4,
+              "fault entry needs kind:region:inv:lane — got: " +
+                  std::string(entry));
+  FaultSpec spec;
+  spec.kind = parse_kind(trim(fields[0]));
+  spec.region = std::string(trim(fields[1]));
+  LLP_REQUIRE(!spec.region.empty(), "empty region in fault spec");
+
+  const std::string_view inv = trim(fields[2]);
+  if (inv == "*") {
+    spec.any_invocation = true;
+  } else {
+    spec.invocation = parse_u64(inv, "invocation");
+  }
+  const std::string_view lane = trim(fields[3]);
+  if (lane == "*") {
+    spec.any_lane = true;
+  } else {
+    spec.lane = static_cast<int>(parse_u64(lane, "lane"));
+  }
+
+  for (std::size_t i = 4; i < fields.size(); ++i) {
+    const auto kv = split(trim(fields[i]), '=');
+    LLP_REQUIRE(kv.size() == 2, "fault option must be key=value, got: " +
+                                    std::string(fields[i]));
+    const std::string_view key = trim(kv[0]);
+    const std::string_view value = trim(kv[1]);
+    if (key == "delay") {
+      spec.delay_ms = parse_double(value, "delay");
+      LLP_REQUIRE(spec.delay_ms >= 0.0, "delay must be >= 0");
+    } else if (key == "array") {
+      spec.array = std::string(value);
+    } else if (key == "count") {
+      spec.count = static_cast<int>(parse_u64(value, "count"));
+    } else if (key == "p") {
+      spec.probability = parse_double(value, "p");
+      LLP_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                  "p must be in [0,1]");
+    } else {
+      throw Error("unknown fault option: " + std::string(key));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kNan: return "nan";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kHang: return "hang";
+  }
+  return "?";
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out = std::string(fault::to_string(kind)) + ":" + region + ":";
+  out += any_invocation ? "*" : strfmt("%llu",
+                                       static_cast<unsigned long long>(
+                                           invocation));
+  out += ":";
+  out += any_lane ? "*" : strfmt("%d", lane);
+  if (kind == FaultKind::kDelay) out += strfmt(":delay=%g", delay_ms);
+  if (kind == FaultKind::kNan && !array.empty()) out += ":array=" + array;
+  if (count != 1) out += strfmt(":count=%d", count);
+  if (probability != 1.0) out += strfmt(":p=%g", probability);
+  return out;
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  for (std::string_view entry : split(text, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    if (entry.substr(0, 5) == "seed=") {
+      plan.seed = parse_u64(trim(entry.substr(5)), "seed");
+      continue;
+    }
+    plan.specs.push_back(parse_entry(entry));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultSpec& s : specs) {
+    if (!out.empty()) out += ";";
+    out += s.to_string();
+  }
+  if (seed != FaultPlan{}.seed) {
+    if (!out.empty()) out += ";";
+    out += strfmt("seed=%llu", static_cast<unsigned long long>(seed));
+  }
+  return out;
+}
+
+}  // namespace llp::fault

@@ -1,0 +1,85 @@
+// FaultPlan: a deterministic description of which faults to inject where.
+//
+// The plan is keyed on (region name x invocation index x lane) so a fault
+// fires at exactly the same point of the execution timeline on every run —
+// that determinism is what makes recovery demonstrable: two runs with the
+// same plan and seed produce bit-identical final solutions, and a run can
+// be diffed against a fault-free run with first_divergence.
+//
+// Spec grammar (LLP_FAULT environment variable or --fault flag):
+//
+//   plan    := entry (';' entry)*
+//   entry   := fault | 'seed=' uint
+//   fault   := kind ':' region ':' inv ':' lane (':' key '=' value)*
+//   kind    := 'throw' | 'nan' | 'delay' | 'hang'
+//   region  := region name as registered (e.g. run.z0.rhs)
+//   inv     := uint | '*'        0-based invocation index of the region
+//   lane    := int  | '*'        lane index within the parallel run
+//   key     := 'delay' (ms, kind=delay) | 'array' (name, kind=nan)
+//            | 'count' (max times the entry fires; default 1, 0=unlimited)
+//            | 'p' (probability in [0,1]; default 1, seeded-RNG driven)
+//
+// Examples:
+//   LLP_FAULT="throw:run.z0.rhs:3:1"
+//   LLP_FAULT="nan:run.z0.rhs:6:0:array=q0"
+//   LLP_FAULT="delay:run.z0.sweep_j:*:2:delay=20:count=5"
+//   LLP_FAULT="hang:run.z0.update:2:1;seed=42"
+//
+// Probabilistic entries (p<1) draw from a SplitMix64 stream keyed by
+// (seed, region, invocation, lane), so they too are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llp::fault {
+
+enum class FaultKind {
+  kThrow,  ///< throw llp::LaneError from the lane
+  kNan,    ///< poison a registered array with a quiet NaN
+  kDelay,  ///< sleep the lane (straggler)
+  kHang,   ///< never return (the watchdog's job to detect); leaks the lane
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kThrow;
+  std::string region;            ///< exact region name
+  std::uint64_t invocation = 0;  ///< 0-based; ignored when any_invocation
+  bool any_invocation = false;   ///< '*'
+  int lane = 0;                  ///< ignored when any_lane
+  bool any_lane = false;         ///< '*'
+  double delay_ms = 10.0;        ///< kDelay only
+  std::string array;             ///< kNan: registered array; empty = all
+  int count = 1;                 ///< max firings; <= 0 = unlimited
+  double probability = 1.0;      ///< per-match firing probability
+
+  /// Does this spec match the given injection point (ignoring count and
+  /// probability, which are dynamic)?
+  bool matches(std::string_view region_name, std::uint64_t inv,
+               int lane_index) const {
+    return region == region_name &&
+           (any_invocation || invocation == inv) &&
+           (any_lane || lane == lane_index);
+  }
+
+  std::string to_string() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0x5eedfa017ULL;  ///< drives probabilistic entries
+
+  /// Parse the spec grammar above; throws llp::Error on malformed input.
+  static FaultPlan parse(std::string_view text);
+
+  /// Render back to the spec grammar (parse(to_string()) round-trips).
+  std::string to_string() const;
+
+  bool empty() const { return specs.empty(); }
+};
+
+}  // namespace llp::fault

@@ -1,0 +1,63 @@
+#include "fault/health.hpp"
+
+#include "core/runtime.hpp"
+#include "util/format.hpp"
+
+namespace llp::fault {
+
+void HealthMonitor::note_fault(RegionId region, FaultKind kind) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_faults_;
+    ++by_kind_[static_cast<int>(kind)];
+  }
+  if (region != kNoRegion) llp::regions().record_fault(region);
+}
+
+void HealthMonitor::note_recovery(RegionId region) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_recoveries_;
+  }
+  if (region != kNoRegion) llp::regions().record_recovery(region);
+}
+
+std::uint64_t HealthMonitor::total_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_faults_;
+}
+
+std::uint64_t HealthMonitor::total_recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recoveries_;
+}
+
+std::uint64_t HealthMonitor::faults(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_kind_[static_cast<int>(kind)];
+}
+
+std::string HealthMonitor::report() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = strfmt(
+        "health: %llu faults (throw=%llu nan=%llu delay=%llu hang=%llu), "
+        "%llu recoveries\n",
+        static_cast<unsigned long long>(total_faults_),
+        static_cast<unsigned long long>(by_kind_[0]),
+        static_cast<unsigned long long>(by_kind_[1]),
+        static_cast<unsigned long long>(by_kind_[2]),
+        static_cast<unsigned long long>(by_kind_[3]),
+        static_cast<unsigned long long>(total_recoveries_));
+  }
+  for (const auto& r : llp::regions().snapshot()) {
+    if (r.faults == 0 && r.recoveries == 0) continue;
+    out += strfmt("  %-32s faults=%llu recoveries=%llu\n", r.name.c_str(),
+                  static_cast<unsigned long long>(r.faults),
+                  static_cast<unsigned long long>(r.recoveries));
+  }
+  return out;
+}
+
+}  // namespace llp::fault

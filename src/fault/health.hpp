@@ -1,0 +1,45 @@
+// HealthMonitor: process-level fault/recovery accounting.
+//
+// The injector (and any real fault detector) notes faults here as they
+// fire; recovery layers (the solver's rollback loop) note recoveries. Known
+// regions are mirrored into the region registry's per-region fault/recovery
+// counters, so the same registry that carries the flat profile also answers
+// "which loop keeps failing?" — the health analogue of "which loop is
+// slow?".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/region.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace llp::fault {
+
+class HealthMonitor {
+public:
+  /// A fault observed in `region` (kNoRegion when unattributable, e.g. a
+  /// NaN found by a downstream health check). Mirrors into the registry.
+  void note_fault(RegionId region, FaultKind kind);
+
+  /// A successful recovery (rollback + retry) attributed to `region`, or
+  /// kNoRegion when the faulting region is unknown.
+  void note_recovery(RegionId region);
+
+  std::uint64_t total_faults() const;
+  std::uint64_t total_recoveries() const;
+  std::uint64_t faults(FaultKind kind) const;
+
+  /// Human-readable summary: global counters plus one line per region with
+  /// nonzero fault/recovery counts (from the registry snapshot).
+  std::string report() const;
+
+private:
+  mutable std::mutex mu_;
+  std::uint64_t total_faults_ = 0;
+  std::uint64_t total_recoveries_ = 0;
+  std::uint64_t by_kind_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace llp::fault

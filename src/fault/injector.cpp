@@ -1,0 +1,204 @@
+#include "fault/injector.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace llp::fault {
+
+namespace {
+
+// Deterministic draw for probabilistic specs: one value per
+// (seed, region name, invocation, lane), independent of firing order.
+double keyed_uniform(std::uint64_t seed, std::string_view region,
+                     std::uint64_t inv, int lane) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : region) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  h ^= inv * 0xc2b2ae3d27d4eb4fULL;
+  h ^= static_cast<std::uint64_t>(lane) * 0x165667b19e3779f9ULL;
+  return SplitMix64(h).uniform();
+}
+
+[[noreturn]] void hang_forever() {
+  // Referencing nothing but this immortal loop: the lane sits here until
+  // the process exits (the pool that ran it detaches it after the watchdog
+  // fires). Deliberately not cancellable — that is what makes it a hang
+  // rather than a straggler.
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan) { set_plan(std::move(plan)); }
+
+void Injector::set_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  fired_.assign(plan_.specs.size(), 0);
+  invocations_.clear();
+  tainted_.clear();
+}
+
+const FaultPlan& Injector::plan() const {
+  // The plan is immutable between set_plan calls; specs are read without
+  // the lock only via this accessor's caller holding no reference across a
+  // set_plan (documented contract).
+  return plan_;
+}
+
+void Injector::reset_invocations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fired_.assign(plan_.specs.size(), 0);
+  invocations_.clear();
+  tainted_.clear();
+}
+
+std::uint64_t Injector::begin(RegionId region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invocations_[region]++;
+}
+
+bool Injector::should_fire(FaultSpec& spec, std::string_view region_name,
+                           std::uint64_t inv, int lane) const {
+  if (!spec.matches(region_name, inv, lane)) return false;
+  if (spec.probability < 1.0 &&
+      keyed_uniform(plan_.seed, region_name, inv, lane) >= spec.probability) {
+    return false;
+  }
+  return true;
+}
+
+void Injector::fire_nan(const FaultSpec& spec, std::uint64_t key) {
+  // One quiet NaN per matching target, at a seed-deterministic index.
+  auto poison = [&](const std::string& name, const Target& t) {
+    if (t.data == nullptr || t.size == 0) return;
+    std::uint64_t h = plan_.seed ^ key;
+    for (char c : name) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    }
+    t.data[h % t.size] = std::numeric_limits<double>::quiet_NaN();
+  };
+  if (spec.array.empty()) {
+    for (const auto& [name, t] : targets_) poison(name, t);
+  } else {
+    const auto it = targets_.find(spec.array);
+    if (it != targets_.end()) poison(it->first, it->second);
+  }
+}
+
+void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
+  // Collect the actions to take, then perform the blocking/throwing ones
+  // outside the lock (other lanes must be able to consult the injector
+  // while one lane sleeps or hangs).
+  bool do_throw = false;
+  bool do_hang = false;
+  double delay_ms = 0.0;
+  std::string region_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_.specs.empty()) return;
+    auto name_it = region_names_.find(region);
+    if (name_it == region_names_.end()) {
+      name_it = region_names_
+                    .emplace(region, llp::regions().stats(region).name)
+                    .first;
+    }
+    region_name = name_it->second;
+
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      FaultSpec& spec = plan_.specs[i];
+      if (spec.count > 0 && fired_[i] >= spec.count) continue;
+      if (!should_fire(spec, region_name, invocation, lane)) continue;
+      ++fired_[i];
+      ++fired_total_;
+      ++fired_by_kind_[static_cast<int>(spec.kind)];
+      tainted_.insert({region, invocation});
+      health_.note_fault(region, spec.kind);
+      switch (spec.kind) {
+        case FaultKind::kThrow: do_throw = true; break;
+        case FaultKind::kNan: fire_nan(spec, invocation * 64 + lane); break;
+        case FaultKind::kDelay: delay_ms += spec.delay_ms; break;
+        case FaultKind::kHang: do_hang = true; break;
+      }
+    }
+  }
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+  }
+  if (do_throw) {
+    throw LaneError(strfmt("injected fault: region %s invocation %llu lane %d",
+                           region_name.c_str(),
+                           static_cast<unsigned long long>(invocation), lane),
+                    region, lane);
+  }
+  if (do_hang) hang_forever();
+}
+
+bool Injector::tainted(RegionId region, std::uint64_t invocation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tainted_.count({region, invocation}) != 0;
+}
+
+void Injector::register_array(std::string name, double* data,
+                              std::size_t size) {
+  LLP_REQUIRE(data != nullptr && size > 0, "bad poison target");
+  std::lock_guard<std::mutex> lock(mu_);
+  targets_[std::move(name)] = Target{data, size};
+}
+
+void Injector::unregister_array(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  targets_.erase(name);
+}
+
+std::size_t Injector::registered_arrays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return targets_.size();
+}
+
+std::uint64_t Injector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_total_;
+}
+
+std::uint64_t Injector::faults_injected(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_by_kind_[static_cast<int>(kind)];
+}
+
+namespace {
+std::unique_ptr<Injector> g_injector;
+}  // namespace
+
+void install(Injector* injector) {
+  Runtime::instance().set_fault_hook(injector);
+}
+
+Injector* global_injector() { return g_injector.get(); }
+
+void set_global(std::unique_ptr<Injector> injector) {
+  install(nullptr);
+  g_injector = std::move(injector);
+  if (g_injector != nullptr) install(g_injector.get());
+}
+
+bool init_from_env() {
+  if (g_injector != nullptr) return true;
+  const char* env = std::getenv("LLP_FAULT");
+  if (env == nullptr || env[0] == '\0') return false;
+  set_global(std::make_unique<Injector>(FaultPlan::parse(env)));
+  return true;
+}
+
+}  // namespace llp::fault

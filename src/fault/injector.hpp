@@ -1,0 +1,117 @@
+// Deterministic fault injector: the FaultHook implementation behind
+// LLP_FAULT.
+//
+// Installed into the Runtime, the injector counts every instrumented loop's
+// invocations itself (so its timeline is independent of the registry's
+// post-join accounting) and fires the FaultPlan's entries at exactly the
+// keyed (region, invocation, lane) points:
+//
+//   throw — llp::LaneError carrying the RegionId, so recovery layers can
+//           attribute the failure;
+//   nan   — one quiet NaN written into a registered array at a
+//           seed-deterministic index (silent data corruption: only a health
+//           check downstream can catch it);
+//   delay — the lane sleeps (a straggler: the join survives it, the
+//           imbalance metric and tuner-sample taint see it);
+//   hang  — the lane never returns. The ThreadPool watchdog converts this
+//           into llp::TimeoutError; the lane itself is leaked by design
+//           (it references only the injector, which is immortal once
+//           installed globally).
+//
+// Every firing is recorded in the owned HealthMonitor (and as a per-region
+// fault in the region registry) and taints the invocation so perturbed
+// timings can be discarded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fault_hook.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/health.hpp"
+
+namespace llp::fault {
+
+class Injector final : public llp::FaultHook {
+public:
+  explicit Injector(FaultPlan plan = {});
+
+  /// Replace the plan; resets firing counts and invocation counters (the
+  /// timeline restarts), keeps registered arrays and health history.
+  void set_plan(FaultPlan plan);
+  const FaultPlan& plan() const;
+
+  /// Restart the invocation timeline and per-spec firing budgets without
+  /// touching the plan — call between runs that must fault identically.
+  void reset_invocations();
+
+  // FaultHook interface.
+  std::uint64_t begin(RegionId region) override;
+  void on_lane(RegionId region, std::uint64_t invocation, int lane) override;
+  bool tainted(RegionId region, std::uint64_t invocation) override;
+
+  /// Arrays available as kNan poison targets, by name. The registered
+  /// memory must outlive the registration (or be unregistered first), and
+  /// should not be written by the region the fault targets, so the poison
+  /// is not racy. Re-registering a name replaces it.
+  void register_array(std::string name, double* data, std::size_t size);
+  void unregister_array(const std::string& name);
+  std::size_t registered_arrays() const;
+
+  /// Total faults fired so far (all kinds / one kind).
+  std::uint64_t faults_injected() const;
+  std::uint64_t faults_injected(FaultKind kind) const;
+
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
+private:
+  struct Target {
+    double* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  // Fire `spec` at (region, inv, lane). Called with mu_ held for nan (the
+  // target map is consulted); throw/delay/hang release the lock first.
+  void fire_nan(const FaultSpec& spec, std::uint64_t key);
+  bool should_fire(FaultSpec& spec, std::string_view region_name,
+                   std::uint64_t inv, int lane) const;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<int> fired_;  // per-spec firing count, parallel to plan_.specs
+  std::map<RegionId, std::uint64_t> invocations_;
+  std::map<RegionId, std::string> region_names_;  // cached registry lookups
+  std::set<std::pair<RegionId, std::uint64_t>> tainted_;
+  std::map<std::string, Target> targets_;
+  std::uint64_t fired_total_ = 0;
+  std::uint64_t fired_by_kind_[4] = {0, 0, 0, 0};
+  HealthMonitor health_;
+};
+
+/// Install `injector` as the Runtime's fault hook (nullptr uninstalls).
+/// The injector must outlive every instrumented loop run while installed.
+void install(Injector* injector);
+
+/// When LLP_FAULT is set and non-empty: parse it, build the process-global
+/// injector, and install it. Idempotent; cheap when LLP_FAULT is unset.
+/// Throws llp::Error on a malformed spec. Returns whether a global injector
+/// is installed afterwards.
+bool init_from_env();
+
+/// The process-global injector created by init_from_env (or adopted via
+/// set_global), nullptr before.
+Injector* global_injector();
+
+/// Make `injector` the process-global one and install it (for tools that
+/// build plans from flags rather than the environment). Passing ownership;
+/// replaces and uninstalls any previous global injector.
+void set_global(std::unique_ptr<Injector> injector);
+
+}  // namespace llp::fault

@@ -206,8 +206,16 @@ LoopConfig Tuner::choose(RegionId region, std::int64_t trips) {
 }
 
 void Tuner::report(RegionId region, std::int64_t trips,
-                   const LoopConfig& used, double seconds, double imbalance) {
+                   const LoopConfig& used, double seconds, double imbalance,
+                   bool sample_valid) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!sample_valid) {
+    // Faulted / cancelled / watchdogged invocation: the wall time is not a
+    // property of the configuration. Count it and drop it — the arm simply
+    // gets its trial on a later, clean invocation.
+    ++invalid_samples_;
+    return;
+  }
   State& s = state_for(region, trips);
   Arm* arm = nullptr;
   for (Arm& a : s.arms) {
@@ -259,6 +267,11 @@ double Tuner::best_seconds(RegionId region, std::int64_t trips) const {
   const State& s = it->second;
   const Arm& a = s.arms[best_arm(s)];
   return a.trials > 0 ? a.mean() : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Tuner::invalid_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalid_samples_;
 }
 
 std::uint64_t Tuner::trials(RegionId region, std::int64_t trips) const {

@@ -75,10 +75,13 @@ class Tuner final : public llp::LoopTuner {
 public:
   explicit Tuner(TunerOptions opts = {});
 
-  // LoopTuner interface (thread-safe).
+  // LoopTuner interface (thread-safe). Invalid samples (sample_valid ==
+  // false: the invocation threw, was cancelled, tripped the watchdog, or
+  // had a fault injected) are counted but discarded — faulted timings never
+  // steer the search or reach the TuningDb.
   LoopConfig choose(RegionId region, std::int64_t trips) override;
   void report(RegionId region, std::int64_t trips, const LoopConfig& used,
-              double seconds, double imbalance) override;
+              double seconds, double imbalance, bool sample_valid) override;
 
   /// Has the (region, trip-bucket) search committed to a configuration?
   bool converged(RegionId region, std::int64_t trips) const;
@@ -93,6 +96,10 @@ public:
 
   /// Total invocations reported for the (region, trip-bucket) search.
   std::uint64_t trials(RegionId region, std::int64_t trips) const;
+
+  /// Reported samples discarded as invalid (faulted/cancelled invocations),
+  /// across all regions.
+  std::uint64_t invalid_samples() const;
 
   /// Candidates still in play (post-pruning / halving culls).
   std::vector<LoopConfig> active_candidates(RegionId region,
@@ -143,6 +150,7 @@ private:
   TunerOptions opts_;
   TuningDb db_;
   std::map<std::pair<RegionId, int>, State> states_;
+  std::uint64_t invalid_samples_ = 0;
 };
 
 /// When LLP_TUNE=1 (or any non-zero value): create the process-global

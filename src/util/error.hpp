@@ -16,6 +16,30 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the ThreadPool watchdog when a lane fails to reach the join
+/// within the configured deadline: a hang becomes a structured error on the
+/// calling thread instead of a silent deadlock.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// An error attributed to one lane of one parallel region. The fault
+/// injector throws these so recovery layers (the solver's retry loop) can
+/// attribute a failure to the region that produced it without depending on
+/// the fault subsystem.
+class LaneError : public Error {
+public:
+  LaneError(const std::string& what, std::size_t region, int lane)
+      : Error(what), region_(region), lane_(lane) {}
+  std::size_t region() const noexcept { return region_; }
+  int lane() const noexcept { return lane_; }
+
+private:
+  std::size_t region_;
+  int lane_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {

@@ -1,0 +1,138 @@
+// Exception semantics and cooperative cancellation of the parallel
+// constructs: exactly one error is rethrown, siblings stop within one chunk
+// of a failure, partial reductions are discarded, and the shared pool stays
+// usable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/llp.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+llp::ForOptions dynamic_opts(int threads, std::int64_t chunk) {
+  llp::ForOptions o;
+  o.schedule = llp::Schedule::kDynamic;
+  o.chunk = chunk;
+  o.num_threads = threads;
+  return o;
+}
+
+TEST(Cancel, CancelledIsFalseOutsideParallelConstructs) {
+  EXPECT_FALSE(llp::cancelled());
+}
+
+TEST(Cancel, ParallelForRethrowsExactlyOneError) {
+  // Several lanes throw; the caller must observe exactly one exception
+  // (first error wins) and the dispatch must not terminate or deadlock.
+  std::atomic<int> caught{0};
+  try {
+    llp::parallel_for(
+        0, 64, [](std::int64_t i) {
+          if (i % 8 == 0) {
+            throw std::runtime_error("lane error at " + std::to_string(i));
+          }
+        },
+        dynamic_opts(4, 1));
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_NE(std::string(e.what()).find("lane error at"), std::string::npos);
+  }
+  EXPECT_EQ(caught.load(), 1);
+}
+
+TEST(Cancel, SiblingsStopWithinOneChunkOfAFailure) {
+  // chunk = 1 and a body slow enough that cancellation must land long
+  // before the range is exhausted. If siblings ignored the cancel token
+  // they would execute all n - 1 healthy iterations.
+  const std::int64_t n = 1000;
+  std::atomic<std::int64_t> executed{0};
+  EXPECT_THROW(
+      llp::parallel_for(
+          0, n,
+          [&](std::int64_t i) {
+            if (i == 0) throw std::runtime_error("fail fast");
+            executed.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          },
+          dynamic_opts(4, 1)),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), n / 2)
+      << "siblings kept running long after the failing lane threw";
+}
+
+TEST(Cancel, ParallelReduceDiscardsPartialsAndPoolStaysUsable) {
+  EXPECT_THROW(
+      llp::parallel_reduce<std::int64_t>(
+          0, 100, 0, [](std::int64_t a, std::int64_t b) { return a + b; },
+          [](std::int64_t i, std::int64_t& acc) {
+            if (i == 50) throw std::runtime_error("reduce fault");
+            acc += i;
+          },
+          dynamic_opts(4, 4)),
+      std::runtime_error);
+
+  // The same pool serves the next loop, and the failed run's partial
+  // accumulators have no way to leak into it.
+  const std::int64_t sum = llp::parallel_reduce<std::int64_t>(
+      0, 100, 0, [](std::int64_t a, std::int64_t b) { return a + b; },
+      [](std::int64_t i, std::int64_t& acc) { acc += i; },
+      dynamic_opts(4, 4));
+  EXPECT_EQ(sum, 100 * 99 / 2);
+}
+
+TEST(Cancel, ParallelFor2dRethrows) {
+  llp::ForOptions o;
+  o.num_threads = 4;
+  EXPECT_THROW(llp::parallel_for_2d(
+                   8, 8,
+                   [](std::int64_t i, std::int64_t j) {
+                     if (i == 3 && j == 3) throw std::runtime_error("2d");
+                   },
+                   o),
+               std::runtime_error);
+  // And the pool remains usable.
+  std::atomic<std::int64_t> cells{0};
+  llp::parallel_for_2d(
+      8, 8, [&](std::int64_t, std::int64_t) { ++cells; }, o);
+  EXPECT_EQ(cells.load(), 64);
+}
+
+TEST(Cancel, SerialPathPropagates) {
+  llp::ForOptions o;
+  o.num_threads = 1;
+  EXPECT_THROW(llp::parallel_for(
+                   0, 4,
+                   [](std::int64_t i) {
+                     if (i == 2) throw std::runtime_error("serial");
+                   },
+                   o),
+               std::runtime_error);
+}
+
+TEST(Cancel, EveryScheduleRethrows) {
+  for (const llp::Schedule s :
+       {llp::Schedule::kStaticBlock, llp::Schedule::kStaticChunked,
+        llp::Schedule::kDynamic, llp::Schedule::kGuided}) {
+    llp::ForOptions o;
+    o.schedule = s;
+    o.chunk = 2;
+    o.num_threads = 4;
+    EXPECT_THROW(llp::parallel_for(
+                     0, 64,
+                     [](std::int64_t i) {
+                       if (i == 17) throw std::runtime_error("schedule");
+                     },
+                     o),
+                 std::runtime_error)
+        << "schedule " << static_cast<int>(s);
+  }
+}
+
+}  // namespace

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -68,6 +70,11 @@ TEST(ThreadPool, ExceptionFromCallerLanePropagates) {
                  if (lane == 0) throw std::runtime_error("caller");
                }),
                std::runtime_error);
+  // Regression: a throwing run must not leave the pool's run state set
+  // (stale task / in_run), so the next run works normally.
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
 }
 
 TEST(ThreadPool, ReentrantRunThrows) {
@@ -76,6 +83,93 @@ TEST(ThreadPool, ReentrantRunThrows) {
                  if (lane == 0) pool.run([](int) {});
                }),
                llp::Error);
+}
+
+TEST(ThreadPool, UsableAfterReentrantRunThrows) {
+  // The reentrancy error unwinds out of lane 0's body; in_run and the task
+  // slot must be reset on that path too.
+  llp::ThreadPool pool(2);
+  EXPECT_THROW(pool.run([&](int lane) {
+                 if (lane == 0) pool.run([](int) {});
+               }),
+               llp::Error);
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadPool, CancelTokenVisibleToLanes) {
+  // Once one lane throws, llp::cancelled() flips for the siblings.
+  llp::ThreadPool pool(2);
+  std::atomic<bool> thrown{false};
+  std::atomic<bool> sibling_saw_cancel{false};
+  EXPECT_THROW(
+      pool.run([&](int lane) {
+        if (lane == 0) {
+          thrown.store(true);
+          throw std::runtime_error("boom");
+        }
+        // Wait (bounded) for the cancel flag to become visible.
+        for (int i = 0; i < 20000; ++i) {
+          if (llp::cancelled()) {
+            sibling_saw_cancel.store(true);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(thrown.load());
+  EXPECT_TRUE(sibling_saw_cancel.load());
+}
+
+TEST(ThreadPool, StragglerWithinDeadlineIsNotATimeout) {
+  llp::ThreadPool pool(2);
+  pool.set_deadline(5.0);
+  pool.run([](int lane) {
+    if (lane == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  EXPECT_FALSE(pool.abandoned());
+  // And the pool still runs.
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadPool, WatchdogConvertsHangToTimeoutError) {
+  // Lane 1 "hangs" until released. The watchdog must convert the missed
+  // join into llp::TimeoutError on the caller instead of deadlocking; once
+  // the straggler finally arrives, the pool heals and runs again.
+  llp::ThreadPool pool(2);
+  pool.set_deadline(0.05);
+  std::atomic<bool> release{false};
+  EXPECT_THROW(pool.run([&](int lane) {
+                 if (lane == 1) {
+                   // Deliberately ignores llp::cancelled(): a
+                   // non-cooperative hang.
+                   while (!release.load()) {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(1));
+                   }
+                 }
+               }),
+               llp::TimeoutError);
+  EXPECT_TRUE(pool.abandoned());
+  EXPECT_THROW(pool.run([](int) {}), llp::Error);  // refuses while abandoned
+
+  release.store(true);
+  // The straggler reaches the join; the pool reports healthy again.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.abandoned() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(pool.abandoned());
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
 }
 
 TEST(ThreadPool, ManyPoolsCreateAndDestroy) {

@@ -1,0 +1,103 @@
+// FaultPlan spec grammar: parsing, defaults, wildcards, options, seed,
+// round-tripping, and rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::fault::FaultKind;
+using llp::fault::FaultPlan;
+using llp::fault::FaultSpec;
+
+TEST(FaultPlan, ParsesSingleThrowEntry) {
+  const auto plan = FaultPlan::parse("throw:run.z0.rhs:3:1");
+  ASSERT_EQ(plan.specs.size(), 1u);
+  const FaultSpec& s = plan.specs[0];
+  EXPECT_EQ(s.kind, FaultKind::kThrow);
+  EXPECT_EQ(s.region, "run.z0.rhs");
+  EXPECT_EQ(s.invocation, 3u);
+  EXPECT_FALSE(s.any_invocation);
+  EXPECT_EQ(s.lane, 1);
+  EXPECT_FALSE(s.any_lane);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.probability, 1.0);
+}
+
+TEST(FaultPlan, ParsesAllKinds) {
+  const auto plan =
+      FaultPlan::parse("throw:r:0:0;nan:r:0:0;delay:r:0:0;hang:r:0:0");
+  ASSERT_EQ(plan.specs.size(), 4u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kThrow);
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kNan);
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.specs[3].kind, FaultKind::kHang);
+}
+
+TEST(FaultPlan, ParsesWildcardsAndOptions) {
+  const auto plan = FaultPlan::parse(
+      "delay:z0.sweep_j:*:2:delay=20:count=5;nan:z0.rhs:6:*:array=q0:p=0.25");
+  ASSERT_EQ(plan.specs.size(), 2u);
+  const FaultSpec& d = plan.specs[0];
+  EXPECT_TRUE(d.any_invocation);
+  EXPECT_FALSE(d.any_lane);
+  EXPECT_EQ(d.lane, 2);
+  EXPECT_DOUBLE_EQ(d.delay_ms, 20.0);
+  EXPECT_EQ(d.count, 5);
+  const FaultSpec& n = plan.specs[1];
+  EXPECT_FALSE(n.any_invocation);
+  EXPECT_EQ(n.invocation, 6u);
+  EXPECT_TRUE(n.any_lane);
+  EXPECT_EQ(n.array, "q0");
+  EXPECT_DOUBLE_EQ(n.probability, 0.25);
+}
+
+TEST(FaultPlan, ParsesSeedEntryAndTolersWhitespace) {
+  const auto plan = FaultPlan::parse(" throw:r:0:0 ; seed=42 ");
+  ASSERT_EQ(plan.specs.size(), 1u);
+  EXPECT_EQ(plan.seed, 42u);
+}
+
+TEST(FaultPlan, EmptyTextIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(" ; ; ").empty());
+}
+
+TEST(FaultPlan, RoundTrips) {
+  const char* text =
+      "throw:run.z0.rhs:3:1;"
+      "nan:run.z0.rhs:6:0:array=q0;"
+      "delay:z0.sweep_j:*:2:delay=20:count=5;"
+      "hang:z0.update:2:*:p=0.5;"
+      "seed=7";
+  const auto plan = FaultPlan::parse(text);
+  const auto again = FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(again.specs.size(), plan.specs.size());
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_EQ(again.to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, MatchesRespectsWildcards) {
+  FaultSpec s;
+  s.region = "r";
+  s.any_invocation = true;
+  s.lane = 3;
+  EXPECT_TRUE(s.matches("r", 17, 3));
+  EXPECT_FALSE(s.matches("r", 17, 2));
+  EXPECT_FALSE(s.matches("other", 17, 3));
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("throw:r:0"), llp::Error);     // too few fields
+  EXPECT_THROW(FaultPlan::parse("boom:r:0:0"), llp::Error);    // unknown kind
+  EXPECT_THROW(FaultPlan::parse("throw::0:0"), llp::Error);    // empty region
+  EXPECT_THROW(FaultPlan::parse("throw:r:x:0"), llp::Error);   // bad invocation
+  EXPECT_THROW(FaultPlan::parse("throw:r:0:0:swizzle=1"), llp::Error);
+  EXPECT_THROW(FaultPlan::parse("throw:r:0:0:count"), llp::Error);
+  EXPECT_THROW(FaultPlan::parse("nan:r:0:0:p=1.5"), llp::Error);
+  EXPECT_THROW(FaultPlan::parse("delay:r:0:0:delay=-3"), llp::Error);
+  EXPECT_THROW(FaultPlan::parse("seed=banana"), llp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Injector behavior: deterministic firing at the keyed (region, invocation,
+// lane) points, count budgets, seeded probability, NaN poisoning of
+// registered arrays, invocation tainting, and the health/registry mirrors.
+//
+// These tests drive the FaultHook interface directly (begin/on_lane) so the
+// timeline is explicit; the end-to-end path through parallel_for is covered
+// at the bottom and in tests/integration/test_recovery.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::fault::FaultKind;
+using llp::fault::FaultPlan;
+using llp::fault::Injector;
+
+llp::RegionId define_region(const std::string& name) {
+  return llp::regions().define(name);
+}
+
+TEST(Injector, FiresOnlyAtTheKeyedPoint) {
+  const auto region = define_region("inj.keyed");
+  Injector inj(FaultPlan::parse("throw:inj.keyed:2:1"));
+
+  for (std::uint64_t want = 0; want < 4; ++want) {
+    const std::uint64_t inv = inj.begin(region);
+    ASSERT_EQ(inv, want);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (inv == 2 && lane == 1) {
+        try {
+          inj.on_lane(region, inv, lane);
+          FAIL() << "expected LaneError";
+        } catch (const llp::LaneError& e) {
+          EXPECT_EQ(e.region(), region);
+          EXPECT_EQ(e.lane(), 1);
+        }
+      } else {
+        EXPECT_NO_THROW(inj.on_lane(region, inv, lane));
+      }
+    }
+  }
+  EXPECT_EQ(inj.faults_injected(), 1u);
+  EXPECT_EQ(inj.faults_injected(FaultKind::kThrow), 1u);
+}
+
+TEST(Injector, CountLimitsFirings) {
+  const auto region = define_region("inj.count");
+  // Zero-delay "delay" faults are recordable but harmless — the easiest
+  // kind to count.
+  Injector inj(FaultPlan::parse("delay:inj.count:*:0:delay=0:count=2"));
+  for (int i = 0; i < 5; ++i) {
+    inj.on_lane(region, inj.begin(region), 0);
+  }
+  EXPECT_EQ(inj.faults_injected(FaultKind::kDelay), 2u);
+}
+
+TEST(Injector, ResetInvocationsRestartsTheTimeline) {
+  const auto region = define_region("inj.reset");
+  Injector inj(FaultPlan::parse("delay:inj.reset:3:0:delay=0"));
+  for (int i = 0; i < 5; ++i) inj.on_lane(region, inj.begin(region), 0);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+
+  inj.reset_invocations();
+  EXPECT_EQ(inj.begin(region), 0u);  // timeline restarted
+  for (std::uint64_t inv = 1; inv < 5; ++inv) {
+    inj.on_lane(region, inv, 0);
+  }
+  EXPECT_EQ(inj.faults_injected(), 2u)
+      << "the same entry must fire again on the restarted timeline";
+}
+
+TEST(Injector, NanPoisonsOnlyTheNamedRegisteredArray) {
+  const auto region = define_region("inj.nan");
+  Injector inj(FaultPlan::parse("nan:inj.nan:0:0:array=a"));
+  std::vector<double> a(64, 1.0);
+  std::vector<double> b(64, 1.0);
+  inj.register_array("a", a.data(), a.size());
+  inj.register_array("b", b.data(), b.size());
+  EXPECT_EQ(inj.registered_arrays(), 2u);
+
+  inj.on_lane(region, inj.begin(region), 0);
+
+  int nans_a = 0;
+  for (double v : a) nans_a += std::isnan(v) ? 1 : 0;
+  EXPECT_EQ(nans_a, 1) << "exactly one cell of the named array is poisoned";
+  for (double v : b) EXPECT_FALSE(std::isnan(v));
+  EXPECT_EQ(inj.faults_injected(FaultKind::kNan), 1u);
+}
+
+TEST(Injector, NanIndexIsSeedDeterministic) {
+  const auto region = define_region("inj.nan_det");
+  auto poisoned_index = [&](std::uint64_t seed) {
+    auto plan = FaultPlan::parse("nan:inj.nan_det:0:0:array=q");
+    plan.seed = seed;
+    Injector inj(std::move(plan));
+    std::vector<double> q(1024, 0.0);
+    inj.register_array("q", q.data(), q.size());
+    inj.on_lane(region, inj.begin(region), 0);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (std::isnan(q[i])) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  const long first = poisoned_index(7);
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(first, poisoned_index(7)) << "same seed, same cell";
+}
+
+TEST(Injector, ProbabilisticFiringIsSeedDeterministic) {
+  const auto region = define_region("inj.prob");
+  auto fired_pattern = [&] {
+    Injector inj(FaultPlan::parse(
+        "delay:inj.prob:*:0:delay=0:count=0:p=0.5;seed=99"));
+    std::vector<bool> fired;
+    std::uint64_t last = 0;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t inv = inj.begin(region);
+      inj.on_lane(region, inv, 0);
+      const std::uint64_t now = inj.faults_injected();
+      fired.push_back(now > last);
+      last = now;
+    }
+    return fired;
+  };
+  const auto a = fired_pattern();
+  const auto b = fired_pattern();
+  EXPECT_EQ(a, b) << "p<1 entries must fire identically run-to-run";
+  const long count = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(count, 50);   // ~100 expected out of 200
+  EXPECT_LT(count, 150);
+}
+
+TEST(Injector, DelayActuallyDelays) {
+  const auto region = define_region("inj.delay");
+  Injector inj(FaultPlan::parse("delay:inj.delay:0:0:delay=30"));
+  const auto t0 = std::chrono::steady_clock::now();
+  inj.on_lane(region, inj.begin(region), 0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 25.0);
+}
+
+TEST(Injector, FiringTaintsTheInvocation) {
+  const auto region = define_region("inj.taint");
+  Injector inj(FaultPlan::parse("delay:inj.taint:1:0:delay=0"));
+  const std::uint64_t i0 = inj.begin(region);
+  inj.on_lane(region, i0, 0);
+  const std::uint64_t i1 = inj.begin(region);
+  inj.on_lane(region, i1, 0);
+  EXPECT_FALSE(inj.tainted(region, i0));
+  EXPECT_TRUE(inj.tainted(region, i1));
+}
+
+TEST(Injector, FaultsMirrorIntoHealthAndRegistry) {
+  const auto region = define_region("inj.health");
+  const auto before = llp::regions().stats(region).faults;
+  Injector inj(FaultPlan::parse("delay:inj.health:*:0:delay=0:count=3"));
+  for (int i = 0; i < 5; ++i) inj.on_lane(region, inj.begin(region), 0);
+
+  EXPECT_EQ(inj.health().total_faults(), 3u);
+  EXPECT_EQ(inj.health().faults(FaultKind::kDelay), 3u);
+  EXPECT_EQ(llp::regions().stats(region).faults, before + 3);
+
+  inj.health().note_recovery(region);
+  EXPECT_EQ(inj.health().total_recoveries(), 1u);
+  const std::string report = inj.health().report();
+  EXPECT_NE(report.find("inj.health"), std::string::npos);
+}
+
+TEST(Injector, InstalledHookFiresInsideParallelFor) {
+  const auto region = define_region("inj.loop");
+  Injector inj(FaultPlan::parse("throw:inj.loop:1:0"));
+  llp::fault::install(&inj);
+  llp::ForOptions opts;
+  opts.region = region;
+  opts.num_threads = 2;
+  auto body = [](std::int64_t) {};
+
+  EXPECT_NO_THROW(llp::parallel_for(0, 16, body, opts));  // invocation 0
+  EXPECT_THROW(llp::parallel_for(0, 16, body, opts), llp::LaneError);
+  // The pool survives the injected fault and the next invocation is clean.
+  EXPECT_NO_THROW(llp::parallel_for(0, 16, body, opts));
+  llp::fault::install(nullptr);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
+TEST(Injector, UninstalledHookIsInert) {
+  const auto region = define_region("inj.uninstalled");
+  Injector inj(FaultPlan::parse("throw:inj.uninstalled:*:*:count=0"));
+  // Never installed: loops on the region run clean.
+  llp::ForOptions opts;
+  opts.region = region;
+  opts.num_threads = 2;
+  EXPECT_NO_THROW(llp::parallel_for(0, 16, [](std::int64_t) {}, opts));
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+}  // namespace

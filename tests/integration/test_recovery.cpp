@@ -1,0 +1,268 @@
+// End-to-end fault recovery: deterministic injected faults (NaN poisoning,
+// lane throws, lane hangs) against the real solver, recovered through
+// run_protected's checkpoint/rollback/CFL-backoff loop.
+//
+// The acceptance demo lives here: a NaN injected at a fixed (region,
+// invocation) mid-run is detected by the per-step health check, the solver
+// rolls back and finishes, the final checksum is identical across two runs
+// with the same plan and seed, and first_divergence against a fault-free
+// run lands inside the rolled-back window only.
+//
+// Tests with "Hang" in the name leak one detached thread by design (that is
+// what a hard hang is); sanitizer CI jobs exclude them via `ctest -E Hang`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "core/llp.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using llp::fault::FaultKind;
+using llp::fault::FaultPlan;
+using llp::fault::Injector;
+
+struct ProtectedRun {
+  f3d::RunReport report;
+  f3d::RunHistory history;
+  std::uint64_t checksum = 0;
+};
+
+// One small real-solver run through the protected path. When an injector is
+// given it is installed for the duration with every zone's Q storage
+// registered as "q<zone>" and its fault timeline restarted, so repeated
+// calls fault at identical points.
+ProtectedRun run_case(const std::string& prefix, int steps,
+                      const f3d::RecoveryConfig& recovery,
+                      Injector* inj = nullptr) {
+  const auto spec = f3d::paper_1m_case(0.1);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  if (inj != nullptr) {
+    for (int z = 0; z < grid.num_zones(); ++z) {
+      auto& st = grid.zone(z).storage();
+      inj->register_array("q" + std::to_string(z), st.data(), st.size());
+    }
+    inj->reset_invocations();
+    llp::fault::install(inj);
+  }
+
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = prefix;
+  cfg.recovery = recovery;
+  f3d::Solver solver(grid, cfg);
+
+  ProtectedRun out;
+  out.report = solver.run_protected(steps, &out.history);
+  out.checksum = f3d::checksum(grid);
+
+  if (inj != nullptr) {
+    llp::fault::install(nullptr);
+    for (int z = 0; z < grid.num_zones(); ++z) {
+      inj->unregister_array("q" + std::to_string(z));  // grid dies with us
+    }
+  }
+  return out;
+}
+
+TEST(Recovery, FaultFreeProtectedRunMatchesPlainRun) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 3;
+  rc.checkpoint_every = 3;
+  const auto prot = run_case("rec.base", 6, rc);
+  EXPECT_EQ(prot.report.recoveries, 0);
+  EXPECT_FALSE(prot.report.failed);
+  EXPECT_EQ(prot.report.steps_completed, 6);
+  EXPECT_EQ(prot.history.steps(), 6u);
+
+  // Same case through the unprotected loop: bit-identical solution — the
+  // checkpoint machinery must be free when nothing faults.
+  const auto spec = f3d::paper_1m_case(0.1);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  f3d::SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = "rec.base2";
+  f3d::Solver solver(grid, cfg);
+  solver.run(6);
+  EXPECT_EQ(f3d::checksum(grid), prot.checksum);
+}
+
+// The acceptance demo: NaN poisoning of zone 0's Q array while the step-6
+// right-hand side reads it (z0.rhs invocation 5), detected by the health
+// check, recovered by rollback to the step-3 checkpoint with the CFL backed
+// off.
+TEST(Recovery, NanFaultRecoversDeterministically) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 2;
+  rc.checkpoint_every = 3;
+  const int steps = 10;
+
+  // seed=4 places the deterministic poison index in the zone interior
+  // (other seeds may land in a ghost cell, which the next BC pass erases
+  // before the interior-only health check can see it).
+  Injector inj(FaultPlan::parse("nan:rec.nan.z0.rhs:5:0:array=q0;seed=4"));
+  const auto faulty = run_case("rec.nan", steps, rc, &inj);
+
+  EXPECT_EQ(inj.faults_injected(FaultKind::kNan), 1u);
+  EXPECT_EQ(faulty.report.recoveries, 1);
+  EXPECT_FALSE(faulty.report.failed);
+  EXPECT_EQ(faulty.report.steps_completed, steps);
+  EXPECT_TRUE(std::isfinite(faulty.report.final_residual));
+  ASSERT_EQ(faulty.report.recovery_steps.size(), 1u);
+  EXPECT_EQ(faulty.report.recovery_steps[0], 6);
+  EXPECT_EQ(faulty.history.steps(), static_cast<std::size_t>(steps));
+
+  // Deterministic: the same plan and seed on a restarted timeline
+  // reproduces the fault, the recovery, and the final solution bits.
+  const auto again = run_case("rec.nan", steps, rc, &inj);
+  EXPECT_EQ(again.report.recoveries, 1);
+  EXPECT_EQ(again.checksum, faulty.checksum);
+  EXPECT_EQ(again.history.checksums, faulty.history.checksums);
+
+  // Against a fault-free run the recovered history diverges only inside the
+  // rolled-back window [checkpoint step 3, fault step 6): the replayed
+  // steps run at the backed-off CFL. Everything before the checkpoint is
+  // untouched by the recovery.
+  const auto clean = run_case("rec.nan", steps, rc);
+  EXPECT_EQ(clean.report.recoveries, 0);
+  const int fd = f3d::first_divergence(faulty.history, clean.history);
+  EXPECT_GE(fd, 3) << "recovery must not disturb pre-checkpoint steps";
+  EXPECT_LE(fd, 5) << "divergence must begin inside the rolled-back window";
+}
+
+TEST(Recovery, ThrownLaneErrorIsAttributedAndRecovered) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 2;
+  rc.checkpoint_every = 3;
+
+  Injector inj(FaultPlan::parse("throw:rec.thr.z0.sweep_j:4:0"));
+  const auto run = run_case("rec.thr", 8, rc, &inj);
+
+  EXPECT_EQ(inj.faults_injected(FaultKind::kThrow), 1u);
+  EXPECT_EQ(run.report.recoveries, 1);
+  EXPECT_FALSE(run.report.failed);
+  EXPECT_EQ(run.report.steps_completed, 8);
+
+  // LaneError carries the region, so the recovery is attributed in the
+  // registry — "which loop keeps failing?" has an answer.
+  const auto region = llp::regions().find("rec.thr.z0.sweep_j");
+  ASSERT_NE(region, llp::kNoRegion);
+  EXPECT_GE(llp::regions().stats(region).faults, 1u);
+  EXPECT_GE(llp::regions().stats(region).recoveries, 1u);
+}
+
+TEST(Recovery, ExhaustedBudgetFailsWithDiagnosticsOnLastHealthyState) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 0;  // fail on first fault
+  rc.checkpoint_every = 2;
+
+  Injector inj(FaultPlan::parse("throw:rec.fail.z0.rhs:2:0"));
+  const auto run = run_case("rec.fail", 6, rc, &inj);
+
+  EXPECT_TRUE(run.report.failed);
+  EXPECT_EQ(run.report.recoveries, 0);
+  EXPECT_NE(run.report.failure_reason.find("injected fault"),
+            std::string::npos);
+  // Rolled back to the step-2 checkpoint: the caller gets a healthy
+  // (finite) solution plus the diagnosis, not a poisoned grid.
+  EXPECT_EQ(run.report.steps_completed, 2);
+  EXPECT_TRUE(std::isfinite(run.report.final_residual));
+  EXPECT_NE(run.report.summary().find("FAILED"), std::string::npos);
+}
+
+TEST(Recovery, PersistentRegionFaultTriggersEngineFallback) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 5;
+  rc.checkpoint_every = 2;
+  rc.persistent_fault_limit = 3;
+
+  // The region faults on every invocation (three firings): each replay
+  // re-faults until the budget of the spec runs out, and the third
+  // consecutive same-region fault degrades the sweep engine.
+  Injector inj(FaultPlan::parse("throw:rec.fb.z0.rhs:*:0:count=3"));
+  const auto run = run_case("rec.fb", 6, rc, &inj);
+
+  EXPECT_EQ(run.report.recoveries, 3);
+  EXPECT_TRUE(run.report.engine_fallback);
+  EXPECT_FALSE(run.report.failed);
+  EXPECT_EQ(run.report.steps_completed, 6);
+  EXPECT_TRUE(std::isfinite(run.report.final_residual));
+}
+
+TEST(Recovery, StragglerDelaysButDoesNotFault) {
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 1;
+  Injector inj(FaultPlan::parse("delay:rec.slow.z0.update:1:0:delay=30"));
+  const auto run = run_case("rec.slow", 4, rc, &inj);
+  EXPECT_EQ(inj.faults_injected(FaultKind::kDelay), 1u);
+  EXPECT_EQ(run.report.recoveries, 0) << "a straggler is slow, not wrong";
+  EXPECT_FALSE(run.report.failed);
+}
+
+// A hard lane hang must surface as llp::TimeoutError within the configured
+// deadline (plus an equal cancellation grace period), never as a deadlocked
+// join — and the runtime must hand out a fresh pool afterwards. Leaks the
+// hung thread by design; excluded from sanitizer jobs by name.
+TEST(Recovery, HangBecomesTimeoutErrorNotDeadlock) {
+  const auto region = llp::regions().define("rec.hangloop");
+  Injector inj(FaultPlan::parse("hang:rec.hangloop:0:1"));
+  llp::fault::install(&inj);
+  llp::Runtime::instance().set_watchdog_seconds(0.3);
+
+  llp::ForOptions opts;
+  opts.region = region;
+  opts.num_threads = 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(llp::parallel_for(0, 64, [](std::int64_t) {}, opts),
+               llp::TimeoutError);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(seconds, 10.0) << "watchdog must bound the wait";
+
+  // The abandoned pool is rebuilt transparently; the next loop runs clean.
+  std::atomic<int> ran{0};
+  llp::parallel_for(0, 64, [&](std::int64_t) { ++ran; }, opts);
+  EXPECT_EQ(ran.load(), 64);
+
+  llp::Runtime::instance().set_watchdog_seconds(0.0);
+  llp::fault::install(nullptr);
+}
+
+// Solver-level version: the watchdog converts a hung update lane into a
+// structured error that the recovery loop rolls back and replays — a hang
+// costs one leaked thread and one recovery, not the run. Excluded from
+// sanitizer jobs by name.
+TEST(Recovery, SolverRecoversFromLaneHangViaWatchdog) {
+  const int saved_threads = llp::num_threads();
+  llp::set_num_threads(2);  // the hang targets worker lane 1
+  llp::Runtime::instance().set_watchdog_seconds(1.0);
+
+  f3d::RecoveryConfig rc;
+  rc.max_recoveries = 2;
+  rc.checkpoint_every = 2;
+  Injector inj(FaultPlan::parse("hang:rec.hang.z0.update:2:1"));
+  const auto run = run_case("rec.hang", 5, rc, &inj);
+
+  llp::Runtime::instance().set_watchdog_seconds(0.0);
+  llp::set_num_threads(saved_threads);
+
+  EXPECT_EQ(inj.faults_injected(FaultKind::kHang), 1u);
+  EXPECT_EQ(run.report.recoveries, 1);
+  EXPECT_FALSE(run.report.failed);
+  EXPECT_EQ(run.report.steps_completed, 5);
+  EXPECT_TRUE(std::isfinite(run.report.final_residual));
+}
+
+}  // namespace

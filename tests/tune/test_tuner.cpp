@@ -111,7 +111,7 @@ int drive(Tuner& tuner, llp::RegionId region, const std::vector<double>& w,
   while (!tuner.converged(region, kTrips) && inv < max_invocations) {
     const LoopConfig c = tuner.choose(region, kTrips);
     const ModeledRun run = model_run(w, c);
-    tuner.report(region, kTrips, c, run.seconds, run.imbalance);
+    tuner.report(region, kTrips, c, run.seconds, run.imbalance, true);
     ++inv;
   }
   return inv;
@@ -193,7 +193,7 @@ TEST(Tuner, HalvingCullsCandidatesMonotonically) {
   for (int inv = 0; inv < bound && !tuner.converged(region, kTrips); ++inv) {
     const LoopConfig c = tuner.choose(region, kTrips);
     const ModeledRun run = model_run(w, c);
-    tuner.report(region, kTrips, c, run.seconds, run.imbalance);
+    tuner.report(region, kTrips, c, run.seconds, run.imbalance, true);
     const std::size_t now = tuner.active_candidates(region, kTrips).size();
     EXPECT_LE(now, active);
     active = now;
@@ -233,8 +233,24 @@ TEST(Tuner, ReportWithUnknownConfigIsIgnored) {
   const auto region = llp::regions().define("tune.unknown.config");
   (void)tuner.choose(region, kTrips);
   const LoopConfig alien{Schedule::kDynamic, 999, 3};
-  tuner.report(region, kTrips, alien, 1.0, 1.0);
+  tuner.report(region, kTrips, alien, 1.0, 1.0, true);
   EXPECT_EQ(tuner.trials(region, kTrips), 0u);
+}
+
+TEST(Tuner, InvalidSamplesAreDiscarded) {
+  Tuner tuner(test_options(Policy::kEpsilonGreedy));
+  const auto region = llp::regions().define("tune.invalid.samples");
+  const LoopConfig c = tuner.choose(region, kTrips);
+  // A faulted/cancelled invocation reports sample_valid = false: the timing
+  // must not enter the search (trials unchanged) but is counted for
+  // diagnostics.
+  tuner.report(region, kTrips, c, 1e-9, 1.0, false);
+  EXPECT_EQ(tuner.trials(region, kTrips), 0u);
+  EXPECT_EQ(tuner.invalid_samples(), 1u);
+  // A valid sample afterwards is accepted as usual.
+  tuner.report(region, kTrips, c, 1.0, 1.0, true);
+  EXPECT_EQ(tuner.trials(region, kTrips), 1u);
+  EXPECT_EQ(tuner.invalid_samples(), 1u);
 }
 
 TEST(Tuner, TripBucketsTuneIndependently) {

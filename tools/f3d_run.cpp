@@ -17,13 +17,20 @@
 //     --profile          print the flat profile at the end
 //     --advise P         print parallelization advice for P processors
 //                        on a modeled Origin 2000
+//     --max-recoveries N rollback budget for faulted steps   (default: 0)
+//     --checkpoint-every N steps between in-memory checkpoints (default: 10)
+//     --fault SPEC       inject faults per SPEC (same grammar as LLP_FAULT,
+//                        e.g. "nan:run.z0.rhs:5:0:array=q0")
 //
 // Exit code 0 on success; prints residual history, performance in the
-// paper's metrics, and wall forces when a wall is present.
+// paper's metrics, and wall forces when a wall is present. With faults
+// injected or --max-recoveries set, the run goes through the solver's
+// checkpoint/rollback path and exits 1 if the recovery budget is exhausted.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/llp.hpp"
@@ -32,6 +39,7 @@
 #include "f3d/io.hpp"
 #include "f3d/solver.hpp"
 #include "f3d/validation.hpp"
+#include "fault/injector.hpp"
 #include "perf/advisor.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
@@ -46,7 +54,8 @@ namespace {
                "  [--steps N] [--cfl X] [--mode risc|vector] [--threads T]\n"
                "  [--viscous RE] [--wall] [--pulse AMP] [--save F] "
                "[--load F]\n"
-               "  [--csv F] [--profile] [--advise P]\n");
+               "  [--csv F] [--profile] [--advise P]\n"
+               "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n");
   std::exit(2);
 }
 
@@ -64,6 +73,9 @@ struct Options {
   std::string save_path, load_path, csv_path;
   bool profile = false;
   int advise = 0;
+  int max_recoveries = 0;
+  int checkpoint_every = 10;
+  std::string fault_spec;
 };
 
 Options parse(int argc, char** argv) {
@@ -89,6 +101,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--csv") o.csv_path = need(i++);
     else if (a == "--profile") o.profile = true;
     else if (a == "--advise") o.advise = std::atoi(need(i++));
+    else if (a == "--max-recoveries") o.max_recoveries = std::atoi(need(i++));
+    else if (a == "--checkpoint-every") o.checkpoint_every = std::atoi(need(i++));
+    else if (a == "--fault") o.fault_spec = need(i++);
     else if (a == "--help" || a == "-h") usage("help requested");
     else usage(("unknown option " + a).c_str());
   }
@@ -121,11 +136,28 @@ int main(int argc, char** argv) {
   if (o.pulse > 0.0) f3d::add_gaussian_pulse(grid, o.pulse, 2.5);
   if (!o.load_path.empty()) f3d::load_solution(o.load_path, grid);
 
+  // Fault injection: LLP_FAULT from the environment, or --fault from the
+  // command line (the flag wins). Each zone's Q storage is registered as a
+  // NaN-poison target under "q<zone>".
+  llp::fault::init_from_env();
+  if (!o.fault_spec.empty()) {
+    llp::fault::set_global(std::make_unique<llp::fault::Injector>(
+        llp::fault::FaultPlan::parse(o.fault_spec)));
+  }
+  if (auto* inj = llp::fault::global_injector()) {
+    for (int z = 0; z < grid.num_zones(); ++z) {
+      auto& st = grid.zone(z).storage();
+      inj->register_array("q" + std::to_string(z), st.data(), st.size());
+    }
+  }
+
   f3d::SolverConfig cfg;
   cfg.freestream = spec.freestream;
   cfg.cfl = o.cfl;
   cfg.mode = o.mode == "risc" ? f3d::SweepMode::kRisc : f3d::SweepMode::kVector;
   cfg.region_prefix = "run";
+  cfg.recovery.max_recoveries = o.max_recoveries;
+  cfg.recovery.checkpoint_every = o.checkpoint_every;
   if (o.viscous_re > 0.0) {
     cfg.rhs.viscous.enabled = true;
     cfg.rhs.viscous.reynolds = o.viscous_re;
@@ -139,11 +171,28 @@ int main(int argc, char** argv) {
 
   llp::regions().reset_stats();
   f3d::Solver solver(grid, cfg);
+  // The protected (checkpoint/rollback) path is used whenever faults may
+  // fire or a recovery budget was granted; the plain loop otherwise.
+  const bool protected_run =
+      o.max_recoveries > 0 || llp::fault::global_injector() != nullptr;
+  f3d::RunReport report;
   llp::perf::Timer wall_clock;
-  for (int s = 0; s < o.steps; ++s) {
-    solver.step();
-    if (s % std::max(1, o.steps / 10) == 0 || s == o.steps - 1) {
-      std::printf("  step %4d  residual %.6e\n", s, solver.residual());
+  if (protected_run) {
+    f3d::RunHistory hist;
+    report = solver.run_protected(o.steps, &hist);
+    for (std::size_t s = 0; s < hist.steps(); ++s) {
+      if (s % static_cast<std::size_t>(std::max(1, o.steps / 10)) == 0 ||
+          s + 1 == hist.steps()) {
+        std::printf("  step %4zu  residual %.6e\n", s, hist.residuals[s]);
+      }
+    }
+    std::printf("recovery: %s\n", report.summary().c_str());
+  } else {
+    for (int s = 0; s < o.steps; ++s) {
+      solver.step();
+      if (s % std::max(1, o.steps / 10) == 0 || s == o.steps - 1) {
+        std::printf("  step %4d  residual %.6e\n", s, solver.residual());
+      }
     }
   }
   const double elapsed = wall_clock.elapsed();
@@ -180,5 +229,8 @@ int main(int argc, char** argv) {
     std::printf("\nparallelization advice for %d Origin 2000 processors:\n%s",
                 o.advise, llp::perf::format_advice(advice).c_str());
   }
-  return 0;
+  if (auto* inj = llp::fault::global_injector()) {
+    std::printf("\nfault health:\n%s", inj->health().report().c_str());
+  }
+  return report.failed ? 1 : 0;
 }
