@@ -1,0 +1,133 @@
+// Cost of a durable checkpoint at the paper's 1M-point scale: snapshot
+// (pack + checksum), serialize + CRC, and the full durable write protocol
+// (temp file, fsync, rename, directory fsync, rotation). The interesting
+// ratio is save time vs solver step time — with the default cadence of one
+// generation every 10 steps, the amortized overhead should be a few percent
+// of a step, and the in-memory snapshot half (what run_protected pays on
+// the healthy path before anything touches disk) much less.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/io.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ~1M interior points across the three zones at scale 1.0 (the paper's 1m
+// case); scale 0.4 gives a mid-size point for the scaling trend.
+f3d::MultiZoneGrid grid_at(double scale) {
+  auto grid = f3d::build_grid(f3d::paper_1m_case(scale));
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  return grid;
+}
+
+std::size_t grid_bytes(const f3d::MultiZoneGrid& grid) {
+  return grid.total_points() * static_cast<std::size_t>(f3d::kNumVars) *
+         sizeof(double);
+}
+
+void BM_DurableSave(benchmark::State& state) {
+  const double scale = state.range(0) / 100.0;
+  auto grid = grid_at(scale);
+  const std::string dir =
+      (fs::temp_directory_path() / "llp_bench_ckpt").string();
+  fs::remove_all(dir);
+  f3d::ckpt::Config cc;
+  cc.dir = dir;
+  cc.keep_generations = 2;  // rotation cost included, disk usage bounded
+  f3d::ckpt::CheckpointStore store(cc);
+  f3d::SolverState st;
+  st.steps = 1;
+  st.cfl = 2.0;
+  for (auto _ : state) {
+    store.save(grid, st);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid_bytes(grid)));
+  state.counters["points"] = static_cast<double>(grid.total_points());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableSave)->Arg(40)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotOnly(benchmark::State& state) {
+  // The in-memory half: pack + checksum, no disk. This is what a deferred
+  // (pending) snapshot costs the run at the cadence boundary even when the
+  // durable write later fails.
+  const double scale = state.range(0) / 100.0;
+  auto grid = grid_at(scale);
+  f3d::SolverState st;
+  st.steps = 1;
+  st.cfl = 2.0;
+  for (auto _ : state) {
+    std::vector<double> packed;
+    for (int z = 0; z < grid.num_zones(); ++z) {
+      packed.clear();
+      f3d::pack_zone_interior(grid.zone(z), packed);
+      benchmark::DoNotOptimize(packed.data());
+    }
+    benchmark::DoNotOptimize(f3d::checksum(grid));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid_bytes(grid)));
+  state.counters["points"] = static_cast<double>(grid.total_points());
+}
+BENCHMARK(BM_SnapshotOnly)->Arg(40)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SolverStepForScale(benchmark::State& state) {
+  // The denominator: one solver step at the same scale, so the report
+  // shows the checkpoint-to-step cost ratio directly.
+  const double scale = state.range(0) / 100.0;
+  auto grid = grid_at(scale);
+  f3d::SolverConfig cfg;
+  cfg.freestream = f3d::paper_1m_case(scale).freestream;
+  cfg.region_prefix = "bench.ckpt.step";
+  f3d::Solver solver(grid, cfg);
+  for (auto _ : state) {
+    solver.step();
+  }
+  state.counters["points"] = static_cast<double>(grid.total_points());
+}
+BENCHMARK(BM_SolverStepForScale)
+    ->Arg(40)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoadNewestIntact(benchmark::State& state) {
+  // Restart cost: full validation ladder (CRC every frame, unpack,
+  // end-to-end checksum) on an intact generation.
+  const double scale = state.range(0) / 100.0;
+  auto grid = grid_at(scale);
+  const std::string dir =
+      (fs::temp_directory_path() / "llp_bench_ckpt_load").string();
+  fs::remove_all(dir);
+  f3d::ckpt::Config cc;
+  cc.dir = dir;
+  f3d::ckpt::CheckpointStore store(cc);
+  f3d::SolverState st;
+  st.steps = 1;
+  st.cfl = 2.0;
+  store.save(grid, st);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.load_newest_intact(grid));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid_bytes(grid)));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_LoadNewestIntact)
+    ->Arg(40)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

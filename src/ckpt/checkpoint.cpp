@@ -1,0 +1,595 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+
+#include "f3d/io.hpp"
+#include "f3d/validation.hpp"
+#include "fault/injector.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace fs = std::filesystem;
+
+namespace f3d::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', '3', 'D', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kTagHeader = 0x30524448u;  // "HDR0" little-endian
+constexpr std::uint32_t kTagZone = 0x304e4f5au;    // "ZON0"
+constexpr std::uint32_t kTagEnd = 0x30444e45u;     // "END0"
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+// ---- little-endian append/read helpers (the format assumes a
+// little-endian host, which is every platform this repo targets).
+
+template <typename T>
+void append_raw(std::string& out, T v) {
+  char b[sizeof(T)];
+  std::memcpy(b, &v, sizeof(T));
+  out.append(b, sizeof(T));
+}
+
+struct Cursor {
+  const char* p;
+  std::size_t size;
+  std::size_t off = 0;
+
+  template <typename T>
+  T read(const char* what) {
+    if (size - off < sizeof(T)) {
+      throw llp::IoError(std::string("truncated ") + what);
+    }
+    T v;
+    std::memcpy(&v, p + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+  }
+
+  const char* take(std::size_t n, const char* what) {
+    if (size - off < n) throw llp::IoError(std::string("truncated ") + what);
+    const char* at = p + off;
+    off += n;
+    return at;
+  }
+};
+
+std::string serialize_manifest(const Manifest& m) {
+  std::string out;
+  append_raw<std::uint32_t>(out, m.version);
+  append_raw<std::int64_t>(out, m.state.steps);
+  append_raw<double>(out, m.state.cfl);
+  append_raw<double>(out, m.state.residual);
+  append_raw<double>(out, m.state.prev_residual);
+  append_raw<double>(out, m.first_replay_residual);
+  append_raw<std::uint64_t>(out, m.grid_checksum);
+  append_raw<std::int32_t>(out, static_cast<std::int32_t>(m.dims.size()));
+  for (const ZoneDims& d : m.dims) {
+    append_raw<std::int32_t>(out, d.jmax);
+    append_raw<std::int32_t>(out, d.kmax);
+    append_raw<std::int32_t>(out, d.lmax);
+  }
+  append_raw<std::uint32_t>(out, static_cast<std::uint32_t>(m.meta.size()));
+  out.append(m.meta);
+  return out;
+}
+
+Manifest parse_manifest(const char* data, std::size_t size) {
+  Cursor c{data, size};
+  Manifest m;
+  m.version = c.read<std::uint32_t>("manifest version");
+  if (m.version != kFormatVersion) {
+    throw llp::IoError(llp::strfmt("unsupported checkpoint version %u",
+                                   static_cast<unsigned>(m.version)));
+  }
+  const auto steps = c.read<std::int64_t>("manifest step index");
+  if (steps < 0 || steps > (std::int64_t{1} << 40)) {
+    throw llp::IoError(llp::strfmt("implausible step index %lld",
+                                   static_cast<long long>(steps)));
+  }
+  m.state.steps = static_cast<int>(steps);
+  m.state.cfl = c.read<double>("manifest cfl");
+  m.state.residual = c.read<double>("manifest residual");
+  m.state.prev_residual = c.read<double>("manifest prev residual");
+  m.first_replay_residual = c.read<double>("manifest first-replay residual");
+  m.grid_checksum = c.read<std::uint64_t>("manifest checksum");
+  if (!std::isfinite(m.state.cfl) || m.state.cfl <= 0.0 ||
+      !std::isfinite(m.state.residual)) {
+    throw llp::IoError("non-finite scalar state in manifest");
+  }
+  const auto zones = c.read<std::int32_t>("manifest zone count");
+  if (zones <= 0 || zones > 4096) {
+    throw llp::IoError(llp::strfmt("implausible zone count %d", zones));
+  }
+  m.dims.reserve(static_cast<std::size_t>(zones));
+  for (int z = 0; z < zones; ++z) {
+    ZoneDims d;
+    d.jmax = c.read<std::int32_t>("zone dims");
+    d.kmax = c.read<std::int32_t>("zone dims");
+    d.lmax = c.read<std::int32_t>("zone dims");
+    if (d.jmax <= 0 || d.kmax <= 0 || d.lmax <= 0 || d.jmax > kMaxZoneDim ||
+        d.kmax > kMaxZoneDim || d.lmax > kMaxZoneDim) {
+      throw llp::IoError(llp::strfmt("implausible zone %d dims %d x %d x %d",
+                                     z, d.jmax, d.kmax, d.lmax));
+    }
+    m.dims.push_back(d);
+  }
+  const auto meta_len = c.read<std::uint32_t>("manifest meta length");
+  if (meta_len > (1u << 20)) {
+    throw llp::IoError("implausible manifest meta length");
+  }
+  m.meta.assign(c.take(meta_len, "manifest meta"), meta_len);
+  return m;
+}
+
+// One parsed frame: header validated against the buffer bounds, payload
+// CRC checked.
+struct Frame {
+  std::uint32_t tag = 0;
+  std::uint32_t index = 0;
+  const char* payload = nullptr;
+  std::size_t size = 0;
+};
+
+Frame read_frame(Cursor& c, const char* what) {
+  Frame f;
+  f.tag = c.read<std::uint32_t>(what);
+  f.index = c.read<std::uint32_t>(what);
+  const auto len = c.read<std::uint64_t>(what);
+  const auto crc = c.read<std::uint32_t>(what);
+  if (len > c.size - c.off) {
+    throw llp::IoError(std::string("truncated ") + what + " payload");
+  }
+  f.size = static_cast<std::size_t>(len);
+  f.payload = c.take(f.size, what);
+  if (llp::crc32c(f.payload, f.size) != crc) {
+    throw llp::IoError(std::string(what) + " CRC mismatch");
+  }
+  return f;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw llp::IoError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw llp::IoError("read failed on " + path);
+  return data;
+}
+
+// Durable write: all-or-nothing publication of `data` at `path` via a
+// sibling temp file, fsync, rename, and parent-directory fsync.
+void write_file_durable(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw llp::IoError("cannot open " + tmp + " for writing");
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw llp::IoError("write failed on " + tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw llp::IoError("fsync failed on " + tmp);
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw llp::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable.
+  const std::string parent = fs::path(path).parent_path().string();
+  const int dfd = ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+llp::fault::Injector* effective_injector(const Config& cfg) {
+  return cfg.injector != nullptr ? cfg.injector
+                                 : llp::fault::global_injector();
+}
+
+std::string gen_dir(const std::string& dir, int gen) {
+  return dir + "/ckpt." + std::to_string(gen);
+}
+
+// Parse "ckpt.<N>" into N; -1 if the name is not a generation directory.
+int parse_gen_name(const std::string& name) {
+  if (name.rfind("ckpt.", 0) != 0) return -1;
+  const std::string digits = name.substr(5);
+  if (digits.empty()) return -1;
+  int n = 0;
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return -1;
+    if (n > 100000000) return -1;
+    n = n * 10 + (ch - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
+bool Manifest::sealed() const { return std::isfinite(first_replay_residual); }
+
+std::string state_path(const std::string& dir, int gen) {
+  return gen_dir(dir, gen) + "/state.f3dc";
+}
+
+// The grid's interior at one instant, packed and checksummed — everything
+// write_generation needs, held while the run advances one more step so the
+// generation can be sealed with the replay residual it must reproduce.
+struct CheckpointStore::Snapshot {
+  Manifest manifest;
+  std::vector<std::vector<double>> zones;
+};
+
+CheckpointStore::CheckpointStore(Config cfg) : cfg_(std::move(cfg)) {
+  LLP_REQUIRE(!cfg_.dir.empty(), "checkpoint dir must not be empty");
+  LLP_REQUIRE(cfg_.keep_generations >= 1, "keep_generations must be >= 1");
+  LLP_REQUIRE(std::isfinite(cfg_.replay_tol) && cfg_.replay_tol >= 0.0,
+              "replay_tol must be finite and nonnegative");
+}
+
+CheckpointStore::~CheckpointStore() = default;
+
+std::unique_ptr<CheckpointStore::Snapshot> CheckpointStore::take_snapshot(
+    const MultiZoneGrid& grid, const SolverState& state) const {
+  auto snap = std::make_unique<Snapshot>();
+  snap->manifest.state = state;
+  snap->manifest.dims = grid.zone_dims();
+  snap->manifest.grid_checksum = checksum(grid);
+  snap->manifest.meta = cfg_.meta;
+  snap->manifest.first_replay_residual =
+      std::numeric_limits<double>::quiet_NaN();
+  snap->zones.resize(static_cast<std::size_t>(grid.num_zones()));
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    pack_zone_interior(grid.zone(z), snap->zones[static_cast<std::size_t>(z)]);
+  }
+  return snap;
+}
+
+int CheckpointStore::write_generation(const Snapshot& snap,
+                                      double first_replay_residual) {
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec) throw llp::IoError("cannot create checkpoint dir " + cfg_.dir);
+
+  // Sweep stale temp directories (a prior crash mid-write leaves one).
+  int max_gen = -1;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt.", 0) == 0 &&
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove_all(entry.path(), ec);
+      continue;
+    }
+    max_gen = std::max(max_gen, parse_gen_name(name));
+  }
+  const int gen = max_gen + 1;
+
+  Manifest man = snap.manifest;
+  man.first_replay_residual = first_replay_residual;
+
+  // The io-fault seam: every frame consults the injector before it is
+  // appended, keyed (stream, write-op, frame) like (region, invocation,
+  // lane) for loop faults.
+  llp::fault::Injector* inj = effective_injector(cfg_);
+  const std::uint64_t op = inj != nullptr ? inj->begin_io(kStream) : 0;
+
+  std::string buf(kMagic, sizeof(kMagic));
+  bool torn = false;       // ioshort: the tail of the file never lands
+  bool crashed = false;    // iocrash: die after a partial unsynced write
+  bool enospc = false;     // ioenospc: the write fails cleanly
+  int frame = 0;
+  auto emit = [&](std::uint32_t tag, std::uint32_t index,
+                  const char* payload, std::size_t size) {
+    if (torn || crashed || enospc) return;
+    llp::fault::Injector::IoFault f;
+    const bool fired =
+        inj != nullptr && inj->io_fault(kStream, op, frame, &f);
+    ++frame;
+    const std::uint32_t crc = llp::crc32c(payload, size);
+    append_raw<std::uint32_t>(buf, tag);
+    append_raw<std::uint32_t>(buf, index);
+    append_raw<std::uint64_t>(buf, static_cast<std::uint64_t>(size));
+    append_raw<std::uint32_t>(buf, crc);
+    if (!fired) {
+      buf.append(payload, size);
+      return;
+    }
+    switch (f.kind) {
+      case llp::fault::FaultKind::kIoFlip: {
+        // The CRC above was taken over the clean payload; landing a
+        // flipped copy is exactly the bit rot the loader must catch.
+        buf.append(payload, size);
+        if (size > 0) {
+          const std::uint64_t bit = f.bit % (size * 8);
+          buf[buf.size() - size + bit / 8] ^=
+              static_cast<char>(1u << (bit % 8));
+        }
+        break;
+      }
+      case llp::fault::FaultKind::kIoShort:
+        buf.append(payload, size / 2);
+        torn = true;
+        break;
+      case llp::fault::FaultKind::kIoCrash:
+        buf.append(payload, size / 2);
+        crashed = true;
+        break;
+      case llp::fault::FaultKind::kIoEnospc:
+        buf.append(payload, size / 2);
+        enospc = true;
+        break;
+      default:
+        buf.append(payload, size);
+        break;
+    }
+  };
+
+  const std::string header = serialize_manifest(man);
+  emit(kTagHeader, 0, header.data(), header.size());
+  for (std::size_t z = 0; z < snap.zones.size(); ++z) {
+    const auto& zone = snap.zones[z];
+    emit(kTagZone, static_cast<std::uint32_t>(z),
+         reinterpret_cast<const char*>(zone.data()),
+         zone.size() * sizeof(double));
+  }
+  emit(kTagEnd, static_cast<std::uint32_t>(snap.zones.size() + 1), "", 0);
+
+  const std::string dir_tmp = gen_dir(cfg_.dir, gen) + ".tmp";
+  const std::string dir_final = gen_dir(cfg_.dir, gen);
+  fs::create_directories(dir_tmp, ec);
+  if (ec) throw llp::IoError("cannot create " + dir_tmp);
+
+  if (crashed) {
+    // Simulated process death mid-write: the partial, unsynced temp file
+    // stays exactly where the crash left it — no rename, no cleanup — and
+    // the CrashError must propagate past every recovery layer.
+    std::ofstream out(dir_tmp + "/state.f3dc", std::ios::binary);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    throw llp::CrashError(llp::strfmt(
+        "injected crash during checkpoint write op %llu (generation %d)",
+        static_cast<unsigned long long>(op), gen));
+  }
+  if (enospc) {
+    // A real ENOSPC leaves a partial temp behind; a correct writer cleans
+    // it up and reports the failure without publishing anything.
+    {
+      std::ofstream out(dir_tmp + "/state.f3dc", std::ios::binary);
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    }
+    fs::remove_all(dir_tmp, ec);
+    throw llp::IoError(llp::strfmt(
+        "no space left on device (injected) during checkpoint write op %llu",
+        static_cast<unsigned long long>(op)));
+  }
+
+  write_file_durable(dir_tmp + "/state.f3dc", buf);
+  fs::rename(dir_tmp, dir_final, ec);
+  if (ec) {
+    fs::remove_all(dir_tmp, ec);
+    throw llp::IoError("cannot publish generation " + dir_final);
+  }
+
+  // Rotate: keep the newest keep_generations directories.
+  std::vector<int> gens = generations();
+  for (std::size_t i = static_cast<std::size_t>(cfg_.keep_generations);
+       i < gens.size(); ++i) {
+    fs::remove_all(gen_dir(cfg_.dir, gens[i]), ec);
+  }
+
+  ++saves_completed_;
+  last_written_gen_ = gen;
+  last_written_step_ = man.state.steps;
+  return gen;
+}
+
+int CheckpointStore::save(const MultiZoneGrid& grid, const SolverState& state,
+                          double first_replay_residual) {
+  const auto snap = take_snapshot(grid, state);
+  return write_generation(*snap, first_replay_residual);
+}
+
+bool CheckpointStore::on_healthy_step(const MultiZoneGrid& grid,
+                                      const SolverState& state) {
+  bool wrote = false;
+  // Seal first: the pending snapshot of step s is written with this step's
+  // residual — the value a restarted run must reproduce on its first
+  // replayed step. Drop the pending snapshot before writing so an IoError
+  // loses one generation, not the run.
+  if (pending_ != nullptr && state.steps > pending_->manifest.state.steps) {
+    const auto snap = std::move(pending_);
+    write_generation(*snap, state.residual);
+    wrote = true;
+  }
+  if (cfg_.every > 0 && pending_ == nullptr &&
+      (last_snapshot_step_ < 0 ||
+       state.steps - last_snapshot_step_ >= cfg_.every)) {
+    pending_ = take_snapshot(grid, state);
+    last_snapshot_step_ = state.steps;
+  }
+  return wrote;
+}
+
+void CheckpointStore::on_rollback(int step) {
+  if (pending_ != nullptr && pending_->manifest.state.steps > step) {
+    pending_.reset();
+  }
+  if (last_snapshot_step_ > step) last_snapshot_step_ = step;
+}
+
+bool CheckpointStore::flush(const MultiZoneGrid& grid,
+                            const SolverState& state) {
+  bool wrote = false;
+  if (pending_ != nullptr) {
+    const auto snap = std::move(pending_);
+    if (snap->manifest.state.steps > last_written_step_) {
+      write_generation(*snap, std::numeric_limits<double>::quiet_NaN());
+      wrote = true;
+    }
+  }
+  if (state.steps > last_written_step_) {
+    save(grid, state);
+    wrote = true;
+  }
+  return wrote;
+}
+
+std::vector<int> CheckpointStore::generations() const {
+  std::vector<int> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const int g = parse_gen_name(entry.path().filename().string());
+    if (g >= 0) gens.push_back(g);
+  }
+  std::sort(gens.begin(), gens.end(), std::greater<int>());
+  return gens;
+}
+
+Manifest CheckpointStore::read_manifest(int gen) const {
+  const std::string data = read_file(state_path(cfg_.dir, gen));
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw llp::IoError("bad checkpoint magic");
+  }
+  Cursor c{data.data(), data.size(), sizeof(kMagic)};
+  const Frame hdr = read_frame(c, "header frame");
+  if (hdr.tag != kTagHeader) throw llp::IoError("first frame is not HDR0");
+  return parse_manifest(hdr.payload, hdr.size);
+}
+
+Manifest CheckpointStore::load(int gen, MultiZoneGrid& grid) const {
+  const std::string data = read_file(state_path(cfg_.dir, gen));
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw llp::IoError("bad checkpoint magic");
+  }
+  Cursor c{data.data(), data.size(), sizeof(kMagic)};
+
+  const Frame hdr = read_frame(c, "header frame");
+  if (hdr.tag != kTagHeader) throw llp::IoError("first frame is not HDR0");
+  const Manifest man = parse_manifest(hdr.payload, hdr.size);
+
+  if (!cfg_.meta.empty() && man.meta != cfg_.meta) {
+    throw llp::IoError("config fingerprint mismatch: checkpoint was written "
+                       "by a different run configuration (\"" +
+                       man.meta + "\" vs \"" + cfg_.meta + "\")");
+  }
+  const auto dims = grid.zone_dims();
+  if (man.dims.size() != dims.size()) {
+    throw llp::IoError("zone count mismatch against grid");
+  }
+  for (std::size_t z = 0; z < dims.size(); ++z) {
+    if (man.dims[z].jmax != dims[z].jmax ||
+        man.dims[z].kmax != dims[z].kmax ||
+        man.dims[z].lmax != dims[z].lmax) {
+      throw llp::IoError(llp::strfmt("zone %zu dimension mismatch", z));
+    }
+  }
+
+  // Validate every zone frame (length + CRC) before mutating the grid.
+  std::vector<std::vector<double>> zones(dims.size());
+  for (std::size_t z = 0; z < dims.size(); ++z) {
+    const Frame zf = read_frame(c, "zone frame");
+    if (zf.tag != kTagZone || zf.index != z) {
+      throw llp::IoError(llp::strfmt("zone frame %zu out of order", z));
+    }
+    const std::size_t expect = dims[z].points() *
+                               static_cast<std::size_t>(kNumVars) *
+                               sizeof(double);
+    if (zf.size != expect) {
+      throw llp::IoError(llp::strfmt("zone %zu payload is %zu bytes, "
+                                     "expected %zu",
+                                     z, zf.size, expect));
+    }
+    zones[z].resize(zf.size / sizeof(double));
+    std::memcpy(zones[z].data(), zf.payload, zf.size);
+  }
+  const Frame end = read_frame(c, "end frame");
+  if (end.tag != kTagEnd || end.size != 0) {
+    throw llp::IoError("missing END0 terminator");
+  }
+
+  // unpack rejects non-finite values; the final rung compares the restored
+  // grid's digest against the manifest end-to-end.
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    unpack_zone_interior(zones[z], grid.zone(static_cast<int>(z)));
+  }
+  if (checksum(grid) != man.grid_checksum) {
+    throw llp::IoError("grid checksum mismatch after restore");
+  }
+  return man;
+}
+
+Manifest CheckpointStore::load_newest_intact(MultiZoneGrid& grid,
+                                             int* gen_out,
+                                             std::string* ladder_log) const {
+  for (int gen : generations()) {
+    try {
+      Manifest man = load(gen, grid);
+      if (gen_out != nullptr) *gen_out = gen;
+      return man;
+    } catch (const llp::IoError& e) {
+      if (ladder_log != nullptr) {
+        *ladder_log += llp::strfmt("ckpt.%d: %s\n", gen, e.what());
+      }
+    }
+  }
+  throw llp::IoError("no intact checkpoint generation under " + cfg_.dir);
+}
+
+std::vector<std::size_t> frame_offsets(const std::string& file) {
+  const std::string data = read_file(file);
+  std::vector<std::size_t> offsets{0};
+  std::size_t off = sizeof(kMagic);
+  while (off < data.size()) {
+    offsets.push_back(off);
+    if (data.size() - off < kFrameHeaderBytes) break;
+    std::uint64_t len;
+    std::memcpy(&len, data.data() + off + 8, sizeof(len));
+    if (len > data.size() - off - kFrameHeaderBytes) break;
+    off += kFrameHeaderBytes + static_cast<std::size_t>(len);
+  }
+  offsets.push_back(data.size());
+  return offsets;
+}
+
+bool verify_first_replay(Solver& solver, const Manifest& manifest, double tol,
+                         std::string* why) {
+  if (!manifest.sealed()) return true;
+  solver.step();
+  const double got = solver.residual();
+  const double want = manifest.first_replay_residual;
+  const double err = std::abs(got - want) /
+                     std::max({std::abs(want), std::abs(got), 1e-300});
+  if (std::isfinite(got) && err <= tol) return true;
+  if (why != nullptr) {
+    *why = llp::strfmt("first replayed residual %.17g disagrees with the "
+                       "manifest's %.17g (relative error %.3g > tol %.3g)",
+                       got, want, err, tol);
+  }
+  return false;
+}
+
+}  // namespace f3d::ckpt

@@ -1,0 +1,156 @@
+// Durable checkpoint/restart: crash-safe solver state on disk.
+//
+// A checkpoint is one versioned file of CRC32C-framed records,
+//
+//   "F3DCKPT1"                                  8-byte magic
+//   [HDR0 frame]  manifest: format version, step index, CFL, residual,
+//                 prev residual, sealed first-replay residual, whole-grid
+//                 checksum, per-zone dims, config fingerprint
+//   [ZON0 frame]  zone 0 interior Q payload (canonical order) ... x zones
+//   [END0 frame]  empty terminator
+//
+// where every frame carries its payload length and CRC32C, written
+// atomically — temp directory + write + fsync + rename + parent fsync —
+// into a rotating generation directory (ckpt.N/state.f3dc, keep-last-K).
+// A torn, truncated, or bit-flipped write therefore fails frame validation
+// on load, and load_newest_intact() transparently falls back to the newest
+// generation that passes the whole ladder: magic → header CRC → dims and
+// fingerprint → zone CRCs → finite values → end-to-end grid checksum.
+//
+// The store implements f3d::CheckpointHook, so run_protected drives it once
+// per healthy step. Snapshots are sealed one step late: the generation
+// written for step s records the residual the run actually produced at
+// s+1, and a restart replays that step and verifies it against the
+// manifest before trusting the state (verify_first_replay).
+//
+// Crash-consistency is testable in-process: the writer routes every frame
+// through the fault injector's io seam (stream "ckpt", write-op index,
+// frame index), so LLP_FAULT="ioflip:ckpt:1:0" or "iocrash:ckpt:2:1"
+// deterministically tears, flips, ENOSPC-fails, or "crashes" a specific
+// write without killing the CI runner.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "f3d/multizone.hpp"
+#include "f3d/solver.hpp"
+
+namespace llp::fault {
+class Injector;
+}
+
+namespace f3d::ckpt {
+
+/// Stream name the writer's io-fault seam reports to the injector.
+inline constexpr const char* kStream = "ckpt";
+
+/// Checkpoint file format version (manifest field; bumped on layout change).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+struct Config {
+  std::string dir;          ///< generation root, created on demand
+  int every = 10;           ///< healthy steps between snapshots; <=0: flush only
+  int keep_generations = 3; ///< prune to the newest K after each write
+  std::string meta;         ///< config fingerprint; loader rejects mismatches
+  double replay_tol = 1e-6; ///< relative tolerance for verify_first_replay
+
+  /// Injector whose io seam the writer consults; nullptr = the process
+  /// global one (llp::fault::global_injector()) at each write.
+  llp::fault::Injector* injector = nullptr;
+};
+
+/// Everything the header frame records about a generation.
+struct Manifest {
+  std::uint32_t version = kFormatVersion;
+  SolverState state;
+  std::vector<ZoneDims> dims;
+  std::uint64_t grid_checksum = 0;
+  /// Residual of the step after the snapshot, recorded when the run sealed
+  /// this generation; NaN for unsealed (end-of-run) generations.
+  double first_replay_residual = 0.0;
+  std::string meta;
+
+  bool sealed() const;
+};
+
+class CheckpointStore final : public CheckpointHook {
+public:
+  /// Validates the config (throws llp::Error) but touches no disk until
+  /// the first write.
+  explicit CheckpointStore(Config cfg);
+  ~CheckpointStore() override;
+
+  // CheckpointHook — driven by Solver::run_protected.
+  bool on_healthy_step(const MultiZoneGrid& grid,
+                       const SolverState& state) override;
+  void on_rollback(int step) override;
+  bool flush(const MultiZoneGrid& grid, const SolverState& state) override;
+
+  /// Write one generation now (unsealed unless a first-replay residual is
+  /// given). Returns the generation number. Throws llp::IoError on write
+  /// failure (injected or real), llp::CrashError on an injected crash.
+  int save(const MultiZoneGrid& grid, const SolverState& state,
+           double first_replay_residual =
+               std::numeric_limits<double>::quiet_NaN());
+
+  /// Existing generation numbers under dir, newest first.
+  std::vector<int> generations() const;
+
+  /// Parse and validate generation `gen`'s header frame only.
+  Manifest read_manifest(int gen) const;
+
+  /// Full validation ladder for one generation, restoring the grid's
+  /// interior on success. Throws llp::IoError naming the first rung that
+  /// failed; on throw the grid contents are unspecified (callers fall back
+  /// to another generation or rebuild).
+  Manifest load(int gen, MultiZoneGrid& grid) const;
+
+  /// Walk generations newest-to-oldest and return the first that loads
+  /// clean. `gen_out` receives its number; every rejected generation
+  /// appends a "ckpt.N: reason" line to `ladder_log` (when non-null).
+  /// Throws llp::IoError when no intact generation exists.
+  Manifest load_newest_intact(MultiZoneGrid& grid, int* gen_out = nullptr,
+                              std::string* ladder_log = nullptr) const;
+
+  const Config& config() const noexcept { return cfg_; }
+  /// Generations completed by this store instance.
+  int saves_completed() const noexcept { return saves_completed_; }
+  /// Newest generation number written by this instance; -1 before any.
+  int last_written_generation() const noexcept { return last_written_gen_; }
+
+private:
+  struct Snapshot;
+
+  std::unique_ptr<Snapshot> take_snapshot(const MultiZoneGrid& grid,
+                                          const SolverState& state) const;
+  int write_generation(const Snapshot& snap, double first_replay_residual);
+
+  Config cfg_;
+  std::unique_ptr<Snapshot> pending_;
+  int last_snapshot_step_ = -1;  ///< -1 = cadence not armed yet
+  int last_written_step_ = -1;
+  int last_written_gen_ = -1;
+  int saves_completed_ = 0;
+};
+
+/// Path of generation `gen`'s state file under `dir`.
+std::string state_path(const std::string& dir, int gen);
+
+/// Byte offsets of every frame boundary in a checkpoint file — offset 0,
+/// the first frame start (8), each subsequent frame start, and the file
+/// size — parsed leniently (no CRC checks). The corruption test matrix
+/// truncates at each of these; a loader must reject every such prefix.
+std::vector<std::size_t> frame_offsets(const std::string& file);
+
+/// Sealed-manifest restart verification: advance `solver` one step and
+/// compare the residual against manifest.first_replay_residual within
+/// relative tolerance `tol`. An unsealed manifest verifies trivially (no
+/// step is taken). On mismatch returns false and describes it in `why`.
+bool verify_first_replay(Solver& solver, const Manifest& manifest, double tol,
+                         std::string* why = nullptr);
+
+}  // namespace f3d::ckpt

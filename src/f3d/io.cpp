@@ -1,5 +1,6 @@
 #include "f3d/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <vector>
@@ -11,6 +12,44 @@ namespace f3d {
 
 namespace {
 constexpr const char* kMagic = "F3DQ1";
+
+// How many zones a header may claim before we call it corrupt. The paper's
+// grids are 3 zones; three orders of magnitude of headroom is plenty.
+constexpr int kMaxZones = 4096;
+}  // namespace
+
+void pack_zone_interior(const Zone& z, std::vector<double>& out) {
+  out.reserve(out.size() + z.interior_points() * kNumVars);
+  for (int l = 0; l < z.lmax(); ++l) {
+    for (int k = 0; k < z.kmax(); ++k) {
+      for (int j = 0; j < z.jmax(); ++j) {
+        const double* q = z.q_point(j, k, l);
+        out.insert(out.end(), q, q + kNumVars);
+      }
+    }
+  }
+}
+
+void unpack_zone_interior(const std::vector<double>& buf, Zone& z) {
+  if (buf.size() != z.interior_points() * kNumVars) {
+    throw llp::IoError(llp::strfmt(
+        "zone payload holds %zu values, zone needs %zu", buf.size(),
+        z.interior_points() * static_cast<std::size_t>(kNumVars)));
+  }
+  for (double v : buf) {
+    if (!std::isfinite(v)) {
+      throw llp::IoError("zone payload contains a non-finite value");
+    }
+  }
+  std::size_t idx = 0;
+  for (int l = 0; l < z.lmax(); ++l) {
+    for (int k = 0; k < z.kmax(); ++k) {
+      for (int j = 0; j < z.jmax(); ++j) {
+        double* q = z.q_point(j, k, l);
+        for (int n = 0; n < kNumVars; ++n) q[n] = buf[idx++];
+      }
+    }
+  }
 }
 
 void write_solution(std::ostream& out, const MultiZoneGrid& grid) {
@@ -20,17 +59,8 @@ void write_solution(std::ostream& out, const MultiZoneGrid& grid) {
     out << zn.jmax() << ' ' << zn.kmax() << ' ' << zn.lmax() << '\n';
   }
   for (int zi = 0; zi < grid.num_zones(); ++zi) {
-    const Zone& z = grid.zone(zi);
     std::vector<double> buf;
-    buf.reserve(z.interior_points() * kNumVars);
-    for (int l = 0; l < z.lmax(); ++l) {
-      for (int k = 0; k < z.kmax(); ++k) {
-        for (int j = 0; j < z.jmax(); ++j) {
-          const double* q = z.q_point(j, k, l);
-          buf.insert(buf.end(), q, q + kNumVars);
-        }
-      }
-    }
+    pack_zone_interior(grid.zone(zi), buf);
     out.write(reinterpret_cast<const char*>(buf.data()),
               static_cast<std::streamsize>(buf.size() * sizeof(double)));
   }
@@ -41,44 +71,71 @@ void read_solution(std::istream& in, MultiZoneGrid& grid) {
   std::string magic;
   int zones = 0;
   in >> magic >> zones;
-  LLP_REQUIRE(in.good() && magic == kMagic, "not an F3D solution stream");
-  LLP_REQUIRE(zones == grid.num_zones(), "zone count mismatch");
+  if (!in.good() || magic != kMagic) {
+    throw llp::IoError("not an F3D solution stream");
+  }
+  if (zones <= 0 || zones > kMaxZones) {
+    throw llp::IoError(llp::strfmt("implausible zone count %d", zones));
+  }
+  if (zones != grid.num_zones()) {
+    throw llp::IoError(llp::strfmt("zone count mismatch: stream has %d, "
+                                   "grid has %d",
+                                   zones, grid.num_zones()));
+  }
   for (int z = 0; z < zones; ++z) {
     int jm = 0, km = 0, lm = 0;
     in >> jm >> km >> lm;
-    LLP_REQUIRE(in.good(), "truncated header");
-    LLP_REQUIRE(jm == grid.zone(z).jmax() && km == grid.zone(z).kmax() &&
-                    lm == grid.zone(z).lmax(),
-                "zone dimension mismatch");
+    if (!in.good()) throw llp::IoError("truncated header");
+    if (jm <= 0 || km <= 0 || lm <= 0 || jm > kMaxZoneDim ||
+        km > kMaxZoneDim || lm > kMaxZoneDim) {
+      throw llp::IoError(
+          llp::strfmt("implausible zone %d dims %d x %d x %d", z, jm, km, lm));
+    }
+    if (jm != grid.zone(z).jmax() || km != grid.zone(z).kmax() ||
+        lm != grid.zone(z).lmax()) {
+      throw llp::IoError(llp::strfmt("zone %d dimension mismatch", z));
+    }
   }
   in.ignore(1);  // the newline before the binary payload
+
+  // Validate every zone's payload before touching the grid: a truncated or
+  // poisoned stream must not leave a half-restored solution behind.
+  std::vector<std::vector<double>> payload(static_cast<std::size_t>(zones));
   for (int zi = 0; zi < zones; ++zi) {
-    Zone& z = grid.zone(zi);
-    std::vector<double> buf(z.interior_points() * kNumVars);
+    const Zone& z = grid.zone(zi);
+    auto& buf = payload[static_cast<std::size_t>(zi)];
+    buf.resize(z.interior_points() * kNumVars);
     in.read(reinterpret_cast<char*>(buf.data()),
             static_cast<std::streamsize>(buf.size() * sizeof(double)));
-    LLP_REQUIRE(in.good(), "truncated payload");
-    std::size_t idx = 0;
-    for (int l = 0; l < z.lmax(); ++l) {
-      for (int k = 0; k < z.kmax(); ++k) {
-        for (int j = 0; j < z.jmax(); ++j) {
-          double* q = z.q_point(j, k, l);
-          for (int n = 0; n < kNumVars; ++n) q[n] = buf[idx++];
-        }
+    if (!in.good()) {
+      throw llp::IoError(llp::strfmt("truncated payload in zone %d", zi));
+    }
+    for (double v : buf) {
+      if (!std::isfinite(v)) {
+        throw llp::IoError(
+            llp::strfmt("non-finite value in zone %d payload", zi));
       }
     }
+  }
+  for (int zi = 0; zi < zones; ++zi) {
+    unpack_zone_interior(payload[static_cast<std::size_t>(zi)],
+                         grid.zone(zi));
   }
 }
 
 void save_solution(const std::string& path, const MultiZoneGrid& grid) {
   std::ofstream out(path, std::ios::binary);
-  LLP_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  if (!out.is_open()) {
+    throw llp::IoError("cannot open " + path + " for writing");
+  }
   write_solution(out, grid);
 }
 
 void load_solution(const std::string& path, MultiZoneGrid& grid) {
   std::ifstream in(path, std::ios::binary);
-  LLP_REQUIRE(in.is_open(), "cannot open " + path + " for reading");
+  if (!in.is_open()) {
+    throw llp::IoError("cannot open " + path + " for reading");
+  }
   read_solution(in, grid);
 }
 

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "f3d/multizone.hpp"
 
@@ -19,8 +20,25 @@ namespace f3d {
 void write_solution(std::ostream& out, const MultiZoneGrid& grid);
 
 /// Read a solution written by write_solution into `grid`, whose zone
-/// dimensions must match exactly (throws llp::Error otherwise).
+/// dimensions must match exactly. Malformed input — wrong magic, absurd or
+/// mismatched zone dimensions, a truncated header or payload, non-finite
+/// values — throws llp::IoError instead of constructing garbage state; the
+/// grid is only modified once the entire stream has validated.
 void read_solution(std::istream& in, MultiZoneGrid& grid);
+
+/// Largest zone dimension read_solution will believe; anything bigger is
+/// treated as a corrupt header, not an allocation request.
+inline constexpr int kMaxZoneDim = 1 << 16;
+
+/// Append zone `z`'s interior Q values to `out` in the canonical order
+/// (variable fastest, then J, K, L) — the per-zone payload layout shared by
+/// the solution format and the checkpoint frames.
+void pack_zone_interior(const Zone& z, std::vector<double>& out);
+
+/// Scatter `buf` (interior_points() * kNumVars values, canonical order)
+/// back into zone `z`'s interior. Throws llp::IoError on a size mismatch
+/// or any non-finite value.
+void unpack_zone_interior(const std::vector<double>& buf, Zone& z);
 
 /// Convenience file wrappers.
 void save_solution(const std::string& path, const MultiZoneGrid& grid);

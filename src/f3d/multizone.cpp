@@ -39,6 +39,13 @@ std::size_t MultiZoneGrid::total_points() const {
   return n;
 }
 
+std::vector<ZoneDims> MultiZoneGrid::zone_dims() const {
+  std::vector<ZoneDims> out;
+  out.reserve(zones_.size());
+  for (const auto& z : zones_) out.push_back(z.dims());
+  return out;
+}
+
 void MultiZoneGrid::set_freestream(const FreeStream& fs) {
   for (auto& z : zones_) z.set_freestream(fs);
 }

@@ -36,6 +36,10 @@ public:
   /// Total interior grid points across zones.
   std::size_t total_points() const;
 
+  /// Per-zone dimensions in order — what a checkpoint manifest records and
+  /// the loader compares before trusting any payload.
+  std::vector<ZoneDims> zone_dims() const;
+
   /// Set every zone to the free stream.
   void set_freestream(const FreeStream& fs);
 

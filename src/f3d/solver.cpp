@@ -204,10 +204,30 @@ double Solver::run(int steps) {
   return residual_;
 }
 
+void Solver::restore(const SolverState& state) {
+  LLP_REQUIRE(state.steps >= 0, "restored step index must be >= 0");
+  LLP_REQUIRE(std::isfinite(state.cfl) && state.cfl > 0.0,
+              "restored cfl must be finite and positive");
+  LLP_REQUIRE(std::isfinite(state.residual),
+              "restored residual must be finite");
+  steps_ = state.steps;
+  cfl_ = state.cfl;
+  residual_ = state.residual;
+  prev_residual_ = state.prev_residual;
+  dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
+}
+
 std::string RunReport::summary() const {
   std::string s = llp::strfmt(
       "steps=%d recoveries=%d checkpoints=%d residual=%.6e", steps_completed,
       recoveries, checkpoints, final_residual);
+  if (durable_checkpoints > 0 || ckpt_write_failures > 0) {
+    s += llp::strfmt(" durable=%d", durable_checkpoints);
+  }
+  if (ckpt_write_failures > 0) {
+    s += llp::strfmt(" ckpt-write-failures=%d (%s)", ckpt_write_failures,
+                     ckpt_failure_reason.c_str());
+  }
   if (engine_fallback) s += " engine=vector-fallback";
   if (failed) s += " FAILED: " + failure_reason;
   return s;
@@ -258,6 +278,10 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     prev_residual_ = ckpt.prev_residual;
     steps_ = ckpt.steps;
     if (history) history->truncate(ckpt.history_steps);
+    // Any durable snapshot taken after the rollback point is off the
+    // standing timeline now; the hook must drop it rather than seal it
+    // against the replayed (CFL-backed-off) trajectory.
+    if (ckpt_hook_ != nullptr) ckpt_hook_->on_rollback(ckpt.steps);
   };
 
   // Persistent-fault tracking for the engine fallback: LaneErrors carry
@@ -322,6 +346,20 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
           healthy_now()) {
         take_checkpoint();
       }
+      // Durable checkpoints ride the same healthy-step boundary. A failed
+      // write is a diagnostic, not a solver fault: the run continues on the
+      // previous intact generation. A CrashError propagates — a simulated
+      // process death must not be absorbed by the recovery loop.
+      if (ckpt_hook_ != nullptr && healthy_now()) {
+        try {
+          if (ckpt_hook_->on_healthy_step(grid_, state())) {
+            ++report.durable_checkpoints;
+          }
+        } catch (const llp::IoError& e) {
+          ++report.ckpt_write_failures;
+          report.ckpt_failure_reason = e.what();
+        }
+      }
       continue;
     }
 
@@ -338,6 +376,15 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     }
     note_fault(fault_region);
     rollback();
+  }
+
+  if (ckpt_hook_ != nullptr) {
+    try {
+      if (ckpt_hook_->flush(grid_, state())) ++report.durable_checkpoints;
+    } catch (const llp::IoError& e) {
+      ++report.ckpt_write_failures;
+      report.ckpt_failure_reason = e.what();
+    }
   }
 
   report.steps_completed = steps_;

@@ -43,6 +43,44 @@ struct RecoveryConfig {
   int health_check_every = 1;   ///< steps between finite-ness checks
 };
 
+/// The scalar time-stepping state that, together with the grid's interior,
+/// fully determines the rest of a run: what a durable checkpoint records
+/// beside the zone payloads and what restore() reapplies after a restart.
+struct SolverState {
+  int steps = 0;
+  double cfl = 0.0;
+  double residual = 0.0;
+  double prev_residual = -1.0;
+};
+
+/// Durable-checkpoint seam under run_protected(). The solver layer knows
+/// only this interface (same pattern as llp::FaultHook / LoopTuner): the
+/// file format, generation rotation, and corruption fallback live in
+/// src/ckpt, which implements it. All calls happen on the run loop's
+/// thread.
+class CheckpointHook {
+public:
+  virtual ~CheckpointHook() = default;
+
+  /// Called after every healthy step with the standing state. Returns true
+  /// if a durable generation was completed during this call. May throw
+  /// llp::IoError (run_protected counts it as a checkpoint write failure
+  /// and keeps running — the previous generation still stands); a
+  /// llp::CrashError must propagate, a simulated crash is a crash.
+  virtual bool on_healthy_step(const MultiZoneGrid& grid,
+                               const SolverState& state) = 0;
+
+  /// Called when a fault rolls the solver back to `step`: any state
+  /// snapshotted after that step is now off the standing timeline and must
+  /// be discarded, not written.
+  virtual void on_rollback(int step) = 0;
+
+  /// End of the protected run: write anything still pending (the final
+  /// snapshot cannot be sealed with a next-step residual — there is no
+  /// next step). Returns true if a generation was completed.
+  virtual bool flush(const MultiZoneGrid& grid, const SolverState& state) = 0;
+};
+
 struct SolverConfig {
   FreeStream freestream;
   double cfl = 2.0;            ///< dt = cfl * h / (M + 1)
@@ -68,10 +106,13 @@ struct RunReport {
   int steps_completed = 0;     ///< total steps standing at return
   int recoveries = 0;          ///< rollbacks performed
   int checkpoints = 0;         ///< in-memory checkpoints taken
+  int durable_checkpoints = 0; ///< generations completed by the hook
+  int ckpt_write_failures = 0; ///< hook writes that threw llp::IoError
   double final_residual = 0.0;
   bool engine_fallback = false;  ///< degraded to the vector sweep engine
   bool failed = false;         ///< recovery budget exhausted
   std::string failure_reason;  ///< what() of the terminal fault, if failed
+  std::string ckpt_failure_reason;  ///< what() of the last failed write
   std::vector<int> recovery_steps;  ///< the faulted step behind each recovery
 
   std::string summary() const;
@@ -102,6 +143,23 @@ public:
   /// RMS of the flux divergence R(Q) over all interior cells after the
   /// latest step (steady-state convergence monitor).
   double residual() const noexcept { return residual_; }
+
+  /// The scalar state a durable checkpoint records beside the grid.
+  SolverState state() const noexcept {
+    return SolverState{steps_, cfl_, residual_, prev_residual_};
+  }
+
+  /// Reapply checkpointed scalar state (the grid is restored separately via
+  /// the checkpoint loader); dt is recomputed from the restored CFL. The
+  /// next step() continues the interrupted run's timeline exactly. Throws
+  /// llp::Error on non-finite or non-positive CFL / negative step index.
+  void restore(const SolverState& state);
+
+  /// Install the durable-checkpoint seam consulted by run_protected()
+  /// (nullptr uninstalls). The hook must outlive the runs it observes.
+  void set_checkpoint_hook(CheckpointHook* hook) noexcept {
+    ckpt_hook_ = hook;
+  }
 
   int steps_taken() const noexcept { return steps_; }
   double dt() const noexcept { return dt_; }
@@ -137,6 +195,7 @@ private:
   std::vector<ZoneRegions> regions_;
   llp::RegionId bc_region_ = llp::kNoRegion;
   llp::RegionId exchange_region_ = llp::kNoRegion;
+  CheckpointHook* ckpt_hook_ = nullptr;
 };
 
 }  // namespace f3d

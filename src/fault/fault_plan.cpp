@@ -56,8 +56,12 @@ FaultKind parse_kind(std::string_view s) {
   if (s == "nan") return FaultKind::kNan;
   if (s == "delay") return FaultKind::kDelay;
   if (s == "hang") return FaultKind::kHang;
+  if (s == "ioshort") return FaultKind::kIoShort;
+  if (s == "ioflip") return FaultKind::kIoFlip;
+  if (s == "ioenospc") return FaultKind::kIoEnospc;
+  if (s == "iocrash") return FaultKind::kIoCrash;
   throw Error("unknown fault kind: " + std::string(s) +
-              " (want throw|nan|delay|hang)");
+              " (want throw|nan|delay|hang|ioshort|ioflip|ioenospc|iocrash)");
 }
 
 FaultSpec parse_entry(std::string_view entry) {
@@ -94,6 +98,8 @@ FaultSpec parse_entry(std::string_view entry) {
       LLP_REQUIRE(spec.delay_ms >= 0.0, "delay must be >= 0");
     } else if (key == "array") {
       spec.array = std::string(value);
+    } else if (key == "bit") {
+      spec.bit = static_cast<std::int64_t>(parse_u64(value, "bit"));
     } else if (key == "count") {
       spec.count = static_cast<int>(parse_u64(value, "count"));
     } else if (key == "p") {
@@ -115,8 +121,17 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kNan: return "nan";
     case FaultKind::kDelay: return "delay";
     case FaultKind::kHang: return "hang";
+    case FaultKind::kIoShort: return "ioshort";
+    case FaultKind::kIoFlip: return "ioflip";
+    case FaultKind::kIoEnospc: return "ioenospc";
+    case FaultKind::kIoCrash: return "iocrash";
   }
   return "?";
+}
+
+bool is_io_kind(FaultKind kind) {
+  return kind == FaultKind::kIoShort || kind == FaultKind::kIoFlip ||
+         kind == FaultKind::kIoEnospc || kind == FaultKind::kIoCrash;
 }
 
 std::string FaultSpec::to_string() const {
@@ -128,6 +143,9 @@ std::string FaultSpec::to_string() const {
   out += any_lane ? "*" : strfmt("%d", lane);
   if (kind == FaultKind::kDelay) out += strfmt(":delay=%g", delay_ms);
   if (kind == FaultKind::kNan && !array.empty()) out += ":array=" + array;
+  if (kind == FaultKind::kIoFlip && bit >= 0) {
+    out += strfmt(":bit=%lld", static_cast<long long>(bit));
+  }
   if (count != 1) out += strfmt(":count=%d", count);
   if (probability != 1.0) out += strfmt(":p=%g", probability);
   return out;

@@ -12,10 +12,16 @@
 //   entry   := fault | 'seed=' uint
 //   fault   := kind ':' region ':' inv ':' lane (':' key '=' value)*
 //   kind    := 'throw' | 'nan' | 'delay' | 'hang'
-//   region  := region name as registered (e.g. run.z0.rhs)
+//            | 'ioshort' | 'ioflip' | 'ioenospc' | 'iocrash'
+//   region  := region name as registered (e.g. run.z0.rhs), or for the
+//              io* kinds the writer's stream name (checkpoints: "ckpt")
 //   inv     := uint | '*'        0-based invocation index of the region
+//              (io* kinds: 0-based write-operation index on the stream)
 //   lane    := int  | '*'        lane index within the parallel run
+//              (io* kinds: 0-based frame index within the file; frame 0 is
+//              the header, 1..Z the zone payloads)
 //   key     := 'delay' (ms, kind=delay) | 'array' (name, kind=nan)
+//            | 'bit' (payload bit to flip, kind=ioflip; default seeded)
 //            | 'count' (max times the entry fires; default 1, 0=unlimited)
 //            | 'p' (probability in [0,1]; default 1, seeded-RNG driven)
 //
@@ -24,6 +30,8 @@
 //   LLP_FAULT="nan:run.z0.rhs:6:0:array=q0"
 //   LLP_FAULT="delay:run.z0.sweep_j:*:2:delay=20:count=5"
 //   LLP_FAULT="hang:run.z0.update:2:1;seed=42"
+//   LLP_FAULT="ioflip:ckpt:1:0:bit=12"     (flip header bit of 2nd write)
+//   LLP_FAULT="iocrash:ckpt:2:1"           (die mid-payload of 3rd write)
 //
 // Probabilistic entries (p<1) draw from a SplitMix64 stream keyed by
 // (seed, region, invocation, lane), so they too are reproducible run-to-run.
@@ -37,13 +45,25 @@
 namespace llp::fault {
 
 enum class FaultKind {
-  kThrow,  ///< throw llp::LaneError from the lane
-  kNan,    ///< poison a registered array with a quiet NaN
-  kDelay,  ///< sleep the lane (straggler)
-  kHang,   ///< never return (the watchdog's job to detect); leaks the lane
+  kThrow,    ///< throw llp::LaneError from the lane
+  kNan,      ///< poison a registered array with a quiet NaN
+  kDelay,    ///< sleep the lane (straggler)
+  kHang,     ///< never return (the watchdog's job to detect); leaks the lane
+  kIoShort,  ///< torn write: the stream ends mid-frame but still lands
+  kIoFlip,   ///< flip one bit of a frame payload after its CRC was taken
+  kIoEnospc, ///< the write fails cleanly (ENOSPC), nothing lands
+  kIoCrash,  ///< process death mid-write: partial temp file, llp::CrashError
 };
 
+/// Number of FaultKind values (sizes the per-kind counters).
+inline constexpr int kNumFaultKinds = 8;
+
 const char* to_string(FaultKind kind);
+
+/// True for the io* kinds, which key on (stream, write-op, frame) through
+/// the checkpoint writer's seam rather than (region, invocation, lane)
+/// through the parallel-loop hook.
+bool is_io_kind(FaultKind kind);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kThrow;
@@ -54,6 +74,7 @@ struct FaultSpec {
   bool any_lane = false;         ///< '*'
   double delay_ms = 10.0;        ///< kDelay only
   std::string array;             ///< kNan: registered array; empty = all
+  std::int64_t bit = -1;         ///< kIoFlip: payload bit; -1 = seeded
   int count = 1;                 ///< max firings; <= 0 = unlimited
   double probability = 1.0;      ///< per-match firing probability
 

@@ -42,13 +42,18 @@ std::string HealthMonitor::report() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = strfmt(
-        "health: %llu faults (throw=%llu nan=%llu delay=%llu hang=%llu), "
+        "health: %llu faults (throw=%llu nan=%llu delay=%llu hang=%llu "
+        "ioshort=%llu ioflip=%llu ioenospc=%llu iocrash=%llu), "
         "%llu recoveries\n",
         static_cast<unsigned long long>(total_faults_),
         static_cast<unsigned long long>(by_kind_[0]),
         static_cast<unsigned long long>(by_kind_[1]),
         static_cast<unsigned long long>(by_kind_[2]),
         static_cast<unsigned long long>(by_kind_[3]),
+        static_cast<unsigned long long>(by_kind_[4]),
+        static_cast<unsigned long long>(by_kind_[5]),
+        static_cast<unsigned long long>(by_kind_[6]),
+        static_cast<unsigned long long>(by_kind_[7]),
         static_cast<unsigned long long>(total_recoveries_));
   }
   for (const auto& r : llp::regions().snapshot()) {

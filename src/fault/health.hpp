@@ -39,7 +39,7 @@ private:
   mutable std::mutex mu_;
   std::uint64_t total_faults_ = 0;
   std::uint64_t total_recoveries_ = 0;
-  std::uint64_t by_kind_[4] = {0, 0, 0, 0};
+  std::uint64_t by_kind_[kNumFaultKinds] = {};
 };
 
 }  // namespace llp::fault

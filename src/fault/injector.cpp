@@ -46,6 +46,7 @@ void Injector::set_plan(FaultPlan plan) {
   plan_ = std::move(plan);
   fired_.assign(plan_.specs.size(), 0);
   invocations_.clear();
+  io_ops_.clear();
   tainted_.clear();
 }
 
@@ -60,6 +61,7 @@ void Injector::reset_invocations() {
   std::lock_guard<std::mutex> lock(mu_);
   fired_.assign(plan_.specs.size(), 0);
   invocations_.clear();
+  io_ops_.clear();
   tainted_.clear();
 }
 
@@ -117,6 +119,7 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
 
     for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
       FaultSpec& spec = plan_.specs[i];
+      if (is_io_kind(spec.kind)) continue;  // io_fault()'s timeline
       if (spec.count > 0 && fired_[i] >= spec.count) continue;
       if (!should_fire(spec, region_name, invocation, lane)) continue;
       ++fired_[i];
@@ -143,6 +146,42 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
                     region, lane);
   }
   if (do_hang) hang_forever();
+}
+
+std::uint64_t Injector::begin_io(std::string_view stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = io_ops_.find(stream);
+  if (it == io_ops_.end()) {
+    it = io_ops_.emplace(std::string(stream), 0).first;
+  }
+  return it->second++;
+}
+
+bool Injector::io_fault(std::string_view stream, std::uint64_t op, int frame,
+                        IoFault* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    FaultSpec& spec = plan_.specs[i];
+    if (!is_io_kind(spec.kind)) continue;
+    if (spec.count > 0 && fired_[i] >= spec.count) continue;
+    if (!should_fire(spec, stream, op, frame)) continue;
+    ++fired_[i];
+    ++fired_total_;
+    ++fired_by_kind_[static_cast<int>(spec.kind)];
+    health_.note_fault(kNoRegion, spec.kind);
+    if (out != nullptr) {
+      out->kind = spec.kind;
+      // Seed-derived bit unless the spec pinned one; the writer reduces it
+      // modulo the frame's payload size.
+      out->bit = spec.bit >= 0
+                     ? static_cast<std::uint64_t>(spec.bit)
+                     : SplitMix64(plan_.seed ^ (op * 0x9e3779b97f4a7c15ULL) ^
+                                  static_cast<std::uint64_t>(frame))
+                           .next();
+    }
+    return true;
+  }
+  return false;
 }
 
 bool Injector::tainted(RegionId region, std::uint64_t invocation) {

@@ -56,6 +56,30 @@ public:
   void on_lane(RegionId region, std::uint64_t invocation, int lane) override;
   bool tainted(RegionId region, std::uint64_t invocation) override;
 
+  /// One I/O fault decision, returned by io_fault() to the checkpoint
+  /// writer's seam. `bit` is meaningful for kIoFlip only: the payload bit
+  /// to flip (spec's bit= option, or seed-derived when unset).
+  struct IoFault {
+    FaultKind kind = FaultKind::kIoFlip;
+    std::uint64_t bit = 0;
+  };
+
+  /// The I/O analogue of on_lane(): consulted by a durable writer before it
+  /// emits frame `frame` of its `op`-th write operation on `stream` (a
+  /// pseudo-region name, e.g. "ckpt"). Matches the plan's io* entries on
+  /// (stream, op, frame) exactly as loop faults match
+  /// (region, invocation, lane), honoring count, p, and seed; at most one
+  /// entry fires per call (the first match wins). Returns false when
+  /// nothing fires. Like on_lane, every firing is recorded in the health
+  /// monitor; it never throws — acting on the fault is the writer's job.
+  bool io_fault(std::string_view stream, std::uint64_t op, int frame,
+                IoFault* out);
+
+  /// Count write operations per stream for the io_fault timeline; returns
+  /// the 0-based index of the operation that is starting (the io analogue
+  /// of begin()). Reset by set_plan/reset_invocations.
+  std::uint64_t begin_io(std::string_view stream);
+
   /// Arrays available as kNan poison targets, by name. The registered
   /// memory must outlive the registration (or be unregistered first), and
   /// should not be written by the region the fault targets, so the poison
@@ -90,8 +114,9 @@ private:
   std::map<RegionId, std::string> region_names_;  // cached registry lookups
   std::set<std::pair<RegionId, std::uint64_t>> tainted_;
   std::map<std::string, Target> targets_;
+  std::map<std::string, std::uint64_t, std::less<>> io_ops_;
   std::uint64_t fired_total_ = 0;
-  std::uint64_t fired_by_kind_[4] = {0, 0, 0, 0};
+  std::uint64_t fired_by_kind_[kNumFaultKinds] = {};
   HealthMonitor health_;
 };
 

@@ -1,0 +1,66 @@
+#include "util/crc32c.hpp"
+
+namespace llp {
+
+namespace {
+
+struct Tables {
+  std::uint32_t t[8][256];
+  Tables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tbl;
+  return tbl;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const Tables& tbl = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  // Byte-at-a-time up to 8-byte alignment, then slicing-by-8.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = tbl.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               static_cast<std::uint32_t>(p[1]) << 8 |
+               static_cast<std::uint32_t>(p[2]) << 16 |
+               static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    crc = tbl.t[7][lo & 0xFFu] ^ tbl.t[6][(lo >> 8) & 0xFFu] ^
+          tbl.t[5][(lo >> 16) & 0xFFu] ^ tbl.t[4][lo >> 24] ^
+          tbl.t[3][hi & 0xFFu] ^ tbl.t[2][(hi >> 8) & 0xFFu] ^
+          tbl.t[1][(hi >> 16) & 0xFFu] ^ tbl.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = tbl.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace llp

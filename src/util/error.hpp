@@ -24,6 +24,24 @@ public:
   explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
+/// An I/O-shaped failure: malformed or truncated input, a corrupt
+/// checkpoint with no intact fallback generation, a failed or out-of-space
+/// write. Loaders throw these instead of constructing garbage state, so a
+/// caller can distinguish "the file is bad" from "the call was wrong".
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Simulated process death, thrown by the checkpoint writer when an
+/// `iocrash` fault fires mid-write. Deliberately NOT an IoError: recovery
+/// layers that absorb I/O failures must let this one propagate, so a crash
+/// is a crash even in-process. Tools translate it into an abrupt _exit.
+class CrashError : public Error {
+public:
+  explicit CrashError(const std::string& what) : Error(what) {}
+};
+
 /// An error attributed to one lane of one parallel region. The fault
 /// injector throws these so recovery layers (the solver's retry loop) can
 /// attribute a failure to the region that produced it without depending on

@@ -1,0 +1,454 @@
+// Durable checkpoint/restart: format round-trip, generation rotation, the
+// deferred-seal hook protocol under run_protected, and the corruption
+// fallback ladder — truncation at every frame boundary, bit flips in header
+// and payload, CRC-consistent corruption caught only by the end-to-end grid
+// checksum, and config-fingerprint mismatches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/io.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/validation.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using f3d::ckpt::CheckpointStore;
+using f3d::ckpt::Manifest;
+
+// A fresh per-test directory under the gtest temp root.
+std::string test_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+f3d::MultiZoneGrid make_grid() {
+  auto grid = f3d::build_grid(f3d::paper_1m_case(0.08));
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  return grid;
+}
+
+f3d::SolverConfig solver_config() {
+  f3d::SolverConfig cfg;
+  cfg.freestream = f3d::paper_1m_case(0.08).freestream;
+  cfg.region_prefix = "ckpt_test";
+  return cfg;
+}
+
+f3d::ckpt::Config store_config(const std::string& dir) {
+  f3d::ckpt::Config cc;
+  cc.dir = dir;
+  cc.every = 2;
+  cc.keep_generations = 3;
+  cc.meta = "case=test n=8";
+  return cc;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Checkpoint, SaveLoadRoundTripRestoresBitsAndState) {
+  const std::string dir = test_dir("roundtrip");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.run(3);
+  const std::uint64_t digest = f3d::checksum(grid);
+
+  CheckpointStore store(store_config(dir));
+  const int gen = store.save(grid, solver.state());
+  EXPECT_EQ(gen, 0);
+  EXPECT_EQ(store.saves_completed(), 1);
+  EXPECT_EQ(store.last_written_generation(), 0);
+  ASSERT_TRUE(fs::exists(f3d::ckpt::state_path(dir, 0)));
+
+  auto fresh = make_grid();
+  EXPECT_NE(f3d::checksum(fresh), digest) << "3 steps must change the grid";
+  const Manifest man = store.load(0, fresh);
+  EXPECT_EQ(f3d::checksum(fresh), digest);
+  EXPECT_EQ(man.state.steps, 3);
+  EXPECT_DOUBLE_EQ(man.state.cfl, solver.cfl());
+  EXPECT_DOUBLE_EQ(man.state.residual, solver.residual());
+  EXPECT_EQ(man.grid_checksum, digest);
+  EXPECT_EQ(man.meta, "case=test n=8");
+  EXPECT_FALSE(man.sealed()) << "save() without a replay residual is unsealed";
+}
+
+TEST(Checkpoint, RunProtectedSealsGenerationsOneStepLate) {
+  const std::string dir = test_dir("sealed");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  CheckpointStore store(store_config(dir));  // every=2
+  solver.set_checkpoint_hook(&store);
+
+  const f3d::RunReport report = solver.run_protected(7);
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.ckpt_write_failures, 0);
+  // Snapshots at steps 1, 3, 5 are sealed at steps 2, 4, 6; the step-7
+  // snapshot is flushed unsealed at end of run — 4 generations total.
+  EXPECT_EQ(report.durable_checkpoints, 4);
+  const auto gens = store.generations();
+  ASSERT_EQ(gens.size(), 3u) << "keep_generations=3 must prune the oldest";
+  EXPECT_EQ(gens, (std::vector<int>{3, 2, 1}));
+
+  const Manifest newest = store.read_manifest(3);
+  EXPECT_EQ(newest.state.steps, 7);
+  EXPECT_FALSE(newest.sealed()) << "end-of-run flush has no next residual";
+
+  const Manifest sealed = store.read_manifest(2);
+  EXPECT_EQ(sealed.state.steps, 5);
+  ASSERT_TRUE(sealed.sealed());
+
+  // The sealed first-replay contract: restore step 5, replay one step, and
+  // the residual must match what the uninterrupted run produced at step 6.
+  auto replay = make_grid();
+  const Manifest loaded = store.load(2, replay);
+  f3d::Solver resumed(replay, solver_config());
+  resumed.restore(loaded.state);
+  std::string why;
+  EXPECT_TRUE(f3d::ckpt::verify_first_replay(resumed, loaded, 1e-12, &why))
+      << why;
+  EXPECT_EQ(resumed.steps_taken(), 6);
+}
+
+TEST(Checkpoint, ResumedRunMatchesUninterruptedBitForBit) {
+  const std::string dir = test_dir("resume_exact");
+
+  // Uninterrupted reference: 9 steps straight through.
+  auto ref = make_grid();
+  f3d::Solver ref_solver(ref, solver_config());
+  ref_solver.run(9);
+  const std::uint64_t want = f3d::checksum(ref);
+
+  // Interrupted run: 5 steps, durable save, then restart from disk.
+  auto first = make_grid();
+  f3d::Solver first_solver(first, solver_config());
+  first_solver.run(5);
+  CheckpointStore store(store_config(dir));
+  store.save(first, first_solver.state());
+
+  auto second = make_grid();
+  const Manifest man = store.load(0, second);
+  f3d::Solver second_solver(second, solver_config());
+  second_solver.restore(man.state);
+  EXPECT_EQ(second_solver.steps_taken(), 5);
+  second_solver.run(4);
+  EXPECT_EQ(f3d::checksum(second), want)
+      << "restart must continue the exact trajectory, not a similar one";
+}
+
+TEST(Checkpoint, RotationKeepsNewestK) {
+  const std::string dir = test_dir("rotate");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  auto cc = store_config(dir);
+  cc.keep_generations = 2;
+  CheckpointStore store(cc);
+  for (int i = 0; i < 5; ++i) {
+    solver.step();
+    store.save(grid, solver.state());
+  }
+  EXPECT_EQ(store.saves_completed(), 5);
+  EXPECT_EQ(store.generations(), (std::vector<int>{4, 3}));
+  EXPECT_FALSE(fs::exists(f3d::ckpt::state_path(dir, 2)));
+}
+
+TEST(Checkpoint, NumberingContinuesPastPrunedGenerations) {
+  const std::string dir = test_dir("numbering");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  auto cc = store_config(dir);
+  cc.keep_generations = 1;
+  CheckpointStore store(cc);
+  store.save(grid, solver.state());
+  store.save(grid, solver.state());
+  store.save(grid, solver.state());
+  // A second store (a restarted process) keeps counting upward — generation
+  // numbers are a timeline, never reused.
+  CheckpointStore again(cc);
+  const int gen = again.save(grid, solver.state());
+  EXPECT_EQ(gen, 3);
+  EXPECT_EQ(again.generations(), (std::vector<int>{3}));
+}
+
+TEST(Checkpoint, TruncationAtEveryFrameBoundaryIsRejectedWithFallback) {
+  const std::string dir = test_dir("truncate");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  CheckpointStore store(store_config(dir));
+  solver.run(2);
+  store.save(grid, solver.state());  // generation 0: the fallback target
+  const std::uint64_t old_digest = f3d::checksum(grid);
+  solver.run(2);
+  store.save(grid, solver.state());  // generation 1: the victim
+
+  const std::string path = f3d::ckpt::state_path(dir, 1);
+  const std::string intact = slurp(path);
+  const auto offsets = f3d::ckpt::frame_offsets(path);
+  ASSERT_GE(offsets.size(), 4u) << "magic + HDR0 + zones + END0 expected";
+  ASSERT_EQ(offsets.back(), intact.size());
+
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    // Truncate exactly at a frame boundary — and just past it, mid-header —
+    // the torn-write shapes a crash can leave behind.
+    for (const std::size_t cut : {offsets[i], offsets[i] + 1}) {
+      spit(path, intact.substr(0, cut));
+      auto probe = make_grid();
+      EXPECT_THROW(store.load(1, probe), llp::IoError) << "cut at " << cut;
+
+      auto fallback = make_grid();
+      int gen = -1;
+      std::string ladder;
+      const Manifest man = store.load_newest_intact(fallback, &gen, &ladder);
+      EXPECT_EQ(gen, 0) << "must fall back to the older intact generation";
+      EXPECT_EQ(man.state.steps, 2);
+      EXPECT_EQ(f3d::checksum(fallback), old_digest);
+      EXPECT_NE(ladder.find("ckpt.1:"), std::string::npos) << ladder;
+    }
+  }
+  spit(path, intact);
+  auto healed = make_grid();
+  int gen = -1;
+  store.load_newest_intact(healed, &gen);
+  EXPECT_EQ(gen, 1) << "restored file must be newest-intact again";
+}
+
+TEST(Checkpoint, BitFlipsInHeaderAndPayloadAreRejected) {
+  const std::string dir = test_dir("bitflip");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.run(2);
+  CheckpointStore store(store_config(dir));
+  store.save(grid, solver.state());
+
+  const std::string path = f3d::ckpt::state_path(dir, 0);
+  const std::string intact = slurp(path);
+  const auto offsets = f3d::ckpt::frame_offsets(path);
+  ASSERT_GE(offsets.size(), 4u);
+
+  // offsets[1] is the HDR0 frame start, offsets[2] the first ZON0 frame.
+  const std::size_t header_byte = offsets[1] + 20 + 4;  // inside the manifest
+  const std::size_t payload_byte = offsets[2] + 20 + 64;  // inside zone 0's Q
+  for (const std::size_t at : {header_byte, payload_byte}) {
+    ASSERT_LT(at, intact.size());
+    std::string bad = intact;
+    bad[at] = static_cast<char>(bad[at] ^ 0x10);
+    spit(path, bad);
+    auto probe = make_grid();
+    EXPECT_THROW(store.load(0, probe), llp::IoError) << "flip at " << at;
+  }
+  // A header flip fails even the manifest-only read; a payload flip leaves
+  // the manifest parseable and the load fails on the zone frame's CRC.
+  std::string bad = intact;
+  bad[header_byte] = static_cast<char>(bad[header_byte] ^ 0x10);
+  spit(path, bad);
+  EXPECT_THROW(store.read_manifest(0), llp::IoError);
+  bad = intact;
+  bad[payload_byte] = static_cast<char>(bad[payload_byte] ^ 0x01);
+  spit(path, bad);
+  EXPECT_NO_THROW(store.read_manifest(0));
+  auto probe = make_grid();
+  try {
+    store.load(0, probe);
+    FAIL() << "corrupt zone payload must not load";
+  } catch (const llp::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, CrcConsistentCorruptionIsCaughtByGridChecksum) {
+  const std::string dir = test_dir("endtoend");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.run(2);
+  CheckpointStore store(store_config(dir));
+  store.save(grid, solver.state());
+
+  // An adversarial (or buggy-writer) corruption that keeps the frame CRC
+  // valid: swap two doubles inside zone 0's payload and recompute the CRC.
+  // Every per-frame rung passes; only the end-to-end grid checksum in the
+  // manifest can catch it.
+  const std::string path = f3d::ckpt::state_path(dir, 0);
+  std::string data = slurp(path);
+  const auto offsets = f3d::ckpt::frame_offsets(path);
+  ASSERT_GE(offsets.size(), 4u);
+  const std::size_t frame = offsets[2];  // ZON0 for zone 0
+  std::uint64_t len = 0;
+  std::memcpy(&len, data.data() + frame + 8, sizeof(len));
+  ASSERT_GE(len, 40u);
+  // Swap the first point's density and energy — guaranteed distinct finite
+  // values, so every finite-ness rung passes too.
+  char* payload = data.data() + frame + 20;
+  char tmp[8];
+  std::memcpy(tmp, payload, 8);
+  std::memcpy(payload, payload + 32, 8);
+  std::memcpy(payload + 32, tmp, 8);
+  const std::uint32_t crc =
+      llp::crc32c(payload, static_cast<std::size_t>(len));
+  std::memcpy(data.data() + frame + 16, &crc, sizeof(crc));
+  spit(path, data);
+
+  auto probe = make_grid();
+  try {
+    store.load(0, probe);
+    FAIL() << "CRC-consistent corruption must still be rejected";
+  } catch (const llp::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("grid checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, ConfigFingerprintMismatchIsRejected) {
+  const std::string dir = test_dir("meta");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.step();
+  CheckpointStore store(store_config(dir));
+  store.save(grid, solver.state());
+
+  auto other_cfg = store_config(dir);
+  other_cfg.meta = "case=test n=8 viscous=100";  // different physics
+  CheckpointStore other(other_cfg);
+  auto probe = make_grid();
+  try {
+    other.load(0, probe);
+    FAIL() << "a checkpoint from a different run config must not load";
+  } catch (const llp::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
+  }
+  // An empty expected fingerprint skips the check (tools that only
+  // inspect).
+  auto lax_cfg = store_config(dir);
+  lax_cfg.meta.clear();
+  CheckpointStore lax(lax_cfg);
+  EXPECT_NO_THROW(lax.load(0, probe));
+}
+
+TEST(Checkpoint, WrongGridShapeIsRejectedBeforeMutation) {
+  const std::string dir = test_dir("shape");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.step();
+  CheckpointStore store(store_config(dir));
+  store.save(grid, solver.state());
+
+  auto small = f3d::build_grid(f3d::wall_compression_case(8));
+  const std::uint64_t before = f3d::checksum(small);
+  EXPECT_THROW(store.load(0, small), llp::IoError);
+  EXPECT_EQ(f3d::checksum(small), before)
+      << "a rejected load must not touch the grid";
+}
+
+TEST(Checkpoint, StaleTempDirectoriesAreSweptOnNextSave) {
+  const std::string dir = test_dir("tmpsweep");
+  fs::create_directories(dir + "/ckpt.7.tmp");
+  spit(dir + "/ckpt.7.tmp/state.f3dc", "partial garbage from a dead run");
+
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  CheckpointStore store(store_config(dir));
+  const int gen = store.save(grid, solver.state());
+  EXPECT_EQ(gen, 0) << "temp dirs must not claim generation numbers";
+  EXPECT_FALSE(fs::exists(dir + "/ckpt.7.tmp")) << "stale temp must be swept";
+  EXPECT_EQ(store.generations(), (std::vector<int>{0}));
+}
+
+TEST(Checkpoint, OnRollbackDropsStalePendingSnapshot) {
+  const std::string dir = test_dir("rollback");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  CheckpointStore store(store_config(dir));
+
+  // Snapshot at step 1 (pending), then a rollback to step 0: the pending
+  // snapshot is off the standing timeline and must never be written.
+  solver.step();
+  store.on_healthy_step(grid, solver.state());
+  store.on_rollback(0);
+  solver.step();
+  EXPECT_FALSE(store.on_healthy_step(grid, solver.state()))
+      << "the dropped snapshot must not be sealed";
+  EXPECT_EQ(store.generations().size(), 0u);
+  // The cadence re-arms: flush still persists the standing state.
+  EXPECT_TRUE(store.flush(grid, solver.state()));
+  EXPECT_EQ(store.generations().size(), 1u);
+  EXPECT_EQ(store.read_manifest(store.generations().front()).state.steps, 2);
+}
+
+TEST(Checkpoint, VerifyFirstReplayRejectsWrongTrajectory) {
+  const std::string dir = test_dir("verify");
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  solver.run(3);
+  CheckpointStore store(store_config(dir));
+  // Seal with a residual the replay cannot reproduce — as if the
+  // checkpoint belonged to a different trajectory.
+  store.save(grid, solver.state(), 123.456);
+
+  auto replay = make_grid();
+  const Manifest man = store.load(0, replay);
+  ASSERT_TRUE(man.sealed());
+  f3d::Solver resumed(replay, solver_config());
+  resumed.restore(man.state);
+  std::string why;
+  EXPECT_FALSE(f3d::ckpt::verify_first_replay(resumed, man, 1e-6, &why));
+  EXPECT_NE(why.find("disagrees"), std::string::npos) << why;
+}
+
+TEST(Checkpoint, RestoreRejectsGarbageState) {
+  auto grid = make_grid();
+  f3d::Solver solver(grid, solver_config());
+  f3d::SolverState bad;
+  bad.steps = -1;
+  bad.cfl = 2.0;
+  EXPECT_THROW(solver.restore(bad), llp::Error);
+  bad.steps = 3;
+  bad.cfl = 0.0;
+  EXPECT_THROW(solver.restore(bad), llp::Error);
+  bad.cfl = std::nan("");
+  EXPECT_THROW(solver.restore(bad), llp::Error);
+}
+
+TEST(Checkpoint, StoreConfigIsValidatedUpFront) {
+  f3d::ckpt::Config cc;
+  cc.dir = "";
+  EXPECT_THROW(CheckpointStore{cc}, llp::Error);
+  cc.dir = test_dir("cfg");
+  cc.keep_generations = 0;
+  EXPECT_THROW(CheckpointStore{cc}, llp::Error);
+  cc.keep_generations = 1;
+  cc.replay_tol = -1.0;
+  EXPECT_THROW(CheckpointStore{cc}, llp::Error);
+}
+
+TEST(Checkpoint, MissingDirectoryHasNoGenerations) {
+  auto cc = store_config(test_dir("nodir"));
+  CheckpointStore store(cc);
+  EXPECT_TRUE(store.generations().empty());
+  auto grid = make_grid();
+  EXPECT_THROW(store.load_newest_intact(grid), llp::IoError);
+}
+
+}  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "f3d/cases.hpp"
 #include "f3d/solver.hpp"
@@ -53,6 +58,90 @@ TEST(SolutionIo, RejectsTruncatedPayload) {
   data.resize(data.size() / 2);
   std::stringstream cut(data);
   EXPECT_THROW(f3d::read_solution(cut, grid), llp::Error);
+}
+
+TEST(SolutionIo, MalformedInputThrowsTypedIoError) {
+  // Hardened loaders throw llp::IoError specifically, so recovery layers
+  // can tell "bad file" from programming errors.
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  std::stringstream bad_magic("NOTQ 1\n6 6 6\n");
+  EXPECT_THROW(f3d::read_solution(bad_magic, grid), llp::IoError);
+  std::stringstream empty("");
+  EXPECT_THROW(f3d::read_solution(empty, grid), llp::IoError);
+  EXPECT_THROW(f3d::load_solution("/nonexistent/llp.q", grid), llp::IoError);
+}
+
+TEST(SolutionIo, RejectsImplausibleZoneCountAndDims) {
+  auto grid = f3d::build_grid(f3d::wall_compression_case(6));
+  // A header claiming a million zones is corruption, not a big file — the
+  // loader must refuse before allocating anything.
+  std::stringstream zones("F3DQ1 1000000\n");
+  EXPECT_THROW(f3d::read_solution(zones, grid), llp::IoError);
+  std::stringstream negative("F3DQ1 -2\n");
+  EXPECT_THROW(f3d::read_solution(negative, grid), llp::IoError);
+  std::stringstream dims("F3DQ1 1\n6 6 999999999\n");
+  EXPECT_THROW(f3d::read_solution(dims, grid), llp::IoError);
+  std::stringstream zero_dim("F3DQ1 1\n6 0 6\n");
+  EXPECT_THROW(f3d::read_solution(zero_dim, grid), llp::IoError);
+}
+
+TEST(SolutionIo, RejectsNonFinitePayload) {
+  auto spec = f3d::wall_compression_case(6);
+  auto grid = f3d::build_grid(spec);
+  std::stringstream stream;
+  f3d::write_solution(stream, grid);
+  std::string data = stream.str();
+  // Poison one payload double with a quiet NaN.
+  const double nan = std::nan("");
+  std::memcpy(data.data() + data.size() - 64, &nan, sizeof(nan));
+  std::stringstream poisoned(data);
+  auto target = f3d::build_grid(spec);
+  EXPECT_THROW(f3d::read_solution(poisoned, target), llp::IoError);
+}
+
+TEST(SolutionIo, RejectedLoadDoesNotMutateTheGrid) {
+  auto spec = f3d::wall_compression_case(6);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  std::stringstream stream;
+  f3d::write_solution(stream, grid);
+  std::string data = stream.str();
+
+  auto target = f3d::build_grid(spec);
+  const std::uint64_t before = f3d::checksum(target);
+
+  // Truncated mid-payload: the header and the first values are readable,
+  // but nothing may land in the grid.
+  std::stringstream cut(data.substr(0, data.size() - 100));
+  EXPECT_THROW(f3d::read_solution(cut, target), llp::IoError);
+  EXPECT_EQ(f3d::checksum(target), before);
+
+  // NaN in the last zone values: everything validated up front, still no
+  // partial restore.
+  const double nan = std::nan("");
+  std::memcpy(data.data() + data.size() - 8, &nan, sizeof(nan));
+  std::stringstream poisoned(data);
+  EXPECT_THROW(f3d::read_solution(poisoned, target), llp::IoError);
+  EXPECT_EQ(f3d::checksum(target), before);
+}
+
+TEST(SolutionIo, PackUnpackRoundTripsCanonicalOrder) {
+  auto spec = f3d::wall_compression_case(6);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+  std::vector<double> buf;
+  f3d::pack_zone_interior(grid.zone(0), buf);
+  EXPECT_EQ(buf.size(), grid.zone(0).interior_points() *
+                            static_cast<std::size_t>(f3d::kNumVars));
+  auto target = f3d::build_grid(spec);
+  f3d::unpack_zone_interior(buf, target.zone(0));
+  EXPECT_DOUBLE_EQ(f3d::linf_diff(grid, target), 0.0);
+
+  std::vector<double> wrong(buf.begin(), buf.end() - 1);
+  EXPECT_THROW(f3d::unpack_zone_interior(wrong, target.zone(0)),
+               llp::IoError);
+  buf[3] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(f3d::unpack_zone_interior(buf, target.zone(0)), llp::IoError);
 }
 
 TEST(SolutionIo, CheckpointRestartContinuesExactly) {

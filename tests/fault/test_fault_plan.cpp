@@ -78,6 +78,41 @@ TEST(FaultPlan, RoundTrips) {
   EXPECT_EQ(again.to_string(), plan.to_string());
 }
 
+TEST(FaultPlan, ParsesIoKinds) {
+  const auto plan = FaultPlan::parse(
+      "ioshort:ckpt:1:0;ioflip:ckpt:2:1:bit=12;ioenospc:ckpt:*:0;"
+      "iocrash:ckpt:3:2");
+  ASSERT_EQ(plan.specs.size(), 4u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kIoShort);
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kIoFlip);
+  EXPECT_EQ(plan.specs[1].bit, 12);
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kIoEnospc);
+  EXPECT_TRUE(plan.specs[2].any_invocation);
+  EXPECT_EQ(plan.specs[3].kind, FaultKind::kIoCrash);
+  EXPECT_EQ(plan.specs[3].lane, 2);
+  for (const auto& s : plan.specs) {
+    EXPECT_TRUE(llp::fault::is_io_kind(s.kind));
+    EXPECT_EQ(s.region, "ckpt") << "stream name rides in the region field";
+  }
+  EXPECT_FALSE(llp::fault::is_io_kind(FaultKind::kThrow));
+  EXPECT_FALSE(llp::fault::is_io_kind(FaultKind::kNan));
+  EXPECT_EQ(plan.specs[0].bit, -1) << "unset bit stays seed-derived";
+}
+
+TEST(FaultPlan, IoKindsRoundTrip) {
+  const char* text =
+      "ioshort:ckpt:1:0;"
+      "ioflip:ckpt:2:1:bit=12;"
+      "ioenospc:ckpt:*:0:count=2;"
+      "iocrash:ckpt:3:2;"
+      "seed=9";
+  const auto plan = FaultPlan::parse(text);
+  const auto again = FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(again.specs.size(), plan.specs.size());
+  EXPECT_EQ(again.specs[1].bit, 12);
+  EXPECT_EQ(again.to_string(), plan.to_string());
+}
+
 TEST(FaultPlan, MatchesRespectsWildcards) {
   FaultSpec s;
   s.region = "r";

@@ -1,0 +1,201 @@
+// End-to-end kill-and-resume: the real f3d_run binary is killed mid-run —
+// by an injected iocrash (deterministic, dies inside a checkpoint write)
+// and by an honest SIGKILL from outside — and a `--restart=auto` rerun must
+// finish with the same final residual as an uninterrupted run. This is the
+// whole durability story exercised through the CLI: generation rotation,
+// torn-write rejection, fallback, replay verification, exact continuation.
+//
+// The binary's path arrives via the F3D_RUN_PATH compile definition.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;   // WEXITSTATUS, or -1 if signaled
+  int signal = 0;       // the terminating signal, 0 if exited
+  std::string output;   // combined stdout+stderr
+};
+
+std::string test_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_restart_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// fork/exec f3d_run with `args`, capturing output. When kill_after_ms > 0,
+// the child gets SIGKILL after that delay (unless it finished first).
+RunResult run_f3d(const std::vector<std::string>& args,
+                  int kill_after_ms = 0) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::dup2(pipefd[1], STDERR_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(F3D_RUN_PATH));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(F3D_RUN_PATH, argv.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+
+  if (kill_after_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+    ::kill(pid, SIGKILL);  // no warning, no cleanup — the real thing
+  }
+
+  RunResult r;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    r.output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipefd[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+// The parseable residual line f3d_run prints at the end of every run.
+double final_residual(const RunResult& r) {
+  const auto at = r.output.rfind("final residual ");
+  EXPECT_NE(at, std::string::npos) << r.output;
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(r.output.c_str() + at + std::strlen("final residual "),
+                     nullptr);
+}
+
+std::vector<std::string> base_args(const std::string& ckpt_dir) {
+  return {"--case", "cube",   "--n",     "12",     "--steps",
+          "12",     "--cfl",  "1.5",     "--wall", "--pulse",
+          "0.05",   "--threads", "2",    "--ckpt-dir", ckpt_dir,
+          "--ckpt-every", "2"};
+}
+
+TEST(Restart, InjectedCrashThenAutoRestartMatchesUninterrupted) {
+  // Reference: the same case straight through (its checkpoint dir is its
+  // own — durable checkpointing must not perturb the trajectory).
+  const auto ref = run_f3d(base_args(test_dir("crash_ref")));
+  ASSERT_EQ(ref.exit_code, 0) << ref.output;
+  const double want = final_residual(ref);
+  ASSERT_TRUE(std::isfinite(want));
+
+  // The victim dies inside its third checkpoint write (op 2, header
+  // frame): deterministic mid-write process death, torn temp left behind.
+  const std::string dir = test_dir("crash");
+  auto crash_args = base_args(dir);
+  crash_args.push_back("--fault");
+  crash_args.push_back("iocrash:ckpt:2:0");
+  const auto crashed = run_f3d(crash_args);
+  EXPECT_EQ(crashed.exit_code, 42) << crashed.output;
+  EXPECT_NE(crashed.output.find("injected crash"), std::string::npos)
+      << crashed.output;
+
+  // Resume: must report the resumption and land on the same trajectory.
+  auto resume_args = base_args(dir);
+  resume_args.push_back("--restart=auto");
+  const auto resumed = run_f3d(resume_args);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("restart: resumed from generation"),
+            std::string::npos)
+      << resumed.output;
+  const double got = final_residual(resumed);
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-9)
+      << "resumed trajectory diverged from the uninterrupted one";
+}
+
+TEST(Restart, SigkillMidRunThenAutoRestartMatchesUninterrupted) {
+  // A heavier case than the others so the kill reliably lands mid-run
+  // (~0.75 s uninterrupted at these sizes).
+  auto args_for = [](const std::string& dir) -> std::vector<std::string> {
+    return {"--case", "cube", "--n",   "24",     "--steps",    "80",
+            "--cfl",  "1.5",  "--wall", "--pulse", "0.05",     "--threads",
+            "2",      "--ckpt-dir", dir, "--ckpt-every", "2"};
+  };
+  const auto ref = run_f3d(args_for(test_dir("kill_ref")));
+  ASSERT_EQ(ref.exit_code, 0) << ref.output;
+  const double want = final_residual(ref);
+
+  // SIGKILL at an arbitrary point: the run may have written zero, some, or
+  // all generations — every one of those states must resume correctly
+  // (auto falls back to a fresh start when nothing intact exists).
+  const std::string dir = test_dir("kill");
+  const auto killed = run_f3d(args_for(dir), /*kill_after_ms=*/250);
+  if (killed.signal != SIGKILL) {
+    GTEST_SKIP() << "run finished before the kill landed; nothing to resume";
+  }
+
+  auto resume_args = args_for(dir);
+  resume_args.push_back("--restart=auto");
+  const auto resumed = run_f3d(resume_args);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  const double got = final_residual(resumed);
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-9)
+      << "post-SIGKILL resume diverged; output:\n"
+      << resumed.output;
+}
+
+TEST(Restart, StrictRestartFailsWithoutCheckpoints) {
+  auto args = base_args(test_dir("strict_empty"));
+  args.push_back("--restart");
+  const auto r = run_f3d(args);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("no intact checkpoint generation"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Restart, MismatchedConfigIsRefused) {
+  const std::string dir = test_dir("fingerprint");
+  const auto first = run_f3d(base_args(dir));
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+
+  // Same directory, different physics: every generation must be rejected
+  // by the fingerprint rung, and strict restart must fail.
+  auto args = base_args(dir);
+  args.push_back("--viscous");
+  args.push_back("500");
+  args.push_back("--restart");
+  const auto r = run_f3d(args);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("fingerprint"), std::string::npos) << r.output;
+}
+
+TEST(Restart, BadArgumentsAreUsageErrors) {
+  EXPECT_EQ(run_f3d({"--cfl", "-1"}).exit_code, 2);
+  EXPECT_EQ(run_f3d({"--cfl", "inf"}).exit_code, 2);
+  EXPECT_EQ(run_f3d({"--steps", "0"}).exit_code, 2);
+  EXPECT_EQ(run_f3d({"--n", "banana"}).exit_code, 2);
+  EXPECT_EQ(run_f3d({"--ckpt-every", "0"}).exit_code, 2);
+  EXPECT_EQ(run_f3d({"--restart=sometimes"}).exit_code, 2);
+  const auto r = run_f3d({"--frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace

@@ -20,19 +20,36 @@
 //     --max-recoveries N rollback budget for faulted steps   (default: 0)
 //     --checkpoint-every N steps between in-memory checkpoints (default: 10)
 //     --fault SPEC       inject faults per SPEC (same grammar as LLP_FAULT,
-//                        e.g. "nan:run.z0.rhs:5:0:array=q0")
+//                        e.g. "nan:run.z0.rhs:5:0:array=q0", I/O kinds
+//                        included: "iocrash:ckpt:1:2")
+//     --ckpt-dir DIR     durable checkpoints under DIR (ckpt.N/ generations)
+//     --ckpt-every N     healthy steps between durable snapshots (default 10)
+//     --keep-generations K  rotate, keeping the newest K     (default: 3)
+//     --restart[=auto]   resume from the newest intact generation in
+//                        --ckpt-dir; bare --restart fails if none loads,
+//                        =auto falls back to a fresh start
+//
+// All numeric flags are validated: non-numeric, non-finite, or
+// out-of-range values (zero grid dims, nonpositive CFL, ...) are a usage
+// error with exit code 2, not a silent garbage run.
 //
 // Exit code 0 on success; prints residual history, performance in the
 // paper's metrics, and wall forces when a wall is present. With faults
 // injected or --max-recoveries set, the run goes through the solver's
-// checkpoint/rollback path and exits 1 if the recovery budget is exhausted.
+// checkpoint/rollback path and exits 1 if the recovery budget is
+// exhausted. An injected iocrash exits abruptly (code 42) without cleanup,
+// like the process death it simulates.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/llp.hpp"
 #include "f3d/cases.hpp"
 #include "f3d/forces.hpp"
@@ -43,11 +60,12 @@
 #include "perf/advisor.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
+#include "util/format.hpp"
 
 namespace {
 
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "f3d_run: %s\n", msg);
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "f3d_run: %s\n", msg.c_str());
   std::fprintf(stderr,
                "usage: f3d_run [--case 1m|59m|cube|vortex] [--scale S] "
                "[--n N]\n"
@@ -55,9 +73,13 @@ namespace {
                "  [--viscous RE] [--wall] [--pulse AMP] [--save F] "
                "[--load F]\n"
                "  [--csv F] [--profile] [--advise P]\n"
-               "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n");
+               "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n"
+               "  [--ckpt-dir D] [--ckpt-every N] [--keep-generations K]\n"
+               "  [--restart[=auto]]\n");
   std::exit(2);
 }
+
+enum class Restart { kNone, kStrict, kAuto };
 
 struct Options {
   std::string case_name = "1m";
@@ -76,55 +98,120 @@ struct Options {
   int max_recoveries = 0;
   int checkpoint_every = 10;
   std::string fault_spec;
+  std::string ckpt_dir;
+  int ckpt_every = 10;
+  int keep_generations = 3;
+  Restart restart = Restart::kNone;
 };
+
+// Strict numeric parsing: the whole token must convert, and the value must
+// land in [lo, hi]. Anything else is a usage error, not a garbage run.
+long parse_int(const std::string& flag, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    usage(flag + "=" + s + " out of range [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double parse_num(const std::string& flag, const char* s, double lo,
+                 double hi) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants a number, got '" + s + "'");
+  }
+  if (!std::isfinite(v) || v < lo || v > hi) {
+    usage(flag + "=" + s + " must be finite and in [" + std::to_string(lo) +
+          ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
 
 Options parse(int argc, char** argv) {
   Options o;
-  auto need = [&](int i) {
+  auto need = [&](int i) -> const char* {
     if (i + 1 >= argc) usage("missing argument value");
     return argv[i + 1];
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--case") o.case_name = need(i++);
-    else if (a == "--scale") o.scale = std::atof(need(i++));
-    else if (a == "--n") o.n = std::atoi(need(i++));
-    else if (a == "--steps") o.steps = std::atoi(need(i++));
-    else if (a == "--cfl") o.cfl = std::atof(need(i++));
-    else if (a == "--mode") o.mode = need(i++);
-    else if (a == "--threads") o.threads = std::atoi(need(i++));
-    else if (a == "--viscous") o.viscous_re = std::atof(need(i++));
-    else if (a == "--wall") o.wall = true;
-    else if (a == "--pulse") o.pulse = std::atof(need(i++));
-    else if (a == "--save") o.save_path = need(i++);
+    else if (a == "--scale") {
+      o.scale = parse_num(a, need(i++), 1e-6, 1e3);
+    } else if (a == "--n") {
+      o.n = static_cast<int>(parse_int(a, need(i++), 4, 1 << 12));
+    } else if (a == "--steps") {
+      o.steps = static_cast<int>(parse_int(a, need(i++), 1, 1 << 24));
+    } else if (a == "--cfl") {
+      o.cfl = parse_num(a, need(i++), 1e-9, 1e6);
+    } else if (a == "--mode") {
+      o.mode = need(i++);
+    } else if (a == "--threads") {
+      o.threads = static_cast<int>(parse_int(a, need(i++), 0, 1 << 12));
+    } else if (a == "--viscous") {
+      o.viscous_re = parse_num(a, need(i++), 1e-9, 1e12);
+    } else if (a == "--wall") {
+      o.wall = true;
+    } else if (a == "--pulse") {
+      o.pulse = parse_num(a, need(i++), 0.0, 1e3);
+    } else if (a == "--save") o.save_path = need(i++);
     else if (a == "--load") o.load_path = need(i++);
     else if (a == "--csv") o.csv_path = need(i++);
     else if (a == "--profile") o.profile = true;
-    else if (a == "--advise") o.advise = std::atoi(need(i++));
-    else if (a == "--max-recoveries") o.max_recoveries = std::atoi(need(i++));
-    else if (a == "--checkpoint-every") o.checkpoint_every = std::atoi(need(i++));
-    else if (a == "--fault") o.fault_spec = need(i++);
-    else if (a == "--help" || a == "-h") usage("help requested");
-    else usage(("unknown option " + a).c_str());
+    else if (a == "--advise") {
+      o.advise = static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--max-recoveries") {
+      o.max_recoveries = static_cast<int>(parse_int(a, need(i++), 0, 1 << 16));
+    } else if (a == "--checkpoint-every") {
+      o.checkpoint_every =
+          static_cast<int>(parse_int(a, need(i++), 1, 1 << 24));
+    } else if (a == "--fault") {
+      o.fault_spec = need(i++);
+    } else if (a == "--ckpt-dir") {
+      o.ckpt_dir = need(i++);
+    } else if (a == "--ckpt-every") {
+      o.ckpt_every = static_cast<int>(parse_int(a, need(i++), 1, 1 << 24));
+    } else if (a == "--keep-generations") {
+      o.keep_generations =
+          static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--restart") {
+      o.restart = Restart::kStrict;
+    } else if (a == "--restart=auto") {
+      o.restart = Restart::kAuto;
+    } else if (a == "--help" || a == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown option " + a);
+    }
   }
-  if (o.steps < 1) usage("--steps must be >= 1");
   if (o.mode != "risc" && o.mode != "vector") usage("bad --mode");
+  if (o.case_name != "1m" && o.case_name != "59m" && o.case_name != "cube" &&
+      o.case_name != "vortex") {
+    usage("unknown --case " + o.case_name);
+  }
+  if (o.restart != Restart::kNone && o.ckpt_dir.empty()) {
+    usage("--restart needs --ckpt-dir");
+  }
+  if (o.restart != Restart::kNone && !o.load_path.empty()) {
+    usage("--restart and --load are mutually exclusive");
+  }
   return o;
 }
 
-}  // namespace
+f3d::CaseSpec case_spec(const Options& o) {
+  if (o.case_name == "1m") return f3d::paper_1m_case(o.scale);
+  if (o.case_name == "59m") return f3d::paper_59m_case(o.scale);
+  if (o.case_name == "cube") return f3d::wall_compression_case(o.n);
+  return f3d::vortex_case(o.n);
+}
 
-int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
-  if (o.threads > 0) llp::set_num_threads(o.threads);
-
-  f3d::CaseSpec spec;
-  if (o.case_name == "1m") spec = f3d::paper_1m_case(o.scale);
-  else if (o.case_name == "59m") spec = f3d::paper_59m_case(o.scale);
-  else if (o.case_name == "cube") spec = f3d::wall_compression_case(o.n);
-  else if (o.case_name == "vortex") spec = f3d::vortex_case(o.n);
-  else usage("unknown --case");
-
+f3d::MultiZoneGrid build_grid(const Options& o, const f3d::CaseSpec& spec) {
   auto grid = f3d::build_grid(spec);
   if (o.case_name == "vortex") {
     f3d::make_periodic(grid);
@@ -135,20 +222,31 @@ int main(int argc, char** argv) {
   if (o.wall) f3d::add_kmin_wall(grid);
   if (o.pulse > 0.0) f3d::add_gaussian_pulse(grid, o.pulse, 2.5);
   if (!o.load_path.empty()) f3d::load_solution(o.load_path, grid);
+  return grid;
+}
+
+// The run-configuration fingerprint recorded in every checkpoint manifest:
+// a restart with different physics flags must be refused, not silently
+// continued into an inconsistent trajectory.
+std::string config_fingerprint(const Options& o) {
+  return llp::strfmt("case=%s scale=%g n=%d mode=%s cfl=%g viscous=%g "
+                     "wall=%d pulse=%g",
+                     o.case_name.c_str(), o.scale, o.n, o.mode.c_str(),
+                     o.cfl, o.viscous_re, o.wall ? 1 : 0, o.pulse);
+}
+
+int run_main(const Options& o) {
+  if (o.threads > 0) llp::set_num_threads(o.threads);
+  const f3d::CaseSpec spec = case_spec(o);
+  auto grid = build_grid(o, spec);
 
   // Fault injection: LLP_FAULT from the environment, or --fault from the
-  // command line (the flag wins). Each zone's Q storage is registered as a
-  // NaN-poison target under "q<zone>".
+  // command line (the flag wins). Installed before any restart machinery
+  // runs so the checkpoint writer's io seam sees the plan too.
   llp::fault::init_from_env();
   if (!o.fault_spec.empty()) {
     llp::fault::set_global(std::make_unique<llp::fault::Injector>(
         llp::fault::FaultPlan::parse(o.fault_spec)));
-  }
-  if (auto* inj = llp::fault::global_injector()) {
-    for (int z = 0; z < grid.num_zones(); ++z) {
-      auto& st = grid.zone(z).storage();
-      inj->register_array("q" + std::to_string(z), st.data(), st.size());
-    }
   }
 
   f3d::SolverConfig cfg;
@@ -163,45 +261,118 @@ int main(int argc, char** argv) {
     cfg.rhs.viscous.reynolds = o.viscous_re;
   }
 
+  std::unique_ptr<f3d::ckpt::CheckpointStore> store;
+  if (!o.ckpt_dir.empty()) {
+    f3d::ckpt::Config cc;
+    cc.dir = o.ckpt_dir;
+    cc.every = o.ckpt_every;
+    cc.keep_generations = o.keep_generations;
+    cc.meta = config_fingerprint(o);
+    store = std::make_unique<f3d::ckpt::CheckpointStore>(cc);
+  }
+
+  llp::regions().reset_stats();
+
+  // Restart ladder: walk generations newest-to-oldest; the first one that
+  // passes frame validation AND reproduces its manifest's first-replay
+  // residual wins. --restart=auto falls through to a fresh start when the
+  // ladder is exhausted; bare --restart treats that as failure.
+  std::optional<f3d::Solver> solver;
+  if (o.restart != Restart::kNone) {
+    for (const int gen : store->generations()) {
+      solver.reset();
+      grid = build_grid(o, spec);  // a failed attempt must not leak state
+      f3d::ckpt::Manifest man;
+      try {
+        man = store->load(gen, grid);
+      } catch (const llp::IoError& e) {
+        std::fprintf(stderr, "restart: skipping ckpt.%d: %s\n", gen,
+                     e.what());
+        continue;
+      }
+      solver.emplace(grid, cfg);
+      solver->restore(man.state);
+      std::string why;
+      if (!f3d::ckpt::verify_first_replay(*solver, man,
+                                          store->config().replay_tol, &why)) {
+        std::fprintf(stderr, "restart: skipping ckpt.%d: %s\n", gen,
+                     why.c_str());
+        continue;
+      }
+      std::printf("restart: resumed from generation %d (step %d)\n", gen,
+                  man.state.steps);
+      break;
+    }
+    if (!solver.has_value()) {
+      if (o.restart == Restart::kStrict) {
+        std::fprintf(stderr,
+                     "f3d_run: no intact checkpoint generation under %s\n",
+                     o.ckpt_dir.c_str());
+        return 1;
+      }
+      std::printf("restart: no intact generation under %s, starting fresh\n",
+                  o.ckpt_dir.c_str());
+      grid = build_grid(o, spec);
+    }
+  }
+  if (!solver.has_value()) solver.emplace(grid, cfg);
+  if (store != nullptr) solver->set_checkpoint_hook(store.get());
+
+  // Each zone's Q storage is registered as a NaN-poison target under
+  // "q<zone>" — after the grid is final, so the pointers stay valid.
+  if (auto* inj = llp::fault::global_injector()) {
+    for (int z = 0; z < grid.num_zones(); ++z) {
+      auto& st = grid.zone(z).storage();
+      inj->register_array("q" + std::to_string(z), st.data(), st.size());
+    }
+  }
+
   std::printf("f3d_run: case=%s zones=%d points=%zu mode=%s threads=%d "
               "steps=%d cfl=%.2f%s\n",
               o.case_name.c_str(), grid.num_zones(), grid.total_points(),
               o.mode.c_str(), llp::num_threads(), o.steps, o.cfl,
               o.viscous_re > 0 ? " (viscous)" : "");
 
-  llp::regions().reset_stats();
-  f3d::Solver solver(grid, cfg);
-  // The protected (checkpoint/rollback) path is used whenever faults may
-  // fire or a recovery budget was granted; the plain loop otherwise.
-  const bool protected_run =
-      o.max_recoveries > 0 || llp::fault::global_injector() != nullptr;
+  // --steps is the run's overall target: a resumed run only covers the
+  // remainder (the replay-verification step already counted).
+  const int remaining = o.steps - solver->steps_taken();
+  const bool protected_run = o.max_recoveries > 0 || store != nullptr ||
+                             llp::fault::global_injector() != nullptr;
   f3d::RunReport report;
   llp::perf::Timer wall_clock;
-  if (protected_run) {
+  if (remaining <= 0) {
+    std::printf("checkpoint already at step %d >= target %d, nothing to do\n",
+                solver->steps_taken(), o.steps);
+  } else if (protected_run) {
     f3d::RunHistory hist;
-    report = solver.run_protected(o.steps, &hist);
+    report = solver->run_protected(remaining, &hist);
     for (std::size_t s = 0; s < hist.steps(); ++s) {
-      if (s % static_cast<std::size_t>(std::max(1, o.steps / 10)) == 0 ||
+      if (s % static_cast<std::size_t>(std::max(1, remaining / 10)) == 0 ||
           s + 1 == hist.steps()) {
-        std::printf("  step %4zu  residual %.6e\n", s, hist.residuals[s]);
+        std::printf("  step %4zu  residual %.6e\n",
+                    s + static_cast<std::size_t>(o.steps - remaining),
+                    hist.residuals[s]);
       }
     }
     std::printf("recovery: %s\n", report.summary().c_str());
   } else {
-    for (int s = 0; s < o.steps; ++s) {
-      solver.step();
-      if (s % std::max(1, o.steps / 10) == 0 || s == o.steps - 1) {
-        std::printf("  step %4d  residual %.6e\n", s, solver.residual());
+    for (int s = 0; s < remaining; ++s) {
+      solver->step();
+      if (s % std::max(1, remaining / 10) == 0 || s == remaining - 1) {
+        std::printf("  step %4d  residual %.6e\n", s + (o.steps - remaining),
+                    solver->residual());
       }
     }
   }
   const double elapsed = wall_clock.elapsed();
-  const double per_step = elapsed / o.steps;
+  const double per_step = elapsed / std::max(1, remaining);
 
   std::printf("\nperformance: %.1f time steps/hour, %.1f MFLOPS, "
               "%.3f s/step\n",
               llp::perf::time_steps_per_hour(per_step),
-              llp::perf::mflops(solver.flops_per_step(), per_step), per_step);
+              llp::perf::mflops(solver->flops_per_step(), per_step),
+              per_step);
+  std::printf("final residual %.17g\n", solver->residual());
   std::printf("solution checksum: %016llx\n",
               static_cast<unsigned long long>(f3d::checksum(grid)));
 
@@ -233,4 +404,18 @@ int main(int argc, char** argv) {
     std::printf("\nfault health:\n%s", inj->health().report().c_str());
   }
   return report.failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    return run_main(o);
+  } catch (const llp::CrashError& e) {
+    // A simulated crash behaves like the real thing: no stack unwinding,
+    // no destructors, no checkpoint cleanup — just sudden death.
+    std::fprintf(stderr, "f3d_run: %s\n", e.what());
+    std::_Exit(42);
+  }
 }
