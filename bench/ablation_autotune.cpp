@@ -58,10 +58,10 @@ double run_once(const std::vector<double>& w, const llp::ForOptions& opts) {
 
 double measure(const std::vector<double>& w, const llp::LoopConfig& c,
                int reps = 3) {
-  llp::ForOptions opts;
-  opts.schedule = c.schedule;
-  opts.chunk = c.chunk;
-  opts.num_threads = c.num_threads;
+  const llp::ForOptions opts = llp::ForOptions{}
+                                   .with_schedule(c.schedule)
+                                   .with_chunk(c.chunk)
+                                   .with_threads(c.num_threads);
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) best = std::min(best, run_once(w, opts));
   return best;
@@ -112,8 +112,7 @@ int main() {
   rt.set_tuner(&tuner);
   rt.set_auto_tune_enabled(true);
   const auto region = llp::regions().define("autotune.triangular");
-  llp::ForOptions auto_opts = llp::ForOptions::kAuto;
-  auto_opts.region = region;
+  const llp::ForOptions auto_opts = llp::ForOptions::auto_tuned(region);
   int invocations = 0;
   while (!tuner.converged(region, kTrips) && invocations < 128) {
     run_once(w, auto_opts);

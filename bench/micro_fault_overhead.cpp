@@ -19,14 +19,12 @@ llp::RegionId bench_region() {
 }
 
 void run_loop(std::int64_t n, std::vector<double>& out) {
-  llp::ForOptions opts;
-  opts.region = bench_region();
-  opts.num_threads = 2;
-  opts.schedule = llp::Schedule::kDynamic;
-  opts.chunk = 64;
   llp::parallel_for(
       0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
-      opts);
+      llp::ForOptions::in_region(bench_region())
+          .with_schedule(llp::Schedule::kDynamic)
+          .with_chunk(64)
+          .with_threads(2));
 }
 
 void BM_InstrumentedForNoHook(benchmark::State& state) {

@@ -23,9 +23,9 @@ BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 void BM_ParallelForStatic(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   std::vector<double> out(static_cast<std::size_t>(n));
-  llp::ForOptions opts;
-  opts.num_threads = 2;
-  opts.schedule = llp::Schedule::kStaticBlock;
+  const llp::ForOptions opts =
+      llp::ForOptions{}.with_threads(2).with_schedule(
+          llp::Schedule::kStaticBlock);
   for (auto _ : state) {
     llp::parallel_for(
         0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
@@ -39,10 +39,10 @@ BENCHMARK(BM_ParallelForStatic)->Arg(100)->Arg(10000);
 void BM_ParallelForDynamic(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   std::vector<double> out(static_cast<std::size_t>(n));
-  llp::ForOptions opts;
-  opts.num_threads = 2;
-  opts.schedule = llp::Schedule::kDynamic;
-  opts.chunk = 16;
+  const llp::ForOptions opts = llp::ForOptions{}
+                                   .with_threads(2)
+                                   .with_schedule(llp::Schedule::kDynamic)
+                                   .with_chunk(16);
   for (auto _ : state) {
     llp::parallel_for(
         0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
@@ -56,9 +56,8 @@ BENCHMARK(BM_ParallelForDynamic)->Arg(100)->Arg(10000);
 void BM_ParallelForGuided(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   std::vector<double> out(static_cast<std::size_t>(n));
-  llp::ForOptions opts;
-  opts.num_threads = 2;
-  opts.schedule = llp::Schedule::kGuided;
+  const llp::ForOptions opts =
+      llp::ForOptions{}.with_threads(2).with_schedule(llp::Schedule::kGuided);
   for (auto _ : state) {
     llp::parallel_for(
         0, n, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * 0.5; },
@@ -71,8 +70,7 @@ BENCHMARK(BM_ParallelForGuided)->Arg(10000);
 
 void BM_ParallelReduce(benchmark::State& state) {
   const std::int64_t n = state.range(0);
-  llp::ForOptions opts;
-  opts.num_threads = 2;
+  const llp::ForOptions opts = llp::ForOptions{}.with_threads(2);
   for (auto _ : state) {
     const double s = llp::parallel_reduce<double>(
         0, n, 0.0, [](double a, double b) { return a + b; },

@@ -55,10 +55,10 @@ int main() {
     }
   });
 
-  // 4. Schedules other than the C$doacross default are one option away.
-  llp::ForOptions dynamic_opts;
-  dynamic_opts.schedule = llp::Schedule::kDynamic;
-  dynamic_opts.chunk = 2;
+  // 4. Schedules other than the C$doacross default are one option away:
+  //    the ForOptions builder names each knob at the call site.
+  const llp::ForOptions dynamic_opts =
+      llp::ForOptions{}.with_schedule(llp::Schedule::kDynamic).with_chunk(2);
   std::vector<double> norms(static_cast<std::size_t>(lmax));
   llp::parallel_for(
       0, lmax,

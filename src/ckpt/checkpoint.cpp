@@ -11,6 +11,7 @@
 #include <functional>
 #include <iterator>
 
+#include "core/runtime.hpp"
 #include "f3d/io.hpp"
 #include "f3d/validation.hpp"
 #include "fault/injector.hpp"
@@ -270,6 +271,30 @@ std::unique_ptr<CheckpointStore::Snapshot> CheckpointStore::take_snapshot(
 
 int CheckpointStore::write_generation(const Snapshot& snap,
                                       double first_replay_residual) {
+  // Trace the durable write as a B/E pair keyed by step: the E fires on
+  // every exit (the guard covers the injected crash/ENOSPC throws too),
+  // and kCkptDurable marks the instant the rename published a generation.
+  const auto ckpt_step = static_cast<std::int64_t>(snap.manifest.state.steps);
+  auto emit_ckpt = [](llp::EventKind kind, std::int64_t a, std::int64_t b) {
+    llp::Runtime::instance().emit(llp::Event{.t_ns = 0,
+                                             .region = llp::kNoRegion,
+                                             .a = a,
+                                             .b = b,
+                                             .kind = kind,
+                                             .pad = 0,
+                                             .lane = -1,
+                                             .tid = -1});
+  };
+  emit_ckpt(llp::EventKind::kCkptWriteBegin, ckpt_step, 0);
+  struct WriteEndGuard {
+    decltype(emit_ckpt)& emit;
+    std::int64_t step;
+    bool ok = false;
+    ~WriteEndGuard() {
+      emit(llp::EventKind::kCkptWriteEnd, step, ok ? 1 : 0);
+    }
+  } write_end{emit_ckpt, ckpt_step};
+
   std::error_code ec;
   fs::create_directories(cfg_.dir, ec);
   if (ec) throw llp::IoError("cannot create checkpoint dir " + cfg_.dir);
@@ -402,6 +427,8 @@ int CheckpointStore::write_generation(const Snapshot& snap,
   ++saves_completed_;
   last_written_gen_ = gen;
   last_written_step_ = man.state.steps;
+  write_end.ok = true;
+  emit_ckpt(llp::EventKind::kCkptDurable, gen, ckpt_step);
   return gen;
 }
 

@@ -1,0 +1,117 @@
+// Unified runtime-event API: the single seam between the core runtime and
+// everything that watches or steers it.
+//
+// The paper's methodology is measurement-driven — profile, parallelize the
+// most expensive loop, re-measure (§4), and diagnose contention from
+// fixed-size scaling profiles (§7). The registry's flat RegionStats answer
+// "how much", but not "when": when did a lane straggle, a chunk get stolen,
+// a fault fire, a checkpoint stall a step. RuntimeObserver is the seam that
+// carries that timeline.
+//
+// One registration surface, two roles:
+//
+//   * passive observation — on_event(Event) receives every timestamped
+//     runtime event (region enter/exit, lane begin/end, chunk
+//     acquire/finish, cancellation, fault, rollback, checkpoint writes).
+//     src/obs implements a lock-free tracer on top of exactly this.
+//   * participation — an observer may expose a LoopTuner or FaultHook
+//     "facet"; the runtime consults the first observer offering one at the
+//     same points it used to consult the dedicated hook slots. The legacy
+//     Runtime::set_tuner / set_fault_hook calls still work: they register
+//     internal adapter observers through this same seam.
+//
+// on_event is called concurrently from every lane on the hot path;
+// implementations must be thread-safe and cheap (no locks on the common
+// path, no allocation). An installed observer must outlive every parallel
+// construct that runs while it is registered — the same contract the
+// dedicated hooks always had.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fault_hook.hpp"
+#include "core/region.hpp"
+#include "core/tuner_hook.hpp"
+
+namespace llp {
+
+/// Everything the runtime can tell an observer about. Payload fields `a`
+/// and `b` are kind-specific (documented per enumerator).
+enum class EventKind : std::uint8_t {
+  kRegionEnter,    ///< loop entered; a = trip count, b = lanes used
+  kRegionExit,     ///< loop joined; a = wall ns, b = 1 ok / 0 failed
+  kLaneBegin,      ///< lane starts its share; lane set
+  kLaneEnd,        ///< lane done; a = lane wall ns
+  kChunkAcquire,   ///< dynamic/guided/chunked grab; a = begin, b = end
+  kChunkFinish,    ///< the grabbed chunk completed; a = begin, b = end
+  kCancel,         ///< lane observed cooperative cancellation
+  kFault,          ///< injected fault fired; a = invocation, lane set
+  kRollback,       ///< recovery rolled the solver back; a = standing step
+  kCkptWriteBegin, ///< durable checkpoint write started; a = step
+  kCkptWriteEnd,   ///< durable write returned; a = step, b = 1 ok / 0 failed
+  kCkptDurable,    ///< a generation became durable; a = generation
+  kStepBegin,      ///< solver time step started; a = step index
+  kStepEnd,        ///< solver time step finished; a = step index
+  kMark,           ///< user-defined mark (LaneContext::mark); a, b free
+};
+inline constexpr int kNumEventKinds = static_cast<int>(EventKind::kMark) + 1;
+
+/// Short stable name for an event kind (exporters key display names on it).
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One timestamped runtime event. POD, 40 bytes: cheap to copy into a ring.
+struct Event {
+  std::uint64_t t_ns = 0;         ///< steady-clock nanoseconds (event_now_ns)
+  RegionId region = kNoRegion;    ///< owning region, kNoRegion for global
+  std::int64_t a = 0;             ///< kind-specific payload
+  std::int64_t b = 0;             ///< kind-specific payload
+  EventKind kind = EventKind::kMark;
+  std::int8_t pad = 0;
+  std::int16_t lane = -1;         ///< emitting lane, -1 when not lane-bound
+  std::int32_t tid = -1;          ///< filled by the tracer (ring slot), not core
+};
+
+/// Timestamp source for events: steady-clock nanoseconds. Exporters
+/// normalize against their own epoch.
+inline std::uint64_t event_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The single seam. Default implementation observes nothing and offers no
+/// facets, so subclasses override only what they need.
+class RuntimeObserver {
+public:
+  virtual ~RuntimeObserver() = default;
+
+  /// Passive event stream. Called from any thread, concurrently, on the
+  /// hot path; must be thread-safe, cheap, and must not throw or enter a
+  /// parallel construct.
+  virtual void on_event(const Event& event) { (void)event; }
+
+  /// Participant facets: the runtime consults the first registered
+  /// observer returning non-null where it used to consult the dedicated
+  /// hook slot. Facet calls keep their original contracts (choose/report
+  /// for the tuner, begin/on_lane/tainted for faults — on_lane may throw).
+  virtual LoopTuner* tuner_facet() { return nullptr; }
+  virtual FaultHook* fault_facet() { return nullptr; }
+};
+
+/// Immutable snapshot of the registered observers, shared between the
+/// runtime and in-flight loops (copy-on-write on registration changes).
+using ObserverList = std::vector<RuntimeObserver*>;
+using ObserverSnapshot = std::shared_ptr<const ObserverList>;
+
+/// Dispatch one event to every observer in the snapshot, stamping the
+/// timestamp if the caller left it zero.
+inline void emit_event(const ObserverList& observers, Event event) {
+  if (event.t_ns == 0) event.t_ns = event_now_ns();
+  for (RuntimeObserver* o : observers) o->on_event(event);
+}
+
+}  // namespace llp

@@ -16,6 +16,13 @@
 // replaces the directive's `local(...)` clause. Per-thread scratch buffers
 // (the paper's resized pencil arrays) are obtained via the lane index
 // overloads or WorkspacePool in f3d.
+//
+// Observability: instrumented loops (opts.region set) emit timestamped
+// events through the RuntimeObserver seam — region enter/exit, per-lane
+// begin/end, chunk acquire/finish for the chunked schedules, cancellation.
+// With no observers registered the emission paths cost one empty-vector
+// check per loop; src/obs turns the stream into Chrome traces and
+// per-region latency histograms.
 #pragma once
 
 #include <algorithm>
@@ -29,6 +36,7 @@
 
 #include "core/cancel.hpp"
 #include "core/fault_hook.hpp"
+#include "core/observer.hpp"
 #include "core/region.hpp"
 #include "core/runtime.hpp"
 #include "core/schedule.hpp"
@@ -40,6 +48,18 @@
 namespace llp {
 
 /// Options for one parallel loop.
+///
+/// Construct via the fluent builder:
+///
+///   llp::parallel_for(0, n, body,
+///       llp::ForOptions::in_region(id).with_schedule(Schedule::kDynamic)
+///                                     .with_chunk(8));
+///   llp::parallel_for(0, n, body, llp::ForOptions::auto_tuned(id));
+///
+/// The aggregate fields below remain public and keep working — existing
+/// brace/assignment construction is not broken — but they are DEPRECATED
+/// for new code: prefer the builder, which names every knob at the call
+/// site and composes with the kAuto path without field-order pitfalls.
 struct ForOptions {
   Schedule schedule = Schedule::kStaticBlock;
   std::int64_t chunk = 1;      ///< chunk size for chunked/dynamic schedules
@@ -53,74 +73,201 @@ struct ForOptions {
   bool auto_tune = false;
 
   /// Ready-made options for an autotuned loop: set `region` and go.
+  /// Prefer ForOptions::auto_tuned(region), which does both in one step.
   static const ForOptions kAuto;
+
+  // --- fluent builder -------------------------------------------------
+
+  /// Instrumented loop on `region` with explicit (default) configuration.
+  static ForOptions in_region(RegionId region) {
+    ForOptions o;
+    o.region = region;
+    return o;
+  }
+
+  /// Instrumented loop on `region` that consults the installed tuner.
+  static ForOptions auto_tuned(RegionId region) {
+    ForOptions o;
+    o.region = region;
+    o.auto_tune = true;
+    return o;
+  }
+
+  ForOptions& with_schedule(Schedule s) {
+    schedule = s;
+    return *this;
+  }
+  ForOptions& with_chunk(std::int64_t c) {
+    chunk = c;
+    return *this;
+  }
+  ForOptions& with_threads(int n) {
+    num_threads = n;
+    return *this;
+  }
+  ForOptions& with_region(RegionId r) {
+    region = r;
+    return *this;
+  }
+  ForOptions& with_auto_tune(bool on = true) {
+    auto_tune = on;
+    return *this;
+  }
 };
 
 inline const ForOptions ForOptions::kAuto{Schedule::kStaticBlock, 1, 0,
                                           kNoRegion, true};
 
+/// Per-lane execution context, passed to bodies declared as
+/// body(i, const LaneContext&). Carries what the bare (i, lane) overload
+/// cannot without accreting positional parameters: the lane id, the
+/// owning region, a cooperative-cancellation check for long bodies, and a
+/// user event emitter that lands kMark events in the trace.
+class LaneContext {
+public:
+  LaneContext(int lane, RegionId region,
+              const ObserverList* observers) noexcept
+      : lane_(lane), region_(region), observers_(observers) {}
+
+  int lane() const noexcept { return lane_; }
+  RegionId region() const noexcept { return region_; }
+
+  /// Has this parallel run been cancelled (sibling lane threw, watchdog
+  /// fired)? Long bodies poll this for finer-grained exits than the
+  /// runtime's chunk-boundary polling.
+  bool cancelled() const noexcept { return llp::cancelled(); }
+
+  /// Emit a user-defined kMark event attributed to this region and lane.
+  /// No-op when no observers are registered — free to leave in hot code.
+  void mark(std::int64_t a = 0, std::int64_t b = 0) const {
+    if (observers_ == nullptr) return;
+    emit_event(*observers_, Event{.t_ns = 0,
+                                  .region = region_,
+                                  .a = a,
+                                  .b = b,
+                                  .kind = EventKind::kMark,
+                                  .pad = 0,
+                                  .lane = static_cast<std::int16_t>(lane_),
+                                  .tid = -1});
+  }
+
+private:
+  int lane_;
+  RegionId region_;
+  const ObserverList* observers_;  ///< nullptr when nothing is registered
+};
+
 namespace detail {
 
-/// True if Body is callable as body(i, lane), else it is called as body(i).
+/// True if Body is callable as body(i, lane); it wins over the other forms
+/// (generic lambdas keep their historical int-lane behavior).
 template <typename Body>
 inline constexpr bool kBodyTakesLane =
     std::is_invocable_v<Body&, std::int64_t, int>;
 
+/// True if Body is callable as body(i, const LaneContext&).
 template <typename Body>
-inline void invoke_body(Body& body, std::int64_t i, int lane) {
+inline constexpr bool kBodyTakesContext =
+    std::is_invocable_v<Body&, std::int64_t, const LaneContext&>;
+
+template <typename Body>
+inline void invoke_body(Body& body, std::int64_t i, int lane,
+                        const LaneContext& ctx) {
   if constexpr (kBodyTakesLane<Body>) {
     body(i, lane);
+  } else if constexpr (kBodyTakesContext<Body>) {
+    (void)lane;
+    body(i, ctx);
   } else {
     (void)lane;
+    (void)ctx;
     body(i);
   }
 }
 
+/// Emission context for one instrumented, observed loop invocation.
+/// nullptr when the loop has no region or no observers are registered.
+struct EmitCtx {
+  const ObserverList* observers;
+  RegionId region;
+
+  void emit(EventKind kind, int lane, std::int64_t a, std::int64_t b) const {
+    emit_event(*observers, Event{.t_ns = 0,
+                                 .region = region,
+                                 .a = a,
+                                 .b = b,
+                                 .kind = kind,
+                                 .pad = 0,
+                                 .lane = static_cast<std::int16_t>(lane),
+                                 .tid = -1});
+  }
+};
+
 // Every schedule polls llp::cancelled() at chunk boundaries (for the static
 // block schedule, whose whole range is one chunk, at every outer iteration),
 // so once a sibling lane throws the rest stop within one chunk instead of
-// finishing full work on half-updated state.
+// finishing full work on half-updated state. A lane that observes the
+// cancellation emits one kCancel event before stopping.
 template <typename Body>
 void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
               int nthreads, const ForOptions& opts,
-              std::atomic<std::int64_t>& cursor) {
+              std::atomic<std::int64_t>& cursor, const EmitCtx* ectx) {
   // The shared pool may have more lanes than this loop uses (short loops
   // clamp nthreads to the trip count); surplus lanes sit the loop out.
   if (lane >= nthreads) return;
+  const LaneContext ctx(lane, opts.region,
+                        ectx != nullptr ? ectx->observers : nullptr);
+  auto cancelled_here = [&] {
+    if (!cancelled()) return false;
+    if (ectx != nullptr) ectx->emit(EventKind::kCancel, lane, 0, 0);
+    return true;
+  };
   switch (opts.schedule) {
     case Schedule::kStaticBlock: {
       const IterRange r = static_block(n, lane, nthreads);
       for (std::int64_t i = r.begin; i < r.end; ++i) {
-        if (cancelled()) return;
-        invoke_body(body, begin + i, lane);
+        if (cancelled_here()) return;
+        invoke_body(body, begin + i, lane, ctx);
       }
       break;
     }
     case Schedule::kStaticChunked: {
       for (const IterRange& r : static_chunks(n, lane, nthreads, opts.chunk)) {
-        if (cancelled()) return;
+        if (cancelled_here()) return;
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkAcquire, lane, r.begin, r.end);
+        }
         for (std::int64_t i = r.begin; i < r.end; ++i) {
-          invoke_body(body, begin + i, lane);
+          invoke_body(body, begin + i, lane, ctx);
+        }
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkFinish, lane, r.begin, r.end);
         }
       }
       break;
     }
     case Schedule::kDynamic: {
       for (;;) {
-        if (cancelled()) return;
+        if (cancelled_here()) return;
         const std::int64_t start =
             cursor.fetch_add(opts.chunk, std::memory_order_relaxed);
         if (start >= n) break;
         const std::int64_t stop = std::min(start + opts.chunk, n);
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkAcquire, lane, start, stop);
+        }
         for (std::int64_t i = start; i < stop; ++i) {
-          invoke_body(body, begin + i, lane);
+          invoke_body(body, begin + i, lane, ctx);
+        }
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkFinish, lane, start, stop);
         }
       }
       break;
     }
     case Schedule::kGuided: {
       for (;;) {
-        if (cancelled()) return;
+        if (cancelled_here()) return;
         std::int64_t start = cursor.load(std::memory_order_relaxed);
         std::int64_t take = 0;
         do {
@@ -129,8 +276,14 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
         } while (!cursor.compare_exchange_weak(start, start + take,
                                                std::memory_order_relaxed));
         const std::int64_t stop = std::min(start + take, n);
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkAcquire, lane, start, stop);
+        }
         for (std::int64_t i = start; i < stop; ++i) {
-          invoke_body(body, begin + i, lane);
+          invoke_body(body, begin + i, lane, ctx);
+        }
+        if (ectx != nullptr) {
+          ectx->emit(EventKind::kChunkFinish, lane, start, stop);
         }
       }
       break;
@@ -140,8 +293,9 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
 
 }  // namespace detail
 
-/// Parallel loop over [begin, end). Body is invoked as body(i) or
-/// body(i, lane) where lane in [0, nthreads).
+/// Parallel loop over [begin, end). Body is invoked as body(i),
+/// body(i, lane) with lane in [0, nthreads), or
+/// body(i, const LaneContext&).
 ///
 /// Exception semantics: if any lane throws, sibling lanes are cancelled
 /// cooperatively (they stop within one chunk), exactly one exception — the
@@ -153,7 +307,8 @@ void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
 /// would see) when the effective thread count is 1 or when opts.region names
 /// a region whose parallel execution is disabled — the incremental-
 /// parallelization switch. When opts.region is set, wall time and trip count
-/// are recorded in the registry either way.
+/// are recorded in the registry either way, and runtime events are emitted
+/// to every registered RuntimeObserver.
 template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
                   const ForOptions& opts = {}) {
@@ -165,6 +320,12 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   const bool enabled =
       !instrumented || rt.regions().parallel_enabled(opts.region);
 
+  // One snapshot per invocation: lanes and facets all work off the same
+  // immutable observer list for the loop's whole lifetime.
+  const ObserverSnapshot obs_snap = rt.observers();
+  const ObserverList& obs = *obs_snap;
+  const bool observed = instrumented && !obs.empty();
+
   // kAuto path: let the installed tuner override schedule/chunk/threads for
   // this invocation. It sees the measurement after the join, closing the
   // paper's measure -> decide -> configure loop.
@@ -172,7 +333,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   LoopTuner* tuner = nullptr;
   if (opts.auto_tune && instrumented && enabled && n > 0 &&
       rt.auto_tune_enabled()) {
-    tuner = rt.tuner();
+    tuner = find_tuner(obs);
     if (tuner != nullptr) {
       const LoopConfig c = tuner->choose(opts.region, n);
       eff.schedule = c.schedule;
@@ -192,8 +353,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   // Fault injection (LLP_FAULT): instrumented loops report their invocation
   // to the installed hook, which may throw / delay / poison / hang inside
   // on_lane per the active FaultPlan. No hook (the default) costs nothing.
-  FaultHook* fh = instrumented ? rt.fault_hook() : nullptr;
+  FaultHook* fh = instrumented ? find_fault_hook(obs) : nullptr;
   const std::uint64_t fault_inv = fh != nullptr ? fh->begin(opts.region) : 0;
+
+  const detail::EmitCtx ectx_storage{&obs, opts.region};
+  const detail::EmitCtx* ectx = observed ? &ectx_storage : nullptr;
+  if (observed) {
+    ectx->emit(EventKind::kRegionEnter, -1, n, nthreads);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -205,8 +372,9 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
     try {
       if (nthreads <= 1 || !enabled) {
         if (fh != nullptr) fh->on_lane(opts.region, fault_inv, 0);
+        const LaneContext ctx(0, opts.region, observed ? &obs : nullptr);
         for (std::int64_t i = begin; i < end; ++i) {
-          detail::invoke_body(body, i, 0);
+          detail::invoke_body(body, i, 0, ctx);
         }
       } else {
         std::atomic<std::int64_t> cursor{0};
@@ -225,17 +393,44 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
         std::vector<LaneTime> lane_times(
             instrumented ? static_cast<std::size_t>(nthreads) : 0);
         auto lane_fn = [&](int lane) {
-          if (fh != nullptr) fh->on_lane(opts.region, fault_inv, lane);
+          if (observed && lane < nthreads) {
+            ectx->emit(EventKind::kLaneBegin, lane, 0, 0);
+          }
+          if (fh != nullptr) {
+            try {
+              fh->on_lane(opts.region, fault_inv, lane);
+            } catch (...) {
+              // Keep the lane's begin/end events balanced even when the
+              // injected fault aborts the lane before it runs anything.
+              if (observed && lane < nthreads) {
+                ectx->emit(EventKind::kLaneEnd, lane, 0, 0);
+              }
+              throw;
+            }
+          }
           if (instrumented) {
             const auto lt0 = std::chrono::steady_clock::now();
-            detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
+            try {
+              detail::run_lane(begin, n, body, lane, nthreads, eff, cursor,
+                               ectx);
+            } catch (...) {
+              if (observed && lane < nthreads) {
+                ectx->emit(EventKind::kLaneEnd, lane, 0, 0);
+              }
+              throw;
+            }
             const std::chrono::duration<double> d =
                 std::chrono::steady_clock::now() - lt0;
             if (lane < nthreads) {
               lane_times[static_cast<std::size_t>(lane)].seconds = d.count();
+              if (observed) {
+                ectx->emit(EventKind::kLaneEnd, lane,
+                           static_cast<std::int64_t>(d.count() * 1e9), 1);
+              }
             }
           } else {
-            detail::run_lane(begin, n, body, lane, nthreads, eff, cursor);
+            detail::run_lane(begin, n, body, lane, nthreads, eff, cursor,
+                             nullptr);
           }
         };
         if (eff.num_threads > 0 && eff.num_threads != rt.num_threads()) {
@@ -270,6 +465,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
     rt.regions().record(opts.region, static_cast<std::uint64_t>(n), dt.count());
     if (recorded_lanes) {
       rt.regions().record_lanes(opts.region, lane_max, lane_mean);
+    }
+    if (observed) {
+      ectx->emit(EventKind::kRegionExit, -1,
+                 static_cast<std::int64_t>(dt.count() * 1e9),
+                 run_error == nullptr ? 1 : 0);
     }
     if (tuner != nullptr) {
       const double imbalance =
@@ -310,10 +510,10 @@ void parallel_for_2d(std::int64_t n0, std::int64_t n1, Body&& body,
       opts);
 }
 
-/// Parallel reduction over [begin, end). Body is body(i, T& local) or
-/// body(i, T& local, lane); per-lane partials live in cache-line-padded
-/// slots and are combined with `combine` in lane order (deterministic for a
-/// fixed thread count).
+/// Parallel reduction over [begin, end). Body is body(i, T& local),
+/// body(i, T& local, lane), or body(i, T& local, const LaneContext&);
+/// per-lane partials live in cache-line-padded slots and are combined with
+/// `combine` in lane order (deterministic for a fixed thread count).
 ///
 /// Exception semantics follow parallel_for: exactly one error is rethrown
 /// and the per-lane partials are discarded with the call frame — a failed
@@ -336,11 +536,16 @@ T parallel_reduce(std::int64_t begin, std::int64_t end, T identity,
   std::vector<Slot> slots(static_cast<std::size_t>(nthreads), Slot{identity});
   parallel_for(
       begin, end,
-      [&](std::int64_t i, int lane) {
-        if constexpr (std::is_invocable_v<Body&, std::int64_t, T&, int>) {
-          body(i, slots[static_cast<std::size_t>(lane)].value, lane);
+      [&](std::int64_t i, const LaneContext& ctx) {
+        const auto lane = static_cast<std::size_t>(ctx.lane());
+        if constexpr (std::is_invocable_v<Body&, std::int64_t, T&,
+                                          const LaneContext&>) {
+          body(i, slots[lane].value, ctx);
+        } else if constexpr (std::is_invocable_v<Body&, std::int64_t, T&,
+                                                 int>) {
+          body(i, slots[lane].value, ctx.lane());
         } else {
-          body(i, slots[static_cast<std::size_t>(lane)].value);
+          body(i, slots[lane].value);
         }
       },
       opts);

@@ -1,9 +1,10 @@
 #include "core/runtime.hpp"
 
-#include <cstdlib>
+#include <algorithm>
 #include <thread>
 #include <utility>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace llp {
@@ -12,29 +13,49 @@ namespace {
 // Upper bound on cached transient pools. Tuning explores a small ladder of
 // thread counts, so a handful of sizes covers the steady state.
 constexpr std::size_t kMaxTransientPools = 4;
+
+const ObserverSnapshot& empty_observers() {
+  static const ObserverSnapshot empty =
+      std::make_shared<const ObserverList>();
+  return empty;
+}
 }  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRegionEnter: return "region_enter";
+    case EventKind::kRegionExit: return "region_exit";
+    case EventKind::kLaneBegin: return "lane_begin";
+    case EventKind::kLaneEnd: return "lane_end";
+    case EventKind::kChunkAcquire: return "chunk_acquire";
+    case EventKind::kChunkFinish: return "chunk_finish";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRollback: return "rollback";
+    case EventKind::kCkptWriteBegin: return "ckpt_write_begin";
+    case EventKind::kCkptWriteEnd: return "ckpt_write_end";
+    case EventKind::kCkptDurable: return "ckpt_durable";
+    case EventKind::kStepBegin: return "step_begin";
+    case EventKind::kStepEnd: return "step_end";
+    case EventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
 
 Runtime& Runtime::instance() {
   static Runtime rt;
   return rt;
 }
 
-Runtime::Runtime() {
-  int n = 0;
-  if (const char* env = std::getenv("LLP_NUM_THREADS")) {
-    n = std::atoi(env);
-  }
+Runtime::Runtime() : observers_(empty_observers()) {
+  int n = env::get_int("LLP_NUM_THREADS", 0, 0, 1 << 16);
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
   }
   num_threads_ = n > 0 ? n : 1;
-  if (const char* env = std::getenv("LLP_TUNE")) {
-    auto_tune_ = env[0] != '\0' && env[0] != '0';
-  }
-  if (const char* env = std::getenv("LLP_WATCHDOG_MS")) {
-    const double ms = std::atof(env);
-    if (ms > 0.0) watchdog_seconds_ = ms / 1000.0;
-  }
+  auto_tune_ = env::get_flag("LLP_TUNE");
+  const double ms = env::get_double("LLP_WATCHDOG_MS", 0.0, 0.0, 1e12);
+  if (ms > 0.0) watchdog_seconds_ = ms / 1000.0;
 }
 
 int Runtime::num_threads() {
@@ -100,14 +121,61 @@ void Runtime::release_transient_pool(std::unique_ptr<ThreadPool> pool) {
   // else: dropped; the unique_ptr joins the workers on destruction.
 }
 
+void Runtime::add_observer_locked(RuntimeObserver* observer) {
+  if (observer == nullptr) return;
+  auto next = std::make_shared<ObserverList>(*observers_);
+  if (std::find(next->begin(), next->end(), observer) != next->end()) return;
+  next->push_back(observer);
+  observers_ = std::move(next);
+}
+
+void Runtime::remove_observer_locked(RuntimeObserver* observer) {
+  auto next = std::make_shared<ObserverList>(*observers_);
+  next->erase(std::remove(next->begin(), next->end(), observer), next->end());
+  observers_ = std::move(next);
+}
+
+void Runtime::add_observer(RuntimeObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  add_observer_locked(observer);
+}
+
+void Runtime::remove_observer(RuntimeObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remove_observer_locked(observer);
+}
+
+ObserverSnapshot Runtime::observers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observers_;
+}
+
+void Runtime::emit(Event event) {
+  ObserverSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = observers_;
+  }
+  emit_event(*snap, event);
+}
+
 void Runtime::set_tuner(LoopTuner* tuner) {
   std::lock_guard<std::mutex> lock(mu_);
-  tuner_ = tuner;
+  tuner_adapter_.hook = tuner;
+  if (tuner != nullptr) {
+    add_observer_locked(&tuner_adapter_);
+  } else {
+    remove_observer_locked(&tuner_adapter_);
+  }
 }
 
 LoopTuner* Runtime::tuner() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return tuner_;
+  ObserverSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = observers_;
+  }
+  return find_tuner(*snap);
 }
 
 bool Runtime::auto_tune_enabled() {
@@ -122,12 +190,21 @@ void Runtime::set_auto_tune_enabled(bool on) {
 
 void Runtime::set_fault_hook(FaultHook* hook) {
   std::lock_guard<std::mutex> lock(mu_);
-  fault_hook_ = hook;
+  fault_adapter_.hook = hook;
+  if (hook != nullptr) {
+    add_observer_locked(&fault_adapter_);
+  } else {
+    remove_observer_locked(&fault_adapter_);
+  }
 }
 
 FaultHook* Runtime::fault_hook() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return fault_hook_;
+  ObserverSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = observers_;
+  }
+  return find_fault_hook(*snap);
 }
 
 double Runtime::watchdog_seconds() {

@@ -1,11 +1,15 @@
-// Global runtime: thread count, shared pool, and the region registry.
+// Global runtime: thread count, shared pool, the region registry, and the
+// unified observer seam.
 //
 // Mirrors the role of the OpenMP runtime: one process-wide configuration
 // (LLP_NUM_THREADS environment variable, overridable via set_num_threads)
 // plus the shared worker pool every doacross construct dispatches to.
-// It also carries the two autotuning hooks: the master enable switch
-// (LLP_TUNE environment variable / set_auto_tune_enabled) and the installed
-// LoopTuner that ForOptions::kAuto loops consult.
+//
+// Observation and steering go through ONE seam: RuntimeObserver
+// (core/observer.hpp). add_observer/remove_observer register event sinks
+// and participant facets; the legacy set_tuner / set_fault_hook entry
+// points remain as thin adapters that register internal observers through
+// that same seam, so existing tuner/fault code keeps working unchanged.
 #pragma once
 
 #include <memory>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "core/fault_hook.hpp"
+#include "core/observer.hpp"
 #include "core/region.hpp"
 #include "core/thread_pool.hpp"
 #include "core/tuner_hook.hpp"
@@ -48,9 +53,31 @@ public:
   /// Region registry used by doacross/serial_region instrumentation.
   RegionRegistry& regions() { return regions_; }
 
-  /// Autotuner consulted by ForOptions::kAuto loops. Non-owning; nullptr
-  /// detaches. The tuner must outlive every auto loop that runs.
+  // --- the unified observer seam ------------------------------------
+
+  /// Register an observer: it starts receiving every runtime event, and
+  /// its tuner/fault facets (if any) are consulted by parallel loops.
+  /// The observer must outlive every parallel construct that runs while
+  /// registered. Duplicate registration is a no-op.
+  void add_observer(RuntimeObserver* observer);
+  /// Unregister. Must not race loops still running (same contract as the
+  /// legacy hook setters). Unknown observers are ignored.
+  void remove_observer(RuntimeObserver* observer);
+  /// Immutable snapshot of the registered observers — one shared_ptr load;
+  /// loops capture it for their whole invocation. Never null.
+  ObserverSnapshot observers();
+  /// Dispatch one event to all registered observers (cold-path helper for
+  /// subsystems without a snapshot in hand: fault firing, checkpoint
+  /// writes, solver steps).
+  void emit(Event event);
+
+  // --- legacy hook facades, now adapters over the seam ---------------
+
+  /// Autotuner consulted by auto-tuned loops. Non-owning; nullptr
+  /// detaches. Registers an internal adapter observer whose tuner_facet
+  /// returns `tuner`; equivalent to add_observer with your own facet.
   void set_tuner(LoopTuner* tuner);
+  /// First tuner facet among registered observers (nullptr when none).
   LoopTuner* tuner();
 
   /// Master switch for auto-tuned loops; initialized from LLP_TUNE=1.
@@ -60,9 +87,9 @@ public:
   void set_auto_tune_enabled(bool on);
 
   /// Fault-injection hook consulted by instrumented loops. Non-owning;
-  /// nullptr (the default) detaches. The hook must outlive every loop that
-  /// runs while it is installed.
+  /// nullptr detaches. Same adapter mechanism as set_tuner.
   void set_fault_hook(FaultHook* hook);
+  /// First fault facet among registered observers (nullptr when none).
   FaultHook* fault_hook();
 
   /// Watchdog deadline applied to every pool this runtime hands out
@@ -75,12 +102,27 @@ public:
 private:
   Runtime();
 
+  // Internal adapter observers behind the legacy facades.
+  struct TunerAdapter final : RuntimeObserver {
+    LoopTuner* hook = nullptr;
+    LoopTuner* tuner_facet() override { return hook; }
+  };
+  struct FaultAdapter final : RuntimeObserver {
+    FaultHook* hook = nullptr;
+    FaultHook* fault_facet() override { return hook; }
+  };
+
+  // Rebuild the copy-on-write observer snapshot. Caller holds mu_.
+  void add_observer_locked(RuntimeObserver* observer);
+  void remove_observer_locked(RuntimeObserver* observer);
+
   std::mutex mu_;
   int num_threads_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<ThreadPool>> transient_pools_;
-  LoopTuner* tuner_ = nullptr;
-  FaultHook* fault_hook_ = nullptr;
+  ObserverSnapshot observers_;
+  TunerAdapter tuner_adapter_;
+  FaultAdapter fault_adapter_;
   bool auto_tune_ = false;
   double watchdog_seconds_ = 0.0;
   RegionRegistry regions_;
@@ -90,5 +132,19 @@ private:
 inline RegionRegistry& regions() { return Runtime::instance().regions(); }
 inline int num_threads() { return Runtime::instance().num_threads(); }
 inline void set_num_threads(int n) { Runtime::instance().set_num_threads(n); }
+
+/// First tuner / fault facet in a snapshot (what parallel_for consults).
+inline LoopTuner* find_tuner(const ObserverList& observers) {
+  for (RuntimeObserver* o : observers) {
+    if (LoopTuner* t = o->tuner_facet()) return t;
+  }
+  return nullptr;
+}
+inline FaultHook* find_fault_hook(const ObserverList& observers) {
+  for (RuntimeObserver* o : observers) {
+    if (FaultHook* f = o->fault_facet()) return f;
+  }
+  return nullptr;
+}
 
 }  // namespace llp

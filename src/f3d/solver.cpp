@@ -5,8 +5,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/runtime.hpp"
 #include "f3d/io.hpp"
 #include "f3d/validation.hpp"
+#include "obs/obs.hpp"
 #include "tune/tuner.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -27,8 +29,10 @@ constexpr double kFlopsPerPointUpdate = 1.0 * kNumVars;
 Solver::Solver(MultiZoneGrid& grid, SolverConfig config)
     : grid_(grid), config_(std::move(config)) {
   // Install the process-global autotuner when LLP_TUNE=1 (no-op otherwise)
-  // so every auto-marked loop below self-optimizes over the run.
+  // so every auto-marked loop below self-optimizes over the run, and the
+  // tracer when LLP_TRACE=file.json — both ride the same observer seam.
   llp::tune::init_from_env();
+  llp::obs::init_from_env();
   LLP_REQUIRE(config_.cfl > 0.0, "cfl must be positive");
   LLP_REQUIRE(config_.kappa_i >= 0.0, "kappa_i must be nonnegative");
   LLP_REQUIRE(config_.cfl_growth >= 1.0, "cfl_growth must be >= 1");
@@ -75,8 +79,29 @@ void Solver::define_regions() {
   exchange_region_ = reg.define(pre + "exchange", llp::RegionKind::kSerial);
 }
 
+namespace {
+// Step-scoped event pair for the trace timeline. The end fires on every
+// exit with ok=0 when the step threw (an injected lane fault), so the
+// exported timeline stays balanced across recoveries.
+struct StepTraceScope {
+  std::int64_t step;
+  bool ok = false;
+  explicit StepTraceScope(std::int64_t attempt) : step(attempt) {
+    llp::Runtime::instance().emit(llp::Event{
+        .t_ns = 0, .region = llp::kNoRegion, .a = step, .b = 0,
+        .kind = llp::EventKind::kStepBegin, .pad = 0, .lane = -1, .tid = -1});
+  }
+  ~StepTraceScope() {
+    llp::Runtime::instance().emit(llp::Event{
+        .t_ns = 0, .region = llp::kNoRegion, .a = step, .b = ok ? 1 : 0,
+        .kind = llp::EventKind::kStepEnd, .pad = 0, .lane = -1, .tid = -1});
+  }
+};
+}  // namespace
+
 void Solver::step() {
   auto& reg = llp::regions();
+  StepTraceScope step_trace(steps_ + 1);
 
   // Boundary conditions and zonal exchange: cheap, deliberately serial
   // (Table 2: a face offers ~1/LMAX of the interior's work per sync).
@@ -124,16 +149,13 @@ void Solver::step() {
 
     // Right-hand side, one task per L plane, with the residual reduced
     // across lanes. Auto mode: tuned schedule/threads when LLP_TUNE=1.
-    llp::ForOptions opts;
-    opts.region = rg.rhs;
-    opts.auto_tune = true;
     sumsq += llp::parallel_reduce<double>(
         0, zone.lmax(), 0.0, [](double a, double b) { return a + b; },
         [&](std::int64_t l, double& acc) {
           compute_rhs_plane(zone, static_cast<int>(l), dt_, config_.rhs, rhs);
           acc += rhs_plane_sumsq(zone, static_cast<int>(l), rhs);
         },
-        opts);
+        llp::ForOptions::auto_tuned(rg.rhs));
     const double rhs_flops =
         kFlopsPerPointRhs +
         (config_.rhs.viscous.enabled ? kFlopsPerPointViscous : 0.0);
@@ -161,8 +183,6 @@ void Solver::step() {
 
     // Update Q += dQ, one task per L plane.
     const int ng = Zone::kGhost;
-    llp::ForOptions uopts;
-    uopts.region = rg.update;
     llp::parallel_for(
         0, zone.lmax(),
         [&](std::int64_t l) {
@@ -175,7 +195,7 @@ void Solver::step() {
             }
           }
         },
-        uopts);
+        llp::ForOptions::in_region(rg.update));
     reg.add_flops(rg.update, pts * kFlopsPerPointUpdate);
     reg.add_bytes(rg.update, pts * kBytesPerPointUpdate);
   }
@@ -196,6 +216,7 @@ void Solver::step() {
     dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
   }
   prev_residual_ = residual_;
+  step_trace.ok = true;
 }
 
 double Solver::run(int steps) {
@@ -282,6 +303,11 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     // standing timeline now; the hook must drop it rather than seal it
     // against the replayed (CFL-backed-off) trajectory.
     if (ckpt_hook_ != nullptr) ckpt_hook_->on_rollback(ckpt.steps);
+    llp::Runtime::instance().emit(llp::Event{
+        .t_ns = 0, .region = llp::kNoRegion,
+        .a = static_cast<std::int64_t>(ckpt.steps),
+        .b = static_cast<std::int64_t>(report.recoveries),
+        .kind = llp::EventKind::kRollback, .pad = 0, .lane = -1, .tid = -1});
   };
 
   // Persistent-fault tracking for the engine fallback: LaneErrors carry

@@ -35,8 +35,6 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
   // schedule/chunk/thread count come from its measured history instead of
   // the hand-picked C$doacross default. Off by default — the options fall
   // back to static block when tuning is disabled.
-  llp::ForOptions opts;
-  opts.auto_tune = true;
   llp::doacross(
       region, shape.outer_n,
       [&](std::int64_t outer, int lane) {
@@ -47,7 +45,7 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
           solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, periodic);
         }
       },
-      opts);
+      llp::ForOptions{}.with_auto_tune());
 }
 
 void VectorSweeps::ensure(int line_n, int inner_n) {

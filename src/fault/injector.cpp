@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/runtime.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -104,6 +105,7 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
   // while one lane sleeps or hangs).
   bool do_throw = false;
   bool do_hang = false;
+  bool fired_here = false;
   double delay_ms = 0.0;
   std::string region_name;
   {
@@ -125,6 +127,7 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
       ++fired_[i];
       ++fired_total_;
       ++fired_by_kind_[static_cast<int>(spec.kind)];
+      fired_here = true;
       tainted_.insert({region, invocation});
       health_.note_fault(region, spec.kind);
       switch (spec.kind) {
@@ -134,6 +137,18 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
         case FaultKind::kHang: do_hang = true; break;
       }
     }
+  }
+  // The fault event goes out before the blocking/throwing actions so a hang
+  // or an aborted lane still leaves its mark in the trace.
+  if (fired_here) {
+    Runtime::instance().emit(Event{.t_ns = 0,
+                                   .region = region,
+                                   .a = static_cast<std::int64_t>(invocation),
+                                   .b = 0,
+                                   .kind = EventKind::kFault,
+                                   .pad = 0,
+                                   .lane = static_cast<std::int16_t>(lane),
+                                   .tid = -1});
   }
   if (delay_ms > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -159,29 +174,44 @@ std::uint64_t Injector::begin_io(std::string_view stream) {
 
 bool Injector::io_fault(std::string_view stream, std::uint64_t op, int frame,
                         IoFault* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
-    FaultSpec& spec = plan_.specs[i];
-    if (!is_io_kind(spec.kind)) continue;
-    if (spec.count > 0 && fired_[i] >= spec.count) continue;
-    if (!should_fire(spec, stream, op, frame)) continue;
-    ++fired_[i];
-    ++fired_total_;
-    ++fired_by_kind_[static_cast<int>(spec.kind)];
-    health_.note_fault(kNoRegion, spec.kind);
-    if (out != nullptr) {
-      out->kind = spec.kind;
-      // Seed-derived bit unless the spec pinned one; the writer reduces it
-      // modulo the frame's payload size.
-      out->bit = spec.bit >= 0
-                     ? static_cast<std::uint64_t>(spec.bit)
-                     : SplitMix64(plan_.seed ^ (op * 0x9e3779b97f4a7c15ULL) ^
-                                  static_cast<std::uint64_t>(frame))
-                           .next();
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      FaultSpec& spec = plan_.specs[i];
+      if (!is_io_kind(spec.kind)) continue;
+      if (spec.count > 0 && fired_[i] >= spec.count) continue;
+      if (!should_fire(spec, stream, op, frame)) continue;
+      ++fired_[i];
+      ++fired_total_;
+      ++fired_by_kind_[static_cast<int>(spec.kind)];
+      health_.note_fault(kNoRegion, spec.kind);
+      if (out != nullptr) {
+        out->kind = spec.kind;
+        // Seed-derived bit unless the spec pinned one; the writer reduces it
+        // modulo the frame's payload size.
+        out->bit = spec.bit >= 0
+                       ? static_cast<std::uint64_t>(spec.bit)
+                       : SplitMix64(plan_.seed ^ (op * 0x9e3779b97f4a7c15ULL) ^
+                                    static_cast<std::uint64_t>(frame))
+                             .next();
+      }
+      fired = true;
+      break;
     }
-    return true;
   }
-  return false;
+  if (fired) {
+    // Outside the injector lock: observers may query runtime state.
+    Runtime::instance().emit(Event{.t_ns = 0,
+                                   .region = kNoRegion,
+                                   .a = static_cast<std::int64_t>(op),
+                                   .b = frame,
+                                   .kind = EventKind::kFault,
+                                   .pad = 0,
+                                   .lane = -1,
+                                   .tid = -1});
+  }
+  return fired;
 }
 
 bool Injector::tainted(RegionId region, std::uint64_t invocation) {
@@ -234,9 +264,9 @@ void set_global(std::unique_ptr<Injector> injector) {
 
 bool init_from_env() {
   if (g_injector != nullptr) return true;
-  const char* env = std::getenv("LLP_FAULT");
-  if (env == nullptr || env[0] == '\0') return false;
-  set_global(std::make_unique<Injector>(FaultPlan::parse(env)));
+  const std::string spec = env::get_string("LLP_FAULT", "");
+  if (spec.empty()) return false;
+  set_global(std::make_unique<Injector>(FaultPlan::parse(spec)));
   return true;
 }
 

@@ -1,0 +1,50 @@
+// Chrome-trace (Trace Event Format) exporter: turns a drained event vector
+// into JSON that chrome://tracing and Perfetto load directly.
+//
+// Mapping:
+//   region enter/exit, lane begin/end, chunk acquire/finish, step
+//   begin/end, ckpt write begin/end   ->  duration pairs (ph "B"/"E")
+//   cancel, fault, rollback, ckpt durable, mark -> instants (ph "i")
+//
+// The exporter guarantees BALANCED output: a matching pass per thread row
+// pairs begins with ends (by kind class and identity — region, lane,
+// step...) and silently-but-countedly discards anything unpaired, so a
+// trace truncated by ring overflow still loads cleanly. Timestamps are
+// microseconds relative to the earliest event; the thread row (tid) is the
+// tracer's ring slot.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace llp::obs {
+
+struct ChromeTraceOptions {
+  /// Include per-chunk duration slices (the noisiest row; disable for very
+  /// long runs where only region/lane structure matters).
+  bool include_chunks = true;
+  /// Ring-overflow count to record in the trace metadata, so a truncated
+  /// timeline is visibly truncated inside the viewer as well.
+  std::uint64_t dropped_events = 0;
+};
+
+struct ChromeTraceStats {
+  std::size_t events_written = 0;    ///< JSON records emitted
+  std::size_t unmatched_dropped = 0; ///< begins/ends discarded by pairing
+};
+
+/// Render `events` as a Chrome-trace JSON document on `os`.
+ChromeTraceStats write_chrome_trace(const std::vector<Event>& events,
+                                    std::ostream& os,
+                                    const ChromeTraceOptions& options = {});
+
+/// Same, to a file. Throws llp::IoError when the file cannot be written.
+ChromeTraceStats write_chrome_trace_file(const std::vector<Event>& events,
+                                         const std::string& path,
+                                         const ChromeTraceOptions& options = {});
+
+}  // namespace llp::obs

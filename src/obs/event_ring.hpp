@@ -1,0 +1,92 @@
+// Bounded single-producer/single-consumer ring of runtime events: the
+// tracer's hot-path buffer.
+//
+// Each producing thread owns exactly one ring (the tracer assigns slots by
+// thread id), so pushes need no CAS loop — one relaxed load of the cached
+// consumer position, a slot write, and a release store of the new tail.
+// The consumer side (export/drain) is serialized by the tracer's mutex.
+//
+// Overflow drops the NEW event and counts it; it never blocks the lane and
+// never overwrites history. A dropped-event count is part of the exported
+// metadata, so a truncated trace is always visibly truncated (histogram
+// metrics are unaffected: the tracer computes them synchronously, not from
+// the rings).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace llp::obs {
+
+class EventRing {
+public:
+  /// Capacity is rounded up to a power of two, minimum 8.
+  explicit EventRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 8 ? std::size_t{8} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool try_push(const Event& event) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's release of head_: once we observe a
+    // freed slot, the consumer is done reading it.
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail & mask_] = event;
+    // Release publishes the slot write to the consumer.
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: append everything currently buffered to `out` and free
+  /// the slots. Returns the number of events drained.
+  std::size_t drain(std::vector<Event>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    for (std::uint64_t i = head; i != tail; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    head_.store(tail, std::memory_order_release);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Events rejected because the ring was full.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Events successfully pushed over the ring's lifetime.
+  std::uint64_t pushed() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
+
+  /// Events currently buffered (approximate under concurrent pushes).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+private:
+  std::vector<Event> slots_;
+  std::size_t mask_;
+  // Producer and consumer indices on separate cache lines so pushes and
+  // drains do not false-share.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer writes
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer writes
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace llp::obs

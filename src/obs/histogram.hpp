@@ -1,0 +1,91 @@
+// Log-bucketed latency histogram: fixed memory, ~19% worst-case relative
+// error per bucket (4 sub-buckets per power of two), quantile queries by
+// bucket walk. Not internally synchronized — the tracer updates it under
+// its stats mutex (region exits are per-invocation, far off the hot path).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace llp::obs {
+
+class LatencyHistogram {
+public:
+  // 64 octaves x 4 sub-buckets covers the full uint64 nanosecond range.
+  static constexpr int kSubBits = 2;
+  static constexpr int kBuckets = 64 << kSubBits;
+
+  static int bucket_of(std::uint64_t ns) noexcept {
+    if (ns < (1u << kSubBits)) return static_cast<int>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const int sub =
+        static_cast<int>((ns >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+    return (msb << kSubBits) + sub;
+  }
+
+  /// Representative value (geometric-ish midpoint) for a bucket.
+  static std::uint64_t bucket_value(int bucket) noexcept {
+    if (bucket < (1 << kSubBits)) return static_cast<std::uint64_t>(bucket);
+    const int msb = bucket >> kSubBits;
+    const int sub = bucket & ((1 << kSubBits) - 1);
+    const std::uint64_t lo =
+        (std::uint64_t{1} << msb) +
+        (static_cast<std::uint64_t>(sub) << (msb - kSubBits));
+    return lo + (std::uint64_t{1} << (msb - kSubBits)) / 2;
+  }
+
+  void add(std::uint64_t ns) noexcept {
+    ++counts_[static_cast<std::size_t>(bucket_of(ns))];
+    ++count_;
+    sum_ += ns;
+    if (ns < min_ || count_ == 1) min_ = ns;
+    if (ns > max_) max_ = ns;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Approximate q-quantile (q in [0,1]) in nanoseconds; 0 when empty.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max_;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[static_cast<std::size_t>(b)];
+      if (seen >= target) return bucket_value(b);
+    }
+    return max_;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (int b = 0; b < kBuckets; ++b) {
+      counts_[static_cast<std::size_t>(b)] +=
+          other.counts_[static_cast<std::size_t>(b)];
+    }
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace llp::obs

@@ -1,0 +1,117 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "core/runtime.hpp"
+#include "util/env.hpp"
+
+namespace llp::obs {
+
+namespace {
+
+std::mutex g_mu;
+std::unique_ptr<Tracer> g_tracer;
+std::string g_export_path;
+bool g_atexit_registered = false;
+
+void export_at_exit() {
+  // Exit path: never throw, never block on a lock held by a dead thread
+  // (the mutex is only ever held briefly on this path's own thread).
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    path = g_export_path;
+  }
+  if (path.empty() || g_tracer == nullptr) return;
+  std::string error;
+  export_trace(path, &error);  // best effort; errors die with the process
+}
+
+}  // namespace
+
+Tracer& install(const TracerConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_tracer == nullptr) {
+    g_tracer = std::make_unique<Tracer>(config);
+    Runtime::instance().add_observer(g_tracer.get());
+  }
+  return *g_tracer;
+}
+
+Tracer* global_tracer() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_tracer.get();
+}
+
+void uninstall() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_tracer != nullptr) {
+    Runtime::instance().remove_observer(g_tracer.get());
+    g_tracer.reset();
+  }
+  g_export_path.clear();
+}
+
+void set_export_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_export_path = path;
+  if (!path.empty() && !g_atexit_registered) {
+    std::atexit(export_at_exit);
+    g_atexit_registered = true;
+  }
+}
+
+std::string export_path() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_export_path;
+}
+
+bool export_trace(const std::string& path, std::string* error) {
+  Tracer* tracer = global_tracer();
+  if (tracer == nullptr) {
+    if (error != nullptr) *error = "no tracer installed";
+    return false;
+  }
+  try {
+    ChromeTraceOptions options;
+    options.dropped_events = tracer->dropped();
+    write_chrome_trace_file(tracer->drain(), path, options);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_export_path == path) g_export_path.clear();  // done; skip at-exit
+  return true;
+}
+
+bool init_from_env() {
+  const std::string path = env::get_string("LLP_TRACE", "");
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_tracer != nullptr) {
+      // Explicit install wins; the env var can still name the export file
+      // if nothing set one yet.
+      if (!path.empty() && g_export_path.empty()) {
+        g_export_path = path;
+        if (!g_atexit_registered) {
+          std::atexit(export_at_exit);
+          g_atexit_registered = true;
+        }
+      }
+      return true;
+    }
+  }
+  if (path.empty()) return false;
+  TracerConfig config;
+  config.buffer_events = static_cast<std::size_t>(
+      env::get_int("LLP_TRACE_BUFFER", static_cast<long>(config.buffer_events),
+                   64, 1L << 24));
+  install(config);
+  set_export_path(path);
+  return true;
+}
+
+}  // namespace llp::obs

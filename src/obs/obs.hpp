@@ -1,0 +1,50 @@
+// llp::obs — process-global observability: one Tracer registered with the
+// runtime's observer seam, plus export plumbing.
+//
+// Precedence follows util/env.hpp: an explicit install() / set_export_path()
+// call (e.g. from f3d_run --trace=FILE) always wins over the environment;
+// LLP_TRACE=file.json / LLP_TRACE_BUFFER=N configure processes that were
+// not started through a flag-aware tool. Either way an export of whatever
+// the rings hold is attempted at normal process exit (std::atexit), so a
+// traced run that forgets to export still leaves a file. Abnormal exits
+// (std::_Exit on injected crashes) skip it by design — the rings live in
+// the dying process.
+#pragma once
+
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/tracer.hpp"
+#include "obs/trace_check.hpp"
+
+namespace llp::obs {
+
+/// Install the process-global tracer and register it with the runtime.
+/// Idempotent: a second call returns the existing tracer (config ignored).
+Tracer& install(const TracerConfig& config = {});
+
+/// The global tracer, or nullptr when install()/init_from_env() never ran.
+Tracer* global_tracer();
+
+/// Unregister and destroy the global tracer (primarily for tests). Any
+/// pending at-exit export is cancelled.
+void uninstall();
+
+/// Path the at-exit hook will export to; empty disables the hook.
+void set_export_path(const std::string& path);
+std::string export_path();
+
+/// Drain the global tracer and write a Chrome trace to `path`. Returns
+/// false (with `error` filled, if given) when no tracer is installed or the
+/// write fails. Clears the pending at-exit export when it targeted the same
+/// path — an explicit export is not repeated at exit.
+bool export_trace(const std::string& path, std::string* error = nullptr);
+
+/// LLP_TRACE=file.json installs the tracer (ring capacity LLP_TRACE_BUFFER,
+/// default TracerConfig) and arranges the at-exit export to that file.
+/// Returns true when a tracer is installed after the call. Idempotent; a
+/// prior explicit install() keeps its configuration and merely gains the
+/// export path (explicit beats environment).
+bool init_from_env();
+
+}  // namespace llp::obs

@@ -1,0 +1,231 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "util/format.hpp"
+
+namespace llp::obs {
+
+namespace {
+
+// Monotone id per Tracer instance so the thread-local slot cache can never
+// alias a new tracer allocated at a dead tracer's address.
+std::atomic<std::uint64_t> g_tracer_ids{1};
+
+struct SlotCache {
+  std::uint64_t tracer_id = 0;
+  int slot = -1;
+};
+thread_local SlotCache t_slot_cache;
+
+}  // namespace
+
+Tracer::Tracer(TracerConfig config) : config_(config) {
+  if (config_.max_threads < 1) config_.max_threads = 1;
+  rings_.reserve(static_cast<std::size_t>(config_.max_threads));
+  for (int i = 0; i < config_.max_threads; ++i) {
+    rings_.push_back(std::make_unique<EventRing>(config_.buffer_events));
+  }
+  id_ = g_tracer_ids.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+int Tracer::slot_for_current_thread() {
+  if (t_slot_cache.tracer_id == id_) return t_slot_cache.slot;
+  std::lock_guard<std::mutex> lock(slot_mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = slot_by_thread_.find(self);
+  int slot;
+  if (it != slot_by_thread_.end()) {
+    slot = it->second;
+  } else if (next_slot_ < config_.max_threads) {
+    slot = next_slot_++;
+    slot_by_thread_.emplace(self, slot);
+  } else {
+    slot = -1;  // out of rings: this thread's events are dropped (counted)
+    slot_by_thread_.emplace(self, slot);
+  }
+  t_slot_cache = SlotCache{id_, slot};
+  return slot;
+}
+
+void Tracer::on_event(const Event& event) {
+  // Warm path first: exact metrics, per invocation / per lane frequency.
+  switch (event.kind) {
+    case EventKind::kRegionEnter:
+    case EventKind::kRegionExit:
+    case EventKind::kLaneEnd:
+    case EventKind::kCancel:
+    case EventKind::kFault:
+      fold_metrics(event);
+      break;
+    case EventKind::kChunkAcquire:
+      fold_metrics(event);
+      break;
+    default:
+      break;
+  }
+  const int slot = slot_for_current_thread();
+  if (slot < 0) {
+    slotless_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event stamped = event;
+  stamped.tid = slot;
+  rings_[static_cast<std::size_t>(slot)]->try_push(stamped);
+}
+
+void Tracer::fold_metrics(const Event& event) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (event.region == kNoRegion) {
+    if (event.kind == EventKind::kFault) ++global_faults_;
+    return;
+  }
+  if (event.region >= metrics_.size()) {
+    metrics_.resize(event.region + 1);
+  }
+  RegionMetrics& m = metrics_[event.region];
+  switch (event.kind) {
+    case EventKind::kRegionEnter:
+      m.trips += static_cast<std::uint64_t>(event.a > 0 ? event.a : 0);
+      break;
+    case EventKind::kRegionExit: {
+      ++m.invocations;
+      m.latency.add(static_cast<std::uint64_t>(event.a > 0 ? event.a : 0));
+      if (m.inflight_lanes > 0) {
+        const double max_s =
+            static_cast<double>(m.inflight_lane_max_ns) * 1e-9;
+        const double mean_s =
+            static_cast<double>(m.inflight_lane_sum_ns) * 1e-9 /
+            static_cast<double>(m.inflight_lanes);
+        m.lane_max_seconds += max_s;
+        m.lane_mean_seconds += mean_s;
+        if (mean_s > 0.0) {
+          m.imbalance_sum += max_s / mean_s;
+          ++m.imbalance_count;
+        }
+      }
+      m.inflight_lane_max_ns = 0;
+      m.inflight_lane_sum_ns = 0;
+      m.inflight_lanes = 0;
+      break;
+    }
+    case EventKind::kLaneEnd: {
+      // The fork-join structure guarantees every lane end of an invocation
+      // precedes its region exit, so in-flight accumulation is safe.
+      const auto lane_ns = static_cast<std::uint64_t>(event.a > 0 ? event.a : 0);
+      m.inflight_lane_max_ns = std::max(m.inflight_lane_max_ns, lane_ns);
+      m.inflight_lane_sum_ns += lane_ns;
+      ++m.inflight_lanes;
+      break;
+    }
+    case EventKind::kChunkAcquire:
+      ++m.chunks;
+      break;
+    case EventKind::kCancel:
+      ++m.cancels;
+      break;
+    case EventKind::kFault:
+      ++m.faults;
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<Event> Tracer::drain() {
+  std::vector<Event> out;
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  for (auto& ring : rings_) ring->drain(out);
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = slotless_drops_.load(std::memory_order_relaxed);
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+std::uint64_t Tracer::accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->pushed();
+  return total;
+}
+
+std::vector<RegionLatency> Tracer::region_latencies() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<RegionLatency> out;
+  auto& registry = llp::regions();
+  for (RegionId id = 0; id < metrics_.size(); ++id) {
+    const RegionMetrics& m = metrics_[id];
+    if (m.invocations == 0 && m.trips == 0 && m.faults == 0) continue;
+    RegionLatency r;
+    r.region = id;
+    r.name = id < registry.size() ? registry.stats(id).name
+                                  : strfmt("region#%zu", id);
+    r.invocations = m.invocations;
+    r.p50_ns = m.latency.quantile(0.50);
+    r.p95_ns = m.latency.quantile(0.95);
+    r.p99_ns = m.latency.quantile(0.99);
+    r.mean_ns = m.latency.mean();
+    r.imbalance = m.imbalance_count > 0
+                      ? m.imbalance_sum /
+                            static_cast<double>(m.imbalance_count)
+                      : 0.0;
+    r.chunks = m.chunks;
+    r.cancels = m.cancels;
+    r.faults = m.faults;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<llp::RegionStats> Tracer::to_region_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<llp::RegionStats> out;
+  auto& registry = llp::regions();
+  for (RegionId id = 0; id < metrics_.size(); ++id) {
+    const RegionMetrics& m = metrics_[id];
+    if (m.invocations == 0) continue;
+    llp::RegionStats s;
+    s.name = id < registry.size() ? registry.stats(id).name
+                                  : strfmt("region#%zu", id);
+    s.invocations = m.invocations;
+    s.total_trips = m.trips;
+    s.seconds = static_cast<double>(m.latency.mean()) * 1e-9 *
+                static_cast<double>(m.invocations);
+    s.lane_max_seconds = m.lane_max_seconds;
+    s.lane_mean_seconds = m.lane_mean_seconds;
+    s.faults = m.faults;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Tracer::summary() const {
+  const std::vector<RegionLatency> rows = region_latencies();
+  std::ostringstream os;
+  os << strfmt("%-28s %10s %10s %10s %10s %7s %8s %7s %6s\n", "region",
+               "invocs", "p50(us)", "p95(us)", "p99(us)", "imbal", "chunks",
+               "cancel", "fault");
+  for (const RegionLatency& r : rows) {
+    os << strfmt("%-28s %10llu %10.1f %10.1f %10.1f %7.2f %8llu %7llu %6llu\n",
+                 r.name.c_str(),
+                 static_cast<unsigned long long>(r.invocations),
+                 static_cast<double>(r.p50_ns) / 1e3,
+                 static_cast<double>(r.p95_ns) / 1e3,
+                 static_cast<double>(r.p99_ns) / 1e3, r.imbalance,
+                 static_cast<unsigned long long>(r.chunks),
+                 static_cast<unsigned long long>(r.cancels),
+                 static_cast<unsigned long long>(r.faults));
+  }
+  os << strfmt("events dropped: %llu\n",
+               static_cast<unsigned long long>(dropped()));
+  return os.str();
+}
+
+}  // namespace llp::obs

@@ -1,0 +1,133 @@
+// Tracer: the always-on observability backend behind RuntimeObserver.
+//
+// Hot path (on_event, called from every lane): look up this thread's ring
+// slot (one TLS compare on the common path), stamp the slot id into the
+// event, push into the thread's private SPSC ring. Lock-free, bounded
+// memory, drop-counted on overflow.
+//
+// Warm path (region exits, lane ends, faults — per invocation, not per
+// chunk): fold the event into per-region metrics under a mutex, so latency
+// histograms and imbalance numbers stay EXACT even when rings overflow and
+// the timeline loses events.
+//
+// Cold path (drain/export): swallow every ring into one vector, in per-ring
+// FIFO order, for the Chrome-trace exporter; or render histogram summaries
+// (p50/p95/p99, imbalance, chunk counts) and RegionStats snapshots that
+// feed perf::advise and perf::contention_scan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/region.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/histogram.hpp"
+
+namespace llp::obs {
+
+struct TracerConfig {
+  /// Per-thread ring capacity in events (rounded up to a power of two).
+  /// At 40 bytes/event the default buffers ~650 KiB per active thread.
+  std::size_t buffer_events = 1 << 14;
+  /// Maximum distinct producing threads; later threads drop (counted).
+  int max_threads = 256;
+};
+
+/// Per-region latency summary derived from the synchronous metrics.
+struct RegionLatency {
+  RegionId region = kNoRegion;
+  std::string name;
+  std::uint64_t invocations = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  double mean_ns = 0.0;
+  double imbalance = 0.0;      ///< mean over invocations of max-lane/mean-lane
+  std::uint64_t chunks = 0;    ///< chunk acquisitions (dynamic/guided steals)
+  std::uint64_t cancels = 0;
+  std::uint64_t faults = 0;
+};
+
+class Tracer final : public RuntimeObserver {
+public:
+  explicit Tracer(TracerConfig config = {});
+  ~Tracer() override;
+
+  const TracerConfig& config() const { return config_; }
+
+  // RuntimeObserver: the hot path.
+  void on_event(const Event& event) override;
+
+  /// Move everything buffered out of the rings, with each event's tid set
+  /// to its ring slot. Per-ring FIFO order within the result; interleave
+  /// across rings by timestamp (the exporter sorts). Safe to call while
+  /// lanes are still emitting — concurrent events land in the next drain.
+  std::vector<Event> drain();
+
+  /// Total events dropped so far: ring overflows plus events from threads
+  /// beyond max_threads.
+  std::uint64_t dropped() const;
+
+  /// Events accepted into rings so far (drained or not).
+  std::uint64_t accepted() const;
+
+  /// Latency summaries for every region seen, in region-id order.
+  std::vector<RegionLatency> region_latencies() const;
+
+  /// The same metrics shaped as RegionStats (name, invocations, trips,
+  /// seconds, lane max/mean), so a trace session can feed perf::advise and
+  /// perf::contention_scan without going through the global registry.
+  std::vector<llp::RegionStats> to_region_stats() const;
+
+  /// Human-readable per-region table: p50/p95/p99 latency, imbalance,
+  /// chunk/cancel/fault counts, plus the drop counter.
+  std::string summary() const;
+
+private:
+  struct RegionMetrics {
+    LatencyHistogram latency;         // region wall ns per invocation
+    std::uint64_t invocations = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t cancels = 0;
+    std::uint64_t faults = 0;
+    double imbalance_sum = 0.0;       // sum over invocations with lane data
+    std::uint64_t imbalance_count = 0;
+    double lane_max_seconds = 0.0;    // accumulated like RegionStats
+    double lane_mean_seconds = 0.0;
+    // In-flight lane accounting for the current invocation; folded and
+    // reset at kRegionExit (the join guarantees lane ends come first).
+    std::uint64_t inflight_lane_max_ns = 0;
+    std::uint64_t inflight_lane_sum_ns = 0;
+    std::uint32_t inflight_lanes = 0;
+  };
+
+  /// Ring slot for the calling thread, or -1 when max_threads is exhausted.
+  int slot_for_current_thread();
+
+  void fold_metrics(const Event& event);
+
+  TracerConfig config_;
+  std::uint64_t id_ = 0;  ///< process-unique, keys the TLS slot cache
+  std::vector<std::unique_ptr<EventRing>> rings_;
+
+  mutable std::mutex drain_mu_;  ///< serializes consumers (SPSC invariant)
+  mutable std::mutex slot_mu_;
+  std::unordered_map<std::thread::id, int> slot_by_thread_;
+  int next_slot_ = 0;
+  std::atomic<std::uint64_t> slotless_drops_{0};
+
+  mutable std::mutex stats_mu_;
+  std::vector<RegionMetrics> metrics_;      // indexed by RegionId
+  std::uint64_t global_faults_ = 0;         // kFault with region == kNoRegion
+};
+
+}  // namespace llp::obs

@@ -7,6 +7,7 @@
 
 #include "core/runtime.hpp"
 #include "tune/candidates.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace llp::tune {
@@ -310,16 +311,14 @@ std::string g_db_path;
 Tuner* global_tuner() { return g_tuner.get(); }
 
 bool init_from_env() {
-  const char* env = std::getenv("LLP_TUNE");
-  const bool requested = env != nullptr && env[0] != '\0' && env[0] != '0';
+  const bool requested = env::get_flag("LLP_TUNE");
   auto& rt = Runtime::instance();
   if (!requested) {
     return rt.auto_tune_enabled() && rt.tuner() != nullptr;
   }
   if (g_tuner == nullptr) {
     g_tuner = std::make_unique<Tuner>();
-    const char* db = std::getenv("LLP_TUNE_DB");
-    g_db_path = (db != nullptr && db[0] != '\0') ? db : ".llp_tune";
+    g_db_path = env::get_string("LLP_TUNE_DB", ".llp_tune");
     g_tuner->load_db(g_db_path);  // absent file is fine: cold start
     rt.set_tuner(g_tuner.get());
     rt.set_auto_tune_enabled(true);

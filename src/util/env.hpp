@@ -1,0 +1,82 @@
+// Consolidated environment-variable parsing for the whole runtime.
+//
+// Every LLP knob reachable from the environment goes through these typed
+// getters instead of scattered std::getenv/atoi calls, so the parsing
+// rules are uniform and documented once:
+//
+//   * precedence: an explicit API call (set_num_threads, set_tuner,
+//     f3d_run flags) ALWAYS wins over an environment variable, which wins
+//     over the built-in default. Env vars are read once, at the first
+//     construction of the subsystem that owns them — they configure
+//     startup, they are not live knobs.
+//   * malformed values fall back to the caller's default rather than
+//     aborting: an env var is operator input, and "LLP_NUM_THREADS=banana"
+//     should behave like an unset variable, not crash a production run.
+//   * range clamping is explicit: get_int/get_double take [lo, hi] and
+//     return the fallback for out-of-range values, so a parsed-but-absurd
+//     setting cannot propagate.
+//
+// The variables in use:
+//
+//   LLP_NUM_THREADS    lane count                  (Runtime)
+//   LLP_TUNE           enable autotuning, =1       (Runtime, llp::tune)
+//   LLP_TUNE_DB        tuning-DB path              (llp::tune)
+//   LLP_WATCHDOG_MS    pool watchdog deadline      (Runtime)
+//   LLP_FAULT          fault-plan spec             (llp::fault)
+//   LLP_TRACE          trace output path           (llp::obs)
+//   LLP_TRACE_BUFFER   per-thread ring capacity    (llp::obs)
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace llp::env {
+
+/// The raw value, or nullopt when unset. Empty values count as set (some
+/// shells export empties); flag semantics live in get_flag.
+inline std::optional<std::string> raw(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+/// String-valued variable; unset or empty returns `fallback`.
+inline std::string get_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? std::string(v) : fallback;
+}
+
+/// Boolean switch: set, non-empty, and not starting with '0' ("1", "yes",
+/// "true" all enable; "0" and "" disable — matches the historical LLP_TUNE
+/// parsing).
+inline bool get_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Integer variable: the whole token must parse and land in [lo, hi],
+/// otherwise `fallback` is returned.
+inline long get_int(const char* name, long fallback, long lo, long hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  if (parsed < lo || parsed > hi) return fallback;
+  return parsed;
+}
+
+/// Floating-point variable with the same whole-token + range rule.
+inline double get_double(const char* name, double fallback, double lo,
+                         double hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  if (!(parsed >= lo && parsed <= hi)) return fallback;  // rejects NaN too
+  return parsed;
+}
+
+}  // namespace llp::env

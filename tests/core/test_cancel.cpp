@@ -17,11 +17,10 @@
 namespace {
 
 llp::ForOptions dynamic_opts(int threads, std::int64_t chunk) {
-  llp::ForOptions o;
-  o.schedule = llp::Schedule::kDynamic;
-  o.chunk = chunk;
-  o.num_threads = threads;
-  return o;
+  return llp::ForOptions{}
+      .with_schedule(llp::Schedule::kDynamic)
+      .with_chunk(chunk)
+      .with_threads(threads);
 }
 
 TEST(Cancel, CancelledIsFalseOutsideParallelConstructs) {
@@ -88,8 +87,7 @@ TEST(Cancel, ParallelReduceDiscardsPartialsAndPoolStaysUsable) {
 }
 
 TEST(Cancel, ParallelFor2dRethrows) {
-  llp::ForOptions o;
-  o.num_threads = 4;
+  const llp::ForOptions o = llp::ForOptions{}.with_threads(4);
   EXPECT_THROW(llp::parallel_for_2d(
                    8, 8,
                    [](std::int64_t i, std::int64_t j) {
@@ -105,8 +103,7 @@ TEST(Cancel, ParallelFor2dRethrows) {
 }
 
 TEST(Cancel, SerialPathPropagates) {
-  llp::ForOptions o;
-  o.num_threads = 1;
+  const llp::ForOptions o = llp::ForOptions{}.with_threads(1);
   EXPECT_THROW(llp::parallel_for(
                    0, 4,
                    [](std::int64_t i) {
@@ -120,10 +117,8 @@ TEST(Cancel, EveryScheduleRethrows) {
   for (const llp::Schedule s :
        {llp::Schedule::kStaticBlock, llp::Schedule::kStaticChunked,
         llp::Schedule::kDynamic, llp::Schedule::kGuided}) {
-    llp::ForOptions o;
-    o.schedule = s;
-    o.chunk = 2;
-    o.num_threads = 4;
+    const llp::ForOptions o =
+        llp::ForOptions{}.with_schedule(s).with_chunk(2).with_threads(4);
     EXPECT_THROW(llp::parallel_for(
                      0, 64,
                      [](std::int64_t i) {

@@ -1,0 +1,244 @@
+// The RuntimeObserver seam: event dispatch, registration semantics, and
+// equivalence between the legacy set_tuner / set_fault_hook entry points
+// and a self-registered observer exposing the same facets.
+#include "core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+llp::RegionId test_region(const char* name) {
+  auto& reg = llp::regions();
+  const llp::RegionId existing = reg.find(name);
+  return existing == llp::kNoRegion ? reg.define(name) : existing;
+}
+
+// Counts events per kind; thread-safe the cheap way (atomics).
+class CountingObserver : public llp::RuntimeObserver {
+public:
+  void on_event(const llp::Event& event) override {
+    counts_[static_cast<std::size_t>(event.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  int count(llp::EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)].load();
+  }
+  int total() const {
+    int n = 0;
+    for (const auto& c : counts_) n += c.load();
+    return n;
+  }
+
+private:
+  std::array<std::atomic<int>, llp::kNumEventKinds> counts_{};
+};
+
+class RecordingTuner : public llp::LoopTuner {
+public:
+  llp::LoopConfig choose(llp::RegionId, std::int64_t) override {
+    ++chooses;
+    llp::LoopConfig c;
+    c.schedule = llp::Schedule::kDynamic;
+    c.chunk = 4;
+    c.num_threads = 2;
+    return c;
+  }
+  void report(llp::RegionId, std::int64_t, const llp::LoopConfig& used,
+              double, double, bool valid) override {
+    ++reports;
+    last_used = used;
+    last_valid = valid;
+  }
+  int chooses = 0;
+  int reports = 0;
+  llp::LoopConfig last_used;
+  bool last_valid = false;
+};
+
+class CountingFaultHook : public llp::FaultHook {
+public:
+  std::uint64_t begin(llp::RegionId) override { return invocations++; }
+  void on_lane(llp::RegionId, std::uint64_t, int) override { ++lane_calls; }
+  bool tainted(llp::RegionId, std::uint64_t) override { return false; }
+  std::atomic<std::uint64_t> invocations{0};
+  std::atomic<int> lane_calls{0};
+};
+
+// An observer offering facets, as src/tune or src/fault could self-register.
+class FacetObserver : public llp::RuntimeObserver {
+public:
+  explicit FacetObserver(llp::LoopTuner* t, llp::FaultHook* f)
+      : tuner_(t), fault_(f) {}
+  llp::LoopTuner* tuner_facet() override { return tuner_; }
+  llp::FaultHook* fault_facet() override { return fault_; }
+
+private:
+  llp::LoopTuner* tuner_;
+  llp::FaultHook* fault_;
+};
+
+void run_region_loop(llp::RegionId region) {
+  llp::parallel_for(
+      0, 32, [](std::int64_t) {},
+      llp::ForOptions::in_region(region).with_threads(2));
+}
+
+TEST(Observer, RegisteredObserverSeesRegionLifecycle) {
+  CountingObserver obs;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&obs);
+  run_region_loop(test_region("core.observer.lifecycle"));
+  rt.remove_observer(&obs);
+
+  EXPECT_EQ(obs.count(llp::EventKind::kRegionEnter), 1);
+  EXPECT_EQ(obs.count(llp::EventKind::kRegionExit), 1);
+  EXPECT_EQ(obs.count(llp::EventKind::kLaneBegin),
+            obs.count(llp::EventKind::kLaneEnd));
+  EXPECT_GE(obs.count(llp::EventKind::kLaneBegin), 1);
+}
+
+TEST(Observer, UnobservedLoopEmitsNothing) {
+  CountingObserver obs;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&obs);
+  rt.remove_observer(&obs);
+  run_region_loop(test_region("core.observer.unobserved"));
+  EXPECT_EQ(obs.total(), 0);
+}
+
+TEST(Observer, DuplicateAddDispatchesOnce) {
+  CountingObserver obs;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&obs);
+  rt.add_observer(&obs);  // no-op, not a double registration
+  run_region_loop(test_region("core.observer.duplicate"));
+  rt.remove_observer(&obs);
+  EXPECT_EQ(obs.count(llp::EventKind::kRegionEnter), 1);
+}
+
+TEST(Observer, AllRegisteredObserversReceiveEachEvent) {
+  CountingObserver a, b;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&a);
+  rt.add_observer(&b);
+  run_region_loop(test_region("core.observer.fanout"));
+  rt.remove_observer(&a);
+  rt.remove_observer(&b);
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_GT(a.total(), 0);
+}
+
+TEST(Observer, EmitStampsTimestampWhenZero) {
+  CountingObserver obs;
+  llp::ObserverList list{&obs};
+  llp::Event e;
+  e.kind = llp::EventKind::kMark;
+  EXPECT_EQ(e.t_ns, 0u);
+  llp::emit_event(list, e);
+  EXPECT_EQ(obs.count(llp::EventKind::kMark), 1);
+
+  // Runtime::emit reaches registered observers the same way.
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&obs);
+  rt.emit(e);
+  rt.remove_observer(&obs);
+  EXPECT_EQ(obs.count(llp::EventKind::kMark), 2);
+}
+
+TEST(Observer, LaneContextMarkReachesObservers) {
+  CountingObserver obs;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&obs);
+  llp::parallel_for(
+      0, 8,
+      [](std::int64_t i, const llp::LaneContext& ctx) { ctx.mark(i, 99); },
+      llp::ForOptions::in_region(test_region("core.observer.mark"))
+          .with_threads(2));
+  rt.remove_observer(&obs);
+  EXPECT_EQ(obs.count(llp::EventKind::kMark), 8);
+}
+
+TEST(Observer, SetTunerAndFacetObserverAreEquivalent) {
+  const llp::RegionId region = test_region("core.observer.tuner_equiv");
+  auto& rt = llp::Runtime::instance();
+  rt.set_auto_tune_enabled(true);
+
+  auto run_auto = [&] {
+    llp::parallel_for(0, 64, [](std::int64_t) {},
+                      llp::ForOptions::auto_tuned(region));
+  };
+
+  // Path 1: the legacy entry point (now an internal adapter observer).
+  RecordingTuner legacy;
+  rt.set_tuner(&legacy);
+  run_auto();
+  rt.set_tuner(nullptr);
+
+  // Path 2: a self-registered observer exposing the facet.
+  RecordingTuner modern;
+  FacetObserver facet(&modern, nullptr);
+  rt.add_observer(&facet);
+  run_auto();
+  rt.remove_observer(&facet);
+
+  EXPECT_EQ(legacy.chooses, 1);
+  EXPECT_EQ(legacy.reports, 1);
+  EXPECT_EQ(modern.chooses, legacy.chooses);
+  EXPECT_EQ(modern.reports, legacy.reports);
+  EXPECT_EQ(modern.last_used, legacy.last_used);
+  EXPECT_TRUE(legacy.last_valid);
+  EXPECT_TRUE(modern.last_valid);
+
+  rt.set_auto_tune_enabled(false);
+}
+
+TEST(Observer, SetFaultHookAndFacetObserverAreEquivalent) {
+  const llp::RegionId region = test_region("core.observer.fault_equiv");
+  auto& rt = llp::Runtime::instance();
+
+  CountingFaultHook legacy;
+  rt.set_fault_hook(&legacy);
+  run_region_loop(region);
+  rt.set_fault_hook(nullptr);
+
+  CountingFaultHook modern;
+  FacetObserver facet(nullptr, &modern);
+  rt.add_observer(&facet);
+  run_region_loop(region);
+  rt.remove_observer(&facet);
+
+  EXPECT_EQ(legacy.invocations.load(), 1u);
+  EXPECT_EQ(modern.invocations.load(), legacy.invocations.load());
+  EXPECT_EQ(modern.lane_calls.load(), legacy.lane_calls.load());
+  EXPECT_GE(legacy.lane_calls.load(), 1);
+}
+
+TEST(Observer, FindFacetsScanRegistrationOrder) {
+  RecordingTuner tuner;
+  CountingFaultHook hook;
+  FacetObserver facet(&tuner, &hook);
+  CountingObserver plain;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&plain);   // no facets — must be skipped by the scan
+  rt.add_observer(&facet);
+
+  const llp::ObserverSnapshot snap = rt.observers();
+  EXPECT_EQ(llp::find_tuner(*snap), &tuner);
+  EXPECT_EQ(llp::find_fault_hook(*snap), &hook);
+
+  rt.remove_observer(&facet);
+  rt.remove_observer(&plain);
+  const llp::ObserverSnapshot after = rt.observers();
+  EXPECT_EQ(llp::find_tuner(*after), nullptr);
+  EXPECT_EQ(llp::find_fault_hook(*after), nullptr);
+}
+
+}  // namespace

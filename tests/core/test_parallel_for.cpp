@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <type_traits>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -22,19 +25,16 @@ TEST_P(ParallelForMatrix, EveryIterationRunsExactlyOnce) {
   const auto [sched, threads] = GetParam();
   const std::int64_t n = 257;
   std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
-  ForOptions opts;
-  opts.schedule = sched;
-  opts.chunk = 3;
-  opts.num_threads = threads;
+  const ForOptions opts =
+      ForOptions{}.with_schedule(sched).with_chunk(3).with_threads(threads);
   llp::parallel_for(0, n, [&](std::int64_t i) { hits[i]++; }, opts);
   for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
 TEST_P(ParallelForMatrix, RespectsBeginOffset) {
   const auto [sched, threads] = GetParam();
-  ForOptions opts;
-  opts.schedule = sched;
-  opts.num_threads = threads;
+  const ForOptions opts =
+      ForOptions{}.with_schedule(sched).with_threads(threads);
   std::atomic<std::int64_t> sum{0};
   llp::parallel_for(10, 20, [&](std::int64_t i) { sum += i; }, opts);
   EXPECT_EQ(sum.load(), 145);  // 10+...+19
@@ -42,9 +42,8 @@ TEST_P(ParallelForMatrix, RespectsBeginOffset) {
 
 TEST_P(ParallelForMatrix, LaneIndexInRange) {
   const auto [sched, threads] = GetParam();
-  ForOptions opts;
-  opts.schedule = sched;
-  opts.num_threads = threads;
+  const ForOptions opts =
+      ForOptions{}.with_schedule(sched).with_threads(threads);
   std::atomic<bool> bad{false};
   llp::parallel_for(
       0, 100,
@@ -71,8 +70,7 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
 }
 
 TEST(ParallelFor, ThreadsClampedToTripCount) {
-  ForOptions opts;
-  opts.num_threads = 16;
+  const ForOptions opts = ForOptions{}.with_threads(16);
   std::atomic<int> max_lane{0};
   llp::parallel_for(
       0, 3,
@@ -86,15 +84,13 @@ TEST(ParallelFor, ThreadsClampedToTripCount) {
 }
 
 TEST(ParallelFor, RejectsNonPositiveChunk) {
-  ForOptions opts;
-  opts.chunk = 0;
+  const ForOptions opts = ForOptions{}.with_chunk(0);
   EXPECT_THROW(llp::parallel_for(0, 10, [](std::int64_t) {}, opts),
                llp::Error);
 }
 
 TEST(ParallelFor, BodyExceptionPropagates) {
-  ForOptions opts;
-  opts.num_threads = 4;
+  const ForOptions opts = ForOptions{}.with_threads(4);
   EXPECT_THROW(llp::parallel_for(
                    0, 100,
                    [](std::int64_t i) {
@@ -108,9 +104,7 @@ TEST(ParallelFor, DisabledRegionRunsSerially) {
   auto& reg = llp::regions();
   const auto id = reg.define("pf.disabled_region");
   reg.set_parallel_enabled(id, false);
-  ForOptions opts;
-  opts.num_threads = 8;
-  opts.region = id;
+  const ForOptions opts = ForOptions::in_region(id).with_threads(8);
   std::atomic<int> max_lane{-1};
   llp::parallel_for(
       0, 64,
@@ -127,8 +121,7 @@ TEST(ParallelFor, RegionRecordsTripsAndInvocations) {
   auto& reg = llp::regions();
   const auto id = reg.define("pf.recorded_region");
   reg.reset_stats();
-  ForOptions opts;
-  opts.region = id;
+  const ForOptions opts = ForOptions::in_region(id);
   llp::parallel_for(0, 42, [](std::int64_t) {}, opts);
   llp::parallel_for(0, 42, [](std::int64_t) {}, opts);
   const auto s = reg.stats(id);
@@ -139,8 +132,7 @@ TEST(ParallelFor, RegionRecordsTripsAndInvocations) {
 TEST(ParallelFor2D, CoversWholeGrid) {
   const std::int64_t n0 = 13, n1 = 17;
   std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n0 * n1));
-  ForOptions opts;
-  opts.num_threads = 4;
+  const ForOptions opts = ForOptions{}.with_threads(4);
   llp::parallel_for_2d(
       n0, n1, [&](std::int64_t a, std::int64_t b) { hits[a * n1 + b]++; },
       opts);
@@ -157,8 +149,7 @@ TEST(ParallelFor2D, IndicesInBounds) {
 
 TEST(ParallelReduce, SumMatchesSerial) {
   for (int threads : {1, 2, 4, 8}) {
-    ForOptions opts;
-    opts.num_threads = threads;
+    const ForOptions opts = ForOptions{}.with_threads(threads);
     const double sum = llp::parallel_reduce<double>(
         0, 1000, 0.0, [](double a, double b) { return a + b; },
         [](std::int64_t i, double& acc) { acc += static_cast<double>(i); },
@@ -168,8 +159,7 @@ TEST(ParallelReduce, SumMatchesSerial) {
 }
 
 TEST(ParallelReduce, MaxReduction) {
-  ForOptions opts;
-  opts.num_threads = 4;
+  const ForOptions opts = ForOptions{}.with_threads(4);
   const double m = llp::parallel_reduce<double>(
       0, 100, -1e300, [](double a, double b) { return a > b ? a : b; },
       [](std::int64_t i, double& acc) {
@@ -181,8 +171,7 @@ TEST(ParallelReduce, MaxReduction) {
 }
 
 TEST(ParallelReduce, DeterministicForFixedThreadCount) {
-  ForOptions opts;
-  opts.num_threads = 4;
+  const ForOptions opts = ForOptions{}.with_threads(4);
   auto run = [&] {
     return llp::parallel_reduce<double>(
         0, 10000, 0.0, [](double a, double b) { return a + b; },
@@ -207,9 +196,7 @@ TEST(ParallelFor, InstrumentedLoopRecordsLaneImbalance) {
   auto& reg = llp::regions();
   const auto id = reg.define("pf.lane_imbalance");
   reg.reset_stats();
-  llp::ForOptions opts;
-  opts.region = id;
-  opts.num_threads = 4;
+  const llp::ForOptions opts = llp::ForOptions::in_region(id).with_threads(4);
   llp::parallel_for(0, 64, [](std::int64_t i) {
     volatile double x = 0.0;
     for (std::int64_t k = 0; k < 200 * (i + 1); ++k) x = x + 1.0;
@@ -223,11 +210,106 @@ TEST(ParallelFor, SerialExecutionRecordsNoLaneData) {
   auto& reg = llp::regions();
   const auto id = reg.define("pf.serial_lanes");
   reg.reset_stats();
-  llp::ForOptions opts;
-  opts.region = id;
-  opts.num_threads = 1;
+  const llp::ForOptions opts = llp::ForOptions::in_region(id).with_threads(1);
   llp::parallel_for(0, 16, [](std::int64_t) {}, opts);
   EXPECT_DOUBLE_EQ(reg.stats(id).lane_mean_seconds, 0.0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ForOptions builder + LaneContext (the unified-event-API surface).
+
+namespace {
+
+TEST(ForOptionsBuilder, ChainsAndMatchesAggregateInit) {
+  const llp::ForOptions built = llp::ForOptions{}
+                                    .with_schedule(llp::Schedule::kGuided)
+                                    .with_chunk(16)
+                                    .with_threads(3);
+  llp::ForOptions aggregate;
+  aggregate.schedule = llp::Schedule::kGuided;
+  aggregate.chunk = 16;
+  aggregate.num_threads = 3;
+  EXPECT_EQ(built.schedule, aggregate.schedule);
+  EXPECT_EQ(built.chunk, aggregate.chunk);
+  EXPECT_EQ(built.num_threads, aggregate.num_threads);
+  EXPECT_EQ(built.region, llp::kNoRegion);
+  EXPECT_FALSE(built.auto_tune);
+}
+
+TEST(ForOptionsBuilder, FactoriesSetRegionAndAutoTune) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.builder.factories");
+
+  const llp::ForOptions in = llp::ForOptions::in_region(id);
+  EXPECT_EQ(in.region, id);
+  EXPECT_FALSE(in.auto_tune);
+
+  const llp::ForOptions tuned = llp::ForOptions::auto_tuned(id);
+  EXPECT_EQ(tuned.region, id);
+  EXPECT_TRUE(tuned.auto_tune);
+
+  EXPECT_TRUE(llp::ForOptions::kAuto.auto_tune);
+  EXPECT_TRUE(llp::ForOptions{}.with_auto_tune().auto_tune);
+}
+
+TEST(LaneContextBody, ReceivesLaneAndRegion) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.ctx.identity");
+  std::mutex mu;
+  std::set<int> lanes;
+  bool region_ok = true;
+  llp::parallel_for(
+      0, 64,
+      [&](std::int64_t, const llp::LaneContext& ctx) {
+        std::lock_guard<std::mutex> lock(mu);
+        lanes.insert(ctx.lane());
+        region_ok = region_ok && ctx.region() == id && !ctx.cancelled();
+      },
+      llp::ForOptions::in_region(id).with_threads(2));
+  EXPECT_TRUE(region_ok);
+  EXPECT_EQ(lanes.size(), 2u);
+  EXPECT_TRUE(lanes.count(0));
+  EXPECT_TRUE(lanes.count(1));
+}
+
+TEST(LaneContextBody, WorksOnSerialPathToo) {
+  auto& reg = llp::regions();
+  const auto id = reg.define("pf.ctx.serial");
+  int calls = 0;
+  llp::parallel_for(
+      0, 8,
+      [&](std::int64_t, const llp::LaneContext& ctx) {
+        calls += ctx.lane() == 0 ? 1 : 100;  // serial path is lane 0
+      },
+      llp::ForOptions::in_region(id).with_threads(1));
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(LaneContextBody, BareLaneOverloadStillWins) {
+  // A generic (i, lane) lambda must keep its historical int-lane meaning,
+  // not be promoted to the LaneContext overload.
+  std::atomic<int> max_lane{-1};
+  llp::parallel_for(
+      0, 32,
+      [&](std::int64_t, auto lane) {
+        static_assert(std::is_same_v<decltype(lane), int>);
+        int seen = max_lane.load();
+        while (lane > seen && !max_lane.compare_exchange_weak(seen, lane)) {
+        }
+      },
+      llp::ForOptions{}.with_threads(2));
+  EXPECT_GE(max_lane.load(), 0);
+}
+
+TEST(LaneContextBody, MarkIsNoOpWithoutObservers) {
+  // No observers registered: mark() must be callable and free.
+  llp::parallel_for(
+      0, 4,
+      [](std::int64_t i, const llp::LaneContext& ctx) { ctx.mark(i); },
+      llp::ForOptions{}.with_threads(2));
+  SUCCEED();
 }
 
 }  // namespace

@@ -18,11 +18,8 @@ const llp::Schedule kAllSchedules[] = {
     llp::Schedule::kDynamic, llp::Schedule::kGuided};
 
 llp::ForOptions make_opts(llp::Schedule s, std::int64_t chunk, int threads) {
-  llp::ForOptions o;
-  o.schedule = s;
-  o.chunk = chunk;
-  o.num_threads = threads;
-  return o;
+  return llp::ForOptions{}.with_schedule(s).with_chunk(chunk).with_threads(
+      threads);
 }
 
 void expect_each_once(std::int64_t n, const llp::ForOptions& opts) {

@@ -182,9 +182,8 @@ TEST(Injector, InstalledHookFiresInsideParallelFor) {
   const auto region = define_region("inj.loop");
   Injector inj(FaultPlan::parse("throw:inj.loop:1:0"));
   llp::fault::install(&inj);
-  llp::ForOptions opts;
-  opts.region = region;
-  opts.num_threads = 2;
+  const llp::ForOptions opts =
+      llp::ForOptions::in_region(region).with_threads(2);
   auto body = [](std::int64_t) {};
 
   EXPECT_NO_THROW(llp::parallel_for(0, 16, body, opts));  // invocation 0
@@ -199,9 +198,8 @@ TEST(Injector, UninstalledHookIsInert) {
   const auto region = define_region("inj.uninstalled");
   Injector inj(FaultPlan::parse("throw:inj.uninstalled:*:*:count=0"));
   // Never installed: loops on the region run clean.
-  llp::ForOptions opts;
-  opts.region = region;
-  opts.num_threads = 2;
+  const llp::ForOptions opts =
+      llp::ForOptions::in_region(region).with_threads(2);
   EXPECT_NO_THROW(llp::parallel_for(0, 16, [](std::int64_t) {}, opts));
   EXPECT_EQ(inj.faults_injected(), 0u);
 }

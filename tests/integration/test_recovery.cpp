@@ -220,9 +220,8 @@ TEST(Recovery, HangBecomesTimeoutErrorNotDeadlock) {
   llp::fault::install(&inj);
   llp::Runtime::instance().set_watchdog_seconds(0.3);
 
-  llp::ForOptions opts;
-  opts.region = region;
-  opts.num_threads = 2;
+  const llp::ForOptions opts =
+      llp::ForOptions::in_region(region).with_threads(2);
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_THROW(llp::parallel_for(0, 64, [](std::int64_t) {}, opts),
                llp::TimeoutError);

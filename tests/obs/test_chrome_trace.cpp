@@ -1,0 +1,128 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+using llp::Event;
+using llp::EventKind;
+
+Event ev(EventKind kind, std::uint64_t t_ns, int tid, int lane = -1,
+         std::int64_t a = 0, std::int64_t b = 0) {
+  Event e;
+  e.kind = kind;
+  e.t_ns = t_ns;
+  e.tid = tid;
+  e.lane = static_cast<std::int16_t>(lane);
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+llp::obs::TraceCheckResult render_and_check(
+    const std::vector<Event>& events, const llp::obs::ChromeTraceOptions& opts,
+    llp::obs::ChromeTraceStats* stats_out = nullptr, std::string* json = nullptr) {
+  std::ostringstream os;
+  const llp::obs::ChromeTraceStats stats =
+      llp::obs::write_chrome_trace(events, os, opts);
+  if (stats_out != nullptr) *stats_out = stats;
+  if (json != nullptr) *json = os.str();
+  std::istringstream in(os.str());
+  return llp::obs::check_chrome_trace(in);
+}
+
+TEST(ChromeTrace, BalancedPairsProduceValidBalancedJson) {
+  std::vector<Event> events = {
+      ev(EventKind::kRegionEnter, 1000, 0, -1, 64, 2),
+      ev(EventKind::kLaneBegin, 1100, 0, 0),
+      ev(EventKind::kLaneBegin, 1150, 1, 1),
+      ev(EventKind::kChunkAcquire, 1200, 1, 1, 0, 8),
+      ev(EventKind::kChunkFinish, 1300, 1, 1, 0, 8),
+      ev(EventKind::kLaneEnd, 1400, 1, 1, 250, 1),
+      ev(EventKind::kLaneEnd, 1500, 0, 0, 400, 1),
+      ev(EventKind::kRegionExit, 1600, 0, -1, 600, 1),
+  };
+  llp::obs::ChromeTraceStats stats;
+  const auto result = render_and_check(events, {}, &stats);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.begins, 4u);
+  EXPECT_EQ(result.ends, 4u);
+  EXPECT_EQ(stats.unmatched_dropped, 0u);
+}
+
+TEST(ChromeTrace, UnmatchedEventsAreDiscardedNotEmittedUnbalanced) {
+  // A lane that never ended (aborted) and an end with no begin: both must
+  // be dropped so the output still passes the balance checker.
+  std::vector<Event> events = {
+      ev(EventKind::kRegionEnter, 1000, 0),
+      ev(EventKind::kLaneBegin, 1100, 0, 0),   // never ends
+      ev(EventKind::kRegionExit, 2000, 0, -1, 1000, 0),
+      ev(EventKind::kChunkFinish, 2100, 1, 1, 0, 8),  // no acquire
+  };
+  llp::obs::ChromeTraceStats stats;
+  const auto result = render_and_check(events, {}, &stats);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.begins, result.ends);
+  EXPECT_EQ(result.begins, 1u);  // only the region pair survived
+  EXPECT_EQ(stats.unmatched_dropped, 2u);
+}
+
+TEST(ChromeTrace, InstantsAndMetadataSurvive) {
+  std::vector<Event> events = {
+      ev(EventKind::kFault, 1000, 0, 1, 3, 0),
+      ev(EventKind::kRollback, 1100, 0, -1, 7, 1),
+      ev(EventKind::kCkptDurable, 1200, 0, -1, 2, 6),
+  };
+  llp::obs::ChromeTraceOptions opts;
+  opts.dropped_events = 42;
+  std::string json;
+  const auto result = render_and_check(events, opts, nullptr, &json);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.instants, 3u);
+  EXPECT_NE(json.find("dropped_events"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":42"), std::string::npos);
+}
+
+TEST(ChromeTrace, IncludeChunksFalseOmitsChunkRows) {
+  std::vector<Event> events = {
+      ev(EventKind::kLaneBegin, 1000, 0, 0),
+      ev(EventKind::kChunkAcquire, 1100, 0, 0, 0, 4),
+      ev(EventKind::kChunkFinish, 1200, 0, 0, 0, 4),
+      ev(EventKind::kLaneEnd, 1300, 0, 0, 300, 1),
+  };
+  llp::obs::ChromeTraceOptions opts;
+  opts.include_chunks = false;
+  std::string json;
+  const auto result = render_and_check(events, opts, nullptr, &json);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.begins, 1u);
+  EXPECT_EQ(json.find("chunk"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyInputStillWritesValidDocument) {
+  const auto result = render_and_check({}, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.begins, 0u);
+  EXPECT_GE(result.events, 1u);  // process_name metadata
+}
+
+TEST(ChromeTrace, TimestampsAreRelativeMicroseconds) {
+  // First kept event defines the epoch: its ts must be 0.000.
+  std::vector<Event> events = {
+      ev(EventKind::kRegionEnter, 5'000'000'000, 0),
+      ev(EventKind::kRegionExit, 5'000'123'000, 0, -1, 123000, 1),
+  };
+  std::string json;
+  const auto result = render_and_check(events, {}, nullptr, &json);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":123.000"), std::string::npos);
+}
+
+}  // namespace

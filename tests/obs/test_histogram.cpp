@@ -1,0 +1,88 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace {
+
+using llp::obs::LatencyHistogram;
+
+TEST(LatencyHistogram, EmptyReturnsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below 2^kSubBits get one bucket each — no quantization.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(v)),
+              v);
+  }
+}
+
+TEST(LatencyHistogram, BucketValueStaysWithinRelativeError) {
+  // 4 sub-buckets per octave bound the representative value's relative
+  // error: bucket width is lo/4, so |value - x| <= lo/8 + rounding.
+  for (std::uint64_t x : {5ull, 100ull, 1000ull, 123456ull, 987654321ull,
+                          (1ull << 40) + 12345ull}) {
+    const std::uint64_t v =
+        LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(x));
+    const double rel =
+        std::abs(static_cast<double>(v) - static_cast<double>(x)) /
+        static_cast<double>(x);
+    EXPECT_LT(rel, 0.20) << "x=" << x << " v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, TracksCountMinMaxMean) {
+  LatencyHistogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LatencyHistogram, QuantilesOrderCorrectly) {
+  LatencyHistogram h;
+  // 100 samples spread over two decades.
+  for (std::uint64_t i = 1; i <= 100; ++i) h.add(i * 1000);
+  const std::uint64_t p50 = h.quantile(0.50);
+  const std::uint64_t p95 = h.quantile(0.95);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of 1k..100k should land near 50k, within bucket error.
+  EXPECT_GT(p50, 35000u);
+  EXPECT_LT(p50, 70000u);
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedStream) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    a.add(i * 10);
+    both.add(i * 10);
+  }
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    b.add(i * 1000);
+    both.add(i * 1000);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_EQ(a.quantile(0.5), both.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), both.quantile(0.99));
+}
+
+}  // namespace

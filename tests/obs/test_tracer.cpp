@@ -1,0 +1,192 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/llp.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+// Registers the tracer for the test's lifetime and always unregisters, so
+// a failing assertion cannot leak an observer into later tests.
+class ScopedTracer {
+public:
+  explicit ScopedTracer(llp::obs::TracerConfig config = {})
+      : tracer_(config) {
+    llp::Runtime::instance().add_observer(&tracer_);
+  }
+  ~ScopedTracer() { llp::Runtime::instance().remove_observer(&tracer_); }
+  llp::obs::Tracer& operator*() { return tracer_; }
+  llp::obs::Tracer* operator->() { return &tracer_; }
+
+private:
+  llp::obs::Tracer tracer_;
+};
+
+llp::RegionId test_region(const char* name) {
+  auto& reg = llp::regions();
+  const llp::RegionId existing = reg.find(name);
+  return existing == llp::kNoRegion ? reg.define(name) : existing;
+}
+
+int count_kind(const std::vector<llp::Event>& events, llp::EventKind kind) {
+  int n = 0;
+  for (const llp::Event& e : events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(Tracer, RecordsBalancedRegionAndLaneEvents) {
+  ScopedTracer tracer;
+  const llp::RegionId region = test_region("obs.tracer.balanced");
+
+  std::atomic<std::int64_t> sum{0};
+  llp::parallel_for(
+      0, 64, [&](std::int64_t i) { sum += i; },
+      llp::ForOptions::in_region(region).with_threads(2));
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+
+  const std::vector<llp::Event> events = tracer->drain();
+  EXPECT_EQ(count_kind(events, llp::EventKind::kRegionEnter), 1);
+  EXPECT_EQ(count_kind(events, llp::EventKind::kRegionExit), 1);
+  EXPECT_EQ(count_kind(events, llp::EventKind::kLaneBegin),
+            count_kind(events, llp::EventKind::kLaneEnd));
+  EXPECT_GE(count_kind(events, llp::EventKind::kLaneBegin), 1);
+  for (const llp::Event& e : events) {
+    EXPECT_EQ(e.region, region);
+    EXPECT_GT(e.t_ns, 0u);
+    EXPECT_GE(e.tid, 0);  // the drain stamps the ring slot
+  }
+}
+
+TEST(Tracer, ChunkEventsAppearForDynamicSchedules) {
+  ScopedTracer tracer;
+  const llp::RegionId region = test_region("obs.tracer.chunks");
+
+  llp::parallel_for(
+      0, 64, [](std::int64_t) {},
+      llp::ForOptions::in_region(region)
+          .with_schedule(llp::Schedule::kDynamic)
+          .with_chunk(8)
+          .with_threads(2));
+
+  const std::vector<llp::Event> events = tracer->drain();
+  const int acquires = count_kind(events, llp::EventKind::kChunkAcquire);
+  EXPECT_EQ(acquires, 64 / 8);
+  EXPECT_EQ(count_kind(events, llp::EventKind::kChunkFinish), acquires);
+
+  const auto latencies = tracer->region_latencies();
+  bool found = false;
+  for (const auto& rl : latencies) {
+    if (rl.region != region) continue;
+    found = true;
+    EXPECT_EQ(rl.chunks, static_cast<std::uint64_t>(acquires));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracer, MetricsStayExactWhenRingsOverflow) {
+  llp::obs::TracerConfig config;
+  config.buffer_events = 8;  // force drops: each invocation emits > 8 events
+  ScopedTracer tracer(config);
+  const llp::RegionId region = test_region("obs.tracer.overflow");
+
+  constexpr int kInvocations = 50;
+  for (int inv = 0; inv < kInvocations; ++inv) {
+    llp::parallel_for(
+        0, 256, [](std::int64_t) {},
+        llp::ForOptions::in_region(region)
+            .with_schedule(llp::Schedule::kDynamic)
+            .with_chunk(4)
+            .with_threads(2));
+  }
+  EXPECT_GT(tracer->dropped(), 0u);
+
+  // The timeline is truncated, but the synchronous metrics path never is:
+  // the histogram still saw every invocation.
+  bool found = false;
+  for (const auto& rl : tracer->region_latencies()) {
+    if (rl.region != region) continue;
+    found = true;
+    EXPECT_EQ(rl.invocations, static_cast<std::uint64_t>(kInvocations));
+    EXPECT_GT(rl.p50_ns, 0u);
+    EXPECT_LE(rl.p50_ns, rl.p99_ns);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracer, ConcurrentExportWhileRunningLosesNoAcceptedEvent) {
+  ScopedTracer tracer;
+  const llp::RegionId region = test_region("obs.tracer.concurrent");
+
+  std::atomic<bool> done{false};
+  std::uint64_t drained_total = 0;
+  // Exporter thread drains while the loop thread keeps emitting — the
+  // drain path must be safe against live producers.
+  std::thread exporter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      drained_total += tracer->drain().size();
+    }
+  });
+
+  for (int inv = 0; inv < 200; ++inv) {
+    llp::parallel_for(
+        0, 32, [](std::int64_t) {},
+        llp::ForOptions::in_region(region)
+            .with_schedule(llp::Schedule::kDynamic)
+            .with_chunk(4)
+            .with_threads(2));
+  }
+  done.store(true, std::memory_order_release);
+  exporter.join();
+  drained_total += tracer->drain().size();
+
+  // Every accepted event came out exactly once across the drains.
+  EXPECT_EQ(drained_total, tracer->accepted());
+  EXPECT_EQ(tracer->drain().size(), 0u);
+}
+
+TEST(Tracer, ToRegionStatsCarriesInvocationsAndTrips) {
+  ScopedTracer tracer;
+  const llp::RegionId region = test_region("obs.tracer.stats");
+
+  llp::parallel_for(
+      0, 48, [](std::int64_t) {},
+      llp::ForOptions::in_region(region).with_threads(2));
+  llp::parallel_for(
+      0, 48, [](std::int64_t) {},
+      llp::ForOptions::in_region(region).with_threads(2));
+
+  bool found = false;
+  for (const auto& rs : tracer->to_region_stats()) {
+    if (rs.name != "obs.tracer.stats") continue;
+    found = true;
+    EXPECT_EQ(rs.invocations, 2u);
+    EXPECT_EQ(rs.total_trips, 96u);
+    EXPECT_GT(rs.seconds, 0.0);
+  }
+  EXPECT_TRUE(found);
+
+  const std::string summary = tracer->summary();
+  EXPECT_NE(summary.find("obs.tracer.stats"), std::string::npos);
+}
+
+TEST(Tracer, RemovedObserverSeesNoFurtherEvents) {
+  llp::obs::Tracer tracer;
+  auto& rt = llp::Runtime::instance();
+  rt.add_observer(&tracer);
+  rt.remove_observer(&tracer);
+
+  llp::parallel_for(
+      0, 16, [](std::int64_t) {},
+      llp::ForOptions::in_region(test_region("obs.tracer.removed"))
+          .with_threads(2));
+  EXPECT_EQ(tracer.accepted(), 0u);
+  EXPECT_EQ(tracer.drain().size(), 0u);
+}
+
+}  // namespace

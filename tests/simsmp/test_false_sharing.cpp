@@ -41,8 +41,7 @@ TEST(FalseSharing, ParallelReduceSlotsAreActuallyPadded) {
   // Verify the runtime's own mitigation: reduce with lane-visible slot
   // addresses and check the spacing is at least a cache line.
   std::vector<const void*> addrs(4, nullptr);
-  llp::ForOptions opts;
-  opts.num_threads = 4;
+  const llp::ForOptions opts = llp::ForOptions{}.with_threads(4);
   llp::parallel_reduce<double>(
       0, 4, 0.0, [](double a, double b) { return a + b; },
       [&](std::int64_t, double& acc, int lane) {

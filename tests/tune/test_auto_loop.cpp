@@ -59,8 +59,7 @@ TEST(AutoLoop, EveryIterationRunsOncePerInvocationUntilConvergence) {
   TunerSession session(&tuner);
   const auto region = llp::regions().define("auto_loop.coverage");
 
-  llp::ForOptions opts = llp::ForOptions::kAuto;
-  opts.region = region;
+  const llp::ForOptions opts = llp::ForOptions::auto_tuned(region);
 
   (void)tuner.choose(region, kTrips);  // materializes the search state
   const int bound =
@@ -100,8 +99,7 @@ TEST(AutoLoop, ReducePartialSlotsCoverTunedLaneCounts) {
   TunerSession session(&tuner);
   const auto region = llp::regions().define("auto_loop.reduce");
 
-  llp::ForOptions opts = llp::ForOptions::kAuto;
-  opts.region = region;
+  const llp::ForOptions opts = llp::ForOptions::auto_tuned(region);
 
   const std::int64_t expected = kTrips * (kTrips - 1) / 2;
   (void)tuner.choose(region, kTrips);  // materializes the search state
@@ -122,8 +120,7 @@ TEST(AutoLoop, DisabledRuntimeFlagBypassesTheTuner) {
   llp::Runtime::instance().set_auto_tune_enabled(false);
   const auto region = llp::regions().define("auto_loop.disabled");
 
-  llp::ForOptions opts = llp::ForOptions::kAuto;
-  opts.region = region;
+  const llp::ForOptions opts = llp::ForOptions::auto_tuned(region);
   std::vector<int> counts(static_cast<std::size_t>(kTrips), 0);
   llp::parallel_for(
       0, kTrips,
@@ -141,8 +138,7 @@ TEST(AutoLoop, RegionWithParallelDisabledRunsSerialAndSkipsTuning) {
   const auto region = llp::regions().define("auto_loop.serialized");
   llp::regions().set_parallel_enabled(region, false);
 
-  llp::ForOptions opts = llp::ForOptions::kAuto;
-  opts.region = region;
+  const llp::ForOptions opts = llp::ForOptions::auto_tuned(region);
   std::vector<int> counts(static_cast<std::size_t>(kTrips), 0);
   llp::parallel_for(
       0, kTrips,
@@ -164,8 +160,7 @@ TEST(AutoLoop, TransientPoolsRecycleAcrossMixedLaneCounts) {
   std::vector<int> counts(128, 0);
   for (int rep = 0; rep < 8; ++rep) {
     for (int nt : {3, 5, 2, 7}) {
-      llp::ForOptions opts;
-      opts.num_threads = nt;
+      const llp::ForOptions opts = llp::ForOptions{}.with_threads(nt);
       llp::parallel_for(
           0, static_cast<std::int64_t>(counts.size()),
           [&](std::int64_t i) { ++counts[static_cast<std::size_t>(i)]; },

@@ -1,0 +1,95 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+// Sets a test-only variable for one test body and always restores unset.
+class ScopedEnv {
+public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_.c_str()); }
+
+private:
+  std::string name_;
+};
+
+constexpr const char* kVar = "LLP_TEST_ENV_VAR";
+
+TEST(Env, RawDistinguishesUnsetFromEmpty) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(llp::env::raw(kVar).has_value());
+  ScopedEnv e(kVar, "");
+  ASSERT_TRUE(llp::env::raw(kVar).has_value());
+  EXPECT_EQ(*llp::env::raw(kVar), "");
+}
+
+TEST(Env, GetStringFallsBackOnUnsetOrEmpty) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(llp::env::get_string(kVar, "dflt"), "dflt");
+  {
+    ScopedEnv e(kVar, "");
+    EXPECT_EQ(llp::env::get_string(kVar, "dflt"), "dflt");
+  }
+  ScopedEnv e(kVar, "value");
+  EXPECT_EQ(llp::env::get_string(kVar, "dflt"), "value");
+}
+
+TEST(Env, GetFlagSemantics) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(llp::env::get_flag(kVar));
+  for (const char* on : {"1", "yes", "true", "2"}) {
+    ScopedEnv e(kVar, on);
+    EXPECT_TRUE(llp::env::get_flag(kVar)) << on;
+  }
+  for (const char* off : {"", "0", "0garbage"}) {
+    ScopedEnv e(kVar, off);
+    EXPECT_FALSE(llp::env::get_flag(kVar)) << off;
+  }
+}
+
+TEST(Env, GetIntParsesWholeTokenInRange) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(llp::env::get_int(kVar, 7, 0, 100), 7);
+  {
+    ScopedEnv e(kVar, "42");
+    EXPECT_EQ(llp::env::get_int(kVar, 7, 0, 100), 42);
+  }
+  {
+    ScopedEnv e(kVar, "-3");
+    EXPECT_EQ(llp::env::get_int(kVar, 7, -10, 100), -3);
+  }
+}
+
+TEST(Env, GetIntRejectsMalformedAndOutOfRange) {
+  for (const char* bad : {"banana", "12abc", "", "1e3"}) {
+    ScopedEnv e(kVar, bad);
+    EXPECT_EQ(llp::env::get_int(kVar, 7, 0, 100), 7) << bad;
+  }
+  {
+    ScopedEnv e(kVar, "101");
+    EXPECT_EQ(llp::env::get_int(kVar, 7, 0, 100), 7);
+  }
+  ScopedEnv e(kVar, "-1");
+  EXPECT_EQ(llp::env::get_int(kVar, 7, 0, 100), 7);
+}
+
+TEST(Env, GetDoubleParsesAndRejects) {
+  ::unsetenv(kVar);
+  EXPECT_DOUBLE_EQ(llp::env::get_double(kVar, 1.5, 0.0, 10.0), 1.5);
+  {
+    ScopedEnv e(kVar, "2.25");
+    EXPECT_DOUBLE_EQ(llp::env::get_double(kVar, 1.5, 0.0, 10.0), 2.25);
+  }
+  for (const char* bad : {"nan", "banana", "2.5x", "11.0", "-0.5"}) {
+    ScopedEnv e(kVar, bad);
+    EXPECT_DOUBLE_EQ(llp::env::get_double(kVar, 1.5, 0.0, 10.0), 1.5) << bad;
+  }
+}
+
+}  // namespace

@@ -28,6 +28,11 @@
 //     --restart[=auto]   resume from the newest intact generation in
 //                        --ckpt-dir; bare --restart fails if none loads,
 //                        =auto falls back to a fresh start
+//     --trace FILE       export a Chrome trace of the run to FILE (wins
+//                        over LLP_TRACE) and print per-region latency
+//                        percentiles at the end
+//     --trace-buffer N   per-thread trace ring capacity in events
+//                        (default 16384; wins over LLP_TRACE_BUFFER)
 //
 // All numeric flags are validated: non-numeric, non-finite, or
 // out-of-range values (zero grid dims, nonpositive CFL, ...) are a usage
@@ -57,6 +62,7 @@
 #include "f3d/solver.hpp"
 #include "f3d/validation.hpp"
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 #include "perf/advisor.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
@@ -75,7 +81,7 @@ namespace {
                "  [--csv F] [--profile] [--advise P]\n"
                "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n"
                "  [--ckpt-dir D] [--ckpt-every N] [--keep-generations K]\n"
-               "  [--restart[=auto]]\n");
+               "  [--restart[=auto]] [--trace F] [--trace-buffer N]\n");
   std::exit(2);
 }
 
@@ -102,6 +108,8 @@ struct Options {
   int ckpt_every = 10;
   int keep_generations = 3;
   Restart restart = Restart::kNone;
+  std::string trace_path;
+  long trace_buffer = 0;  // 0 = default / LLP_TRACE_BUFFER
 };
 
 // Strict numeric parsing: the whole token must convert, and the value must
@@ -180,6 +188,10 @@ Options parse(int argc, char** argv) {
     } else if (a == "--keep-generations") {
       o.keep_generations =
           static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--trace") {
+      o.trace_path = need(i++);
+    } else if (a == "--trace-buffer") {
+      o.trace_buffer = parse_int(a, need(i++), 64, 1L << 24);
     } else if (a == "--restart") {
       o.restart = Restart::kStrict;
     } else if (a == "--restart=auto") {
@@ -239,6 +251,19 @@ int run_main(const Options& o) {
   if (o.threads > 0) llp::set_num_threads(o.threads);
   const f3d::CaseSpec spec = case_spec(o);
   auto grid = build_grid(o, spec);
+
+  // Tracing: --trace wins over LLP_TRACE (explicit > environment).
+  // Installed before the solver so region definitions and the very first
+  // step land in the timeline.
+  if (!o.trace_path.empty()) {
+    llp::obs::TracerConfig tc;
+    if (o.trace_buffer > 0) {
+      tc.buffer_events = static_cast<std::size_t>(o.trace_buffer);
+    }
+    llp::obs::install(tc);
+    llp::obs::set_export_path(o.trace_path);
+  }
+  llp::obs::init_from_env();
 
   // Fault injection: LLP_FAULT from the environment, or --fault from the
   // command line (the flag wins). Installed before any restart machinery
@@ -402,6 +427,19 @@ int run_main(const Options& o) {
   }
   if (auto* inj = llp::fault::global_injector()) {
     std::printf("\nfault health:\n%s", inj->health().report().c_str());
+  }
+  if (auto* tracer = llp::obs::global_tracer()) {
+    std::printf("\ntrace summary:\n%s", tracer->summary().c_str());
+    const std::string path = llp::obs::export_path();
+    if (!path.empty()) {
+      std::string error;
+      if (llp::obs::export_trace(path, &error)) {
+        std::printf("chrome trace written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "f3d_run: trace export failed: %s\n",
+                     error.c_str());
+      }
+    }
   }
   return report.failed ? 1 : 0;
 }

@@ -1,0 +1,36 @@
+// llp_trace — validate exported Chrome traces.
+//
+//   llp_trace check FILE [FILE...]
+//
+// Each file must be a well-formed Chrome trace ({"traceEvents": [...]}):
+// valid JSON, required fields on every event, and balanced B/E duration
+// pairs per (pid, tid) row — the same invariants the CI trace job enforces
+// on a live f3d_run export. Exit 0 when every file passes, 1 otherwise.
+#include <cstdio>
+#include <string>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: llp_trace check FILE [FILE...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[1]) != "check") return usage();
+
+  bool all_ok = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    const llp::obs::TraceCheckResult result =
+        llp::obs::check_chrome_trace_file(path);
+    std::printf("%s: %s\n", path.c_str(),
+                llp::obs::format_check(result).c_str());
+    all_ok = all_ok && result.ok;
+  }
+  return all_ok ? 0 : 1;
+}

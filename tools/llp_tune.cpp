@@ -95,8 +95,7 @@ int cmd_run(const std::string& path, std::int64_t n, int invocations,
   rt.set_auto_tune_enabled(true);
 
   const auto region = llp::regions().define("llp_tune." + skew);
-  llp::ForOptions opts = llp::ForOptions::kAuto;
-  opts.region = region;
+  const llp::ForOptions opts = llp::ForOptions::auto_tuned(region);
 
   // Deterministic spin work proportional to the iteration weight: the same
   // skewed-cost workload the schedule ablation studies.
