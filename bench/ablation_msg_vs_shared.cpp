@@ -38,11 +38,16 @@ std::vector<double> shared_memory_version(int threads,
   llp::set_num_threads(threads);
   std::vector<double> u = initial_field();
   std::vector<double> v = u;
+  const auto opts =
+      llp::ForOptions::in_region(llp::regions().define("ablation.sweep"));
   const auto before = llp::Runtime::instance().pool().sync_events();
   for (int s = 0; s < kSweeps; ++s) {
-    llp::parallel_for(1, kN - 1, [&](std::int64_t i) {
-      v[i] = u[i] + kC * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
-    });
+    llp::parallel_for(
+        1, kN - 1,
+        [&](std::int64_t i) {
+          v[i] = u[i] + kC * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+        },
+        opts);
     std::swap(u, v);
   }
   *sync_events = llp::Runtime::instance().pool().sync_events() - before;

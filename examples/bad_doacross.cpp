@@ -1,0 +1,69 @@
+// bad_doacross — every classic doacross-legality mistake in one file, so
+// both analyzer modes can be seen catching them:
+//
+//   * static:   llp_check lint examples/bad_doacross.cpp   exits 1 with
+//               missing-region, shifted-index-write, captured-shared-write
+//               and captured-reduction findings;
+//   * dynamic:  running this binary exits 1, printing the loop-carried
+//               dependence (exact region, lanes, and conflicting index
+//               intervals) and the shared plane scratch the pencil rule
+//               forbids.
+//
+// Everything here is a bug on purpose. Do NOT use as a template; the
+// correct versions of these loops are in examples/quickstart.cpp.
+//
+// Build & run:  ./build/examples/bad_doacross   (expected exit code: 1)
+#include <cstdio>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "core/access_span.hpp"
+#include "core/doacross.hpp"
+#include "core/parallel_for.hpp"
+
+int main() {
+  // Deterministic lane layout: the seeded conflicts below sit on the
+  // static-block partition boundaries of exactly four lanes.
+  llp::set_num_threads(4);
+  llp::analyze::install();
+
+  // --- Bug 1: a first-order recurrence parallelized over its own
+  // --- recurrence direction. a[i] needs a[i-1], so the first iteration of
+  // --- every lane but lane 0 reads an element another lane writes: a
+  // --- loop-carried dependence, reported with the exact index.
+  constexpr std::int64_t kN = 1 << 14;
+  std::vector<double> a(static_cast<std::size_t>(kN), 1.0);
+  llp::doacross("bad.recurrence", kN,
+                [&](std::int64_t i, const llp::LaneContext& ctx) {
+                  llp::AccessSpan<double> as(a.data(), kN, ctx, "a");
+                  if (i > 0) as.wr(i) = 0.5 * (as.rd(i) + as.rd(i - 1));
+                });
+
+  // --- Bug 2: a shared plane-sized scratch buffer written by every lane
+  // --- (the vector organization's plane buffer), plus an unsynchronized
+  // --- accumulation into a by-reference capture. The scratch must be a
+  // --- per-lane pencil; the sum must be a parallel_reduce.
+  constexpr int kJ = 96, kK = 96, kL = 48;
+  std::vector<double> plane(static_cast<std::size_t>(kJ) * kK, 0.0);
+  double checksum = 0.0;
+  llp::doacross("bad.plane_scratch", kL,
+                [&](std::int64_t l, const llp::LaneContext& ctx) {
+                  ctx.note_scratch(plane.data(),
+                                   plane.size() * sizeof(double));
+                  plane[0] = static_cast<double>(l);
+                  checksum += plane[0];
+                });
+
+  // --- Bug 3: raw index arithmetic through an unlabeled loop. The write
+  // --- to raw[i - 1] bypasses any logged accessor AND the loop has no
+  // --- region, so only the static linter can see it.
+  double* raw = a.data();
+  llp::parallel_for(1, kN, [&](std::int64_t i) { raw[i - 1] = raw[i]; });
+
+  auto* logger = llp::analyze::global_logger();
+  std::printf("%s", logger->report().c_str());
+  std::printf("checksum (racy, do not trust): %g\n", checksum);
+
+  // A demo of bugs has succeeded when the analyzer failed the run.
+  return logger->num_findings() > 0 ? 1 : 0;
+}

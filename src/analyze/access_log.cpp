@@ -1,0 +1,160 @@
+#include "analyze/access_log.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+namespace {
+const LaneAccess kEmptyAccess;
+const std::string kUnknownArray = "?";
+}  // namespace
+
+void AccessLog::record(int lane, int array, AccessKind kind,
+                       std::int64_t begin, std::int64_t end) {
+  if (lane < 0 || array < 0 || end <= begin) return;
+  if (static_cast<std::size_t>(lane) >= lanes_.size()) {
+    lanes_.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  auto& row = lanes_[static_cast<std::size_t>(lane)];
+  if (static_cast<std::size_t>(array) >= row.size()) {
+    row.resize(static_cast<std::size_t>(array) + 1);
+  }
+  LaneAccess& acc = row[static_cast<std::size_t>(array)];
+  (kind == AccessKind::kWrite ? acc.writes : acc.reads).insert(begin, end);
+}
+
+void AccessLog::record_scratch(int lane, const void* ptr, std::size_t bytes) {
+  const auto key = reinterpret_cast<std::uintptr_t>(ptr);
+  for (ScratchUse& s : scratch_) {
+    if (s.ptr == key) {
+      s.bytes = std::max(s.bytes, bytes);
+      if (!std::binary_search(s.lanes.begin(), s.lanes.end(), lane)) {
+        s.lanes.insert(
+            std::lower_bound(s.lanes.begin(), s.lanes.end(), lane), lane);
+      }
+      return;
+    }
+  }
+  scratch_.push_back({key, bytes, {lane}});
+}
+
+int AccessLog::num_arrays() const {
+  std::size_t n = arrays.size();
+  for (const auto& row : lanes_) n = std::max(n, row.size());
+  return static_cast<int>(n);
+}
+
+const LaneAccess& AccessLog::at(int lane, int array) const {
+  if (lane < 0 || static_cast<std::size_t>(lane) >= lanes_.size()) {
+    return kEmptyAccess;
+  }
+  const auto& row = lanes_[static_cast<std::size_t>(lane)];
+  if (array < 0 || static_cast<std::size_t>(array) >= row.size()) {
+    return kEmptyAccess;
+  }
+  return row[static_cast<std::size_t>(array)];
+}
+
+const std::string& AccessLog::array_name(int array) const {
+  if (array < 0 || static_cast<std::size_t>(array) >= arrays.size()) {
+    return kUnknownArray;
+  }
+  return arrays[static_cast<std::size_t>(array)];
+}
+
+void AccessLog::save(std::ostream& out) const {
+  out << "log " << (region_name.empty() ? "?" : region_name) << ' '
+      << invocation << ' ' << lanes_used << '\n';
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    out << "array " << a << ' ' << arrays[a] << '\n';
+  }
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (std::size_t array = 0; array < lanes_[lane].size(); ++array) {
+      const LaneAccess& acc = lanes_[lane][array];
+      for (int kind = 0; kind < 2; ++kind) {
+        const IntervalSet& set = kind == 0 ? acc.reads : acc.writes;
+        for (const Interval& iv : set.intervals()) {
+          out << "acc " << lane << ' ' << array << ' '
+              << (kind == 0 ? 'R' : 'W') << ' ' << iv.begin << ' ' << iv.end
+              << '\n';
+        }
+      }
+    }
+  }
+  for (const ScratchUse& s : scratch_) {
+    out << "scratch " << s.bytes << ' ' << s.ptr;
+    for (int lane : s.lanes) out << ' ' << lane;
+    out << '\n';
+  }
+  out << "end\n";
+}
+
+bool AccessLog::load(std::istream& in) {
+  *this = AccessLog{};
+  std::string line;
+  // Seek the next "log" header, skipping blank lines between blocks.
+  for (;;) {
+    if (!std::getline(in, line)) return false;
+    if (line.rfind("log ", 0) == 0) break;
+    if (!line.empty()) throw Error("access log: expected 'log', got: " + line);
+  }
+  {
+    std::istringstream hdr(line.substr(4));
+    if (!(hdr >> region_name >> invocation >> lanes_used)) {
+      throw Error("access log: malformed header: " + line);
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line == "end") return true;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "array") {
+      std::size_t id = 0;
+      std::string name;
+      if (!(ls >> id >> name)) {
+        throw Error("access log: malformed array row: " + line);
+      }
+      if (arrays.size() <= id) arrays.resize(id + 1);
+      arrays[id] = name;
+    } else if (tag == "acc") {
+      int lane = 0, array = 0;
+      char kind = 0;
+      std::int64_t b = 0, e = 0;
+      if (!(ls >> lane >> array >> kind >> b >> e) ||
+          (kind != 'R' && kind != 'W')) {
+        throw Error("access log: malformed acc row: " + line);
+      }
+      record(lane, array, kind == 'W' ? AccessKind::kWrite : AccessKind::kRead,
+             b, e);
+    } else if (tag == "scratch") {
+      std::size_t bytes = 0;
+      std::uintptr_t ptr = 0;
+      if (!(ls >> bytes >> ptr)) {
+        throw Error("access log: malformed scratch row: " + line);
+      }
+      int lane = 0;
+      while (ls >> lane) {
+        record_scratch(lane, reinterpret_cast<const void*>(ptr), bytes);
+      }
+    } else {
+      throw Error("access log: unknown row: " + line);
+    }
+  }
+  throw Error("access log: unterminated block for region " + region_name);
+}
+
+std::vector<AccessLog> load_logs(std::istream& in) {
+  std::vector<AccessLog> logs;
+  AccessLog log;
+  while (log.load(in)) logs.push_back(std::move(log));
+  return logs;
+}
+
+}  // namespace llp::analyze

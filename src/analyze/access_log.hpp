@@ -1,0 +1,80 @@
+// AccessLog — everything the analyzer learned about one invocation of one
+// region: per-lane read/write interval sets per array, plus which scratch
+// buffers each lane touched.
+//
+// Logs are the interchange format between the two analyzer modes: dynamic
+// mode fills them live through the AccessHook and checks them at region
+// exit; `llp_check replay` loads saved logs and runs the same checker
+// offline, so a finding from a production run can be re-examined (and
+// regression-tested) without re-running the workload.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyze/interval_set.hpp"
+#include "core/access_hook.hpp"
+
+namespace llp::analyze {
+
+/// Footprint of one lane on one array.
+struct LaneAccess {
+  IntervalSet reads;
+  IntervalSet writes;
+
+  bool empty() const { return reads.empty() && writes.empty(); }
+};
+
+/// One scratch buffer and the lanes that reported working in it. The
+/// pointer is identity only (never dereferenced); saved logs carry it as an
+/// opaque token.
+struct ScratchUse {
+  std::uintptr_t ptr = 0;
+  std::size_t bytes = 0;
+  std::vector<int> lanes;  ///< distinct, ascending
+};
+
+/// Access record of one region invocation.
+class AccessLog {
+public:
+  std::string region_name;
+  std::uint64_t invocation = 0;
+  int lanes_used = 0;
+
+  /// Dense array-id -> name table (ids are the AccessHook's).
+  std::vector<std::string> arrays;
+
+  /// Record one interval access; grows the lane/array tables on demand.
+  void record(int lane, int array, AccessKind kind, std::int64_t begin,
+              std::int64_t end);
+  /// Record one scratch-buffer use.
+  void record_scratch(int lane, const void* ptr, std::size_t bytes);
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int num_arrays() const;
+
+  /// Footprint of (lane, array); empty statics when never recorded.
+  const LaneAccess& at(int lane, int array) const;
+
+  const std::vector<ScratchUse>& scratch() const { return scratch_; }
+
+  const std::string& array_name(int array) const;
+
+  /// Text round trip. save() writes one "log ... end" block; load() reads
+  /// the next block from the stream (false cleanly at EOF, throws
+  /// llp::Error on a malformed block).
+  void save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+private:
+  // lanes_[lane][array]; inner vectors ragged, grown on first touch.
+  std::vector<std::vector<LaneAccess>> lanes_;
+  std::vector<ScratchUse> scratch_;
+};
+
+/// Load every "log" block in a stream.
+std::vector<AccessLog> load_logs(std::istream& in);
+
+}  // namespace llp::analyze

@@ -1,0 +1,117 @@
+#include "analyze/access_logger.hpp"
+
+#include <ostream>
+
+#include "core/runtime.hpp"
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+AccessLogger::AccessLogger(AccessLoggerConfig config)
+    : config_(std::move(config)) {}
+
+AccessLog* AccessLogger::active_locked(RegionId region) {
+  auto it = active_.find(region);
+  return it == active_.end() ? nullptr : &it->second.log;
+}
+
+void AccessLogger::on_event(const Event& event) {
+  if (event.region == kNoRegion) return;
+  if (event.kind == EventKind::kRegionEnter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ActiveLog& al = active_[event.region];
+    if (al.depth++ == 0) {
+      al.log = AccessLog{};
+      al.log.region_name =
+          Runtime::instance().regions().stats(event.region).name;
+      al.log.invocation = invocation_counts_[event.region]++;
+      al.log.lanes_used = static_cast<int>(event.b);
+    }
+    return;
+  }
+  if (event.kind != EventKind::kRegionExit) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(event.region);
+  if (it == active_.end()) return;  // exit without enter: not ours to check
+  if (--it->second.depth > 0) return;
+  AccessLog log = std::move(it->second.log);
+  active_.erase(it);
+  log.arrays = array_names_;
+  for (Finding& f : check(log, config_.check)) {
+    if (findings_.size() >= config_.max_findings) break;
+    findings_.push_back(std::move(f));
+  }
+  ++checked_;
+  retained_[event.region] = std::move(log);
+}
+
+int AccessLogger::array_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < array_names_.size(); ++i) {
+    if (array_names_[i] == name) return static_cast<int>(i);
+  }
+  array_names_.emplace_back(name);
+  return static_cast<int>(array_names_.size() - 1);
+}
+
+void AccessLogger::on_access(RegionId region, int lane, int array,
+                             AccessKind kind, std::int64_t begin,
+                             std::int64_t end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (AccessLog* log = active_locked(region)) {
+    log->record(lane, array, kind, begin, end);
+  }
+}
+
+void AccessLogger::on_scratch(RegionId region, int lane, const void* ptr,
+                              std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (AccessLog* log = active_locked(region)) {
+    log->record_scratch(lane, ptr, bytes);
+  }
+}
+
+std::vector<Finding> AccessLogger::findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_;
+}
+
+std::size_t AccessLogger::num_findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.size();
+}
+
+std::uint64_t AccessLogger::invocations_checked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checked_;
+}
+
+std::string AccessLogger::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = strfmt(
+      "analyze: %zu finding(s) across %llu checked region invocation(s)\n",
+      findings_.size(), static_cast<unsigned long long>(checked_));
+  for (const Finding& f : findings_) {
+    out += "  ";
+    out += format_finding(f);
+    out += '\n';
+  }
+  return out;
+}
+
+void AccessLogger::save_logs(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [region, log] : retained_) log.save(out);
+}
+
+void AccessLogger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.clear();
+  invocation_counts_.clear();
+  retained_.clear();
+  findings_.clear();
+  checked_ = 0;
+}
+
+}  // namespace llp::analyze

@@ -1,0 +1,83 @@
+// AccessLogger — dynamic mode of the loop-safety analyzer.
+//
+// One RuntimeObserver registered with the runtime's seam. Its AccessHook
+// facet receives the read/write intervals that instrumented bodies and
+// AccessSpans report; its event stream drives the log lifecycle: a
+// kRegionEnter opens (or re-enters) the region's log, the matching
+// kRegionExit closes it, runs the dependence checker, and accumulates any
+// findings. The last completed log per region is retained so it can be
+// saved for offline replay (`llp_check replay`).
+//
+// Locking: one mutex guards everything. on_access fires once per coalesced
+// interval — thousands per step, not per element — so a mutex is cheap and
+// keeps the odd shapes safe (nested serial re-entry of a region from
+// several lanes at once logs into one shared depth-counted log).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analyze/dep_check.hpp"
+#include "core/observer.hpp"
+
+namespace llp::analyze {
+
+struct AccessLoggerConfig {
+  CheckConfig check;
+  /// Upper bound on accumulated findings across all regions.
+  std::size_t max_findings = 256;
+};
+
+class AccessLogger final : public RuntimeObserver, public AccessHook {
+public:
+  explicit AccessLogger(AccessLoggerConfig config = {});
+
+  // --- RuntimeObserver -------------------------------------------------
+  void on_event(const Event& event) override;
+  AccessHook* access_facet() override { return this; }
+
+  // --- AccessHook ------------------------------------------------------
+  int array_id(std::string_view name) override;
+  void on_access(RegionId region, int lane, int array, AccessKind kind,
+                 std::int64_t begin, std::int64_t end) override;
+  void on_scratch(RegionId region, int lane, const void* ptr,
+                  std::size_t bytes) override;
+
+  // --- results ---------------------------------------------------------
+  /// All findings so far, in discovery order.
+  std::vector<Finding> findings() const;
+  std::size_t num_findings() const;
+  /// Region invocations checked (a zero-findings run still proves work).
+  std::uint64_t invocations_checked() const;
+
+  /// Formatted report: one line per finding, or the all-clear summary.
+  std::string report() const;
+
+  /// Save the last completed log of every region (offline replay input).
+  void save_logs(std::ostream& out) const;
+
+  /// Drop findings, counters, and retained logs; keep the name table.
+  void reset();
+
+private:
+  struct ActiveLog {
+    AccessLog log;
+    int depth = 0;
+  };
+
+  AccessLog* active_locked(RegionId region);
+
+  mutable std::mutex mu_;
+  AccessLoggerConfig config_;
+  std::vector<std::string> array_names_;
+  std::map<RegionId, ActiveLog> active_;
+  std::map<RegionId, std::uint64_t> invocation_counts_;
+  std::map<RegionId, AccessLog> retained_;  ///< last completed per region
+  std::vector<Finding> findings_;
+  std::uint64_t checked_ = 0;
+};
+
+}  // namespace llp::analyze

@@ -1,0 +1,111 @@
+#include "analyze/analyzer.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "core/runtime.hpp"
+#include "util/env.hpp"
+
+namespace llp::analyze {
+
+namespace {
+
+std::mutex g_mu;
+std::unique_ptr<AccessLogger> g_logger;
+std::string g_log_path;
+bool g_atexit_registered = false;
+
+void export_at_exit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    path = g_log_path;
+  }
+  if (path.empty() || g_logger == nullptr) return;
+  export_logs(path);  // best effort; errors die with the process
+}
+
+void arm_atexit_locked() {
+  if (!g_atexit_registered) {
+    std::atexit(export_at_exit);
+    g_atexit_registered = true;
+  }
+}
+
+}  // namespace
+
+AccessLogger& install(const AccessLoggerConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_logger == nullptr) {
+    g_logger = std::make_unique<AccessLogger>(config);
+    Runtime::instance().add_observer(g_logger.get());
+  }
+  return *g_logger;
+}
+
+AccessLogger* global_logger() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_logger.get();
+}
+
+void uninstall() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_logger != nullptr) {
+    Runtime::instance().remove_observer(g_logger.get());
+    g_logger.reset();
+  }
+  g_log_path.clear();
+}
+
+void set_log_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_log_path = path;
+  if (!path.empty()) arm_atexit_locked();
+}
+
+std::string log_path() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_log_path;
+}
+
+bool export_logs(const std::string& path, std::string* error) {
+  AccessLogger* logger = global_logger();
+  if (logger == nullptr) {
+    if (error != nullptr) *error = "no access logger installed";
+    return false;
+  }
+  std::ofstream out(path);
+  if (out) logger->save_logs(out);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_log_path == path) g_log_path.clear();  // done; skip at-exit
+  return true;
+}
+
+bool init_from_env() {
+  const bool enabled = env::get_flag("LLP_ANALYZE");
+  const std::string path = env::get_string("LLP_ANALYZE_LOG", "");
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_logger != nullptr) {
+      // Explicit install wins; the env var can still name the log file if
+      // nothing set one yet.
+      if (!path.empty() && g_log_path.empty()) {
+        g_log_path = path;
+        arm_atexit_locked();
+      }
+      return true;
+    }
+  }
+  if (!enabled && path.empty()) return false;
+  install();
+  if (!path.empty()) set_log_path(path);
+  return true;
+}
+
+}  // namespace llp::analyze

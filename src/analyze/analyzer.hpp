@@ -1,0 +1,44 @@
+// llp::analyze — process-global dynamic analyzer: one AccessLogger
+// registered with the runtime's observer seam.
+//
+// Same precedence rules as llp::obs (util/env.hpp): an explicit install()
+// call (e.g. from f3d_run --analyze) always wins over the environment;
+// LLP_ANALYZE=1 configures processes that were not started through a
+// flag-aware tool, and LLP_ANALYZE_LOG=path additionally saves the last
+// access log of every region at normal process exit for `llp_check
+// replay`.
+#pragma once
+
+#include <string>
+
+#include "analyze/access_logger.hpp"
+
+namespace llp::analyze {
+
+/// Install the process-global access logger and register it with the
+/// runtime. Idempotent: a second call returns the existing logger (config
+/// ignored).
+AccessLogger& install(const AccessLoggerConfig& config = {});
+
+/// The global logger, or nullptr when install()/init_from_env() never ran.
+AccessLogger* global_logger();
+
+/// Unregister and destroy the global logger (primarily for tests). Any
+/// pending at-exit log export is cancelled.
+void uninstall();
+
+/// Path the at-exit hook saves access logs to; empty disables the hook.
+void set_log_path(const std::string& path);
+std::string log_path();
+
+/// Save the global logger's retained logs to `path` now. Returns false
+/// (with `error` filled, if given) when no logger is installed or the
+/// write fails. Clears a pending at-exit export of the same path.
+bool export_logs(const std::string& path, std::string* error = nullptr);
+
+/// LLP_ANALYZE=1 installs the logger; LLP_ANALYZE_LOG=path also arranges
+/// the at-exit log export. Returns true when a logger is installed after
+/// the call. Idempotent; explicit install() beats the environment.
+bool init_from_env();
+
+}  // namespace llp::analyze

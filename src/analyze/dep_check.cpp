@@ -1,0 +1,100 @@
+#include "analyze/dep_check.hpp"
+
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+const char* finding_kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kWriteWrite: return "write-write";
+    case FindingKind::kReadWrite: return "read-write";
+    case FindingKind::kSharedScratch: return "shared-scratch";
+  }
+  return "?";
+}
+
+std::string format_finding(const Finding& f) {
+  if (f.kind == FindingKind::kSharedScratch) {
+    std::string lanes;
+    lanes = strfmt("lanes %d and %d", f.lane_a, f.lane_b);
+    return strfmt(
+        "shared scratch in region %s (invocation %llu): %zu-byte buffer "
+        "reachable from %s — privatize it per lane (plane -> pencil)",
+        f.region.c_str(), static_cast<unsigned long long>(f.invocation),
+        f.scratch_bytes, lanes.c_str());
+  }
+  const char* verb_b =
+      f.kind == FindingKind::kWriteWrite ? "wrote" : "read";
+  return strfmt(
+      "loop-carried dependence in region %s (invocation %llu, array %s): "
+      "lane %d wrote [%lld,%lld), lane %d %s [%lld,%lld) — first conflict "
+      "at index %lld",
+      f.region.c_str(), static_cast<unsigned long long>(f.invocation),
+      f.array.c_str(), f.lane_a, static_cast<long long>(f.range_a.begin),
+      static_cast<long long>(f.range_a.end), f.lane_b, verb_b,
+      static_cast<long long>(f.range_b.begin),
+      static_cast<long long>(f.range_b.end),
+      static_cast<long long>(f.first_conflict));
+}
+
+std::vector<Finding> check(const AccessLog& log, const CheckConfig& config) {
+  std::vector<Finding> findings;
+  const int lanes = log.num_lanes();
+  const int arrays = log.num_arrays();
+
+  auto full = [&] { return findings.size() >= config.max_findings; };
+
+  // Cross-lane dependence: for each array, each ordered (writer, other)
+  // lane pair, intersect writer's writes with the other lane's writes and
+  // reads. A single lane (serial or disabled region) can never conflict
+  // with itself — iteration order within a lane is the program order.
+  for (int array = 0; array < arrays && !full(); ++array) {
+    for (int a = 0; a < lanes && !full(); ++a) {
+      const LaneAccess& wa = log.at(a, array);
+      if (wa.writes.empty()) continue;
+      for (int b = 0; b < lanes && !full(); ++b) {
+        if (b == a) continue;
+        const LaneAccess& ob = log.at(b, array);
+        Finding f;
+        f.region = log.region_name;
+        f.invocation = log.invocation;
+        f.array = log.array_name(array);
+        f.lane_a = a;
+        f.lane_b = b;
+        // Write-write reported once per unordered pair (a < b); read-write
+        // needs both orders, since reads and writes may sit in either lane.
+        if (b > a && wa.writes.first_overlap(ob.writes, &f.range_a,
+                                             &f.range_b,
+                                             &f.first_conflict)) {
+          f.kind = FindingKind::kWriteWrite;
+          findings.push_back(f);
+          if (full()) break;
+        }
+        if (wa.writes.first_overlap(ob.reads, &f.range_a, &f.range_b,
+                                    &f.first_conflict)) {
+          f.kind = FindingKind::kReadWrite;
+          findings.push_back(f);
+        }
+      }
+    }
+  }
+
+  // The pencil rule: scratch reachable from more than one lane must stay
+  // below plane size. (Per-lane pencils each get their own buffer, so they
+  // never appear with two lanes.)
+  for (const ScratchUse& s : log.scratch()) {
+    if (full()) break;
+    if (s.lanes.size() < 2 || s.bytes < config.shared_scratch_bytes) continue;
+    Finding f;
+    f.kind = FindingKind::kSharedScratch;
+    f.region = log.region_name;
+    f.invocation = log.invocation;
+    f.lane_a = s.lanes[0];
+    f.lane_b = s.lanes[1];
+    f.scratch_bytes = s.bytes;
+    findings.push_back(f);
+  }
+  return findings;
+}
+
+}  // namespace llp::analyze

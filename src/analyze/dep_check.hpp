@@ -1,0 +1,69 @@
+// Dependence checker — the doacross-legality test, mechanized.
+//
+// The paper's authors proved by hand that each outer loop they tagged
+// C$doacross carries no dependence between iterations, and that every
+// scratch array is a privatized pencil rather than a shared plane (§4).
+// This checker performs the same proof obligation against an observed
+// AccessLog: for every array, every pair of lanes, any overlap between one
+// lane's writes and another lane's reads or writes is a loop-carried
+// dependence — the directive would have been illegal, and the parallel run
+// is a race. Overlapping reads are fine (that is what makes doacross loops
+// common: inputs are shared, outputs are partitioned).
+//
+// The check is sound relative to what was logged: it sees exactly the
+// intervals the instrumented accessors reported, for the lane partition of
+// the observed run. It is an oracle for "this execution raced", not a
+// static proof over all schedules — which is why CI runs it across the
+// schedule/fault matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/access_log.hpp"
+
+namespace llp::analyze {
+
+enum class FindingKind : std::uint8_t {
+  kWriteWrite,     ///< two lanes wrote overlapping intervals
+  kReadWrite,      ///< one lane wrote what another read
+  kSharedScratch,  ///< a plane-sized scratch buffer reachable from >1 lane
+};
+
+const char* finding_kind_name(FindingKind kind) noexcept;
+
+/// One confirmed legality violation.
+struct Finding {
+  FindingKind kind = FindingKind::kWriteWrite;
+  std::string region;
+  std::uint64_t invocation = 0;
+  std::string array;                ///< array name, or "" for scratch
+  int lane_a = -1;                  ///< the writing lane
+  int lane_b = -1;                  ///< the other lane
+  Interval range_a;                 ///< lane_a's conflicting interval
+  Interval range_b;                 ///< lane_b's conflicting interval
+  std::int64_t first_conflict = 0;  ///< smallest shared coordinate
+  std::size_t scratch_bytes = 0;    ///< kSharedScratch only
+};
+
+/// "loop-carried dependence in region R: lane 0 wrote [8,16), lane 1 read
+/// [15,24) (first conflict at index 15)" — the line CI greps for.
+std::string format_finding(const Finding& finding);
+
+struct CheckConfig {
+  /// A scratch buffer this large or larger, reported by more than one
+  /// lane, violates the pencil rule. Default 64 KiB: comfortably above any
+  /// per-lane pencil (a 1000-point line is ~19 KiB) and below any plane at
+  /// the paper's zone sizes.
+  std::size_t shared_scratch_bytes = 64 * 1024;
+  /// Stop after this many findings per log (a broken loop conflicts
+  /// everywhere; the first few lines carry the signal).
+  std::size_t max_findings = 16;
+};
+
+/// Run the legality check over one invocation's log.
+std::vector<Finding> check(const AccessLog& log,
+                           const CheckConfig& config = {});
+
+}  // namespace llp::analyze

@@ -1,0 +1,41 @@
+#include "analyze/determinism.hpp"
+
+#include <cstring>
+
+#include "util/crc32c.hpp"
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+DeterminismReport check_determinism(
+    const std::function<std::vector<double>()>& workload) {
+  DeterminismReport r;
+  const std::vector<double> first = workload();
+  const std::vector<double> second = workload();
+  r.crc_first = crc32c(first.data(), first.size() * sizeof(double));
+  r.crc_second = crc32c(second.data(), second.size() * sizeof(double));
+  if (first.size() != second.size()) {
+    r.message = strfmt("result sizes differ: %zu vs %zu", first.size(),
+                       second.size());
+    return r;
+  }
+  // memcmp, not ==: NaNs must compare by representation (a poisoned lane
+  // that produces NaN nondeterministically is exactly what we must catch),
+  // and -0.0 vs +0.0 is a real bitwise difference.
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (std::memcmp(&first[i], &second[i], sizeof(double)) != 0) {
+      r.first_mismatch = i;
+      r.message = strfmt(
+          "nondeterministic: element %zu differs (%.17g vs %.17g; crc %08x "
+          "vs %08x)",
+          i, first[i], second[i], r.crc_first, r.crc_second);
+      return r;
+    }
+  }
+  r.deterministic = true;
+  r.message = strfmt("deterministic: %zu elements, crc %08x", first.size(),
+                     r.crc_first);
+  return r;
+}
+
+}  // namespace llp::analyze

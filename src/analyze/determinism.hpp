@@ -1,0 +1,35 @@
+// Reduction-determinism check: run a workload twice, compare bitwise.
+//
+// The runtime's parallel_reduce promises lane-ordered combination —
+// identical results for a fixed thread count. Hand-rolled reductions
+// (atomics, unordered combines) silently break that promise: floating-point
+// addition does not commute in rounding, so the "race-free" atomic sum is
+// still nondeterministic. The analyzer's determinism check catches exactly
+// this class: execute the seeded workload twice under identical
+// configuration and compare the results bit for bit (CRC32C digests in the
+// report make two runs comparable across processes, e.g. in CI logs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llp::analyze {
+
+struct DeterminismReport {
+  bool deterministic = false;
+  std::uint32_t crc_first = 0;
+  std::uint32_t crc_second = 0;
+  std::size_t first_mismatch = 0;  ///< element index; meaningful when !ok
+  std::string message;
+};
+
+/// Run `workload` twice and bitwise-compare the returned values. The
+/// workload owns its seeding: it must reset every input to the same state
+/// on each call (the check is for *execution* nondeterminism, not sloppy
+/// setup).
+DeterminismReport check_determinism(
+    const std::function<std::vector<double>()>& workload);
+
+}  // namespace llp::analyze

@@ -1,0 +1,105 @@
+#include "analyze/interval_set.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+void IntervalSet::insert(std::int64_t begin, std::int64_t end) {
+  if (end <= begin) return;
+  // Fast path: extend the last raw interval in place when the insertion
+  // continues it (a lane sweeping forward), so raw_ stays small without a
+  // full normalization pass.
+  if (!raw_.empty() && begin >= raw_.back().begin &&
+      begin <= raw_.back().end) {
+    if (end > raw_.back().end) raw_.back().end = end;
+  } else {
+    raw_.push_back({begin, end});
+  }
+  dirty_ = true;
+}
+
+void IntervalSet::normalize() const {
+  if (!dirty_) return;
+  norm_ = raw_;
+  std::sort(norm_.begin(), norm_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < norm_.size(); ++i) {
+    if (out > 0 && norm_[i].begin <= norm_[out - 1].end) {
+      norm_[out - 1].end = std::max(norm_[out - 1].end, norm_[i].end);
+    } else {
+      norm_[out++] = norm_[i];
+    }
+  }
+  norm_.resize(out);
+  dirty_ = false;
+}
+
+std::int64_t IntervalSet::cardinality() const {
+  normalize();
+  std::int64_t n = 0;
+  for (const Interval& iv : norm_) n += iv.end - iv.begin;
+  return n;
+}
+
+const std::vector<Interval>& IntervalSet::intervals() const {
+  normalize();
+  return norm_;
+}
+
+bool IntervalSet::contains(std::int64_t x) const {
+  normalize();
+  auto it = std::upper_bound(norm_.begin(), norm_.end(), x,
+                             [](std::int64_t v, const Interval& iv) {
+                               return v < iv.begin;
+                             });
+  return it != norm_.begin() && x < std::prev(it)->end;
+}
+
+bool IntervalSet::first_overlap(const IntervalSet& other, Interval* mine,
+                                Interval* theirs,
+                                std::int64_t* first) const {
+  normalize();
+  other.normalize();
+  // Two-pointer walk over the sorted interval lists.
+  std::size_t i = 0, j = 0;
+  while (i < norm_.size() && j < other.norm_.size()) {
+    const Interval& a = norm_[i];
+    const Interval& b = other.norm_[j];
+    const std::int64_t lo = std::max(a.begin, b.begin);
+    const std::int64_t hi = std::min(a.end, b.end);
+    if (lo < hi) {
+      if (mine != nullptr) *mine = a;
+      if (theirs != nullptr) *theirs = b;
+      if (first != nullptr) *first = lo;
+      return true;
+    }
+    if (a.end <= b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::string IntervalSet::to_string(std::size_t max_intervals) const {
+  normalize();
+  std::string s;
+  for (std::size_t i = 0; i < norm_.size(); ++i) {
+    if (i >= max_intervals) {
+      s += strfmt(" ... (%zu more)", norm_.size() - i);
+      break;
+    }
+    if (!s.empty()) s += ' ';
+    s += strfmt("[%lld,%lld)", static_cast<long long>(norm_[i].begin),
+                static_cast<long long>(norm_[i].end));
+  }
+  return s.empty() ? "(empty)" : s;
+}
+
+}  // namespace llp::analyze

@@ -1,0 +1,59 @@
+// IntervalSet — the per-(lane, array, kind) access footprint of one region
+// invocation.
+//
+// Half-open [begin, end) intervals over a caller-chosen 1-D coordinate
+// space. Insertion is append-only and cheap (the common pattern — a lane
+// sweeping forward through its share — appends presorted, adjacent
+// intervals); normalization sorts and coalesces lazily the first time a
+// query needs it. The dependence checker's core operation is
+// first_overlap: the earliest coordinate two sets share, which becomes the
+// "exact first-conflict index" in a finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llp::analyze {
+
+struct Interval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< half-open
+
+  bool operator==(const Interval&) const = default;
+};
+
+class IntervalSet {
+public:
+  /// Add [begin, end); empty/backward intervals are ignored.
+  void insert(std::int64_t begin, std::int64_t end);
+
+  bool empty() const { return raw_.empty(); }
+
+  /// Number of coordinates covered (after coalescing).
+  std::int64_t cardinality() const;
+
+  /// Sorted, disjoint, coalesced intervals.
+  const std::vector<Interval>& intervals() const;
+
+  /// Does the set cover coordinate x?
+  bool contains(std::int64_t x) const;
+
+  /// The earliest overlap between this set and `other`: on overlap fills
+  /// `mine` / `theirs` with the two source intervals that collide and
+  /// `first` with the smallest shared coordinate, and returns true.
+  bool first_overlap(const IntervalSet& other, Interval* mine,
+                     Interval* theirs, std::int64_t* first) const;
+
+  /// "[a,b) [c,d) ..." for reports; at most `max_intervals` then "...".
+  std::string to_string(std::size_t max_intervals = 8) const;
+
+private:
+  void normalize() const;
+
+  std::vector<Interval> raw_;        // as inserted
+  mutable std::vector<Interval> norm_;  // sorted + coalesced
+  mutable bool dirty_ = false;
+};
+
+}  // namespace llp::analyze

@@ -1,0 +1,572 @@
+#include "analyze/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replace comment bodies and string/char literal contents with spaces,
+/// preserving every newline so byte offsets map to the original lines.
+/// A comment whose text contains "llp-check: allow" leaves that marker in
+/// place (it is the suppression mechanism).
+std::string scrub(std::string_view src) {
+  std::string out(src);
+  constexpr std::string_view kAllow = "llp-check: allow";
+  std::size_t i = 0;
+  auto blank = [&](std::size_t begin, std::size_t end) {
+    const bool keep = src.substr(begin, end - begin).find(kAllow) !=
+                      std::string_view::npos;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+    if (keep) {
+      // Re-stamp the marker at the start of the blanked region (same line).
+      for (std::size_t k = 0; k < kAllow.size() && begin + k < end; ++k) {
+        out[begin + k] = kAllow[k];
+      }
+    }
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t end = i;
+      while (end < src.size() && src[end] != '\n') ++end;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? src.size() : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t end = i + 1;
+      while (end < src.size() && src[end] != quote) {
+        end += (src[end] == '\\') ? 2 : 1;
+      }
+      if (end < src.size()) ++end;
+      // Keep the quotes themselves: `doacross("")` must still show "".
+      blank(i + 1, end > i + 1 ? end - 1 : i + 1);
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int line_of(std::string_view text, std::size_t offset) {
+  int line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+bool line_allows(std::string_view text, std::size_t offset) {
+  std::size_t begin = text.rfind('\n', offset);
+  begin = (begin == std::string_view::npos) ? 0 : begin + 1;
+  std::size_t end = text.find('\n', offset);
+  if (end == std::string_view::npos) end = text.size();
+  return text.substr(begin, end - begin).find("llp-check: allow") !=
+         std::string_view::npos;
+}
+
+/// Offset just past the matching close of the bracket at `open` (which must
+/// be one of ( [ {), or npos when unbalanced.
+std::size_t match_bracket(std::string_view text, std::size_t open) {
+  const char oc = text[open];
+  const char cc = (oc == '(') ? ')' : (oc == '[') ? ']' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == oc) ++depth;
+    if (text[i] == cc && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Split an argument list at top-level commas (brackets of all three kinds
+/// balanced; '<' is NOT tracked — template args in the wild here always sit
+/// inside parens or are part of the callee name, and '<' doubles as
+/// less-than).
+std::vector<std::string_view> split_args(std::string_view args) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < args.size() || !args.empty()) {
+    out.push_back(args.substr(start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_bare_identifier(std::string_view s) {
+  s = trim(s);
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  for (char c : s) {
+    if (!is_ident_char(c) && c != ':' && c != '.') return false;
+  }
+  return true;
+}
+
+/// A located lambda inside a call's argument list.
+struct Lambda {
+  std::string_view captures;  ///< text inside [ ]
+  std::string_view params;    ///< text inside ( ), possibly empty
+  std::string_view body;      ///< text inside { }
+  std::size_t body_offset = 0;  ///< offset of body within the full source
+};
+
+/// Find the first lambda in `args` (offsets relative to `args_offset` in the
+/// scrubbed source). A '[' starts a lambda when the preceding non-space
+/// char is '(' , ',' or the start of the list — i.e. it begins an argument.
+bool find_lambda(std::string_view text, std::size_t args_begin,
+                 std::size_t args_end, Lambda* out) {
+  for (std::size_t i = args_begin; i < args_end; ++i) {
+    if (text[i] != '[') continue;
+    std::size_t p = i;
+    while (p > args_begin &&
+           std::isspace(static_cast<unsigned char>(text[p - 1]))) {
+      --p;
+    }
+    if (p != args_begin && text[p - 1] != '(' && text[p - 1] != ',') {
+      continue;  // subscript, not a capture list
+    }
+    const std::size_t cap_end = match_bracket(text, i);
+    if (cap_end == std::string_view::npos || cap_end > args_end) return false;
+    out->captures = text.substr(i + 1, cap_end - i - 2);
+    std::size_t j = cap_end;
+    while (j < args_end &&
+           std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j < args_end && text[j] == '(') {
+      const std::size_t par_end = match_bracket(text, j);
+      if (par_end == std::string_view::npos || par_end > args_end) {
+        return false;
+      }
+      out->params = text.substr(j + 1, par_end - j - 2);
+      j = par_end;
+    }
+    // Skip `mutable`, `noexcept`, `-> T` up to the body.
+    while (j < args_end && text[j] != '{') ++j;
+    if (j >= args_end) return false;
+    const std::size_t body_end = match_bracket(text, j);
+    if (body_end == std::string_view::npos || body_end > args_end + 1) {
+      return false;
+    }
+    out->body = text.substr(j + 1, body_end - j - 2);
+    out->body_offset = j + 1;
+    return true;
+  }
+  return false;
+}
+
+/// Last identifier token in a parameter declaration ("std::int64_t l" -> "l").
+std::string_view param_name(std::string_view param) {
+  param = trim(param);
+  std::size_t end = param.size();
+  while (end > 0 && !is_ident_char(param[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(param[begin - 1])) --begin;
+  return param.substr(begin, end - begin);
+}
+
+/// Does `expr` mention identifier `name` as a whole token?
+bool mentions(std::string_view expr, std::string_view name) {
+  if (name.empty()) return false;
+  std::size_t pos = 0;
+  while ((pos = expr.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(expr[pos - 1]);
+    const std::size_t after = pos + name.size();
+    const bool right_ok = after >= expr.size() || !is_ident_char(expr[after]);
+    if (left_ok && right_ok) return true;
+    pos = after;
+  }
+  return false;
+}
+
+/// Heuristic: is `name` declared inside `body` (so writes to it are
+/// lane-private)? Looks for a type-ish token followed by the name and a
+/// declarator continuation: `auto qp = `, `double* rp=`, `Workspace& ws =`,
+/// `std::vector<double> tmp(`, `T arr[`.
+bool declared_in(std::string_view body, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string_view::npos) {
+    const std::size_t after = pos + name.size();
+    if ((pos > 0 && is_ident_char(body[pos - 1])) ||
+        (after < body.size() && is_ident_char(body[after]))) {
+      pos = after;
+      continue;
+    }
+    // Preceding non-space char must end a type: identifier, '>', '*', '&'.
+    std::size_t p = pos;
+    while (p > 0 && (body[p - 1] == ' ' || body[p - 1] == '\n')) --p;
+    if (p == 0) {
+      pos = after;
+      continue;
+    }
+    const char before = body[p - 1];
+    const bool type_before =
+        is_ident_char(before) || before == '>' || before == '*' ||
+        before == '&';
+    // Following non-space char must continue a declarator.
+    std::size_t q = after;
+    while (q < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[q]))) {
+      ++q;
+    }
+    const bool decl_after =
+        q < body.size() && (body[q] == '=' || body[q] == ';' ||
+                            body[q] == '{' || body[q] == '(' ||
+                            body[q] == '[' || body[q] == ',');
+    // '=' must not be '=='.
+    const bool not_cmp = !(q + 1 < body.size() && body[q] == '=' &&
+                           body[q + 1] == '=');
+    if (type_before && decl_after && not_cmp) {
+      // "return name;" would sneak through ('return' ends in an ident
+      // char); peek at the whole word before the name.
+      std::size_t w = p;
+      while (w > 0 && is_ident_char(body[w - 1])) --w;
+      const std::string_view word = body.substr(w, p - w);
+      if (word != "return" && word != "delete" && word != "co_return") {
+        return true;
+      }
+    }
+    pos = after;
+  }
+  return false;
+}
+
+/// Names captured by reference, and whether a default &-capture exists.
+struct Captures {
+  bool ref_default = false;
+  std::vector<std::string_view> by_ref;
+};
+
+Captures parse_captures(std::string_view caps) {
+  Captures out;
+  for (std::string_view item : split_args(caps)) {
+    item = trim(item);
+    if (item == "&") {
+      out.ref_default = true;
+    } else if (!item.empty() && item.front() == '&') {
+      out.by_ref.push_back(trim(item.substr(1)));
+    }
+  }
+  return out;
+}
+
+bool captured_by_ref(const Captures& caps, std::string_view name) {
+  for (std::string_view n : caps.by_ref) {
+    if (n == name) return true;
+  }
+  return caps.ref_default;
+}
+
+constexpr std::string_view kLoopCalls[] = {"parallel_for", "parallel_reduce",
+                                           "parallel_for_2d", "doacross"};
+
+/// Options-bearing tokens: any of these anywhere in the argument list means
+/// the call names its region (or explicitly opted into defaults).
+constexpr std::string_view kOptionTokens[] = {
+    "ForOptions", "in_region", "auto_tuned", "with_region", "kAuto"};
+
+struct CallSite {
+  std::string_view callee;
+  std::size_t name_offset = 0;
+  std::size_t args_begin = 0;  ///< just past '('
+  std::size_t args_end = 0;    ///< at ')'
+};
+
+/// Find calls to the parallel-loop entry points. `text` is scrubbed source.
+std::vector<CallSite> find_calls(std::string_view text) {
+  std::vector<CallSite> out;
+  for (std::string_view callee : kLoopCalls) {
+    std::size_t pos = 0;
+    while ((pos = text.find(callee, pos)) != std::string_view::npos) {
+      const std::size_t after = pos + callee.size();
+      // Qualified calls (llp::parallel_for) are the common case; only a
+      // longer identifier ending in the callee name is a different symbol.
+      const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+      if (!left_ok) {
+        pos = after;
+        continue;
+      }
+      // Optional template argument list: parallel_reduce<double>(...).
+      std::size_t j = after;
+      if (j < text.size() && text[j] == '<') {
+        int depth = 0;
+        while (j < text.size()) {
+          if (text[j] == '<') ++depth;
+          if (text[j] == '>' && --depth == 0) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+      }
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j >= text.size() || text[j] != '(') {
+        pos = after;  // declaration, mention in a comment scrub, etc.
+        continue;
+      }
+      const std::size_t close = match_bracket(text, j);
+      if (close == std::string_view::npos) {
+        pos = after;
+        continue;
+      }
+      out.push_back(CallSite{callee, pos, j + 1, close - 1});
+      pos = after;
+    }
+  }
+  return out;
+}
+
+/// Scan a lambda body for writes of the form `name[expr] op` where op is an
+/// assignment. Invokes `fn(name, expr, offset_in_body)` for each.
+template <typename Fn>
+void for_each_indexed_write(std::string_view body, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] != '[') {
+      ++i;
+      continue;
+    }
+    // Identifier (possibly qualified: ws.q, zone->rhs) before '['.
+    std::size_t end = i;
+    while (end > 0) {
+      const char c = body[end - 1];
+      if (is_ident_char(c) || c == '.' || c == ':') {
+        --end;
+      } else if (c == '>' && end > 1 && body[end - 2] == '-') {
+        end -= 2;  // the -> of a pointer member access
+      } else {
+        break;
+      }
+    }
+    const std::string_view name = body.substr(end, i - end);
+    if (name.empty() || !is_ident_char(name.front())) {
+      ++i;
+      continue;
+    }
+    const std::size_t sub_end = match_bracket(body, i);
+    if (sub_end == std::string_view::npos) {
+      ++i;
+      continue;
+    }
+    const std::string_view expr = body.substr(i + 1, sub_end - i - 2);
+    // What follows the subscript? Allow chained subscripts a[i][j].
+    std::size_t j = sub_end;
+    while (j < body.size() && body[j] == '[') {
+      const std::size_t nxt = match_bracket(body, j);
+      if (nxt == std::string_view::npos) break;
+      j = nxt;
+    }
+    while (j < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[j]))) {
+      ++j;
+    }
+    const bool compound =
+        j + 1 < body.size() && body[j + 1] == '=' &&
+        (body[j] == '+' || body[j] == '-' || body[j] == '*' ||
+         body[j] == '/');
+    const bool plain = j < body.size() && body[j] == '=' &&
+                       (j + 1 >= body.size() || body[j + 1] != '=');
+    if (plain || compound) fn(name, expr, i);
+    i = sub_end;
+  }
+}
+
+void lint_call(std::string_view text, const CallSite& call,
+               std::string_view filename,
+               std::vector<LintFinding>* findings) {
+  auto report = [&](std::size_t offset, const char* rule,
+                    std::string message) {
+    if (line_allows(text, offset)) return;
+    findings->push_back(LintFinding{std::string(filename),
+                                    line_of(text, offset), rule,
+                                    std::move(message)});
+  };
+
+  const std::string_view args =
+      text.substr(call.args_begin, call.args_end - call.args_begin);
+
+  if (call.callee == "doacross") {
+    // Region name is the first argument; `doacross("")` is anonymous.
+    const std::vector<std::string_view> parts = split_args(args);
+    if (!parts.empty() && trim(parts.front()) == "\"\"") {
+      report(call.name_offset, "empty-region-name",
+             "doacross region name is empty; analyzer findings would be "
+             "anonymous");
+    }
+  } else {
+    bool has_options = false;
+    for (std::string_view token : kOptionTokens) {
+      if (mentions(args, token)) has_options = true;
+    }
+    if (!has_options) {
+      // A trailing bare identifier (or member access) is an options
+      // variable built elsewhere — treat as labeled.
+      const std::vector<std::string_view> parts = split_args(args);
+      if (!parts.empty() && is_bare_identifier(parts.back())) {
+        has_options = true;
+      }
+    }
+    if (!has_options) {
+      report(call.name_offset, "missing-region",
+             strfmt("%s call has no options argument: give the loop a "
+                    "region (ForOptions().in_region(...)) so the profiler "
+                    "and analyzer can see it",
+                    std::string(call.callee).c_str()));
+    }
+  }
+
+  Lambda lambda;
+  if (!find_lambda(text, call.args_begin, call.args_end, &lambda)) return;
+
+  const std::vector<std::string_view> params = split_args(lambda.params);
+  const std::string_view induction =
+      params.empty() ? std::string_view{} : param_name(params.front());
+  const Captures caps = parse_captures(lambda.captures);
+
+  for_each_indexed_write(
+      lambda.body, [&](std::string_view name, std::string_view expr,
+                       std::size_t body_off) {
+        const std::size_t offset = lambda.body_offset + body_off;
+        // Writes through the lane context's logged accessor or to
+        // body-local storage are fine by construction.
+        const bool local = declared_in(lambda.body, name) ||
+                           mentions(name, "ctx");
+        const bool uses_induction = mentions(expr, induction);
+        const bool lane_indexed =
+            mentions(expr, "lane") || mentions(expr, "ctx");
+        if (!local && uses_induction &&
+            (expr.find('+') != std::string_view::npos ||
+             expr.find('-') != std::string_view::npos)) {
+          report(offset, "shifted-index-write",
+                 strfmt("write to %s[%s] at an offset of the induction "
+                        "variable '%s': loop-carried dependence; route the "
+                        "access through a logged accessor (llp::AccessSpan) "
+                        "and prove it with --analyze",
+                        std::string(name).c_str(),
+                        std::string(trim(expr)).c_str(),
+                        std::string(induction).c_str()));
+          return;
+        }
+        if (!local && !uses_induction && !lane_indexed &&
+            captured_by_ref(caps, name)) {
+          report(offset, "captured-shared-write",
+                 strfmt("write to by-reference capture %s[%s] at a "
+                        "lane-independent index: shared scratch; privatize "
+                        "it per lane (plane -> pencil)",
+                        std::string(name).c_str(),
+                        std::string(trim(expr)).c_str()));
+        }
+      });
+
+  // Bare compound assignment into a by-ref captured scalar: `sum += ...`.
+  std::size_t i = 0;
+  const std::string_view body = lambda.body;
+  while (i + 1 < body.size()) {
+    const bool compound = body[i + 1] == '=' &&
+                          (body[i] == '+' || body[i] == '-' ||
+                           body[i] == '*' || body[i] == '/');
+    if (!compound) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(body[end - 1]))) {
+      --end;
+    }
+    if (end == 0 || body[end - 1] == ']') {
+      i += 2;  // indexed write; handled above
+      continue;
+    }
+    std::size_t begin = end;
+    while (begin > 0 && is_ident_char(body[begin - 1])) --begin;
+    const std::string_view name = body.substr(begin, end - begin);
+    if (!name.empty() &&
+        !std::isdigit(static_cast<unsigned char>(name.front())) &&
+        (begin == 0 || (body[begin - 1] != '.' && body[begin - 1] != '>' &&
+                        body[begin - 1] != ':')) &&
+        name != induction && name != "acc" && !declared_in(body, name) &&
+        captured_by_ref(caps, name)) {
+      report(lambda.body_offset + i, "captured-reduction",
+             strfmt("unsynchronized accumulation into by-reference capture "
+                    "'%s': use parallel_reduce (lane-ordered, "
+                    "deterministic) instead",
+                    std::string(name).c_str()));
+    }
+    i += 2;
+  }
+}
+
+}  // namespace
+
+std::string format_lint_finding(const LintFinding& f) {
+  return strfmt("%s:%d: [%s] %s", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+}
+
+std::vector<LintFinding> lint_source(std::string_view source,
+                                     std::string_view filename) {
+  const std::string text = scrub(source);
+  std::vector<LintFinding> findings;
+  for (const CallSite& call : find_calls(text)) {
+    lint_call(text, call, filename, &findings);
+  }
+  // Stable order for reports: by line, then rule.
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<LintFinding> lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("llp_check: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(buf.str(), path);
+}
+
+}  // namespace llp::analyze

@@ -1,0 +1,54 @@
+// Static mode of the loop-safety analyzer: lint parallel-loop call sites.
+//
+// The dynamic checker proves what an execution DID; the linter flags what
+// the source lets it do. It is a heuristic single-file scanner (no real
+// C++ front end — comments and literals are scrubbed, parens balanced,
+// lambdas located), tuned so the in-tree call sites pass clean and the
+// classic mistakes are loud:
+//
+//   missing-region          parallel_for/parallel_reduce with no options
+//                           argument at all: the loop is invisible to the
+//                           profile, the trace, AND the analyzer.
+//   empty-region-name       doacross("") — an anonymous region (the
+//                           registry rejects it at runtime too).
+//   shifted-index-write     body writes X[i +/- k] where i is the parallel
+//                           induction variable: the signature of a
+//                           loop-carried dependence (and of raw index
+//                           arithmetic bypassing the logged accessor).
+//   captured-shared-write   body writes through a by-reference capture at
+//                           an index independent of both the induction
+//                           variable and the lane: shared scratch that the
+//                           pencil rule says must be privatized.
+//   captured-reduction      body accumulates (+=, -=, ...) into a bare
+//                           by-reference capture: an unsynchronized
+//                           reduction; use parallel_reduce.
+//
+// A finding can be waived in place with a comment containing
+// "llp-check: allow" on the same line (the quarantined example keeps its
+// violations un-waived on purpose).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llp::analyze {
+
+struct LintFinding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message"
+std::string format_lint_finding(const LintFinding& finding);
+
+/// Lint one translation unit's source text.
+std::vector<LintFinding> lint_source(std::string_view source,
+                                     std::string_view filename);
+
+/// Lint a file on disk; throws llp::Error when it cannot be read.
+std::vector<LintFinding> lint_file(const std::string& path);
+
+}  // namespace llp::analyze

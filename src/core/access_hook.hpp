@@ -1,0 +1,60 @@
+// Access-logging hook: how the core runtime talks to an (optional)
+// loop-safety analyzer.
+//
+// Same layering pattern as tuner_hook.hpp / fault_hook.hpp: the dependence
+// checker lives in src/analyze, but the recording points are inside loop
+// bodies (LaneContext::log_read/log_write, AccessSpan), so core owns only
+// this minimal interface. A body reports half-open index intervals it reads
+// or writes of a named array; at region exit the analyzer intersects the
+// per-lane sets and reports any cross-lane overlap involving a write — a
+// loop-carried dependence, the thing a C$doacross directive asserts cannot
+// exist.
+//
+// Coordinates are caller-chosen per region: a loop may log true linear
+// element indices (the update/rhs loops do) or the parallel-dimension task
+// coordinate (the sweeps do, since a strided pencil has no useful bounding
+// interval). The checker only ever compares sets logged within ONE region
+// invocation, so the coordinate space needs to be consistent only there.
+//
+// No hook installed (the normal case) costs one nullptr check per logging
+// call.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/region.hpp"
+
+namespace llp {
+
+/// What a logged interval did to the array.
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// Interface consulted by loop bodies when an access logger is installed in
+/// the Runtime. Implementations must be thread-safe: on_access and
+/// on_scratch are called concurrently from every lane.
+class AccessHook {
+public:
+  virtual ~AccessHook() = default;
+
+  /// Intern a stable array name into a dense id. Cold path: call once per
+  /// body invocation (AccessSpan construction), not per element.
+  virtual int array_id(std::string_view name) = 0;
+
+  /// Record that `lane` of the active invocation of `region` accessed
+  /// [begin, end) of array `array`. Hot-ish path: called once per coalesced
+  /// interval, not per element.
+  virtual void on_access(RegionId region, int lane, int array,
+                         AccessKind kind, std::int64_t begin,
+                         std::int64_t end) = 0;
+
+  /// Record that `lane` used the scratch buffer at `ptr` (`bytes` long)
+  /// during the active invocation of `region`. The analyzer flags buffers
+  /// reported by more than one lane whose size crosses the plane threshold
+  /// — the paper's rule that scratch must be privatized pencils, not a
+  /// shared plane.
+  virtual void on_scratch(RegionId region, int lane, const void* ptr,
+                          std::size_t bytes) = 0;
+};
+
+}  // namespace llp

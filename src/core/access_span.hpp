@@ -1,0 +1,132 @@
+// AccessSpan — the instrumented span-style accessor behind the dynamic
+// loop-safety analyzer.
+//
+// A loop body that indexes shared arrays through raw pointers is invisible
+// to the dependence checker; a body that indexes them through an AccessSpan
+// tells the checker exactly which half-open index intervals each lane read
+// and wrote. With no analyzer recording (the overwhelmingly common case)
+// every accessor is one pointer null check away from raw indexing, so the
+// accessor can stay in production code — bench/micro_analyze_overhead holds
+// that cost to zero within noise.
+//
+// Two granularities:
+//
+//   * element API — rd(i) / wr(i) log single indices, locally coalesced
+//     into maximal runs so a sequential sweep over [a, b) costs ONE
+//     on_access call, not b - a. The pending run flushes when the access
+//     pattern jumps, when the kind flips, and at destruction.
+//   * block API — read_block(b, e) / write_block(b, e) log an interval the
+//     caller already knows (e.g. "this task consumes plane l's slab") and
+//     return the raw pointer, so an un-instrumented legacy kernel can be
+//     wrapped without rewriting its inner loops.
+//
+// The index space is whatever the caller says it is — true linear element
+// indices, or a logical task coordinate for strided accesses with no useful
+// bounding interval (see access_hook.hpp). The checker only compares
+// intervals logged within one region invocation, so the choice is local.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/access_hook.hpp"
+#include "core/parallel_for.hpp"
+
+namespace llp {
+
+template <typename T>
+class AccessSpan {
+public:
+  /// View over `size` elements at `data`, logging under `array` (a name
+  /// interned once here — construct per body invocation, outside inner
+  /// loops). `coord_base` shifts logged coordinates: element i is logged
+  /// as coord_base + i, so a subspan can keep its parent's index space.
+  AccessSpan(T* data, std::int64_t size, const LaneContext& ctx,
+             std::string_view array, std::int64_t coord_base = 0) noexcept
+      : data_(data), size_(size), hook_(ctx.access_hook()),
+        region_(ctx.region()), lane_(ctx.lane()), base_(coord_base),
+        array_(hook_ != nullptr ? hook_->array_id(array) : -1) {}
+
+  AccessSpan(const AccessSpan&) = delete;
+  AccessSpan& operator=(const AccessSpan&) = delete;
+
+  ~AccessSpan() { flush(); }
+
+  T* data() const noexcept { return data_; }
+  std::int64_t size() const noexcept { return size_; }
+  bool logging() const noexcept { return hook_ != nullptr; }
+
+  /// Element read: logs coordinate base + i (coalesced) and returns the
+  /// value.
+  const T& rd(std::int64_t i) const {
+    if (hook_ != nullptr) note(AccessKind::kRead, i);
+    return data_[i];
+  }
+
+  /// Element write access: logs coordinate base + i (coalesced) and
+  /// returns a mutable reference.
+  T& wr(std::int64_t i) const {
+    if (hook_ != nullptr) note(AccessKind::kWrite, i);
+    return data_[i];
+  }
+
+  /// Block read: log [base+begin, base+end) as read, return the pointer to
+  /// element `begin` for a legacy kernel to consume.
+  const T* read_block(std::int64_t begin, std::int64_t end) const {
+    if (hook_ != nullptr && end > begin) {
+      hook_->on_access(region_, lane_, array_, AccessKind::kRead,
+                       base_ + begin, base_ + end);
+    }
+    return data_ + begin;
+  }
+
+  /// Block write: log [base+begin, base+end) as written, return the
+  /// mutable pointer to element `begin`.
+  T* write_block(std::int64_t begin, std::int64_t end) const {
+    if (hook_ != nullptr && end > begin) {
+      hook_->on_access(region_, lane_, array_, AccessKind::kWrite,
+                       base_ + begin, base_ + end);
+    }
+    return data_ + begin;
+  }
+
+  /// Flush the pending coalesced run (rd/wr only; blocks log eagerly).
+  void flush() const {
+    if (hook_ != nullptr && run_end_ > run_begin_) {
+      hook_->on_access(region_, lane_, array_, run_kind_, base_ + run_begin_,
+                       base_ + run_end_);
+    }
+    run_begin_ = run_end_ = 0;
+  }
+
+private:
+  void note(AccessKind kind, std::int64_t i) const {
+    // Extend the pending run while the walk stays sequential (forward or
+    // repeated) in the same kind; otherwise flush and restart. Backward or
+    // strided walks degrade to one on_access per element — correct, just
+    // less compressed.
+    if (run_end_ > run_begin_ && kind == run_kind_ && i >= run_begin_ &&
+        i <= run_end_) {
+      if (i == run_end_) ++run_end_;
+      return;
+    }
+    flush();
+    run_kind_ = kind;
+    run_begin_ = i;
+    run_end_ = i + 1;
+  }
+
+  T* data_;
+  std::int64_t size_;
+  AccessHook* hook_;
+  RegionId region_;
+  int lane_;
+  std::int64_t base_;
+  int array_;
+  // Pending coalesced run; mutable so const spans can log reads.
+  mutable AccessKind run_kind_ = AccessKind::kRead;
+  mutable std::int64_t run_begin_ = 0;
+  mutable std::int64_t run_end_ = 0;
+};
+
+}  // namespace llp

@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/access_hook.hpp"
 #include "core/fault_hook.hpp"
 #include "core/region.hpp"
 #include "core/tuner_hook.hpp"
@@ -100,6 +101,9 @@ public:
   /// for the tuner, begin/on_lane/tainted for faults — on_lane may throw).
   virtual LoopTuner* tuner_facet() { return nullptr; }
   virtual FaultHook* fault_facet() { return nullptr; }
+  /// Access-logging facet: loop bodies feed it read/write index intervals
+  /// for the dependence checker (src/analyze). Contract in access_hook.hpp.
+  virtual AccessHook* access_facet() { return nullptr; }
 };
 
 /// Immutable snapshot of the registered observers, shared between the

@@ -79,7 +79,15 @@ struct ForOptions {
   // --- fluent builder -------------------------------------------------
 
   /// Instrumented loop on `region` with explicit (default) configuration.
+  /// Rejects kNoRegion: an "instrumented" loop with no region would skip
+  /// the registry, the trace, AND the analyzer — and any analyzer finding
+  /// against it would be anonymous. Use plain ForOptions{} for a loop that
+  /// is deliberately uninstrumented.
   static ForOptions in_region(RegionId region) {
+    LLP_REQUIRE(region != kNoRegion,
+                "ForOptions::in_region needs a real region id (registry "
+                "names are non-empty; use ForOptions{} for an "
+                "uninstrumented loop)");
     ForOptions o;
     o.region = region;
     return o;
@@ -87,6 +95,9 @@ struct ForOptions {
 
   /// Instrumented loop on `region` that consults the installed tuner.
   static ForOptions auto_tuned(RegionId region) {
+    LLP_REQUIRE(region != kNoRegion,
+                "ForOptions::auto_tuned needs a real region id (the tuner "
+                "and analyzer key on it)");
     ForOptions o;
     o.region = region;
     o.auto_tune = true;
@@ -125,9 +136,10 @@ inline const ForOptions ForOptions::kAuto{Schedule::kStaticBlock, 1, 0,
 /// user event emitter that lands kMark events in the trace.
 class LaneContext {
 public:
-  LaneContext(int lane, RegionId region,
-              const ObserverList* observers) noexcept
-      : lane_(lane), region_(region), observers_(observers) {}
+  LaneContext(int lane, RegionId region, const ObserverList* observers,
+              AccessHook* access = nullptr) noexcept
+      : lane_(lane), region_(region), observers_(observers),
+        access_(access) {}
 
   int lane() const noexcept { return lane_; }
   RegionId region() const noexcept { return region_; }
@@ -151,10 +163,48 @@ public:
                                   .tid = -1});
   }
 
+  // --- access logging (loop-safety analyzer, src/analyze) -------------
+
+  /// The installed access hook, or nullptr when no analyzer is recording.
+  /// AccessSpan resolves its array id through this once per construction.
+  AccessHook* access_hook() const noexcept { return access_; }
+
+  /// Intern an array name for log_read/log_write. Returns -1 (a harmless
+  /// id that the no-op logging path ignores) when no analyzer is active —
+  /// callers may resolve unconditionally outside their inner loops.
+  int array_id(std::string_view name) const {
+    return access_ != nullptr ? access_->array_id(name) : -1;
+  }
+
+  /// Report that this lane read / wrote [begin, end) of `array` (an id
+  /// from array_id). No-ops costing one null check when no analyzer is
+  /// recording — free to leave in hot code.
+  void log_read(int array, std::int64_t begin, std::int64_t end) const {
+    if (access_ != nullptr) {
+      access_->on_access(region_, lane_, array, AccessKind::kRead, begin,
+                         end);
+    }
+  }
+  void log_write(int array, std::int64_t begin, std::int64_t end) const {
+    if (access_ != nullptr) {
+      access_->on_access(region_, lane_, array, AccessKind::kWrite, begin,
+                         end);
+    }
+  }
+
+  /// Report the scratch buffer this lane works in; the analyzer flags
+  /// plane-sized buffers reported by more than one lane (the pencil rule).
+  void note_scratch(const void* ptr, std::size_t bytes) const {
+    if (access_ != nullptr) {
+      access_->on_scratch(region_, lane_, ptr, bytes);
+    }
+  }
+
 private:
   int lane_;
   RegionId region_;
   const ObserverList* observers_;  ///< nullptr when nothing is registered
+  AccessHook* access_;             ///< nullptr when no analyzer is recording
 };
 
 namespace detail {
@@ -211,12 +261,13 @@ struct EmitCtx {
 template <typename Body>
 void run_lane(std::int64_t begin, std::int64_t n, Body& body, int lane,
               int nthreads, const ForOptions& opts,
-              std::atomic<std::int64_t>& cursor, const EmitCtx* ectx) {
+              std::atomic<std::int64_t>& cursor, const EmitCtx* ectx,
+              AccessHook* access) {
   // The shared pool may have more lanes than this loop uses (short loops
   // clamp nthreads to the trip count); surplus lanes sit the loop out.
   if (lane >= nthreads) return;
   const LaneContext ctx(lane, opts.region,
-                        ectx != nullptr ? ectx->observers : nullptr);
+                        ectx != nullptr ? ectx->observers : nullptr, access);
   auto cancelled_here = [&] {
     if (!cancelled()) return false;
     if (ectx != nullptr) ectx->emit(EventKind::kCancel, lane, 0, 0);
@@ -356,6 +407,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   FaultHook* fh = instrumented ? find_fault_hook(obs) : nullptr;
   const std::uint64_t fault_inv = fh != nullptr ? fh->begin(opts.region) : 0;
 
+  // Access logging (LLP_ANALYZE): instrumented loops hand bodies a hook to
+  // report read/write index intervals to the dependence checker. No hook
+  // (the default) costs one nullptr check per logging call.
+  AccessHook* ah = instrumented ? find_access_hook(obs) : nullptr;
+
   const detail::EmitCtx ectx_storage{&obs, opts.region};
   const detail::EmitCtx* ectx = observed ? &ectx_storage : nullptr;
   if (observed) {
@@ -372,7 +428,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
     try {
       if (nthreads <= 1 || !enabled) {
         if (fh != nullptr) fh->on_lane(opts.region, fault_inv, 0);
-        const LaneContext ctx(0, opts.region, observed ? &obs : nullptr);
+        const LaneContext ctx(0, opts.region, observed ? &obs : nullptr, ah);
         for (std::int64_t i = begin; i < end; ++i) {
           detail::invoke_body(body, i, 0, ctx);
         }
@@ -412,7 +468,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
             const auto lt0 = std::chrono::steady_clock::now();
             try {
               detail::run_lane(begin, n, body, lane, nthreads, eff, cursor,
-                               ectx);
+                               ectx, ah);
             } catch (...) {
               if (observed && lane < nthreads) {
                 ectx->emit(EventKind::kLaneEnd, lane, 0, 0);
@@ -430,7 +486,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
             }
           } else {
             detail::run_lane(begin, n, body, lane, nthreads, eff, cursor,
-                             nullptr);
+                             nullptr, ah);
           }
         };
         if (eff.num_threads > 0 && eff.num_threads != rt.num_threads()) {

@@ -8,6 +8,10 @@
 namespace llp {
 
 RegionId RegionRegistry::define(std::string_view name, RegionKind kind) {
+  // An anonymous region would still be instrumented — and then every
+  // profile line, trace row, and analyzer finding against it would read as
+  // "". Reject at the source instead of reporting nameless diagnostics.
+  LLP_REQUIRE(!name.empty(), "region name must be non-empty");
   std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < regions_.size(); ++i) {
     if (regions_[i].name == name) return i;

@@ -65,6 +65,8 @@ struct RegionStats {
 class RegionRegistry {
 public:
   /// Register (or look up) a region. Safe to call from multiple threads.
+  /// Throws llp::Error on an empty name: every region is a diagnostic
+  /// anchor (profile, trace, analyzer findings) and must be nameable.
   RegionId define(std::string_view name,
                   RegionKind kind = RegionKind::kParallelLoop);
 

@@ -146,5 +146,11 @@ inline FaultHook* find_fault_hook(const ObserverList& observers) {
   }
   return nullptr;
 }
+inline AccessHook* find_access_hook(const ObserverList& observers) {
+  for (RuntimeObserver* o : observers) {
+    if (AccessHook* a = o->access_facet()) return a;
+  }
+  return nullptr;
+}
 
 }  // namespace llp

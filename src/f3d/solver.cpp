@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/access_span.hpp"
 #include "core/runtime.hpp"
 #include "f3d/io.hpp"
 #include "f3d/validation.hpp"
@@ -151,7 +152,30 @@ void Solver::step() {
     // across lanes. Auto mode: tuned schedule/threads when LLP_TUNE=1.
     sumsq += llp::parallel_reduce<double>(
         0, zone.lmax(), 0.0, [](double a, double b) { return a + b; },
-        [&](std::int64_t l, double& acc) {
+        [&](std::int64_t l, double& acc, const llp::LaneContext& ctx) {
+          // Access logging in element coordinates: a fixed-L slab of the
+          // (n,j,k,l) layout is contiguous, so the stencil's l±kGhost read
+          // and the plane-l write are exact intervals. One log call per
+          // plane; free (a null check) when no analyzer is recording.
+          if (ctx.access_hook() != nullptr) {
+            const auto& qs = zone.storage();
+            const int lg = static_cast<int>(l);  // ghost slab of plane l-ng
+            llp::AccessSpan<const double> q_log(
+                qs.data(), static_cast<std::int64_t>(qs.size()), ctx,
+                "zone.q");
+            q_log.read_block(
+                static_cast<std::int64_t>(qs.index(0, 0, 0, lg)),
+                static_cast<std::int64_t>(
+                    qs.index(0, 0, 0, lg + 2 * Zone::kGhost + 1)));
+            llp::AccessSpan<double> rhs_log(
+                rhs.data(), static_cast<std::int64_t>(rhs.size()), ctx,
+                "rhs");
+            rhs_log.write_block(
+                static_cast<std::int64_t>(
+                    rhs.index(0, 0, 0, lg + Zone::kGhost)),
+                static_cast<std::int64_t>(
+                    rhs.index(0, 0, 0, lg + Zone::kGhost + 1)));
+          }
           compute_rhs_plane(zone, static_cast<int>(l), dt_, config_.rhs, rhs);
           acc += rhs_plane_sumsq(zone, static_cast<int>(l), rhs);
         },
@@ -185,7 +209,25 @@ void Solver::step() {
     const int ng = Zone::kGhost;
     llp::parallel_for(
         0, zone.lmax(),
-        [&](std::int64_t l) {
+        [&](std::int64_t l, const llp::LaneContext& ctx) {
+          // Element-coordinate logging, as in the rhs loop above: this
+          // lane reads rhs plane l and read-modify-writes q plane l.
+          if (ctx.access_hook() != nullptr) {
+            auto& qs = zone.storage();
+            const int lg = static_cast<int>(l) + ng;
+            llp::AccessSpan<double> q_log(
+                qs.data(), static_cast<std::int64_t>(qs.size()), ctx,
+                "zone.q");
+            q_log.write_block(
+                static_cast<std::int64_t>(qs.index(0, 0, 0, lg)),
+                static_cast<std::int64_t>(qs.index(0, 0, 0, lg + 1)));
+            llp::AccessSpan<const double> rhs_log(
+                rhs.data(), static_cast<std::int64_t>(rhs.size()), ctx,
+                "rhs");
+            rhs_log.read_block(
+                static_cast<std::int64_t>(rhs.index(0, 0, 0, lg)),
+                static_cast<std::int64_t>(rhs.index(0, 0, 0, lg + 1)));
+          }
           for (int k = 0; k < zone.kmax(); ++k) {
             for (int j = 0; j < zone.jmax(); ++j) {
               double* qp = zone.q_point(j, k, static_cast<int>(l));

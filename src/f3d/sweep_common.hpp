@@ -30,6 +30,14 @@ struct PencilWorkspace {
 
   void ensure(int n);
   int capacity = 0;
+
+  /// Current footprint, as reported to the analyzer's shared-scratch
+  /// detector: a pencil is O(N) and lane-private; sharing one across lanes
+  /// is the plane-buffer mistake the paper's §4 item (4) removes.
+  std::size_t bytes() const noexcept {
+    return sizeof(double) * (q.size() + r.size() + w.size() + lam.size() +
+                             a.size() + b.size() + c.size() + d.size());
+  }
 };
 
 /// Solve the implicit system along one line of `zone` in direction dir

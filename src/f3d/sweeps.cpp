@@ -37,8 +37,16 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
   // back to static block when tuning is disabled.
   llp::doacross(
       region, shape.outer_n,
-      [&](std::int64_t outer, int lane) {
-        PencilWorkspace& ws = workspaces_[static_cast<std::size_t>(lane)];
+      [&](std::int64_t outer, const llp::LaneContext& ctx) {
+        PencilWorkspace& ws =
+            workspaces_[static_cast<std::size_t>(ctx.lane())];
+        // Access logging in outer-task coordinates: pencils stride through
+        // memory, so the useful disjointness fact is the outer index each
+        // task owns, not a bounding byte interval (which would overlap for
+        // every pair of lanes). One log call per task, not per point.
+        ctx.log_read(ctx.array_id("zone.q"), outer, outer + 1);
+        ctx.log_write(ctx.array_id("rhs"), outer, outer + 1);
+        ctx.note_scratch(&ws, ws.bytes());
         for (int inner = 0; inner < shape.inner_n; ++inner) {
           int t0, t1;
           transverse(dir, static_cast<int>(outer), inner, t0, t1);

@@ -25,6 +25,27 @@ void solve_tridiagonal(std::span<const double> a, std::span<double> b,
   }
 }
 
+void solve_tridiagonal(const llp::AccessSpan<const double>& a,
+                       const llp::AccessSpan<double>& b,
+                       const llp::AccessSpan<const double>& c,
+                       const llp::AccessSpan<double>& d) {
+  const std::int64_t n = d.size();
+  LLP_REQUIRE(n >= 1, "empty system");
+  LLP_REQUIRE(a.size() == n && b.size() == n && c.size() == n,
+              "span size mismatch");
+  // Log whole-system intervals once, then run the raw-pointer kernel: the
+  // Thomas recurrence touches every element anyway, so block granularity
+  // loses nothing and costs four on_access calls per solve.
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::span<const double> as(a.read_block(0, n), un);
+  std::span<const double> cs(c.read_block(0, n), un);
+  b.read_block(0, n);
+  d.read_block(0, n);
+  std::span<double> bs(b.write_block(0, n), un);
+  std::span<double> ds(d.write_block(0, n), un);
+  solve_tridiagonal(as, bs, cs, ds);
+}
+
 void solve_tridiagonal_batch_vector_layout(std::span<const double> a,
                                            std::span<double> b,
                                            std::span<const double> c,

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <span>
 
+#include "core/access_span.hpp"
+
 namespace f3d {
 
 /// Solve a tridiagonal system in place with the Thomas algorithm:
@@ -28,6 +30,16 @@ void solve_tridiagonal_batch_vector_layout(std::span<const double> a,
                                            std::span<double> b,
                                            std::span<const double> c,
                                            std::span<double> d, int n, int m);
+
+/// Instrumented Thomas solve: identical to the span overload, but the
+/// coefficient views are logged accessors, so a parallel loop that solves
+/// lines through them hands the dependence checker the exact intervals
+/// each lane touched (a[] and c[] read, b[] and d[] read and overwritten).
+/// Zero-cost when no analyzer is recording.
+void solve_tridiagonal(const llp::AccessSpan<const double>& a,
+                       const llp::AccessSpan<double>& b,
+                       const llp::AccessSpan<const double>& c,
+                       const llp::AccessSpan<double>& d);
 
 /// Solve a periodic tridiagonal system (x[-1] == x[n-1], x[n] == x[0]) via
 /// the Sherman–Morrison correction. b and d are overwritten; on return d

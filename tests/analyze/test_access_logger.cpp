@@ -1,0 +1,213 @@
+// Dynamic-mode end-to-end tests: an AccessLogger registered with the real
+// runtime, fed by real parallel loops through LaneContext / AccessSpan —
+// plus the doacross legality edge cases (trip 0/1, chunk > trip, nested
+// region re-entry) that the checker must survive.
+#include "analyze/access_logger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "core/access_span.hpp"
+#include "core/doacross.hpp"
+#include "core/parallel_for.hpp"
+#include "core/runtime.hpp"
+
+namespace llp::analyze {
+namespace {
+
+class AccessLoggerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    llp::set_num_threads(4);
+    llp::Runtime::instance().add_observer(&logger_);
+  }
+  void TearDown() override {
+    llp::Runtime::instance().remove_observer(&logger_);
+  }
+
+  AccessLogger logger_;
+};
+
+TEST_F(AccessLoggerTest, DisjointWritesAreClean) {
+  constexpr std::int64_t kN = 1024;
+  std::vector<double> a(kN, 0.0);
+  const auto region = llp::regions().define("an.disjoint");
+  llp::parallel_for(
+      0, kN,
+      [&](std::int64_t i, const llp::LaneContext& ctx) {
+        llp::AccessSpan<double> as(a.data(), kN, ctx, "a");
+        as.wr(i) = static_cast<double>(i);
+      },
+      llp::ForOptions::in_region(region));
+  EXPECT_EQ(logger_.num_findings(), 0u);
+  EXPECT_GE(logger_.invocations_checked(), 1u);
+  EXPECT_NE(logger_.report().find("0 finding(s)"), std::string::npos);
+}
+
+TEST_F(AccessLoggerTest, SeededRecurrenceIsCaughtWithExactIndices) {
+  constexpr std::int64_t kN = 1024;
+  std::vector<double> a(kN, 0.0);
+  const auto region = llp::regions().define("an.recurrence");
+  llp::parallel_for(
+      0, kN,
+      [&](std::int64_t i, const llp::LaneContext& ctx) {
+        // Log the recurrence's footprint exactly: write own element, read
+        // the previous one (which belongs to another lane at partition
+        // boundaries).
+        const int id = ctx.array_id("a");
+        ctx.log_write(id, i, i + 1);
+        if (i > 0) ctx.log_read(id, i - 1, i);
+      },
+      llp::ForOptions::in_region(region));
+  ASSERT_GT(logger_.num_findings(), 0u);
+  const auto findings = logger_.findings();
+  bool found = false;
+  for (const Finding& f : findings) {
+    if (f.kind != FindingKind::kReadWrite) continue;
+    found = true;
+    EXPECT_EQ(f.region, "an.recurrence");
+    EXPECT_EQ(f.array, "a");
+    // The conflict is exactly the reader's first index minus one — a
+    // static-block boundary of the 4-lane partition of [0, 1024).
+    EXPECT_EQ(f.first_conflict % 256, 255);
+    EXPECT_NE(format_finding(f).find("loop-carried dependence in region "
+                                     "an.recurrence"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AccessLoggerTest, SharedScratchIsCaught) {
+  std::vector<double> plane(16 * 1024, 0.0);  // 128 KiB, over threshold
+  const auto region = llp::regions().define("an.scratch");
+  llp::parallel_for(
+      0, 64,
+      [&](std::int64_t, const llp::LaneContext& ctx) {
+        ctx.note_scratch(plane.data(), plane.size() * sizeof(double));
+      },
+      llp::ForOptions::in_region(region));
+  const auto findings = logger_.findings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, FindingKind::kSharedScratch);
+  EXPECT_EQ(findings[0].region, "an.scratch");
+}
+
+TEST_F(AccessLoggerTest, TripCountZeroAndOne) {
+  std::vector<double> a(8, 0.0);
+  const auto region = llp::regions().define("an.tiny");
+  const auto body = [&](std::int64_t i, const llp::LaneContext& ctx) {
+    llp::AccessSpan<double> as(a.data(), 8, ctx, "a");
+    as.wr(i) = 1.0;
+  };
+  llp::parallel_for(0, 0, body, llp::ForOptions::in_region(region));
+  llp::parallel_for(0, 1, body, llp::ForOptions::in_region(region));
+  EXPECT_EQ(logger_.num_findings(), 0u);
+  // Both invocations (even the empty one) enter and exit the region, so
+  // both are checked.
+  EXPECT_EQ(logger_.invocations_checked(), 2u);
+}
+
+TEST_F(AccessLoggerTest, DoacrossChunkLargerThanTrip) {
+  std::vector<double> a(4, 0.0);
+  llp::doacross(
+      "an.chunk_gt_trip", 3,
+      [&](std::int64_t i, const llp::LaneContext& ctx) {
+        llp::AccessSpan<double> as(a.data(), 4, ctx, "a");
+        as.wr(i) = 1.0;
+      },
+      llp::ForOptions{}.with_chunk(64));
+  EXPECT_EQ(logger_.num_findings(), 0u);
+  EXPECT_GE(logger_.invocations_checked(), 1u);
+}
+
+TEST_F(AccessLoggerTest, NestedRegionReentryMergesDepthCounted) {
+  // Several lanes of an outer region each run a serial inner loop on the
+  // SAME inner region concurrently. The logger depth-counts the inner
+  // log: all entries merge into one invocation, checked when the last
+  // exit closes it — and lane-disjoint writes stay clean.
+  constexpr std::int64_t kN = 256;
+  std::vector<double> a(kN, 0.0);
+  const auto outer = llp::regions().define("an.outer");
+  const auto inner = llp::regions().define("an.inner");
+  llp::parallel_for(
+      0, 4,
+      [&](std::int64_t part) {
+        // Serial nested loop (1 thread): re-enters `inner` from this lane.
+        llp::parallel_for(
+            part * (kN / 4), (part + 1) * (kN / 4),
+            [&](std::int64_t i, const llp::LaneContext& ctx) {
+              llp::AccessSpan<double> as(a.data(), kN, ctx, "a");
+              as.wr(i) = 1.0;
+            },
+            llp::ForOptions::in_region(inner).with_threads(1));
+      },
+      llp::ForOptions::in_region(outer));
+  EXPECT_EQ(logger_.num_findings(), 0u);
+  EXPECT_GE(logger_.invocations_checked(), 2u);  // outer + merged inner
+}
+
+TEST_F(AccessLoggerTest, SaveLogsRoundTripsThroughReplay) {
+  constexpr std::int64_t kN = 512;
+  std::vector<double> a(kN, 0.0);
+  const auto region = llp::regions().define("an.roundtrip");
+  llp::parallel_for(
+      0, kN,
+      [&](std::int64_t i, const llp::LaneContext& ctx) {
+        const int id = ctx.array_id("a");
+        ctx.log_write(id, 0, kN);  // everyone writes everything: conflict
+        (void)i;
+      },
+      llp::ForOptions::in_region(region));
+  ASSERT_GT(logger_.num_findings(), 0u);
+
+  std::stringstream ss;
+  logger_.save_logs(ss);
+  const auto logs = load_logs(ss);
+  bool replayed = false;
+  for (const AccessLog& log : logs) {
+    if (log.region_name != "an.roundtrip") continue;
+    replayed = true;
+    EXPECT_FALSE(check(log).empty());
+  }
+  EXPECT_TRUE(replayed);
+}
+
+TEST_F(AccessLoggerTest, ResetClearsFindingsAndCounters) {
+  const auto region = llp::regions().define("an.reset");
+  llp::parallel_for(
+      0, 64,
+      [&](std::int64_t, const llp::LaneContext& ctx) {
+        ctx.log_write(ctx.array_id("a"), 0, 64);
+      },
+      llp::ForOptions::in_region(region));
+  ASSERT_GT(logger_.num_findings(), 0u);
+  logger_.reset();
+  EXPECT_EQ(logger_.num_findings(), 0u);
+  EXPECT_EQ(logger_.invocations_checked(), 0u);
+  std::stringstream ss;
+  logger_.save_logs(ss);
+  EXPECT_TRUE(load_logs(ss).empty());
+}
+
+TEST_F(AccessLoggerTest, UninstrumentedLoopsCostNothingAndLogNothing) {
+  std::vector<double> a(64, 0.0);
+  // No region: the loop is invisible to the analyzer by design.
+  llp::parallel_for(0, 64, [&](std::int64_t i) { a[std::size_t(i)] = 1.0; });
+  EXPECT_EQ(logger_.invocations_checked(), 0u);
+}
+
+TEST(AnalyzerGlobal, InstallIsIdempotentAndUninstallable) {
+  AccessLogger& first = install();
+  AccessLogger& second = install();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(global_logger(), &first);
+  uninstall();
+  EXPECT_EQ(global_logger(), nullptr);
+  EXPECT_TRUE(llp::analyze::log_path().empty());
+}
+
+}  // namespace
+}  // namespace llp::analyze

@@ -1,0 +1,152 @@
+#include "analyze/dep_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace llp::analyze {
+namespace {
+
+AccessLog make_log(const std::string& region = "r") {
+  AccessLog log;
+  log.region_name = region;
+  log.invocation = 7;
+  log.lanes_used = 2;
+  return log;
+}
+
+TEST(DepCheck, DisjointWritesAreClean) {
+  AccessLog log = make_log();
+  log.record(0, 0, AccessKind::kWrite, 0, 100);
+  log.record(1, 0, AccessKind::kWrite, 100, 200);
+  log.record(0, 0, AccessKind::kRead, 0, 100);
+  log.record(1, 0, AccessKind::kRead, 100, 200);
+  EXPECT_TRUE(check(log).empty());
+}
+
+TEST(DepCheck, SharedReadsAreClean) {
+  // The doacross-common shape: everyone reads everything, writes own share.
+  AccessLog log = make_log();
+  log.record(0, 0, AccessKind::kRead, 0, 200);
+  log.record(1, 0, AccessKind::kRead, 0, 200);
+  log.record(0, 1, AccessKind::kWrite, 0, 100);
+  log.record(1, 1, AccessKind::kWrite, 100, 200);
+  EXPECT_TRUE(check(log).empty());
+}
+
+TEST(DepCheck, WriteWriteOverlapReportedOncePerPair) {
+  AccessLog log = make_log();
+  log.record(0, 0, AccessKind::kWrite, 0, 60);
+  log.record(1, 0, AccessKind::kWrite, 50, 100);
+  const auto findings = check(log);
+  ASSERT_EQ(findings.size(), 1u);
+  const Finding& f = findings[0];
+  EXPECT_EQ(f.kind, FindingKind::kWriteWrite);
+  EXPECT_EQ(f.lane_a, 0);
+  EXPECT_EQ(f.lane_b, 1);
+  EXPECT_EQ(f.first_conflict, 50);
+  EXPECT_EQ(f.range_a, (Interval{0, 60}));
+  EXPECT_EQ(f.range_b, (Interval{50, 100}));
+}
+
+TEST(DepCheck, ReadWriteDetectedInBothOrders) {
+  // Lane 1 reads what lane 0 wrote — and vice versa on a second array.
+  AccessLog log = make_log();
+  log.record(0, 0, AccessKind::kWrite, 0, 10);
+  log.record(1, 0, AccessKind::kRead, 9, 20);
+  log.record(1, 1, AccessKind::kWrite, 30, 40);
+  log.record(0, 1, AccessKind::kRead, 39, 50);
+  const auto findings = check(log);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].kind, FindingKind::kReadWrite);
+  EXPECT_EQ(findings[0].lane_a, 0);  // the writer
+  EXPECT_EQ(findings[0].lane_b, 1);
+  EXPECT_EQ(findings[0].first_conflict, 9);
+  EXPECT_EQ(findings[1].lane_a, 1);
+  EXPECT_EQ(findings[1].lane_b, 0);
+  EXPECT_EQ(findings[1].first_conflict, 39);
+}
+
+TEST(DepCheck, SameLaneNeverConflictsWithItself) {
+  AccessLog log = make_log();
+  log.record(0, 0, AccessKind::kWrite, 0, 100);
+  log.record(0, 0, AccessKind::kRead, 0, 100);
+  log.record(0, 0, AccessKind::kWrite, 50, 60);  // overlapping rewrites
+  EXPECT_TRUE(check(log).empty());
+}
+
+TEST(DepCheck, SharedScratchNeedsTwoLanesAndPlaneSize) {
+  AccessLog log = make_log();
+  int buf_big = 0, buf_small = 0;
+  // One big buffer touched by both lanes, one big private, one small shared.
+  log.record_scratch(0, &buf_big, 1 << 20);
+  log.record_scratch(1, &buf_big, 1 << 20);
+  log.record_scratch(0, &buf_small, 512);
+  log.record_scratch(1, &buf_small, 512);
+  int private_buf = 0;
+  log.record_scratch(0, &private_buf, 1 << 20);
+  const auto findings = check(log);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, FindingKind::kSharedScratch);
+  EXPECT_EQ(findings[0].scratch_bytes, static_cast<std::size_t>(1 << 20));
+  EXPECT_EQ(findings[0].lane_a, 0);
+  EXPECT_EQ(findings[0].lane_b, 1);
+}
+
+TEST(DepCheck, MaxFindingsCapsOutput) {
+  AccessLog log = make_log();
+  log.lanes_used = 8;
+  for (int lane = 0; lane < 8; ++lane) {
+    log.record(lane, 0, AccessKind::kWrite, 0, 100);  // all-pairs conflict
+  }
+  CheckConfig config;
+  config.max_findings = 3;
+  EXPECT_EQ(check(log, config).size(), 3u);
+}
+
+TEST(DepCheck, FormatFindingMatchesContract) {
+  AccessLog log = make_log("run.z0.rhs");
+  log.arrays = {"a0"};
+  log.record(0, 0, AccessKind::kWrite, 8, 16);
+  log.record(1, 0, AccessKind::kRead, 15, 24);
+  auto findings = check(log);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(format_finding(findings[0]),
+            "loop-carried dependence in region run.z0.rhs (invocation 7, "
+            "array a0): lane 0 wrote [8,16), lane 1 read [15,24) — first "
+            "conflict at index 15");
+}
+
+TEST(DepCheck, LogSaveLoadRoundTripsThroughChecker) {
+  AccessLog log = make_log("roundtrip");
+  log.record(0, 0, AccessKind::kWrite, 0, 60);
+  log.record(1, 0, AccessKind::kWrite, 50, 100);
+  int buf = 0;
+  log.record_scratch(0, &buf, 1 << 20);
+  log.record_scratch(1, &buf, 1 << 20);
+
+  std::stringstream ss;
+  log.save(ss);
+  AccessLog loaded;
+  ASSERT_TRUE(loaded.load(ss));
+  EXPECT_EQ(loaded.region_name, "roundtrip");
+  EXPECT_EQ(loaded.invocation, 7u);
+
+  const auto before = check(log);
+  const auto after = check(loaded);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(format_finding(before[i]), format_finding(after[i]));
+  }
+}
+
+TEST(DepCheck, LoadRejectsMalformedBlock) {
+  std::stringstream ss("log r 0 2\nacc 0 0 Q 0 10\nend\n");
+  AccessLog log;
+  EXPECT_THROW(log.load(ss), llp::Error);
+}
+
+}  // namespace
+}  // namespace llp::analyze

@@ -1,0 +1,66 @@
+#include "analyze/determinism.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel_for.hpp"
+#include "core/runtime.hpp"
+
+namespace llp::analyze {
+namespace {
+
+TEST(Determinism, LaneOrderedReductionIsDeterministic) {
+  llp::set_num_threads(4);
+  const auto report = check_determinism([] {
+    // parallel_reduce promises lane-ordered combination: two runs with the
+    // same thread count are bitwise identical even though FP addition does
+    // not commute in rounding.
+    std::vector<double> out(1);
+    out[0] = llp::parallel_reduce<double>(
+        0, 100000, 0.0, [](double a, double b) { return a + b; },
+        [](std::int64_t i, double& acc) {
+          acc += 1.0 / static_cast<double>(i + 1);
+        });
+    return out;
+  });
+  EXPECT_TRUE(report.deterministic) << report.message;
+  EXPECT_EQ(report.crc_first, report.crc_second);
+  EXPECT_NE(report.message.find("deterministic"), std::string::npos);
+}
+
+TEST(Determinism, StatefulWorkloadIsCaughtWithFirstMismatch) {
+  int run = 0;
+  const auto report = check_determinism([&run] {
+    // A workload whose second run differs at element 2 — the shape of an
+    // unordered (atomic) reduction that landed differently.
+    std::vector<double> out = {1.0, 2.0, 3.0, 4.0};
+    if (++run == 2) out[2] = 3.0000000001;
+    return out;
+  });
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_EQ(report.first_mismatch, 2u);
+  EXPECT_NE(report.crc_first, report.crc_second);
+  EXPECT_NE(report.message.find("nondeterministic"), std::string::npos);
+}
+
+TEST(Determinism, SizeMismatchIsReported) {
+  int run = 0;
+  const auto report = check_determinism([&run] {
+    return std::vector<double>(static_cast<std::size_t>(++run), 0.0);
+  });
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_NE(report.message.find("sizes differ"), std::string::npos);
+}
+
+TEST(Determinism, NegativeZeroVersusPositiveZeroDiffers) {
+  int run = 0;
+  const auto report = check_determinism([&run] {
+    return std::vector<double>{++run == 1 ? 0.0 : -0.0};
+  });
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_EQ(report.first_mismatch, 0u);
+}
+
+}  // namespace
+}  // namespace llp::analyze

@@ -1,0 +1,94 @@
+#include "analyze/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llp::analyze {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.cardinality(), 0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.to_string(), "(empty)");
+}
+
+TEST(IntervalSet, IgnoresEmptyAndBackwardIntervals) {
+  IntervalSet s;
+  s.insert(5, 5);
+  s.insert(9, 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CoalescesAdjacentAndOverlapping) {
+  IntervalSet s;
+  s.insert(0, 4);
+  s.insert(4, 8);    // adjacent
+  s.insert(6, 10);   // overlapping
+  s.insert(20, 24);  // disjoint
+  const auto& iv = s.intervals();
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{0, 10}));
+  EXPECT_EQ(iv[1], (Interval{20, 24}));
+  EXPECT_EQ(s.cardinality(), 14);
+}
+
+TEST(IntervalSet, CoalescesOutOfOrderInsertion) {
+  IntervalSet s;
+  s.insert(8, 12);
+  s.insert(0, 4);
+  s.insert(4, 8);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 12}));
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s;
+  s.insert(3, 6);
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));  // half-open
+}
+
+TEST(IntervalSet, QueriesStayCorrectAfterMoreInsertions) {
+  IntervalSet s;
+  s.insert(0, 2);
+  EXPECT_EQ(s.cardinality(), 2);  // normalizes
+  s.insert(2, 5);                 // dirties again
+  EXPECT_EQ(s.cardinality(), 5);
+  EXPECT_TRUE(s.contains(4));
+}
+
+TEST(IntervalSet, FirstOverlapFindsSmallestSharedCoordinate) {
+  IntervalSet a, b;
+  a.insert(0, 10);
+  a.insert(30, 40);
+  b.insert(12, 20);
+  b.insert(35, 50);
+  Interval mine, theirs;
+  std::int64_t first = -1;
+  ASSERT_TRUE(a.first_overlap(b, &mine, &theirs, &first));
+  EXPECT_EQ(first, 35);
+  EXPECT_EQ(mine, (Interval{30, 40}));
+  EXPECT_EQ(theirs, (Interval{35, 50}));
+}
+
+TEST(IntervalSet, FirstOverlapDisjoint) {
+  IntervalSet a, b;
+  a.insert(0, 10);
+  b.insert(10, 20);  // adjacent, not overlapping
+  Interval mine, theirs;
+  std::int64_t first = 0;
+  EXPECT_FALSE(a.first_overlap(b, &mine, &theirs, &first));
+}
+
+TEST(IntervalSet, ToStringTruncates) {
+  IntervalSet s;
+  for (int i = 0; i < 6; ++i) s.insert(10 * i, 10 * i + 4);
+  EXPECT_EQ(s.to_string(2), "[0,4) [10,14) ... (4 more)");
+  EXPECT_EQ(s.to_string(), "[0,4) [10,14) [20,24) [30,34) [40,44) [50,54)");
+}
+
+}  // namespace
+}  // namespace llp::analyze

@@ -1,0 +1,187 @@
+#include "analyze/lint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llp::analyze {
+namespace {
+
+std::vector<std::string> rules_of(std::string_view src) {
+  std::vector<std::string> rules;
+  for (const LintFinding& f : lint_source(src, "t.cpp")) {
+    rules.push_back(f.rule);
+  }
+  return rules;
+}
+
+TEST(Lint, CleanLabeledLoopHasNoFindings) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& a, llp::RegionId r) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) {
+        a[i] = 2.0 * a[i];
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, MissingOptionsArgumentIsFlagged) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& a) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) { a[i] = 1.0; });
+    }
+  )cpp";
+  const auto rules = rules_of(src);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "missing-region");
+}
+
+TEST(Lint, TrailingOptionsVariableCountsAsLabeled) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& a, const llp::ForOptions& opts) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) { a[i] = 1.0; }, opts);
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, EmptyDoacrossNameIsFlagged) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& a) {
+      llp::doacross("", 100, [&](std::int64_t i) { a[i] = 1.0; });
+    }
+  )cpp";
+  const auto rules = rules_of(src);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "empty-region-name");
+}
+
+TEST(Lint, ShiftedIndexWriteIsFlagged) {
+  const char* src = R"cpp(
+    void f(double* a, llp::RegionId r) {
+      llp::parallel_for(1, 100, [&](std::int64_t i) {
+        a[i - 1] = a[i];
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  const auto findings = lint_source(src, "t.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "shifted-index-write");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("a[i - 1]"), std::string::npos);
+}
+
+TEST(Lint, UnshiftedOwnIndexWriteIsClean) {
+  const char* src = R"cpp(
+    void f(double* a, llp::RegionId r) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) {
+        a[i] = 2.0 * a[i];
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, CapturedSharedWriteIsFlagged) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& plane, llp::RegionId r) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) {
+        plane[0] = 1.0;
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  const auto rules = rules_of(src);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "captured-shared-write");
+}
+
+TEST(Lint, BodyLocalScratchIsClean) {
+  const char* src = R"cpp(
+    void f(llp::RegionId r) {
+      llp::parallel_for(0, 100, [&](std::int64_t i) {
+        double pencil[64];
+        pencil[0] = static_cast<double>(i);
+        std::vector<double> tmp(64);
+        tmp[0] = pencil[0];
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, LaneIndexedWriteIsClean) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& partial, llp::RegionId r) {
+      llp::parallel_for(0, 100, [&](std::int64_t i, int lane) {
+        partial[lane] += static_cast<double>(i);
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, CapturedReductionIsFlagged) {
+  const char* src = R"cpp(
+    void f(llp::RegionId r) {
+      double sum = 0.0;
+      llp::parallel_for(0, 100, [&](std::int64_t i) {
+        sum += static_cast<double>(i);
+      }, llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  const auto rules = rules_of(src);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "captured-reduction");
+}
+
+TEST(Lint, ParallelReduceAccumulatorIsClean) {
+  const char* src = R"cpp(
+    double f(std::vector<double>& a, llp::RegionId r) {
+      return llp::parallel_reduce<double>(
+          0, 100, 0.0, [](double x, double y) { return x + y; },
+          [&](std::int64_t i, double& acc) { acc += a[i]; },
+          llp::ForOptions::in_region(r));
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, SuppressionCommentWaivesTheLine) {
+  const char* src = R"cpp(
+    void f(std::vector<double>& a) {
+      llp::parallel_for(0, 100,  // llp-check: allow
+                        [&](std::int64_t i) { a[i] = 1.0; });
+    }
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, CommentsAndStringsDoNotTrigger) {
+  const char* src = R"cpp(
+    // llp::parallel_for(0, 100, [&](std::int64_t i) { a[i - 1] = 1.0; });
+    /* llp::doacross("", 100, body); */
+    const char* s = "parallel_for(0, n, body)";
+  )cpp";
+  EXPECT_TRUE(rules_of(src).empty());
+}
+
+TEST(Lint, FindingsAreSortedByLine) {
+  const char* src = R"cpp(
+    void f(double* a, double* b) {
+      llp::parallel_for(1, 100, [&](std::int64_t i) { a[i + 1] = 0.0; });
+      llp::parallel_for(1, 100, [&](std::int64_t i) { b[i + 1] = 0.0; });
+    }
+  )cpp";
+  const auto findings = lint_source(src, "t.cpp");
+  ASSERT_GE(findings.size(), 2u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].line, findings[i].line);
+  }
+}
+
+TEST(Lint, FormatIncludesFileLineAndRule) {
+  LintFinding f{"dir/x.cpp", 12, "missing-region", "msg"};
+  EXPECT_EQ(format_lint_finding(f), "dir/x.cpp:12: [missing-region] msg");
+}
+
+}  // namespace
+}  // namespace llp::analyze

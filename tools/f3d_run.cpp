@@ -33,6 +33,13 @@
 //                        percentiles at the end
 //     --trace-buffer N   per-thread trace ring capacity in events
 //                        (default 16384; wins over LLP_TRACE_BUFFER)
+//     --analyze          run the dependence analyzer over every region
+//                        invocation (wins over LLP_ANALYZE); exit 1 when
+//                        any loop-carried dependence or shared scratch is
+//                        found
+//     --analyze-log FILE also save the last access log of every region to
+//                        FILE for `llp_check replay` (implies --analyze;
+//                        wins over LLP_ANALYZE_LOG)
 //
 // All numeric flags are validated: non-numeric, non-finite, or
 // out-of-range values (zero grid dims, nonpositive CFL, ...) are a usage
@@ -61,6 +68,7 @@
 #include "f3d/io.hpp"
 #include "f3d/solver.hpp"
 #include "f3d/validation.hpp"
+#include "analyze/analyzer.hpp"
 #include "fault/injector.hpp"
 #include "obs/obs.hpp"
 #include "perf/advisor.hpp"
@@ -81,7 +89,8 @@ namespace {
                "  [--csv F] [--profile] [--advise P]\n"
                "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n"
                "  [--ckpt-dir D] [--ckpt-every N] [--keep-generations K]\n"
-               "  [--restart[=auto]] [--trace F] [--trace-buffer N]\n");
+               "  [--restart[=auto]] [--trace F] [--trace-buffer N]\n"
+               "  [--analyze] [--analyze-log F]\n");
   std::exit(2);
 }
 
@@ -110,6 +119,8 @@ struct Options {
   Restart restart = Restart::kNone;
   std::string trace_path;
   long trace_buffer = 0;  // 0 = default / LLP_TRACE_BUFFER
+  bool analyze = false;
+  std::string analyze_log;
 };
 
 // Strict numeric parsing: the whole token must convert, and the value must
@@ -192,6 +203,11 @@ Options parse(int argc, char** argv) {
       o.trace_path = need(i++);
     } else if (a == "--trace-buffer") {
       o.trace_buffer = parse_int(a, need(i++), 64, 1L << 24);
+    } else if (a == "--analyze") {
+      o.analyze = true;
+    } else if (a == "--analyze-log") {
+      o.analyze = true;
+      o.analyze_log = need(i++);
     } else if (a == "--restart") {
       o.restart = Restart::kStrict;
     } else if (a == "--restart=auto") {
@@ -264,6 +280,14 @@ int run_main(const Options& o) {
     llp::obs::set_export_path(o.trace_path);
   }
   llp::obs::init_from_env();
+
+  // Dependence analyzer: --analyze wins over LLP_ANALYZE. Installed before
+  // the solver so every region invocation of the run is checked.
+  if (o.analyze) {
+    llp::analyze::install();
+    if (!o.analyze_log.empty()) llp::analyze::set_log_path(o.analyze_log);
+  }
+  llp::analyze::init_from_env();
 
   // Fault injection: LLP_FAULT from the environment, or --fault from the
   // command line (the flag wins). Installed before any restart machinery
@@ -441,7 +465,23 @@ int run_main(const Options& o) {
       }
     }
   }
-  return report.failed ? 1 : 0;
+  bool analyzer_failed = false;
+  if (auto* logger = llp::analyze::global_logger()) {
+    std::printf("\n%s", logger->report().c_str());
+    const std::string path = llp::analyze::log_path();
+    if (!path.empty()) {
+      std::string error;
+      if (llp::analyze::export_logs(path, &error)) {
+        std::printf("access logs written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "f3d_run: access-log export failed: %s\n",
+                     error.c_str());
+      }
+    }
+    // A run that races is a failed run, even if the numbers look plausible.
+    analyzer_failed = logger->num_findings() > 0;
+  }
+  return (report.failed || analyzer_failed) ? 1 : 0;
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// llp_check — static & offline modes of the loop-safety analyzer.
+//
+//   llp_check lint FILE|DIR...     lint C++ sources (.cpp/.hpp/.cc/.h) for
+//                                  parallel-loop hazards: missing region
+//                                  labels, shifted-index writes, shared
+//                                  scratch written through by-reference
+//                                  captures, unsynchronized reductions.
+//                                  Directories recurse.
+//   llp_check replay LOG...        re-run the dependence checker over
+//                                  access logs saved by a dynamic-mode run
+//                                  (f3d_run --analyze-log F, or
+//                                  LLP_ANALYZE_LOG=F).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error — so CI can gate on
+// "no new findings" directly.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analyze/access_log.hpp"
+#include "analyze/dep_check.hpp"
+#include "analyze/lint.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace llp::analyze;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: llp_check lint FILE|DIR...\n"
+               "       llp_check replay LOG...\n");
+  return 2;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Expand files and (recursively) directories into a sorted file list.
+std::vector<std::string> collect(const std::vector<std::string>& args,
+                                 bool* ok) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "llp_check: cannot walk %s: %s\n", arg.c_str(),
+                     ec.message().c_str());
+        *ok = false;
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "llp_check: no such file or directory: %s\n",
+                   arg.c_str());
+      *ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_lint(const std::vector<std::string>& args) {
+  bool ok = true;
+  const std::vector<std::string> files = collect(args, &ok);
+  if (!ok) return 2;
+  std::size_t findings = 0;
+  for (const std::string& file : files) {
+    for (const LintFinding& f : lint_file(file)) {
+      std::printf("%s\n", format_lint_finding(f).c_str());
+      ++findings;
+    }
+  }
+  std::printf("llp_check: %zu finding(s) in %zu file(s)\n", findings,
+              files.size());
+  return findings == 0 ? 0 : 1;
+}
+
+int run_replay(const std::vector<std::string>& args) {
+  std::size_t findings = 0;
+  std::size_t logs = 0;
+  for (const std::string& path : args) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "llp_check: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    for (const AccessLog& log : load_logs(in)) {
+      ++logs;
+      for (const Finding& f : check(log)) {
+        std::printf("%s\n", format_finding(f).c_str());
+        ++findings;
+      }
+    }
+  }
+  std::printf("llp_check: %zu finding(s) across %zu replayed log(s)\n",
+              findings, logs);
+  return findings == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (mode == "lint") return run_lint(args);
+    if (mode == "replay") return run_replay(args);
+  } catch (const llp::Error& e) {
+    std::fprintf(stderr, "llp_check: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
