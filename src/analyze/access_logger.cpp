@@ -23,7 +23,7 @@ void AccessLogger::on_event(const Event& event) {
     if (al.depth++ == 0) {
       al.log = AccessLog{};
       al.log.region_name =
-          Runtime::instance().regions().stats(event.region).name;
+          Runtime::current().regions().stats(event.region).name;
       al.log.invocation = invocation_counts_[event.region]++;
       al.log.lanes_used = static_cast<int>(event.b);
     }

@@ -276,7 +276,7 @@ int CheckpointStore::write_generation(const Snapshot& snap,
   // and kCkptDurable marks the instant the rename published a generation.
   const auto ckpt_step = static_cast<std::int64_t>(snap.manifest.state.steps);
   auto emit_ckpt = [](llp::EventKind kind, std::int64_t a, std::int64_t b) {
-    llp::Runtime::instance().emit(llp::Event{.t_ns = 0,
+    llp::Runtime::current().emit(llp::Event{.t_ns = 0,
                                              .region = llp::kNoRegion,
                                              .a = a,
                                              .b = b,

@@ -366,7 +366,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
   LLP_REQUIRE(opts.chunk >= 1, "chunk must be >= 1");
   const std::int64_t n = end > begin ? end - begin : 0;
 
-  auto& rt = Runtime::instance();
+  auto& rt = Runtime::current();
   const bool instrumented = opts.region != kNoRegion;
   const bool enabled =
       !instrumented || rt.regions().parallel_enabled(opts.region);
@@ -449,6 +449,10 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
         std::vector<LaneTime> lane_times(
             instrumented ? static_cast<std::size_t>(nthreads) : 0);
         auto lane_fn = [&](int lane) {
+          // Worker lanes inherit the loop's runtime: code reached from the
+          // body (fault hooks, event emitters) must see the owning runtime,
+          // not the process default — pools and runtimes are per-tenant now.
+          RuntimeScope rt_scope(rt);
           if (observed && lane < nthreads) {
             ectx->emit(EventKind::kLaneBegin, lane, 0, 0);
           }
@@ -580,7 +584,7 @@ T parallel_reduce(std::int64_t begin, std::int64_t end, T identity,
   struct alignas(kCacheLineBytes) Slot {
     T value;
   };
-  auto& rt = Runtime::instance();
+  auto& rt = Runtime::current();
   int nthreads = opts.num_threads > 0 ? opts.num_threads : rt.num_threads();
   // An autotuned loop may run at any lane count up to the runtime's, so
   // the partial slots must cover that whole range.

@@ -47,8 +47,9 @@ Runtime& Runtime::instance() {
   return rt;
 }
 
-Runtime::Runtime() : observers_(empty_observers()) {
-  int n = env::get_int("LLP_NUM_THREADS", 0, 0, 1 << 16);
+Runtime::Runtime(int num_threads) : observers_(empty_observers()) {
+  int n = num_threads;
+  if (n <= 0) n = env::get_int("LLP_NUM_THREADS", 0, 0, 1 << 16);
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
   }
@@ -57,6 +58,8 @@ Runtime::Runtime() : observers_(empty_observers()) {
   const double ms = env::get_double("LLP_WATCHDOG_MS", 0.0, 0.0, 1e12);
   if (ms > 0.0) watchdog_seconds_ = ms / 1000.0;
 }
+
+Runtime::~Runtime() = default;
 
 int Runtime::num_threads() {
   std::lock_guard<std::mutex> lock(mu_);

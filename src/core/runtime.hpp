@@ -1,9 +1,21 @@
-// Global runtime: thread count, shared pool, the region registry, and the
+// Runtime: thread count, shared pool, the region registry, and the
 // unified observer seam.
 //
-// Mirrors the role of the OpenMP runtime: one process-wide configuration
-// (LLP_NUM_THREADS environment variable, overridable via set_num_threads)
-// plus the shared worker pool every doacross construct dispatches to.
+// Mirrors the role of the OpenMP runtime: a configuration (LLP_NUM_THREADS
+// environment variable, overridable via set_num_threads) plus the shared
+// worker pool every doacross construct dispatches to.
+//
+// A Runtime is an ordinary, independently constructible object. The
+// process-default instance (Runtime::instance()) preserves the historical
+// singleton behaviour for tools and tests, but a host that multiplexes
+// tenants — the f3d_serve daemon — builds one Runtime per job so tuner
+// state, fault hooks, observers, region profiles, watchdogs, and pools are
+// isolated per tenant. Parallel constructs dispatch to Runtime::current():
+// the runtime bound to the calling thread via RuntimeScope, falling back
+// to the process default when none is bound. Every lane of a parallel
+// construct runs with its loop's runtime bound, so code called from lane
+// bodies (fault injection, event emission) reaches the owning runtime, not
+// the singleton.
 //
 // Observation and steering go through ONE seam: RuntimeObserver
 // (core/observer.hpp). add_observer/remove_observer register event sinks
@@ -26,8 +38,21 @@ namespace llp {
 
 class Runtime {
 public:
-  /// Process-wide instance.
+  /// An independent runtime with its own pool, registry, observers, and
+  /// configuration. num_threads <= 0 takes the LLP_NUM_THREADS /
+  /// hardware-concurrency default, exactly like the process instance.
+  explicit Runtime(int num_threads = 0);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Process-default instance (the historical singleton).
   static Runtime& instance();
+
+  /// The runtime parallel constructs on this thread dispatch to: the one
+  /// bound by the innermost live RuntimeScope, else the process default.
+  static Runtime& current();
 
   /// Current lane count used by parallel constructs (>= 1).
   int num_threads();
@@ -100,8 +125,6 @@ public:
   void set_watchdog_seconds(double seconds);
 
 private:
-  Runtime();
-
   // Internal adapter observers behind the legacy facades.
   struct TunerAdapter final : RuntimeObserver {
     LoopTuner* hook = nullptr;
@@ -128,10 +151,40 @@ private:
   RegionRegistry regions_;
 };
 
-/// Shorthand accessors.
-inline RegionRegistry& regions() { return Runtime::instance().regions(); }
-inline int num_threads() { return Runtime::instance().num_threads(); }
-inline void set_num_threads(int n) { Runtime::instance().set_num_threads(n); }
+namespace detail {
+// The runtime bound to this thread (nullptr = process default). Written
+// only by RuntimeScope on this thread, so no synchronization is needed.
+inline thread_local Runtime* tls_current_runtime = nullptr;
+}  // namespace detail
+
+inline Runtime& Runtime::current() {
+  Runtime* rt = detail::tls_current_runtime;
+  return rt != nullptr ? *rt : instance();
+}
+
+/// RAII: bind `rt` as this thread's current runtime for the scope's
+/// lifetime. Scopes nest (the previous binding is restored on exit). The
+/// parallel constructs bind the dispatching runtime inside every lane, so
+/// a scope installed around a solver run covers worker threads too.
+class RuntimeScope {
+public:
+  explicit RuntimeScope(Runtime& rt) noexcept
+      : prev_(detail::tls_current_runtime) {
+    detail::tls_current_runtime = &rt;
+  }
+  ~RuntimeScope() { detail::tls_current_runtime = prev_; }
+  RuntimeScope(const RuntimeScope&) = delete;
+  RuntimeScope& operator=(const RuntimeScope&) = delete;
+
+private:
+  Runtime* prev_;
+};
+
+/// Shorthand accessors (current runtime: the bound one, else the process
+/// default — unchanged behaviour for code that never binds a scope).
+inline RegionRegistry& regions() { return Runtime::current().regions(); }
+inline int num_threads() { return Runtime::current().num_threads(); }
+inline void set_num_threads(int n) { Runtime::current().set_num_threads(n); }
 
 /// First tuner / fault facet in a snapshot (what parallel_for consults).
 inline LoopTuner* find_tuner(const ObserverList& observers) {

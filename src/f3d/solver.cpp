@@ -28,7 +28,10 @@ constexpr double kFlopsPerPointUpdate = 1.0 * kNumVars;
 }  // namespace
 
 Solver::Solver(MultiZoneGrid& grid, SolverConfig config)
-    : grid_(grid), config_(std::move(config)) {
+    : Solver(grid, std::move(config), llp::Runtime::current()) {}
+
+Solver::Solver(MultiZoneGrid& grid, SolverConfig config, llp::Runtime& rt)
+    : grid_(grid), config_(std::move(config)), rt_(&rt) {
   // Install the process-global autotuner when LLP_TUNE=1 (no-op otherwise)
   // so every auto-marked loop below self-optimizes over the run, and the
   // tracer when LLP_TRACE=file.json — both ride the same observer seam.
@@ -59,7 +62,7 @@ Solver::Solver(MultiZoneGrid& grid, SolverConfig config)
 }
 
 void Solver::define_regions() {
-  auto& reg = llp::regions();
+  auto& reg = rt_->regions();
   const auto kind = config_.mode == SweepMode::kRisc
                         ? llp::RegionKind::kParallelLoop
                         : llp::RegionKind::kSerial;
@@ -85,15 +88,17 @@ namespace {
 // exit with ok=0 when the step threw (an injected lane fault), so the
 // exported timeline stays balanced across recoveries.
 struct StepTraceScope {
+  llp::Runtime* rt;
   std::int64_t step;
   bool ok = false;
-  explicit StepTraceScope(std::int64_t attempt) : step(attempt) {
-    llp::Runtime::instance().emit(llp::Event{
+  StepTraceScope(llp::Runtime& runtime, std::int64_t attempt)
+      : rt(&runtime), step(attempt) {
+    rt->emit(llp::Event{
         .t_ns = 0, .region = llp::kNoRegion, .a = step, .b = 0,
         .kind = llp::EventKind::kStepBegin, .pad = 0, .lane = -1, .tid = -1});
   }
   ~StepTraceScope() {
-    llp::Runtime::instance().emit(llp::Event{
+    rt->emit(llp::Event{
         .t_ns = 0, .region = llp::kNoRegion, .a = step, .b = ok ? 1 : 0,
         .kind = llp::EventKind::kStepEnd, .pad = 0, .lane = -1, .tid = -1});
   }
@@ -101,8 +106,13 @@ struct StepTraceScope {
 }  // namespace
 
 void Solver::step() {
-  auto& reg = llp::regions();
-  StepTraceScope step_trace(steps_ + 1);
+  // Bind this solver's runtime for the whole step: every parallel loop,
+  // every emit reached from kernel code (fault hooks, engine timers), and
+  // the region shorthands below all resolve to rt_, not the process
+  // default — two solvers on different runtimes never share state.
+  llp::RuntimeScope rt_scope(*rt_);
+  auto& reg = rt_->regions();
+  StepTraceScope step_trace(*rt_, steps_ + 1);
 
   // Boundary conditions and zonal exchange: cheap, deliberately serial
   // (Table 2: a face offers ~1/LMAX of the interior's work per sync).
@@ -298,6 +308,9 @@ std::string RunReport::summary() const {
 
 RunReport Solver::run_protected(int steps, RunHistory* history) {
   LLP_REQUIRE(steps >= 1, "steps must be >= 1");
+  // Bound for the whole run, not just inside step(): the checkpoint hook
+  // runs between steps and emits durability events via Runtime::current().
+  llp::RuntimeScope rt_scope(*rt_);
   const RecoveryConfig& rc = config_.recovery;
   RunReport report;
 
@@ -345,7 +358,7 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     // standing timeline now; the hook must drop it rather than seal it
     // against the replayed (CFL-backed-off) trajectory.
     if (ckpt_hook_ != nullptr) ckpt_hook_->on_rollback(ckpt.steps);
-    llp::Runtime::instance().emit(llp::Event{
+    rt_->emit(llp::Event{
         .t_ns = 0, .region = llp::kNoRegion,
         .a = static_cast<std::int64_t>(ckpt.steps),
         .b = static_cast<std::int64_t>(report.recoveries),
@@ -440,7 +453,7 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     ++report.recoveries;
     report.recovery_steps.push_back(attempt);
     if (fault_region != llp::kNoRegion) {
-      llp::regions().record_recovery(fault_region);
+      rt_->regions().record_recovery(fault_region);
     }
     note_fault(fault_region);
     rollback();

@@ -120,7 +120,16 @@ struct RunReport {
 
 class Solver {
 public:
+  /// Runs on the caller's current runtime (llp::Runtime::current() at
+  /// construction — the process default unless a RuntimeScope is bound).
   Solver(MultiZoneGrid& grid, SolverConfig config);
+
+  /// Runs on `rt`: regions are defined in rt's registry, every parallel
+  /// loop dispatches to rt's pool, and step/rollback events go to rt's
+  /// observers. The runtime must outlive the solver. This is the
+  /// multi-tenant seam: one Runtime per job isolates tuner state, fault
+  /// hooks, watchdogs, and cancellation between concurrent solves.
+  Solver(MultiZoneGrid& grid, SolverConfig config, llp::Runtime& rt);
 
   /// Advance one time step; updates residual().
   void step();
@@ -167,6 +176,8 @@ public:
   double cfl() const noexcept { return cfl_; }
   const SolverConfig& config() const noexcept { return config_; }
   MultiZoneGrid& grid() noexcept { return grid_; }
+  /// The runtime this solver dispatches to.
+  llp::Runtime& runtime() noexcept { return *rt_; }
 
   /// Analytic floating-point work of one step (all zones).
   double flops_per_step() const;
@@ -180,6 +191,7 @@ private:
 
   MultiZoneGrid& grid_;
   SolverConfig config_;
+  llp::Runtime* rt_;  ///< never null; defaults to the construction-time current
   double dt_;
   double cfl_;
   double residual_ = 0.0;

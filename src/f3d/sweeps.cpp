@@ -27,8 +27,11 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
                        llp::Array4D<double>& rhs, llp::RegionId region,
                        bool periodic) {
   const SweepShape shape = sweep_shape(zone, dir);
+  // Sized from the runtime that will actually run the loop. Sizing from the
+  // process instance was a latent singleton assumption: a per-job runtime
+  // with more lanes than the default would index past the workspace vector.
   const std::size_t lanes =
-      static_cast<std::size_t>(llp::Runtime::instance().num_threads());
+      static_cast<std::size_t>(llp::Runtime::current().num_threads());
   if (workspaces_.size() < lanes) workspaces_.resize(lanes);
 
   // Auto mode: when a tuner is installed (LLP_TUNE=1), the sweep's

@@ -141,7 +141,7 @@ void Injector::on_lane(RegionId region, std::uint64_t invocation, int lane) {
   // The fault event goes out before the blocking/throwing actions so a hang
   // or an aborted lane still leaves its mark in the trace.
   if (fired_here) {
-    Runtime::instance().emit(Event{.t_ns = 0,
+    Runtime::current().emit(Event{.t_ns = 0,
                                    .region = region,
                                    .a = static_cast<std::int64_t>(invocation),
                                    .b = 0,
@@ -202,7 +202,7 @@ bool Injector::io_fault(std::string_view stream, std::uint64_t op, int frame,
   }
   if (fired) {
     // Outside the injector lock: observers may query runtime state.
-    Runtime::instance().emit(Event{.t_ns = 0,
+    Runtime::current().emit(Event{.t_ns = 0,
                                    .region = kNoRegion,
                                    .a = static_cast<std::int64_t>(op),
                                    .b = frame,

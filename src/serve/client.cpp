@@ -1,0 +1,56 @@
+#include "serve/client.hpp"
+
+namespace f3d::serve {
+
+Client Client::connect(const std::string& socket_path, std::string* err) {
+  Client c;
+  c.sock_ = connect_unix(socket_path, err);
+  if (c.sock_.valid()) c.reader_.emplace(c.sock_.fd());
+  return c;
+}
+
+bool Client::send(const Json& req, std::string* err) {
+  if (!connected()) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  return write_line(sock_.fd(), req.dump(), err);
+}
+
+bool Client::request(const Json& req, Json* response, std::string* err) {
+  if (!send(req, err)) return false;
+  auto line = read_json_line(err);
+  if (!line.has_value()) return false;
+  *response = std::move(*line);
+  return true;
+}
+
+std::optional<Json> Client::read_json_line(std::string* err) {
+  if (!connected()) {
+    if (err != nullptr) *err = "not connected";
+    return std::nullopt;
+  }
+  std::string line;
+  while (true) {
+    const LineReader::Result res = reader_->next_line(&line, err);
+    if (res == LineReader::Result::kEof) {
+      if (err != nullptr && err->empty()) *err = "connection closed";
+      return std::nullopt;
+    }
+    if (res == LineReader::Result::kError) return std::nullopt;
+    if (res == LineReader::Result::kOversize) {
+      if (err != nullptr) *err = "server sent an oversized line";
+      return std::nullopt;
+    }
+    if (line.empty()) continue;
+    std::string parse_err;
+    auto j = Json::parse(line, &parse_err);
+    if (!j.has_value()) {
+      if (err != nullptr) *err = "bad server line: " + parse_err;
+      return std::nullopt;
+    }
+    return j;
+  }
+}
+
+}  // namespace f3d::serve

@@ -1,0 +1,43 @@
+// Client side of the serve protocol: connect, one-line request/response,
+// and event streaming. Used by tools/f3d_submit and the tests; the
+// daemon's wire format is defined entirely by src/serve/server.cpp and
+// this file just frames it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/wire.hpp"
+
+namespace f3d::serve {
+
+class Client {
+public:
+  /// Connect to a daemon socket. Disconnected client + *err on failure.
+  static Client connect(const std::string& socket_path,
+                        std::string* err = nullptr);
+
+  Client() = default;
+  bool connected() const { return sock_.valid(); }
+
+  /// Send one request object and read one response line. False on
+  /// transport failure (*err) — a protocol-level {"ok":false,...} is
+  /// still a successful round trip.
+  bool request(const Json& req, Json* response, std::string* err = nullptr);
+
+  /// Read one server line and parse it (for streams started with the
+  /// `events` op). nullopt on EOF/error.
+  std::optional<Json> read_json_line(std::string* err = nullptr);
+
+  /// Send one raw request line without reading a response.
+  bool send(const Json& req, std::string* err = nullptr);
+
+  int fd() const { return sock_.fd(); }
+
+private:
+  Socket sock_;
+  std::optional<LineReader> reader_;
+};
+
+}  // namespace f3d::serve

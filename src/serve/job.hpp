@@ -1,0 +1,112 @@
+// Job model for the serve daemon: what a tenant submits, the lifecycle
+// states the scheduler moves it through, and the durable per-job record
+// that survives a daemon kill.
+//
+// A JobSpec is the serve-side analogue of f3d_run's command line: the
+// same cases, the same validation ranges, and the same fingerprint
+// discipline — the spec fingerprint is stamped into every checkpoint
+// manifest, so a daemon restarted with a tampered state directory refuses
+// to resume a job onto the wrong physics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "f3d/cases.hpp"
+#include "f3d/multizone.hpp"
+#include "f3d/solver.hpp"
+#include "serve/json.hpp"
+
+namespace f3d::serve {
+
+/// Lifecycle of a submitted job. Queued/preempted jobs are runnable;
+/// done/failed/cancelled are terminal. A preempted job was checkpointed
+/// and pulled off the pool by the scheduler and will be re-dispatched.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kPreempted,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* job_state_name(JobState state) noexcept;
+std::optional<JobState> job_state_from_name(std::string_view name) noexcept;
+bool is_terminal(JobState state) noexcept;
+bool is_runnable(JobState state) noexcept;
+
+/// What a tenant submits. Defaults match f3d_run's.
+struct JobSpec {
+  std::string name;            ///< free-form label, echoed in status
+  std::string case_name = "cube";  ///< 1m | 59m | cube | vortex
+  double scale = 0.15;         ///< 1m/59m zone-dimension scale
+  int n = 24;                  ///< cube/vortex size
+  int steps = 50;
+  double cfl = 2.0;
+  std::string mode = "risc";   ///< risc | vector
+  bool wall = false;
+  double pulse = 0.0;
+  int priority = 0;            ///< 0 (lowest) .. 9; higher may preempt lower
+  /// Loop-level threads. > 0 pins the job's runtime to exactly this many
+  /// lanes — the residual trajectory is then reproducible across restarts
+  /// and re-dispatches. 0 lets the scheduler fair-share the pool, which
+  /// may change between steps.
+  int threads = 0;
+  /// Healthy steps between durable checkpoint generations; 0 disables
+  /// periodic snapshots (the job still flushes one on preemption).
+  int ckpt_every = 10;
+
+  /// Validate and convert. On failure returns nullopt and sets *error to
+  /// a usage-style message (the protocol relays it verbatim).
+  static std::optional<JobSpec> from_json(const Json& j, std::string* error);
+  Json to_json() const;
+
+  /// Config fingerprint recorded in checkpoint manifests (same role as
+  /// f3d_run's): a resume onto different physics must be refused.
+  std::string fingerprint() const;
+};
+
+/// Grid + solver config for a spec (the serve twin of f3d_run's case
+/// setup).
+f3d::MultiZoneGrid build_case_grid(const JobSpec& spec);
+f3d::SolverConfig build_solver_config(const JobSpec& spec);
+
+/// Durable per-job record, written atomically to
+/// <state_dir>/jobs/<id>/job.json at every state transition. This is what
+/// daemon restart recovery scans: a non-terminal record means the job was
+/// in flight when the process died and must be requeued.
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  int steps_done = 0;
+  double residual = 0.0;
+  std::string error;
+
+  Json to_json() const;
+  static std::optional<JobRecord> from_json(const Json& j,
+                                            std::string* error);
+};
+
+/// Directory layout helpers under the daemon's state root.
+std::string job_dir(const std::string& state_dir, std::uint64_t id);
+std::string job_record_path(const std::string& state_dir, std::uint64_t id);
+std::string job_ckpt_dir(const std::string& state_dir, std::uint64_t id);
+
+/// Atomically persist `record` (tmp + fsync + rename, the checkpoint
+/// writer's discipline). Throws llp::IoError on failure.
+void write_job_record(const std::string& state_dir, const JobRecord& record);
+
+/// Load one job.json; nullopt (with *error) when missing or invalid.
+std::optional<JobRecord> read_job_record(const std::string& path,
+                                         std::string* error);
+
+/// The terminal event line for a finished job — shared with f3d_run's
+/// --serve-compat mode so the batch CLI and the daemon emit byte-identical
+/// completion records (residual via the JSON %.17g path).
+std::string done_event_line(std::uint64_t id, JobState state, int steps,
+                            double final_residual);
+
+}  // namespace f3d::serve

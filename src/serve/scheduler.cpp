@@ -1,0 +1,72 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace f3d::serve {
+
+std::optional<std::size_t> pick_next(const std::vector<SchedJob>& queued) {
+  if (queued.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queued.size(); ++i) {
+    const SchedJob& a = queued[i];
+    const SchedJob& b = queued[best];
+    if (a.priority > b.priority ||
+        (a.priority == b.priority && a.seq < b.seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<int> fair_shares(int total_threads,
+                             const std::vector<int>& pinned) {
+  std::vector<int> shares(pinned.size(), 0);
+  if (pinned.empty()) return shares;
+  if (total_threads < 1) total_threads = 1;
+
+  int pinned_sum = 0;
+  int num_auto = 0;
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    if (pinned[i] > 0) {
+      shares[i] = pinned[i];
+      pinned_sum += pinned[i];
+    } else {
+      ++num_auto;
+    }
+  }
+  if (num_auto == 0) return shares;
+
+  // Auto jobs divide what the pins left over; when the pins already cover
+  // the pool, each auto job still gets one lane (progress over purity —
+  // the lanes oversubscribe).
+  const int available = std::max(total_threads - pinned_sum, num_auto);
+  const int base = available / num_auto;
+  int extra = available % num_auto;
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    if (pinned[i] > 0) continue;
+    shares[i] = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+  }
+  return shares;
+}
+
+std::optional<std::size_t> pick_victim(const std::vector<SchedJob>& running,
+                                       int incoming_priority) {
+  std::optional<std::size_t> victim;
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    if (running[i].priority >= incoming_priority) continue;
+    if (!victim.has_value()) {
+      victim = i;
+      continue;
+    }
+    const SchedJob& a = running[i];
+    const SchedJob& b = running[*victim];
+    if (a.priority < b.priority ||
+        (a.priority == b.priority && a.seq > b.seq)) {
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+}  // namespace f3d::serve

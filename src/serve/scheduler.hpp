@@ -1,0 +1,52 @@
+// Admission, fair-share, and preemption policy for the serve daemon —
+// pure functions over plain structs, so every decision the scheduler
+// thread makes is unit-testable without sockets or solver runs.
+//
+// Policy:
+//  - Dispatch order: highest priority first, FIFO (submission sequence)
+//    within a priority class. A preempted job keeps its original sequence
+//    number, so it resumes ahead of later arrivals of equal priority.
+//  - Thread shares: a job submitted with threads > 0 is pinned to exactly
+//    that many lanes (pinning buys a reproducible residual trajectory).
+//    Auto jobs (threads == 0) split what remains of the pool equally,
+//    never below one lane each; leftover lanes go to the earliest auto
+//    jobs. The pool may oversubscribe — a pin is a promise about lane
+//    count (determinism), not about exclusive cores.
+//  - Preemption: when the running set is full and a queued job outranks
+//    the weakest running job, the weakest (lowest priority; youngest
+//    within the tie) is told to checkpoint and yield.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace f3d::serve {
+
+/// The scheduler-relevant projection of one job.
+struct SchedJob {
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;  ///< admission order; preserved across preemption
+  int priority = 0;       ///< 0 (lowest) .. 9
+  int pinned_threads = 0; ///< 0 = auto (fair share)
+};
+
+/// Index into `queued` of the next job to dispatch: highest priority,
+/// then lowest seq. nullopt when the queue is empty.
+std::optional<std::size_t> pick_next(const std::vector<SchedJob>& queued);
+
+/// Per-job thread allocation for the running set. `pinned[i]` is job i's
+/// requested pin (0 = auto). Every job gets >= 1; pinned jobs get exactly
+/// their pin; auto jobs split max(total - sum(pins), #auto) equally with
+/// the remainder biased to earlier entries. Empty input -> empty output.
+std::vector<int> fair_shares(int total_threads,
+                             const std::vector<int>& pinned);
+
+/// Index into `running` of the job to preempt for an incoming job of
+/// `incoming_priority`: the lowest-priority job strictly below it
+/// (youngest seq breaks ties — the job with the least sunk scheduling
+/// seniority yields). nullopt when nothing is outranked.
+std::optional<std::size_t> pick_victim(const std::vector<SchedJob>& running,
+                                       int incoming_priority);
+
+}  // namespace f3d::serve

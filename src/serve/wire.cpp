@@ -1,0 +1,156 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace f3d::serve {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// sockaddr_un setup shared by listen/connect. sun_path is finite; a path
+// that does not fit is a configuration error, not something to truncate.
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* err) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (err != nullptr) {
+      *err = "socket path must be 1.." +
+             std::to_string(sizeof(addr->sun_path) - 1) + " bytes: '" + path +
+             "'";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket listen_unix(const std::string& path, int backlog, std::string* err) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, err)) return Socket{};
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    if (err != nullptr) *err = errno_string("socket");
+    return Socket{};
+  }
+  ::unlink(path.c_str());  // stale socket from a previous (killed) daemon
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (err != nullptr) *err = errno_string(("bind " + path).c_str());
+    return Socket{};
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    if (err != nullptr) *err = errno_string("listen");
+    return Socket{};
+  }
+  return sock;
+}
+
+Socket connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, err)) return Socket{};
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    if (err != nullptr) *err = errno_string("socket");
+    return Socket{};
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (err != nullptr) *err = errno_string(("connect " + path).c_str());
+    return Socket{};
+  }
+  return sock;
+}
+
+Socket accept_with_timeout(int listen_fd, int timeout_ms, std::string* err) {
+  if (err != nullptr) err->clear();
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return Socket{};  // timeout: caller re-checks its stop flag
+  if (rc < 0) {
+    if (errno != EINTR && err != nullptr) *err = errno_string("poll");
+    return Socket{};
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno != EINTR && errno != ECONNABORTED && err != nullptr) {
+      *err = errno_string("accept");
+    }
+    return Socket{};
+  }
+  return Socket(fd);
+}
+
+bool write_line(int fd, std::string_view line, std::string* err) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err != nullptr) *err = errno_string("send");
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+LineReader::Result LineReader::next_line(std::string* out, std::string* err) {
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      if (oversize_) return Result::kOversize;
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return Result::kLine;
+    }
+    if (buf_.size() >= kMaxLine) {
+      // Stop accumulating: remember the breach and drain nothing more —
+      // the protocol handler reports the error and drops the connection.
+      oversize_ = true;
+      return Result::kOversize;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (!buf_.empty() && err != nullptr) {
+        *err = "connection closed mid-line";
+      }
+      return Result::kEof;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err != nullptr) *err = errno_string("recv");
+      return Result::kError;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace f3d::serve

@@ -1,0 +1,90 @@
+// Socket plumbing for the serve protocol: AF_UNIX stream sockets and
+// newline-delimited framing with a hard line-length cap.
+//
+// The framing rule is deliberately dumb: one request or response per
+// '\n'-terminated line, at most kMaxLine bytes including the terminator.
+// A peer that streams an overlong line is told so once and disconnected —
+// the daemon never buffers unbounded input from a client.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace f3d::serve {
+
+/// Upper bound on one protocol line, terminator included.
+inline constexpr std::size_t kMaxLine = std::size_t{1} << 20;  // 1 MiB
+
+/// Move-only owner of a file descriptor.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Release ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+  /// shutdown(2) both directions — unblocks a thread parked in read().
+  void shutdown_both() noexcept;
+
+private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a unix socket path. Any stale socket file at `path` is
+/// removed first (the daemon owns its socket path). Invalid socket + *err
+/// on failure.
+Socket listen_unix(const std::string& path, int backlog, std::string* err);
+
+/// Connect to a unix socket path. Invalid socket + *err on failure.
+Socket connect_unix(const std::string& path, std::string* err);
+
+/// Accept with a poll timeout so the accept loop can observe a stop flag.
+/// Returns an invalid socket on timeout (err empty) and on error (err set).
+Socket accept_with_timeout(int listen_fd, int timeout_ms, std::string* err);
+
+/// Write `line` plus a terminating '\n' (SIGPIPE suppressed). False when
+/// the peer is gone or the write fails.
+bool write_line(int fd, std::string_view line, std::string* err = nullptr);
+
+/// Buffered line reader over a socket.
+class LineReader {
+public:
+  enum class Result {
+    kLine,      ///< out holds one line (terminator stripped)
+    kEof,       ///< orderly shutdown at a line boundary
+    kError,     ///< read error (err describes it)
+    kOversize,  ///< peer exceeded kMaxLine; the connection must be dropped
+  };
+
+  explicit LineReader(int fd) noexcept : fd_(fd) {}
+
+  /// Block until one full line, EOF, or error.
+  Result next_line(std::string* out, std::string* err = nullptr);
+
+private:
+  int fd_;
+  std::string buf_;
+  bool oversize_ = false;
+};
+
+}  // namespace f3d::serve

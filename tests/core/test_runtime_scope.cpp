@@ -1,0 +1,140 @@
+// Per-tenant runtimes: RuntimeScope binding, isolation between Runtime
+// instances, and the guarantee that parallel constructs dispatch to the
+// CURRENT runtime — including from inside worker lanes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_for.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+TEST(RuntimeScope, CurrentDefaultsToTheProcessInstance) {
+  EXPECT_EQ(&llp::Runtime::current(), &llp::Runtime::instance());
+}
+
+TEST(RuntimeScope, BindsAndRestoresOnExit) {
+  llp::Runtime rt(2);
+  {
+    llp::RuntimeScope scope(rt);
+    EXPECT_EQ(&llp::Runtime::current(), &rt);
+  }
+  EXPECT_EQ(&llp::Runtime::current(), &llp::Runtime::instance());
+}
+
+TEST(RuntimeScope, ScopesNest) {
+  llp::Runtime outer(2);
+  llp::Runtime inner(3);
+  llp::RuntimeScope a(outer);
+  {
+    llp::RuntimeScope b(inner);
+    EXPECT_EQ(&llp::Runtime::current(), &inner);
+  }
+  EXPECT_EQ(&llp::Runtime::current(), &outer);
+}
+
+TEST(RuntimeScope, BindingIsPerThread) {
+  llp::Runtime rt(2);
+  llp::RuntimeScope scope(rt);
+  ASSERT_EQ(&llp::Runtime::current(), &rt);
+  std::thread other([] {
+    // A fresh thread has no binding: it sees the process default.
+    EXPECT_EQ(&llp::Runtime::current(), &llp::Runtime::instance());
+  });
+  other.join();
+}
+
+TEST(RuntimeScope, ParallelForDispatchesToTheBoundRuntime) {
+  llp::Runtime rt(3);
+  llp::RuntimeScope scope(rt);
+  std::mutex mu;
+  std::set<int> lanes;
+  std::atomic<std::int64_t> covered{0};
+  llp::parallel_for(0, 3000, [&](std::int64_t, int lane) {
+    covered.fetch_add(1, std::memory_order_relaxed);
+    // Every lane the loop runs on must also see the scoped runtime as
+    // current — workers inherit the dispatcher's binding.
+    EXPECT_EQ(&llp::Runtime::current(), &rt);
+    std::lock_guard<std::mutex> lock(mu);
+    lanes.insert(lane);
+  });
+  EXPECT_EQ(covered.load(), 3000);
+  // Lane ids come from the 3-lane tenant runtime, not the process pool.
+  EXPECT_LE(lanes.size(), 3u);
+  for (const int lane : lanes) EXPECT_LT(lane, 3);
+}
+
+TEST(RuntimeScope, InstancesHaveIndependentThreadCounts) {
+  llp::Runtime a(2);
+  llp::Runtime b(5);
+  EXPECT_EQ(a.num_threads(), 2);
+  EXPECT_EQ(b.num_threads(), 5);
+  a.set_num_threads(4);
+  EXPECT_EQ(a.num_threads(), 4);
+  EXPECT_EQ(b.num_threads(), 5);
+  EXPECT_NE(llp::Runtime::instance().num_threads(), 0);
+}
+
+TEST(RuntimeScope, InstancesHaveIndependentRegionRegistries) {
+  llp::Runtime a(1);
+  llp::Runtime b(1);
+  {
+    llp::RuntimeScope scope(a);
+    const llp::RegionId id = llp::regions().define("tenant_a_only");
+    llp::parallel_for(0, 10, [](std::int64_t) {},
+                      llp::ForOptions::in_region(id));
+  }
+  // The region landed in tenant a's registry (via the scoped shorthand),
+  // not in tenant b's and not in the process default's.
+  EXPECT_NE(a.regions().find("tenant_a_only"), llp::kNoRegion);
+  EXPECT_EQ(b.regions().find("tenant_a_only"), llp::kNoRegion);
+  EXPECT_EQ(llp::Runtime::instance().regions().find("tenant_a_only"),
+            llp::kNoRegion);
+}
+
+TEST(RuntimeScope, ConcurrentTenantsStayIsolated) {
+  // Two tenants run loops concurrently on their own runtimes; each loop
+  // must observe its own runtime as current in every lane, with no
+  // cross-talk through the thread-local binding.
+  llp::Runtime a(2);
+  llp::Runtime b(3);
+  std::atomic<int> mismatches{0};
+  auto tenant = [&mismatches](llp::Runtime& rt, int reps) {
+    llp::RuntimeScope scope(rt);
+    for (int r = 0; r < reps; ++r) {
+      llp::parallel_for(0, 512, [&](std::int64_t) {
+        if (&llp::Runtime::current() != &rt) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  };
+  std::thread ta(tenant, std::ref(a), 50);
+  std::thread tb(tenant, std::ref(b), 50);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RuntimeScope, ReduceCombinesInLaneOrderPerRuntime) {
+  // parallel_reduce on a pinned tenant runtime is deterministic: same
+  // lanes, same partial order, same bits — the property the serve
+  // daemon's pinned jobs rely on for bitwise-reproducible residuals.
+  llp::Runtime rt(3);
+  llp::RuntimeScope scope(rt);
+  auto run = [] {
+    return llp::parallel_reduce(
+        0, 10000, 0.0, [](double x, double y) { return x + y; },
+        [](std::int64_t i, double& acc) {
+          acc += 1.0 / (1.0 + static_cast<double>(i));
+        });
+  };
+  const double first = run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(run(), first);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Solvers on per-tenant runtimes: the 3-arg constructor binds a specific
+// llp::Runtime, every parallel construct in the step dispatches there, and
+// — the regression that motivated the refactor — a tenant runtime with
+// MORE lanes than the process default must not overflow any workspace
+// sized off the global singleton.
+#include "f3d/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "f3d/cases.hpp"
+
+namespace {
+
+using f3d::Solver;
+using f3d::SolverConfig;
+
+SolverConfig config_for(const f3d::CaseSpec& spec, const std::string& prefix) {
+  SolverConfig cfg;
+  cfg.freestream = spec.freestream;
+  cfg.region_prefix = prefix;
+  return cfg;
+}
+
+f3d::MultiZoneGrid disturbed_grid(int n) {
+  auto spec = f3d::wall_compression_case(n);
+  auto grid = f3d::build_grid(spec);
+  f3d::add_kmin_wall(grid);
+  f3d::add_gaussian_pulse(grid, 0.1, 2.5);
+  return grid;
+}
+
+TEST(SolverTenant, DefaultConstructorBindsTheCurrentRuntime) {
+  auto spec = f3d::wall_compression_case(8);
+  auto grid = f3d::build_grid(spec);
+  llp::Runtime rt(2);
+  llp::RuntimeScope scope(rt);
+  Solver s(grid, config_for(spec, "tenant.bind"));
+  EXPECT_EQ(&s.runtime(), &rt);
+}
+
+TEST(SolverTenant, ExplicitRuntimeWinsOverTheScope) {
+  auto spec = f3d::wall_compression_case(8);
+  auto grid = f3d::build_grid(spec);
+  llp::Runtime scoped(2);
+  llp::Runtime chosen(3);
+  llp::RuntimeScope scope(scoped);
+  Solver s(grid, config_for(spec, "tenant.explicit"), chosen);
+  EXPECT_EQ(&s.runtime(), &chosen);
+}
+
+TEST(SolverTenant, MoreLanesThanTheProcessDefaultIsSafe) {
+  // The old workspace-sizing bug: sweep scratch was sized off the global
+  // singleton's lane count, so a runtime with more lanes scribbled out of
+  // bounds. Shrink the process default, run a tenant solver with far more
+  // lanes, and require a clean finite trajectory.
+  auto& process = llp::Runtime::instance();
+  const int saved = process.num_threads();
+  process.set_num_threads(1);
+  {
+    llp::Runtime wide(8);
+    auto grid = disturbed_grid(10);
+    auto spec = f3d::wall_compression_case(10);
+    Solver s(grid, config_for(spec, "tenant.wide"), wide);
+    for (int i = 0; i < 10; ++i) s.step();
+    EXPECT_TRUE(std::isfinite(s.residual()));
+    EXPECT_GT(s.residual(), 0.0);
+  }
+  process.set_num_threads(saved);
+}
+
+TEST(SolverTenant, PinnedTenantsReproduceBitwise) {
+  // Two solvers for the same case on two distinct 2-lane runtimes must
+  // walk the identical residual trajectory — lane-count pinning is the
+  // determinism contract the serve daemon sells.
+  llp::Runtime rt_a(2);
+  llp::Runtime rt_b(2);
+  auto grid_a = disturbed_grid(10);
+  auto grid_b = disturbed_grid(10);
+  auto spec = f3d::wall_compression_case(10);
+  Solver sa(grid_a, config_for(spec, "tenant.pin"), rt_a);
+  Solver sb(grid_b, config_for(spec, "tenant.pin"), rt_b);
+  for (int i = 0; i < 12; ++i) {
+    sa.step();
+    sb.step();
+    ASSERT_EQ(sa.residual(), sb.residual()) << "diverged at step " << i + 1;
+  }
+}
+
+TEST(SolverTenant, ConcurrentTenantSolversDoNotInterfere) {
+  // Two tenants step concurrently on their own runtimes; both must match
+  // the trajectory of a serial reference on an identical pinned runtime.
+  llp::Runtime rt_ref(2);
+  auto grid_ref = disturbed_grid(10);
+  auto spec = f3d::wall_compression_case(10);
+  Solver ref(grid_ref, config_for(spec, "tenant.conc"), rt_ref);
+  ref.run(10);
+
+  double got[2] = {0.0, 0.0};
+  std::thread workers[2];
+  for (int w = 0; w < 2; ++w) {
+    workers[w] = std::thread([&, w] {
+      llp::Runtime rt(2);
+      auto grid = disturbed_grid(10);
+      Solver s(grid, config_for(spec, "tenant.conc"), rt);
+      s.run(10);
+      got[w] = s.residual();
+    });
+  }
+  workers[0].join();
+  workers[1].join();
+  EXPECT_EQ(got[0], ref.residual());
+  EXPECT_EQ(got[1], ref.residual());
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// End-to-end daemon durability: a real f3d_serve process hosting three
+// pinned-thread jobs is SIGKILLed mid-flight; a restarted daemon on the
+// same state directory must recover all three and finish each with the
+// bitwise-identical final residual of an uninterrupted run (pinned lane
+// counts make the trajectory reproducible, and residuals cross the wire
+// as %.17g text, so string equality IS bitwise equality).
+//
+// Binary paths arrive via the F3D_SERVE_PATH / F3D_SUBMIT_PATH compile
+// definitions.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  int signal = 0;
+  std::string output;
+};
+
+std::string test_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_serve_restart_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// fork/exec `path args`, capturing combined output. kill_after_ms > 0
+// sends SIGKILL after the delay (unless the child finished first).
+RunResult run_tool(const char* path, const std::vector<std::string>& args,
+                   int kill_after_ms = 0) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::dup2(pipefd[1], STDERR_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(path));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(path, argv.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  if (kill_after_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+    ::kill(pid, SIGKILL);
+  }
+  RunResult r;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    r.output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipefd[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+// A daemon process handle: spawned detached, killed/reaped on demand.
+struct Daemon {
+  pid_t pid = -1;
+  std::string socket;
+  std::string state;
+
+  void spawn() {
+    // A SIGKILLed daemon leaves its socket file behind; remove it so the
+    // bind-wait below observes the NEW daemon's socket, not the corpse's.
+    ::unlink(socket.c_str());
+    pid = ::fork();
+    if (pid == 0) {
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      ::execl(F3D_SERVE_PATH, F3D_SERVE_PATH, "--socket", socket.c_str(),
+              "--state", state.c_str(), "--threads", "4", "--max-jobs", "3",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    // Wait for the socket to appear (the daemon binds before serving).
+    for (int i = 0; i < 500 && !fs::exists(socket); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(fs::exists(socket)) << "daemon never bound " << socket;
+  }
+
+  void sigkill() {
+    ASSERT_GT(pid, 0);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+
+  void shutdown() {
+    if (pid <= 0) return;
+    run_tool(F3D_SUBMIT_PATH, {"--socket", socket, "shutdown"});
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+
+  ~Daemon() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+};
+
+// Final residual as the exact %.17g STRING the tool printed — the
+// comparison below is on bytes, not on reparsed doubles.
+std::string final_residual_text(const RunResult& r) {
+  const std::string tag = "final residual ";
+  const auto at = r.output.rfind(tag);
+  EXPECT_NE(at, std::string::npos) << r.output;
+  if (at == std::string::npos) return {};
+  auto end = r.output.find('\n', at);
+  if (end == std::string::npos) end = r.output.size();
+  return r.output.substr(at + tag.size(), end - at - tag.size());
+}
+
+// The three tenants: distinct pinned lane counts and step counts, all
+// heavy enough (~seconds each on shared lanes) that a 1.5 s kill lands
+// with every job mid-flight.
+struct Tenant {
+  const char* n;
+  const char* steps;
+  const char* threads;
+};
+constexpr Tenant kTenants[] = {
+    {"16", "1200", "1"},
+    {"16", "1000", "2"},
+    {"14", "1600", "1"},
+};
+
+std::vector<std::string> submit_args(const std::string& socket,
+                                     const Tenant& t) {
+  return {"--socket", socket,   "submit",     "--case",  "cube",
+          "--n",      t.n,      "--steps",    t.steps,   "--wall",
+          "--pulse",  "0.05",   "--threads",  t.threads, "--ckpt-every",
+          "25"};
+}
+
+TEST(ServeRestartIntegration, SigkillWithThreeJobsInFlightResumesBitwise) {
+  // Reference residuals: each tenant run uninterrupted through the batch
+  // CLI with the same pinned lane count (the whole point of pinning).
+  std::vector<std::string> want;
+  for (const Tenant& t : kTenants) {
+    const auto ref = run_tool(
+        F3D_RUN_PATH,
+        {"--case", "cube", "--n", t.n, "--steps", t.steps, "--wall",
+         "--pulse", "0.05", "--threads", t.threads});
+    ASSERT_EQ(ref.exit_code, 0) << ref.output;
+    want.push_back(final_residual_text(ref));
+    ASSERT_FALSE(want.back().empty());
+  }
+
+  Daemon daemon;
+  daemon.socket = test_dir("kill3") + "/d.sock";
+  daemon.state = test_dir("kill3_state");
+  daemon.spawn();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  for (const Tenant& t : kTenants) {
+    const auto sub = run_tool(F3D_SUBMIT_PATH, submit_args(daemon.socket, t));
+    ASSERT_EQ(sub.exit_code, 0) << sub.output;
+    ASSERT_NE(sub.output.find("job "), std::string::npos) << sub.output;
+  }
+
+  // Let all three make checkpointed progress, then kill without warning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  daemon.sigkill();
+
+  // Restart on the same state. Every non-terminal job must be recovered.
+  daemon.spawn();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Jobs that were still in flight at the kill resume from their newest
+  // generation; wait each to completion and compare residual BYTES.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto job = std::to_string(i + 1);
+    const auto done = run_tool(
+        F3D_SUBMIT_PATH,
+        {"--socket", daemon.socket, "wait", job, "--timeout-ms", "300000"});
+    ASSERT_EQ(done.exit_code, 0) << done.output;
+    EXPECT_EQ(final_residual_text(done), want[i])
+        << "job " << job << " diverged after the SIGKILL resume";
+  }
+
+  // The recovered jobs really did resume rather than restart: at least
+  // one replays a "resumed" event (a job that finished pre-kill keeps its
+  // terminal record instead — also fine, but with a 1.5 s kill against
+  // multi-second jobs all three should be mid-flight).
+  int resumed = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto ev = run_tool(F3D_SUBMIT_PATH,
+                             {"--socket", daemon.socket, "events",
+                              std::to_string(i + 1), "--no-follow"});
+    if (ev.output.find("\"event\":\"resumed\"") != std::string::npos) {
+      ++resumed;
+    }
+  }
+  EXPECT_GE(resumed, 1) << "no job reported resuming from a checkpoint";
+
+  daemon.shutdown();
+}
+
+TEST(ServeRestartIntegration, CompatModeMatchesDaemonDoneEvent) {
+  // The --serve-compat line of a batch run and the daemon's done event for
+  // the same pinned job must be byte-identical after normalizing the job
+  // id — both sides serialize through the same done_event_line().
+  const char* kN = "12";
+  const char* kSteps = "40";
+  const auto batch = run_tool(
+      F3D_RUN_PATH, {"--case", "cube", "--n", kN, "--steps", kSteps,
+                     "--wall", "--pulse", "0.05", "--threads", "2",
+                     "--serve-compat"});
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  const std::string tag = "serve-compat: ";
+  const auto at = batch.output.find(tag);
+  ASSERT_NE(at, std::string::npos) << batch.output;
+  auto end = batch.output.find('\n', at);
+  std::string compat =
+      batch.output.substr(at + tag.size(), end - at - tag.size());
+  // Batch mode stamps job 0; the daemon will assign id 1.
+  const std::string from = "\"job\":0";
+  const auto jat = compat.find(from);
+  ASSERT_NE(jat, std::string::npos) << compat;
+  compat.replace(jat, from.size(), "\"job\":1");
+
+  Daemon daemon;
+  daemon.socket = test_dir("compat") + "/d.sock";
+  daemon.state = test_dir("compat_state");
+  daemon.spawn();
+  if (::testing::Test::HasFatalFailure()) return;
+  const auto sub = run_tool(
+      F3D_SUBMIT_PATH,
+      {"--socket", daemon.socket, "submit", "--case", "cube", "--n", kN,
+       "--steps", kSteps, "--wall", "--pulse", "0.05", "--threads", "2",
+       "--events"});
+  ASSERT_EQ(sub.exit_code, 0) << sub.output;
+  EXPECT_NE(sub.output.find(compat), std::string::npos)
+      << "daemon done event differs from --serve-compat:\n"
+      << compat << "\nvs\n"
+      << sub.output;
+  daemon.shutdown();
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// The wire JSON value: exact double round-trips, deterministic dumps,
+// and a strict parser that rejects everything the protocol must reject.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace {
+
+using f3d::serve::Json;
+
+TEST(Json, DumpSortsKeysDeterministically) {
+  Json j;
+  j["zulu"] = 1;
+  j["alpha"] = 2;
+  j["mike"] = 3;
+  EXPECT_EQ(j.dump(), R"({"alpha":2,"mike":3,"zulu":1})");
+}
+
+TEST(Json, DoublesRoundTripBitwise) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           2.2780666679499829e-14,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           -1.8905259173795150e-05};
+  for (const double want : values) {
+    Json j;
+    j["residual"] = want;
+    const auto back = Json::parse(j.dump());
+    ASSERT_TRUE(back.has_value()) << j.dump();
+    const double got = back->get_double("residual");
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof got), 0)
+        << "double did not survive the wire: " << j.dump();
+  }
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  Json j;
+  j["nan"] = std::nan("");
+  j["inf"] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(j.dump(), R"({"inf":null,"nan":null})");
+}
+
+TEST(Json, IntegersPrintWithoutDecimalPoint) {
+  Json j;
+  j["job"] = 42;
+  j["steps"] = 5000;
+  EXPECT_EQ(j.dump(), R"({"job":42,"steps":5000})");
+}
+
+TEST(Json, StringEscapingRoundTrips) {
+  Json j;
+  j["s"] = std::string("line\nquote\"back\\slash\ttab\x01");
+  const auto back = Json::parse(j.dump());
+  ASSERT_TRUE(back.has_value()) << j.dump();
+  EXPECT_EQ(back->get_string("s"), "line\nquote\"back\\slash\ttab\x01");
+}
+
+TEST(Json, ParsesNestedValues) {
+  const auto j = Json::parse(
+      R"({"jobs":[{"id":1,"ok":true},{"id":2,"ok":false}],"n":null})");
+  ASSERT_TRUE(j.has_value());
+  ASSERT_TRUE(j->find("jobs")->is_array());
+  EXPECT_EQ(j->find("jobs")->array().size(), 2u);
+  EXPECT_EQ(j->find("jobs")->array()[1].get_int("id"), 2);
+  EXPECT_TRUE(j->find("n")->is_null());
+}
+
+TEST(Json, SurrogatePairsDecode) {
+  const auto j = Json::parse(R"({"s":"\ud83d\ude00"})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->get_string("s"), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(Json, MalformedInputsAreRejectedWithAnError) {
+  const char* bad[] = {
+      "",                         // empty
+      "{",                        // unterminated object
+      "{\"a\":1,}",               // trailing comma
+      "{\"a\" 1}",                // missing colon
+      "{'a':1}",                  // wrong quotes
+      "[1 2]",                    // missing comma
+      "01",                       // leading zero
+      "1.",                       // digit required after point
+      "1e",                       // digit required in exponent
+      "nul",                      // bad literal
+      "\"\\q\"",                  // bad escape
+      "\"\\ud800\"",              // lone high surrogate
+      "\"\\udc00\"",              // lone low surrogate
+      "\"\x01\"",                 // raw control character
+      "{} {}",                    // trailing garbage
+      "{\"a\":1} x",              // trailing garbage after value
+      "1e999",                    // out of double range
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(text, &error).has_value())
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Json, DepthLimitRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  for (int i = 0; i < 80; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(Json::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+  // 32 levels is comfortably inside the limit.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_TRUE(Json::parse(ok).has_value());
+}
+
+TEST(Json, TypedGettersFallBackOnMissingOrWrongType) {
+  const auto j = Json::parse(R"({"s":"x","n":3,"b":true})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->get_string("s"), "x");
+  EXPECT_EQ(j->get_string("n", "fallback"), "fallback");  // wrong type
+  EXPECT_EQ(j->get_int("missing", 7), 7);
+  EXPECT_EQ(j->get_double("b", 2.5), 2.5);  // wrong type
+  EXPECT_TRUE(j->get_bool("b"));
+  EXPECT_EQ(j->find("missing"), nullptr);
+}
+
+TEST(Json, DumpNeverContainsNewlines) {
+  Json j;
+  j["multi"] = std::string("a\nb\rc");
+  Json::Array arr;
+  arr.push_back(j);
+  arr.push_back(Json("x\ny"));
+  const std::string line = Json(std::move(arr)).dump();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// The scheduler's three pure decisions: dispatch order, fair-share lane
+// splits, and preemption victims.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using f3d::serve::fair_shares;
+using f3d::serve::pick_next;
+using f3d::serve::pick_victim;
+using f3d::serve::SchedJob;
+
+SchedJob job(std::uint64_t id, std::uint64_t seq, int priority,
+             int pinned = 0) {
+  return SchedJob{id, seq, priority, pinned};
+}
+
+TEST(Scheduler, PickNextEmptyQueueIsNullopt) {
+  EXPECT_FALSE(pick_next({}).has_value());
+}
+
+TEST(Scheduler, PickNextPrefersHigherPriority) {
+  const std::vector<SchedJob> q = {job(1, 1, 0), job(2, 2, 5), job(3, 3, 3)};
+  ASSERT_TRUE(pick_next(q).has_value());
+  EXPECT_EQ(*pick_next(q), 1u);  // id 2, priority 5
+}
+
+TEST(Scheduler, PickNextIsFifoWithinAPriorityClass) {
+  const std::vector<SchedJob> q = {job(7, 30, 2), job(8, 10, 2),
+                                   job(9, 20, 2)};
+  EXPECT_EQ(*pick_next(q), 1u);  // id 8 arrived first (seq 10)
+}
+
+TEST(Scheduler, PreemptedJobKeepsSeniorityOverLaterArrivals) {
+  // A preempted job re-enters the queue with its ORIGINAL seq: it must
+  // dispatch ahead of an equal-priority job submitted after it.
+  const std::vector<SchedJob> q = {job(5, 50, 1),   // later arrival
+                                   job(2, 20, 1)};  // preempted, original seq
+  EXPECT_EQ(*pick_next(q), 1u);
+}
+
+TEST(Scheduler, FairSharesEmptyInputIsEmpty) {
+  EXPECT_TRUE(fair_shares(8, {}).empty());
+}
+
+TEST(Scheduler, FairSharesSplitsAutoJobsEqually) {
+  EXPECT_EQ(fair_shares(8, {0, 0}), (std::vector<int>{4, 4}));
+  EXPECT_EQ(fair_shares(6, {0, 0, 0}), (std::vector<int>{2, 2, 2}));
+}
+
+TEST(Scheduler, FairSharesBiasesRemainderToEarlierJobs) {
+  EXPECT_EQ(fair_shares(7, {0, 0}), (std::vector<int>{4, 3}));
+  EXPECT_EQ(fair_shares(8, {0, 0, 0}), (std::vector<int>{3, 3, 2}));
+}
+
+TEST(Scheduler, FairSharesHonorsPinsExactly) {
+  // Pins are promises (reproducible lane counts); the rest is divided.
+  EXPECT_EQ(fair_shares(8, {2, 0, 0}), (std::vector<int>{2, 3, 3}));
+  EXPECT_EQ(fair_shares(8, {8, 0}), (std::vector<int>{8, 1}));
+}
+
+TEST(Scheduler, FairSharesNeverDropsBelowOneLane) {
+  // More jobs than lanes: everyone still gets a lane (oversubscription
+  // beats starvation on a shared host).
+  EXPECT_EQ(fair_shares(2, {0, 0, 0, 0}), (std::vector<int>{1, 1, 1, 1}));
+  // Pins exceeding the pool do not push auto jobs to zero.
+  EXPECT_EQ(fair_shares(4, {4, 4, 0}), (std::vector<int>{4, 4, 1}));
+}
+
+TEST(Scheduler, FairSharesAutoJobsConsumeWholePool) {
+  for (int total = 1; total <= 16; ++total) {
+    for (int jobs = 1; jobs <= 5; ++jobs) {
+      const auto shares = fair_shares(total, std::vector<int>(
+                                                 static_cast<std::size_t>(jobs),
+                                                 0));
+      const int sum = std::accumulate(shares.begin(), shares.end(), 0);
+      EXPECT_EQ(sum, std::max(total, jobs))
+          << "total=" << total << " jobs=" << jobs;
+      for (const int s : shares) EXPECT_GE(s, 1);
+    }
+  }
+}
+
+TEST(Scheduler, PickVictimNeedsAStrictlyWeakerJob) {
+  const std::vector<SchedJob> running = {job(1, 1, 3), job(2, 2, 5)};
+  EXPECT_FALSE(pick_victim(running, 3).has_value());  // equal is not enough
+  EXPECT_FALSE(pick_victim(running, 2).has_value());
+  ASSERT_TRUE(pick_victim(running, 4).has_value());
+  EXPECT_EQ(*pick_victim(running, 4), 0u);  // only priority 3 is below 4
+}
+
+TEST(Scheduler, PickVictimTakesTheWeakestJob) {
+  const std::vector<SchedJob> running = {job(1, 1, 4), job(2, 2, 1),
+                                         job(3, 3, 2)};
+  EXPECT_EQ(*pick_victim(running, 9), 1u);  // priority 1 is weakest
+}
+
+TEST(Scheduler, PickVictimBreaksTiesTowardTheYoungest) {
+  // Same priority: the job with the least seniority (highest seq) yields.
+  const std::vector<SchedJob> running = {job(1, 10, 2), job(2, 30, 2),
+                                         job(3, 20, 2)};
+  EXPECT_EQ(*pick_victim(running, 5), 1u);  // seq 30 arrived last
+}
+
+TEST(Scheduler, PickVictimEmptyRunningSetIsNullopt) {
+  EXPECT_FALSE(pick_victim({}, 9).has_value());
+}
+
+}  // namespace

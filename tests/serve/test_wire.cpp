@@ -1,0 +1,171 @@
+// Framing layer: newline-delimited lines over a socketpair, the 1 MiB
+// line cap, and fd ownership semantics.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+using f3d::serve::kMaxLine;
+using f3d::serve::LineReader;
+using f3d::serve::Socket;
+using f3d::serve::write_line;
+
+struct Pair {
+  Socket a, b;
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+TEST(Wire, LinesRoundTripAcrossASocketpair) {
+  Pair p;
+  ASSERT_TRUE(write_line(p.a.fd(), R"({"op":"ping"})"));
+  ASSERT_TRUE(write_line(p.a.fd(), "second"));
+  LineReader reader(p.b.fd());
+  std::string line;
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line, R"({"op":"ping"})");
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line, "second");
+}
+
+TEST(Wire, SplitWritesReassembleIntoOneLine) {
+  Pair p;
+  const std::string half1 = "{\"op\":\"sub";
+  const std::string half2 = "mit\"}\n";
+  ASSERT_EQ(::send(p.a.fd(), half1.data(), half1.size(), 0),
+            static_cast<ssize_t>(half1.size()));
+  std::thread later([&] {
+    ASSERT_EQ(::send(p.a.fd(), half2.data(), half2.size(), 0),
+              static_cast<ssize_t>(half2.size()));
+  });
+  LineReader reader(p.b.fd());
+  std::string line;
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line, R"({"op":"submit"})");
+  later.join();
+}
+
+TEST(Wire, EofAtLineBoundaryIsOrderly) {
+  Pair p;
+  ASSERT_TRUE(write_line(p.a.fd(), "last"));
+  p.a.close();
+  LineReader reader(p.b.fd());
+  std::string line;
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line, "last");
+  EXPECT_EQ(reader.next_line(&line), LineReader::Result::kEof);
+}
+
+TEST(Wire, OversizedLineIsRejectedAndSticky) {
+  Pair p;
+  // Stream kMaxLine bytes with no terminator: the reader must flag the
+  // peer without waiting for a newline that may never come.
+  const std::string chunk(1 << 16, 'x');
+  std::size_t sent = 0;
+  std::thread writer([&] {
+    while (sent <= kMaxLine) {
+      const ssize_t n = ::send(p.a.fd(), chunk.data(), chunk.size(), 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  });
+  LineReader reader(p.b.fd());
+  std::string line, err;
+  EXPECT_EQ(reader.next_line(&line, &err), LineReader::Result::kOversize);
+  // Oversize is sticky — the connection is poisoned, not resynchronized.
+  EXPECT_EQ(reader.next_line(&line, &err), LineReader::Result::kOversize);
+  p.b.close();  // unblock the writer
+  writer.join();
+}
+
+TEST(Wire, MaxSizeLineStillPasses) {
+  Pair p;
+  const std::string line_in(kMaxLine - 1, 'y');  // + '\n' == kMaxLine
+  std::thread writer([&] { ASSERT_TRUE(write_line(p.a.fd(), line_in)); });
+  LineReader reader(p.b.fd());
+  std::string line;
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line.size(), kMaxLine - 1);
+  writer.join();
+}
+
+TEST(Wire, WriteToClosedPeerFails) {
+  Pair p;
+  p.b.close();
+  std::string err;
+  // The first write may land in the kernel buffer; keep writing until the
+  // failure surfaces (no SIGPIPE either way).
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !write_line(p.a.fd(), std::string(4096, 'z'), &err);
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(Wire, SocketMoveTransfersOwnership) {
+  Pair p;
+  const int fd = p.a.fd();
+  Socket moved = std::move(p.a);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(p.a.valid());
+  const int released = moved.release();
+  EXPECT_EQ(released, fd);
+  EXPECT_FALSE(moved.valid());
+  EXPECT_EQ(::close(released), 0);  // we own it after release
+}
+
+TEST(Wire, ConnectToMissingPathFails) {
+  std::string err;
+  const Socket s =
+      f3d::serve::connect_unix("/nonexistent/dir/absent.sock", &err);
+  EXPECT_FALSE(s.valid());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Wire, ListenAcceptConnectRoundTrip) {
+  const std::string path = ::testing::TempDir() + "llp_wire_test.sock";
+  std::string err;
+  Socket listener = f3d::serve::listen_unix(path, 4, &err);
+  ASSERT_TRUE(listener.valid()) << err;
+  // Re-binding the same path must work (stale socket files are removed)…
+  Socket listener2 = f3d::serve::listen_unix(path, 4, &err);
+  ASSERT_TRUE(listener2.valid()) << err;
+  listener.close();
+
+  Socket client = f3d::serve::connect_unix(path, &err);
+  ASSERT_TRUE(client.valid()) << err;
+  Socket served =
+      f3d::serve::accept_with_timeout(listener2.fd(), 1000, &err);
+  ASSERT_TRUE(served.valid()) << err;
+
+  ASSERT_TRUE(write_line(client.fd(), "hello"));
+  LineReader reader(served.fd());
+  std::string line;
+  ASSERT_EQ(reader.next_line(&line), LineReader::Result::kLine);
+  EXPECT_EQ(line, "hello");
+  ::unlink(path.c_str());
+}
+
+TEST(Wire, AcceptTimesOutQuietly) {
+  const std::string path = ::testing::TempDir() + "llp_wire_timeout.sock";
+  std::string err;
+  Socket listener = f3d::serve::listen_unix(path, 4, &err);
+  ASSERT_TRUE(listener.valid()) << err;
+  Socket s = f3d::serve::accept_with_timeout(listener.fd(), 10, &err);
+  EXPECT_FALSE(s.valid());
+  EXPECT_TRUE(err.empty()) << err;  // timeout is not an error
+  ::unlink(path.c_str());
+}
+
+}  // namespace

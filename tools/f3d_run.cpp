@@ -40,6 +40,10 @@
 //     --analyze-log FILE also save the last access log of every region to
 //                        FILE for `llp_check replay` (implies --analyze;
 //                        wins over LLP_ANALYZE_LOG)
+//     --serve-compat     also print the run's completion as the serve
+//                        daemon's terminal "done" event line, so batch and
+//                        daemon runs are byte-comparable (both format the
+//                        residual through the same %.17g path)
 //
 // All numeric flags are validated: non-numeric, non-finite, or
 // out-of-range values (zero grid dims, nonpositive CFL, ...) are a usage
@@ -74,6 +78,7 @@
 #include "perf/advisor.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
+#include "serve/job.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -90,7 +95,7 @@ namespace {
                "  [--max-recoveries N] [--checkpoint-every N] [--fault SPEC]\n"
                "  [--ckpt-dir D] [--ckpt-every N] [--keep-generations K]\n"
                "  [--restart[=auto]] [--trace F] [--trace-buffer N]\n"
-               "  [--analyze] [--analyze-log F]\n");
+               "  [--analyze] [--analyze-log F] [--serve-compat]\n");
   std::exit(2);
 }
 
@@ -121,6 +126,7 @@ struct Options {
   long trace_buffer = 0;  // 0 = default / LLP_TRACE_BUFFER
   bool analyze = false;
   std::string analyze_log;
+  bool serve_compat = false;
 };
 
 // Strict numeric parsing: the whole token must convert, and the value must
@@ -208,6 +214,8 @@ Options parse(int argc, char** argv) {
     } else if (a == "--analyze-log") {
       o.analyze = true;
       o.analyze_log = need(i++);
+    } else if (a == "--serve-compat") {
+      o.serve_compat = true;
     } else if (a == "--restart") {
       o.restart = Restart::kStrict;
     } else if (a == "--restart=auto") {
@@ -422,6 +430,16 @@ int run_main(const Options& o) {
               llp::perf::mflops(solver->flops_per_step(), per_step),
               per_step);
   std::printf("final residual %.17g\n", solver->residual());
+  if (o.serve_compat) {
+    // The exact line the serve daemon would emit for this run — shared
+    // serializer, shared %.17g path — so batch/daemon parity is testable
+    // by string comparison. Batch runs are "job 0".
+    std::printf("serve-compat: %s\n",
+                f3d::serve::done_event_line(0, f3d::serve::JobState::kDone,
+                                            solver->steps_taken(),
+                                            solver->residual())
+                    .c_str());
+  }
   std::printf("solution checksum: %016llx\n",
               static_cast<unsigned long long>(f3d::checksum(grid)));
 

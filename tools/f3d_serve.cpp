@@ -1,0 +1,121 @@
+// f3d_serve — the multi-tenant solver daemon.
+//
+//   f3d_serve --socket PATH [options]
+//     --socket PATH      unix socket to listen on                (required)
+//     --state DIR        durable state root (job records + per-job
+//                        checkpoint generations); omit for a
+//                        non-durable daemon
+//     --threads T        lanes fair-shared across running jobs
+//                        (default: runtime default)
+//     --max-jobs N       concurrently running jobs               (default: 4)
+//     --keep-generations K  checkpoint generations kept per job  (default: 3)
+//
+// Speaks the line-delimited JSON protocol of src/serve (ops: ping,
+// submit, status, list, cancel, events, wait, drain, shutdown). Each job
+// runs on its own llp::Runtime; higher-priority submissions preempt lower
+// ones through a durable checkpoint, and a killed daemon restarted on the
+// same --state directory resumes every in-flight job from its newest
+// intact generation.
+//
+// Exits 0 on a clean shutdown (signal or shutdown op), 1 when the socket
+// cannot be bound, 2 on usage errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "f3d_serve: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: f3d_serve --socket PATH [--state DIR] [--threads T]\n"
+               "  [--max-jobs N] [--keep-generations K]\n");
+  std::exit(2);
+}
+
+long parse_int(const std::string& flag, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    usage(flag + "=" + s + " out of range [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  f3d::serve::ServerConfig cfg;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") cfg.socket_path = need(i++);
+    else if (a == "--state") cfg.state_dir = need(i++);
+    else if (a == "--threads") {
+      cfg.total_threads = static_cast<int>(parse_int(a, need(i++), 1, 1 << 12));
+    } else if (a == "--max-jobs") {
+      cfg.max_running = static_cast<int>(parse_int(a, need(i++), 1, 1 << 10));
+    } else if (a == "--keep-generations") {
+      cfg.keep_generations =
+          static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--help" || a == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+  if (cfg.socket_path.empty()) usage("--socket is required");
+
+  // The daemon dies on explicit request only; a dropped client must never
+  // take it down with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  f3d::serve::Server server(cfg);
+  try {
+    server.start();
+  } catch (const llp::Error& e) {
+    std::fprintf(stderr, "f3d_serve: %s\n", e.what());
+    return 1;
+  }
+
+  int recovered = 0;
+  for (const auto& s : server.list()) {
+    if (!f3d::serve::is_terminal(s.state)) ++recovered;
+  }
+  std::printf("f3d_serve: listening on %s (threads=%d max-jobs=%d state=%s)\n",
+              cfg.socket_path.c_str(), server.config().total_threads,
+              cfg.max_running,
+              cfg.state_dir.empty() ? "<none>" : cfg.state_dir.c_str());
+  if (recovered > 0) {
+    std::printf("f3d_serve: recovered %d in-flight job%s\n", recovered,
+                recovered == 1 ? "" : "s");
+  }
+  std::fflush(stdout);
+
+  while (g_signalled == 0 && !server.shutdown_requested()) {
+    server.wait_shutdown(0.2);
+  }
+  std::printf("f3d_serve: shutting down (%s)\n",
+              g_signalled != 0 ? "signal" : "shutdown op");
+  std::fflush(stdout);
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,288 @@
+// f3d_submit — client CLI for the f3d_serve daemon.
+//
+//   f3d_submit --socket PATH COMMAND [args]
+//
+//   commands:
+//     ping
+//     submit [--name S] [--case C] [--scale S] [--n N] [--steps N]
+//            [--cfl X] [--mode M] [--wall] [--pulse A] [--priority P]
+//            [--threads T] [--ckpt-every N] [--wait] [--events]
+//     status JOB
+//     list
+//     cancel JOB
+//     events JOB [--from N] [--no-follow]
+//     wait JOB [--timeout-ms N]
+//     drain
+//     shutdown
+//
+// `submit` prints the new job id; with --wait it blocks to completion and
+// reports "final residual %.17g" in exactly f3d_run's format (the two
+// front ends answer with the same bytes for the same run). With --events
+// it streams the job's event lines instead.
+//
+// Exit codes: 0 success (a waited job finished "done"), 1 server-side
+// error or a waited job that failed/was cancelled, 2 usage error,
+// 3 cannot connect.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+
+namespace {
+
+using f3d::serve::Client;
+using f3d::serve::Json;
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "f3d_submit: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: f3d_submit --socket PATH COMMAND [args]\n"
+               "  commands: ping | submit | status JOB | list | cancel JOB\n"
+               "            | events JOB | wait JOB | drain | shutdown\n");
+  std::exit(2);
+}
+
+long parse_int(const std::string& flag, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    usage(flag + "=" + s + " out of range [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double parse_num(const std::string& flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants a number, got '" + s + "'");
+  }
+  return v;
+}
+
+// One request/response round trip; prints the response line. Returns the
+// protocol-level success flag.
+bool roundtrip(Client& client, const Json& req, Json* response) {
+  std::string err;
+  if (!client.request(req, response, &err)) {
+    std::fprintf(stderr, "f3d_submit: %s\n", err.c_str());
+    std::exit(1);
+  }
+  return response->get_bool("ok", false);
+}
+
+// Stream a job's events to stdout until its terminal "done" event.
+// Returns that event's state name ("" when the stream ended early).
+std::string stream_events(Client& client, long job, long from, bool follow) {
+  Json req;
+  req["op"] = "events";
+  req["job"] = static_cast<double>(job);
+  req["from"] = static_cast<double>(from);
+  req["follow"] = follow;
+  std::string err;
+  if (!client.send(req, &err)) {
+    std::fprintf(stderr, "f3d_submit: %s\n", err.c_str());
+    std::exit(1);
+  }
+  std::string final_state;
+  while (true) {
+    auto line = client.read_json_line(&err);
+    if (!line.has_value()) {
+      if (follow && final_state.empty()) {
+        std::fprintf(stderr, "f3d_submit: event stream ended: %s\n",
+                     err.c_str());
+      }
+      break;
+    }
+    std::printf("%s\n", line->dump().c_str());
+    if (line->find("ok") != nullptr && !line->get_bool("ok", true)) {
+      std::exit(1);  // server refused the stream (unknown job)
+    }
+    if (line->get_string("event") == "done") {
+      final_state = line->get_string("state");
+      break;
+    }
+    if (line->find("end") != nullptr) break;  // early end-of-stream marker
+    if (!follow && line->get_string("event").empty()) break;
+  }
+  std::fflush(stdout);
+  return final_state;
+}
+
+int finish_wait(const Json& status) {
+  const std::string state = status.get_string("state");
+  if (state == "done") {
+    std::printf("final residual %.17g\n", status.get_double("residual"));
+    return 0;
+  }
+  std::fprintf(stderr, "f3d_submit: job finished %s%s%s\n", state.c_str(),
+               status.get_string("error").empty() ? "" : ": ",
+               status.get_string("error").c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  std::string socket_path;
+  int i = 1;
+  if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
+    socket_path = argv[i + 1];
+    i += 2;
+  }
+  if (socket_path.empty()) usage("--socket PATH must come first");
+  if (i >= argc) usage("missing command");
+  const std::string cmd = argv[i++];
+  if (cmd != "ping" && cmd != "drain" && cmd != "shutdown" &&
+      cmd != "list" && cmd != "submit" && cmd != "status" &&
+      cmd != "cancel" && cmd != "events" && cmd != "wait") {
+    usage("unknown command " + cmd);
+  }
+
+  std::string err;
+  Client client = Client::connect(socket_path, &err);
+  if (!client.connected()) {
+    std::fprintf(stderr, "f3d_submit: %s\n", err.c_str());
+    return 3;
+  }
+
+  auto need = [&](const std::string& flag) -> const char* {
+    if (i >= argc) usage("missing value for " + flag);
+    return argv[i++];
+  };
+
+  if (cmd == "ping" || cmd == "drain" || cmd == "shutdown" || cmd == "list") {
+    if (i != argc) usage(cmd + " takes no arguments");
+    Json req;
+    req["op"] = cmd;
+    Json resp;
+    const bool ok = roundtrip(client, req, &resp);
+    std::printf("%s\n", resp.dump().c_str());
+    return ok ? 0 : 1;
+  }
+
+  if (cmd == "submit") {
+    Json spec;
+    bool wait_done = false;
+    bool stream = false;
+    while (i < argc) {
+      const std::string a = argv[i++];
+      if (a == "--name") spec["name"] = need(a);
+      else if (a == "--case") spec["case"] = need(a);
+      else if (a == "--scale") spec["scale"] = parse_num(a, need(a));
+      else if (a == "--n") {
+        spec["n"] = static_cast<double>(parse_int(a, need(a), 4, 1 << 12));
+      } else if (a == "--steps") {
+        spec["steps"] =
+            static_cast<double>(parse_int(a, need(a), 1, 1 << 24));
+      } else if (a == "--cfl") spec["cfl"] = parse_num(a, need(a));
+      else if (a == "--mode") spec["mode"] = need(a);
+      else if (a == "--wall") spec["wall"] = true;
+      else if (a == "--pulse") spec["pulse"] = parse_num(a, need(a));
+      else if (a == "--priority") {
+        spec["priority"] = static_cast<double>(parse_int(a, need(a), 0, 9));
+      } else if (a == "--threads") {
+        spec["threads"] =
+            static_cast<double>(parse_int(a, need(a), 0, 1 << 12));
+      } else if (a == "--ckpt-every") {
+        spec["ckpt_every"] =
+            static_cast<double>(parse_int(a, need(a), 0, 1 << 24));
+      } else if (a == "--wait") wait_done = true;
+      else if (a == "--events") stream = true;
+      else usage("unknown submit option " + a);
+    }
+    Json req;
+    req["op"] = "submit";
+    req["spec"] = spec;
+    Json resp;
+    if (!roundtrip(client, req, &resp)) {
+      std::fprintf(stderr, "f3d_submit: %s\n",
+                   resp.get_string("error", "submit failed").c_str());
+      return 1;
+    }
+    const long job = static_cast<long>(resp.get_int("job"));
+    std::printf("job %ld\n", job);
+    std::fflush(stdout);
+    if (stream) {
+      const std::string state = stream_events(client, job, 0, true);
+      return state == "done" ? 0 : 1;
+    }
+    if (wait_done) {
+      Json wreq;
+      wreq["op"] = "wait";
+      wreq["job"] = static_cast<double>(job);
+      Json wresp;
+      if (!roundtrip(client, wreq, &wresp)) {
+        std::fprintf(stderr, "f3d_submit: %s\n",
+                     wresp.get_string("error", "wait failed").c_str());
+        return 1;
+      }
+      return finish_wait(wresp);
+    }
+    return 0;
+  }
+
+  if (cmd == "status" || cmd == "cancel") {
+    if (i >= argc) usage(cmd + " needs a job id");
+    const long job = parse_int(cmd, argv[i++], 0, 1L << 62);
+    if (i != argc) usage(cmd + " takes one job id");
+    Json req;
+    req["op"] = cmd;
+    req["job"] = static_cast<double>(job);
+    Json resp;
+    const bool ok = roundtrip(client, req, &resp);
+    std::printf("%s\n", resp.dump().c_str());
+    return ok ? 0 : 1;
+  }
+
+  if (cmd == "events") {
+    if (i >= argc) usage("events needs a job id");
+    const long job = parse_int(cmd, argv[i++], 0, 1L << 62);
+    long from = 0;
+    bool follow = true;
+    while (i < argc) {
+      const std::string a = argv[i++];
+      if (a == "--from") from = parse_int(a, need(a), 0, 1L << 62);
+      else if (a == "--no-follow") follow = false;
+      else usage("unknown events option " + a);
+    }
+    stream_events(client, job, from, follow);
+    return 0;
+  }
+
+  if (cmd == "wait") {
+    if (i >= argc) usage("wait needs a job id");
+    const long job = parse_int(cmd, argv[i++], 0, 1L << 62);
+    long timeout_ms = -1;
+    while (i < argc) {
+      const std::string a = argv[i++];
+      if (a == "--timeout-ms") {
+        timeout_ms = parse_int(a, need(a), 0, 1L << 50);
+      } else {
+        usage("unknown wait option " + a);
+      }
+    }
+    Json req;
+    req["op"] = "wait";
+    req["job"] = static_cast<double>(job);
+    if (timeout_ms >= 0) req["timeout_ms"] = static_cast<double>(timeout_ms);
+    Json resp;
+    if (!roundtrip(client, req, &resp)) {
+      std::fprintf(stderr, "f3d_submit: %s\n",
+                   resp.get_string("error", "wait failed").c_str());
+      return 1;
+    }
+    return finish_wait(resp);
+  }
+
+  usage("unreachable command " + cmd);
+}
