@@ -13,13 +13,17 @@
 // overhead regression, and also prints how many region invocations the ON
 // run actually checked (a zero would mean the guard proved nothing).
 //
-//   micro_analyze_overhead [--scale S] [--steps N] [--repeats R]
+// Results also land as one JSON line in BENCH_micro.json (shared with the
+// other micro benches; --out overrides the path).
+//
+//   micro_analyze_overhead [--scale S] [--steps N] [--repeats R] [--out PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "analyze/analyzer.hpp"
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "util/format.hpp"
 
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   double scale = 0.12;
   int steps = 5;
   int repeats = 3;
+  std::string out = "BENCH_micro.json";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -61,10 +66,11 @@ int main(int argc, char** argv) {
     if (a == "--scale" && (v = next())) scale = std::atof(v);
     else if (a == "--steps" && (v = next())) steps = std::atoi(v);
     else if (a == "--repeats" && (v = next())) repeats = std::atoi(v);
+    else if (a == "--out" && (v = next())) out = v;
     else {
       std::fprintf(stderr,
                    "usage: micro_analyze_overhead [--scale S] [--steps N] "
-                   "[--repeats R]\n");
+                   "[--repeats R] [--out PATH]\n");
       return 2;
     }
   }
@@ -119,6 +125,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: f3d step is expected to be race-free\n");
     ok = false;
   }
+  bench::JsonRecord rec;
+  rec.set("bench", "micro_analyze_overhead")
+      .set("scale", scale)
+      .set("steps", steps)
+      .set("repeats", repeats)
+      .set("threads", llp::num_threads())
+      .set("off_ms_per_step", off * 1e3)
+      .set("on_ms_per_step", on * 1e3)
+      .set("ratio", ratio)
+      .set("budget_ratio", 3.0)
+      .set("checked", checked)
+      .set("findings", static_cast<unsigned long long>(findings))
+      .set("ok", ok);
+  if (!bench::upsert_json_line(out, "micro_analyze_overhead", rec)) {
+    std::fprintf(stderr, "micro_analyze_overhead: cannot write %s\n",
+                 out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+
   std::printf("%s\n", ok ? "analyze overhead: OK" : "analyze overhead: FAIL");
   return ok ? 0 : 1;
 }

@@ -4,16 +4,18 @@
 // overhead — event emission rides region/lane/chunk boundaries, never
 // per-iteration, so the cost must vanish against real step work.
 //
-//   micro_trace_overhead [--scale S] [--steps N] [--repeats R]
+//   micro_trace_overhead [--scale S] [--steps N] [--repeats R] [--out PATH]
 //
 // scale = 1 is the full 1M-point case; the default keeps the smoke test in
 // seconds. Timing takes the best of R repeats per configuration to shed
-// scheduler noise.
+// scheduler noise. Results also land as one JSON line in BENCH_micro.json
+// (shared with the other micro benches; --out overrides the path).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "obs/obs.hpp"
 #include "util/format.hpp"
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   double scale = 0.12;
   int steps = 5;
   int repeats = 3;
+  std::string out = "BENCH_micro.json";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -56,10 +59,11 @@ int main(int argc, char** argv) {
     if (a == "--scale" && (v = next())) scale = std::atof(v);
     else if (a == "--steps" && (v = next())) steps = std::atoi(v);
     else if (a == "--repeats" && (v = next())) repeats = std::atoi(v);
+    else if (a == "--out" && (v = next())) out = v;
     else {
       std::fprintf(stderr,
                    "usage: micro_trace_overhead [--scale S] [--steps N] "
-                   "[--repeats R]\n");
+                   "[--repeats R] [--out PATH]\n");
       return 2;
     }
   }
@@ -88,6 +92,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tracer.dropped()));
   std::printf("\nper-region latency (traced runs):\n%s",
               tracer.summary().c_str());
+
+  bench::JsonRecord rec;
+  rec.set("bench", "micro_trace_overhead")
+      .set("scale", scale)
+      .set("steps", steps)
+      .set("repeats", repeats)
+      .set("threads", llp::num_threads())
+      .set("untraced_ms_per_step", untraced * 1e3)
+      .set("traced_ms_per_step", traced * 1e3)
+      .set("overhead_pct", overhead)
+      .set("target_pct", 2.0)
+      .set("events_accepted",
+           static_cast<unsigned long long>(tracer.accepted()))
+      .set("events_dropped",
+           static_cast<unsigned long long>(tracer.dropped()));
+  if (!bench::upsert_json_line(out, "micro_trace_overhead", rec)) {
+    std::fprintf(stderr, "micro_trace_overhead: cannot write %s\n",
+                 out.c_str());
+    llp::obs::uninstall();
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   llp::obs::uninstall();
   return 0;
 }

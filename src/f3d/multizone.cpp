@@ -1,18 +1,25 @@
 #include "f3d/multizone.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace f3d {
 
 MultiZoneGrid::MultiZoneGrid(const std::vector<ZoneDims>& dims, double h)
     : h_(h) {
-  LLP_REQUIRE(!dims.empty(), "need at least one zone");
-  LLP_REQUIRE(h > 0.0, "spacing must be positive");
+  if (dims.empty()) throw llp::ValidationError("need at least one zone");
+  if (!std::isfinite(h) || h <= 0.0) {
+    throw llp::ValidationError("spacing must be finite and positive");
+  }
   for (std::size_t i = 1; i < dims.size(); ++i) {
-    LLP_REQUIRE(dims[i].kmax == dims[0].kmax && dims[i].lmax == dims[0].lmax,
-                "zones must share K/L dimensions");
-    LLP_REQUIRE(dims[i].jmax >= Zone::kGhost && dims[i - 1].jmax >= Zone::kGhost,
-                "zones must be at least kGhost cells deep for the exchange");
+    if (dims[i].kmax != dims[0].kmax || dims[i].lmax != dims[0].lmax) {
+      throw llp::ValidationError("zones must share K/L dimensions");
+    }
+    if (dims[i].jmax < Zone::kGhost || dims[i - 1].jmax < Zone::kGhost) {
+      throw llp::ValidationError(
+          "zones must be at least kGhost cells deep for the exchange");
+    }
   }
   zones_.reserve(dims.size());
   bcs_.resize(dims.size());

@@ -37,11 +37,38 @@ Solver::Solver(MultiZoneGrid& grid, SolverConfig config, llp::Runtime& rt)
   // tracer when LLP_TRACE=file.json — both ride the same observer seam.
   llp::tune::init_from_env();
   llp::obs::init_from_env();
-  LLP_REQUIRE(config_.cfl > 0.0, "cfl must be positive");
-  LLP_REQUIRE(config_.kappa_i >= 0.0, "kappa_i must be nonnegative");
-  LLP_REQUIRE(config_.cfl_growth >= 1.0, "cfl_growth must be >= 1");
-  LLP_REQUIRE(config_.cfl_max >= config_.cfl,
-              "cfl_max must be >= the starting cfl");
+  // Typed rejection of fuzzer-shaped configs: a NaN CFL satisfies no
+  // ordering comparison, so plain > / >= checks would wave it through and
+  // every dt downstream would be NaN.
+  if (!std::isfinite(config_.cfl) || config_.cfl <= 0.0) {
+    throw llp::ValidationError("cfl must be finite and positive");
+  }
+  if (!std::isfinite(config_.kappa_i) || config_.kappa_i < 0.0) {
+    throw llp::ValidationError("kappa_i must be finite and nonnegative");
+  }
+  if (!std::isfinite(config_.cfl_growth) || config_.cfl_growth < 1.0) {
+    throw llp::ValidationError("cfl_growth must be finite and >= 1");
+  }
+  if (!std::isfinite(config_.cfl_max) || config_.cfl_max < config_.cfl) {
+    throw llp::ValidationError(
+        "cfl_max must be finite and >= the starting cfl");
+  }
+  if (!std::isfinite(config_.freestream.mach) ||
+      config_.freestream.mach <= 0.0) {
+    throw llp::ValidationError("free-stream Mach must be finite and positive");
+  }
+  // The 4th-difference dissipation stencil reaches two cells each way; a
+  // zone thinner than 2*kGhost in any direction would fold the stencil
+  // back through its own ghost layers.
+  for (int z = 0; z < grid_.num_zones(); ++z) {
+    const Zone& zn = grid_.zone(z);
+    if (zn.jmax() < kMinZoneDim || zn.kmax() < kMinZoneDim ||
+        zn.lmax() < kMinZoneDim) {
+      throw llp::ValidationError(llp::strfmt(
+          "zone %d dims %dx%dx%d below the stencil minimum of %d per axis",
+          z, zn.jmax(), zn.kmax(), zn.lmax(), kMinZoneDim));
+    }
+  }
   cfl_ = config_.cfl;
   dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
 

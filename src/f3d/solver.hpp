@@ -31,6 +31,12 @@ enum class SweepMode {
   kRisc,    ///< pencil buffers, outer loops parallelized
 };
 
+/// Smallest per-axis zone extent the solver accepts: the 4th-difference
+/// dissipation stencil reaches Zone::kGhost cells each way, so anything
+/// thinner folds the stencil back through its own ghost layers. The Zone
+/// type itself stays permissive (extents >= 1) for non-stencil uses.
+inline constexpr int kMinZoneDim = 2 * Zone::kGhost;
+
 /// Graceful-degradation policy for run_protected(). A "fault" is a step
 /// that threw (lane exception, watchdog timeout) or left the solution
 /// non-finite (NaN/Inf in the residual or any interior cell).

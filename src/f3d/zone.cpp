@@ -1,12 +1,41 @@
 #include "f3d/zone.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace f3d {
 
+ZoneDims Zone::validated(ZoneDims dims) {
+  const int d[3] = {dims.jmax, dims.kmax, dims.lmax};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (d[axis] < 1 || d[axis] > kMaxDim) {
+      throw llp::ValidationError(
+          llp::strfmt("zone dims %dx%dx%d: extent %d outside [1, %d]",
+                      dims.jmax, dims.kmax, dims.lmax, d[axis], kMaxDim));
+    }
+  }
+  // Stepwise division proves the padded element count cannot wrap
+  // std::size_t, independent of how kMaxDim relates to the word size.
+  std::size_t total = static_cast<std::size_t>(kNumVars);
+  constexpr std::size_t kLimit =
+      static_cast<std::size_t>(1) << 58;  // bytes stay under 2^61
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::size_t padded = static_cast<std::size_t>(d[axis]) + 2 * kGhost;
+    if (total > kLimit / padded) {
+      throw llp::ValidationError(
+          llp::strfmt("zone dims %dx%dx%d: padded storage size overflows",
+                      dims.jmax, dims.kmax, dims.lmax));
+    }
+    total *= padded;
+  }
+  return dims;
+}
+
 Zone::Zone(ZoneDims dims, double dx, double dy, double dz, double x0,
            double y0, double z0)
-    : dims_(dims),
+    : dims_(validated(dims)),
       dx_(dx),
       dy_(dy),
       dz_(dz),
@@ -15,9 +44,13 @@ Zone::Zone(ZoneDims dims, double dx, double dy, double dz, double x0,
       z0_(z0),
       storage_(kNumVars, dims.jmax + 2 * kGhost, dims.kmax + 2 * kGhost,
                dims.lmax + 2 * kGhost) {
-  LLP_REQUIRE(dims.jmax >= 1 && dims.kmax >= 1 && dims.lmax >= 1,
-              "zone dims must be >= 1");
-  LLP_REQUIRE(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell sizes must be positive");
+  if (!(std::isfinite(dx) && std::isfinite(dy) && std::isfinite(dz)) ||
+      dx <= 0.0 || dy <= 0.0 || dz <= 0.0) {
+    throw llp::ValidationError("zone cell sizes must be finite and positive");
+  }
+  if (!(std::isfinite(x0) && std::isfinite(y0) && std::isfinite(z0))) {
+    throw llp::ValidationError("zone origin must be finite");
+  }
 }
 
 void Zone::set_freestream(const FreeStream& fs) {

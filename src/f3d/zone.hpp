@@ -26,7 +26,14 @@ struct ZoneDims {
 class Zone {
 public:
   static constexpr int kGhost = 2;
+  /// Largest per-axis extent a zone accepts. Generous (a 2^20-cube is far
+  /// beyond any buildable grid) while keeping the padded storage product
+  /// provably inside std::size_t, so a fuzzer-shaped extent can never wrap
+  /// the allocation size into silent out-of-bounds writes.
+  static constexpr int kMaxDim = 1 << 20;
 
+  /// Throws llp::ValidationError on degenerate dims: any extent < 1 or
+  /// > kMaxDim, or a padded storage size that would overflow.
   Zone(ZoneDims dims, double dx, double dy, double dz, double x0 = 0.0,
        double y0 = 0.0, double z0 = 0.0);
 
@@ -70,6 +77,11 @@ public:
   const llp::Array4D<double>& storage() const noexcept { return storage_; }
 
 private:
+  // Runs in the member-init list, BEFORE storage_ is sized from the dims:
+  // a degenerate extent must be rejected while it is still just three
+  // ints, not after it has been multiplied into an allocation request.
+  static ZoneDims validated(ZoneDims dims);
+
   ZoneDims dims_;
   double dx_, dy_, dz_;
   double x0_, y0_, z0_;

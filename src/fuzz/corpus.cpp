@@ -1,0 +1,91 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::fuzz {
+
+namespace fs = std::filesystem;
+
+void save_case(const std::string& path, const Scenario& scenario,
+               const CaseResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open corpus file for write: " + path);
+  out << "# f3d_fuzz case\n";
+  out << "# signature: " << result.signature() << "\n";
+  if (!result.detail.empty()) out << "# detail: " << result.detail << "\n";
+  out << scenario.to_line() << "\n";
+  out.flush();
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Scenario load_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open corpus file: " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace; skip blanks and comments.
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '#') continue;
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    return Scenario::parse(line.substr(start));
+  }
+  throw ValidationError("corpus file has no scenario line: " + path);
+}
+
+std::vector<std::string> list_cases(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string case_filename(const Scenario& scenario,
+                          const CaseResult& result) {
+  std::string name = result.signature();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '.') {
+      c = '_';
+    }
+  }
+  return strfmt("%s-%llu.case", name.c_str(),
+                static_cast<unsigned long long>(scenario.seed));
+}
+
+bool BucketSet::record(const std::string& signature) {
+  return ++counts_[signature] == 1;
+}
+
+int BucketSet::count(const std::string& signature) const {
+  const auto it = counts_.find(signature);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string BucketSet::summary() const {
+  std::ostringstream out;
+  for (const auto& [sig, n] : counts_) {
+    out << "  " << sig << " x" << n << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace llp::fuzz

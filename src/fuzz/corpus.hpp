@@ -1,0 +1,58 @@
+// Replayable corpus: failures as files, buckets as signatures.
+//
+// Every interesting case is persisted as a *.case file — '#' comment
+// lines carrying the verdict for humans, then the one-line scenario spec
+// — so a failure found by a nightly campaign replays anywhere with
+// `f3d_fuzz --replay file.case`. save/load round-trip exactly (the spec
+// line is the canonical to_line form).
+//
+// BucketSet groups failures by signature (oracle x error type x region):
+// a campaign that hits the same root cause five hundred times shrinks and
+// saves it once.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace llp::fuzz {
+
+/// Write `scenario` (with its verdict as comments) to `path`. Throws
+/// llp::IoError on write failure.
+void save_case(const std::string& path, const Scenario& scenario,
+               const CaseResult& result);
+
+/// Parse the first non-comment, non-empty line of `path` as a scenario.
+/// Throws llp::IoError on read failure, llp::ValidationError on a
+/// malformed spec.
+Scenario load_case(const std::string& path);
+
+/// All *.case files directly under `dir`, sorted by name (deterministic
+/// campaign order). Missing directory => empty list.
+std::vector<std::string> list_cases(const std::string& dir);
+
+/// Filesystem-safe file name for a failure: "<signature>-<seed>.case"
+/// with '/' and other separators flattened to '_'.
+std::string case_filename(const Scenario& scenario, const CaseResult& result);
+
+/// Signature -> occurrence count across a campaign.
+class BucketSet {
+public:
+  /// Record one occurrence; returns true if this signature is new.
+  bool record(const std::string& signature);
+
+  int count(const std::string& signature) const;
+  std::size_t size() const { return counts_.size(); }
+  const std::map<std::string, int>& counts() const { return counts_; }
+
+  /// "signature xN" lines, sorted by signature.
+  std::string summary() const;
+
+private:
+  std::map<std::string, int> counts_;
+};
+
+}  // namespace llp::fuzz

@@ -1,0 +1,234 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace llp::fuzz {
+
+namespace {
+
+int pick_int(SplitMix64& rng, int lo, int hi) {
+  return lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                 hi - lo + 1)));
+}
+
+// Round to two decimals so spec lines stay short; the round-trip is still
+// exact because fmt_double renders whatever double this lands on.
+double pick_round(SplitMix64& rng, double lo, double hi) {
+  return std::round(rng.uniform(lo, hi) * 100.0) / 100.0;
+}
+
+const char* kKernels[] = {"rhs", "sweep_j", "sweep_k", "sweep_l", "update"};
+
+}  // namespace
+
+Generator::Generator(std::uint64_t seed, GeneratorConfig config)
+    : config_(config), rng_(seed ^ 0xf022edULL) {}
+
+Scenario Generator::next() {
+  // Each case gets its own sub-chain so a change in how one case is drawn
+  // (e.g. a hostile branch consuming extra draws) cannot shift every case
+  // after it — the sequence stays diffable across fuzzer versions.
+  SplitMix64 sub(rng_.next());
+  return random_scenario(sub);
+}
+
+Scenario Generator::random_scenario(SplitMix64& rng) const {
+  Scenario s;
+  s.seed = rng.next() >> 1;  // keep it printable as u64 decimal
+
+  const int zones = pick_int(rng, 1, std::max(1, config_.max_zones));
+  const int kmax = pick_int(rng, config_.min_dim, config_.max_dim);
+  const int lmax = pick_int(rng, config_.min_dim, config_.max_dim);
+  s.zones.clear();
+  for (int z = 0; z < zones; ++z) {
+    // Zones stack along J and must share K/L (the exchange contract).
+    s.zones.push_back(f3d::ZoneDims{
+        pick_int(rng, config_.min_dim, config_.max_dim), kmax, lmax});
+  }
+
+  s.spacing = pick_round(rng, 0.05, 0.5);
+  s.mach = pick_round(rng, 0.5, 2.5);
+  s.alpha_deg = pick_round(rng, -3.0, 3.0);
+
+  const std::uint64_t bc = rng.below(4);
+  if (bc == 0 && zones == 1) {
+    s.bc = BcCombo::kPeriodic;
+    s.alpha_deg = 0.0;  // periodic boxes convect along the axis
+  } else if (bc == 1) {
+    s.bc = BcCombo::kKminWall;
+  } else {
+    s.bc = BcCombo::kDefault;
+  }
+
+  s.pulse = rng.below(2) == 0 ? 0.0 : pick_round(rng, 0.01, 0.15);
+  s.cfl = pick_round(rng, 0.5, 3.0);
+  if (rng.below(4) == 0) {
+    s.cfl_growth = pick_round(rng, 1.01, 1.2);
+    s.cfl_max = pick_round(rng, s.cfl + 1.0, s.cfl + 8.0);
+  }
+  s.steps = pick_int(rng, 3, std::max(3, config_.max_steps));
+  s.mode = rng.below(4) == 0 ? f3d::SweepMode::kVector : f3d::SweepMode::kRisc;
+  s.threads = pick_int(rng, 1, std::max(1, config_.max_threads));
+  s.mem_ckpt_every = pick_int(rng, 1, 5);
+  s.ckpt_every = rng.below(2) == 0 ? 0 : pick_int(rng, 1, 4);
+
+  if (config_.allow_faults && rng.below(5) >= 2) {
+    s.fault = random_fault_plan(rng, s);
+    // Usually give the recovery budget a chance; sometimes starve it so
+    // exhausted-budget failures stay in the tested population.
+    const int nfaults = static_cast<int>(s.fault.specs.size());
+    s.max_recoveries =
+        rng.below(10) < 7 ? nfaults + pick_int(rng, 0, 2) : 0;
+  } else if (rng.below(4) == 0) {
+    s.max_recoveries = pick_int(rng, 1, 2);
+  }
+
+  if (config_.allow_hostile && rng.below(12) == 0) {
+    make_hostile(s, rng);
+  }
+  return s;
+}
+
+void Generator::make_hostile(Scenario& s, SplitMix64& rng) const {
+  // Degenerate inputs the construction path must reject with a typed
+  // ValidationError. Keep them representable in the spec grammar (finite
+  // text) so the case still round-trips through the corpus.
+  switch (rng.below(5)) {
+    case 0:  // dim below the stencil floor
+      s.zones[rng.below(s.zones.size())].kmax = pick_int(rng, 0, 3);
+      break;
+    case 1:  // zero/negative extent
+      s.zones[rng.below(s.zones.size())].jmax = -pick_int(rng, 0, 2);
+      break;
+    case 2:  // extent large enough to overflow the padded product
+      s.zones[rng.below(s.zones.size())].lmax =
+          std::numeric_limits<int>::max() - pick_int(rng, 0, 7);
+      break;
+    case 3:  // non-positive CFL
+      s.cfl = rng.below(2) == 0 ? 0.0 : -1.0;
+      break;
+    case 4:  // degenerate spacing
+      s.spacing = 0.0;
+      break;
+  }
+}
+
+fault::FaultPlan Generator::random_fault_plan(SplitMix64& rng,
+                                              const Scenario& s) const {
+  fault::FaultPlan plan;
+  plan.seed = rng.next();
+  const bool has_ckpt = s.ckpt_every > 0;
+  const int nspecs = pick_int(rng, 1, 2);
+  for (int i = 0; i < nspecs; ++i) {
+    fault::FaultSpec spec;
+    // 'hang' is deliberately absent: it leaks the lane by design, which an
+    // in-process campaign running thousands of cases cannot afford.
+    const std::uint64_t kind = rng.below(has_ckpt ? 7 : 3);
+    const int zone = pick_int(rng, 0, static_cast<int>(s.zones.size()) - 1);
+    switch (kind) {
+      case 0:
+        spec.kind = fault::FaultKind::kThrow;
+        break;
+      case 1:
+        spec.kind = fault::FaultKind::kNan;
+        spec.array = "q" + std::to_string(zone);
+        break;
+      case 2:
+        spec.kind = fault::FaultKind::kDelay;
+        spec.delay_ms = static_cast<double>(pick_int(rng, 1, 4));
+        break;
+      case 3:
+        spec.kind = fault::FaultKind::kIoShort;
+        break;
+      case 4:
+        spec.kind = fault::FaultKind::kIoFlip;
+        if (rng.below(2) == 0) spec.bit = pick_int(rng, 0, 255);
+        break;
+      case 5:
+        spec.kind = fault::FaultKind::kIoEnospc;
+        break;
+      case 6:
+        spec.kind = fault::FaultKind::kIoCrash;
+        break;
+    }
+    if (fault::is_io_kind(spec.kind)) {
+      spec.region = "ckpt";
+      // Write-op index within the run's durable timeline; frame 0 is the
+      // header, 1..Z the zone payloads.
+      spec.invocation =
+          static_cast<std::uint64_t>(pick_int(rng, 0, 2));
+      spec.lane = pick_int(rng, 0, static_cast<int>(s.zones.size()));
+    } else {
+      spec.region = std::string(kRegionPrefix) + ".z" + std::to_string(zone) +
+                    "." + kKernels[rng.below(5)];
+      spec.invocation =
+          static_cast<std::uint64_t>(pick_int(rng, 0, s.steps - 1));
+      if (rng.below(4) == 0) {
+        spec.any_lane = true;
+      } else {
+        spec.lane = pick_int(rng, 0, s.threads - 1);
+      }
+    }
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+Scenario Generator::mutate(const Scenario& base, std::uint64_t mseed) const {
+  SplitMix64 rng(mseed ^ 0x307a7eULL);
+  Scenario s = base;
+  s.seed = rng.next() >> 1;
+  switch (rng.below(8)) {
+    case 0:  // flip the sweep engine
+      s.mode = s.mode == f3d::SweepMode::kRisc ? f3d::SweepMode::kVector
+                                               : f3d::SweepMode::kRisc;
+      break;
+    case 1:  // nudge one dimension
+      if (!s.zones.empty()) {
+        f3d::ZoneDims& z = s.zones[rng.below(s.zones.size())];
+        int* dims[3] = {&z.jmax, &z.kmax, &z.lmax};
+        int& d = *dims[rng.below(3)];
+        d = std::max(config_.min_dim,
+                     d + (rng.below(2) == 0 ? 1 : -1) * pick_int(rng, 1, 3));
+        if (&d != &z.jmax) {
+          // K/L must stay shared across zones.
+          for (auto& other : s.zones) {
+            other.kmax = z.kmax;
+            other.lmax = z.lmax;
+          }
+        }
+      }
+      break;
+    case 2:  // change thread count
+      s.threads = pick_int(rng, 1, std::max(1, config_.max_threads));
+      break;
+    case 3:  // change CFL
+      s.cfl = pick_round(rng, 0.5, 3.0);
+      break;
+    case 4:  // toggle the durable store / change its cadence
+      s.ckpt_every = s.ckpt_every == 0 ? pick_int(rng, 1, 4) : 0;
+      break;
+    case 5:  // drop one fault spec
+      if (!s.fault.specs.empty()) {
+        s.fault.specs.erase(s.fault.specs.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.below(s.fault.specs.size())));
+      }
+      break;
+    case 6:  // fresh fault plan for the (possibly fault-free) base
+      if (config_.allow_faults) {
+        s.fault = random_fault_plan(rng, s);
+        s.max_recoveries = static_cast<int>(s.fault.specs.size());
+      }
+      break;
+    case 7:  // change the step count
+      s.steps = pick_int(rng, 3, std::max(3, config_.max_steps));
+      break;
+  }
+  return s;
+}
+
+}  // namespace llp::fuzz

@@ -1,0 +1,62 @@
+// Seeded scenario generator and mutator.
+//
+// All randomness flows from one SplitMix64 chain keyed by the campaign
+// seed, and nothing consults the clock or the environment, so a campaign
+// is a pure function of (seed, case count): same seed => byte-identical
+// case specs, in the same order, with the same oracle verdicts.
+//
+// The distribution is tuned for an in-process oracle stack:
+//   * dims stay small (the point is coverage of shapes, not FLOPs);
+//   * ~1 case in 12 is "hostile" — degenerate dims, non-finite CFL,
+//     zero spacing — generated on purpose to prove the construction path
+//     rejects them with a typed error instead of corrupting memory;
+//   * fault plans never contain 'hang' (an in-process fuzzer cannot
+//     afford leaked lanes) and keep delays to a few milliseconds;
+//   * when loop faults are present the recovery budget usually (not
+//     always) covers them, so both recovered and exhausted outcomes occur.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace llp::fuzz {
+
+struct GeneratorConfig {
+  int max_zones = 3;
+  int min_dim = 4;            ///< = f3d::kMinZoneDim: solver's stencil floor
+  int max_dim = 12;
+  int max_steps = 12;
+  int max_threads = 4;
+  bool allow_faults = true;   ///< emit fault plans at all
+  bool allow_hostile = true;  ///< emit deliberately-degenerate cases
+};
+
+class Generator {
+public:
+  explicit Generator(std::uint64_t seed, GeneratorConfig config = {});
+
+  /// The next scenario in the deterministic sequence.
+  Scenario next();
+
+  /// A deterministic small perturbation of `base` (one knob turned:
+  /// engine flipped, a dim nudged, a fault spec added or dropped, the
+  /// checkpoint cadence changed). Derives all choices from `mseed`, not
+  /// from this generator's chain, so corpus mutation does not desync the
+  /// fresh-case sequence.
+  Scenario mutate(const Scenario& base, std::uint64_t mseed) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+private:
+  Scenario random_scenario(SplitMix64& rng) const;
+  void make_hostile(Scenario& s, SplitMix64& rng) const;
+  fault::FaultPlan random_fault_plan(SplitMix64& rng,
+                                     const Scenario& s) const;
+
+  GeneratorConfig config_;
+  SplitMix64 rng_;
+};
+
+}  // namespace llp::fuzz

@@ -1,0 +1,305 @@
+#include "fuzz/oracle.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "analyze/access_logger.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "core/runtime.hpp"
+#include "f3d/validation.hpp"
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Pull the "fz.z0.rhs"-shaped token out of an error message, so faults
+// attributed by LaneError bucket by region without parsing prose.
+std::string extract_region(const std::string& text) {
+  const std::string needle = std::string(kRegionPrefix) + ".";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  std::size_t end = pos;
+  while (end < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[end])) ||
+          text[end] == '.' || text[end] == '_')) {
+    ++end;
+  }
+  return text.substr(pos, end - pos);
+}
+
+CaseResult fail(CaseResult r, OracleId oracle, std::string error_type,
+                std::string region, std::string detail) {
+  r.oracle = oracle;
+  r.error_type = std::move(error_type);
+  r.region = std::move(region);
+  r.detail = std::move(detail);
+  return r;
+}
+
+std::uint64_t loop_faults_fired(const fault::Injector& inj) {
+  return inj.faults_injected(fault::FaultKind::kThrow) +
+         inj.faults_injected(fault::FaultKind::kNan);
+}
+
+std::uint64_t io_faults_fired(const fault::Injector& inj) {
+  return inj.faults_injected(fault::FaultKind::kIoShort) +
+         inj.faults_injected(fault::FaultKind::kIoFlip) +
+         inj.faults_injected(fault::FaultKind::kIoEnospc) +
+         inj.faults_injected(fault::FaultKind::kIoCrash);
+}
+
+std::string fingerprint(const Scenario& s) {
+  // What the checkpoint loader compares before trusting a payload: enough
+  // to refuse a resume under a different physics/engine configuration.
+  std::ostringstream out;
+  out << "fuzz cfl=" << s.cfl << " mach=" << s.mach
+      << " mode=" << (s.mode == f3d::SweepMode::kRisc ? "risc" : "vector");
+  return out.str();
+}
+
+}  // namespace
+
+const char* to_string(OracleId oracle) {
+  switch (oracle) {
+    case OracleId::kNone: return "none";
+    case OracleId::kConstruction: return "construction";
+    case OracleId::kValidation: return "validation";
+    case OracleId::kRace: return "race";
+    case OracleId::kDifferential: return "differential";
+    case OracleId::kRestart: return "restart";
+  }
+  return "none";
+}
+
+std::string CaseResult::signature() const {
+  if (rejected) return "rejected";
+  if (passed()) return "pass";
+  std::string sig = std::string(to_string(oracle)) + "/" + error_type;
+  if (!region.empty()) sig += "/" + region;
+  return sig;
+}
+
+std::string describe(const CaseResult& result) {
+  if (result.rejected) return "REJECT (" + result.detail + ")";
+  if (result.passed()) {
+    return strfmt("pass (steps=%d recoveries=%d%s)", result.steps_completed,
+                  result.recoveries, result.crashed ? " crashed" : "");
+  }
+  std::string line = "FAIL " + result.signature();
+  if (!result.detail.empty()) line += " (" + result.detail + ")";
+  return line;
+}
+
+CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options) {
+  CaseResult result;
+
+  // --- construction: a bad case must be refused with the typed error ----
+  // (anything else escaping the constructors is finding #1).
+  std::unique_ptr<f3d::MultiZoneGrid> grid;
+  f3d::SolverConfig config;
+  try {
+    scenario.validate();
+    grid = std::make_unique<f3d::MultiZoneGrid>(
+        build_scenario_grid(scenario));
+    config = build_scenario_config(scenario);
+  } catch (const ValidationError& e) {
+    result.rejected = true;
+    result.detail = e.what();
+    return result;
+  } catch (const std::exception& e) {
+    return fail(std::move(result), OracleId::kConstruction,
+                "unexpected-exception", "", e.what());
+  }
+
+  // Everything this case does — regions, lanes, observers, fault hook —
+  // lives on its own runtime, so a thousand cases cannot bleed tuner
+  // state, fault timelines, or region profiles into each other.
+  Runtime rt(scenario.threads);
+  RuntimeScope scope(rt);
+
+  fault::Injector injector(scenario.fault);
+  for (int z = 0; z < grid->num_zones(); ++z) {
+    auto& st = grid->zone(z).storage();
+    injector.register_array("q" + std::to_string(z), st.data(), st.size());
+  }
+  if (!scenario.fault.empty()) rt.set_fault_hook(&injector);
+
+  analyze::AccessLogger logger;
+  rt.add_observer(&logger);
+
+  std::unique_ptr<f3d::ckpt::CheckpointStore> store;
+  if (scenario.ckpt_every > 0) {
+    if (options.work_dir.empty()) {
+      throw Error("run_case: scenario has ckpt_every > 0 but no work_dir");
+    }
+    const std::string dir = options.work_dir + "/ckpt";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    f3d::ckpt::Config ckpt_cfg;
+    ckpt_cfg.dir = dir;
+    ckpt_cfg.every = scenario.ckpt_every;
+    ckpt_cfg.keep_generations = 3;
+    ckpt_cfg.meta = fingerprint(scenario);
+    ckpt_cfg.injector = &injector;
+    store = std::make_unique<f3d::ckpt::CheckpointStore>(ckpt_cfg);
+  }
+
+  f3d::RunReport report;
+  f3d::RunHistory history;
+  try {
+    f3d::Solver solver(*grid, config, rt);
+    if (store) solver.set_checkpoint_hook(store.get());
+    report = solver.run_protected(scenario.steps, &history);
+    result.steps_completed = report.steps_completed;
+    result.recoveries = report.recoveries;
+  } catch (const CrashError& e) {
+    // An injected iocrash "killed the process" mid-checkpoint-write. The
+    // solve is over; the restart oracle below must bring it back.
+    result.crashed = true;
+    result.detail = e.what();
+  } catch (const ValidationError& e) {
+    result.rejected = true;
+    result.detail = e.what();
+    rt.remove_observer(&logger);
+    return result;
+  } catch (const std::exception& e) {
+    rt.remove_observer(&logger);
+    return fail(std::move(result), OracleId::kValidation,
+                "unexpected-exception", extract_region(e.what()), e.what());
+  }
+  rt.remove_observer(&logger);
+
+  // --- oracle 1: validation --------------------------------------------
+  if (!result.crashed) {
+    if (report.failed) {
+      const bool nonfinite =
+          report.failure_reason.find("non-finite") != std::string::npos;
+      return fail(std::move(result), OracleId::kValidation,
+                  nonfinite ? "non-finite" : "budget-exhausted",
+                  extract_region(report.failure_reason),
+                  report.failure_reason);
+    }
+    if (!std::isfinite(report.final_residual) || !f3d::all_finite(*grid)) {
+      return fail(std::move(result), OracleId::kValidation,
+                  "non-finite-final", "",
+                  strfmt("final residual %g", report.final_residual));
+    }
+  }
+
+  // --- oracle 2: dynamic race check ------------------------------------
+  if (logger.num_findings() > 0) {
+    const analyze::Finding f = logger.findings().front();
+    return fail(std::move(result), OracleId::kRace,
+                analyze::finding_kind_name(f.kind), f.region,
+                analyze::format_finding(f));
+  }
+
+  // --- oracle 3: engine differential -----------------------------------
+  // Only meaningful on clean trajectories: an injected fault keys on one
+  // engine's region timeline and would legitimately diverge the twins.
+  if (!result.crashed && scenario.fault.empty()) {
+    try {
+      Scenario twin = scenario;
+      twin.mode = scenario.mode == f3d::SweepMode::kRisc
+                      ? f3d::SweepMode::kVector
+                      : f3d::SweepMode::kRisc;
+      f3d::MultiZoneGrid grid_b = build_scenario_grid(twin);
+      Runtime rt_b(twin.threads);
+      RuntimeScope scope_b(rt_b);
+      f3d::Solver solver_b(grid_b, build_scenario_config(twin), rt_b);
+      const double residual_b = solver_b.run(twin.steps);
+      const double diff = f3d::linf_diff(*grid, grid_b);
+      if (!(diff <= options.diff_tol) || !std::isfinite(residual_b)) {
+        return fail(std::move(result), OracleId::kDifferential,
+                    "risc-vector-mismatch", "",
+                    strfmt("linf %g (tol %g), twin residual %g", diff,
+                           options.diff_tol, residual_b));
+      }
+    } catch (const std::exception& e) {
+      return fail(std::move(result), OracleId::kDifferential,
+                  "engine-exception", extract_region(e.what()), e.what());
+    }
+  }
+
+  // --- oracle 4: kill-and-resume ---------------------------------------
+  // A crashed run MUST come back through the store; a clean-trajectory
+  // run with a store additionally owes the stronger invariants: sealed
+  // first-replay verification and final-solution parity. Cases whose
+  // throw/nan faults rewrote the timeline via rollback (or degraded the
+  // engine) only owe "resume works and stays finite" — the resumed twin
+  // replays without the faults and would legitimately disagree bit-wise.
+  const bool clean_trajectory =
+      loop_faults_fired(injector) == 0 && !report.engine_fallback;
+  if (store && (result.crashed || clean_trajectory)) {
+    try {
+      f3d::MultiZoneGrid grid_r = build_scenario_grid(scenario);
+      f3d::ckpt::Manifest manifest;
+      int gen = -1;
+      std::string ladder;
+      try {
+        manifest = store->load_newest_intact(grid_r, &gen, &ladder);
+      } catch (const IoError& e) {
+        if (store->saves_completed() > 0 && io_faults_fired(injector) == 0) {
+          // Generations were completed, nothing corrupted them, yet none
+          // survive the validation ladder — the store lost data it
+          // claimed to have written.
+          return fail(std::move(result), OracleId::kRestart,
+                      "no-intact-generation", "ckpt",
+                      std::string(e.what()) + "; " + ladder);
+        }
+        // Nothing ever landed, or injected io faults corrupted every
+        // generation that did: cold-start is the correct behaviour.
+        return result;
+      }
+
+      Runtime rt_r(scenario.threads);
+      RuntimeScope scope_r(rt_r);
+      f3d::Solver solver_r(grid_r, build_scenario_config(scenario), rt_r);
+      solver_r.restore(manifest.state);
+      if (clean_trajectory) {
+        std::string why;
+        if (!f3d::ckpt::verify_first_replay(
+                solver_r, manifest, store->config().replay_tol, &why)) {
+          return fail(std::move(result), OracleId::kRestart,
+                      "replay-mismatch", "ckpt",
+                      strfmt("gen %d: %s", gen, why.c_str()));
+        }
+      }
+      const int remaining = scenario.steps - solver_r.steps_taken();
+      if (remaining > 0) solver_r.run(remaining);
+      if (!f3d::all_finite(grid_r)) {
+        return fail(std::move(result), OracleId::kRestart,
+                    "resume-non-finite", "ckpt",
+                    strfmt("resumed from gen %d (step %d)", gen,
+                           manifest.state.steps));
+      }
+      if (!result.crashed && clean_trajectory) {
+        // The main run finished too, so the resumed timeline must land on
+        // the same solution (restart parity).
+        const double diff = f3d::linf_diff(*grid, grid_r);
+        if (!(diff <= options.restart_tol)) {
+          return fail(std::move(result), OracleId::kRestart,
+                      "restart-mismatch", "ckpt",
+                      strfmt("linf %g (tol %g) resuming gen %d from step %d",
+                             diff, options.restart_tol, gen,
+                             manifest.state.steps));
+        }
+      }
+    } catch (const std::exception& e) {
+      return fail(std::move(result), OracleId::kRestart, "resume-exception",
+                  "ckpt", e.what());
+    }
+  }
+
+  return result;
+}
+
+}  // namespace llp::fuzz

@@ -1,0 +1,81 @@
+// The oracle stack: what "this case passed" means.
+//
+// Every generated scenario is driven, in-process on its own llp::Runtime,
+// through four independent correctness oracles, in order:
+//
+//   1. validation — the protected run must end healthy: recovery budget
+//      not exhausted, final residual and every interior cell finite, and
+//      a scenario the constructors reject must be rejected with a typed
+//      llp::ValidationError (anything else escaping is itself a failure);
+//   2. race — the PR 5 dynamic analyzer (AccessLogger) rides the run's
+//      observer seam; any loop-carried dependence finding fails the case;
+//   3. differential — fault-free cases are re-run under the other sweep
+//      engine (kRisc vs kVector) and the two final solutions must agree
+//      to tight linf tolerance: the paper's central equivalence claim;
+//   4. restart — cases with a durable checkpoint cadence are resumed from
+//      the newest intact generation (after an injected iocrash, that IS
+//      the kill-and-resume path) and the resumed timeline must verify its
+//      first replay against the sealed manifest and, for runs whose
+//      trajectory faults did not perturb, land on the same final solution.
+//
+// A case's verdict is a CaseResult; failures carry a bucket signature
+// "oracle/error-type/region" that groups equivalent root causes across
+// thousands of cases, and the shrinker preserves exactly that signature.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace llp::fuzz {
+
+enum class OracleId {
+  kNone,          ///< passed every oracle
+  kConstruction,  ///< wrong rejection behaviour while building the case
+  kValidation,    ///< unhealthy protected run / non-finite final state
+  kRace,          ///< dynamic analyzer finding
+  kDifferential,  ///< kRisc and kVector solutions disagree
+  kRestart,       ///< resume-from-checkpoint broke parity or failed
+};
+
+const char* to_string(OracleId oracle);
+
+struct CaseResult {
+  bool rejected = false;   ///< constructors refused the case (typed, benign)
+  OracleId oracle = OracleId::kNone;  ///< first oracle that failed
+  std::string error_type;  ///< short stable token ("nan", "race", ...)
+  std::string region;      ///< region/zone attribution when known
+  std::string detail;      ///< human-readable specifics (not in signature)
+  int steps_completed = 0;
+  int recoveries = 0;
+  bool crashed = false;    ///< an injected iocrash ended the main run
+
+  bool passed() const { return oracle == OracleId::kNone; }
+
+  /// Stable bucket key: "oracle/error-type/region" ("pass", "rejected"
+  /// for the benign outcomes). Detail text never enters the signature —
+  /// buckets must survive message rewording.
+  std::string signature() const;
+};
+
+struct RunCaseOptions {
+  /// Scratch directory for the case's durable checkpoint store; cleaned
+  /// before use. Required when the scenario has ckpt_every > 0.
+  std::string work_dir;
+  /// Tolerances. Differential matches the solver test's per-step bound;
+  /// restart parity matches the restart integration test.
+  double diff_tol = 1e-9;
+  double restart_tol = 1e-9;
+};
+
+/// Drive one scenario through the full oracle stack. Never throws for
+/// case-shaped outcomes (bad scenarios, injected faults, corrupt
+/// checkpoints all come back as verdicts); only infrastructure errors
+/// (e.g. an unwritable work_dir) propagate.
+CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options);
+
+/// One-line verdict for logs: "FAIL validation/nan/fz.z0.rhs (detail)".
+std::string describe(const CaseResult& result);
+
+}  // namespace llp::fuzz

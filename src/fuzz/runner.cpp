@@ -1,0 +1,133 @@
+#include "fuzz/runner.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <sstream>
+
+#include "fuzz/shrink.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace llp::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class Campaign {
+public:
+  Campaign(const CampaignConfig& config, std::ostream& log)
+      : config_(config), log_(log) {
+    options_.work_dir =
+        config.work_dir.empty() ? "fuzz_work" : config.work_dir;
+    fs::create_directories(options_.work_dir);
+    if (!config.out_dir.empty()) fs::create_directories(config.out_dir);
+  }
+
+  CampaignStats run() {
+    // Phase 1: the seed corpus (known bads, yesterday's repros) replays
+    // first — a signature that stopped reproducing is visible before any
+    // fresh case runs.
+    std::vector<Scenario> seeds;
+    for (const std::string& file : config_.corpus_files) {
+      try {
+        Scenario s = load_case(file);
+        log_ << "[seed] " << file << ": ";
+        drive(s, /*from_corpus=*/true);
+        seeds.push_back(std::move(s));
+      } catch (const Error& e) {
+        log_ << "[seed] " << file << ": unreadable (" << e.what() << ")\n";
+      }
+    }
+
+    // Phase 2: fresh generation, with a slice of the budget mutating the
+    // seeds (every 4th case when seeds exist). All choices flow from the
+    // campaign seed, never from the verdicts, so two runs with the same
+    // seed produce byte-identical case sequences even while triaging.
+    Generator gen(config_.seed, config_.generator);
+    SplitMix64 mutate_rng(config_.seed ^ 0x9a95eedULL);
+    for (int i = 0; i < config_.cases; ++i) {
+      const bool mutate = !seeds.empty() && i % 4 == 3;
+      Scenario s =
+          mutate ? gen.mutate(seeds[mutate_rng.below(seeds.size())],
+                              mutate_rng.next())
+                 : gen.next();
+      if (config_.print_specs) log_ << "[spec] " << s.to_line() << "\n";
+      log_ << "[case " << i << "] ";
+      drive(s, /*from_corpus=*/false);
+    }
+    return std::move(stats_);
+  }
+
+private:
+  void drive(const Scenario& scenario, bool from_corpus) {
+    const CaseResult verdict = run_case(scenario, options_);
+    log_ << describe(verdict) << "\n";
+    ++stats_.cases_run;
+    if (verdict.rejected) {
+      ++stats_.rejected;
+      return;
+    }
+    if (verdict.crashed) ++stats_.crashes;
+    if (verdict.passed()) {
+      ++stats_.passed;
+      return;
+    }
+    ++stats_.failed;
+    if (scenario.fault.empty()) stats_.unprovoked_failure = true;
+    const bool fresh_bucket = stats_.buckets.record(verdict.signature());
+    if (!fresh_bucket || from_corpus) return;
+
+    // First hit of a new bucket: shrink it and keep the minimal repro.
+    Scenario repro = scenario;
+    CaseResult repro_verdict = verdict;
+    if (config_.shrink) {
+      const ShrinkResult shrunk =
+          shrink(scenario, verdict, options_, config_.shrink_budget);
+      ++stats_.shrunk;
+      repro = shrunk.scenario;
+      repro_verdict = run_case(repro, options_);
+      log_ << "  [shrink] " << shrunk.evaluations << " evals -> "
+           << repro.to_line() << "\n";
+    }
+    if (!config_.out_dir.empty()) {
+      const std::string path =
+          config_.out_dir + "/" + case_filename(repro, repro_verdict);
+      save_case(path, repro, repro_verdict);
+      stats_.repro_files.push_back(path);
+      log_ << "  [saved] " << path << "\n";
+    }
+  }
+
+  CampaignConfig config_;
+  std::ostream& log_;
+  RunCaseOptions options_;
+  CampaignStats stats_;
+};
+
+}  // namespace
+
+std::string CampaignStats::summary() const {
+  std::ostringstream out;
+  out << "cases=" << cases_run << " passed=" << passed << " failed=" << failed
+      << " rejected=" << rejected << " crashes=" << crashes
+      << " buckets=" << buckets.size() << " shrunk=" << shrunk << "\n";
+  if (buckets.size() > 0) out << buckets.summary();
+  return out.str();
+}
+
+CampaignStats run_campaign(const CampaignConfig& config, std::ostream& log) {
+  return Campaign(config, log).run();
+}
+
+CaseResult replay_file(const std::string& path, const RunCaseOptions& options,
+                       std::ostream& log) {
+  const Scenario s = load_case(path);
+  log << "[replay] " << s.to_line() << "\n";
+  const CaseResult verdict = run_case(s, options);
+  log << "[replay] " << describe(verdict) << "\n";
+  return verdict;
+}
+
+}  // namespace llp::fuzz

@@ -1,0 +1,60 @@
+// Campaign runner: generate -> oracle -> bucket -> shrink -> persist.
+//
+// A campaign is a pure function of its config: the seed fixes the case
+// sequence, each case runs the full oracle stack on its own runtime, and
+// each failure is bucketed by signature. The FIRST case of each new
+// bucket is delta-debug-shrunk to a minimal repro and saved to the output
+// corpus; later hits only bump the bucket count. Seed-corpus files (known
+// bads, previous repros) replay before any fresh generation, and a slice
+// of the fresh budget mutates them — regression checking and guided
+// exploration in one pass.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace llp::fuzz {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  int cases = 50;              ///< freshly generated cases
+  std::string work_dir;        ///< scratch for per-case checkpoint stores
+  std::string out_dir;         ///< where shrunken repros land; "" = discard
+  std::vector<std::string> corpus_files;  ///< seed cases to replay first
+  bool shrink = true;
+  int shrink_budget = 120;     ///< oracle runs per shrink
+  bool print_specs = false;    ///< echo every spec line (determinism diffs)
+  GeneratorConfig generator;
+};
+
+struct CampaignStats {
+  int cases_run = 0;
+  int passed = 0;
+  int failed = 0;
+  int rejected = 0;
+  int crashes = 0;          ///< injected iocrash cases that resumed
+  int shrunk = 0;           ///< shrinks performed (first hit per bucket)
+  BucketSet buckets;        ///< failure signatures only
+  std::vector<std::string> repro_files;  ///< saved shrunken repros
+
+  /// True iff some failure came from a scenario with NO fault plan: the
+  /// system misbehaved without being provoked (--strict gates on this).
+  bool unprovoked_failure = false;
+
+  std::string summary() const;
+};
+
+/// Run a campaign, logging one line per interesting event to `log`.
+CampaignStats run_campaign(const CampaignConfig& config, std::ostream& log);
+
+/// Replay one corpus file through the oracle stack; logs the verdict.
+CaseResult replay_file(const std::string& path, const RunCaseOptions& options,
+                       std::ostream& log);
+
+}  // namespace llp::fuzz

@@ -1,0 +1,256 @@
+#include "fuzz/scenario.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace llp::fuzz {
+
+namespace {
+
+// Shortest decimal rendering that parses back to the same double, so the
+// spec line is both readable ("cfl=2") and a lossless round-trip ("cfl=
+// 0.30000000000000004" when it has to be).
+std::string fmt_double(double v) {
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ValidationError(strfmt("scenario: bad %s value '%s'", key.c_str(),
+                                 text.c_str()));
+  }
+  return v;
+}
+
+long parse_long(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ValidationError(strfmt("scenario: bad %s value '%s'", key.c_str(),
+                                 text.c_str()));
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    throw ValidationError(strfmt("scenario: bad %s value '%s'", key.c_str(),
+                                 text.c_str()));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<f3d::ZoneDims> parse_zones(const std::string& text) {
+  std::vector<f3d::ZoneDims> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    int d[3];
+    std::size_t pos = 0;
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::size_t next = item.find('x', pos);
+      const bool last = axis == 2;
+      if (last != (next == std::string::npos)) {
+        throw ValidationError(
+            strfmt("scenario: zone dims '%s' are not JxKxL", item.c_str()));
+      }
+      const std::string part =
+          last ? item.substr(pos) : item.substr(pos, next - pos);
+      d[axis] = static_cast<int>(parse_long("zones", part));
+      pos = next + 1;
+    }
+    out.push_back(f3d::ZoneDims{d[0], d[1], d[2]});
+  }
+  if (out.empty()) {
+    throw ValidationError("scenario: zones list is empty");
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(BcCombo bc) {
+  switch (bc) {
+    case BcCombo::kDefault: return "default";
+    case BcCombo::kKminWall: return "kmin_wall";
+    case BcCombo::kPeriodic: return "periodic";
+  }
+  return "default";
+}
+
+std::string Scenario::to_line() const {
+  std::ostringstream out;
+  out << "v1 seed=" << seed << " zones=";
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    if (i > 0) out << ',';
+    out << zones[i].jmax << 'x' << zones[i].kmax << 'x' << zones[i].lmax;
+  }
+  out << " spacing=" << fmt_double(spacing);
+  out << " mach=" << fmt_double(mach);
+  out << " alpha=" << fmt_double(alpha_deg);
+  out << " bc=" << to_string(bc);
+  out << " pulse=" << fmt_double(pulse);
+  out << " cfl=" << fmt_double(cfl);
+  out << " growth=" << fmt_double(cfl_growth);
+  out << " cflmax=" << fmt_double(cfl_max);
+  out << " steps=" << steps;
+  out << " mode=" << (mode == f3d::SweepMode::kRisc ? "risc" : "vector");
+  out << " threads=" << threads;
+  out << " recover=" << max_recoveries;
+  out << " mem_ckpt=" << mem_ckpt_every;
+  out << " ckpt=" << ckpt_every;
+  if (!fault.empty()) out << " fault=" << fault.to_string();
+  return out.str();
+}
+
+Scenario Scenario::parse(const std::string& line) {
+  std::stringstream ss(line);
+  std::string tok;
+  if (!(ss >> tok) || tok != "v1") {
+    throw ValidationError("scenario: spec must start with version tag 'v1'");
+  }
+  Scenario s;
+  while (ss >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ValidationError(
+          strfmt("scenario: expected key=value, got '%s'", tok.c_str()));
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "seed") {
+      s.seed = parse_u64(key, val);
+    } else if (key == "zones") {
+      s.zones = parse_zones(val);
+    } else if (key == "spacing") {
+      s.spacing = parse_double(key, val);
+    } else if (key == "mach") {
+      s.mach = parse_double(key, val);
+    } else if (key == "alpha") {
+      s.alpha_deg = parse_double(key, val);
+    } else if (key == "bc") {
+      if (val == "default") {
+        s.bc = BcCombo::kDefault;
+      } else if (val == "kmin_wall") {
+        s.bc = BcCombo::kKminWall;
+      } else if (val == "periodic") {
+        s.bc = BcCombo::kPeriodic;
+      } else {
+        throw ValidationError(strfmt("scenario: unknown bc '%s'", val.c_str()));
+      }
+    } else if (key == "pulse") {
+      s.pulse = parse_double(key, val);
+    } else if (key == "cfl") {
+      s.cfl = parse_double(key, val);
+    } else if (key == "growth") {
+      s.cfl_growth = parse_double(key, val);
+    } else if (key == "cflmax") {
+      s.cfl_max = parse_double(key, val);
+    } else if (key == "steps") {
+      s.steps = static_cast<int>(parse_long(key, val));
+    } else if (key == "mode") {
+      if (val == "risc") {
+        s.mode = f3d::SweepMode::kRisc;
+      } else if (val == "vector") {
+        s.mode = f3d::SweepMode::kVector;
+      } else {
+        throw ValidationError(
+            strfmt("scenario: unknown mode '%s'", val.c_str()));
+      }
+    } else if (key == "threads") {
+      s.threads = static_cast<int>(parse_long(key, val));
+    } else if (key == "recover") {
+      s.max_recoveries = static_cast<int>(parse_long(key, val));
+    } else if (key == "mem_ckpt") {
+      s.mem_ckpt_every = static_cast<int>(parse_long(key, val));
+    } else if (key == "ckpt") {
+      s.ckpt_every = static_cast<int>(parse_long(key, val));
+    } else if (key == "fault") {
+      try {
+        s.fault = fault::FaultPlan::parse(val);
+      } catch (const Error& e) {
+        throw ValidationError(strfmt("scenario: bad fault plan: %s", e.what()));
+      }
+    } else {
+      throw ValidationError(
+          strfmt("scenario: unknown key '%s'", key.c_str()));
+    }
+  }
+  return s;
+}
+
+void Scenario::validate() const {
+  if (zones.empty()) throw ValidationError("scenario: no zones");
+  if (zones.size() > 8) throw ValidationError("scenario: too many zones (>8)");
+  if (steps < 1 || steps > 10000) {
+    throw ValidationError("scenario: steps outside [1, 10000]");
+  }
+  if (threads < 1 || threads > 64) {
+    throw ValidationError("scenario: threads outside [1, 64]");
+  }
+  if (max_recoveries < 0 || mem_ckpt_every < 1 || ckpt_every < 0) {
+    throw ValidationError("scenario: negative budget/cadence");
+  }
+  if (bc == BcCombo::kPeriodic && zones.size() != 1) {
+    throw ValidationError("scenario: periodic bc needs exactly one zone");
+  }
+}
+
+f3d::MultiZoneGrid build_scenario_grid(const Scenario& s) {
+  f3d::MultiZoneGrid grid(s.zones, s.spacing);
+  f3d::FreeStream fs;
+  fs.mach = s.mach;
+  fs.alpha_deg = s.alpha_deg;
+  grid.set_freestream(fs);
+  switch (s.bc) {
+    case BcCombo::kDefault:
+      break;
+    case BcCombo::kKminWall:
+      f3d::add_kmin_wall(grid);
+      break;
+    case BcCombo::kPeriodic:
+      f3d::make_periodic(grid);
+      break;
+  }
+  if (s.pulse != 0.0) {
+    f3d::add_gaussian_pulse(grid, s.pulse, 2.0);
+  }
+  return grid;
+}
+
+f3d::SolverConfig build_scenario_config(const Scenario& s) {
+  f3d::SolverConfig cfg;
+  cfg.freestream.mach = s.mach;
+  cfg.freestream.alpha_deg = s.alpha_deg;
+  cfg.cfl = s.cfl;
+  cfg.cfl_growth = s.cfl_growth;
+  cfg.cfl_max = s.cfl_max;
+  cfg.mode = s.mode;
+  cfg.region_prefix = kRegionPrefix;
+  cfg.recovery.max_recoveries = s.max_recoveries;
+  cfg.recovery.checkpoint_every = s.mem_ckpt_every;
+  return cfg;
+}
+
+}  // namespace llp::fuzz

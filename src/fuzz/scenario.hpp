@@ -1,0 +1,87 @@
+// Scenario: one fuzz case as a single line of text.
+//
+// The fuzzer explores the cross product the solver actually ships —
+// grid shapes x zone counts x boundary combinations x CFL policy x sweep
+// engine x thread counts x fault plans x checkpoint cadences — so a case
+// must be (a) cheap to generate, (b) trivially diffable, and (c) exactly
+// replayable months later. A Scenario is therefore a value type with a
+// canonical one-line spec:
+//
+//   v1 seed=7 zones=7x7x7,9x7x7 spacing=0.1 mach=2 alpha=2 bc=kmin_wall
+//      pulse=0.05 cfl=2 growth=1 cflmax=10 steps=8 mode=risc threads=3
+//      recover=1 mem_ckpt=4 ckpt=3 fault=throw:fz.z0.rhs:2:1
+//
+// (one line; wrapped here for the comment). parse(to_line(s)) is the
+// identity on every valid scenario, and to_line is byte-deterministic, so
+// "same seed => byte-identical case specs" holds for the whole campaign.
+// The trailing fault= field is a FaultPlan spec (fault_plan.hpp grammar)
+// and is omitted when the plan is empty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "f3d/cases.hpp"
+#include "f3d/multizone.hpp"
+#include "f3d/solver.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace llp::fuzz {
+
+/// Exterior boundary-condition combo applied on top of the zonal defaults.
+enum class BcCombo {
+  kDefault,   ///< inflow/outflow along J, free stream on K/L faces
+  kKminWall,  ///< slip wall on every zone's KMin (compression corner)
+  kPeriodic,  ///< all faces periodic (single-zone scenarios only)
+};
+
+const char* to_string(BcCombo bc);
+
+/// Region-name namespace every fuzz-built solver uses, so generated fault
+/// plans ("throw:fz.z0.rhs:...") and race findings name stable regions.
+inline constexpr const char* kRegionPrefix = "fz";
+
+struct Scenario {
+  std::uint64_t seed = 1;      ///< per-case seed: fault RNG, pulse placement
+  std::vector<f3d::ZoneDims> zones{f3d::ZoneDims{7, 7, 7}};
+  double spacing = 0.1;
+  double mach = 2.0;
+  double alpha_deg = 0.0;
+  BcCombo bc = BcCombo::kDefault;
+  double pulse = 0.0;          ///< Gaussian pulse amplitude; 0 = none
+  double cfl = 2.0;
+  double cfl_growth = 1.0;
+  double cfl_max = 10.0;
+  int steps = 8;
+  f3d::SweepMode mode = f3d::SweepMode::kRisc;
+  int threads = 2;
+  int max_recoveries = 0;
+  int mem_ckpt_every = 4;      ///< in-memory rollback cadence
+  int ckpt_every = 0;          ///< durable generation cadence; 0 = no store
+  fault::FaultPlan fault;      ///< empty = clean run
+
+  /// Canonical one-line spec (see header comment). Byte-deterministic.
+  std::string to_line() const;
+
+  /// Parse the spec grammar; throws llp::ValidationError on malformed
+  /// input (unknown key, bad number, bad fault plan). Missing keys keep
+  /// their defaults so hand-written minimal specs stay legal.
+  static Scenario parse(const std::string& line);
+
+  /// Cheap structural sanity (zone list non-empty, steps/threads positive,
+  /// periodic only with one zone). Throws llp::ValidationError. The deep
+  /// checks — degenerate dims, non-finite CFL — belong to the Zone/Solver
+  /// constructors; the oracle runner exercises those deliberately.
+  void validate() const;
+};
+
+/// Build the scenario's grid: zones + spacing + free stream + BC combo +
+/// optional centered pulse. Throws llp::ValidationError on degenerate
+/// geometry (that rejection is itself an oracle-observable outcome).
+f3d::MultiZoneGrid build_scenario_grid(const Scenario& s);
+
+/// The SolverConfig a scenario describes (region_prefix = kRegionPrefix).
+f3d::SolverConfig build_scenario_config(const Scenario& s);
+
+}  // namespace llp::fuzz

@@ -1,0 +1,183 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace llp::fuzz {
+
+namespace {
+
+// Simplification order for a dimension: aim straight at the floor, then
+// binary-search back up. Returns candidates strictly below `value`.
+std::vector<int> downward_steps(int value, int floor) {
+  std::vector<int> out;
+  if (value <= floor) return out;
+  out.push_back(floor);
+  int mid = (value + floor) / 2;
+  if (mid > floor && mid < value) out.push_back(mid);
+  if (value - 1 > floor && value - 1 != mid) out.push_back(value - 1);
+  return out;
+}
+
+class Shrinker {
+public:
+  Shrinker(const CaseResult& original, const RunCaseOptions& options,
+           int max_evaluations)
+      : signature_(original.signature()),
+        options_(options),
+        budget_(max_evaluations) {}
+
+  ShrinkResult run(Scenario best) {
+    bool progressed = true;
+    while (progressed && budget_ > 0) {
+      progressed = false;
+      progressed |= drop_fault_specs(best);
+      progressed |= reduce_int(best, [](Scenario& s) { return &s.steps; }, 1);
+      progressed |= drop_zones(best);
+      progressed |= reduce_dims(best);
+      progressed |=
+          reduce_int(best, [](Scenario& s) { return &s.threads; }, 1);
+      progressed |= zero_knobs(best);
+    }
+    ShrinkResult result;
+    result.scenario = best;
+    result.signature = signature_;
+    result.evaluations = evaluations_;
+    result.accepted = accepted_;
+    return result;
+  }
+
+private:
+  /// True iff `candidate` fails with the preserved signature.
+  bool keeps_signature(const Scenario& candidate) {
+    if (budget_ <= 0) return false;
+    --budget_;
+    ++evaluations_;
+    const CaseResult verdict = run_case(candidate, options_);
+    if (verdict.signature() == signature_) {
+      ++accepted_;
+      return true;
+    }
+    return false;
+  }
+
+  bool drop_fault_specs(Scenario& best) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < best.fault.specs.size();) {
+      if (best.fault.specs.size() <= 1) break;
+      Scenario candidate = best;
+      candidate.fault.specs.erase(candidate.fault.specs.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+      if (keeps_signature(candidate)) {
+        best = candidate;
+        progressed = true;  // same index now names the next spec
+      } else {
+        ++i;
+      }
+    }
+    return progressed;
+  }
+
+  bool reduce_int(Scenario& best, int* (*field)(Scenario&), int floor) {
+    bool progressed = false;
+    for (bool moved = true; moved && budget_ > 0;) {
+      moved = false;
+      for (int value : downward_steps(*field(best), floor)) {
+        Scenario candidate = best;
+        *field(candidate) = value;
+        if (keeps_signature(candidate)) {
+          best = candidate;
+          progressed = moved = true;
+          break;
+        }
+      }
+    }
+    return progressed;
+  }
+
+  bool drop_zones(Scenario& best) {
+    bool progressed = false;
+    // Drop from the back so fault-plan regions naming low zone indices
+    // stay valid; a candidate that orphans its fault region simply fails
+    // the signature check and is discarded.
+    while (best.zones.size() > 1 && budget_ > 0) {
+      Scenario candidate = best;
+      candidate.zones.pop_back();
+      if (!keeps_signature(candidate)) break;
+      best = candidate;
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  bool reduce_dims(Scenario& best) {
+    bool progressed = false;
+    for (std::size_t z = 0; z < best.zones.size(); ++z) {
+      for (int axis = 0; axis < 3; ++axis) {
+        for (bool moved = true; moved && budget_ > 0;) {
+          moved = false;
+          const int current = axis == 0   ? best.zones[z].jmax
+                              : axis == 1 ? best.zones[z].kmax
+                                          : best.zones[z].lmax;
+          for (int value : downward_steps(current, 4)) {
+            Scenario candidate = best;
+            for (std::size_t i = 0; i < candidate.zones.size(); ++i) {
+              if (axis == 0) {
+                if (i == z) candidate.zones[i].jmax = value;
+              } else if (axis == 1) {
+                candidate.zones[i].kmax = value;  // K/L are shared
+              } else {
+                candidate.zones[i].lmax = value;
+              }
+            }
+            if (keeps_signature(candidate)) {
+              best = candidate;
+              progressed = moved = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return progressed;
+  }
+
+  bool zero_knobs(Scenario& best) {
+    bool progressed = false;
+    const auto try_simplify = [&](void (*apply)(Scenario&)) {
+      Scenario candidate = best;
+      apply(candidate);
+      if (candidate.to_line() != best.to_line() &&
+          keeps_signature(candidate)) {
+        best = candidate;
+        progressed = true;
+      }
+    };
+    try_simplify([](Scenario& s) { s.pulse = 0.0; });
+    try_simplify([](Scenario& s) {
+      s.cfl_growth = 1.0;
+      s.cfl_max = 10.0;
+    });
+    try_simplify([](Scenario& s) { s.max_recoveries = 0; });
+    try_simplify([](Scenario& s) { s.ckpt_every = 0; });
+    try_simplify([](Scenario& s) { s.bc = BcCombo::kDefault; });
+    try_simplify([](Scenario& s) { s.alpha_deg = 0.0; });
+    return progressed;
+  }
+
+  const std::string signature_;
+  const RunCaseOptions& options_;
+  int budget_;
+  int evaluations_ = 0;
+  int accepted_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const CaseResult& original,
+                    const RunCaseOptions& options, int max_evaluations) {
+  return Shrinker(original, options, max_evaluations).run(failing);
+}
+
+}  // namespace llp::fuzz

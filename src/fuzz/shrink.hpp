@@ -1,0 +1,35 @@
+// Delta-debugging shrinker: reduce a failing scenario to a minimal repro.
+//
+// Greedy ddmin over the scenario's knobs: each pass proposes a strictly
+// simpler candidate (fewer fault specs, fewer steps, fewer zones, smaller
+// dims, fewer threads, fewer moving parts), re-runs the oracle stack, and
+// keeps the candidate only if it fails with the SAME bucket signature —
+// oracle x error type x region — as the original. Preserving the
+// signature, not just "still fails", is what stops the shrinker from
+// sliding off one bug onto a different, easier one.
+//
+// Passes iterate to a fixpoint under an evaluation budget; every re-run is
+// the full deterministic oracle stack, so a shrunken repro is guaranteed
+// to still reproduce when replayed from its corpus file.
+#pragma once
+
+#include <string>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace llp::fuzz {
+
+struct ShrinkResult {
+  Scenario scenario;     ///< smallest signature-preserving case found
+  std::string signature; ///< the preserved bucket signature
+  int evaluations = 0;   ///< oracle-stack runs spent
+  int accepted = 0;      ///< candidates that kept the signature
+};
+
+/// Shrink `failing` (whose verdict was `original`, a failure) under
+/// `options`, spending at most `max_evaluations` oracle runs.
+ShrinkResult shrink(const Scenario& failing, const CaseResult& original,
+                    const RunCaseOptions& options, int max_evaluations = 120);
+
+}  // namespace llp::fuzz

@@ -16,6 +16,17 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A rejected problem description: degenerate grid dimensions (smaller
+/// than the dissipation stencil), extents whose storage size would
+/// overflow, non-finite CFL or spacing, malformed scenario specs. Distinct
+/// from plain Error so drivers can map "your case is bad" to a dedicated
+/// exit code (util/exit_codes.hpp) instead of conflating it with internal
+/// precondition failures.
+class ValidationError : public Error {
+public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown by the ThreadPool watchdog when a lane fails to reach the join
 /// within the configured deadline: a hang becomes a structured error on the
 /// calling thread instead of a silent deadlock.

@@ -1,0 +1,49 @@
+// The exit-code contract shared by the CLI drivers (f3d_run, f3d_fuzz).
+//
+// Tools classify their outcome through these codes so harnesses — the
+// scenario fuzzer, the CI jobs, shell test matrices — can bucket a run
+// without scraping stderr:
+//
+//   0   success
+//   1   run failure: recovery budget exhausted, or the dynamic analyzer
+//       reported findings (the run completed but is not trustworthy)
+//   2   usage error: bad flags or out-of-range argument values
+//   3   validation failure: the case itself was rejected
+//       (llp::ValidationError — degenerate dims, non-finite CFL, ...)
+//   4   divergence: the run finished with a non-finite residual or
+//       solution (and no recovery budget absorbed it)
+//   5   I/O error: unreadable input, failed write, no intact checkpoint
+//       generation under --restart (llp::IoError)
+//   42  simulated crash: an injected iocrash died mid-write via _Exit,
+//       like the process death it models (llp::CrashError)
+//
+// 42 is load-bearing: the kill-and-resume tests and the crash-recovery CI
+// matrix assert it, so it must never be renumbered.
+#pragma once
+
+namespace llp {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRunFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitValidation = 3;
+inline constexpr int kExitDivergence = 4;
+inline constexpr int kExitIo = 5;
+inline constexpr int kExitCrashSim = 42;
+
+/// Stable short name for a contract code ("ok", "usage", ...); "unknown"
+/// for anything outside the contract (signals, 127, ...).
+inline const char* exit_code_name(int code) {
+  switch (code) {
+    case kExitOk: return "ok";
+    case kExitRunFailure: return "run-failure";
+    case kExitUsage: return "usage";
+    case kExitValidation: return "validation";
+    case kExitDivergence: return "divergence";
+    case kExitIo: return "io";
+    case kExitCrashSim: return "crash-sim";
+    default: return "unknown";
+  }
+}
+
+}  // namespace llp

@@ -1,0 +1,100 @@
+// Construction hardening: degenerate inputs anywhere in the Zone ->
+// MultiZoneGrid -> Solver chain must raise llp::ValidationError before any
+// storage is sized or any sweep runs — never UB, never a silent default.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "f3d/multizone.hpp"
+#include "f3d/solver.hpp"
+#include "f3d/zone.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using f3d::MultiZoneGrid;
+using f3d::Solver;
+using f3d::SolverConfig;
+using f3d::Zone;
+using f3d::ZoneDims;
+using llp::ValidationError;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Hardening, ZoneRejectsDegenerateExtents) {
+  EXPECT_THROW(Zone(ZoneDims{0, 5, 5}, 0.1, 0.1, 0.1), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{5, -3, 5}, 0.1, 0.1, 0.1), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{5, 5, std::numeric_limits<int>::min()}, 0.1,
+                    0.1, 0.1),
+               ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{Zone::kMaxDim + 1, 5, 5}, 0.1, 0.1, 0.1),
+               ValidationError);
+  EXPECT_NO_THROW(Zone(ZoneDims{1, 1, 1}, 0.1, 0.1, 0.1));
+}
+
+TEST(Hardening, ZoneRejectsOverflowingStorageProducts) {
+  // Each extent is individually legal (<= kMaxDim) but their padded
+  // product would wrap std::size_t on the allocation request.
+  constexpr int big = Zone::kMaxDim;
+  EXPECT_THROW(Zone(ZoneDims{big, big, big}, 0.1, 0.1, 0.1), ValidationError);
+}
+
+TEST(Hardening, ZoneRejectsNonFiniteGeometry) {
+  EXPECT_THROW(Zone(ZoneDims{4, 4, 4}, kNan, 0.1, 0.1), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{4, 4, 4}, 0.1, kInf, 0.1), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{4, 4, 4}, 0.1, 0.1, 0.0), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{4, 4, 4}, 0.1, 0.1, -0.1), ValidationError);
+  EXPECT_THROW(Zone(ZoneDims{4, 4, 4}, 0.1, 0.1, 0.1, kNan), ValidationError);
+}
+
+TEST(Hardening, GridRejectsBadZoneListsAndSpacing) {
+  EXPECT_THROW(MultiZoneGrid({}, 0.1), ValidationError);
+  EXPECT_THROW(MultiZoneGrid({ZoneDims{6, 6, 6}}, 0.0), ValidationError);
+  EXPECT_THROW(MultiZoneGrid({ZoneDims{6, 6, 6}}, -0.1), ValidationError);
+  EXPECT_THROW(MultiZoneGrid({ZoneDims{6, 6, 6}}, kNan), ValidationError);
+  EXPECT_THROW(MultiZoneGrid({ZoneDims{6, 6, 6}}, kInf), ValidationError);
+  // Mismatched K/L across zones breaks the exchange.
+  EXPECT_THROW(MultiZoneGrid({ZoneDims{6, 6, 6}, ZoneDims{6, 7, 6}}, 0.1),
+               ValidationError);
+}
+
+TEST(Hardening, SolverRejectsDimsBelowTheStencilFloor) {
+  // A zone shallower than kMinZoneDim per axis would let the 4th-difference
+  // stencil's ghost reads and writes overlap.
+  MultiZoneGrid thin({ZoneDims{6, f3d::kMinZoneDim - 1, 6}}, 0.1);
+  EXPECT_THROW(Solver(thin, SolverConfig{}), ValidationError);
+  MultiZoneGrid ok({ZoneDims{f3d::kMinZoneDim, f3d::kMinZoneDim,
+                             f3d::kMinZoneDim}},
+                   0.1);
+  EXPECT_NO_THROW(Solver(ok, SolverConfig{}));
+}
+
+TEST(Hardening, SolverRejectsNonFiniteConfig) {
+  MultiZoneGrid grid({ZoneDims{6, 6, 6}}, 0.1);
+  auto with = [](auto&& tweak) {
+    SolverConfig cfg;
+    tweak(cfg);
+    return cfg;
+  };
+  EXPECT_THROW(Solver(grid, with([](SolverConfig& c) { c.cfl = kNan; })),
+               ValidationError);
+  EXPECT_THROW(Solver(grid, with([](SolverConfig& c) { c.cfl = 0.0; })),
+               ValidationError);
+  EXPECT_THROW(Solver(grid, with([](SolverConfig& c) { c.cfl = -2.0; })),
+               ValidationError);
+  EXPECT_THROW(Solver(grid, with([](SolverConfig& c) { c.kappa_i = kInf; })),
+               ValidationError);
+  EXPECT_THROW(
+      Solver(grid, with([](SolverConfig& c) { c.cfl_growth = kNan; })),
+      ValidationError);
+  EXPECT_THROW(Solver(grid, with([](SolverConfig& c) { c.cfl_max = kNan; })),
+               ValidationError);
+  EXPECT_THROW(
+      Solver(grid, with([](SolverConfig& c) { c.freestream.mach = kNan; })),
+      ValidationError);
+  EXPECT_NO_THROW(Solver(grid, SolverConfig{}));
+}
+
+}  // namespace

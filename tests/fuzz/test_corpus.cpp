@@ -1,0 +1,126 @@
+// Corpus files: save/load round-trips, listing, buckets, and the
+// checked-in seed corpus (FUZZ_CORPUS_DIR) staying parseable.
+#include "fuzz/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace llp::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_fuzz_corpus_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Corpus, SaveLoadRoundTrip) {
+  const std::string dir = temp_dir("roundtrip");
+  Scenario s;
+  s.seed = 99;
+  s.zones = {f3d::ZoneDims{5, 6, 7}};
+  s.fault = fault::FaultPlan::parse("throw:fz.z0.rhs:2:0");
+
+  CaseResult r;
+  r.oracle = OracleId::kValidation;
+  r.error_type = "budget-exhausted";
+  r.region = "fz.z0.rhs";
+  r.detail = "lane 0 threw";
+
+  const std::string path = dir + "/" + case_filename(s, r);
+  save_case(path, s, r);
+  const Scenario back = load_case(path);
+  EXPECT_EQ(back.to_line(), s.to_line());
+}
+
+TEST(Corpus, SavedFileCarriesSignatureComment) {
+  const std::string dir = temp_dir("comments");
+  Scenario s;
+  CaseResult r;
+  r.oracle = OracleId::kRace;
+  r.error_type = "write-write";
+  const std::string path = dir + "/x.case";
+  save_case(path, s, r);
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("#", 0), 0u) << first;
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("race/write-write"), std::string::npos);
+}
+
+TEST(Corpus, CaseFilenameIsFilesystemSafe) {
+  Scenario s;
+  s.seed = 12;
+  CaseResult r;
+  r.oracle = OracleId::kValidation;
+  r.error_type = "non-finite";
+  r.region = "fz.z0.update";
+  const std::string name = case_filename(s, r);
+  EXPECT_EQ(name.find('/'), std::string::npos) << name;
+  EXPECT_NE(name.find("12"), std::string::npos) << name;
+  EXPECT_NE(name.find(".case"), std::string::npos) << name;
+}
+
+TEST(Corpus, ListCasesSortedAndFiltered) {
+  const std::string dir = temp_dir("list");
+  Scenario s;
+  CaseResult r;
+  save_case(dir + "/b.case", s, r);
+  save_case(dir + "/a.case", s, r);
+  std::ofstream(dir + "/notes.txt") << "not a case\n";
+  const auto cases = list_cases(dir);
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_NE(cases[0].find("a.case"), std::string::npos);
+  EXPECT_NE(cases[1].find("b.case"), std::string::npos);
+}
+
+TEST(Corpus, ListCasesMissingDirIsEmpty) {
+  EXPECT_TRUE(list_cases(::testing::TempDir() + "does_not_exist_xyz").empty());
+}
+
+TEST(Corpus, LoadRejectsEmptyAndMalformed) {
+  const std::string dir = temp_dir("bad");
+  std::ofstream(dir + "/empty.case") << "# only comments\n\n";
+  EXPECT_THROW(load_case(dir + "/empty.case"), ValidationError);
+  std::ofstream(dir + "/garbage.case") << "v1 frobnicate=1\n";
+  EXPECT_THROW(load_case(dir + "/garbage.case"), ValidationError);
+  EXPECT_THROW(load_case(dir + "/missing.case"), IoError);
+}
+
+TEST(Corpus, BucketSetCountsAndSummarizes) {
+  BucketSet buckets;
+  EXPECT_TRUE(buckets.record("validation/non-finite"));
+  EXPECT_FALSE(buckets.record("validation/non-finite"));
+  EXPECT_TRUE(buckets.record("race/write-write"));
+  EXPECT_EQ(buckets.count("validation/non-finite"), 2);
+  EXPECT_EQ(buckets.count("race/write-write"), 1);
+  EXPECT_EQ(buckets.count("never-seen"), 0);
+  EXPECT_EQ(buckets.size(), 2u);
+  const std::string summary = buckets.summary();
+  EXPECT_NE(summary.find("validation/non-finite x2"), std::string::npos)
+      << summary;
+}
+
+TEST(Corpus, CheckedInSeedCorpusParsesAndRoundTrips) {
+  // The shipped corpus/ seeds must stay loadable forever: they are the
+  // fuzz-smoke CI's replay inputs and the known-bad canaries.
+  const auto cases = list_cases(FUZZ_CORPUS_DIR);
+  ASSERT_GE(cases.size(), 5u);
+  for (const auto& path : cases) {
+    const Scenario s = load_case(path);
+    EXPECT_EQ(Scenario::parse(s.to_line()).to_line(), s.to_line()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace llp::fuzz

@@ -1,0 +1,139 @@
+// Property tests for the FaultPlan grammar: parse(to_string()) is the
+// identity on randomly generated plans across every kind and option, and
+// malformed specs are rejected with a typed error, never accepted silently.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace llp::fault {
+namespace {
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kThrow,   FaultKind::kNan,    FaultKind::kDelay,
+    FaultKind::kHang,    FaultKind::kIoShort, FaultKind::kIoFlip,
+    FaultKind::kIoEnospc, FaultKind::kIoCrash};
+
+FaultSpec random_spec(SplitMix64& rng) {
+  FaultSpec spec;
+  spec.kind = kAllKinds[rng.below(8)];
+  if (is_io_kind(spec.kind)) {
+    spec.region = "ckpt";
+  } else {
+    spec.region = "fz.z" + std::to_string(rng.below(3)) + ".rhs";
+  }
+  spec.any_invocation = rng.below(4) == 0;
+  if (!spec.any_invocation) spec.invocation = rng.below(100);
+  spec.any_lane = rng.below(4) == 0;
+  if (!spec.any_lane) spec.lane = static_cast<int>(rng.below(8));
+  if (spec.kind == FaultKind::kDelay && rng.below(2) == 0) {
+    spec.delay_ms = static_cast<double>(1 + rng.below(50));
+  }
+  if (spec.kind == FaultKind::kNan && rng.below(2) == 0) {
+    spec.array = "q" + std::to_string(rng.below(3));
+  }
+  if (spec.kind == FaultKind::kIoFlip && rng.below(2) == 0) {
+    spec.bit = static_cast<std::int64_t>(rng.below(4096));
+  }
+  if (rng.below(3) == 0) spec.count = static_cast<int>(rng.below(5));
+  if (rng.below(4) == 0) {
+    // Probabilities the %g printer renders exactly, so the round-trip
+    // comparison stays byte-exact.
+    spec.probability = static_cast<double>(1 + rng.below(15)) / 16.0;
+  }
+  return spec;
+}
+
+TEST(FaultPlanFuzz, RandomPlansRoundTripExactly) {
+  SplitMix64 rng(0xfa017ab5ULL);
+  for (int trial = 0; trial < 500; ++trial) {
+    FaultPlan plan;
+    const std::uint64_t nspecs = 1 + rng.below(4);
+    for (std::uint64_t i = 0; i < nspecs; ++i) {
+      plan.specs.push_back(random_spec(rng));
+    }
+    if (rng.below(2) == 0) plan.seed = rng.next();
+
+    const std::string text = plan.to_string();
+    FaultPlan back;
+    ASSERT_NO_THROW(back = FaultPlan::parse(text)) << text;
+    EXPECT_EQ(back.to_string(), text) << "not a fixpoint: " << text;
+    ASSERT_EQ(back.specs.size(), plan.specs.size()) << text;
+    for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+      EXPECT_EQ(back.specs[i].kind, plan.specs[i].kind) << text;
+      EXPECT_EQ(back.specs[i].region, plan.specs[i].region) << text;
+      EXPECT_EQ(back.specs[i].any_invocation, plan.specs[i].any_invocation);
+      EXPECT_EQ(back.specs[i].any_lane, plan.specs[i].any_lane);
+      EXPECT_EQ(back.specs[i].count, plan.specs[i].count) << text;
+    }
+  }
+}
+
+TEST(FaultPlanFuzz, ParseIsIdempotent) {
+  // parse . to_string must be a projection: applying it twice changes
+  // nothing even for hand-written specs with default-valued options.
+  const char* specs[] = {
+      "throw:run.z0.rhs:3:1",
+      "nan:run.z0.rhs:6:0:array=q0",
+      "delay:run.z0.sweep_j:*:2:delay=20:count=5",
+      "ioflip:ckpt:1:0:bit=12",
+      "iocrash:ckpt:2:1;seed=42",
+      "throw:a:0:0;nan:b:1:1;delay:c:*:*",
+  };
+  for (const char* text : specs) {
+    const std::string once = FaultPlan::parse(text).to_string();
+    EXPECT_EQ(FaultPlan::parse(once).to_string(), once) << text;
+  }
+}
+
+TEST(FaultPlanFuzz, MalformedSpecsAreRejected) {
+  const char* bad[] = {
+      "explode:r:0:0",          // unknown kind
+      "throw",                  // missing fields
+      "throw:r",                // missing fields
+      "throw:r:0",              // missing lane
+      "throw:r:x:0",            // bad invocation
+      "throw:r:0:y",            // bad lane
+      "throw::0:0",             // empty region
+      "throw:r:0:0:delay",      // option without value
+      "throw:r:0:0:bogus=1",    // unknown option
+      "delay:r:0:0:delay=fast", // bad option value
+      "ioflip:ckpt:0:0:bit=x",  // bad bit
+      "throw:r:0:0:p=2",        // probability out of range
+      "seed=",                  // empty seed
+      "seed=abc",               // bad seed
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(FaultPlan::parse(text), Error) << text;
+  }
+}
+
+TEST(FaultPlanFuzz, RandomGarbageNeverCrashesTheParser) {
+  // Fuzz the parser itself with printable noise: every outcome must be
+  // either a valid plan or a typed llp::Error — nothing else escapes.
+  const char alphabet[] = "throwandelayispc:;=*.0123456789qz ";
+  SplitMix64 rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const std::uint64_t len = rng.below(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      text += alphabet[rng.below(sizeof(alphabet) - 1)];
+    }
+    try {
+      const FaultPlan plan = FaultPlan::parse(text);
+      // Accepted garbage must at least round-trip.
+      EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(),
+                plan.to_string())
+          << text;
+    } catch (const Error&) {
+      // Typed rejection is the expected outcome for noise.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llp::fault

@@ -1,0 +1,151 @@
+// The oracle stack: clean passes, provoked failures, hostile rejections,
+// and crash-resume through the checkpoint ladder.
+#include "fuzz/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace llp::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string work_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_fuzz_oracle_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Scenario small_clean() {
+  Scenario s;
+  s.zones = {f3d::ZoneDims{6, 6, 6}};
+  s.steps = 4;
+  s.threads = 2;
+  return s;
+}
+
+TEST(Oracle, CleanCasePasses) {
+  const CaseResult r = run_case(small_clean(), {});
+  EXPECT_TRUE(r.passed()) << describe(r);
+  EXPECT_EQ(r.signature(), "pass");
+  EXPECT_EQ(r.steps_completed, 4);
+}
+
+TEST(Oracle, HostileCaseIsRejectedNotCrashed) {
+  Scenario s = small_clean();
+  s.cfl = -1.0;
+  CaseResult r = run_case(s, {});
+  EXPECT_TRUE(r.rejected) << describe(r);
+  EXPECT_EQ(r.signature(), "rejected");
+
+  s = small_clean();
+  s.zones = {f3d::ZoneDims{0, 6, 6}};
+  r = run_case(s, {});
+  EXPECT_TRUE(r.rejected) << describe(r);
+
+  s = small_clean();
+  s.spacing = 0.0;
+  r = run_case(s, {});
+  EXPECT_TRUE(r.rejected) << describe(r);
+}
+
+TEST(Oracle, NanFaultTripsValidationOracle) {
+  // Inject on the final update (invocation steps-1) so the poisoned cell
+  // cannot be refreshed by a later boundary fill before the health check.
+  Scenario s = small_clean();
+  s.fault = fault::FaultPlan::parse("nan:fz.z0.update:3:0:array=q0");
+  const CaseResult r = run_case(s, {});
+  ASSERT_FALSE(r.passed()) << describe(r);
+  EXPECT_EQ(r.oracle, OracleId::kValidation);
+  EXPECT_EQ(r.error_type, "non-finite");
+}
+
+TEST(Oracle, ExhaustedRecoveryBudgetTripsValidationOracle) {
+  Scenario s = small_clean();
+  s.max_recoveries = 1;
+  s.fault = fault::FaultPlan::parse("throw:fz.z0.rhs:*:0:count=3");
+  const CaseResult r = run_case(s, {});
+  ASSERT_FALSE(r.passed()) << describe(r);
+  EXPECT_EQ(r.oracle, OracleId::kValidation);
+  EXPECT_EQ(r.error_type, "budget-exhausted");
+  EXPECT_EQ(r.region, "fz.z0.rhs");
+}
+
+TEST(Oracle, RecoveredFaultStillPasses) {
+  Scenario s = small_clean();
+  s.max_recoveries = 2;
+  s.mem_ckpt_every = 1;
+  s.fault = fault::FaultPlan::parse("throw:fz.z0.rhs:2:0");
+  const CaseResult r = run_case(s, {});
+  EXPECT_TRUE(r.passed()) << describe(r);
+  EXPECT_GE(r.recoveries, 1);
+}
+
+TEST(Oracle, DifferentialRunsOnCleanCases) {
+  // Both engines on the same scenario: the differential oracle passes on
+  // the shipped solver (this is the regression canary for oracle 3).
+  Scenario s = small_clean();
+  s.mode = f3d::SweepMode::kVector;
+  const CaseResult r = run_case(s, {});
+  EXPECT_TRUE(r.passed()) << describe(r);
+}
+
+TEST(Oracle, CrashIsResumedThroughTheStore) {
+  // iocrash mid-checkpoint-write: the run "dies", and the restart oracle
+  // must bring it back from the newest intact generation.
+  Scenario s = small_clean();
+  s.steps = 6;
+  s.ckpt_every = 2;
+  s.fault = fault::FaultPlan::parse("iocrash:ckpt:2:1");
+  RunCaseOptions opt;
+  opt.work_dir = work_dir("crash_resume");
+  const CaseResult r = run_case(s, opt);
+  EXPECT_TRUE(r.crashed) << describe(r);
+  EXPECT_TRUE(r.passed()) << describe(r);
+}
+
+TEST(Oracle, CleanCheckpointedRunOwesRestartParity) {
+  Scenario s = small_clean();
+  s.steps = 6;
+  s.ckpt_every = 2;
+  RunCaseOptions opt;
+  opt.work_dir = work_dir("parity");
+  const CaseResult r = run_case(s, opt);
+  EXPECT_TRUE(r.passed()) << describe(r);
+}
+
+TEST(Oracle, CheckpointScenarioWithoutWorkDirIsAnError) {
+  Scenario s = small_clean();
+  s.ckpt_every = 2;
+  EXPECT_THROW(run_case(s, {}), Error);
+}
+
+TEST(Oracle, SignatureComposesOracleErrorAndRegion) {
+  CaseResult r;
+  r.oracle = OracleId::kValidation;
+  r.error_type = "budget-exhausted";
+  r.region = "fz.z0.rhs";
+  EXPECT_EQ(r.signature(), "validation/budget-exhausted/fz.z0.rhs");
+  r.region.clear();
+  EXPECT_EQ(r.signature(), "validation/budget-exhausted");
+}
+
+TEST(Oracle, DeterministicVerdicts) {
+  // The whole stack is a pure function of (scenario, options): same case,
+  // same verdict, byte-for-byte.
+  Scenario s = small_clean();
+  s.fault = fault::FaultPlan::parse("nan:fz.z0.update:3:0:array=q0");
+  const CaseResult a = run_case(s, {});
+  const CaseResult b = run_case(s, {});
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.steps_completed, b.steps_completed);
+}
+
+}  // namespace
+}  // namespace llp::fuzz

@@ -1,0 +1,119 @@
+// Scenario spec grammar: round-trips, defaults, and malformed rejection.
+#include "fuzz/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace llp::fuzz {
+namespace {
+
+TEST(Scenario, DefaultRoundTrips) {
+  const Scenario s;
+  const Scenario back = Scenario::parse(s.to_line());
+  EXPECT_EQ(back.to_line(), s.to_line());
+}
+
+TEST(Scenario, FullyPopulatedRoundTripsByteExact) {
+  Scenario s;
+  s.seed = 0xdeadbeefULL;
+  s.zones = {f3d::ZoneDims{5, 7, 9}, f3d::ZoneDims{11, 7, 9}};
+  s.spacing = 0.30000000000000004;  // a value %.15g cannot render exactly
+  s.mach = 1.25;
+  s.alpha_deg = -2.5;
+  s.bc = BcCombo::kKminWall;
+  s.pulse = 0.07;
+  s.cfl = 1.9;
+  s.cfl_growth = 1.05;
+  s.cfl_max = 6.5;
+  s.steps = 11;
+  s.mode = f3d::SweepMode::kVector;
+  s.threads = 3;
+  s.max_recoveries = 2;
+  s.mem_ckpt_every = 3;
+  s.ckpt_every = 2;
+  s.fault = fault::FaultPlan::parse("throw:fz.z1.rhs:4:0;seed=99");
+
+  const std::string line = s.to_line();
+  const Scenario back = Scenario::parse(line);
+  EXPECT_EQ(back.to_line(), line);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.zones.size(), 2u);
+  EXPECT_EQ(back.zones[1].jmax, 11);
+  EXPECT_DOUBLE_EQ(back.spacing, s.spacing);
+  EXPECT_EQ(back.bc, BcCombo::kKminWall);
+  EXPECT_EQ(back.mode, f3d::SweepMode::kVector);
+  EXPECT_EQ(back.fault.specs.size(), 1u);
+  EXPECT_EQ(back.fault.seed, 99u);
+}
+
+TEST(Scenario, MissingKeysKeepDefaults) {
+  const Scenario s = Scenario::parse("v1 seed=5 zones=6x6x6");
+  EXPECT_EQ(s.seed, 5u);
+  EXPECT_EQ(s.steps, Scenario{}.steps);
+  EXPECT_EQ(s.threads, Scenario{}.threads);
+  EXPECT_TRUE(s.fault.empty());
+}
+
+TEST(Scenario, MalformedSpecsAreTypedErrors) {
+  // Each malformed line must raise ValidationError — never crash, never
+  // silently default.
+  const char* bad[] = {
+      "",                                   // no version tag
+      "v2 seed=1",                          // wrong version
+      "v1 seed=banana",                     // bad integer
+      "v1 seed=-3",                         // negative unsigned
+      "v1 zones=",                          // empty zone list
+      "v1 zones=6x6",                       // not JxKxL
+      "v1 zones=6x6x6x6",                   // too many dims
+      "v1 cfl=fast",                        // bad double
+      "v1 bc=slippery",                     // unknown bc
+      "v1 mode=quantum",                    // unknown engine
+      "v1 frobnicate=1",                    // unknown key
+      "v1 seed",                            // not key=value
+      "v1 fault=explode:fz.z0.rhs:0:0",     // unknown fault kind
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW(Scenario::parse(line), ValidationError) << line;
+  }
+}
+
+TEST(Scenario, ValidateRejectsStructuralNonsense) {
+  Scenario s;
+  s.zones.clear();
+  EXPECT_THROW(s.validate(), ValidationError);
+
+  s = Scenario{};
+  s.steps = 0;
+  EXPECT_THROW(s.validate(), ValidationError);
+
+  s = Scenario{};
+  s.threads = -1;
+  EXPECT_THROW(s.validate(), ValidationError);
+
+  s = Scenario{};
+  s.zones = {f3d::ZoneDims{6, 6, 6}, f3d::ZoneDims{6, 6, 6}};
+  s.bc = BcCombo::kPeriodic;  // periodic needs exactly one zone
+  EXPECT_THROW(s.validate(), ValidationError);
+
+  EXPECT_NO_THROW(Scenario{}.validate());
+}
+
+TEST(Scenario, GridAndConfigBuildersHonorTheSpec) {
+  Scenario s;
+  s.zones = {f3d::ZoneDims{5, 6, 7}, f3d::ZoneDims{8, 6, 7}};
+  s.bc = BcCombo::kKminWall;
+  s.pulse = 0.05;
+  s.mach = 1.5;
+  f3d::MultiZoneGrid grid = build_scenario_grid(s);
+  EXPECT_EQ(grid.num_zones(), 2);
+  EXPECT_EQ(grid.zone(1).jmax(), 8);
+  EXPECT_EQ(grid.bcs(0)[f3d::Face::kKMin], f3d::BcType::kSlipWall);
+
+  const f3d::SolverConfig cfg = build_scenario_config(s);
+  EXPECT_EQ(cfg.region_prefix, kRegionPrefix);
+  EXPECT_DOUBLE_EQ(cfg.freestream.mach, 1.5);
+}
+
+}  // namespace
+}  // namespace llp::fuzz

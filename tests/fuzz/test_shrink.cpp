@@ -1,0 +1,74 @@
+// Shrinker: minimal repros that preserve the exact bucket signature.
+#include "fuzz/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llp::fuzz {
+namespace {
+
+Scenario noisy_failure() {
+  // A deliberately over-complicated failing case: big-ish grid, two zones,
+  // extra knobs turned, two fault specs of which only the throw matters —
+  // with no recovery budget the run is guaranteed budget-exhausted on
+  // every grid shape, so the shrinker has lots of slack to remove.
+  Scenario s;
+  s.zones = {f3d::ZoneDims{8, 8, 8}, f3d::ZoneDims{10, 8, 8}};
+  s.steps = 10;
+  s.threads = 4;
+  s.pulse = 0.05;
+  s.alpha_deg = 2.0;
+  s.bc = BcCombo::kKminWall;
+  s.cfl_growth = 1.02;
+  s.fault = fault::FaultPlan::parse(
+      "throw:fz.z0.rhs:*:0:count=0;delay:fz.z1.rhs:*:1:delay=1:count=2");
+  return s;
+}
+
+TEST(Shrink, PreservesSignatureAndReduces) {
+  const Scenario original = noisy_failure();
+  const CaseResult verdict = run_case(original, {});
+  ASSERT_FALSE(verdict.passed()) << describe(verdict);
+  ASSERT_EQ(verdict.oracle, OracleId::kValidation);
+
+  const ShrinkResult r = shrink(original, verdict, {}, 80);
+  EXPECT_EQ(r.signature, verdict.signature());
+  EXPECT_GT(r.evaluations, 0);
+  EXPECT_LE(r.evaluations, 80);
+
+  // The shrunken case must still fail identically when replayed cold.
+  const CaseResult replay = run_case(r.scenario, {});
+  EXPECT_EQ(replay.signature(), verdict.signature()) << describe(replay);
+
+  // And it must be strictly simpler: the irrelevant delay spec dropped,
+  // zones/steps/threads reduced.
+  EXPECT_EQ(r.scenario.fault.specs.size(), 1u)
+      << r.scenario.fault.to_string();
+  EXPECT_EQ(r.scenario.fault.specs[0].kind, fault::FaultKind::kThrow);
+  EXPECT_LE(r.scenario.zones.size(), original.zones.size());
+  EXPECT_LE(r.scenario.steps, original.steps);
+  EXPECT_LE(r.scenario.threads, original.threads);
+  EXPECT_LE(r.scenario.zones[0].points(), original.zones[0].points());
+}
+
+TEST(Shrink, IsDeterministic) {
+  const Scenario original = noisy_failure();
+  const CaseResult verdict = run_case(original, {});
+  ASSERT_FALSE(verdict.passed());
+  const ShrinkResult a = shrink(original, verdict, {}, 60);
+  const ShrinkResult b = shrink(original, verdict, {}, 60);
+  EXPECT_EQ(a.scenario.to_line(), b.scenario.to_line());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Shrink, RespectsEvaluationBudget) {
+  const Scenario original = noisy_failure();
+  const CaseResult verdict = run_case(original, {});
+  ASSERT_FALSE(verdict.passed());
+  const ShrinkResult r = shrink(original, verdict, {}, 5);
+  EXPECT_LE(r.evaluations, 5);
+  // Even under a tiny budget the result must carry the right signature.
+  EXPECT_EQ(run_case(r.scenario, {}).signature(), verdict.signature());
+}
+
+}  // namespace
+}  // namespace llp::fuzz

@@ -164,7 +164,8 @@ TEST(Restart, StrictRestartFailsWithoutCheckpoints) {
   auto args = base_args(test_dir("strict_empty"));
   args.push_back("--restart");
   const auto r = run_f3d(args);
-  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // I/O error per the shared exit-code contract (util/exit_codes.hpp).
+  EXPECT_EQ(r.exit_code, 5) << r.output;
   EXPECT_NE(r.output.find("no intact checkpoint generation"),
             std::string::npos)
       << r.output;
@@ -182,7 +183,7 @@ TEST(Restart, MismatchedConfigIsRefused) {
   args.push_back("500");
   args.push_back("--restart");
   const auto r = run_f3d(args);
-  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.exit_code, 5) << r.output;
   EXPECT_NE(r.output.find("fingerprint"), std::string::npos) << r.output;
 }
 

@@ -1,0 +1,183 @@
+// f3d_fuzz — deterministic scenario fuzzer for the solver stack.
+//
+//   f3d_fuzz [options]
+//     --seed N           campaign seed                      (default: 1)
+//     --cases N          freshly generated cases            (default: 50)
+//     --corpus DIR       seed-corpus directory of *.case files, replayed
+//                        (and mutated) before fresh generation; repeatable
+//     --out DIR          save shrunken repros as DIR/*.case (default: off)
+//     --work DIR         scratch for per-case checkpoint stores
+//                        (default: ./fuzz_work)
+//     --no-shrink        keep first-hit failures unshrunk
+//     --shrink-budget N  oracle runs per shrink             (default: 120)
+//     --max-dim N        largest per-axis zone extent drawn (default: 12)
+//     --max-steps N      largest step count drawn           (default: 12)
+//     --no-hostile       do not generate deliberately-degenerate cases
+//     --print-specs      echo every generated spec line (two runs with the
+//                        same seed must produce byte-identical output —
+//                        CI diffs this)
+//     --strict           exit 1 if any failure was unprovoked (a scenario
+//                        with NO fault plan misbehaved) — the CI gate
+//     --replay FILE...   skip the campaign: replay the given corpus files
+//                        through the oracle stack; exit 1 if any fails
+//
+// Every case runs in-process on its own llp::Runtime through the oracle
+// stack (validation health, dynamic race check, kRisc/kVector
+// differential, kill-and-resume via the durable checkpoint ladder); see
+// src/fuzz/oracle.hpp. Failures are bucketed by signature, shrunk to a
+// minimal repro, and saved as replayable one-line specs.
+//
+// Exit codes follow the shared contract (util/exit_codes.hpp): 0 campaign
+// complete (or all replays pass), 1 replay failed / strict gate tripped,
+// 2 usage error, 3 invalid corpus file, 5 I/O error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/runner.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "f3d_fuzz: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: f3d_fuzz [--seed N] [--cases N] [--corpus DIR]\n"
+               "  [--out DIR] [--work DIR] [--no-shrink] [--shrink-budget N]\n"
+               "  [--max-dim N] [--max-steps N] [--no-hostile]\n"
+               "  [--print-specs] [--strict] [--replay FILE...]\n");
+  std::exit(llp::kExitUsage);
+}
+
+long parse_int(const std::string& flag, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    usage(flag + "=" + s + " out of range [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    usage(flag + " wants an unsigned integer, got '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+struct Options {
+  llp::fuzz::CampaignConfig campaign;
+  std::vector<std::string> replay_files;
+  bool strict = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") {
+      o.campaign.seed = parse_u64(a, need(i++));
+    } else if (a == "--cases") {
+      o.campaign.cases = static_cast<int>(parse_int(a, need(i++), 0, 1 << 20));
+    } else if (a == "--corpus") {
+      for (const std::string& file : llp::fuzz::list_cases(need(i++))) {
+        o.campaign.corpus_files.push_back(file);
+      }
+    } else if (a == "--out") {
+      o.campaign.out_dir = need(i++);
+    } else if (a == "--work") {
+      o.campaign.work_dir = need(i++);
+    } else if (a == "--no-shrink") {
+      o.campaign.shrink = false;
+    } else if (a == "--shrink-budget") {
+      o.campaign.shrink_budget =
+          static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--max-dim") {
+      o.campaign.generator.max_dim =
+          static_cast<int>(parse_int(a, need(i++), 4, 1 << 10));
+    } else if (a == "--max-steps") {
+      o.campaign.generator.max_steps =
+          static_cast<int>(parse_int(a, need(i++), 3, 1 << 12));
+    } else if (a == "--no-hostile") {
+      o.campaign.generator.allow_hostile = false;
+    } else if (a == "--print-specs") {
+      o.campaign.print_specs = true;
+    } else if (a == "--strict") {
+      o.strict = true;
+    } else if (a == "--replay") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        o.replay_files.push_back(argv[++i]);
+      }
+      if (o.replay_files.empty()) usage("--replay wants at least one file");
+    } else if (a == "--help" || a == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+  return o;
+}
+
+int replay_main(const Options& o) {
+  llp::fuzz::RunCaseOptions options;
+  options.work_dir =
+      o.campaign.work_dir.empty() ? "fuzz_work" : o.campaign.work_dir;
+  bool any_failed = false;
+  for (const std::string& file : o.replay_files) {
+    const llp::fuzz::CaseResult verdict =
+        llp::fuzz::replay_file(file, options, std::cout);
+    if (!verdict.passed() && !verdict.rejected) any_failed = true;
+  }
+  return any_failed ? llp::kExitRunFailure : llp::kExitOk;
+}
+
+int fuzz_main(const Options& o) {
+  if (o.replay_files.empty() && o.campaign.cases == 0 &&
+      o.campaign.corpus_files.empty()) {
+    usage("nothing to do: --cases 0 and no corpus");
+  }
+  if (!o.replay_files.empty()) return replay_main(o);
+
+  const llp::fuzz::CampaignStats stats =
+      llp::fuzz::run_campaign(o.campaign, std::cout);
+  std::cout << "== campaign summary ==\n" << stats.summary();
+  if (stats.unprovoked_failure) {
+    std::cout << "UNPROVOKED failure: a fault-free scenario misbehaved\n";
+  }
+  if (o.strict && stats.unprovoked_failure) return llp::kExitRunFailure;
+  return llp::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    return fuzz_main(o);
+  } catch (const llp::ValidationError& e) {
+    std::fprintf(stderr, "f3d_fuzz: invalid case: %s\n", e.what());
+    return llp::kExitValidation;
+  } catch (const llp::IoError& e) {
+    std::fprintf(stderr, "f3d_fuzz: io error: %s\n", e.what());
+    return llp::kExitIo;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "f3d_fuzz: error: %s\n", e.what());
+    return llp::kExitRunFailure;
+  }
+}

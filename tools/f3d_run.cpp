@@ -47,14 +47,20 @@
 //
 // All numeric flags are validated: non-numeric, non-finite, or
 // out-of-range values (zero grid dims, nonpositive CFL, ...) are a usage
-// error with exit code 2, not a silent garbage run.
+// error, not a silent garbage run.
 //
-// Exit code 0 on success; prints residual history, performance in the
-// paper's metrics, and wall forces when a wall is present. With faults
-// injected or --max-recoveries set, the run goes through the solver's
-// checkpoint/rollback path and exits 1 if the recovery budget is
-// exhausted. An injected iocrash exits abruptly (code 42) without cleanup,
-// like the process death it simulates.
+// Exit codes follow the shared contract (util/exit_codes.hpp):
+//   0  success (prints residual history, paper metrics, wall forces)
+//   1  run failure: recovery budget exhausted on a still-finite fault, or
+//      the dynamic analyzer reported findings
+//   2  usage error (bad flags / out-of-range values)
+//   3  validation failure: the case itself was rejected
+//      (llp::ValidationError — degenerate dims, non-finite CFL)
+//   4  divergence: the run went non-finite and no recovery absorbed it
+//   5  I/O error, including bare --restart with no intact generation
+//   42 simulated crash: an injected iocrash exits abruptly without
+//      cleanup, like the process death it models (this value is
+//      load-bearing — the crash-recovery CI matrix asserts it)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -79,6 +85,7 @@
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
 #include "serve/job.hpp"
+#include "util/exit_codes.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -96,7 +103,7 @@ namespace {
                "  [--ckpt-dir D] [--ckpt-every N] [--keep-generations K]\n"
                "  [--restart[=auto]] [--trace F] [--trace-buffer N]\n"
                "  [--analyze] [--analyze-log F] [--serve-compat]\n");
-  std::exit(2);
+  std::exit(llp::kExitUsage);
 }
 
 enum class Restart { kNone, kStrict, kAuto };
@@ -365,7 +372,7 @@ int run_main(const Options& o) {
         std::fprintf(stderr,
                      "f3d_run: no intact checkpoint generation under %s\n",
                      o.ckpt_dir.c_str());
-        return 1;
+        return llp::kExitIo;
       }
       std::printf("restart: no intact generation under %s, starting fresh\n",
                   o.ckpt_dir.c_str());
@@ -499,7 +506,15 @@ int run_main(const Options& o) {
     // A run that races is a failed run, even if the numbers look plausible.
     analyzer_failed = logger->num_findings() > 0;
   }
-  return (report.failed || analyzer_failed) ? 1 : 0;
+  if (report.failed) {
+    // Divergence (the run went non-finite and the recovery budget could
+    // not absorb it) is distinguishable from an exhausted budget on a
+    // still-finite fault, per the shared contract.
+    const bool diverged =
+        report.failure_reason.find("non-finite") != std::string::npos;
+    return diverged ? llp::kExitDivergence : llp::kExitRunFailure;
+  }
+  return analyzer_failed ? llp::kExitRunFailure : llp::kExitOk;
 }
 
 }  // namespace
@@ -512,6 +527,15 @@ int main(int argc, char** argv) {
     // A simulated crash behaves like the real thing: no stack unwinding,
     // no destructors, no checkpoint cleanup — just sudden death.
     std::fprintf(stderr, "f3d_run: %s\n", e.what());
-    std::_Exit(42);
+    std::_Exit(llp::kExitCrashSim);
+  } catch (const llp::ValidationError& e) {
+    std::fprintf(stderr, "f3d_run: invalid case: %s\n", e.what());
+    return llp::kExitValidation;
+  } catch (const llp::IoError& e) {
+    std::fprintf(stderr, "f3d_run: io error: %s\n", e.what());
+    return llp::kExitIo;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "f3d_run: error: %s\n", e.what());
+    return llp::kExitRunFailure;
   }
 }

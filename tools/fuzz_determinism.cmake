@@ -1,0 +1,18 @@
+# Bit-determinism check for f3d_fuzz: two campaigns with the same seed
+# must print byte-identical spec lines and verdicts. Run as
+#   cmake -DFUZZ_BIN=... -DWORK=... -P fuzz_determinism.cmake
+set(args --seed 11 --cases 5 --no-shrink --print-specs --work ${WORK})
+
+execute_process(COMMAND ${FUZZ_BIN} ${args}
+                OUTPUT_VARIABLE run_a RESULT_VARIABLE rc_a)
+execute_process(COMMAND ${FUZZ_BIN} ${args}
+                OUTPUT_VARIABLE run_b RESULT_VARIABLE rc_b)
+
+if(NOT rc_a EQUAL 0 OR NOT rc_b EQUAL 0)
+  message(FATAL_ERROR "f3d_fuzz exited ${rc_a}/${rc_b}")
+endif()
+if(NOT run_a STREQUAL run_b)
+  message(FATAL_ERROR "same seed produced different output:\n--- A ---\n"
+                      "${run_a}\n--- B ---\n${run_b}")
+endif()
+message(STATUS "deterministic: ${FUZZ_BIN} output identical across runs")
