@@ -18,6 +18,7 @@
 #include "util/crc32c.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/io.hpp"
 
 namespace fs = std::filesystem;
 
@@ -174,15 +175,13 @@ void write_file_durable(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw llp::IoError("cannot open " + tmp + " for writing");
-  std::size_t done = 0;
-  while (done < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n <= 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw llp::IoError("write failed on " + tmp);
-    }
-    done += static_cast<std::size_t>(n);
+  const llp::io::IoResult wr =
+      llp::io::write_exact(fd, data.data(), data.size());
+  if (!wr.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw llp::IoError("write failed on " + tmp + ": " +
+                       std::strerror(wr.error));
   }
   if (::fsync(fd) != 0) {
     ::close(fd);
@@ -565,6 +564,73 @@ Manifest CheckpointStore::load(int gen, MultiZoneGrid& grid) const {
   }
   if (checksum(grid) != man.grid_checksum) {
     throw llp::IoError("grid checksum mismatch after restore");
+  }
+  return man;
+}
+
+Manifest CheckpointStore::load_zone_range(int gen, int first,
+                                          MultiZoneGrid& grid) const {
+  const std::string data = read_file(state_path(cfg_.dir, gen));
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw llp::IoError("bad checkpoint magic");
+  }
+  Cursor c{data.data(), data.size(), sizeof(kMagic)};
+
+  const Frame hdr = read_frame(c, "header frame");
+  if (hdr.tag != kTagHeader) throw llp::IoError("first frame is not HDR0");
+  const Manifest man = parse_manifest(hdr.payload, hdr.size);
+
+  if (!cfg_.meta.empty() && man.meta != cfg_.meta) {
+    throw llp::IoError("config fingerprint mismatch: checkpoint was written "
+                       "by a different run configuration (\"" +
+                       man.meta + "\" vs \"" + cfg_.meta + "\")");
+  }
+  const auto dims = grid.zone_dims();
+  const int count = grid.num_zones();
+  if (first < 0 || count < 1 ||
+      static_cast<std::size_t>(first) + static_cast<std::size_t>(count) >
+          man.dims.size()) {
+    throw llp::IoError(llp::strfmt(
+        "zone range [%d, %d) outside the generation's %zu zones", first,
+        first + count, man.dims.size()));
+  }
+  for (int z = 0; z < count; ++z) {
+    const ZoneDims& want = man.dims[static_cast<std::size_t>(first + z)];
+    const ZoneDims& have = dims[static_cast<std::size_t>(z)];
+    if (want.jmax != have.jmax || want.kmax != have.kmax ||
+        want.lmax != have.lmax) {
+      throw llp::IoError(
+          llp::strfmt("zone %d dimension mismatch against grid", first + z));
+    }
+  }
+
+  // Frames are sequential: walk (and CRC-validate) every zone frame up to
+  // the end of the range, keeping only the requested ones.
+  std::vector<std::vector<double>> zones(static_cast<std::size_t>(count));
+  for (int z = 0; z < first + count; ++z) {
+    const Frame zf = read_frame(c, "zone frame");
+    if (zf.tag != kTagZone || zf.index != static_cast<std::uint32_t>(z)) {
+      throw llp::IoError(llp::strfmt("zone frame %d out of order", z));
+    }
+    if (z < first) continue;
+    const std::size_t expect = man.dims[static_cast<std::size_t>(z)].points() *
+                               static_cast<std::size_t>(kNumVars) *
+                               sizeof(double);
+    if (zf.size != expect) {
+      throw llp::IoError(llp::strfmt("zone %d payload is %zu bytes, "
+                                     "expected %zu",
+                                     z, zf.size, expect));
+    }
+    auto& dst = zones[static_cast<std::size_t>(z - first)];
+    dst.resize(zf.size / sizeof(double));
+    std::memcpy(dst.data(), zf.payload, zf.size);
+  }
+
+  // unpack rejects non-finite values, so a bit flip that survives a
+  // payload CRC collision still cannot land a NaN in the grid.
+  for (int z = 0; z < count; ++z) {
+    unpack_zone_interior(zones[static_cast<std::size_t>(z)], grid.zone(z));
   }
   return man;
 }

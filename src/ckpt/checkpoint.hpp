@@ -109,6 +109,16 @@ public:
   /// to another generation or rebuild).
   Manifest load(int gen, MultiZoneGrid& grid) const;
 
+  /// Remote-generation handoff: restore only zones [first, first + n) of
+  /// generation `gen` into `grid`, whose n zones must match those dims in
+  /// order (n = grid.num_zones()). A cluster worker restores its slab of a
+  /// coordinator-written generation without materializing the global grid.
+  /// Runs the validation ladder over everything it touches — magic, header
+  /// CRC, fingerprint, dims, the zone frames up to the range's end, finite
+  /// values — but not the end-to-end grid checksum, which only the full
+  /// grid can reproduce. Throws llp::IoError like load().
+  Manifest load_zone_range(int gen, int first, MultiZoneGrid& grid) const;
+
   /// Walk generations newest-to-oldest and return the first that loads
   /// clean. `gen_out` receives its number; every rejected generation
   /// appends a "ckpt.N: reason" line to `ladder_log` (when non-null).

@@ -1,0 +1,744 @@
+#include "cluster/coordinator.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "ckpt/checkpoint.hpp"
+#include "cluster/detector.hpp"
+#include "cluster/partition.hpp"
+#include "cluster/protocol.hpp"
+#include "cluster/worker.hpp"
+#include "f3d/io.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/health.hpp"
+#include "msg/frame.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace llp::cluster {
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One live worker process: the supervision state beside the pipe.
+struct WorkerProc {
+  int slot = -1;
+  int rank = -1;
+  ZoneRange range;
+  pid_t pid = -1;
+  int fd = -1;
+  llp::msg::FrameParser parser;
+  std::vector<std::uint8_t> outq;  ///< unsent bytes (nonblocking writes)
+  std::size_t out_off = 0;
+  FailureDetector det;
+  bool fd_open = false;
+  /// Highest step for which this worker has sent halo traffic — the blame
+  /// signal for coupled stalls (see the deadline sweep in event_loop).
+  int last_halo_step = -1;
+  /// STEP_DONE payloads held until every live worker reaches the step.
+  std::map<int, StepDone> done;
+
+  WorkerProc(DetectorConfig dcfg, llp::fault::HealthMonitor* health)
+      : det(dcfg, health) {}
+};
+
+class Coordinator {
+public:
+  explicit Coordinator(const ClusterConfig& cfg) : cfg_(cfg) {}
+
+  ClusterReport run();
+
+private:
+  // -- supervision ------------------------------------------------------
+  void spawn(WorkerProc& w, int start_step, int generation);
+  void kill_all();
+  void backoff_before_respawn(int slot, int consecutive);
+  void consume_one_shot_fault(int slot);
+  std::string live_fault_spec() const;
+  [[noreturn]] void exhaust(const std::string& why);
+
+  // -- event loop -------------------------------------------------------
+  /// Drive one epoch from `start_step`. Returns the failed slot index into
+  /// workers_, or -1 when every worker finished the run.
+  int event_loop(int start_step);
+  bool handle_frame(WorkerProc& w, llp::msg::Frame&& f, std::int64_t now);
+  void relay_halo(const WorkerProc& from, const llp::msg::Frame& f);
+  void enqueue(WorkerProc& w, const std::vector<std::uint8_t>& bytes);
+  bool flush_out(WorkerProc& w);
+  void process_barrier_steps();
+  void logline(const std::string& line);
+
+  const ClusterConfig& cfg_;
+  ClusterReport report_;
+  llp::fault::HealthMonitor health_;
+  fault::FaultPlan plan_;
+  std::vector<char> consumed_;
+
+  std::unique_ptr<f3d::MultiZoneGrid> staging_;
+  std::unique_ptr<f3d::ckpt::CheckpointStore> store_;
+  std::string meta_;
+
+  std::vector<WorkerProc> workers_;      ///< live slots, rank order
+  std::vector<int> consecutive_fail_;    ///< by slot id
+  std::vector<int> attempts_;            ///< spawn count by slot id
+  int total_zones_ = 0;
+  int barrier_step_ = 0;   ///< next step whose global combine is pending
+  int failed_worker_ = -1;
+  std::string failure_text_;
+
+  // One-step-late sealing: the generation staged at an upload step is
+  // written when the next step's global residual (its first-replay
+  // residual) is known.
+  bool pending_ = false;
+  f3d::SolverState pending_state_;
+
+  // Solver scalars at the current epoch's start step (from the manifest of
+  // the generation the epoch restores) — forwarded verbatim in every INIT.
+  double epoch_state_cfl_ = 0.0;
+  double epoch_state_residual_ = 0.0;
+  double epoch_state_prev_residual_ = -1.0;
+
+  std::int64_t t0_ms_ = 0;
+};
+
+void Coordinator::logline(const std::string& line) {
+  const std::string stamped =
+      strfmt("[%6lld ms] ", static_cast<long long>(now_ms() - t0_ms_)) + line;
+  report_.log.push_back(stamped);
+  if (cfg_.verbose) std::fprintf(stderr, "f3d_cluster: %s\n", stamped.c_str());
+}
+
+[[noreturn]] void Coordinator::exhaust(const std::string& why) {
+  logline("FATAL: " + why);
+  throw llp::ClusterError(why + " (recoveries=" +
+                          std::to_string(report_.recoveries) +
+                          ", respawns=" + std::to_string(report_.respawns) +
+                          ", migrations=" +
+                          std::to_string(report_.migrations) + ")");
+}
+
+std::string Coordinator::live_fault_spec() const {
+  fault::FaultPlan live;
+  live.seed = plan_.seed;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    if (!consumed_[i]) live.specs.push_back(plan_.specs[i]);
+  }
+  return live.empty() ? std::string() : live.to_string();
+}
+
+void Coordinator::consume_one_shot_fault(int slot) {
+  // A one-shot worker-scoped fault that just brought `slot` down has done
+  // its job; strip it from the plan the respawned workers receive, or the
+  // fresh process (whose firing counters restart) would fault again on the
+  // same step forever. Unlimited entries (count <= 0) are deliberately
+  // never consumed — they model a persistent failure and drive the
+  // migration path.
+  std::string prefix = "w";
+  prefix += std::to_string(slot);
+  prefix += '.';
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const auto& spec = plan_.specs[i];
+    if (!consumed_[i] && spec.count > 0 &&
+        spec.region.rfind(prefix, 0) == 0) {
+      consumed_[i] = 1;
+      logline("consumed fault spec '" + spec.to_string() + "'");
+      return;
+    }
+  }
+}
+
+void Coordinator::backoff_before_respawn(int slot, int consecutive) {
+  // Capped exponential backoff with deterministic jitter: attempt k waits
+  // base * 2^(k-1), capped, plus up to one base interval of SplitMix64
+  // jitter keyed on (seed, slot, attempt) so reruns sleep identically and
+  // simultaneous respawns do not stampede in lockstep.
+  if (consecutive <= 0) return;
+  const int shift = std::min(consecutive - 1, 20);
+  std::int64_t wait = static_cast<std::int64_t>(cfg_.backoff_base_ms)
+                      << shift;
+  wait = std::min<std::int64_t>(wait, cfg_.backoff_max_ms);
+  SplitMix64 rng(cfg_.seed ^ (static_cast<std::uint64_t>(slot) << 32) ^
+                 static_cast<std::uint64_t>(consecutive));
+  wait += static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(cfg_.backoff_base_ms) + 1));
+  logline(strfmt("slot %d: backoff %lld ms before respawn (attempt %d)",
+                 slot, static_cast<long long>(wait), consecutive));
+  std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+}
+
+void Coordinator::spawn(WorkerProc& w, int start_step, int generation) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw llp::IoError(strfmt("socketpair failed: %s", std::strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw llp::IoError(strfmt("fork failed: %s", std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: keep only our end of our pipe, then either exec the worker
+    // binary or run the worker loop in-process (tests, fuzz oracle).
+    ::close(sv[0]);
+    for (const WorkerProc& other : workers_) {
+      if (other.fd_open && other.fd >= 0) ::close(other.fd);
+    }
+    if (cfg_.worker_exe.empty()) {
+      ::_exit(worker_main(sv[1]));
+    }
+    const std::string fd_arg = std::to_string(sv[1]);
+    ::execl(cfg_.worker_exe.c_str(), cfg_.worker_exe.c_str(), "--worker",
+            "--fd", fd_arg.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed; the coordinator sees EOF before READY
+  }
+  ::close(sv[1]);
+  const int flags = ::fcntl(sv[0], F_GETFL, 0);
+  ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+
+  w.pid = pid;
+  w.fd = sv[0];
+  w.fd_open = true;
+  w.parser = llp::msg::FrameParser();
+  w.outq.clear();
+  w.out_off = 0;
+  w.done.clear();
+  w.last_halo_step = start_step - 1;
+
+  // The complete recipe: a cold start at step 0 and a respawn mid-run are
+  // the same message with different (start_step, generation).
+  WorkerInit init;
+  init.slot = static_cast<std::uint32_t>(w.slot);
+  init.rank = static_cast<std::uint32_t>(w.rank);
+  init.ranks = static_cast<std::uint32_t>(workers_.size());
+  init.attempt = static_cast<std::uint32_t>(attempts_[
+      static_cast<std::size_t>(w.slot)]);
+  init.zone_first = static_cast<std::uint32_t>(w.range.first);
+  init.total_zones = static_cast<std::uint32_t>(total_zones_);
+  init.start_step = static_cast<std::uint32_t>(start_step);
+  init.total_steps = static_cast<std::uint32_t>(cfg_.steps);
+  init.ckpt_every = static_cast<std::uint32_t>(std::max(cfg_.ckpt_every, 0));
+  init.worker_threads = static_cast<std::uint32_t>(
+      std::max(cfg_.worker_threads, 1));
+  init.mode = static_cast<std::uint32_t>(cfg_.mode);
+  init.heartbeat_ms = static_cast<std::uint32_t>(std::max(cfg_.heartbeat_ms,
+                                                          1));
+  init.generation = static_cast<std::uint32_t>(generation);
+  init.spacing = cfg_.case_spec.spacing;
+  init.mach = cfg_.case_spec.freestream.mach;
+  init.alpha_deg = cfg_.case_spec.freestream.alpha_deg;
+  init.beta_deg = cfg_.case_spec.freestream.beta_deg;
+  init.cfl = cfg_.cfl;
+  init.kappa_i = cfg_.kappa_i;
+  init.ckpt_dir = cfg_.ckpt_dir;
+  init.meta = meta_;
+  init.fault_spec = live_fault_spec();
+  init.region_prefix = cfg_.region_prefix;
+  // Solver scalars at start_step come from the generation's manifest; the
+  // caller restored them into epoch state before spawning.
+  init.state_cfl = epoch_state_cfl_;
+  init.state_residual = epoch_state_residual_;
+  init.state_prev_residual = epoch_state_prev_residual_;
+  for (int z = w.range.first; z < w.range.end(); ++z) {
+    WorkerZone wz;
+    wz.dims = staging_->zone(z).dims();
+    for (int f = 0; f < f3d::kNumFaces; ++f) {
+      wz.bc[static_cast<std::size_t>(f)] =
+          static_cast<std::uint32_t>(staging_->bcs(z).face[f]);
+    }
+    init.zones.push_back(wz);
+  }
+  llp::msg::Frame f;
+  f.type = static_cast<std::uint32_t>(MsgType::kInit);
+  f.payload = encode_init(init);
+  enqueue(w, llp::msg::encode_frame(f));
+  flush_out(w);
+
+  w.det.on_spawn(now_ms());
+  ++attempts_[static_cast<std::size_t>(w.slot)];
+  logline(strfmt("slot %d: spawned pid %d (rank %d/%d, zones [%d,%d), "
+                 "start step %d, gen %d)",
+                 w.slot, static_cast<int>(pid), w.rank,
+                 static_cast<int>(workers_.size()), w.range.first,
+                 w.range.end(), start_step, generation));
+}
+
+void Coordinator::kill_all() {
+  for (WorkerProc& w : workers_) {
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+    if (w.fd_open) {
+      ::close(w.fd);
+      w.fd_open = false;
+    }
+    w.outq.clear();
+    w.out_off = 0;
+    w.done.clear();
+  }
+}
+
+void Coordinator::enqueue(WorkerProc& w, const std::vector<std::uint8_t>& b) {
+  if (!w.fd_open) return;
+  // Compact the consumed prefix occasionally so the queue does not grow
+  // without bound across a long run.
+  if (w.out_off > (1u << 16) && w.out_off * 2 > w.outq.size()) {
+    w.outq.erase(w.outq.begin(),
+                 w.outq.begin() + static_cast<std::ptrdiff_t>(w.out_off));
+    w.out_off = 0;
+  }
+  w.outq.insert(w.outq.end(), b.begin(), b.end());
+}
+
+bool Coordinator::flush_out(WorkerProc& w) {
+  while (w.fd_open && w.out_off < w.outq.size()) {
+    const ssize_t n = ::send(w.fd, w.outq.data() + w.out_off,
+                             w.outq.size() - w.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      w.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE/ECONNRESET: the worker is gone; reader declares
+  }
+  if (w.out_off == w.outq.size()) {
+    w.outq.clear();
+    w.out_off = 0;
+  }
+  return true;
+}
+
+void Coordinator::relay_halo(const WorkerProc& from, const llp::msg::Frame& f) {
+  int src = 0, dest = 0;
+  bool rightward = false;
+  unpack_halo_route(f.b, &src, &dest, &rightward);
+  if (src != from.rank || dest < 0 ||
+      dest >= static_cast<int>(workers_.size()) || dest == from.rank) {
+    throw llp::IoError(strfmt("bad halo route %d->%d from rank %d", src,
+                              dest, from.rank));
+  }
+  ++report_.frames_relayed;
+  enqueue(workers_[static_cast<std::size_t>(dest)], llp::msg::encode_frame(f));
+}
+
+bool Coordinator::handle_frame(WorkerProc& w, llp::msg::Frame&& f,
+                               std::int64_t now) {
+  w.det.on_frame(now);
+  switch (static_cast<MsgType>(f.type)) {
+    case MsgType::kReady:
+      w.det.on_ready(now);
+      logline(strfmt("slot %d: ready (attempt %llu)", w.slot,
+                     static_cast<unsigned long long>(f.b)));
+      return true;
+    case MsgType::kHeartbeat:
+      ++report_.heartbeats_seen;
+      return true;
+    case MsgType::kHalo:
+      w.last_halo_step =
+          std::max(w.last_halo_step, static_cast<int>(f.a / 2));
+      relay_halo(w, f);
+      return true;
+    case MsgType::kStepDone: {
+      const int step = static_cast<int>(f.b);
+      if (step < barrier_step_ || step >= cfg_.steps) {
+        throw llp::IoError(strfmt("slot %d acked implausible step %d",
+                                  w.slot, step));
+      }
+      w.done[step] = decode_step_done(f);
+      w.det.on_progress(step, now);
+      // Progress clears the slot's consecutive-failure streak: the backoff
+      // ladder restarts only if it fails again.
+      consecutive_fail_[static_cast<std::size_t>(w.slot)] = 0;
+      if (step == cfg_.steps - 1) w.det.on_finished();
+      process_barrier_steps();
+      return true;
+    }
+    case MsgType::kError:
+      failure_text_ = std::string(f.payload.begin(), f.payload.end());
+      logline(strfmt("slot %d: worker error: %s", w.slot,
+                     failure_text_.c_str()));
+      return false;  // fatal: the worker is about to exit
+    default:
+      throw llp::IoError(strfmt("slot %d sent unknown frame type %u", w.slot,
+                                f.type));
+  }
+}
+
+void Coordinator::process_barrier_steps() {
+  // A step's global combine completes when every live worker has acked it.
+  for (;;) {
+    const int s = barrier_step_;
+    if (s >= cfg_.steps) return;
+    for (const WorkerProc& w : workers_) {
+      if (w.done.find(s) == w.done.end()) return;
+    }
+    // Combine in rank order — fixed partition => fixed summation order =>
+    // bit-reproducible residuals across reruns and recoveries.
+    double total_sumsq = 0.0, total_points5 = 0.0;
+    for (WorkerProc& w : workers_) {
+      const StepDone& sd = w.done.at(s);
+      total_sumsq += sd.sumsq;
+      total_points5 += sd.points5;
+    }
+    const double res = std::sqrt(total_sumsq / total_points5);
+    report_.residuals[static_cast<std::size_t>(s)] = res;
+
+    if (pending_) {
+      // The generation staged at the previous upload step seals with this
+      // step's residual: a restart replays this step and must reproduce it.
+      store_->save(*staging_, pending_state_, res);
+      pending_ = false;
+      ++report_.generations_written;
+      logline(strfmt("step %d: sealed generation for step %d (res %.6e)", s,
+                     pending_state_.steps, res));
+    }
+    if (is_upload_step(s, cfg_.ckpt_every, cfg_.steps)) {
+      for (WorkerProc& w : workers_) {
+        const StepDone& sd = w.done.at(s);
+        if (static_cast<int>(sd.zone_payloads.size()) != w.range.count) {
+          throw llp::IoError(strfmt("slot %d uploaded %zu zones, owns %d",
+                                    w.slot, sd.zone_payloads.size(),
+                                    w.range.count));
+        }
+        for (int i = 0; i < w.range.count; ++i) {
+          f3d::unpack_zone_interior(
+              sd.zone_payloads[static_cast<std::size_t>(i)],
+              staging_->zone(w.range.first + i));
+        }
+      }
+      pending_state_ = f3d::SolverState{
+          s + 1, cfg_.cfl, res,
+          s > 0 ? report_.residuals[static_cast<std::size_t>(s - 1)] : -1.0};
+      pending_ = true;
+    }
+    for (WorkerProc& w : workers_) w.done.erase(s);
+    ++barrier_step_;
+  }
+}
+
+int Coordinator::event_loop(int start_step) {
+  barrier_step_ = start_step;
+  failed_worker_ = -1;
+  failure_text_.clear();
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint8_t> buf(1u << 16);
+
+  while (barrier_step_ < cfg_.steps) {
+    fds.clear();
+    bool any_open = false;
+    for (const WorkerProc& w : workers_) {
+      pollfd p{};
+      p.fd = w.fd_open ? w.fd : -1;
+      p.events = POLLIN;
+      if (w.out_off < w.outq.size()) p.events |= POLLOUT;
+      fds.push_back(p);
+      any_open = any_open || w.fd_open;
+    }
+    if (!any_open) {
+      // Every pipe is closed but steps remain: nothing can make progress.
+      // (A fully-finished run exits via barrier_step_ above.)
+      failed_worker_ = 0;
+      failure_text_ = "all worker pipes closed before the run completed";
+      return failed_worker_;
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 5);
+    if (rc < 0 && errno != EINTR) {
+      throw llp::IoError(strfmt("poll failed: %s", std::strerror(errno)));
+    }
+    const std::int64_t now = now_ms();
+
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      WorkerProc& w = workers_[i];
+      if (!w.fd_open) continue;
+      const short re = fds[i].revents;
+      if (re & POLLOUT) {
+        if (!flush_out(w)) { /* reader path below declares the death */ }
+      }
+      if (re & (POLLIN | POLLHUP | POLLERR)) {
+        bool saw_eof = false;
+        for (;;) {
+          const ssize_t n = ::read(w.fd, buf.data(), buf.size());
+          if (n > 0) {
+            w.parser.feed(buf.data(), static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          saw_eof = true;  // EOF or hard error; verdict after parsing
+          break;
+        }
+        // Parse everything buffered BEFORE judging an EOF: the orderly
+        // pattern is final STEP_DONE then close, and the ack may arrive in
+        // the same read burst as the hangup.
+        try {
+          llp::msg::Frame f;
+          while (w.parser.next(&f)) {
+            if (!handle_frame(w, std::move(f), now)) {
+              w.det.declare(FailureKind::kCrashed);
+              failed_worker_ = static_cast<int>(i);
+              return failed_worker_;
+            }
+          }
+        } catch (const llp::IoError& e) {
+          // Corrupt stream: the worker (or its death mid-frame) cannot be
+          // resynchronized — treat the peer as dead.
+          w.det.declare(FailureKind::kProtocol);
+          failure_text_ = strfmt("slot %d: protocol error: %s", w.slot,
+                                 e.what());
+          logline(failure_text_);
+          failed_worker_ = static_cast<int>(i);
+          return failed_worker_;
+        }
+        if (saw_eof) {
+          ::close(w.fd);
+          w.fd_open = false;
+          if (w.det.state() != WorkerHealth::kFinished &&
+              w.det.state() != WorkerHealth::kDead) {
+            w.det.declare(FailureKind::kCrashed);
+            if (failure_text_.empty()) {
+              failure_text_ = strfmt("slot %d: pipe closed (crash) at step "
+                                     "%d", w.slot, w.det.last_step() + 1);
+            }
+            logline(failure_text_);
+            failed_worker_ = static_cast<int>(i);
+            return failed_worker_;
+          }
+        }
+      }
+    }
+
+    // Reap exits eagerly so a SIGKILLed worker's zombie is collected
+    // promptly (the fd EOF remains the authoritative crash signal). Only
+    // our own pids: the embedding process may have unrelated children.
+    for (WorkerProc& w : workers_) {
+      if (w.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(w.pid, &status, WNOHANG) > 0) w.pid = -1;
+    }
+
+    // The timeout ladder: silent workers and stalled steps become declared
+    // failures on the same clock the heartbeat runs on. A hung worker
+    // starves its neighbors of halo traffic, so several deadlines expire
+    // in the same tick — blame the least progressed expired worker (the
+    // one that stopped producing, not the ones blocked waiting on it).
+    int blame = -1;
+    int blame_key = 0;
+    FailureKind blame_kind = FailureKind::kNone;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      WorkerProc& w = workers_[i];
+      const FailureKind kind = w.det.would_fail(now);
+      if (kind == FailureKind::kNone) continue;
+      const int key = std::max(w.last_halo_step, w.det.last_step());
+      if (blame < 0 || key < blame_key) {
+        blame = static_cast<int>(i);
+        blame_key = key;
+        blame_kind = kind;
+      }
+    }
+    if (blame >= 0) {
+      WorkerProc& w = workers_[static_cast<std::size_t>(blame)];
+      w.det.declare(blame_kind);
+      failure_text_ = strfmt("slot %d: %s at step %d", w.slot,
+                             to_string(blame_kind), w.det.last_step() + 1);
+      logline(failure_text_);
+      failed_worker_ = blame;
+      return failed_worker_;
+    }
+  }
+  return -1;
+}
+
+ClusterReport Coordinator::run() {
+  t0_ms_ = now_ms();
+  // Config rejections are typed: drivers map ValidationError to exit 3.
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw ValidationError(what);
+  };
+  require(cfg_.steps >= 1, "cluster: steps must be >= 1");
+  require(cfg_.workers >= 1, "cluster: workers must be >= 1");
+  require(!cfg_.ckpt_dir.empty(), "cluster: ckpt_dir is required");
+  require(cfg_.heartbeat_ms >= 1 && cfg_.heartbeat_misses >= 1,
+          "cluster: heartbeat config must be positive");
+  require(cfg_.step_deadline_ms >= 1,
+          "cluster: step deadline must be positive");
+
+  total_zones_ = static_cast<int>(cfg_.case_spec.zones.size());
+  require(total_zones_ >= 1, "cluster: case has no zones");
+
+  plan_ = cfg_.fault_spec.empty() ? fault::FaultPlan{}
+                                  : fault::FaultPlan::parse(cfg_.fault_spec);
+  consumed_.assign(plan_.specs.size(), 0);
+
+  staging_ = std::make_unique<f3d::MultiZoneGrid>(
+      f3d::build_grid(cfg_.case_spec));
+  if (cfg_.init_grid) cfg_.init_grid(*staging_);
+
+  meta_ = strfmt("cluster z=%d steps=%d cfl=%.17g kappa=%.17g mode=%d "
+                 "mach=%.17g alpha=%.17g beta=%.17g h=%.17g",
+                 total_zones_, cfg_.steps, cfg_.cfl, cfg_.kappa_i,
+                 static_cast<int>(cfg_.mode), cfg_.case_spec.freestream.mach,
+                 cfg_.case_spec.freestream.alpha_deg,
+                 cfg_.case_spec.freestream.beta_deg, cfg_.case_spec.spacing);
+  f3d::ckpt::Config scfg;
+  scfg.dir = cfg_.ckpt_dir;
+  scfg.every = std::max(cfg_.ckpt_every, 1);
+  scfg.keep_generations = cfg_.keep_generations;
+  scfg.meta = meta_;
+  store_ = std::make_unique<f3d::ckpt::CheckpointStore>(scfg);
+
+  const int nworkers = clamp_workers(total_zones_, cfg_.workers);
+  if (nworkers != cfg_.workers) {
+    logline(strfmt("clamped %d workers to %d (one per zone max)",
+                   cfg_.workers, nworkers));
+  }
+  report_.workers_initial = nworkers;
+  report_.residuals.assign(static_cast<std::size_t>(cfg_.steps), 0.0);
+
+  std::vector<int> active_slots(static_cast<std::size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i) {
+    active_slots[static_cast<std::size_t>(i)] = i;
+  }
+  consecutive_fail_.assign(static_cast<std::size_t>(nworkers), 0);
+  attempts_.assign(static_cast<std::size_t>(nworkers), 0);
+
+  // Generation 0: the initial condition, durable before any worker exists,
+  // so a cold start and every recovery walk the same restore path.
+  int generation =
+      store_->save(*staging_, f3d::SolverState{0, cfg_.cfl, 0.0, -1.0});
+  ++report_.generations_written;
+  int start_step = 0;
+  epoch_state_cfl_ = cfg_.cfl;
+  epoch_state_residual_ = 0.0;
+  epoch_state_prev_residual_ = -1.0;
+
+  const DetectorConfig dcfg{cfg_.heartbeat_ms, cfg_.heartbeat_misses,
+                            cfg_.step_deadline_ms};
+
+  for (;;) {  // epochs
+    // (Re)build the worker set for the current survivor list.
+    const auto ranges = partition_zones(
+        total_zones_, static_cast<int>(active_slots.size()));
+    workers_.clear();
+    workers_.reserve(active_slots.size());
+    for (std::size_t r = 0; r < active_slots.size(); ++r) {
+      workers_.emplace_back(dcfg, &health_);
+      workers_.back().slot = active_slots[r];
+      workers_.back().rank = static_cast<int>(r);
+      workers_.back().range = ranges[r];
+    }
+    pending_ = false;
+    for (WorkerProc& w : workers_) spawn(w, start_step, generation);
+    report_.respawns += static_cast<int>(workers_.size());
+
+    const int failed = event_loop(start_step);
+    if (failed < 0) break;  // run complete
+
+    const int failed_slot = workers_[static_cast<std::size_t>(failed)].slot;
+    kill_all();
+    ++report_.recoveries;
+    health_.note_recovery(llp::kNoRegion);
+    if (report_.recoveries > cfg_.max_recoveries) {
+      exhaust(strfmt("recovery budget exhausted (%d rollbacks); last "
+                     "failure: %s", report_.recoveries,
+                     failure_text_.c_str()));
+    }
+    const int consec = ++consecutive_fail_[
+        static_cast<std::size_t>(failed_slot)];
+    consume_one_shot_fault(failed_slot);
+
+    if (consec > cfg_.max_respawns) {
+      // The slot is beyond saving: migrate its zones onto the survivors.
+      active_slots.erase(std::remove(active_slots.begin(),
+                                     active_slots.end(), failed_slot),
+                         active_slots.end());
+      ++report_.migrations;
+      logline(strfmt("slot %d: exceeded %d respawns — migrating its zones "
+                     "onto %zu survivor(s)", failed_slot, cfg_.max_respawns,
+                     active_slots.size()));
+      if (active_slots.empty()) {
+        exhaust("every worker slot exceeded its respawn budget; no "
+                "survivor to migrate onto");
+      }
+    } else {
+      backoff_before_respawn(failed_slot, consec);
+    }
+
+    // Global rollback: the newest generation that passes the full ladder
+    // restores the staging grid and names the step the epoch resumes from.
+    int gen = -1;
+    std::string ladder;
+    const f3d::ckpt::Manifest m =
+        store_->load_newest_intact(*staging_, &gen, &ladder);
+    if (!ladder.empty()) logline("ladder: " + ladder);
+    generation = gen;
+    start_step = m.state.steps;
+    epoch_state_cfl_ = m.state.cfl;
+    epoch_state_residual_ = m.state.residual;
+    epoch_state_prev_residual_ = m.state.prev_residual;
+    logline(strfmt("rollback to generation %d (step %d) after failure of "
+                   "slot %d", gen, start_step, failed_slot));
+  }
+
+  // The final upload can never seal (there is no next step) — flush it
+  // unsealed, exactly like the single-process store's end-of-run flush.
+  if (pending_) {
+    store_->save(*staging_, pending_state_);
+    pending_ = false;
+    ++report_.generations_written;
+  }
+  kill_all();
+
+  report_.respawns -= report_.workers_initial;  // count beyond the first set
+  report_.workers_final = static_cast<int>(workers_.size());
+  report_.steps_completed = cfg_.steps;
+  report_.final_residual =
+      report_.residuals.empty() ? 0.0 : report_.residuals.back();
+  report_.detector_faults = health_.total_faults();
+  report_.health_report = health_.report();
+  logline(strfmt("run complete: %d steps, final residual %.17g",
+                 cfg_.steps, report_.final_residual));
+  return std::move(report_);
+}
+
+}  // namespace
+
+std::string ClusterReport::summary() const {
+  return strfmt("cluster: %d steps, %d->%d workers, %d recoveries, "
+                "%d respawns, %d migrations, %d generations, "
+                "%ld halo frames relayed, final residual %.6e",
+                steps_completed, workers_initial, workers_final, recoveries,
+                respawns, migrations, generations_written, frames_relayed,
+                final_residual);
+}
+
+ClusterReport run_cluster(const ClusterConfig& cfg) {
+  Coordinator c(cfg);
+  return c.run();
+}
+
+}  // namespace llp::cluster

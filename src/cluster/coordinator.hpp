@@ -1,0 +1,110 @@
+// The supervised multi-process sharded backend: coordinator side.
+//
+// run_cluster() forks N workers, hands each a contiguous zone range of the
+// case, and drives a stepped halo exchange over AF_UNIX socketpairs — the
+// star topology of protocol.hpp. Robustness is the point:
+//
+//   liveness     every worker heartbeats from a beacon thread and acks each
+//                step; a per-worker FailureDetector turns silence into
+//                heartbeat-timeout, a stalled main loop into step-deadline,
+//                an EOF or reaped pid into crash — all within one liveness
+//                window of the event (tests/integration assert the bound).
+//
+//   recovery     any declared failure triggers a global rollback: every
+//                worker is SIGKILLed, the newest intact checkpoint
+//                generation is loaded (the same validation ladder the
+//                restart path uses), and the epoch restarts from its step.
+//                Because a worker is stateless across respawns — the INIT
+//                frame is its complete recipe — the resumed trajectory is
+//                bitwise identical to an uninterrupted run for a fixed
+//                partition and pinned thread counts.
+//
+//   backoff      a slot that keeps failing is respawned under capped
+//                exponential backoff with deterministic jitter
+//                (SplitMix64 keyed by seed/slot/attempt), and after
+//                max_respawns consecutive failures its zones migrate onto
+//                the survivors (the deterministic block partition re-run
+//                over the smaller worker set). When the global recovery
+//                budget or the last survivor is exhausted, run_cluster
+//                throws llp::ClusterError — exit code 6 in the drivers.
+//
+// Checkpoint generations are written by the coordinator from worker zone
+// uploads (STEP_DONE payloads on the cadence), sealed one step late with
+// the next step's global residual, exactly like the single-process store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+
+namespace llp::cluster {
+
+struct ClusterConfig {
+  f3d::CaseSpec case_spec;
+  /// Optional initial-condition hook run on the staging grid before
+  /// generation 0 is written (pulses, walls); workers inherit the result
+  /// through the checkpoint, so any initial condition shards correctly.
+  std::function<void(f3d::MultiZoneGrid&)> init_grid;
+
+  int steps = 10;
+  int workers = 2;          ///< clamped to the zone count
+  int worker_threads = 1;   ///< llp threads inside each worker
+  double cfl = 2.0;
+  double kappa_i = 0.25;
+  f3d::SweepMode mode = f3d::SweepMode::kRisc;
+  std::string region_prefix = "run";
+
+  int heartbeat_ms = 50;
+  int heartbeat_misses = 5;
+  int step_deadline_ms = 5000;
+
+  int max_respawns = 3;     ///< consecutive failures per slot before migration
+  int max_recoveries = 8;   ///< global rollback budget
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 2000;
+  std::uint64_t seed = 0x5eedc105ULL;
+
+  std::string ckpt_dir;     ///< required: generation root
+  int ckpt_every = 5;       ///< zone-upload / generation cadence
+  int keep_generations = 3;
+
+  std::string fault_spec;   ///< PR 2 grammar incl. w<slot>.* cluster scopes
+  /// Path of a binary accepting "--worker --fd N" (normally f3d_cluster
+  /// itself): workers are fork+exec'd. Empty: fork-only, the child calls
+  /// worker_main() in-process — no exec, usable from library tests and the
+  /// fuzz oracle.
+  std::string worker_exe;
+
+  bool verbose = false;     ///< mirror the event log to stderr
+};
+
+struct ClusterReport {
+  std::vector<double> residuals;  ///< per standing step, global combine
+  double final_residual = 0.0;
+  int steps_completed = 0;
+  int workers_initial = 0;
+  int workers_final = 0;
+  int recoveries = 0;        ///< global rollbacks performed
+  int respawns = 0;          ///< worker spawns beyond the initial set
+  int migrations = 0;        ///< slots abandoned onto survivors
+  int generations_written = 0;
+  long frames_relayed = 0;   ///< worker->worker halo frames forwarded
+  long heartbeats_seen = 0;
+  std::vector<std::string> log;  ///< timestamped supervision events
+  std::uint64_t detector_faults = 0;  ///< failures the detector declared
+  std::string health_report;  ///< HealthMonitor::report() of those verdicts
+
+  std::string summary() const;
+};
+
+/// Run the sharded backend to completion. Throws llp::ValidationError on a
+/// bad config, llp::IoError when no intact generation exists to recover
+/// from, and llp::ClusterError when the recovery budget or the last
+/// survivor slot is exhausted.
+ClusterReport run_cluster(const ClusterConfig& cfg);
+
+}  // namespace llp::cluster

@@ -1,0 +1,28 @@
+#include "cluster/detector.hpp"
+
+namespace llp::cluster {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kCrashed: return "crashed";
+    case FailureKind::kReadyTimeout: return "ready-timeout";
+    case FailureKind::kHeartbeatTimeout: return "heartbeat-timeout";
+    case FailureKind::kStepDeadline: return "step-deadline";
+    case FailureKind::kProtocol: return "protocol-error";
+  }
+  return "unknown";
+}
+
+void FailureDetector::note(FailureKind kind) {
+  if (health_ == nullptr || kind == FailureKind::kNone) return;
+  // Map onto the injector's fault taxonomy: a vanished process is the
+  // io-crash shape, everything timeout-flavored is the hang shape, and a
+  // protocol breach is a thrown error.
+  llp::fault::FaultKind fk = llp::fault::FaultKind::kHang;
+  if (kind == FailureKind::kCrashed) fk = llp::fault::FaultKind::kIoCrash;
+  if (kind == FailureKind::kProtocol) fk = llp::fault::FaultKind::kThrow;
+  health_->note_fault(llp::kNoRegion, fk);
+}
+
+}  // namespace llp::cluster

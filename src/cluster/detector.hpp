@@ -1,0 +1,133 @@
+// Per-worker failure detection: the heartbeat/deadline state machine.
+//
+// The coordinator cannot distinguish "slow" from "dead" by looking at a
+// socket, so liveness is layered: (1) a closed fd or reaped pid is a crash,
+// observed immediately; (2) a worker whose main loop hangs keeps
+// heartbeating from its beacon thread, so a step-progress deadline converts
+// the hang into a recoverable timeout; (3) a worker frozen wholesale
+// (SIGSTOP, livelocked allocator, scheduler exile) stops heartbeating too
+// and trips the missed-heartbeat timeout. The detector is clocked
+// externally with millisecond timestamps, so tests drive every transition
+// without sleeping, and each declared failure is recorded in a
+// fault::HealthMonitor — the same accounting the in-process injector feeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/health.hpp"
+
+namespace llp::cluster {
+
+enum class WorkerHealth {
+  kSpawning,  ///< INIT sent, READY not yet seen
+  kRunning,   ///< READY seen, steps in flight
+  kFinished,  ///< final STEP_DONE seen; EOF is now orderly
+  kDead,      ///< failure declared (or crash observed)
+};
+
+enum class FailureKind {
+  kNone,
+  kCrashed,           ///< fd EOF / SIGCHLD before the final step
+  kReadyTimeout,      ///< spawned but never sent READY in time
+  kHeartbeatTimeout,  ///< no frame of any kind for the liveness window
+  kStepDeadline,      ///< heartbeats flow but no step completes in time
+  kProtocol,          ///< corrupt or nonsensical frame from the worker
+};
+
+const char* to_string(FailureKind kind);
+
+struct DetectorConfig {
+  int heartbeat_ms = 50;
+  /// Missed beats before a silent worker is declared dead; the liveness
+  /// window is heartbeat_ms * heartbeat_misses.
+  int heartbeat_misses = 5;
+  /// Wall-clock budget for one step (and for INIT -> READY).
+  int step_deadline_ms = 5000;
+};
+
+/// One worker's liveness state machine. All timestamps are caller-supplied
+/// steady-clock milliseconds.
+class FailureDetector {
+public:
+  FailureDetector(DetectorConfig cfg, llp::fault::HealthMonitor* health)
+      : cfg_(cfg), health_(health) {}
+
+  void on_spawn(std::int64_t now_ms) {
+    state_ = WorkerHealth::kSpawning;
+    spawn_ms_ = last_frame_ms_ = last_progress_ms_ = now_ms;
+  }
+
+  void on_ready(std::int64_t now_ms) {
+    state_ = WorkerHealth::kRunning;
+    last_frame_ms_ = last_progress_ms_ = now_ms;
+  }
+
+  /// Any frame from the worker counts as a heartbeat.
+  void on_frame(std::int64_t now_ms) { last_frame_ms_ = now_ms; }
+
+  /// A STEP_DONE for 0-based `step` arrived.
+  void on_progress(int step, std::int64_t now_ms) {
+    last_step_ = step;
+    last_frame_ms_ = last_progress_ms_ = now_ms;
+  }
+
+  void on_finished() { state_ = WorkerHealth::kFinished; }
+
+  /// Declare a failure observed out-of-band (EOF, SIGCHLD, bad frame).
+  void declare(FailureKind kind) {
+    state_ = WorkerHealth::kDead;
+    note(kind);
+  }
+
+  /// Evaluate the timeout ladder at `now_ms` without changing state: what
+  /// failure WOULD be declared right now? The coordinator uses this to
+  /// collect every expired worker in a tick and then blame only the least
+  /// progressed one — when a worker hangs, its neighbors stall blocked on
+  /// the missing halo and expire in the same window, and declaring the
+  /// first-scanned victim would misattribute the fault.
+  FailureKind would_fail(std::int64_t now_ms) const {
+    if (state_ == WorkerHealth::kDead || state_ == WorkerHealth::kFinished) {
+      return FailureKind::kNone;
+    }
+    const std::int64_t liveness =
+        static_cast<std::int64_t>(cfg_.heartbeat_ms) * cfg_.heartbeat_misses;
+    if (state_ == WorkerHealth::kSpawning) {
+      return now_ms - spawn_ms_ > cfg_.step_deadline_ms
+                 ? FailureKind::kReadyTimeout
+                 : FailureKind::kNone;
+    }
+    if (now_ms - last_frame_ms_ > liveness) {
+      return FailureKind::kHeartbeatTimeout;
+    }
+    if (now_ms - last_progress_ms_ > cfg_.step_deadline_ms) {
+      return FailureKind::kStepDeadline;
+    }
+    return FailureKind::kNone;
+  }
+
+  /// Evaluate the ladder and latch kDead on a failure (would_fail +
+  /// declare).
+  FailureKind check(std::int64_t now_ms) {
+    const FailureKind kind = would_fail(now_ms);
+    if (kind != FailureKind::kNone) declare(kind);
+    return kind;
+  }
+
+  WorkerHealth state() const noexcept { return state_; }
+  /// Last 0-based step this worker completed; -1 before any.
+  int last_step() const noexcept { return last_step_; }
+
+private:
+  void note(FailureKind kind);
+
+  DetectorConfig cfg_;
+  llp::fault::HealthMonitor* health_;  ///< may be null (tests)
+  WorkerHealth state_ = WorkerHealth::kSpawning;
+  std::int64_t spawn_ms_ = 0;
+  std::int64_t last_frame_ms_ = 0;
+  std::int64_t last_progress_ms_ = 0;
+  int last_step_ = -1;
+};
+
+}  // namespace llp::cluster

@@ -1,0 +1,28 @@
+#include "cluster/partition.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::cluster {
+
+std::vector<ZoneRange> partition_zones(int zones, int workers) {
+  LLP_REQUIRE(zones >= 1, "need at least one zone");
+  LLP_REQUIRE(workers >= 1 && workers <= zones,
+              "workers must be in [1, zones]");
+  std::vector<ZoneRange> ranges;
+  ranges.reserve(static_cast<std::size_t>(workers));
+  for (int r = 0; r < workers; ++r) {
+    const int first = static_cast<int>(
+        (static_cast<long long>(r) * zones) / workers);
+    const int next = static_cast<int>(
+        (static_cast<long long>(r + 1) * zones) / workers);
+    ranges.push_back(ZoneRange{first, next - first});
+  }
+  return ranges;
+}
+
+int clamp_workers(int zones, int workers) {
+  if (workers < 1) return 1;
+  return workers < zones ? workers : zones;
+}
+
+}  // namespace llp::cluster

@@ -1,0 +1,33 @@
+// Contiguous zone-range partitioning for the sharded backend.
+//
+// Zones are stacked along J, so a worker must own a contiguous range: its
+// left and right boundary zones each exchange one halo with the neighbor
+// worker, and everything interior to the range exchanges through the
+// worker's own MultiZoneGrid. The split is the classic near-equal block
+// partition (floor(r*Z/W) .. floor((r+1)*Z/W)), which is deterministic —
+// migration after a slot is abandoned re-runs the same function over the
+// survivor count, so every process derives the same layout independently.
+#pragma once
+
+#include <vector>
+
+namespace llp::cluster {
+
+struct ZoneRange {
+  int first = 0;  ///< first owned zone (global index)
+  int count = 0;  ///< number of owned zones (>= 1)
+
+  int end() const noexcept { return first + count; }
+  bool operator==(const ZoneRange&) const = default;
+};
+
+/// Split `zones` zones over `workers` ranks, each range contiguous and
+/// non-empty, ranges covering [0, zones) in rank order. Requires
+/// 1 <= workers <= zones (clamp the worker count first; see
+/// clamp_workers).
+std::vector<ZoneRange> partition_zones(int zones, int workers);
+
+/// Largest usable worker count: at most one worker per zone.
+int clamp_workers(int zones, int workers);
+
+}  // namespace llp::cluster

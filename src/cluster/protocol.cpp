@@ -1,0 +1,136 @@
+#include "cluster/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace llp::cluster {
+
+using llp::msg::ByteReader;
+using llp::msg::ByteWriter;
+using llp::msg::Frame;
+
+std::uint64_t pack_halo_route(int src_rank, int dest_rank, bool rightward) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank))
+          << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(dest_rank))
+          << 16) |
+         (rightward ? 1u : 0u);
+}
+
+void unpack_halo_route(std::uint64_t b, int* src_rank, int* dest_rank,
+                       bool* rightward) {
+  *src_rank = static_cast<int>(b >> 32);
+  *dest_rank = static_cast<int>((b >> 16) & 0xffffu);
+  *rightward = (b & 1u) != 0;
+}
+
+std::vector<std::uint8_t> encode_init(const WorkerInit& init) {
+  ByteWriter w;
+  w.put<std::uint32_t>(init.slot);
+  w.put<std::uint32_t>(init.rank);
+  w.put<std::uint32_t>(init.ranks);
+  w.put<std::uint32_t>(init.attempt);
+  w.put<std::uint32_t>(init.zone_first);
+  w.put<std::uint32_t>(init.total_zones);
+  w.put<std::uint32_t>(init.start_step);
+  w.put<std::uint32_t>(init.total_steps);
+  w.put<std::uint32_t>(init.ckpt_every);
+  w.put<std::uint32_t>(init.worker_threads);
+  w.put<std::uint32_t>(init.mode);
+  w.put<std::uint32_t>(init.heartbeat_ms);
+  w.put<std::uint32_t>(init.generation);
+  w.put<double>(init.spacing);
+  w.put<double>(init.mach);
+  w.put<double>(init.alpha_deg);
+  w.put<double>(init.beta_deg);
+  w.put<double>(init.cfl);
+  w.put<double>(init.kappa_i);
+  w.put<double>(init.state_cfl);
+  w.put<double>(init.state_residual);
+  w.put<double>(init.state_prev_residual);
+  w.put_string(init.ckpt_dir);
+  w.put_string(init.meta);
+  w.put_string(init.fault_spec);
+  w.put_string(init.region_prefix);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(init.zones.size()));
+  for (const WorkerZone& z : init.zones) {
+    w.put<std::int32_t>(z.dims.jmax);
+    w.put<std::int32_t>(z.dims.kmax);
+    w.put<std::int32_t>(z.dims.lmax);
+    for (std::uint32_t bc : z.bc) w.put<std::uint32_t>(bc);
+  }
+  return w.take();
+}
+
+WorkerInit decode_init(const Frame& frame) {
+  ByteReader r(frame.payload);
+  WorkerInit init;
+  init.slot = r.get<std::uint32_t>("init slot");
+  init.rank = r.get<std::uint32_t>("init rank");
+  init.ranks = r.get<std::uint32_t>("init ranks");
+  init.attempt = r.get<std::uint32_t>("init attempt");
+  init.zone_first = r.get<std::uint32_t>("init zone_first");
+  init.total_zones = r.get<std::uint32_t>("init total_zones");
+  init.start_step = r.get<std::uint32_t>("init start_step");
+  init.total_steps = r.get<std::uint32_t>("init total_steps");
+  init.ckpt_every = r.get<std::uint32_t>("init ckpt_every");
+  init.worker_threads = r.get<std::uint32_t>("init worker_threads");
+  init.mode = r.get<std::uint32_t>("init mode");
+  init.heartbeat_ms = r.get<std::uint32_t>("init heartbeat_ms");
+  init.generation = r.get<std::uint32_t>("init generation");
+  init.spacing = r.get<double>("init spacing");
+  init.mach = r.get<double>("init mach");
+  init.alpha_deg = r.get<double>("init alpha");
+  init.beta_deg = r.get<double>("init beta");
+  init.cfl = r.get<double>("init cfl");
+  init.kappa_i = r.get<double>("init kappa_i");
+  init.state_cfl = r.get<double>("init state cfl");
+  init.state_residual = r.get<double>("init state residual");
+  init.state_prev_residual = r.get<double>("init state prev residual");
+  init.ckpt_dir = r.get_string("init ckpt_dir");
+  init.meta = r.get_string("init meta");
+  init.fault_spec = r.get_string("init fault_spec");
+  init.region_prefix = r.get_string("init region_prefix");
+  const auto zones = r.get<std::uint32_t>("init zone count");
+  if (zones == 0 || zones > 4096) {
+    throw llp::IoError("implausible init zone count");
+  }
+  init.zones.resize(zones);
+  for (WorkerZone& z : init.zones) {
+    z.dims.jmax = r.get<std::int32_t>("init zone dims");
+    z.dims.kmax = r.get<std::int32_t>("init zone dims");
+    z.dims.lmax = r.get<std::int32_t>("init zone dims");
+    for (std::uint32_t& bc : z.bc) {
+      bc = r.get<std::uint32_t>("init zone bc");
+      if (bc >= 6) throw llp::IoError("implausible init bc type");
+    }
+  }
+  return init;
+}
+
+std::vector<std::uint8_t> encode_step_done(const StepDone& sd) {
+  ByteWriter w;
+  w.put<double>(sd.sumsq);
+  w.put<double>(sd.points5);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(sd.zone_payloads.size()));
+  for (const auto& z : sd.zone_payloads) w.put_doubles(z);
+  return w.take();
+}
+
+StepDone decode_step_done(const Frame& frame) {
+  ByteReader r(frame.payload);
+  StepDone sd;
+  sd.sumsq = r.get<double>("step_done sumsq");
+  sd.points5 = r.get<double>("step_done points5");
+  const auto zones = r.get<std::uint32_t>("step_done zone count");
+  if (zones > 4096) throw llp::IoError("implausible step_done zone count");
+  sd.zone_payloads.resize(zones);
+  for (auto& z : sd.zone_payloads) z = r.get_doubles("step_done zone");
+  return sd;
+}
+
+bool is_upload_step(int step, int ckpt_every, int total_steps) {
+  if (step == total_steps - 1) return true;  // final flush
+  return ckpt_every > 0 && (step + 1) % ckpt_every == 0;
+}
+
+}  // namespace llp::cluster

@@ -1,0 +1,123 @@
+// The coordinator<->worker wire protocol.
+//
+// Every message is one CRC32C frame (msg/frame.hpp). The topology is a
+// star: workers talk only to the coordinator over their AF_UNIX socketpair,
+// and worker-to-worker halo traffic is relayed by the coordinator, which
+// keeps each worker's failure domain equal to one fd. Frame word `a` is a
+// step index or slot id, word `b` carries halo routing; structured payloads
+// (INIT, STEP_DONE) use the ByteWriter/ByteReader flat encoding.
+//
+//   kInit       coordinator -> worker   everything a (re)spawned worker
+//                                       needs: identity, zone range + BCs,
+//                                       solver scalars, the checkpoint
+//                                       generation to restore from, fault
+//                                       plan, cadence and liveness config
+//   kReady      worker -> coordinator   INIT applied, checkpoint loaded
+//   kHalo       both directions         one interface face, a=step,
+//                                       b=packed (src, dest, direction)
+//   kStepDone   worker -> coordinator   per-step progress ack: residual
+//                                       contribution, plus the owned zones'
+//                                       interiors on checkpoint-cadence
+//                                       steps
+//   kHeartbeat  worker -> coordinator   periodic liveness beacon carrying
+//                                       the last completed step
+//   kError      worker -> coordinator   the worker caught a fatal error
+//                                       and is about to exit (its what())
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "f3d/zone.hpp"
+#include "msg/frame.hpp"
+
+namespace llp::cluster {
+
+enum class MsgType : std::uint32_t {
+  kInit = 1,
+  kReady = 2,
+  kHalo = 3,
+  kStepDone = 4,
+  kHeartbeat = 5,
+  kError = 6,
+};
+
+/// Pack halo routing into Frame::b: source rank, destination rank, and
+/// whether the face travels rightward (toward rank+1, filling the
+/// destination's JMin-side ghosts).
+std::uint64_t pack_halo_route(int src_rank, int dest_rank, bool rightward);
+void unpack_halo_route(std::uint64_t b, int* src_rank, int* dest_rank,
+                       bool* rightward);
+
+/// One owned zone as the worker must reconstruct it: dims plus the six
+/// boundary types the coordinator's staging grid assigns it (interior
+/// interfaces included — the worker overrides its range edges with
+/// kInterface as its neighbors require).
+struct WorkerZone {
+  f3d::ZoneDims dims;
+  std::array<std::uint32_t, 6> bc{};
+};
+
+/// The INIT payload: a worker is stateless across respawns, so this is the
+/// complete recipe — the same message cold-starts a fresh worker at step 0
+/// and re-seats a respawned one mid-run from a rollback generation.
+struct WorkerInit {
+  std::uint32_t slot = 0;      ///< stable identity (fault scoping)
+  std::uint32_t rank = 0;      ///< position among live workers (routing)
+  std::uint32_t ranks = 1;     ///< live worker count
+  std::uint32_t attempt = 0;   ///< spawn attempt counter for this slot
+  std::uint32_t zone_first = 0;
+  std::uint32_t total_zones = 0;
+  std::uint32_t start_step = 0;   ///< first step to execute
+  std::uint32_t total_steps = 0;  ///< run target (exclusive)
+  std::uint32_t ckpt_every = 0;   ///< zone-upload cadence; 0 = final only
+  std::uint32_t worker_threads = 1;
+  std::uint32_t mode = 1;  ///< f3d::SweepMode
+  std::uint32_t heartbeat_ms = 50;
+  std::uint32_t generation = 0;  ///< checkpoint generation to restore
+  double spacing = 0.1;
+  double mach = 2.0;
+  double alpha_deg = 0.0;
+  double beta_deg = 0.0;
+  double cfl = 2.0;
+  double kappa_i = 0.25;
+  double state_cfl = 2.0;  ///< solver scalars at start_step
+  double state_residual = 0.0;
+  double state_prev_residual = -1.0;
+  std::string ckpt_dir;
+  std::string meta;        ///< checkpoint fingerprint to enforce on load
+  std::string fault_spec;  ///< forwarded fault plan ("" = none)
+  std::string region_prefix;
+  std::vector<WorkerZone> zones;  ///< the owned range, in global order
+};
+
+std::vector<std::uint8_t> encode_init(const WorkerInit& init);
+WorkerInit decode_init(const llp::msg::Frame& frame);
+
+/// The STEP_DONE payload beside (a=slot, b=step): this worker's residual
+/// contribution for the step, and — on checkpoint-cadence steps — its
+/// zone interiors in canonical pack_zone_interior order for the
+/// coordinator's staging grid.
+struct StepDone {
+  /// rms² · 5N over the owned slab. The solver defines its residual as
+  /// rms = sqrt(sumsq/(5N))/dt, so rms²·5N = sumsq/dt² — and since every
+  /// worker shares one dt, the global combine
+  /// sqrt(Σ(rms²·5N)/Σ5N) = sqrt(Σsumsq/(5N_total))/dt reproduces the
+  /// whole-grid residual with dt cancelled: the coordinator never has to
+  /// reconstruct the time step.
+  double sumsq = 0.0;
+  double points5 = 0.0;  ///< 5 · owned interior points
+  std::vector<std::vector<double>> zone_payloads;  ///< empty off-cadence
+};
+
+std::vector<std::uint8_t> encode_step_done(const StepDone& sd);
+StepDone decode_step_done(const llp::msg::Frame& frame);
+
+/// Should a worker attach zone payloads after completing 0-based step
+/// `step`? True on the cadence boundary and on the final step, mirroring
+/// the coordinator's generation schedule.
+bool is_upload_step(int step, int ckpt_every, int total_steps);
+
+}  // namespace llp::cluster

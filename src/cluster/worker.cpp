@@ -1,0 +1,385 @@
+#include "cluster/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "cluster/protocol.hpp"
+#include "core/runtime.hpp"
+#include "f3d/halo.hpp"
+#include "f3d/io.hpp"
+#include "f3d/solver.hpp"
+#include "fault/injector.hpp"
+#include "msg/frame.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/format.hpp"
+
+namespace llp::cluster {
+
+namespace {
+
+using llp::msg::Frame;
+
+// ---- worker-scoped fault interpretation ------------------------------
+
+struct ClusterFaults {
+  std::vector<fault::FaultSpec> step;    // w<slot>.step
+  std::vector<fault::FaultSpec> freeze;  // w<slot>.freeze
+  std::vector<fault::FaultSpec> spawn;   // w<slot>.spawn
+  std::vector<int> step_fired, freeze_fired, spawn_fired;
+};
+
+// Split the plan: specs scoped to this worker's slot are interpreted by
+// the worker loop itself; everything else goes to the runtime's injector.
+ClusterFaults split_cluster_faults(fault::FaultPlan& plan, int slot) {
+  ClusterFaults out;
+  std::string prefix = "w";
+  prefix += std::to_string(slot);
+  prefix += '.';
+  std::vector<fault::FaultSpec> rest;
+  for (auto& spec : plan.specs) {
+    if (spec.region == prefix + "step") {
+      out.step.push_back(spec);
+    } else if (spec.region == prefix + "freeze") {
+      out.freeze.push_back(spec);
+    } else if (spec.region == prefix + "spawn") {
+      out.spawn.push_back(spec);
+    } else if (spec.region.rfind("w", 0) == 0 &&
+               spec.region.find('.') != std::string::npos &&
+               spec.region.find_first_not_of("0123456789", 1) ==
+                   spec.region.find('.')) {
+      // Another slot's cluster fault: not ours, and not a loop region
+      // either — drop it so the runtime injector never sees it.
+    } else {
+      rest.push_back(spec);
+    }
+  }
+  plan.specs = std::move(rest);
+  out.step_fired.assign(out.step.size(), 0);
+  out.freeze_fired.assign(out.freeze.size(), 0);
+  out.spawn_fired.assign(out.spawn.size(), 0);
+  return out;
+}
+
+// Does spec fire at invocation `inv`? Budget-aware (count <= 0 means
+// unlimited, like the injector).
+bool fires(const fault::FaultSpec& spec, int* fired, std::uint64_t inv) {
+  if (!(spec.any_invocation || spec.invocation == inv)) return false;
+  if (spec.count > 0 && *fired >= spec.count) return false;
+  ++*fired;
+  return true;
+}
+
+[[noreturn]] void hang_forever() {
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+// ---- the frame-backed HaloCommunicator (socket rails) ----------------
+
+class SocketChannel {
+public:
+  SocketChannel(int fd, std::mutex& write_mu, int rank, int size)
+      : fd_(fd), write_mu_(write_mu), rank_(rank), size_(size) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+
+  void send(int peer, int tag, std::span<const double> data) {
+    Frame f;
+    f.type = static_cast<std::uint32_t>(MsgType::kHalo);
+    f.a = static_cast<std::uint64_t>(tag);
+    f.b = pack_halo_route(rank_, peer, /*rightward=*/tag % 2 == 0);
+    f.payload.resize(data.size() * sizeof(double));
+    std::memcpy(f.payload.data(), data.data(), f.payload.size());
+    std::lock_guard<std::mutex> lock(write_mu_);
+    llp::msg::write_frame(fd_, f);
+  }
+
+  void recv(int peer, int tag, std::span<double> out) {
+    const auto take = [&](Frame& f) {
+      LLP_REQUIRE(f.payload.size() == out.size() * sizeof(double),
+                  "halo frame size mismatch");
+      std::memcpy(out.data(), f.payload.data(), f.payload.size());
+    };
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (matches(pending_[i], peer, tag)) {
+        take(pending_[i]);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    for (;;) {
+      Frame f;
+      if (!llp::msg::read_frame(fd_, &f)) {
+        throw IoError("coordinator closed the channel mid-exchange");
+      }
+      if (f.type != static_cast<std::uint32_t>(MsgType::kHalo)) {
+        throw IoError(strfmt("unexpected frame type %u mid-exchange",
+                             f.type));
+      }
+      if (matches(f, peer, tag)) {
+        take(f);
+        return;
+      }
+      pending_.push_back(std::move(f));
+    }
+  }
+
+private:
+  static bool matches(const Frame& f, int peer, int tag) {
+    if (f.a != static_cast<std::uint64_t>(tag)) return false;
+    int src = 0, dest = 0;
+    bool rightward = false;
+    unpack_halo_route(f.b, &src, &dest, &rightward);
+    return src == peer;
+  }
+
+  int fd_;
+  std::mutex& write_mu_;
+  int rank_;
+  int size_;
+  std::vector<Frame> pending_;
+};
+
+static_assert(llp::msg::HaloCommunicator<SocketChannel>);
+
+void send_frame_locked(int fd, std::mutex& mu, const Frame& f) {
+  std::lock_guard<std::mutex> lock(mu);
+  llp::msg::write_frame(fd, f);
+}
+
+int run_worker(int fd) {
+  // 1. INIT: who am I, what do I own, where do I resume.
+  Frame init_frame;
+  if (!llp::msg::read_frame(fd, &init_frame) ||
+      init_frame.type != static_cast<std::uint32_t>(MsgType::kInit)) {
+    throw IoError("expected INIT frame");
+  }
+  const WorkerInit init = decode_init(init_frame);
+  const int slot = static_cast<int>(init.slot);
+  const int rank = static_cast<int>(init.rank);
+  const int ranks = static_cast<int>(init.ranks);
+
+  fault::FaultPlan plan;
+  if (!init.fault_spec.empty()) {
+    plan = fault::FaultPlan::parse(init.fault_spec);
+  }
+  ClusterFaults cf = split_cluster_faults(plan, slot);
+
+  // 2. Spawn-fault seam: fail before READY, as a binary with a broken
+  // environment would. The coordinator's backoff/retry owns what happens
+  // next.
+  for (std::size_t i = 0; i < cf.spawn.size(); ++i) {
+    if (cf.spawn[i].kind == fault::FaultKind::kThrow &&
+        fires(cf.spawn[i], &cf.spawn_fired[i], init.attempt)) {
+      return kExitRunFailure;
+    }
+  }
+
+  // 3. Reconstruct the slab: grid dims + BCs from INIT, interiors from the
+  // handed-off checkpoint generation.
+  std::vector<f3d::ZoneDims> dims;
+  dims.reserve(init.zones.size());
+  for (const WorkerZone& z : init.zones) dims.push_back(z.dims);
+  f3d::MultiZoneGrid grid(dims, init.spacing);
+  f3d::FreeStream fs;
+  fs.mach = init.mach;
+  fs.alpha_deg = init.alpha_deg;
+  fs.beta_deg = init.beta_deg;
+  grid.set_freestream(fs);
+  for (std::size_t z = 0; z < init.zones.size(); ++z) {
+    for (int face = 0; face < f3d::kNumFaces; ++face) {
+      grid.bcs(static_cast<int>(z)).face[face] =
+          static_cast<f3d::BcType>(init.zones[z].bc[static_cast<std::size_t>(
+              face)]);
+    }
+  }
+  // Range edges facing a neighbor worker become interfaces fed by halo
+  // frames (internal interfaces were already set by the grid constructor).
+  if (rank > 0) grid.bcs(0)[f3d::Face::kJMin] = f3d::BcType::kInterface;
+  if (rank + 1 < ranks) {
+    grid.bcs(grid.num_zones() - 1)[f3d::Face::kJMax] = f3d::BcType::kInterface;
+  }
+
+  f3d::ckpt::Config ckpt_cfg;
+  ckpt_cfg.dir = init.ckpt_dir;
+  ckpt_cfg.meta = init.meta;
+  const f3d::ckpt::CheckpointStore store(ckpt_cfg);
+  store.load_zone_range(static_cast<int>(init.generation),
+                        static_cast<int>(init.zone_first), grid);
+
+  // 4. The slab's own runtime: loop-level parallelism inside the worker is
+  // independent of the decomposition (Behr's structure), and pinning the
+  // thread count pins the per-zone reduction order — the bitwise story.
+  Runtime rt(static_cast<int>(init.worker_threads));
+  RuntimeScope scope(rt);
+  fault::Injector injector(plan);
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    auto& st = grid.zone(z).storage();
+    std::string name = "q";
+    name += std::to_string(z);
+    injector.register_array(std::move(name), st.data(), st.size());
+  }
+  if (!plan.empty()) rt.set_fault_hook(&injector);
+
+  f3d::SolverConfig cfg;
+  cfg.freestream = fs;
+  cfg.cfl = init.cfl;
+  cfg.kappa_i = init.kappa_i;
+  cfg.mode = static_cast<f3d::SweepMode>(init.mode);
+  cfg.cfl_growth = 1.0;  // CFL ramping keys on the *local* residual; it
+                         // must stay off or workers' timelines diverge
+  cfg.region_prefix = init.region_prefix;
+  cfg.region_prefix += ".w";
+  cfg.region_prefix += std::to_string(slot);
+  f3d::Solver solver(grid, cfg, rt);
+  solver.restore(f3d::SolverState{static_cast<int>(init.start_step),
+                                  init.state_cfl, init.state_residual,
+                                  init.state_prev_residual});
+
+  double points5 = 0.0;
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    points5 += static_cast<double>(grid.zone(z).interior_points()) *
+               f3d::kNumVars;
+  }
+
+  // 5. READY, then the beacon thread. The beacon carries the last
+  // completed step so the coordinator's log can tell where a worker was
+  // when it went quiet.
+  std::mutex write_mu;
+  {
+    Frame ready;
+    ready.type = static_cast<std::uint32_t>(MsgType::kReady);
+    ready.a = static_cast<std::uint64_t>(slot);
+    ready.b = init.attempt;
+    send_frame_locked(fd, write_mu, ready);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> freeze_beats{false};
+  std::atomic<long long> done_step{static_cast<long long>(init.start_step) -
+                                   1};
+  std::thread beacon([&] {
+    const auto slice = std::chrono::milliseconds(2);
+    auto next_beat = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(init.heartbeat_ms);
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(slice);
+      if (std::chrono::steady_clock::now() < next_beat) continue;
+      next_beat += std::chrono::milliseconds(init.heartbeat_ms);
+      if (freeze_beats.load(std::memory_order_acquire)) continue;
+      Frame beat;
+      beat.type = static_cast<std::uint32_t>(MsgType::kHeartbeat);
+      beat.a = static_cast<std::uint64_t>(slot);
+      beat.b = static_cast<std::uint64_t>(done_step.load() + 1);
+      try {
+        send_frame_locked(fd, write_mu, beat);
+      } catch (...) {
+        return;  // coordinator is gone; the main loop will find out too
+      }
+    }
+  });
+  struct BeaconGuard {
+    std::atomic<bool>& stop;
+    std::thread& t;
+    ~BeaconGuard() {
+      stop.store(true, std::memory_order_release);
+      if (t.joinable()) t.join();
+    }
+  } beacon_guard{stop, beacon};
+
+  // 6. The stepped main loop.
+  SocketChannel channel(fd, write_mu, rank, ranks);
+  std::vector<double> sendbuf, recvbuf;
+  f3d::Zone* left = &grid.zone(0);
+  f3d::Zone* right = &grid.zone(grid.num_zones() - 1);
+
+  for (int s = static_cast<int>(init.start_step);
+       s < static_cast<int>(init.total_steps); ++s) {
+    // Worker-scoped faults fire at the top of the step, before any
+    // protocol traffic for it.
+    for (std::size_t i = 0; i < cf.freeze.size(); ++i) {
+      if (cf.freeze[i].kind == fault::FaultKind::kHang &&
+          fires(cf.freeze[i], &cf.freeze_fired[i],
+                static_cast<std::uint64_t>(s))) {
+        freeze_beats.store(true, std::memory_order_release);
+        hang_forever();
+      }
+    }
+    for (std::size_t i = 0; i < cf.step.size(); ++i) {
+      auto& spec = cf.step[i];
+      if (!fires(spec, &cf.step_fired[i], static_cast<std::uint64_t>(s))) {
+        continue;
+      }
+      switch (spec.kind) {
+        case fault::FaultKind::kIoCrash:
+          ::raise(SIGKILL);  // genuinely abrupt: no flush, no unwind
+          _exit(kExitCrashSim);  // unreachable
+        case fault::FaultKind::kHang:
+          hang_forever();
+        case fault::FaultKind::kDelay:
+          std::this_thread::sleep_for(std::chrono::duration<double,
+                                                            std::milli>(
+              spec.delay_ms));
+          break;
+        default:
+          break;  // other kinds have no worker-scope meaning
+      }
+    }
+
+    f3d::halo_exchange_step(channel, s, *left, *right, sendbuf, recvbuf);
+    solver.step();
+    done_step.store(s, std::memory_order_release);
+
+    StepDone sd;
+    const double rms = solver.residual();
+    sd.sumsq = rms * rms * points5;
+    sd.points5 = points5;
+    if (is_upload_step(s, static_cast<int>(init.ckpt_every),
+                       static_cast<int>(init.total_steps))) {
+      sd.zone_payloads.resize(static_cast<std::size_t>(grid.num_zones()));
+      for (int z = 0; z < grid.num_zones(); ++z) {
+        f3d::pack_zone_interior(grid.zone(z),
+                                sd.zone_payloads[static_cast<std::size_t>(z)]);
+      }
+    }
+    Frame done;
+    done.type = static_cast<std::uint32_t>(MsgType::kStepDone);
+    done.a = static_cast<std::uint64_t>(slot);
+    done.b = static_cast<std::uint64_t>(s);
+    done.payload = encode_step_done(sd);
+    send_frame_locked(fd, write_mu, done);
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  try {
+    return run_worker(fd);
+  } catch (const std::exception& e) {
+    // Best-effort goodbye so the coordinator can log the cause instead of
+    // just an EOF; the exit code is the real signal.
+    try {
+      Frame f;
+      f.type = static_cast<std::uint32_t>(MsgType::kError);
+      const char* what = e.what();
+      f.payload.assign(what, what + std::strlen(what));
+      llp::msg::write_frame(fd, f);
+    } catch (...) {
+    }
+    return kExitRunFailure;
+  }
+}
+
+}  // namespace llp::cluster

@@ -1,0 +1,38 @@
+// The worker side of the sharded backend.
+//
+// A worker process is deliberately stateless across its lifetime boundary:
+// everything it is — identity, zone slab, solver scalars, fault plan, the
+// checkpoint generation holding its interiors — arrives in one INIT frame,
+// so respawning a worker after a crash is the same code path as starting
+// it the first time. The main loop is msg_driver's choreography over the
+// socket rails: halo exchange (f3d/halo.hpp over a frame-backed
+// HaloCommunicator), one solver step, one STEP_DONE progress ack carrying
+// the residual contribution (and the slab's interiors on checkpoint
+// steps). A beacon thread heartbeats independently of the main loop, which
+// is what lets the coordinator tell a hung step (beats flow, progress
+// stalls) from a frozen process (beats stop).
+//
+// Worker-scoped fault injection (the PR 2 grammar, interpreted here):
+//   iocrash:w<slot>.step:<s>:0   raise(SIGKILL) before step s — a real
+//                                abrupt death, no cleanup, no goodbye
+//   hang:w<slot>.step:<s>:0      main loop hangs before step s; heartbeats
+//                                continue (step-deadline detection)
+//   delay:w<slot>.step:<s>:0     straggle delay_ms before step s
+//   hang:w<slot>.freeze:<s>:0    heartbeats stop AND the loop hangs
+//                                (missed-heartbeat detection)
+//   throw:w<slot>.spawn:<a>:0    exit before READY on spawn attempt a
+//                                ('*' + count=0: every attempt fails —
+//                                the migration path)
+// Any other region stays in the plan handed to the worker's own runtime,
+// so ordinary loop faults fire inside the slab's solver as usual.
+#pragma once
+
+namespace llp::cluster {
+
+/// Run the worker protocol over `fd` until the run completes or fails.
+/// Blocking; returns the process exit code (llp::kExitOk on success).
+/// Never throws — a fatal error is reported to the coordinator as a
+/// kError frame and mapped to a nonzero code.
+int worker_main(int fd);
+
+}  // namespace llp::cluster

@@ -1,0 +1,45 @@
+#include "f3d/halo.hpp"
+
+#include "f3d/gas.hpp"
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+constexpr int kNg = Zone::kGhost;
+}
+
+std::size_t halo_doubles(const Zone& z) {
+  return static_cast<std::size_t>(kNg) * (z.kmax() + 2 * kNg) *
+         (z.lmax() + 2 * kNg) * kNumVars;
+}
+
+void pack_halo_face(const Zone& z, bool right, std::vector<double>& buf) {
+  buf.clear();
+  buf.reserve(halo_doubles(z));
+  for (int d = 1; d <= kNg; ++d) {
+    const int j = right ? z.jmax() - d : d - 1;
+    for (int l = -kNg; l < z.lmax() + kNg; ++l) {
+      for (int k = -kNg; k < z.kmax() + kNg; ++k) {
+        const double* q = z.q_point(j, k, l);
+        buf.insert(buf.end(), q, q + kNumVars);
+      }
+    }
+  }
+}
+
+void unpack_halo_face(Zone& z, bool right, const std::vector<double>& buf) {
+  LLP_REQUIRE(buf.size() == halo_doubles(z), "interface message size");
+  std::size_t idx = 0;
+  for (int d = 1; d <= kNg; ++d) {
+    const int j = right ? z.jmax() + d - 1 : -d;
+    for (int l = -kNg; l < z.lmax() + kNg; ++l) {
+      for (int k = -kNg; k < z.kmax() + kNg; ++k) {
+        double* q = z.q_point(j, k, l);
+        for (int n = 0; n < kNumVars; ++n) q[n] = buf[idx++];
+      }
+    }
+  }
+}
+
+}  // namespace f3d

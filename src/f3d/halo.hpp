@@ -1,0 +1,74 @@
+// Interface-halo packing and the stepped exchange choreography, shared by
+// both message-passing rails.
+//
+// MultiZoneGrid::exchange() copies kGhost J-planes between adjacent zones
+// through shared memory. When the neighbor lives in another rank — a
+// thread (f3d/msg_driver.cpp) or a supervised worker process
+// (src/cluster) — the same cells travel as explicit messages. This header
+// is the single definition of what travels (pack/unpack of the kGhost
+// interior planes adjacent to an interface, transverse ghosts included),
+// how it is tagged (step s: rightward = 2s, leftward = 2s+1), and in what
+// order a rank sends and receives so the pairwise exchange cannot
+// deadlock. The exchange itself is a template over the
+// llp::msg::HaloCommunicator concept, so the in-process and socket rails
+// share one choreography.
+#pragma once
+
+#include <vector>
+
+#include "f3d/zone.hpp"
+#include "msg/communicator.hpp"
+
+namespace f3d {
+
+/// Doubles in one interface message for a zone: kGhost planes of the
+/// padded transverse extent, kNumVars each.
+std::size_t halo_doubles(const Zone& z);
+
+/// Pack the kGhost interior planes adjacent to the right (JMax) or left
+/// (JMin) interface, transverse ghosts included — exactly the cells
+/// MultiZoneGrid::exchange() copies.
+void pack_halo_face(const Zone& z, bool right, std::vector<double>& buf);
+
+/// Unpack a neighbor's planes into this zone's JMax (right) or JMin
+/// ghosts. Throws llp::Error when buf is not halo_doubles(z) long.
+void unpack_halo_face(Zone& z, bool right, const std::vector<double>& buf);
+
+/// Message tag for step `step`: rightward (to rank+1) or leftward
+/// (to rank-1) interface traffic.
+inline int halo_tag(int step, bool rightward) {
+  return 2 * step + (rightward ? 0 : 1);
+}
+
+/// One step's interface exchange for a rank owning a contiguous J-slab:
+/// `left_zone` touches the rank's left neighbor, `right_zone` its right
+/// (the same zone when the rank owns one). Both sends are posted before
+/// either recv — send must be non-blocking per the concept, which is what
+/// makes the pairwise exchange deadlock-free.
+template <llp::msg::HaloCommunicator C>
+void halo_exchange_step(C& comm, int step, Zone& left_zone, Zone& right_zone,
+                        std::vector<double>& sendbuf,
+                        std::vector<double>& recvbuf) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  if (r + 1 < n) {
+    pack_halo_face(right_zone, /*right=*/true, sendbuf);
+    comm.send(r + 1, halo_tag(step, /*rightward=*/true), sendbuf);
+  }
+  if (r > 0) {
+    pack_halo_face(left_zone, /*right=*/false, sendbuf);
+    comm.send(r - 1, halo_tag(step, /*rightward=*/false), sendbuf);
+  }
+  if (r + 1 < n) {
+    recvbuf.resize(halo_doubles(right_zone));
+    comm.recv(r + 1, halo_tag(step, /*rightward=*/false), recvbuf);
+    unpack_halo_face(right_zone, /*right=*/true, recvbuf);
+  }
+  if (r > 0) {
+    recvbuf.resize(halo_doubles(left_zone));
+    comm.recv(r - 1, halo_tag(step, /*rightward=*/true), recvbuf);
+    unpack_halo_face(left_zone, /*right=*/false, recvbuf);
+  }
+}
+
+}  // namespace f3d

@@ -3,55 +3,11 @@
 #include <cmath>
 
 #include "core/runtime.hpp"
+#include "f3d/halo.hpp"
 #include "f3d/validation.hpp"
 #include "util/error.hpp"
 
 namespace f3d {
-
-namespace {
-
-constexpr int kNg = Zone::kGhost;
-
-// Doubles in one interface message: kNg planes of the zone's padded
-// transverse extent.
-std::size_t plane_doubles(const Zone& z) {
-  return static_cast<std::size_t>(kNg) * (z.kmax() + 2 * kNg) *
-         (z.lmax() + 2 * kNg) * kNumVars;
-}
-
-// Pack the kNg interior planes adjacent to the right (JMax) or left (JMin)
-// interface, transverse ghosts included — exactly the cells
-// MultiZoneGrid::exchange() copies.
-void pack_face(const Zone& z, bool right, std::vector<double>& buf) {
-  buf.clear();
-  buf.reserve(plane_doubles(z));
-  for (int d = 1; d <= kNg; ++d) {
-    const int j = right ? z.jmax() - d : d - 1;
-    for (int l = -kNg; l < z.lmax() + kNg; ++l) {
-      for (int k = -kNg; k < z.kmax() + kNg; ++k) {
-        const double* q = z.q_point(j, k, l);
-        buf.insert(buf.end(), q, q + kNumVars);
-      }
-    }
-  }
-}
-
-// Unpack a neighbor's planes into this zone's JMax (right) or JMin ghosts.
-void unpack_face(Zone& z, bool right, const std::vector<double>& buf) {
-  LLP_REQUIRE(buf.size() == plane_doubles(z), "interface message size");
-  std::size_t idx = 0;
-  for (int d = 1; d <= kNg; ++d) {
-    const int j = right ? z.jmax() + d - 1 : -d;
-    for (int l = -kNg; l < z.lmax() + kNg; ++l) {
-      for (int k = -kNg; k < z.kmax() + kNg; ++k) {
-        double* q = z.q_point(j, k, l);
-        for (int n = 0; n < kNumVars; ++n) q[n] = buf[idx++];
-      }
-    }
-  }
-}
-
-}  // namespace
 
 std::uint64_t combined_checksum(const std::vector<std::uint64_t>& digests) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -116,27 +72,12 @@ MsgRunResult run_message_passing_solver(const CaseSpec& spec, int steps,
     Zone& z = grid.zone(0);
     const double points5 =
         static_cast<double>(z.interior_points()) * kNumVars;
-    std::vector<double> sendbuf, recvbuf(plane_doubles(z));
+    std::vector<double> sendbuf, recvbuf(halo_doubles(z));
 
     for (int s = 0; s < steps; ++s) {
       // Interface exchange: what MultiZoneGrid::exchange() does in shared
-      // memory, spelled out as messages.
-      if (r + 1 < ranks) {
-        pack_face(z, /*right=*/true, sendbuf);
-        comm.send(r + 1, 2 * s, sendbuf);
-      }
-      if (r > 0) {
-        pack_face(z, /*right=*/false, sendbuf);
-        comm.send(r - 1, 2 * s + 1, sendbuf);
-      }
-      if (r + 1 < ranks) {
-        comm.recv(r + 1, 2 * s + 1, recvbuf);
-        unpack_face(z, /*right=*/true, recvbuf);
-      }
-      if (r > 0) {
-        comm.recv(r - 1, 2 * s, recvbuf);
-        unpack_face(z, /*right=*/false, recvbuf);
-      }
+      // memory, spelled out as messages (f3d/halo.hpp choreography).
+      halo_exchange_step(comm, s, z, z, sendbuf, recvbuf);
 
       solver.step();
 

@@ -86,6 +86,23 @@ Scenario Generator::random_scenario(SplitMix64& rng) const {
     s.max_recoveries = pick_int(rng, 1, 2);
   }
 
+  // Cluster knobs: a clean multi-zone case with the CFL ramp off can run
+  // the sharded backend too — sometimes uninterrupted, sometimes with one
+  // worker killed or hung mid-run to exercise detection and recovery.
+  if (config_.allow_cluster && s.fault.empty() && s.cfl_growth == 1.0 &&
+      s.zones.size() >= 2 && rng.below(6) == 0) {
+    s.workers = pick_int(rng, 2, static_cast<int>(s.zones.size()));
+    const std::uint64_t which = rng.below(4);  // 0 = clean cluster only
+    if (which == 1 || which == 3) {
+      s.kill_worker = pick_int(rng, 0, s.workers - 1);
+      s.kill_step = pick_int(rng, 1, s.steps - 1);
+    }
+    if (which == 2 || which == 3) {
+      s.hang_worker = pick_int(rng, 0, s.workers - 1);
+      s.hang_step = pick_int(rng, 1, s.steps - 1);
+    }
+  }
+
   if (config_.allow_hostile && rng.below(12) == 0) {
     make_hostile(s, rng);
   }

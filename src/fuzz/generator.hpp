@@ -31,6 +31,10 @@ struct GeneratorConfig {
   int max_threads = 4;
   bool allow_faults = true;   ///< emit fault plans at all
   bool allow_hostile = true;  ///< emit deliberately-degenerate cases
+  /// Emit workers=/kill=/hang= knobs on eligible clean multi-zone cases,
+  /// sending them through the multi-process cluster oracle as well. Low
+  /// probability: each cluster case forks real worker processes.
+  bool allow_cluster = true;
 };
 
 class Generator {

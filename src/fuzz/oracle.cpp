@@ -8,6 +8,7 @@
 
 #include "analyze/access_logger.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "cluster/coordinator.hpp"
 #include "core/runtime.hpp"
 #include "f3d/validation.hpp"
 #include "fault/injector.hpp"
@@ -75,6 +76,7 @@ const char* to_string(OracleId oracle) {
     case OracleId::kRace: return "race";
     case OracleId::kDifferential: return "differential";
     case OracleId::kRestart: return "restart";
+    case OracleId::kCluster: return "cluster";
   }
   return "none";
 }
@@ -296,6 +298,88 @@ CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options) {
     } catch (const std::exception& e) {
       return fail(std::move(result), OracleId::kRestart, "resume-exception",
                   "ckpt", e.what());
+    }
+  }
+
+  // --- oracle 5: sharded backend parity and recovery --------------------
+  // validate() guarantees cluster cases are fault-free with the CFL ramp
+  // pinned, so the in-process run above is the trajectory the shards owe.
+  if (scenario.workers >= 2 && !result.crashed) {
+    if (options.work_dir.empty()) {
+      throw Error("run_case: scenario has workers >= 2 but no work_dir");
+    }
+    try {
+      cluster::ClusterConfig ccfg;
+      ccfg.case_spec.zones = scenario.zones;
+      ccfg.case_spec.spacing = scenario.spacing;
+      ccfg.case_spec.freestream.mach = scenario.mach;
+      ccfg.case_spec.freestream.alpha_deg = scenario.alpha_deg;
+      const BcCombo bc = scenario.bc;
+      const double pulse = scenario.pulse;
+      ccfg.init_grid = [bc, pulse](f3d::MultiZoneGrid& grid) {
+        if (bc == BcCombo::kKminWall) f3d::add_kmin_wall(grid);
+        if (pulse != 0.0) f3d::add_gaussian_pulse(grid, pulse, 2.0);
+      };
+      ccfg.steps = scenario.steps;
+      ccfg.workers = scenario.workers;
+      ccfg.worker_threads = scenario.threads;
+      ccfg.cfl = scenario.cfl;
+      ccfg.mode = scenario.mode;
+      ccfg.region_prefix = kRegionPrefix;
+      ccfg.ckpt_dir = options.work_dir + "/cluster";
+      ccfg.ckpt_every = scenario.ckpt_every > 0 ? scenario.ckpt_every : 3;
+      ccfg.heartbeat_ms = 20;
+      ccfg.step_deadline_ms = 800;
+      ccfg.worker_exe = options.cluster_exe;
+
+      fs::remove_all(ccfg.ckpt_dir);
+      fs::create_directories(ccfg.ckpt_dir);
+      const cluster::ClusterReport clean = cluster::run_cluster(ccfg);
+      const double solo = report.final_residual;
+      if (!(std::abs(clean.final_residual - solo) <=
+            options.cluster_tol * std::abs(solo))) {
+        return fail(std::move(result), OracleId::kCluster,
+                    "cluster-parity", "cluster",
+                    strfmt("cluster %.17g vs in-process %.17g (tol %g)",
+                           clean.final_residual, solo, options.cluster_tol));
+      }
+
+      if (scenario.kill_worker >= 0 || scenario.hang_worker >= 0) {
+        std::string spec;
+        if (scenario.kill_worker >= 0) {
+          spec = strfmt("iocrash:w%d.step:%d:0", scenario.kill_worker,
+                        scenario.kill_step);
+        }
+        if (scenario.hang_worker >= 0) {
+          if (!spec.empty()) spec += ';';
+          spec += strfmt("hang:w%d.step:%d:0", scenario.hang_worker,
+                         scenario.hang_step);
+        }
+        cluster::ClusterConfig fcfg = ccfg;
+        fcfg.fault_spec = spec;
+        fcfg.ckpt_dir = options.work_dir + "/cluster_faulted";
+        fs::remove_all(fcfg.ckpt_dir);
+        fs::create_directories(fcfg.ckpt_dir);
+        const cluster::ClusterReport recovered = cluster::run_cluster(fcfg);
+        if (recovered.recoveries < 1) {
+          return fail(std::move(result), OracleId::kCluster,
+                      "cluster-fault-unfired", "cluster",
+                      strfmt("'%s' caused no recovery", spec.c_str()));
+        }
+        // Same partition, same thread counts: bitwise, not merely close.
+        if (recovered.final_residual != clean.final_residual ||
+            recovered.residuals != clean.residuals) {
+          return fail(std::move(result), OracleId::kCluster,
+                      "cluster-recovery-mismatch", "cluster",
+                      strfmt("recovered %.17g vs clean %.17g after '%s'",
+                             recovered.final_residual, clean.final_residual,
+                             spec.c_str()));
+        }
+        result.recoveries += recovered.recoveries;
+      }
+    } catch (const std::exception& e) {
+      return fail(std::move(result), OracleId::kCluster, "cluster-exception",
+                  "cluster", e.what());
     }
   }
 

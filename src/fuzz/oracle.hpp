@@ -16,7 +16,13 @@
 //      the newest intact generation (after an injected iocrash, that IS
 //      the kill-and-resume path) and the resumed timeline must verify its
 //      first replay against the sealed manifest and, for runs whose
-//      trajectory faults did not perturb, land on the same final solution.
+//      trajectory faults did not perturb, land on the same final solution;
+//   5. cluster — scenarios with workers >= 2 run the multi-process sharded
+//      backend too: the clean cluster's final residual must match the
+//      in-process run to combine tolerance, and when kill=/hang= name a
+//      worker-scoped fault, a second cluster run must detect the failure,
+//      recover from checkpoint, and land bitwise on the clean cluster's
+//      residual trajectory.
 //
 // A case's verdict is a CaseResult; failures carry a bucket signature
 // "oracle/error-type/region" that groups equivalent root causes across
@@ -37,6 +43,7 @@ enum class OracleId {
   kRace,          ///< dynamic analyzer finding
   kDifferential,  ///< kRisc and kVector solutions disagree
   kRestart,       ///< resume-from-checkpoint broke parity or failed
+  kCluster,       ///< sharded backend diverged or failed to recover
 };
 
 const char* to_string(OracleId oracle);
@@ -64,9 +71,16 @@ struct RunCaseOptions {
   /// before use. Required when the scenario has ckpt_every > 0.
   std::string work_dir;
   /// Tolerances. Differential matches the solver test's per-step bound;
-  /// restart parity matches the restart integration test.
+  /// restart parity matches the restart integration test; cluster_tol
+  /// bounds the clean cluster combine against the in-process residual
+  /// (the recovery comparison is bitwise, no tolerance).
   double diff_tol = 1e-9;
   double restart_tol = 1e-9;
+  double cluster_tol = 1e-9;
+  /// Binary accepting "--worker --fd N" for the cluster oracle's workers.
+  /// Empty = fork-only spawn (fine in-process; set it under sanitizers,
+  /// which dislike fork from a threaded parent).
+  std::string cluster_exe;
 };
 
 /// Drive one scenario through the full oracle stack. Never throws for

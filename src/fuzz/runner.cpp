@@ -21,6 +21,7 @@ public:
       : config_(config), log_(log) {
     options_.work_dir =
         config.work_dir.empty() ? "fuzz_work" : config.work_dir;
+    options_.cluster_exe = config.cluster_exe;
     fs::create_directories(options_.work_dir);
     if (!config.out_dir.empty()) fs::create_directories(config.out_dir);
   }

@@ -30,6 +30,9 @@ struct CampaignConfig {
   bool shrink = true;
   int shrink_budget = 120;     ///< oracle runs per shrink
   bool print_specs = false;    ///< echo every spec line (determinism diffs)
+  /// Worker binary for the cluster oracle ("" = fork-only spawn); see
+  /// RunCaseOptions::cluster_exe.
+  std::string cluster_exe;
   GeneratorConfig generator;
 };
 

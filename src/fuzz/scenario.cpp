@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -120,6 +121,9 @@ std::string Scenario::to_line() const {
   out << " recover=" << max_recoveries;
   out << " mem_ckpt=" << mem_ckpt_every;
   out << " ckpt=" << ckpt_every;
+  if (workers > 0) out << " workers=" << workers;
+  if (kill_worker >= 0) out << " kill=" << kill_worker << ':' << kill_step;
+  if (hang_worker >= 0) out << " hang=" << hang_worker << ':' << hang_step;
   if (!fault.empty()) out << " fault=" << fault.to_string();
   return out.str();
 }
@@ -186,6 +190,26 @@ Scenario Scenario::parse(const std::string& line) {
       s.mem_ckpt_every = static_cast<int>(parse_long(key, val));
     } else if (key == "ckpt") {
       s.ckpt_every = static_cast<int>(parse_long(key, val));
+    } else if (key == "workers") {
+      s.workers = static_cast<int>(parse_long(key, val));
+    } else if (key == "kill" || key == "hang") {
+      const std::size_t colon = val.find(':');
+      if (colon == std::string::npos) {
+        throw ValidationError(
+            strfmt("scenario: %s wants worker:step, got '%s'", key.c_str(),
+                   val.c_str()));
+      }
+      const int worker =
+          static_cast<int>(parse_long(key, val.substr(0, colon)));
+      const int step =
+          static_cast<int>(parse_long(key, val.substr(colon + 1)));
+      if (key == "kill") {
+        s.kill_worker = worker;
+        s.kill_step = step;
+      } else {
+        s.hang_worker = worker;
+        s.hang_step = step;
+      }
     } else if (key == "fault") {
       try {
         s.fault = fault::FaultPlan::parse(val);
@@ -214,6 +238,32 @@ void Scenario::validate() const {
   }
   if (bc == BcCombo::kPeriodic && zones.size() != 1) {
     throw ValidationError("scenario: periodic bc needs exactly one zone");
+  }
+  if (workers != 0) {
+    if (workers < 2 || static_cast<std::size_t>(workers) > zones.size()) {
+      throw ValidationError("scenario: workers must be in [2, zone count]");
+    }
+    if (!fault.empty()) {
+      // The cluster oracle compares against the in-process trajectory; an
+      // in-process fault plan would rewrite the reference.
+      throw ValidationError("scenario: cluster cases keep fault= empty");
+    }
+    if (cfl_growth != 1.0) {
+      // The sharded backend pins the CFL ramp off (the ramp keys on local
+      // residuals and would diverge the shards).
+      throw ValidationError("scenario: cluster cases need growth=1");
+    }
+  }
+  for (const auto& [worker, step] :
+       {std::pair{kill_worker, kill_step}, std::pair{hang_worker, hang_step}}) {
+    if (worker < 0) continue;
+    if (workers < 2) {
+      throw ValidationError("scenario: kill=/hang= need workers >= 2");
+    }
+    if (worker >= workers || step < 0 || step >= steps) {
+      throw ValidationError(
+          "scenario: kill=/hang= outside worker/step range");
+    }
   }
 }
 

@@ -61,6 +61,17 @@ struct Scenario {
   int ckpt_every = 0;          ///< durable generation cadence; 0 = no store
   fault::FaultPlan fault;      ///< empty = clean run
 
+  // Cluster knobs (the multi-process sharded backend oracle). workers=0
+  // keeps the case in-process only; workers>=2 additionally runs the
+  // scenario through run_cluster() and compares residuals. kill/hang
+  // inject one worker-scoped fault into a second cluster run that must
+  // recover back onto the uninterrupted trajectory.
+  int workers = 0;             ///< 0 = no cluster oracle; else >= 2
+  int kill_worker = -1;        ///< SIGKILL this worker...
+  int kill_step = -1;          ///< ...at this 0-based step
+  int hang_worker = -1;        ///< hang this worker's main loop...
+  int hang_step = -1;          ///< ...at this 0-based step
+
   /// Canonical one-line spec (see header comment). Byte-deterministic.
   std::string to_line() const;
 

@@ -163,6 +163,18 @@ private:
     try_simplify([](Scenario& s) { s.ckpt_every = 0; });
     try_simplify([](Scenario& s) { s.bc = BcCombo::kDefault; });
     try_simplify([](Scenario& s) { s.alpha_deg = 0.0; });
+    // Cluster knobs: drop the injected worker faults first (a recovery
+    // bug may reproduce on the clean cluster), then the cluster entirely
+    // (an in-process reproduction beats a multi-process one).
+    try_simplify([](Scenario& s) {
+      s.kill_worker = s.kill_step = -1;
+      s.hang_worker = s.hang_step = -1;
+    });
+    try_simplify([](Scenario& s) {
+      s.workers = 0;
+      s.kill_worker = s.kill_step = -1;
+      s.hang_worker = s.hang_step = -1;
+    });
     return progressed;
   }
 

@@ -1,0 +1,37 @@
+// The transport abstraction: one Communicator concept, two rails.
+//
+// The halo-exchange choreography (pack interface planes, send to the J
+// neighbors, receive theirs, unpack into ghosts) is identical whether the
+// ranks are threads in one process (message_passing.hpp) or supervised
+// worker processes on a socket (src/cluster). This concept names the
+// operations that choreography needs, so f3d::halo_exchange_step is written
+// once against it and both rails reuse it — the in-process Communicator
+// satisfies it as-is, and the cluster worker's channel satisfies it by
+// framing each send as one CRC32C frame (msg/frame.hpp).
+//
+// Semantics required of a model:
+//   * send(dest, tag, data) delivers a copy; it must not block against the
+//     matching recv (buffered, or relayed by a third party);
+//   * recv(src, tag, out) blocks until the matching message arrives and
+//     fills exactly out.size() doubles; messages from one (src, tag) are
+//     delivered in send order;
+//   * rank()/size() describe the topology: ranks 0..size()-1, where this
+//     rank exchanges halos with rank±1.
+#pragma once
+
+#include <concepts>
+#include <span>
+
+namespace llp::msg {
+
+template <typename C>
+concept HaloCommunicator = requires(C& c, int peer, int tag,
+                                    std::span<const double> out_data,
+                                    std::span<double> in_data) {
+  { c.rank() } -> std::convertible_to<int>;
+  { c.size() } -> std::convertible_to<int>;
+  c.send(peer, tag, out_data);
+  c.recv(peer, tag, in_data);
+};
+
+}  // namespace llp::msg

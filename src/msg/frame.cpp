@@ -1,0 +1,150 @@
+#include "msg/frame.hpp"
+
+#include <cstring>
+
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/io.hpp"
+
+namespace llp::msg {
+
+namespace {
+
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_raw(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+// Validate a header already known to span kFrameHeaderBytes; fills type/a/b
+// and returns the payload length. Throws on bad magic, implausible length,
+// or header CRC mismatch.
+std::uint32_t parse_header(const std::uint8_t* h, Frame* out) {
+  if (read_raw<std::uint32_t>(h) != kFrameMagic) {
+    throw IoError("frame magic mismatch (stream desynchronized)");
+  }
+  const std::uint32_t hcrc = read_raw<std::uint32_t>(h + 28);
+  if (crc32c(h, 28) != hcrc) {
+    throw IoError("frame header CRC mismatch");
+  }
+  out->type = read_raw<std::uint32_t>(h + 4);
+  out->a = read_raw<std::uint64_t>(h + 8);
+  out->b = read_raw<std::uint64_t>(h + 16);
+  const std::uint32_t len = read_raw<std::uint32_t>(h + 24);
+  if (len > kMaxFramePayload) {
+    throw IoError(strfmt("implausible frame payload length %u", len));
+  }
+  return len;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  LLP_REQUIRE(f.payload.size() <= kMaxFramePayload, "frame payload too large");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + f.payload.size() + 4);
+  append_raw<std::uint32_t>(out, kFrameMagic);
+  append_raw<std::uint32_t>(out, f.type);
+  append_raw<std::uint64_t>(out, f.a);
+  append_raw<std::uint64_t>(out, f.b);
+  append_raw<std::uint32_t>(out, static_cast<std::uint32_t>(f.payload.size()));
+  append_raw<std::uint32_t>(out, crc32c(out.data(), 28));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  append_raw<std::uint32_t>(out, crc32c(f.payload.data(), f.payload.size()));
+  return out;
+}
+
+bool read_frame(int fd, Frame* out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  io::IoResult r = io::read_exact(fd, header, sizeof(header));
+  if (r.clean_eof()) return false;
+  if (r.status == io::IoStatus::kEof) {
+    throw IoError(strfmt("peer closed mid-frame (%zu of %zu header bytes)",
+                         r.transferred, sizeof(header)));
+  }
+  if (!r.ok()) {
+    throw IoError(std::string("frame read failed: ") +
+                  std::strerror(r.error));
+  }
+  const std::uint32_t len = parse_header(header, out);
+  out->payload.resize(len);
+  std::uint8_t tail[4];
+  r = io::read_exact(fd, out->payload.data(), len);
+  if (r.ok()) r = io::read_exact(fd, tail, sizeof(tail));
+  if (r.status == io::IoStatus::kEof) {
+    throw IoError("peer closed mid-frame (truncated payload)");
+  }
+  if (!r.ok()) {
+    throw IoError(std::string("frame read failed: ") +
+                  std::strerror(r.error));
+  }
+  if (read_raw<std::uint32_t>(tail) !=
+      crc32c(out->payload.data(), out->payload.size())) {
+    throw IoError("frame payload CRC mismatch");
+  }
+  return true;
+}
+
+void write_frame(int fd, const Frame& f) {
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  const io::IoResult r = io::send_exact(fd, wire.data(), wire.size());
+  if (r.status == io::IoStatus::kEof) {
+    throw IoError("peer disconnected mid-frame write");
+  }
+  if (!r.ok()) {
+    throw IoError(std::string("frame write failed: ") +
+                  std::strerror(r.error));
+  }
+}
+
+bool FrameParser::next(Frame* out) {
+  if (buf_.size() < kFrameHeaderBytes) return false;
+  const std::uint32_t len = parse_header(buf_.data(), out);
+  const std::size_t total = kFrameHeaderBytes + len + 4;
+  if (buf_.size() < total) return false;
+  out->payload.assign(buf_.begin() + kFrameHeaderBytes,
+                      buf_.begin() + kFrameHeaderBytes + len);
+  const std::uint32_t pcrc =
+      read_raw<std::uint32_t>(buf_.data() + kFrameHeaderBytes + len);
+  if (pcrc != crc32c(out->payload.data(), out->payload.size())) {
+    throw IoError("frame payload CRC mismatch");
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+std::string ByteReader::get_string(const char* what) {
+  const auto len = get<std::uint32_t>(what);
+  require(len, what);
+  std::string s(reinterpret_cast<const char*>(data_.data() + off_), len);
+  off_ += len;
+  return s;
+}
+
+std::vector<double> ByteReader::get_doubles(const char* what) {
+  const auto count = get<std::uint64_t>(what);
+  if (count > (std::uint64_t{1} << 27)) {
+    throw IoError(std::string("implausible double-array length in ") + what);
+  }
+  require(count * sizeof(double), what);
+  std::vector<double> v(count);
+  std::memcpy(v.data(), data_.data() + off_, count * sizeof(double));
+  off_ += count * sizeof(double);
+  return v;
+}
+
+void ByteReader::require(std::size_t n, const char* what) const {
+  if (data_.size() - off_ < n) {
+    throw IoError(std::string("truncated ") + what);
+  }
+}
+
+}  // namespace llp::msg

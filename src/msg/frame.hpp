@@ -1,0 +1,146 @@
+// CRC32C-framed binary messages over byte streams: the socket rails.
+//
+// The in-process rails (message_passing.hpp) run ranks as threads and move
+// std::vector payloads between mailboxes; a multi-process backend needs the
+// same messages to survive a kernel byte stream, where writes tear, reads
+// arrive short, and a SIGKILLed peer leaves half a message behind. One
+// frame is
+//
+//   u32  magic   "LLPF"
+//   u32  type    message discriminator (the cluster protocol's enum)
+//   u64  a       first routing/tag word (e.g. step index)
+//   u64  b       second routing/tag word (e.g. packed src/dest/side)
+//   u32  len     payload byte count
+//   u32  hcrc    CRC32C of the 28 header bytes above
+//   [len bytes of payload]
+//   u32  pcrc    CRC32C of the payload
+//
+// — length-prefixed and CRC-guarded exactly like the src/ckpt generation
+// frames, so a torn or bit-flipped message fails validation instead of
+// desynchronizing the stream. Blocking read/write (worker side) loop via
+// util/io.hpp; the incremental FrameParser feeds a nonblocking poll loop
+// (coordinator side) one recv at a time.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace llp::msg {
+
+/// Frame magic ("LLPF" little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x46504c4cu;
+
+/// Hard cap on one frame's payload; a length field above this is treated
+/// as stream corruption, not an allocation request.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Serialized frame header size in bytes (magic..hcrc).
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 8 + 4 + 4;
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize `f` into wire bytes (header + payload + payload CRC).
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Blocking read of exactly one frame. Returns false on a clean EOF at a
+/// frame boundary (the peer finished and closed). Throws llp::IoError on
+/// EOF mid-frame, a read error, bad magic, an implausible length, or a CRC
+/// mismatch — a stream that does any of these cannot be resynchronized.
+bool read_frame(int fd, Frame* out);
+
+/// Blocking write of one frame via send(2) with SIGPIPE suppressed.
+/// Throws llp::IoError when the peer is gone or the write fails.
+void write_frame(int fd, const Frame& f);
+
+/// Incremental frame parser for nonblocking readers: feed() whatever bytes
+/// recv returned, then drain next() until it returns false. Corruption
+/// (bad magic, implausible length, CRC mismatch) throws llp::IoError from
+/// next(); the caller treats the peer as dead.
+class FrameParser {
+public:
+  void feed(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Parse one complete frame out of the buffer if available.
+  bool next(Frame* out);
+
+  /// Bytes buffered but not yet consumed (a nonzero value at EOF means the
+  /// peer died mid-frame).
+  std::size_t pending_bytes() const noexcept { return buf_.size(); }
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// ---- payload serialization -------------------------------------------
+//
+// Flat little-endian append/read helpers for building frame payloads (the
+// cluster protocol's structs). Reads are bounds-checked and throw
+// llp::IoError on truncation, mirroring the checkpoint Cursor.
+
+class ByteWriter {
+public:
+  std::vector<std::uint8_t>& bytes() noexcept { return out_; }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return out_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(out_); }
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    out_.insert(out_.end(), p, p + s.size());
+  }
+
+  void put_doubles(std::span<const double> v) {
+    put<std::uint64_t>(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    out_.insert(out_.end(), p, p + v.size() * sizeof(double));
+  }
+
+private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T), what);
+    T v;
+    std::memcpy(&v, data_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string(const char* what);
+  std::vector<double> get_doubles(const char* what);
+
+  std::size_t remaining() const noexcept { return data_.size() - off_; }
+
+private:
+  void require(std::size_t n, const char* what) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace llp::msg

@@ -1,5 +1,6 @@
 #include "msg/message_passing.hpp"
 
+#include <atomic>
 #include <exception>
 #include <thread>
 
@@ -20,9 +21,32 @@ public:
   explicit World(int ranks) : ranks_(ranks), mailboxes_(ranks) {
     LLP_REQUIRE(ranks >= 1, "need at least one rank");
     reduce_values_.assign(static_cast<std::size_t>(ranks), 0.0);
+    dead_.assign(static_cast<std::size_t>(ranks), false);
   }
 
   int size() const noexcept { return ranks_; }
+
+  // A rank's thread threw: mark it dead and wake every blocked wait so the
+  // other ranks observe the death instead of deadlocking. Without this, a
+  // recv posted against the dead rank (or a barrier it will never reach)
+  // blocks forever and run()'s join never completes.
+  void mark_dead(int rank) {
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      dead_[static_cast<std::size_t>(rank)] = true;
+      any_dead_.store(true, std::memory_order_release);
+    }
+    barrier_cv_.notify_all();
+    for (Mailbox& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+
+  bool is_dead(int rank) {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    return dead_[static_cast<std::size_t>(rank)];
+  }
 
   void deliver(int src, int dest, int tag, std::span<const double> data) {
     LLP_REQUIRE(dest >= 0 && dest < ranks_, "bad destination rank");
@@ -49,6 +73,14 @@ public:
           return;
         }
       }
+      // Messages already delivered by a now-dead rank are still consumable
+      // (checked above); only an unmatched recv against a dead source is
+      // hopeless.
+      if (any_dead_.load(std::memory_order_acquire) && is_dead(src)) {
+        throw llp::Error("recv from dead rank " + std::to_string(src) +
+                         " (it threw before sending tag " +
+                         std::to_string(tag) + ")");
+      }
       box.cv.wait(lock);
     }
   }
@@ -61,8 +93,15 @@ public:
       ++barrier_generation_;
       barrier_cv_.notify_all();
     } else {
-      barrier_cv_.wait(lock,
-                       [this, gen] { return barrier_generation_ != gen; });
+      barrier_cv_.wait(lock, [this, gen] {
+        return barrier_generation_ != gen ||
+               any_dead_.load(std::memory_order_acquire);
+      });
+      if (barrier_generation_ == gen) {
+        // Woken by a death, not a release: this barrier can never complete.
+        --barrier_count_;
+        throw llp::Error("barrier abandoned: a rank died before arriving");
+      }
     }
   }
 
@@ -89,6 +128,11 @@ private:
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // Death bookkeeping: flags guarded by barrier_mu_, plus a lock-free
+  // summary so the receive fast path pays one relaxed load, not a lock.
+  std::vector<char> dead_;
+  std::atomic<bool> any_dead_{false};
 
   std::vector<double> reduce_values_;
 };
@@ -141,8 +185,14 @@ WorldStats run(int ranks, const std::function<void(Communicator&)>& fn) {
         try {
           fn(comms[static_cast<std::size_t>(r)]);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Record the error before announcing the death: ranks woken into
+          // "dead rank" errors must lose the first-error race to the
+          // original cause.
+          world.mark_dead(r);
         }
       });
     }

@@ -45,6 +45,10 @@ struct WorldStats {
 
 /// Run fn on `ranks` threads, each with its own Communicator. Blocks until
 /// all ranks return; the first exception thrown by any rank is rethrown.
+/// A rank that throws is marked dead: other ranks blocked in recv on it
+/// (with no matching message already delivered) or in a barrier it will
+/// never reach are woken with llp::Error instead of deadlocking, and the
+/// dying rank's original exception wins the first-error race.
 WorldStats run(int ranks, const std::function<void(Communicator&)>& fn);
 
 /// A rank's handle to the communication world.

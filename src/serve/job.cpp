@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -10,6 +11,7 @@
 
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/io.hpp"
 
 namespace f3d::serve {
 
@@ -258,15 +260,13 @@ void write_job_record(const std::string& state_dir, const JobRecord& record) {
   const std::string payload = record.to_json().dump() + "\n";
   const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw llp::IoError("cannot open " + tmp_path);
-  std::size_t off = 0;
-  while (off < payload.size()) {
-    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
-    if (n < 0) {
-      ::close(fd);
-      ::unlink(tmp_path.c_str());
-      throw llp::IoError("write failed for " + tmp_path);
-    }
-    off += static_cast<std::size_t>(n);
+  const llp::io::IoResult wr =
+      llp::io::write_exact(fd, payload.data(), payload.size());
+  if (!wr.ok()) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw llp::IoError("write failed for " + tmp_path + ": " +
+                       std::strerror(wr.error));
   }
   if (::fsync(fd) != 0) {
     ::close(fd);

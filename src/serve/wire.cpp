@@ -8,6 +8,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "util/io.hpp"
+
 namespace f3d::serve {
 
 namespace {
@@ -107,18 +109,22 @@ bool write_line(int fd, std::string_view line, std::string* err) {
   framed.reserve(line.size() + 1);
   framed.append(line);
   framed.push_back('\n');
-  std::size_t off = 0;
-  while (off < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (err != nullptr) *err = errno_string("send");
-      return false;
+  // send_exact loops on EINTR and short sends; a peer that disappears
+  // mid-line surfaces as a typed failure either way.
+  const llp::io::IoResult r =
+      llp::io::send_exact(fd, framed.data(), framed.size());
+  if (r.ok()) return true;
+  if (err != nullptr) {
+    if (r.status == llp::io::IoStatus::kEof) {
+      *err = "peer disconnected mid-line (" +
+             std::to_string(r.transferred) + " of " +
+             std::to_string(framed.size()) + " bytes sent)";
+    } else {
+      errno = r.error;
+      *err = errno_string("send");
     }
-    off += static_cast<std::size_t>(n);
   }
-  return true;
+  return false;
 }
 
 LineReader::Result LineReader::next_line(std::string* out, std::string* err) {
@@ -139,8 +145,15 @@ LineReader::Result LineReader::next_line(std::string* out, std::string* err) {
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
-      if (!buf_.empty() && err != nullptr) {
-        *err = "connection closed mid-line";
+      if (!buf_.empty()) {
+        // EOF with a partial line buffered is a torn frame, not an orderly
+        // shutdown: report it as a typed error so callers cannot mistake a
+        // peer that died mid-request for one that finished.
+        if (err != nullptr) {
+          *err = "peer disconnected mid-line (" +
+                 std::to_string(buf_.size()) + " bytes of partial line)";
+        }
+        return Result::kError;
       }
       return Result::kEof;
     }

@@ -53,6 +53,17 @@ public:
   explicit CrashError(const std::string& what) : Error(what) {}
 };
 
+/// A cluster-run failure the coordinator could not absorb: the restart
+/// budget is exhausted, every worker slot exceeded its respawn budget, or
+/// no intact checkpoint generation exists to roll back to. Distinct from
+/// IoError/TimeoutError (which describe one operation) — this one means the
+/// supervised run as a whole is over, and drivers map it to a dedicated
+/// exit code (util/exit_codes.hpp).
+class ClusterError : public Error {
+public:
+  explicit ClusterError(const std::string& what) : Error(what) {}
+};
+
 /// An error attributed to one lane of one parallel region. The fault
 /// injector throws these so recovery layers (the solver's retry loop) can
 /// attribute a failure to the region that produced it without depending on

@@ -14,6 +14,9 @@
 //       solution (and no recovery budget absorbed it)
 //   5   I/O error: unreadable input, failed write, no intact checkpoint
 //       generation under --restart (llp::IoError)
+//   6   cluster failure: the coordinator exhausted its restart budget, or
+//       every worker slot exceeded its respawn budget with no survivor to
+//       migrate onto (llp::ClusterError, f3d_cluster only)
 //   42  simulated crash: an injected iocrash died mid-write via _Exit,
 //       like the process death it models (llp::CrashError)
 //
@@ -29,6 +32,7 @@ inline constexpr int kExitUsage = 2;
 inline constexpr int kExitValidation = 3;
 inline constexpr int kExitDivergence = 4;
 inline constexpr int kExitIo = 5;
+inline constexpr int kExitCluster = 6;
 inline constexpr int kExitCrashSim = 42;
 
 /// Stable short name for a contract code ("ok", "usage", ...); "unknown"
@@ -41,6 +45,7 @@ inline const char* exit_code_name(int code) {
     case kExitValidation: return "validation";
     case kExitDivergence: return "divergence";
     case kExitIo: return "io";
+    case kExitCluster: return "cluster";
     case kExitCrashSim: return "crash-sim";
     default: return "unknown";
   }

@@ -1,0 +1,111 @@
+// EINTR-safe exact-transfer I/O helpers shared by every wire and durable
+// writer in the repo (serve line protocol, cluster frames, checkpoint
+// files).
+//
+// POSIX read/write may transfer fewer bytes than asked and may fail with
+// EINTR when a signal lands mid-call — both are routine for a process that
+// installs SIGCHLD handlers or runs under a debugger, and both corrupt a
+// framed protocol if the caller assumes full transfers. These helpers loop
+// until the full count is transferred, retrying EINTR, and report exactly
+// one of three outcomes: everything transferred, the peer ended the stream
+// (with how many bytes made it), or a hard errno.
+#pragma once
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace llp::io {
+
+enum class IoStatus {
+  kOk,     ///< all n bytes transferred
+  kEof,    ///< stream ended before n bytes (transferred tells where)
+  kError,  ///< errno-style failure (error holds it)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t transferred = 0;  ///< bytes moved before the outcome
+  int error = 0;                ///< errno when status == kError
+
+  bool ok() const noexcept { return status == IoStatus::kOk; }
+  /// True when the stream ended cleanly at a boundary: EOF with nothing
+  /// transferred. EOF after a partial transfer is a torn frame.
+  bool clean_eof() const noexcept {
+    return status == IoStatus::kEof && transferred == 0;
+  }
+};
+
+/// Read exactly n bytes from fd, looping on EINTR and short reads.
+inline IoResult read_exact(int fd, void* buf, std::size_t n) {
+  IoResult r;
+  char* p = static_cast<char*>(buf);
+  while (r.transferred < n) {
+    const ssize_t got = ::read(fd, p + r.transferred, n - r.transferred);
+    if (got > 0) {
+      r.transferred += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      r.status = IoStatus::kEof;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    r.status = IoStatus::kError;
+    r.error = errno;
+    return r;
+  }
+  return r;
+}
+
+/// Write exactly n bytes to fd (plain write(2) — files, pipes), looping on
+/// EINTR and short writes.
+inline IoResult write_exact(int fd, const void* buf, std::size_t n) {
+  IoResult r;
+  const char* p = static_cast<const char*>(buf);
+  while (r.transferred < n) {
+    const ssize_t put = ::write(fd, p + r.transferred, n - r.transferred);
+    if (put > 0) {
+      r.transferred += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put == 0) continue;  // defensive: write never legitimately sticks at 0
+    if (errno == EINTR) continue;
+    r.status = IoStatus::kError;
+    r.error = errno;
+    return r;
+  }
+  return r;
+}
+
+/// Write exactly n bytes to a socket via send(2) with SIGPIPE suppressed —
+/// a dead peer surfaces as EPIPE/ECONNRESET in the result instead of a
+/// signal. EPIPE is reported as kEof (the peer is gone, not the syscall
+/// broken) with the partial count preserved.
+inline IoResult send_exact(int fd, const void* buf, std::size_t n) {
+  IoResult r;
+  const char* p = static_cast<const char*>(buf);
+  while (r.transferred < n) {
+    const ssize_t put =
+        ::send(fd, p + r.transferred, n - r.transferred, MSG_NOSIGNAL);
+    if (put > 0) {
+      r.transferred += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put == 0) continue;
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      r.status = IoStatus::kEof;
+      r.error = errno;
+      return r;
+    }
+    r.status = IoStatus::kError;
+    r.error = errno;
+    return r;
+  }
+  return r;
+}
+
+}  // namespace llp::io

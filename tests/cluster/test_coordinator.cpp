@@ -1,0 +1,154 @@
+// run_cluster() end to end: parity against the in-process solver, bitwise
+// recovery after an injected worker kill, spawn-failure migration, and the
+// typed exhaustion error. Workers are fork+exec'd (F3D_CLUSTER_PATH), so
+// these tests stay valid under TSan — no fork from a threaded parent.
+#include "cluster/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/solver.hpp"
+#include "util/error.hpp"
+
+namespace llp::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& leaf) {
+  const fs::path dir = fs::temp_directory_path() / ("llp_cluster_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+ClusterConfig base_config(const std::string& ckpt_dir) {
+  ClusterConfig cfg;
+  cfg.case_spec.zones = {f3d::ZoneDims{6, 8, 8}, f3d::ZoneDims{6, 8, 8}};
+  cfg.case_spec.freestream.mach = 2.0;
+  cfg.case_spec.spacing = 0.1;
+  cfg.init_grid = [](f3d::MultiZoneGrid& grid) {
+    f3d::add_kmin_wall(grid);
+    f3d::add_gaussian_pulse(grid, 0.05, 3.0);
+  };
+  cfg.steps = 6;
+  cfg.workers = 2;
+  cfg.ckpt_dir = ckpt_dir;
+  cfg.ckpt_every = 2;
+  cfg.worker_exe = F3D_CLUSTER_PATH;
+  return cfg;
+}
+
+/// The same physics, one process, one solver: what the shards must match.
+double in_process_residual(const ClusterConfig& cfg) {
+  f3d::MultiZoneGrid grid = f3d::build_grid(cfg.case_spec);
+  if (cfg.init_grid) cfg.init_grid(grid);
+  llp::Runtime rt(cfg.worker_threads);
+  llp::RuntimeScope scope(rt);
+  f3d::SolverConfig sc;
+  sc.freestream = cfg.case_spec.freestream;
+  sc.cfl = cfg.cfl;
+  sc.kappa_i = cfg.kappa_i;
+  sc.mode = cfg.mode;
+  sc.cfl_growth = 1.0;  // the cluster pins the CFL ramp off
+  f3d::Solver solver(grid, sc, rt);
+  return solver.run(cfg.steps);
+}
+
+TEST(Coordinator, CleanRunMatchesInProcessSolver) {
+  const std::string dir = fresh_dir("clean");
+  const ClusterConfig cfg = base_config(dir);
+  const ClusterReport report = run_cluster(cfg);
+
+  EXPECT_EQ(report.steps_completed, cfg.steps);
+  EXPECT_EQ(report.workers_initial, 2);
+  EXPECT_EQ(report.workers_final, 2);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_EQ(report.respawns, 0);
+  EXPECT_EQ(report.detector_faults, 0u);
+  ASSERT_EQ(report.residuals.size(), static_cast<std::size_t>(cfg.steps));
+
+  const double solo = in_process_residual(cfg);
+  ASSERT_TRUE(std::isfinite(report.final_residual));
+  EXPECT_NEAR(report.final_residual, solo, 1e-9 * std::abs(solo))
+      << "sharded combine diverged from the single-solver residual";
+}
+
+TEST(Coordinator, KilledWorkerRecoversBitwise) {
+  const std::string clean_dir = fresh_dir("kill_clean");
+  const ClusterReport clean = run_cluster(base_config(clean_dir));
+
+  const std::string dir = fresh_dir("kill");
+  ClusterConfig cfg = base_config(dir);
+  cfg.fault_spec = "iocrash:w1.step:3:0";  // SIGKILL mid-run, one shot
+  const ClusterReport report = run_cluster(cfg);
+
+  // >= 1, not == 1: a loaded machine can add spurious liveness rollbacks,
+  // and those must also land bitwise below.
+  EXPECT_GE(report.recoveries, 1);
+  EXPECT_GE(report.respawns, 2);  // global rollback respawns both workers
+  EXPECT_EQ(report.migrations, 0);
+  EXPECT_EQ(report.steps_completed, cfg.steps);
+  // Same partition, same thread counts: the recovered trajectory must be
+  // bitwise identical, not merely close.
+  EXPECT_EQ(report.final_residual, clean.final_residual);
+  ASSERT_EQ(report.residuals.size(), clean.residuals.size());
+  for (std::size_t i = 0; i < clean.residuals.size(); ++i) {
+    EXPECT_EQ(report.residuals[i], clean.residuals[i]) << "step " << i;
+  }
+}
+
+TEST(Coordinator, SpawnFailureMigratesOntoSurvivors) {
+  const std::string dir = fresh_dir("migrate");
+  ClusterConfig cfg = base_config(dir);
+  // Slot 1 can never spawn (count=0 = unlimited); after max_respawns
+  // consecutive failures its zones migrate onto slot 0.
+  cfg.fault_spec = "throw:w1.spawn:*:0:count=0";
+  cfg.max_respawns = 1;
+  cfg.max_recoveries = 8;
+  cfg.step_deadline_ms = 2000;
+  const ClusterReport report = run_cluster(cfg);
+
+  EXPECT_EQ(report.migrations, 1);
+  EXPECT_EQ(report.workers_final, 1);
+  EXPECT_EQ(report.steps_completed, cfg.steps);
+  ASSERT_TRUE(std::isfinite(report.final_residual));
+  // The survivor owns the whole grid; the physics must still match the
+  // single-solver run to combine tolerance (partition changed, so bitwise
+  // equality is not owed).
+  const double solo = in_process_residual(cfg);
+  EXPECT_NEAR(report.final_residual, solo, 1e-9 * std::abs(solo));
+}
+
+TEST(Coordinator, RecoveryBudgetExhaustionIsTyped) {
+  const std::string dir = fresh_dir("exhaust");
+  ClusterConfig cfg = base_config(dir);
+  cfg.fault_spec = "iocrash:w0.step:*:0:count=0";  // crashes every epoch
+  cfg.max_respawns = 99;  // never migrate; burn the global budget instead
+  cfg.max_recoveries = 2;
+  EXPECT_THROW(run_cluster(cfg), llp::ClusterError);
+}
+
+TEST(Coordinator, RejectsMissingCheckpointDir) {
+  ClusterConfig cfg = base_config("");
+  cfg.ckpt_dir.clear();
+  EXPECT_THROW(run_cluster(cfg), llp::ValidationError);
+}
+
+TEST(Coordinator, ClampsWorkersToZoneCount) {
+  const std::string dir = fresh_dir("clamp");
+  ClusterConfig cfg = base_config(dir);
+  cfg.workers = 16;  // only two zones exist
+  const ClusterReport report = run_cluster(cfg);
+  EXPECT_EQ(report.workers_initial, 2);
+  EXPECT_EQ(report.steps_completed, cfg.steps);
+}
+
+}  // namespace
+}  // namespace llp::cluster

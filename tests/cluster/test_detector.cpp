@@ -1,0 +1,142 @@
+// FailureDetector: the externally-clocked liveness ladder. Every
+// transition is driven with injected millisecond timestamps — no sleeps.
+#include "cluster/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/health.hpp"
+
+namespace llp::cluster {
+namespace {
+
+DetectorConfig fast_cfg() {
+  DetectorConfig cfg;
+  cfg.heartbeat_ms = 10;
+  cfg.heartbeat_misses = 3;  // liveness window = 30 ms
+  cfg.step_deadline_ms = 100;
+  return cfg;
+}
+
+TEST(Detector, SpawnToReadyWithinDeadlineIsHealthy) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(1000);
+  EXPECT_EQ(det.state(), WorkerHealth::kSpawning);
+  EXPECT_EQ(det.check(1099), FailureKind::kNone);
+  det.on_ready(1099);
+  EXPECT_EQ(det.state(), WorkerHealth::kRunning);
+}
+
+TEST(Detector, ReadyTimeoutWhenInitNeverAcked) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(1000);
+  EXPECT_EQ(det.check(1100), FailureKind::kNone);  // exactly at budget: ok
+  EXPECT_EQ(det.check(1101), FailureKind::kReadyTimeout);
+  EXPECT_EQ(det.state(), WorkerHealth::kDead);
+}
+
+TEST(Detector, HeartbeatKeepsSilentWorkerAlive) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(10);
+  for (std::int64_t t = 20; t <= 90; t += 10) det.on_frame(t);
+  EXPECT_EQ(det.check(100), FailureKind::kNone);
+}
+
+TEST(Detector, HeartbeatTimeoutAfterMissedWindow) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(10);
+  det.on_frame(20);
+  // Silence past heartbeat_ms * misses = 30 ms.
+  EXPECT_EQ(det.check(50), FailureKind::kNone);
+  EXPECT_EQ(det.check(51), FailureKind::kHeartbeatTimeout);
+}
+
+TEST(Detector, StepDeadlineFiresWhileHeartbeatsFlow) {
+  // The hang discrimination: beacon thread keeps beating, main loop stalls.
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(0);
+  det.on_progress(0, 10);
+  std::int64_t t = 10;
+  while (t < 110) {
+    t += 10;
+    det.on_frame(t);  // heartbeats keep the liveness window fresh
+  }
+  EXPECT_EQ(det.check(110), FailureKind::kNone);   // exactly at budget
+  det.on_frame(111);
+  EXPECT_EQ(det.check(111), FailureKind::kStepDeadline);
+  EXPECT_EQ(det.last_step(), 0);
+}
+
+TEST(Detector, ProgressResetsTheStepClock) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(0);
+  det.on_progress(0, 90);
+  det.on_frame(120);
+  det.on_frame(150);
+  det.on_progress(1, 180);
+  det.on_frame(210);
+  det.on_frame(240);
+  det.on_frame(270);
+  EXPECT_EQ(det.check(280), FailureKind::kNone);
+  EXPECT_EQ(det.last_step(), 1);
+}
+
+TEST(Detector, WouldFailIsPureCheckLatches) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(0);
+  // would_fail evaluates without declaring: state stays kRunning no matter
+  // how many times the coordinator polls the question.
+  EXPECT_EQ(det.would_fail(500), FailureKind::kHeartbeatTimeout);
+  EXPECT_EQ(det.would_fail(500), FailureKind::kHeartbeatTimeout);
+  EXPECT_EQ(det.state(), WorkerHealth::kRunning);
+  // check() is would_fail + declare.
+  EXPECT_EQ(det.check(500), FailureKind::kHeartbeatTimeout);
+  EXPECT_EQ(det.state(), WorkerHealth::kDead);
+  // Dead workers never fail again (one declaration per failure).
+  EXPECT_EQ(det.would_fail(9999), FailureKind::kNone);
+  EXPECT_EQ(det.check(9999), FailureKind::kNone);
+}
+
+TEST(Detector, FinishedWorkerIsExemptFromEveryDeadline) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.on_ready(0);
+  det.on_progress(7, 10);
+  det.on_finished();
+  EXPECT_EQ(det.check(100000), FailureKind::kNone);
+  EXPECT_EQ(det.state(), WorkerHealth::kFinished);
+}
+
+TEST(Detector, DeclaredFailuresLandInHealthMonitor) {
+  llp::fault::HealthMonitor health;
+  FailureDetector det(fast_cfg(), &health);
+  det.on_spawn(0);
+  det.on_ready(0);
+  det.on_progress(0, 10);
+  det.declare(FailureKind::kCrashed);
+  EXPECT_EQ(health.total_faults(), 1u);
+
+  FailureDetector det2(fast_cfg(), &health);
+  det2.on_spawn(0);
+  EXPECT_EQ(det2.check(1000), FailureKind::kReadyTimeout);
+  EXPECT_EQ(health.total_faults(), 2u);
+}
+
+TEST(Detector, RespawnReentersTheLadderCleanly) {
+  FailureDetector det(fast_cfg(), nullptr);
+  det.on_spawn(0);
+  det.check(1000);  // kReadyTimeout; dead
+  det.on_spawn(2000);  // respawned: the ladder restarts from kSpawning
+  EXPECT_EQ(det.state(), WorkerHealth::kSpawning);
+  EXPECT_EQ(det.check(2050), FailureKind::kNone);
+  det.on_ready(2050);
+  det.on_frame(2075);  // heartbeats resume inside the liveness window
+  EXPECT_EQ(det.check(2100), FailureKind::kNone);
+}
+
+}  // namespace
+}  // namespace llp::cluster

@@ -1,0 +1,57 @@
+// partition_zones / clamp_workers: the layout every process derives
+// independently, so determinism and coverage are the whole contract.
+#include "cluster/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llp::cluster {
+namespace {
+
+TEST(Partition, CoversAllZonesContiguouslyInRankOrder) {
+  for (int zones = 1; zones <= 17; ++zones) {
+    for (int workers = 1; workers <= zones; ++workers) {
+      const auto ranges = partition_zones(zones, workers);
+      ASSERT_EQ(ranges.size(), static_cast<std::size_t>(workers));
+      int next = 0;
+      for (const auto& r : ranges) {
+        EXPECT_EQ(r.first, next) << zones << "z/" << workers << "w";
+        EXPECT_GE(r.count, 1);
+        next = r.end();
+      }
+      EXPECT_EQ(next, zones);
+    }
+  }
+}
+
+TEST(Partition, NearEqualBlocks) {
+  const auto ranges = partition_zones(10, 4);
+  int lo = 10, hi = 0;
+  for (const auto& r : ranges) {
+    lo = std::min(lo, r.count);
+    hi = std::max(hi, r.count);
+  }
+  EXPECT_LE(hi - lo, 1);  // block partition never skews by more than one
+}
+
+TEST(Partition, SingleWorkerOwnsEverything) {
+  const auto ranges = partition_zones(7, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (ZoneRange{0, 7}));
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  // Migration re-runs the same function over the survivor count; both
+  // sides of a recovery must agree byte-for-byte.
+  EXPECT_EQ(partition_zones(13, 5), partition_zones(13, 5));
+  EXPECT_EQ(partition_zones(13, 4), partition_zones(13, 4));
+}
+
+TEST(Partition, ClampWorkers) {
+  EXPECT_EQ(clamp_workers(8, 3), 3);
+  EXPECT_EQ(clamp_workers(3, 8), 3);   // at most one worker per zone
+  EXPECT_EQ(clamp_workers(1, 64), 1);
+  EXPECT_EQ(clamp_workers(5, 1), 1);
+}
+
+}  // namespace
+}  // namespace llp::cluster

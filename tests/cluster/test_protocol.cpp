@@ -1,0 +1,150 @@
+// Wire protocol round-trips: a respawned worker reconstructs its whole
+// world from one INIT frame, so every field must survive the encoding.
+#include "cluster/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace llp::cluster {
+namespace {
+
+TEST(HaloRoute, PacksAndUnpacksBothDirections) {
+  for (int src = 0; src < 5; ++src) {
+    for (int dest = 0; dest < 5; ++dest) {
+      for (const bool rightward : {false, true}) {
+        const std::uint64_t b = pack_halo_route(src, dest, rightward);
+        int s = -1, d = -1;
+        bool r = !rightward;
+        unpack_halo_route(b, &s, &d, &r);
+        EXPECT_EQ(s, src);
+        EXPECT_EQ(d, dest);
+        EXPECT_EQ(r, rightward);
+      }
+    }
+  }
+}
+
+WorkerInit sample_init() {
+  WorkerInit init;
+  init.slot = 3;
+  init.rank = 2;
+  init.ranks = 4;
+  init.attempt = 7;
+  init.zone_first = 5;
+  init.total_zones = 9;
+  init.start_step = 12;
+  init.total_steps = 40;
+  init.ckpt_every = 5;
+  init.worker_threads = 2;
+  init.mode = 0;
+  init.heartbeat_ms = 25;
+  init.generation = 6;
+  init.spacing = 0.0625;
+  init.mach = 1.75;
+  init.alpha_deg = 2.5;
+  init.beta_deg = -1.25;
+  init.cfl = 2.5;
+  init.kappa_i = 0.3;
+  init.state_cfl = 2.5;
+  init.state_residual = 3.25e-3;
+  init.state_prev_residual = 4.5e-3;
+  init.ckpt_dir = "/tmp/ck";
+  init.meta = "cluster cfl=2.5 mach=1.75";
+  init.fault_spec = "iocrash:w1.step:3:0";
+  init.region_prefix = "run.w3";
+  WorkerZone z0;
+  z0.dims = f3d::ZoneDims{8, 6, 6};
+  z0.bc = {1, 2, 3, 4, 5, 0};
+  WorkerZone z1;
+  z1.dims = f3d::ZoneDims{7, 6, 6};
+  z1.bc = {2, 1, 0, 3, 4, 5};
+  init.zones = {z0, z1};
+  return init;
+}
+
+TEST(Protocol, InitRoundTripsEveryField) {
+  const WorkerInit init = sample_init();
+  llp::msg::Frame f;
+  f.type = static_cast<std::uint32_t>(MsgType::kInit);
+  f.payload = encode_init(init);
+  const WorkerInit out = decode_init(f);
+
+  EXPECT_EQ(out.slot, init.slot);
+  EXPECT_EQ(out.rank, init.rank);
+  EXPECT_EQ(out.ranks, init.ranks);
+  EXPECT_EQ(out.attempt, init.attempt);
+  EXPECT_EQ(out.zone_first, init.zone_first);
+  EXPECT_EQ(out.total_zones, init.total_zones);
+  EXPECT_EQ(out.start_step, init.start_step);
+  EXPECT_EQ(out.total_steps, init.total_steps);
+  EXPECT_EQ(out.ckpt_every, init.ckpt_every);
+  EXPECT_EQ(out.worker_threads, init.worker_threads);
+  EXPECT_EQ(out.mode, init.mode);
+  EXPECT_EQ(out.heartbeat_ms, init.heartbeat_ms);
+  EXPECT_EQ(out.generation, init.generation);
+  EXPECT_EQ(out.spacing, init.spacing);
+  EXPECT_EQ(out.mach, init.mach);
+  EXPECT_EQ(out.alpha_deg, init.alpha_deg);
+  EXPECT_EQ(out.beta_deg, init.beta_deg);
+  EXPECT_EQ(out.cfl, init.cfl);
+  EXPECT_EQ(out.kappa_i, init.kappa_i);
+  EXPECT_EQ(out.state_cfl, init.state_cfl);
+  EXPECT_EQ(out.state_residual, init.state_residual);
+  EXPECT_EQ(out.state_prev_residual, init.state_prev_residual);
+  EXPECT_EQ(out.ckpt_dir, init.ckpt_dir);
+  EXPECT_EQ(out.meta, init.meta);
+  EXPECT_EQ(out.fault_spec, init.fault_spec);
+  EXPECT_EQ(out.region_prefix, init.region_prefix);
+  ASSERT_EQ(out.zones.size(), init.zones.size());
+  for (std::size_t i = 0; i < init.zones.size(); ++i) {
+    EXPECT_EQ(out.zones[i].dims.jmax, init.zones[i].dims.jmax);
+    EXPECT_EQ(out.zones[i].dims.kmax, init.zones[i].dims.kmax);
+    EXPECT_EQ(out.zones[i].dims.lmax, init.zones[i].dims.lmax);
+    EXPECT_EQ(out.zones[i].bc, init.zones[i].bc);
+  }
+}
+
+TEST(Protocol, TruncatedInitThrowsTyped) {
+  llp::msg::Frame f;
+  f.type = static_cast<std::uint32_t>(MsgType::kInit);
+  f.payload = encode_init(sample_init());
+  f.payload.resize(f.payload.size() / 2);
+  EXPECT_THROW(decode_init(f), llp::IoError);
+}
+
+TEST(Protocol, StepDoneRoundTripsWithAndWithoutPayloads) {
+  StepDone sd;
+  sd.sumsq = 1.5e-4;
+  sd.points5 = 3000.0;
+  llp::msg::Frame f;
+  f.type = static_cast<std::uint32_t>(MsgType::kStepDone);
+  f.payload = encode_step_done(sd);
+  StepDone out = decode_step_done(f);
+  EXPECT_EQ(out.sumsq, sd.sumsq);
+  EXPECT_EQ(out.points5, sd.points5);
+  EXPECT_TRUE(out.zone_payloads.empty());
+
+  sd.zone_payloads = {{1.0, 2.0, 3.0}, {}, {4.0}};  // empty zone is legal
+  f.payload = encode_step_done(sd);
+  out = decode_step_done(f);
+  ASSERT_EQ(out.zone_payloads.size(), 3u);
+  EXPECT_EQ(out.zone_payloads[0], (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(out.zone_payloads[1].empty());
+  EXPECT_EQ(out.zone_payloads[2], (std::vector<double>{4.0}));
+}
+
+TEST(Protocol, UploadCadenceMirrorsGenerationSchedule) {
+  // every 5 steps of 12: steps 4 and 9 are cadence, 11 is the final step.
+  EXPECT_FALSE(is_upload_step(0, 5, 12));
+  EXPECT_TRUE(is_upload_step(4, 5, 12));
+  EXPECT_FALSE(is_upload_step(5, 5, 12));
+  EXPECT_TRUE(is_upload_step(9, 5, 12));
+  EXPECT_TRUE(is_upload_step(11, 5, 12));
+  // cadence 0 = final step only.
+  EXPECT_FALSE(is_upload_step(4, 0, 12));
+  EXPECT_TRUE(is_upload_step(11, 0, 12));
+}
+
+}  // namespace
+}  // namespace llp::cluster

@@ -1,0 +1,127 @@
+// The cluster knobs of the scenario grammar and oracle 5: workers=/kill=/
+// hang= round-trip, their validation fences, and the sharded backend
+// actually running (fork+exec'd via F3D_CLUSTER_PATH, sanitizer-safe).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+#include "util/error.hpp"
+
+namespace llp::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+Scenario cluster_scenario() {
+  Scenario s;
+  s.seed = 42;
+  s.zones = {f3d::ZoneDims{6, 6, 6}, f3d::ZoneDims{6, 6, 6}};
+  s.spacing = 0.2;
+  s.mach = 1.5;
+  s.bc = BcCombo::kKminWall;
+  s.pulse = 0.05;
+  s.cfl = 1.5;
+  s.steps = 6;
+  s.threads = 1;
+  s.ckpt_every = 2;
+  s.workers = 2;
+  return s;
+}
+
+RunCaseOptions cluster_options(const std::string& leaf) {
+  RunCaseOptions options;
+  options.work_dir = ::testing::TempDir() + "llp_fuzz_cluster_" + leaf;
+  fs::remove_all(options.work_dir);
+  fs::create_directories(options.work_dir);
+  options.cluster_exe = F3D_CLUSTER_PATH;
+  return options;
+}
+
+TEST(ClusterScenario, KnobsRoundTripThroughTheSpecLine) {
+  Scenario s = cluster_scenario();
+  s.kill_worker = 1;
+  s.kill_step = 3;
+  s.hang_worker = 0;
+  s.hang_step = 4;
+  const std::string line = s.to_line();
+  EXPECT_NE(line.find("workers=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("kill=1:3"), std::string::npos) << line;
+  EXPECT_NE(line.find("hang=0:4"), std::string::npos) << line;
+  const Scenario back = Scenario::parse(line);
+  EXPECT_EQ(back.workers, 2);
+  EXPECT_EQ(back.kill_worker, 1);
+  EXPECT_EQ(back.kill_step, 3);
+  EXPECT_EQ(back.hang_worker, 0);
+  EXPECT_EQ(back.hang_step, 4);
+  EXPECT_EQ(back.to_line(), line);
+}
+
+TEST(ClusterScenario, InProcessCasesOmitTheKnobs) {
+  Scenario s;
+  EXPECT_EQ(s.to_line().find("workers="), std::string::npos);
+  EXPECT_EQ(s.to_line().find("kill="), std::string::npos);
+}
+
+TEST(ClusterScenario, ValidateFencesTheClusterEnvelope) {
+  // workers beyond the zone count
+  Scenario s = cluster_scenario();
+  s.workers = 3;
+  EXPECT_THROW(s.validate(), ValidationError);
+  // one worker is not a cluster
+  s = cluster_scenario();
+  s.workers = 1;
+  EXPECT_THROW(s.validate(), ValidationError);
+  // the cluster pins the CFL ramp off
+  s = cluster_scenario();
+  s.cfl_growth = 1.1;
+  EXPECT_THROW(s.validate(), ValidationError);
+  // an in-process fault plan would rewrite the reference trajectory
+  s = cluster_scenario();
+  s.fault = fault::FaultPlan::parse("throw:fz.z0.rhs:2:0");
+  EXPECT_THROW(s.validate(), ValidationError);
+  // kill= without a cluster
+  s = cluster_scenario();
+  s.workers = 0;
+  s.kill_worker = 0;
+  s.kill_step = 1;
+  EXPECT_THROW(s.validate(), ValidationError);
+  // kill= outside the worker/step range
+  s = cluster_scenario();
+  s.kill_worker = 2;
+  s.kill_step = 1;
+  EXPECT_THROW(s.validate(), ValidationError);
+  s = cluster_scenario();
+  s.hang_worker = 0;
+  s.hang_step = 99;
+  EXPECT_THROW(s.validate(), ValidationError);
+  // the happy path stays legal
+  EXPECT_NO_THROW(cluster_scenario().validate());
+}
+
+TEST(ClusterScenario, BadKillSyntaxIsTyped) {
+  EXPECT_THROW(Scenario::parse("v1 kill=3"), ValidationError);
+  EXPECT_THROW(Scenario::parse("v1 kill=a:b"), ValidationError);
+  EXPECT_THROW(Scenario::parse("v1 hang=1:"), ValidationError);
+}
+
+TEST(ClusterOracle, CleanClusterCaseMatchesInProcess) {
+  const Scenario s = cluster_scenario();
+  const CaseResult r = run_case(s, cluster_options("clean"));
+  EXPECT_TRUE(r.passed()) << describe(r);
+  EXPECT_EQ(r.signature(), "pass");
+}
+
+TEST(ClusterOracle, KilledWorkerRecoversOntoCleanTrajectory) {
+  Scenario s = cluster_scenario();
+  s.kill_worker = 1;
+  s.kill_step = 3;
+  const CaseResult r = run_case(s, cluster_options("kill"));
+  EXPECT_TRUE(r.passed()) << describe(r);
+  EXPECT_GE(r.recoveries, 1) << "the injected kill never fired";
+}
+
+}  // namespace
+}  // namespace llp::fuzz

@@ -1,0 +1,180 @@
+// End-to-end fault tolerance through the f3d_cluster CLI: four workers,
+// one SIGKILLed mid-step and one hung past its step deadline, must be
+// detected within the liveness window, rolled back to the newest intact
+// generation, and finish with a final residual bitwise identical to an
+// uninterrupted run of the same partition. Plus the two exhaustion edges:
+// a slot that can never spawn migrates its zones onto the survivors, and
+// a burn-every-epoch fault exhausts the recovery budget into exit 6.
+//
+// The binary's path arrives via the F3D_CLUSTER_PATH compile definition.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;  // WEXITSTATUS, or -1 if signaled
+  std::string output;  // combined stdout+stderr
+};
+
+std::string test_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "llp_cluster_it_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+RunResult run_cluster_cli(const std::vector<std::string>& args) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::dup2(pipefd[1], STDERR_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(F3D_CLUSTER_PATH));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(F3D_CLUSTER_PATH, argv.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  RunResult r;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    r.output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipefd[0]);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::vector<std::string> base_args(const std::string& ckpt_dir) {
+  return {"--case", "cube",  "--n",          "16", "--zones",      "4",
+          "--workers", "4",  "--steps",      "8",  "--ckpt-every", "2",
+          "--ckpt-dir", ckpt_dir};
+}
+
+// The "N recoveries" count from the summary line. Tests assert a lower
+// bound, not equality: a loaded machine can add spurious step-deadline
+// rollbacks, and those must also land bitwise.
+int recoveries_reported(const std::string& output) {
+  const std::size_t pos = output.find(" recoveries");
+  EXPECT_NE(pos, std::string::npos) << output;
+  if (pos == std::string::npos) return -1;
+  const std::size_t num = output.rfind(' ', pos - 1) + 1;
+  return std::stoi(output.substr(num, pos - num));
+}
+
+// "final residual <17 significant digits>" — the exact-match handle.
+std::string final_residual_line(const std::string& output) {
+  const std::size_t pos = output.rfind("final residual ");
+  EXPECT_NE(pos, std::string::npos) << output;
+  if (pos == std::string::npos) return "";
+  std::size_t end = output.find('\n', pos);
+  if (end == std::string::npos) end = output.size();
+  return output.substr(pos, end - pos);
+}
+
+TEST(ClusterRecovery, KillAndHangBothDetectedAndRecoveredBitwise) {
+  // The uninterrupted baseline.
+  const std::string clean_dir = test_dir("baseline");
+  const RunResult clean = run_cluster_cli(base_args(clean_dir));
+  ASSERT_EQ(clean.exit_code, 0) << clean.output;
+  const std::string want = final_residual_line(clean.output);
+  ASSERT_FALSE(want.empty());
+
+  // SIGKILL worker 1 at step 2 and hang worker 2 at step 5 (after the
+  // first recovery re-runs the early steps). Tight deadlines keep the
+  // detection latency measurable in test time.
+  const std::string dir = test_dir("kill_hang");
+  std::vector<std::string> args = base_args(dir);
+  args.insert(args.end(),
+              {"--fault", "iocrash:w1.step:2:0;hang:w2.step:5:0",
+               "--step-deadline-ms", "1000", "--heartbeat-ms", "25",
+               "--verbose"});
+  const RunResult faulted = run_cluster_cli(args);
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.output;
+
+  // Both failures declared, both recovered, run completed: at least one
+  // recovery per injected fault.
+  EXPECT_GE(recoveries_reported(faulted.output), 2) << faulted.output;
+  EXPECT_NE(faulted.output.find("pipe closed (crash)"), std::string::npos)
+      << faulted.output;
+  EXPECT_NE(faulted.output.find("step-deadline"), std::string::npos)
+      << faulted.output;
+  // The acceptance bar: bitwise-identical final residual, 17 digits.
+  EXPECT_NE(faulted.output.find(want), std::string::npos)
+      << "want '" << want << "' in:\n"
+      << faulted.output;
+}
+
+TEST(ClusterRecovery, FrozenWorkerTripsHeartbeatTimeout) {
+  // freeze = beacon stops too, so detection must come from the heartbeat
+  // window (heartbeat_ms * misses), not the much larger step deadline.
+  const std::string dir = test_dir("freeze");
+  std::vector<std::string> args = base_args(dir);
+  args.insert(args.end(),
+              {"--fault", "hang:w3.freeze:3:0", "--heartbeat-ms", "20",
+               "--heartbeat-misses", "4", "--step-deadline-ms", "60000",
+               "--verbose"});
+  const RunResult r = run_cluster_cli(args);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("heartbeat-timeout"), std::string::npos) << r.output;
+  EXPECT_GE(recoveries_reported(r.output), 1) << r.output;
+}
+
+TEST(ClusterRecovery, UnspawnableSlotMigratesOntoSurvivors) {
+  const std::string dir = test_dir("migrate");
+  std::vector<std::string> args = base_args(dir);
+  args.insert(args.end(), {"--fault", "throw:w2.spawn:*:0:count=0",
+                           "--max-respawns", "2", "--step-deadline-ms",
+                           "1000"});
+  const RunResult r = run_cluster_cli(args);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("1 migrations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("4->3 workers"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("final residual "), std::string::npos) << r.output;
+}
+
+TEST(ClusterRecovery, RecoveryBudgetExhaustionExitsSix) {
+  const std::string dir = test_dir("exhaust");
+  std::vector<std::string> args = base_args(dir);
+  args.insert(args.end(), {"--fault", "iocrash:w0.step:*:0:count=0",
+                           "--max-respawns", "99", "--max-recoveries", "2",
+                           "--step-deadline-ms", "1000"});
+  const RunResult r = run_cluster_cli(args);
+  EXPECT_EQ(r.exit_code, 6) << r.output;
+  EXPECT_NE(r.output.find("cluster failure"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("recovery budget exhausted"), std::string::npos)
+      << r.output;
+}
+
+TEST(ClusterRecovery, SpawnRetrySucceedsWithinBackoffBudget) {
+  // The spawn fault is one-shot: the first attempt dies pre-READY, the
+  // supervisor consumes the spec, backs off, and the retry goes through —
+  // no migration, run completes on the full worker set.
+  const std::string dir = test_dir("retry");
+  std::vector<std::string> args = base_args(dir);
+  args.insert(args.end(), {"--fault", "throw:w1.spawn:*:0",
+                           "--max-respawns", "5", "--step-deadline-ms",
+                           "2000"});
+  const RunResult r = run_cluster_cli(args);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 migrations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("4->4 workers"), std::string::npos) << r.output;
+}
+
+}  // namespace

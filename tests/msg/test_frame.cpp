@@ -1,0 +1,178 @@
+// CRC32C frame rails: blocking read/write over real sockets plus the
+// incremental FrameParser, including the corruption and torn-stream paths
+// a SIGKILLed peer produces.
+#include "msg/frame.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace llp::msg {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = sv[0];
+    b = sv[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+Frame sample_frame() {
+  Frame f;
+  f.type = 4;
+  f.a = 0x1122334455667788ull;
+  f.b = 42;
+  f.payload = {1, 2, 3, 4, 5, 6, 7};
+  return f;
+}
+
+TEST(Frame, WriteThenReadRoundTrips) {
+  SocketPair sp;
+  const Frame in = sample_frame();
+  write_frame(sp.a, in);
+  Frame out;
+  ASSERT_TRUE(read_frame(sp.b, &out));
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.a, in.a);
+  EXPECT_EQ(out.b, in.b);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Frame, ZeroLengthPayloadIsAFullCitizen) {
+  SocketPair sp;
+  Frame in;
+  in.type = 5;  // heartbeats are exactly this shape
+  in.a = 9;
+  write_frame(sp.a, in);
+  Frame out;
+  ASSERT_TRUE(read_frame(sp.b, &out));
+  EXPECT_EQ(out.type, 5u);
+  EXPECT_EQ(out.a, 9u);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Frame, CleanEofAtBoundaryReturnsFalse) {
+  SocketPair sp;
+  write_frame(sp.a, sample_frame());
+  sp.close_a();  // peer finished and closed
+  Frame out;
+  ASSERT_TRUE(read_frame(sp.b, &out));
+  EXPECT_FALSE(read_frame(sp.b, &out));  // orderly end of stream
+}
+
+TEST(Frame, MidFrameEofThrows) {
+  SocketPair sp;
+  const auto bytes = encode_frame(sample_frame());
+  // A SIGKILLed peer leaves half a message behind.
+  ASSERT_GT(::send(sp.a, bytes.data(), bytes.size() / 2, 0), 0);
+  sp.close_a();
+  Frame out;
+  EXPECT_THROW(read_frame(sp.b, &out), llp::IoError);
+}
+
+TEST(Frame, BadMagicThrows) {
+  SocketPair sp;
+  auto bytes = encode_frame(sample_frame());
+  bytes[0] ^= 0xff;
+  ASSERT_EQ(::send(sp.a, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  Frame out;
+  EXPECT_THROW(read_frame(sp.b, &out), llp::IoError);
+}
+
+TEST(Frame, FlippedPayloadBitFailsCrc) {
+  SocketPair sp;
+  auto bytes = encode_frame(sample_frame());
+  bytes[kFrameHeaderBytes + 3] ^= 0x01;  // payload byte, not header
+  ASSERT_EQ(::send(sp.a, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  Frame out;
+  EXPECT_THROW(read_frame(sp.b, &out), llp::IoError);
+}
+
+TEST(FrameParser, ReassemblesOneByteAtATime) {
+  const Frame in = sample_frame();
+  const auto bytes = encode_frame(in);
+  FrameParser parser;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    parser.feed(&bytes[i], 1);
+    EXPECT_FALSE(parser.next(&out)) << "frame complete too early at " << i;
+  }
+  parser.feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_TRUE(parser.next(&out));
+  EXPECT_EQ(out.a, in.a);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  EXPECT_FALSE(parser.next(&out));
+}
+
+TEST(FrameParser, DrainsBackToBackFramesFromOneFeed) {
+  Frame f1 = sample_frame();
+  Frame f2;
+  f2.type = 5;
+  f2.a = 77;
+  std::vector<std::uint8_t> bytes = encode_frame(f1);
+  const auto second = encode_frame(f2);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_TRUE(parser.next(&out));
+  EXPECT_EQ(out.a, f1.a);
+  ASSERT_TRUE(parser.next(&out));
+  EXPECT_EQ(out.a, 77u);
+  EXPECT_FALSE(parser.next(&out));
+}
+
+TEST(FrameParser, CorruptHeaderThrowsInsteadOfDesyncing) {
+  auto bytes = encode_frame(sample_frame());
+  bytes[6] ^= 0x40;  // inside the header, breaks hcrc
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_THROW(parser.next(&out), llp::IoError);
+}
+
+TEST(FrameParser, ImplausibleLengthIsCorruptionNotAllocation) {
+  auto bytes = encode_frame(sample_frame());
+  // Rewrite len (offset 24) to an absurd value; hcrc no longer matches,
+  // and even a matching CRC above kMaxFramePayload must be rejected.
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(&bytes[24], &huge, sizeof(huge));
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_THROW(parser.next(&out), llp::IoError);
+}
+
+TEST(FrameParser, PendingBytesExposeTornTail) {
+  const auto bytes = encode_frame(sample_frame());
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size() - 3);
+  Frame out;
+  EXPECT_FALSE(parser.next(&out));
+  EXPECT_EQ(parser.pending_bytes(), bytes.size() - 3);  // died mid-frame
+}
+
+}  // namespace
+}  // namespace llp::msg

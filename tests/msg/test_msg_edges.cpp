@@ -1,0 +1,138 @@
+// Edge cases on the in-process message rails: the shapes the sharded
+// backend leans on (empty messages, strict sizing, death propagation,
+// per-link FIFO under contention).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "msg/message_passing.hpp"
+#include "util/error.hpp"
+
+namespace llp::msg {
+namespace {
+
+TEST(MsgEdges, ZeroLengthPayloadRoundTrips) {
+  // An empty message is pure synchronization — it must still count as a
+  // message, match by (src, tag), and satisfy a zero-size receive.
+  WorldStats stats = run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::span<const double>{});
+    } else {
+      std::vector<double> buf;
+      comm.recv(0, 7, buf);  // returns only once the empty payload lands
+    }
+  });
+  EXPECT_EQ(stats.total_messages, 1u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+}
+
+TEST(MsgEdges, MismatchedReceiveBufferIsTyped) {
+  try {
+    run(2, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        const std::vector<double> three{1.0, 2.0, 3.0};
+        comm.send(1, 1, three);
+      } else {
+        std::vector<double> two(2);
+        comm.recv(0, 1, two);  // 3 doubles into a 2-double buffer
+      }
+    });
+    FAIL() << "mismatched recv must throw";
+  } catch (const llp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("size mismatch"), std::string::npos);
+  }
+}
+
+TEST(MsgEdges, RecvFromDeadRankWakesInsteadOfDeadlocking) {
+  // Rank 0 dies before sending; rank 1 is blocked in recv on it. The
+  // World must wake rank 1 with a typed error, and rank 0's original
+  // exception must win the first-error race through run().
+  try {
+    run(2, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        throw llp::Error("rank0 exploded");
+      }
+      std::vector<double> buf(4);
+      comm.recv(0, 3, buf);
+      FAIL() << "recv from a dead rank returned";
+    });
+    FAIL() << "run must rethrow the dying rank's exception";
+  } catch (const llp::Error& e) {
+    EXPECT_EQ(std::string(e.what()), "rank0 exploded");
+  }
+}
+
+TEST(MsgEdges, MessagesDeliveredBeforeDeathStayConsumable) {
+  // A send that already landed in the mailbox is still receivable after
+  // the sender dies — only an unmatched recv against the dead source
+  // must fail.
+  std::atomic<bool> got{false};
+  try {
+    run(2, [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        const std::vector<double> v{42.0};
+        comm.send(1, 9, v);
+        comm.barrier();  // make delivery happen-before the death
+        throw llp::Error("rank0 late death");
+      }
+      comm.barrier();
+      std::vector<double> buf(1);
+      comm.recv(0, 9, buf);  // consumes the pre-death message
+      EXPECT_EQ(buf[0], 42.0);
+      got.store(true);
+    });
+  } catch (const llp::Error&) {
+    // rank 0's death still aborts the world; the recv must have worked.
+  }
+  EXPECT_TRUE(got.load());
+}
+
+TEST(MsgEdges, SameLinkSendOrderSurvivesContention) {
+  // FIFO per (src, tag) is what lets the halo protocol skip sequence
+  // numbers. Hammer one link from a busy world and check the sequence.
+  constexpr int kMessages = 200;
+  run(4, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMessages; ++i) {
+        const std::vector<double> v{static_cast<double>(i)};
+        comm.send(3, 5, v);
+        if (i % 3 == 0) {
+          const std::vector<double> noise{-1.0};
+          comm.send(1, 6, noise);  // interleave traffic on another link
+        }
+      }
+    } else if (comm.rank() == 1) {
+      std::vector<double> buf(1);
+      for (int i = 0; i < kMessages; i += 3) comm.recv(0, 6, buf);
+    } else if (comm.rank() == 3) {
+      std::vector<double> buf(1);
+      for (int i = 0; i < kMessages; ++i) {
+        comm.recv(0, 5, buf);
+        ASSERT_EQ(buf[0], static_cast<double>(i)) << "reordered at " << i;
+      }
+    }
+  });
+}
+
+TEST(MsgEdges, DistinctTagsOnOneLinkMatchIndependently) {
+  // recv(src, tag) must skip past queued messages with other tags, not
+  // consume the head of the mailbox.
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> a{1.0}, b{2.0};
+      comm.send(1, 10, a);
+      comm.send(1, 20, b);
+    } else {
+      std::vector<double> buf(1);
+      comm.recv(0, 20, buf);  // out of arrival order, by tag
+      EXPECT_EQ(buf[0], 2.0);
+      comm.recv(0, 10, buf);
+      EXPECT_EQ(buf[0], 1.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace llp::msg

@@ -1,0 +1,219 @@
+// f3d_cluster — the fault-tolerant multi-process sharded backend.
+//
+//   f3d_cluster [options]
+//     --case NAME          1m | 59m | cube                    (default: 1m)
+//     --scale S            paper-case scale factor            (default: 0.08)
+//     --n N                cube edge cells (case=cube)        (default: 12)
+//     --zones Z            re-split the case into Z zones along J
+//     --steps N            time steps                         (default: 10)
+//     --workers W          worker processes (clamped to zone count)
+//     --worker-threads T   llp threads inside each worker     (default: 1)
+//     --cfl C              CFL number                         (default: 2)
+//     --mach M             free-stream Mach number            (default: 2)
+//     --mode risc|vector   sweep engine organization          (default: risc)
+//     --ckpt-dir DIR       checkpoint generation root         (required)
+//     --ckpt-every N       generation cadence in steps        (default: 5)
+//     --keep-generations K generations kept                   (default: 3)
+//     --heartbeat-ms MS    worker beacon period               (default: 50)
+//     --heartbeat-misses N missed beats before declared dead  (default: 5)
+//     --step-deadline-ms MS per-step (and INIT->READY) budget (default: 5000)
+//     --max-respawns N     consecutive failures per slot before its zones
+//                          migrate onto survivors             (default: 3)
+//     --max-recoveries N   global rollback budget             (default: 8)
+//     --fault SPEC         PR 2 fault grammar; w<slot>.step / w<slot>.freeze
+//                          / w<slot>.spawn regions target workers
+//     --verbose            mirror supervision events to stderr
+//
+// Workers are fork+exec'd copies of this binary (hidden flags: --worker
+// --fd N). Exit codes follow util/exit_codes.hpp: 0 ok, 2 usage, 3
+// validation, 5 I/O (no intact generation), and 6 — llp::ClusterError —
+// when the recovery budget or the last survivor slot is exhausted.
+#include <unistd.h>
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/worker.hpp"
+#include "f3d/cases.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "f3d_cluster: %s\n", msg.c_str());
+  std::fprintf(
+      stderr,
+      "usage: f3d_cluster --ckpt-dir DIR [--case 1m|59m|cube] [--scale S]\n"
+      "  [--n N] [--zones Z] [--steps N] [--workers W] [--worker-threads T]\n"
+      "  [--cfl C] [--mach M] [--mode risc|vector] [--ckpt-every N]\n"
+      "  [--keep-generations K] [--heartbeat-ms MS] [--heartbeat-misses N]\n"
+      "  [--step-deadline-ms MS] [--max-respawns N] [--max-recoveries N]\n"
+      "  [--fault SPEC] [--verbose]\n");
+  std::exit(llp::kExitUsage);
+}
+
+long parse_int(const std::string& flag, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage(flag + " wants an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    usage(flag + "=" + s + " out of range [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double parse_double(const std::string& flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v == v)) {
+    usage(flag + " wants a finite number, got '" + s + "'");
+  }
+  return v;
+}
+
+/// Re-split a case's total J extent into `zones` near-equal zones (same
+/// K/L), so worker counts beyond the case's native zone count are testable.
+f3d::CaseSpec resplit(const f3d::CaseSpec& spec, int zones) {
+  long jtotal = 0;
+  for (const auto& z : spec.zones) jtotal += z.jmax;
+  const int kmax = spec.zones.front().kmax;
+  const int lmax = spec.zones.front().lmax;
+  f3d::CaseSpec out = spec;
+  out.zones.clear();
+  for (int i = 0; i < zones; ++i) {
+    const long a = jtotal * i / zones;
+    const long b = jtotal * (i + 1) / zones;
+    out.zones.push_back(
+        f3d::ZoneDims{static_cast<int>(b - a), kmax, lmax});
+  }
+  return out;
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;  // fallback: relative invocation still usually works
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hidden worker mode: the coordinator fork+execs this same binary.
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    int fd = -1;
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--fd") == 0) fd = std::atoi(argv[i + 1]);
+    }
+    if (fd < 0) usage("--worker needs --fd N");
+    return llp::cluster::worker_main(fd);
+  }
+
+  llp::cluster::ClusterConfig cfg;
+  std::string case_name = "1m";
+  double scale = 0.08;
+  int n = 12;
+  int zones = 0;
+  double mach = 0.0;  // 0 = case default
+
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--case") case_name = need(i++);
+    else if (a == "--scale") scale = parse_double(a, need(i++));
+    else if (a == "--n") n = static_cast<int>(parse_int(a, need(i++), 6, 512));
+    else if (a == "--zones") {
+      zones = static_cast<int>(parse_int(a, need(i++), 1, 4096));
+    } else if (a == "--steps") {
+      cfg.steps = static_cast<int>(parse_int(a, need(i++), 1, 1 << 20));
+    } else if (a == "--workers") {
+      cfg.workers = static_cast<int>(parse_int(a, need(i++), 1, 1 << 10));
+    } else if (a == "--worker-threads") {
+      cfg.worker_threads = static_cast<int>(parse_int(a, need(i++), 1, 256));
+    } else if (a == "--cfl") {
+      cfg.cfl = parse_double(a, need(i++));
+    } else if (a == "--mach") {
+      mach = parse_double(a, need(i++));
+    } else if (a == "--mode") {
+      const std::string m = need(i++);
+      if (m == "risc") cfg.mode = f3d::SweepMode::kRisc;
+      else if (m == "vector") cfg.mode = f3d::SweepMode::kVector;
+      else usage("--mode wants risc or vector, got '" + m + "'");
+    } else if (a == "--ckpt-dir") {
+      cfg.ckpt_dir = need(i++);
+    } else if (a == "--ckpt-every") {
+      cfg.ckpt_every = static_cast<int>(parse_int(a, need(i++), 1, 1 << 20));
+    } else if (a == "--keep-generations") {
+      cfg.keep_generations =
+          static_cast<int>(parse_int(a, need(i++), 1, 1 << 16));
+    } else if (a == "--heartbeat-ms") {
+      cfg.heartbeat_ms = static_cast<int>(parse_int(a, need(i++), 1, 60000));
+    } else if (a == "--heartbeat-misses") {
+      cfg.heartbeat_misses = static_cast<int>(parse_int(a, need(i++), 1, 1000));
+    } else if (a == "--step-deadline-ms") {
+      cfg.step_deadline_ms =
+          static_cast<int>(parse_int(a, need(i++), 1, 3600000));
+    } else if (a == "--max-respawns") {
+      cfg.max_respawns = static_cast<int>(parse_int(a, need(i++), 0, 1000));
+    } else if (a == "--max-recoveries") {
+      cfg.max_recoveries = static_cast<int>(parse_int(a, need(i++), 0, 10000));
+    } else if (a == "--fault") {
+      cfg.fault_spec = need(i++);
+    } else if (a == "--verbose") {
+      cfg.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown option " + a);
+    }
+  }
+  if (cfg.ckpt_dir.empty()) usage("--ckpt-dir is required");
+
+  try {
+    if (case_name == "1m") cfg.case_spec = f3d::paper_1m_case(scale);
+    else if (case_name == "59m") cfg.case_spec = f3d::paper_59m_case(scale);
+    else if (case_name == "cube") {
+      cfg.case_spec = f3d::wall_compression_case(n);
+      cfg.init_grid = [](f3d::MultiZoneGrid& grid) {
+        f3d::add_kmin_wall(grid);
+        f3d::add_gaussian_pulse(grid, 0.05, 3.0);
+      };
+    } else {
+      usage("unknown case '" + case_name + "'");
+    }
+    if (mach > 0.0) cfg.case_spec.freestream.mach = mach;
+    if (zones > 0) cfg.case_spec = resplit(cfg.case_spec, zones);
+    cfg.worker_exe = self_exe_path(argv[0]);
+
+    const llp::cluster::ClusterReport report = llp::cluster::run_cluster(cfg);
+    std::printf("%s\n", report.summary().c_str());
+    std::printf("final residual %.17g\n", report.final_residual);
+    return llp::kExitOk;
+  } catch (const llp::ClusterError& e) {
+    std::fprintf(stderr, "f3d_cluster: cluster failure: %s\n", e.what());
+    return llp::kExitCluster;
+  } catch (const llp::ValidationError& e) {
+    std::fprintf(stderr, "f3d_cluster: validation: %s\n", e.what());
+    return llp::kExitValidation;
+  } catch (const llp::IoError& e) {
+    std::fprintf(stderr, "f3d_cluster: io: %s\n", e.what());
+    return llp::kExitIo;
+  } catch (const llp::Error& e) {
+    std::fprintf(stderr, "f3d_cluster: %s\n", e.what());
+    return llp::kExitRunFailure;
+  }
+}

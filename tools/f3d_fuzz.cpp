@@ -13,6 +13,9 @@
 //     --max-dim N        largest per-axis zone extent drawn (default: 12)
 //     --max-steps N      largest step count drawn           (default: 12)
 //     --no-hostile       do not generate deliberately-degenerate cases
+//     --no-cluster       do not generate workers=/kill=/hang= cluster cases
+//     --cluster-exe PATH worker binary for the cluster oracle (default:
+//                        fork-only spawn; set this under sanitizers)
 //     --print-specs      echo every generated spec line (two runs with the
 //                        same seed must produce byte-identical output —
 //                        CI diffs this)
@@ -51,6 +54,7 @@ namespace {
                "usage: f3d_fuzz [--seed N] [--cases N] [--corpus DIR]\n"
                "  [--out DIR] [--work DIR] [--no-shrink] [--shrink-budget N]\n"
                "  [--max-dim N] [--max-steps N] [--no-hostile]\n"
+               "  [--no-cluster] [--cluster-exe PATH]\n"
                "  [--print-specs] [--strict] [--replay FILE...]\n");
   std::exit(llp::kExitUsage);
 }
@@ -116,6 +120,10 @@ Options parse(int argc, char** argv) {
           static_cast<int>(parse_int(a, need(i++), 3, 1 << 12));
     } else if (a == "--no-hostile") {
       o.campaign.generator.allow_hostile = false;
+    } else if (a == "--no-cluster") {
+      o.campaign.generator.allow_cluster = false;
+    } else if (a == "--cluster-exe") {
+      o.campaign.cluster_exe = need(i++);
     } else if (a == "--print-specs") {
       o.campaign.print_specs = true;
     } else if (a == "--strict") {
@@ -138,6 +146,7 @@ int replay_main(const Options& o) {
   llp::fuzz::RunCaseOptions options;
   options.work_dir =
       o.campaign.work_dir.empty() ? "fuzz_work" : o.campaign.work_dir;
+  options.cluster_exe = o.campaign.cluster_exe;
   bool any_failed = false;
   for (const std::string& file : o.replay_files) {
     const llp::fuzz::CaseResult verdict =
