@@ -12,6 +12,7 @@
 #include "common.hpp"
 #include "simsmp/cache_sim.hpp"
 #include "f3d/cases.hpp"
+#include "f3d/engine.hpp"
 #include "f3d/solver.hpp"
 #include "f3d/validation.hpp"
 #include "perf/timer.hpp"
@@ -20,14 +21,14 @@
 
 namespace {
 
-double time_mode(const f3d::CaseSpec& spec, f3d::SweepMode mode,
+double time_mode(const f3d::CaseSpec& spec, f3d::EngineKind engine,
                  const std::string& prefix, int steps,
                  std::uint64_t* digest) {
   auto grid = f3d::build_grid(spec);
   f3d::add_gaussian_pulse(grid, 0.05, 2.0);
   f3d::SolverConfig cfg;
   cfg.freestream = spec.freestream;
-  cfg.mode = mode;
+  cfg.engine = engine;
   cfg.region_prefix = prefix;
   f3d::Solver s(grid, cfg);
   s.step();  // warm-up (allocations, page faults)
@@ -46,8 +47,8 @@ int main() {
       "Ablation — serial tuning: vector (plane-buffer) vs RISC "
       "(pencil-buffer) organization, wall-clock on this host, 1 thread");
 
-  llp::Table t({"case", "points", "vector s/step", "risc s/step", "speedup",
-                "solutions agree"});
+  llp::Table t({"case", "points", "vector s/step", "risc s/step",
+                "simd s/step", "speedup", "solutions agree"});
   struct Row {
     const char* name;
     f3d::CaseSpec spec;
@@ -59,14 +60,19 @@ int main() {
       {"cube 48^3", f3d::wall_compression_case(48), 2},
   };
   for (const auto& r : rows) {
-    std::uint64_t dv = 0, dr = 0;
-    const double tv = time_mode(r.spec, f3d::SweepMode::kVector,
+    std::uint64_t dv = 0, dr = 0, ds = 0;
+    const double tv = time_mode(r.spec, f3d::EngineKind::kPlaneVector,
                                 std::string("st.v.") + r.name, r.steps, &dv);
-    const double tr = time_mode(r.spec, f3d::SweepMode::kRisc,
+    const double tr = time_mode(r.spec, f3d::EngineKind::kPencilScalar,
                                 std::string("st.r.") + r.name, r.steps, &dr);
+    const double ts = time_mode(r.spec, f3d::EngineKind::kPencilSimd,
+                                std::string("st.s.") + r.name, r.steps, &ds);
+    // vector and risc are bit-identical; simd fuses multiply-adds, so its
+    // checksum may differ by rounding — the equivalence tests bound it.
     t.add_row({r.name, llp::with_commas(static_cast<long long>(
                            r.spec.total_points())),
                llp::strfmt("%.4f", tv), llp::strfmt("%.4f", tr),
+               llp::strfmt("%.4f", ts),
                llp::strfmt("%.2fx", tv / tr), dv == dr ? "yes" : "NO"});
   }
   std::printf("%s", t.to_string().c_str());

@@ -240,7 +240,7 @@ void Coordinator::spawn(WorkerProc& w, int start_step, int generation) {
   init.ckpt_every = static_cast<std::uint32_t>(std::max(cfg_.ckpt_every, 0));
   init.worker_threads = static_cast<std::uint32_t>(
       std::max(cfg_.worker_threads, 1));
-  init.mode = static_cast<std::uint32_t>(cfg_.mode);
+  init.mode = static_cast<std::uint32_t>(cfg_.engine);
   init.heartbeat_ms = static_cast<std::uint32_t>(std::max(cfg_.heartbeat_ms,
                                                           1));
   init.generation = static_cast<std::uint32_t>(generation);
@@ -601,7 +601,7 @@ ClusterReport Coordinator::run() {
   meta_ = strfmt("cluster z=%d steps=%d cfl=%.17g kappa=%.17g mode=%d "
                  "mach=%.17g alpha=%.17g beta=%.17g h=%.17g",
                  total_zones_, cfg_.steps, cfg_.cfl, cfg_.kappa_i,
-                 static_cast<int>(cfg_.mode), cfg_.case_spec.freestream.mach,
+                 static_cast<int>(cfg_.engine), cfg_.case_spec.freestream.mach,
                  cfg_.case_spec.freestream.alpha_deg,
                  cfg_.case_spec.freestream.beta_deg, cfg_.case_spec.spacing);
   f3d::ckpt::Config scfg;

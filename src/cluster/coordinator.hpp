@@ -55,7 +55,7 @@ struct ClusterConfig {
   int worker_threads = 1;   ///< llp threads inside each worker
   double cfl = 2.0;
   double kappa_i = 0.25;
-  f3d::SweepMode mode = f3d::SweepMode::kRisc;
+  f3d::EngineKind engine = f3d::EngineKind::kPencilScalar;
   std::string region_prefix = "run";
 
   int heartbeat_ms = 50;

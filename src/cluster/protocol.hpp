@@ -74,7 +74,7 @@ struct WorkerInit {
   std::uint32_t total_steps = 0;  ///< run target (exclusive)
   std::uint32_t ckpt_every = 0;   ///< zone-upload cadence; 0 = final only
   std::uint32_t worker_threads = 1;
-  std::uint32_t mode = 1;  ///< f3d::SweepMode
+  std::uint32_t mode = 1;  ///< f3d::EngineKind wire value (engine_from_wire)
   std::uint32_t heartbeat_ms = 50;
   std::uint32_t generation = 0;  ///< checkpoint generation to restore
   double spacing = 0.1;

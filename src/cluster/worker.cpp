@@ -14,6 +14,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "cluster/protocol.hpp"
 #include "core/runtime.hpp"
+#include "f3d/engine.hpp"
 #include "f3d/halo.hpp"
 #include "f3d/io.hpp"
 #include "f3d/solver.hpp"
@@ -235,7 +236,12 @@ int run_worker(int fd) {
   cfg.freestream = fs;
   cfg.cfl = init.cfl;
   cfg.kappa_i = init.kappa_i;
-  cfg.mode = static_cast<f3d::SweepMode>(init.mode);
+  // Wire decode through the registry: a value no engine owns is a
+  // malformed or version-skewed INIT frame, not something to cast blindly.
+  if (!f3d::engine_from_wire(init.mode, &cfg.engine)) {
+    throw ClusterError(
+        strfmt("INIT carries unknown engine value %u", init.mode));
+  }
   cfg.cfl_growth = 1.0;  // CFL ramping keys on the *local* residual; it
                          // must stay off or workers' timelines diverge
   cfg.region_prefix = init.region_prefix;

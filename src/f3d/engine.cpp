@@ -1,0 +1,88 @@
+#include "f3d/engine.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+
+// THE registry. Order must match EngineKind values (checked below); the
+// names are the byte-stable spellings every text surface shares.
+constexpr std::array<EngineInfo, kNumEngines> kEngines{{
+    {EngineKind::kPlaneVector, "vector", /*parallel_outer=*/false,
+     /*fma_lanes=*/false,
+     "plane buffers, serial — the legacy vector-machine organization"},
+    {EngineKind::kPencilScalar, "risc", /*parallel_outer=*/true,
+     /*fma_lanes=*/false,
+     "cache-sized pencils, outer loop doacross — the paper's tuned form"},
+    {EngineKind::kPencilSimd, "simd", /*parallel_outer=*/true,
+     /*fma_lanes=*/true,
+     "pencil batches solved in lockstep across SIMD lanes"},
+}};
+
+static_assert(static_cast<int>(kEngines[0].kind) == 0 &&
+                  static_cast<int>(kEngines[1].kind) == 1 &&
+                  static_cast<int>(kEngines[2].kind) == 2,
+              "registry order must match EngineKind wire values");
+
+}  // namespace
+
+std::span<const EngineInfo, kNumEngines> engines() {
+  return std::span<const EngineInfo, kNumEngines>(kEngines);
+}
+
+const EngineInfo& engine_info(EngineKind kind) {
+  const int i = static_cast<int>(kind);
+  LLP_REQUIRE(i >= 0 && i < kNumEngines, "unknown EngineKind value");
+  return kEngines[static_cast<std::size_t>(i)];
+}
+
+std::string_view engine_name(EngineKind kind) {
+  return engine_info(kind).name;
+}
+
+bool parse_engine(std::string_view name, EngineKind* out) {
+  for (const EngineInfo& info : kEngines) {
+    if (info.name == name) {
+      *out = info.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string& engine_names_usage() {
+  static const std::string usage = [] {
+    std::string s;
+    for (const EngineInfo& info : kEngines) {
+      if (!s.empty()) s += '|';
+      s += info.name;
+    }
+    return s;
+  }();
+  return usage;
+}
+
+std::unique_ptr<SweepEngine> make_engine(EngineKind kind) {
+  switch (engine_info(kind).kind) {  // engine_info validates the value
+    case EngineKind::kPlaneVector: return std::make_unique<VectorSweeps>();
+    case EngineKind::kPencilScalar: return std::make_unique<RiscSweeps>();
+    case EngineKind::kPencilSimd: return std::make_unique<SimdSweeps>();
+  }
+  throw llp::Error("unknown EngineKind value");
+}
+
+bool engine_from_wire(std::uint32_t value, EngineKind* out) {
+  if (value >= static_cast<std::uint32_t>(kNumEngines)) return false;
+  *out = static_cast<EngineKind>(value);
+  return true;
+}
+
+EngineKind engine_fallback_for(EngineKind kind) {
+  (void)engine_info(kind);  // validate
+  return EngineKind::kPlaneVector;
+}
+
+}  // namespace f3d

@@ -1,0 +1,75 @@
+// The sweep-engine registry: one place that knows every engine.
+//
+// Replaces the old two-value `SweepMode` enum that every layer switched on
+// by hand. A single EngineInfo row per engine carries the canonical
+// spelling (what CLI flags, fuzzer Scenario specs, serve job JSON, and
+// TuningDb entries print and parse — byte-stable with the pre-registry
+// spellings "vector"/"risc"), the capability bits consumers branch on
+// (does the solver register its sweep regions as parallel loops? do the
+// kernels fuse multiply-adds, i.e. does cross-engine parity need the ULP
+// tolerance instead of bitwise?), and the factory. Adding an engine means
+// adding one row here plus its SweepEngine subclass — the parsers,
+// printers, differential oracle, autotuner axis, and CLIs all iterate the
+// registry and pick it up unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "f3d/sweeps.hpp"
+
+namespace f3d {
+
+/// Number of registered engines (EngineKind values 0..kNumEngines-1).
+inline constexpr int kNumEngines = 3;
+
+/// One registry row. `name` is the canonical on-the-wire spelling used by
+/// every text surface; the legacy spellings are preserved exactly.
+struct EngineInfo {
+  EngineKind kind;
+  std::string_view name;
+  /// The solver registers sweep regions as parallel loops (doacross) for
+  /// this engine; false = serial regions (the untuned vector baseline).
+  bool parallel_outer;
+  /// Kernels use fused multiply-adds (AVX2 path): cross-engine parity
+  /// against this engine is tolerance-bounded, not bitwise — see the ULP
+  /// policy in simd/pack.hpp and RunCaseOptions::simd_diff_tol.
+  bool fma_lanes;
+  std::string_view summary;
+};
+
+/// Every registered engine, in EngineKind value order.
+std::span<const EngineInfo, kNumEngines> engines();
+
+/// Registry row for `kind`; throws llp::Error on an out-of-range value.
+const EngineInfo& engine_info(EngineKind kind);
+
+/// Canonical spelling ("vector", "risc", "simd").
+std::string_view engine_name(EngineKind kind);
+
+/// Inverse of engine_name; returns false (and leaves *out alone) for an
+/// unknown spelling.
+bool parse_engine(std::string_view name, EngineKind* out);
+
+/// "vector|risc|simd" — for usage strings and error messages, generated
+/// from the registry so it can never drift.
+const std::string& engine_names_usage();
+
+/// Construct the engine. Every SweepEngine returned satisfies
+/// make_engine(k)->kind() == k and ->name() == engine_name(k).
+std::unique_ptr<SweepEngine> make_engine(EngineKind kind);
+
+/// Wire decoding for the cluster protocol's uint32 engine field; returns
+/// false on a value no registered engine owns (a malformed or
+/// version-skewed INIT frame).
+bool engine_from_wire(std::uint32_t value, EngineKind* out);
+
+/// The engine run_protected() degrades to when one region keeps faulting
+/// under `kind`: the serial plane-buffer baseline, unless `kind` already
+/// is it.
+EngineKind engine_fallback_for(EngineKind kind);
+
+}  // namespace f3d

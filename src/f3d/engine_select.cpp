@@ -1,0 +1,118 @@
+#include "f3d/engine_select.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "tune/candidates.hpp"
+#include "tune/tuner.hpp"
+#include "util/error.hpp"
+
+namespace f3d {
+
+namespace {
+
+// Deterministic, cheap, non-trivial rhs payload for the probe sweep: the
+// same bytes every call, so probe timings across runs measure the engine,
+// not the data. Values stay O(1e-3) — well inside every engine's assumed
+// smooth regime.
+void fill_probe_rhs(llp::Array4D<double>& rhs) {
+  double x = 0.5;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    // Weyl sequence: dense in (0,1), no libc RNG, no global state.
+    x += 0.6180339887498949;
+    if (x >= 1.0) x -= 1.0;
+    rhs.data()[i] = 1e-3 * (x - 0.5);
+  }
+}
+
+std::string engine_key(const MultiZoneGrid& grid, const SolverConfig& config,
+                       std::int64_t trips) {
+  const std::string region =
+      "engine." +
+      (config.region_prefix.empty() ? std::string("select")
+                                    : config.region_prefix);
+  const int threads = llp::Runtime::current().num_threads();
+  return llp::tune::make_key(region, trips,
+                             llp::tune::machine_fingerprint(threads));
+}
+
+}  // namespace
+
+EngineChoice select_engine(const MultiZoneGrid& grid,
+                           const SolverConfig& config,
+                           llp::tune::Tuner* tuner, int repeats) {
+  LLP_REQUIRE(grid.num_zones() > 0, "select_engine: empty grid");
+  if (repeats < 1) repeats = 1;
+
+  // Probe the largest zone: it dominates the step time, so its winner is
+  // the run's winner.
+  int biggest = 0;
+  for (int z = 1; z < grid.num_zones(); ++z) {
+    if (grid.zone(z).interior_points() >
+        grid.zone(biggest).interior_points()) {
+      biggest = z;
+    }
+  }
+  const Zone& zone = grid.zone(biggest);
+  const auto trips = static_cast<std::int64_t>(zone.interior_points());
+  const std::string key = engine_key(grid, config, trips);
+
+  // A persisted decision with a parsable engine column short-circuits the
+  // probe (the loop tuner's load -> identical-decisions contract).
+  if (tuner != nullptr) {
+    llp::tune::TunedEntry hit;
+    EngineKind cached;
+    if (tuner->db().lookup(key, &hit) && !hit.engine.empty() &&
+        parse_engine(hit.engine, &cached)) {
+      return EngineChoice{cached, hit.seconds, /*from_db=*/true};
+    }
+  }
+
+  const double dt =
+      config.cfl * grid.spacing() / (config.freestream.mach + 1.0);
+  auto& rt = llp::Runtime::current();
+  llp::Array4D<double> rhs(kNumVars, zone.jmax() + 2 * Zone::kGhost,
+                           zone.kmax() + 2 * Zone::kGhost,
+                           zone.lmax() + 2 * Zone::kGhost);
+
+  EngineChoice best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (const EngineInfo& info : engines()) {
+    const llp::RegionId region = rt.regions().define(
+        "engine_select.probe." + std::string(info.name),
+        info.parallel_outer ? llp::RegionKind::kParallelLoop
+                            : llp::RegionKind::kSerial);
+    auto engine = make_engine(info.kind);
+    double best_run = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats + 1; ++r) {
+      fill_probe_rhs(rhs);
+      const auto start = std::chrono::steady_clock::now();
+      engine->sweep(zone, /*dir=*/0, dt, config.kappa_i, rhs, region,
+                    /*periodic=*/false);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      // Repeat 0 is a warm-up (workspace allocation, first-touch); it
+      // never scores.
+      if (r > 0) best_run = std::min(best_run, elapsed.count());
+    }
+    if (best_run < best.seconds) {
+      best.kind = info.kind;
+      best.seconds = best_run;
+    }
+  }
+
+  if (tuner != nullptr) {
+    llp::tune::TunedEntry entry;
+    entry.config.num_threads = rt.num_threads();
+    entry.seconds = best.seconds;
+    entry.trials = static_cast<std::uint64_t>(repeats);
+    entry.engine = std::string(engine_name(best.kind));
+    tuner->db().put(key, entry);
+  }
+  return best;
+}
+
+}  // namespace f3d

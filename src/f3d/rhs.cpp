@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/pack.hpp"
 #include "util/error.hpp"
 
 namespace f3d {
 
 namespace {
+
+// Four of the five conserved variables ride in pack lanes; the fifth is a
+// scalar tail. This TU is compiled at the base ISA, so dpack is the scalar
+// reference unless the whole build targets a vector ISA (-march=x86-64-v3
+// CI job) — either way the plain operators below are IEEE-identical
+// lane-wise, so the stencils stay bitwise stable across configurations.
+// fma() is deliberately not used here for that reason.
+using dpack = simd::pack<double, 4>;
+static_assert(dpack::width < kNumVars, "lane split assumes a scalar tail");
 
 // Neighbor strides in interior index space per direction.
 struct Offset {
@@ -40,10 +50,21 @@ inline void dissipation_interface(const double* qm1, const double* q0,
   const double sig =
       0.5 * (spectral_radius(dir, q0) + spectral_radius(dir, qp1)) * inv_h;
 
-  for (int n = 0; n < kNumVars; ++n) {
-    const double d1 = qp1[n] - q0[n];
-    const double d3 = qp2[n] - 3.0 * qp1[n] + 3.0 * q0[n] - qm1[n];
-    d[n] = sig * (eps2 * d1 - eps4 * d3);
+  // First/third differences for the four lane variables, then the tail.
+  // Operation order mirrors the scalar expression exactly:
+  //   d3 = ((qp2 - 3*qp1) + 3*q0) - qm1.
+  const dpack three = dpack::broadcast(3.0);
+  const dpack am = dpack::load(qm1), a0 = dpack::load(q0);
+  const dpack a1 = dpack::load(qp1), a2 = dpack::load(qp2);
+  const dpack d1 = a1 - a0;
+  const dpack d3 = ((a2 - three * a1) + three * a0) - am;
+  const dpack dv = dpack::broadcast(sig) *
+                   (dpack::broadcast(eps2) * d1 - dpack::broadcast(eps4) * d3);
+  dv.store(d);
+  for (int n = dpack::width; n < kNumVars; ++n) {
+    const double s1 = qp1[n] - q0[n];
+    const double s3 = qp2[n] - 3.0 * qp1[n] + 3.0 * q0[n] - qm1[n];
+    d[n] = sig * (eps2 * s1 - eps4 * s3);
   }
 }
 
@@ -83,7 +104,12 @@ void compute_rhs_plane(const Zone& zone, int l, double dt,
         dissipation_interface(qm2, qm1, q0, qp1, dir, inv_h[dir],
                               config.kappa2, config.kappa4, dm);
 
-        for (int n = 0; n < kNumVars; ++n) {
+        const dpack hv = dpack::broadcast(half_inv);
+        dpack rv = dpack::load(r);
+        rv = rv + ((dpack::load(fp) - dpack::load(fm)) * hv -
+                   (dpack::load(dp) - dpack::load(dm)));
+        rv.store(r);
+        for (int n = dpack::width; n < kNumVars; ++n) {
           r[n] += (fp[n] - fm[n]) * half_inv - (dp[n] - dm[n]);
         }
       }
@@ -94,13 +120,18 @@ void compute_rhs_plane(const Zone& zone, int l, double dt,
                             zone.dy(), config.viscous, fvp);
         viscous_flux_k_face(zone.q_point(j, k - 1, l), zone.q_point(j, k, l),
                             zone.dy(), config.viscous, fvm);
-        for (int n = 0; n < kNumVars; ++n) {
+        const dpack iv = dpack::broadcast(inv_h[1]);
+        dpack rv = dpack::load(r);
+        rv = rv - (dpack::load(fvp) - dpack::load(fvm)) * iv;
+        rv.store(r);
+        for (int n = dpack::width; n < kNumVars; ++n) {
           r[n] -= (fvp[n] - fvm[n]) * inv_h[1];
         }
       }
-      for (int n = 0; n < kNumVars; ++n) {
-        rhs(n, j + ng, k + ng, l + ng) = -dt * r[n];
-      }
+      // The 5 variables of one cell are contiguous (n is the fastest axis).
+      double* out = &rhs(0, j + ng, k + ng, l + ng);
+      (dpack::broadcast(-dt) * dpack::load(r)).store(out);
+      for (int n = dpack::width; n < kNumVars; ++n) out[n] = -dt * r[n];
     }
   }
 }
@@ -109,14 +140,24 @@ double rhs_plane_sumsq(const Zone& zone, int l,
                        const llp::Array4D<double>& rhs) {
   const int jm = zone.jmax(), km = zone.kmax();
   const int ng = Zone::kGhost;
+  // For a fixed (k, l) the interior of the plane row is one contiguous run
+  // of kNumVars*jm doubles (n fastest, then j), so the reduction runs
+  // straight-line pack loads with a scalar tail. The pack accumulator plus
+  // fixed-tree sum() gives a deterministic reduction order that is
+  // identical across scalar and vector pack implementations (see pack.hpp).
+  const int count = kNumVars * jm;
   double s = 0.0;
   for (int k = 0; k < km; ++k) {
-    for (int j = 0; j < jm; ++j) {
-      for (int n = 0; n < kNumVars; ++n) {
-        const double v = rhs(n, j + ng, k + ng, l + ng);
-        s += v * v;
-      }
+    const double* row = &rhs(0, ng, k + ng, l + ng);
+    dpack acc = dpack::zero();
+    int i = 0;
+    for (; i + dpack::width <= count; i += dpack::width) {
+      const dpack v = dpack::load(row + i);
+      acc = acc + v * v;
     }
+    double partial = acc.sum();
+    for (; i < count; ++i) partial += row[i] * row[i];
+    s += partial;
   }
   return s;
 }

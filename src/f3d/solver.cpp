@@ -7,6 +7,7 @@
 
 #include "core/access_span.hpp"
 #include "core/runtime.hpp"
+#include "f3d/engine.hpp"
 #include "f3d/io.hpp"
 #include "f3d/validation.hpp"
 #include "obs/obs.hpp"
@@ -72,11 +73,7 @@ Solver::Solver(MultiZoneGrid& grid, SolverConfig config, llp::Runtime& rt)
   cfl_ = config_.cfl;
   dt_ = cfl_ * grid_.spacing() / (config_.freestream.mach + 1.0);
 
-  if (config_.mode == SweepMode::kRisc) {
-    engine_ = std::make_unique<RiscSweeps>();
-  } else {
-    engine_ = std::make_unique<VectorSweeps>();
-  }
+  engine_ = make_engine(config_.engine);
 
   rhs_.reserve(static_cast<std::size_t>(grid_.num_zones()));
   for (int z = 0; z < grid_.num_zones(); ++z) {
@@ -90,7 +87,7 @@ Solver::Solver(MultiZoneGrid& grid, SolverConfig config, llp::Runtime& rt)
 
 void Solver::define_regions() {
   auto& reg = rt_->regions();
-  const auto kind = config_.mode == SweepMode::kRisc
+  const auto kind = engine_info(config_.engine).parallel_outer
                         ? llp::RegionKind::kParallelLoop
                         : llp::RegionKind::kSerial;
   const std::string pre =
@@ -406,10 +403,13 @@ RunReport Solver::run_protected(int steps, RunHistory* history) {
     if (!report.engine_fallback && rc.persistent_fault_limit > 0 &&
         region != llp::kNoRegion &&
         same_region_faults >= rc.persistent_fault_limit) {
-      // The region keeps faulting under the RISC organization: degrade to
-      // the serial plane-buffer engine and keep going.
-      engine_ = std::make_unique<VectorSweeps>();
-      report.engine_fallback = true;
+      // The region keeps faulting under the configured engine: degrade to
+      // the registry's fallback (serial plane-buffer) and keep going.
+      const EngineKind fb = engine_fallback_for(engine_->kind());
+      if (fb != engine_->kind()) {
+        engine_ = make_engine(fb);
+        report.engine_fallback = true;
+      }
     }
   };
 

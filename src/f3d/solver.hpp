@@ -8,9 +8,10 @@
 //
 // Every loop is registered with the region registry under
 // "z<i>.<kernel>", so the flat profile, the incremental-parallelization
-// switches, and the SMP simulator all see the real loop structure. In
-// SweepMode::kVector the same regions are registered as serial and the
-// plane-buffer engine is used — the untuned baseline.
+// switches, and the SMP simulator all see the real loop structure. For an
+// engine whose registry row says !parallel_outer (the plane-vector
+// baseline) the same regions are registered as serial — the untuned
+// baseline. Engine identities and the registry live in f3d/engine.hpp.
 #pragma once
 
 #include <memory>
@@ -25,11 +26,6 @@
 namespace f3d {
 
 struct RunHistory;  // validation.hpp
-
-enum class SweepMode {
-  kVector,  ///< plane buffers, serial (legacy organization)
-  kRisc,    ///< pencil buffers, outer loops parallelized
-};
 
 /// Smallest per-axis zone extent the solver accepts: the 4th-difference
 /// dissipation stencil reaches Zone::kGhost cells each way, so anything
@@ -92,7 +88,7 @@ struct SolverConfig {
   double cfl = 2.0;            ///< dt = cfl * h / (M + 1)
   RhsConfig rhs;               ///< dissipation gains
   double kappa_i = 0.25;       ///< implicit smoothing gain
-  SweepMode mode = SweepMode::kRisc;
+  EngineKind engine = EngineKind::kPencilScalar;  ///< sweep engine (engine.hpp)
   std::string region_prefix;   ///< optional namespace for region names
 
   /// Steady-state CFL ramping: while the residual is falling, multiply

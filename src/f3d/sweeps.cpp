@@ -1,5 +1,6 @@
 #include "f3d/sweeps.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -54,6 +55,59 @@ void RiscSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
           int t0, t1;
           transverse(dir, static_cast<int>(outer), inner, t0, t1);
           solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, periodic);
+        }
+      },
+      llp::ForOptions{}.with_auto_tune());
+}
+
+void SimdSweeps::sweep(const Zone& zone, int dir, double dt, double kappa_i,
+                       llp::Array4D<double>& rhs, llp::RegionId region,
+                       bool periodic) {
+  const SweepShape shape = sweep_shape(zone, dir);
+  const std::size_t lanes =
+      static_cast<std::size_t>(llp::Runtime::current().num_threads());
+
+  if (periodic) {
+    // Cyclic lines don't lane-batch (Sherman–Morrison couples whole-line
+    // solves); run them through the scalar pencil path, the same
+    // per-line fallback the plane-buffer engine uses, so the arithmetic
+    // matches the other engines exactly on periodic directions.
+    if (cyclic_.size() < lanes) cyclic_.resize(lanes);
+    llp::doacross(
+        region, shape.outer_n,
+        [&](std::int64_t outer, const llp::LaneContext& ctx) {
+          PencilWorkspace& ws =
+              cyclic_[static_cast<std::size_t>(ctx.lane())];
+          ctx.log_read(ctx.array_id("zone.q"), outer, outer + 1);
+          ctx.log_write(ctx.array_id("rhs"), outer, outer + 1);
+          ctx.note_scratch(&ws, ws.bytes());
+          for (int inner = 0; inner < shape.inner_n; ++inner) {
+            int t0, t1;
+            transverse(dir, static_cast<int>(outer), inner, t0, t1);
+            solve_pencil(zone, dir, t0, t1, dt, kappa_i, rhs, ws, true);
+          }
+        },
+        llp::ForOptions{}.with_auto_tune());
+    return;
+  }
+
+  if (workspaces_.size() < lanes) workspaces_.resize(lanes);
+  llp::doacross(
+      region, shape.outer_n,
+      [&](std::int64_t outer, const llp::LaneContext& ctx) {
+        SimdBatchWorkspace& ws =
+            workspaces_[static_cast<std::size_t>(ctx.lane())];
+        // Same outer-task-coordinate access logging as RiscSweeps: the
+        // disjointness fact is the outer index each task owns.
+        ctx.log_read(ctx.array_id("zone.q"), outer, outer + 1);
+        ctx.log_write(ctx.array_id("rhs"), outer, outer + 1);
+        ctx.note_scratch(&ws, ws.bytes());
+        for (int inner = 0; inner < shape.inner_n;
+             inner += kTridiagLaneWidth) {
+          const int count =
+              std::min(kTridiagLaneWidth, shape.inner_n - inner);
+          solve_pencil_batch(zone, dir, static_cast<int>(outer), inner,
+                             count, dt, kappa_i, rhs, ws);
         }
       },
       llp::ForOptions{}.with_auto_tune());

@@ -1,4 +1,5 @@
-// Sweep engines: the two implementations the paper contrasts.
+// Sweep engines: the organizations the paper contrasts, plus the modern
+// SIMD pencil variant that makes the contrast a live hardware question.
 //
 // VectorSweeps is the legacy organization: to vectorize around the Thomas
 // recurrence, it batches a whole plane of lines and runs every stage across
@@ -9,9 +10,18 @@
 // line-sized scratch that lives in cache, and the *outer* transverse loop
 // handed to the doacross runtime (§4 items 1–4, Example 3).
 //
-// Both compute the same arithmetic; tests assert their results agree to
-// roundoff, which is the paper's "no changes to the algorithm or the
-// convergence properties" requirement.
+// SimdSweeps is RiscSweeps with the plane-buffer insight re-applied at
+// register width: kTridiagLaneWidth independent pencils are transposed
+// into SoA lanes and their Thomas recurrences solved in lockstep through
+// simd::pack — vectorizing *across* lines like the Cray did, but over a
+// batch small enough to stay in cache like the pencil organization.
+//
+// All engines compute the same arithmetic (SimdSweeps up to fused-
+// multiply-add rounding; see tridiag.hpp); tests assert their results
+// agree to roundoff, which is the paper's "no changes to the algorithm or
+// the convergence properties" requirement.
+//
+// Engine selection, names, and registration live in f3d/engine.hpp.
 #pragma once
 
 #include <string_view>
@@ -23,9 +33,22 @@
 
 namespace f3d {
 
+/// The engine identities the registry in engine.hpp knows. Values are the
+/// cluster wire encoding (protocol.hpp carries them as uint32) and must
+/// stay stable: 0 and 1 predate the enum as SweepMode::kVector/kRisc.
+enum class EngineKind : int {
+  kPlaneVector = 0,   ///< plane buffers, serial (legacy organization)
+  kPencilScalar = 1,  ///< pencil buffers, outer loops parallelized
+  kPencilSimd = 2,    ///< pencil buffers + lane-batched SIMD recurrences
+};
+
 class SweepEngine {
 public:
   virtual ~SweepEngine() = default;
+
+  /// Which registered engine this is (capability flags, canonical name,
+  /// and parse/print spellings hang off the registry entry — engine.hpp).
+  virtual EngineKind kind() const = 0;
   virtual std::string_view name() const = 0;
 
   /// Apply the implicit sweep in direction dir (0=J,1=K,2=L) to rhs in
@@ -39,6 +62,7 @@ public:
 /// Pencil-buffer engine, outer loop parallelized with doacross.
 class RiscSweeps final : public SweepEngine {
 public:
+  EngineKind kind() const override { return EngineKind::kPencilScalar; }
   std::string_view name() const override { return "risc"; }
   void sweep(const Zone& zone, int dir, double dt, double kappa_i,
              llp::Array4D<double>& rhs, llp::RegionId region,
@@ -48,9 +72,29 @@ private:
   std::vector<PencilWorkspace> workspaces_;  // one per lane
 };
 
+/// Pencil-buffer engine with interleaved-pencil SIMD batching: the same
+/// doacross outer loop as RiscSweeps, but each task solves its pencils in
+/// batches of kTridiagLaneWidth through the lane-batched Thomas kernel
+/// (solve_pencil_batch). Periodic directions fall back to the per-line
+/// cyclic solver — cyclic systems don't lane-batch, the same concession
+/// VectorSweeps makes.
+class SimdSweeps final : public SweepEngine {
+public:
+  EngineKind kind() const override { return EngineKind::kPencilSimd; }
+  std::string_view name() const override { return "simd"; }
+  void sweep(const Zone& zone, int dir, double dt, double kappa_i,
+             llp::Array4D<double>& rhs, llp::RegionId region,
+             bool periodic = false) override;
+
+private:
+  std::vector<SimdBatchWorkspace> workspaces_;   // one per lane
+  std::vector<PencilWorkspace> cyclic_;          // periodic fallback, per lane
+};
+
 /// Plane-buffer engine, serial, vector-machine loop order.
 class VectorSweeps final : public SweepEngine {
 public:
+  EngineKind kind() const override { return EngineKind::kPlaneVector; }
   std::string_view name() const override { return "vector"; }
   void sweep(const Zone& zone, int dir, double dt, double kappa_i,
              llp::Array4D<double>& rhs, llp::RegionId region,

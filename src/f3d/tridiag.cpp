@@ -2,9 +2,32 @@
 
 #include <vector>
 
+#include "f3d/tridiag_lanes.hpp"
+#include "simd/detect.hpp"
 #include "util/error.hpp"
 
 namespace f3d {
+
+void solve_tridiagonal_lanes(const double* a, double* b, const double* c,
+                             double* d, int n) {
+  LLP_REQUIRE(n >= 1, "empty system");
+#if defined(LLP_F3D_HAVE_AVX2_TU)
+  if (simd::runtime_has_avx2()) {
+    detail::solve_tridiagonal_lanes_avx2(a, b, c, d, n);
+    return;
+  }
+#endif
+  detail::solve_tridiagonal_lanes_t<
+      simd::pack<double, kTridiagLaneWidth, simd::arch::Scalar>>(a, b, c, d,
+                                                                 n);
+}
+
+std::string_view tridiag_lanes_kernel() {
+#if defined(LLP_F3D_HAVE_AVX2_TU)
+  if (simd::runtime_has_avx2()) return "avx2";
+#endif
+  return "generic";
+}
 
 void solve_tridiagonal(std::span<const double> a, std::span<double> b,
                        std::span<const double> c, std::span<double> d) {

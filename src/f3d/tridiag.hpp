@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 
 #include "core/access_span.hpp"
 
@@ -47,6 +48,31 @@ void solve_tridiagonal(const llp::AccessSpan<const double>& a,
 void solve_periodic_tridiagonal(std::span<const double> a, std::span<double> b,
                                 std::span<const double> c,
                                 std::span<double> d);
+
+/// Lane width of the interleaved-pencil SIMD Thomas kernel. Fixed at 4
+/// (one AVX2 register of doubles) regardless of build flags, so the lane
+/// layout — and therefore every caller's batching loop — is identical on
+/// the scalar fallback and the vector path.
+inline constexpr int kTridiagLaneWidth = 4;
+
+/// Lane-batched Thomas across kTridiagLaneWidth interleaved independent
+/// systems of length n: arrays are n*kTridiagLaneWidth with element i of
+/// lane w at index i*kTridiagLaneWidth + w. Same in-place contract as
+/// solve_tridiagonal (b and d overwritten, d returns x), applied to every
+/// lane in lockstep — the carried dependence stays along i, the lanes are
+/// independent, so each elimination step is one vector op.
+///
+/// Dispatches at runtime to the AVX2+FMA kernel when it was compiled in
+/// and the host supports it; otherwise runs the scalar-pack reference.
+/// The two differ only in fused-multiply-add rounding (the vector kernel
+/// fuses, the reference rounds twice): O(eps) relative per element, NOT
+/// bitwise — see the ULP policy note in simd/pack.hpp.
+void solve_tridiagonal_lanes(const double* a, double* b, const double* c,
+                             double* d, int n);
+
+/// Which kernel solve_tridiagonal_lanes dispatches to on this host:
+/// "avx2" or "generic". For logs, benches, and dispatch tests.
+std::string_view tridiag_lanes_kernel();
 
 /// Analytic FLOP count of one Thomas solve of length n.
 inline constexpr double tridiag_flops(int n) { return 8.0 * n; }

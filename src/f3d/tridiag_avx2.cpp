@@ -1,0 +1,23 @@
+// AVX2+FMA instantiation of the lane-batched Thomas kernel.
+//
+// This is the only translation unit in the library compiled with
+// -mavx2 -mfma (see src/f3d/CMakeLists.txt): simd::arch::Auto resolves to
+// Avx2 here and to Scalar everywhere else, so the two instantiations are
+// distinct types and the binary stays runnable on pre-AVX2 hosts — the
+// dispatcher in tridiag.cpp only enters this kernel after
+// simd::runtime_has_avx2() confirms the host executes it.
+#include "f3d/tridiag_lanes.hpp"
+
+#if !defined(LLP_SIMD_PACK_AVX2)
+#error "tridiag_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+namespace f3d::detail {
+
+void solve_tridiagonal_lanes_avx2(const double* a, double* b, const double* c,
+                                  double* d, int n) {
+  solve_tridiagonal_lanes_t<simd::pack<double, 4, simd::arch::Avx2>>(a, b, c,
+                                                                     d, n);
+}
+
+}  // namespace f3d::detail

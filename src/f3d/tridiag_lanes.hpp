@@ -1,0 +1,54 @@
+// Width-templated lane-batched Thomas kernel (internal).
+//
+// One instantiation of this template is compiled per architecture: the
+// generic scalar pack in tridiag.cpp and, when the toolchain supports it,
+// an AVX2+FMA pack in tridiag_avx2.cpp (a dedicated translation unit built
+// with -mavx2 -mfma so the rest of the library keeps the portable
+// baseline flags). solve_tridiagonal_lanes() in tridiag.cpp dispatches
+// between them at runtime.
+#pragma once
+
+#include "simd/pack.hpp"
+
+namespace f3d::detail {
+
+/// Thomas elimination over P::width interleaved independent systems of
+/// length n (element i of lane w at index i*W + w; see tridiag.hpp for
+/// the public contract). The carried dependence runs along i in every
+/// lane, but the lanes never couple — each step's divide and two
+/// multiply-subtracts are one vector op each, amortizing the division
+/// latency chain (the serial bottleneck of the scalar solve) W ways.
+template <class P>
+inline void solve_tridiagonal_lanes_t(const double* a, double* b,
+                                      const double* c, double* d, int n) {
+  constexpr int W = P::width;
+  // Forward elimination; b and d of row i-1 stay live in registers.
+  P bp = P::load(b);
+  P dp = P::load(d);
+  for (int i = 1; i < n; ++i) {
+    const std::size_t at = static_cast<std::size_t>(i) * W;
+    const P m = P::load(a + at) / bp;
+    const P bi = P::fnma(m, P::load(c + at - W), P::load(b + at));
+    const P di = P::fnma(m, dp, P::load(d + at));
+    bi.store(b + at);
+    di.store(d + at);
+    bp = bi;
+    dp = di;
+  }
+  // Back substitution.
+  P dn = dp / bp;
+  dn.store(d + static_cast<std::size_t>(n - 1) * W);
+  for (int i = n - 2; i >= 0; --i) {
+    const std::size_t at = static_cast<std::size_t>(i) * W;
+    dn = P::fnma(P::load(c + at), dn, P::load(d + at)) / P::load(b + at);
+    dn.store(d + at);
+  }
+}
+
+#if defined(LLP_F3D_HAVE_AVX2_TU)
+/// The AVX2+FMA instantiation, defined in tridiag_avx2.cpp.
+void solve_tridiagonal_lanes_avx2(const double* a, double* b, const double* c,
+                                  double* d, int n);
+#endif
+
+}  // namespace f3d::detail

@@ -70,7 +70,15 @@ Scenario Generator::random_scenario(SplitMix64& rng) const {
     s.cfl_max = pick_round(rng, s.cfl + 1.0, s.cfl + 8.0);
   }
   s.steps = pick_int(rng, 3, std::max(3, config_.max_steps));
-  s.mode = rng.below(4) == 0 ? f3d::SweepMode::kVector : f3d::SweepMode::kRisc;
+  // Engine draw: half the population on the default pencil engine, the
+  // other half split across the rest of the registry so every engine
+  // (including future additions) keeps fuzz coverage.
+  if (rng.below(2) == 0) {
+    s.engine = f3d::EngineKind::kPencilScalar;
+  } else {
+    const auto reg = f3d::engines();
+    s.engine = reg[static_cast<std::size_t>(rng.below(reg.size()))].kind;
+  }
   s.threads = pick_int(rng, 1, std::max(1, config_.max_threads));
   s.mem_ckpt_every = pick_int(rng, 1, 5);
   s.ckpt_every = rng.below(2) == 0 ? 0 : pick_int(rng, 1, 4);
@@ -199,9 +207,10 @@ Scenario Generator::mutate(const Scenario& base, std::uint64_t mseed) const {
   Scenario s = base;
   s.seed = rng.next() >> 1;
   switch (rng.below(8)) {
-    case 0:  // flip the sweep engine
-      s.mode = s.mode == f3d::SweepMode::kRisc ? f3d::SweepMode::kVector
-                                               : f3d::SweepMode::kRisc;
+    case 0:  // cycle to the next registered sweep engine
+      s.engine = f3d::engines()[(static_cast<std::size_t>(s.engine) + 1) %
+                                static_cast<std::size_t>(f3d::kNumEngines)]
+                     .kind;
       break;
     case 1:  // nudge one dimension
       if (!s.zones.empty()) {

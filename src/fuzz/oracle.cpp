@@ -62,7 +62,7 @@ std::string fingerprint(const Scenario& s) {
   // to refuse a resume under a different physics/engine configuration.
   std::ostringstream out;
   out << "fuzz cfl=" << s.cfl << " mach=" << s.mach
-      << " mode=" << (s.mode == f3d::SweepMode::kRisc ? "risc" : "vector");
+      << " mode=" << f3d::engine_name(s.engine);
   return out.str();
 }
 
@@ -207,27 +207,39 @@ CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options) {
   // --- oracle 3: engine differential -----------------------------------
   // Only meaningful on clean trajectories: an injected fault keys on one
   // engine's region timeline and would legitimately diverge the twins.
+  // The primary is re-run under every OTHER registered engine; each pair
+  // carries its own tolerance — simd_diff_tol when either side fuses
+  // multiply-adds (EngineInfo::fma_lanes), diff_tol otherwise. The
+  // error-type token "<primary>-<twin>-mismatch" keeps the legacy
+  // "risc-vector-mismatch" bucket byte-stable for the default engine.
   if (!result.crashed && scenario.fault.empty()) {
-    try {
-      Scenario twin = scenario;
-      twin.mode = scenario.mode == f3d::SweepMode::kRisc
-                      ? f3d::SweepMode::kVector
-                      : f3d::SweepMode::kRisc;
-      f3d::MultiZoneGrid grid_b = build_scenario_grid(twin);
-      Runtime rt_b(twin.threads);
-      RuntimeScope scope_b(rt_b);
-      f3d::Solver solver_b(grid_b, build_scenario_config(twin), rt_b);
-      const double residual_b = solver_b.run(twin.steps);
-      const double diff = f3d::linf_diff(*grid, grid_b);
-      if (!(diff <= options.diff_tol) || !std::isfinite(residual_b)) {
+    const f3d::EngineInfo& primary = f3d::engine_info(scenario.engine);
+    for (const f3d::EngineInfo& other : f3d::engines()) {
+      if (other.kind == primary.kind) continue;
+      try {
+        Scenario twin = scenario;
+        twin.engine = other.kind;
+        f3d::MultiZoneGrid grid_b = build_scenario_grid(twin);
+        Runtime rt_b(twin.threads);
+        RuntimeScope scope_b(rt_b);
+        f3d::Solver solver_b(grid_b, build_scenario_config(twin), rt_b);
+        const double residual_b = solver_b.run(twin.steps);
+        const double diff = f3d::linf_diff(*grid, grid_b);
+        const double tol = (primary.fma_lanes || other.fma_lanes)
+                               ? options.simd_diff_tol
+                               : options.diff_tol;
+        if (!(diff <= tol) || !std::isfinite(residual_b)) {
+          return fail(std::move(result), OracleId::kDifferential,
+                      std::string(primary.name) + "-" +
+                          std::string(other.name) + "-mismatch",
+                      "",
+                      strfmt("linf %g (tol %g), twin residual %g", diff, tol,
+                             residual_b));
+        }
+      } catch (const std::exception& e) {
         return fail(std::move(result), OracleId::kDifferential,
-                    "risc-vector-mismatch", "",
-                    strfmt("linf %g (tol %g), twin residual %g", diff,
-                           options.diff_tol, residual_b));
+                    "engine-exception", extract_region(e.what()), e.what());
       }
-    } catch (const std::exception& e) {
-      return fail(std::move(result), OracleId::kDifferential,
-                  "engine-exception", extract_region(e.what()), e.what());
     }
   }
 
@@ -324,7 +336,7 @@ CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options) {
       ccfg.workers = scenario.workers;
       ccfg.worker_threads = scenario.threads;
       ccfg.cfl = scenario.cfl;
-      ccfg.mode = scenario.mode;
+      ccfg.engine = scenario.engine;
       ccfg.region_prefix = kRegionPrefix;
       ccfg.ckpt_dir = options.work_dir + "/cluster";
       ccfg.ckpt_every = scenario.ckpt_every > 0 ? scenario.ckpt_every : 3;

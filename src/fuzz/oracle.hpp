@@ -9,9 +9,14 @@
 //      llp::ValidationError (anything else escaping is itself a failure);
 //   2. race — the PR 5 dynamic analyzer (AccessLogger) rides the run's
 //      observer seam; any loop-carried dependence finding fails the case;
-//   3. differential — fault-free cases are re-run under the other sweep
-//      engine (kRisc vs kVector) and the two final solutions must agree
-//      to tight linf tolerance: the paper's central equivalence claim;
+//   3. differential — fault-free cases are re-run under every *other*
+//      registered sweep engine (f3d::engines()) and each twin's final
+//      solution must agree with the primary's to tight linf tolerance:
+//      the paper's central equivalence claim, generalized to N engines.
+//      Pairs involving an fma_lanes engine (the SIMD pencil path) compare
+//      under simd_diff_tol instead of diff_tol — fused multiply-adds
+//      round once where the scalar engines round twice, so parity there
+//      is O(eps)-bounded, not bitwise (see simd/pack.hpp's ULP policy);
 //   4. restart — cases with a durable checkpoint cadence are resumed from
 //      the newest intact generation (after an injected iocrash, that IS
 //      the kill-and-resume path) and the resumed timeline must verify its
@@ -41,7 +46,7 @@ enum class OracleId {
   kConstruction,  ///< wrong rejection behaviour while building the case
   kValidation,    ///< unhealthy protected run / non-finite final state
   kRace,          ///< dynamic analyzer finding
-  kDifferential,  ///< kRisc and kVector solutions disagree
+  kDifferential,  ///< two engines' solutions disagree
   kRestart,       ///< resume-from-checkpoint broke parity or failed
   kCluster,       ///< sharded backend diverged or failed to recover
 };
@@ -75,6 +80,11 @@ struct RunCaseOptions {
   /// bounds the clean cluster combine against the in-process residual
   /// (the recovery comparison is bitwise, no tolerance).
   double diff_tol = 1e-9;
+  /// Differential tolerance when either side of the pair fuses
+  /// multiply-adds (EngineInfo::fma_lanes): FMA keeps one rounding where
+  /// the scalar reference keeps two, so lane results drift O(eps)
+  /// relative per operation — tolerance-bounded, never bitwise.
+  double simd_diff_tol = 1e-9;
   double restart_tol = 1e-9;
   double cluster_tol = 1e-9;
   /// Binary accepting "--worker --fd N" for the cluster oracle's workers.

@@ -116,7 +116,7 @@ std::string Scenario::to_line() const {
   out << " growth=" << fmt_double(cfl_growth);
   out << " cflmax=" << fmt_double(cfl_max);
   out << " steps=" << steps;
-  out << " mode=" << (mode == f3d::SweepMode::kRisc ? "risc" : "vector");
+  out << " mode=" << f3d::engine_name(engine);
   out << " threads=" << threads;
   out << " recover=" << max_recoveries;
   out << " mem_ckpt=" << mem_ckpt_every;
@@ -174,13 +174,10 @@ Scenario Scenario::parse(const std::string& line) {
     } else if (key == "steps") {
       s.steps = static_cast<int>(parse_long(key, val));
     } else if (key == "mode") {
-      if (val == "risc") {
-        s.mode = f3d::SweepMode::kRisc;
-      } else if (val == "vector") {
-        s.mode = f3d::SweepMode::kVector;
-      } else {
+      if (!f3d::parse_engine(val, &s.engine)) {
         throw ValidationError(
-            strfmt("scenario: unknown mode '%s'", val.c_str()));
+            strfmt("scenario: unknown mode '%s' (want %s)", val.c_str(),
+                   f3d::engine_names_usage().c_str()));
       }
     } else if (key == "threads") {
       s.threads = static_cast<int>(parse_long(key, val));
@@ -296,7 +293,7 @@ f3d::SolverConfig build_scenario_config(const Scenario& s) {
   cfg.cfl = s.cfl;
   cfg.cfl_growth = s.cfl_growth;
   cfg.cfl_max = s.cfl_max;
-  cfg.mode = s.mode;
+  cfg.engine = s.engine;
   cfg.region_prefix = kRegionPrefix;
   cfg.recovery.max_recoveries = s.max_recoveries;
   cfg.recovery.checkpoint_every = s.mem_ckpt_every;

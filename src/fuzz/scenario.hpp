@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "f3d/cases.hpp"
+#include "f3d/engine.hpp"
 #include "f3d/multizone.hpp"
 #include "f3d/solver.hpp"
 #include "fault/fault_plan.hpp"
@@ -54,7 +55,9 @@ struct Scenario {
   double cfl_growth = 1.0;
   double cfl_max = 10.0;
   int steps = 8;
-  f3d::SweepMode mode = f3d::SweepMode::kRisc;
+  /// Sweep engine. The spec key stays `mode=` (byte-stable with the
+  /// pre-registry grammar); the value is a registry name (engine.hpp).
+  f3d::EngineKind engine = f3d::EngineKind::kPencilScalar;
   int threads = 2;
   int max_recoveries = 0;
   int mem_ckpt_every = 4;      ///< in-memory rollback cadence

@@ -9,6 +9,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "f3d/engine.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/io.hpp"
@@ -106,8 +107,9 @@ std::optional<JobSpec> JobSpec::from_json(const Json& j, std::string* error) {
     *error = "unknown case '" + s.case_name + "'";
     return std::nullopt;
   }
-  if (s.mode != "risc" && s.mode != "vector") {
-    *error = "mode must be 'risc' or 'vector'";
+  f3d::EngineKind parsed_engine;
+  if (!f3d::parse_engine(s.mode, &parsed_engine)) {
+    *error = "mode must be one of '" + f3d::engine_names_usage() + "'";
     return std::nullopt;
   }
   if (!check_range_num(s.scale, 1e-6, 1e3, "scale", error)) return std::nullopt;
@@ -181,8 +183,11 @@ f3d::SolverConfig build_solver_config(const JobSpec& spec) {
   f3d::SolverConfig cfg;
   cfg.freestream = cs.freestream;
   cfg.cfl = spec.cfl;
-  cfg.mode =
-      spec.mode == "risc" ? f3d::SweepMode::kRisc : f3d::SweepMode::kVector;
+  // from_json validated the spelling; default to the registry's parse so a
+  // spec constructed in code with a bad mode string fails loudly here.
+  if (!f3d::parse_engine(spec.mode, &cfg.engine)) {
+    throw llp::ValidationError("unknown engine '" + spec.mode + "'");
+  }
   cfg.region_prefix = "job";
   return cfg;
 }

@@ -45,7 +45,7 @@ struct JobSpec {
   int n = 24;                  ///< cube/vortex size
   int steps = 50;
   double cfl = 2.0;
-  std::string mode = "risc";   ///< risc | vector
+  std::string mode = "risc";   ///< engine name (f3d::engine_names_usage())
   bool wall = false;
   double pulse = 0.0;
   int priority = 0;            ///< 0 (lowest) .. 9; higher may preempt lower

@@ -1,0 +1,47 @@
+// Interleave/deinterleave transposes for lane-batched kernels.
+//
+// A recurrence along a line cannot vectorize, but W independent lines can:
+// transpose W pencils into SoA lane layout (element i of pencil p at
+// out[i*W + p]), run the recurrence once with every arithmetic op a
+// W-wide vector op, and transpose back. These helpers are that transpose,
+// including the tail policy for a final batch of count < W pencils: the
+// missing lanes replicate the last real pencil, so the batched kernel
+// always runs a full W lanes on well-conditioned data and the results of
+// the padding lanes are simply never read back.
+#pragma once
+
+#include <cstddef>
+
+namespace simd {
+
+/// Gather `count` (1 <= count <= W) source sequences of length n into lane
+/// layout: out[i*W + p] = srcs[p][i * src_stride]. Lanes p >= count are
+/// filled by replicating pencil count-1 (see header comment).
+template <int W, class T>
+inline void interleave(const T* const* srcs, int count, int n, T* out,
+                       int src_stride = 1) {
+  for (int i = 0; i < n; ++i) {
+    T* row = out + static_cast<std::size_t>(i) * W;
+    for (int p = 0; p < count; ++p) {
+      row[p] = srcs[p][static_cast<std::size_t>(i) * src_stride];
+    }
+    for (int p = count; p < W; ++p) row[p] = row[count - 1];
+  }
+}
+
+/// Scatter lane layout back: dsts[p][i * dst_stride] = in[i*W + p] for
+/// p < count. Padding lanes (p >= count) are discarded — the inverse of
+/// interleave's replication, which makes the round trip exact at any
+/// count, odd tails included.
+template <int W, class T>
+inline void deinterleave(const T* in, int count, int n, T* const* dsts,
+                         int dst_stride = 1) {
+  for (int i = 0; i < n; ++i) {
+    const T* row = in + static_cast<std::size_t>(i) * W;
+    for (int p = 0; p < count; ++p) {
+      dsts[p][static_cast<std::size_t>(i) * dst_stride] = row[p];
+    }
+  }
+}
+
+}  // namespace simd

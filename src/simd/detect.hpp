@@ -1,0 +1,45 @@
+// Width detection for the simd layer: what was compiled in (per
+// translation unit) and what the CPU running us actually supports.
+//
+// Kernels are dispatched on the AND of the two: an AVX2 kernel exists only
+// in translation units built with -mavx2 -mfma, and is entered only when
+// __builtin_cpu_supports confirms the host executes it. Everything else
+// falls back to the scalar pack reference, so a binary built with the
+// AVX2 kernels still runs correctly on a pre-AVX2 (or non-x86) host.
+#pragma once
+
+namespace simd {
+
+/// Was THIS translation unit compiled with the AVX2+FMA pack enabled?
+/// (False everywhere under -DLLP_SIMD_FORCE_SCALAR.)
+constexpr bool compiled_with_avx2() {
+#if defined(LLP_SIMD_PACK_AVX2) || \
+    (defined(__AVX2__) && defined(__FMA__) && !defined(LLP_SIMD_FORCE_SCALAR))
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Does the host CPU execute AVX2 + FMA? Cached after the first call;
+/// always false on non-x86 targets and under LLP_SIMD_FORCE_SCALAR.
+inline bool runtime_has_avx2() {
+#if defined(LLP_SIMD_FORCE_SCALAR)
+  return false;
+#elif defined(__x86_64__) || defined(__i386__)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+/// Lanes of double the active (compiled AND runtime-supported) vector path
+/// processes per instruction in this translation unit; 1 on the scalar
+/// fallback. Purely informational — kernels pick their own batch width.
+inline int active_double_width() {
+  return compiled_with_avx2() && runtime_has_avx2() ? 4 : 1;
+}
+
+}  // namespace simd

@@ -86,14 +86,21 @@ std::vector<std::pair<std::string, TunedEntry>> TuningDb::entries() const {
 std::string TuningDb::to_text() const {
   std::string out =
       "# llp_tune v1 — tuned loop configurations\n"
-      "# key\tschedule\tchunk\tthreads\tseconds\ttrials\n";
+      "# key\tschedule\tchunk\tthreads\tseconds\ttrials[\tengine]\n";
   for (const auto& [key, e] : entries_) {
-    out += strfmt("%s\t%.*s\t%lld\t%d\t%.9e\t%llu\n", key.c_str(),
+    out += strfmt("%s\t%.*s\t%lld\t%d\t%.9e\t%llu", key.c_str(),
                   static_cast<int>(schedule_name(e.config.schedule).size()),
                   schedule_name(e.config.schedule).data(),
                   static_cast<long long>(e.config.chunk),
                   e.config.num_threads, e.seconds,
                   static_cast<unsigned long long>(e.trials));
+    // The engine field is appended only when set, keeping pre-engine
+    // entries byte-identical with what v1 always wrote.
+    if (!e.engine.empty()) {
+      out += '\t';
+      out += e.engine;
+    }
+    out += '\n';
   }
   return out;
 }
@@ -110,10 +117,14 @@ bool TuningDb::parse_text(std::string_view text, std::string* error) {
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty() || line.front() == '#') continue;
 
-    std::string_view f[6];
+    std::string_view f[7];
     TunedEntry e;
     std::int64_t threads = 0, trials = 0;
-    const bool ok = split_tabs(line, f, 6) && !f[0].empty() &&
+    // 6 fields is the historical line; 7 adds the optional engine column.
+    const bool seven = split_tabs(line, f, 7);
+    if (seven && !f[6].empty()) e.engine.assign(f[6]);
+    const bool ok = (seven || split_tabs(line, f, 6)) && !f[0].empty() &&
+                    (!seven || !f[6].empty()) &&
                     parse_schedule(f[1], &e.config.schedule) &&
                     parse_i64(f[2], &e.config.chunk) && e.config.chunk >= 1 &&
                     parse_i64(f[3], &threads) && threads >= 1 &&

@@ -10,9 +10,14 @@
 //   z0.rhs|b6|hc8-p8<TAB>dynamic<TAB>4<TAB>8<TAB>1.25e-03<TAB>24
 //
 // One entry per line: key, schedule, chunk, threads, best mean seconds,
-// trials behind the decision. Keys come from tune::make_key — (region name,
-// trip-count bucket, machine fingerprint) — so a config is only reused for
-// the loop shape and machine it was measured on.
+// trials behind the decision — plus an optional 7th field naming the sweep
+// engine when the entry records an engine-axis decision (f3d::engine_name
+// spellings). Entries without an engine serialize exactly as before the
+// 7th field existed, so pre-engine DBs round-trip byte-identically and old
+// readers only ever see lines they understand. Keys come from
+// tune::make_key — (region name, trip-count bucket, machine fingerprint) —
+// so a config is only reused for the loop shape and machine it was
+// measured on.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,10 @@ struct TunedEntry {
   LoopConfig config;
   double seconds = 0.0;      ///< best measured mean wall time per invocation
   std::uint64_t trials = 0;  ///< invocations the decision is based on
+  /// Sweep-engine axis: the winning f3d::engine_name for engine-selection
+  /// entries; empty for plain loop entries (and for every entry written
+  /// before the axis existed).
+  std::string engine;
 };
 
 class TuningDb {

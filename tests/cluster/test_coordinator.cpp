@@ -55,7 +55,7 @@ double in_process_residual(const ClusterConfig& cfg) {
   sc.freestream = cfg.case_spec.freestream;
   sc.cfl = cfg.cfl;
   sc.kappa_i = cfg.kappa_i;
-  sc.mode = cfg.mode;
+  sc.engine = cfg.engine;
   sc.cfl_growth = 1.0;  // the cluster pins the CFL ramp off
   f3d::Solver solver(grid, sc, rt);
   return solver.run(cfg.steps);

@@ -7,20 +7,20 @@
 
 namespace {
 
+using f3d::EngineKind;
 using f3d::Solver;
 using f3d::SolverConfig;
-using f3d::SweepMode;
 
-SolverConfig config_for(const f3d::CaseSpec& spec, SweepMode mode,
+SolverConfig config_for(const f3d::CaseSpec& spec, EngineKind engine,
                         const std::string& prefix) {
   SolverConfig cfg;
   cfg.freestream = spec.freestream;
-  cfg.mode = mode;
+  cfg.engine = engine;
   cfg.region_prefix = prefix;
   return cfg;
 }
 
-class SolverModes : public ::testing::TestWithParam<SweepMode> {};
+class SolverModes : public ::testing::TestWithParam<EngineKind> {};
 
 TEST_P(SolverModes, FreeStreamPreservedToMachinePrecision) {
   const auto spec = f3d::paper_1m_case(0.1);
@@ -47,8 +47,9 @@ TEST_P(SolverModes, ResidualDecaysForDisturbedFlow) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, SolverModes,
-                         ::testing::Values(SweepMode::kRisc,
-                                           SweepMode::kVector));
+                         ::testing::Values(EngineKind::kPencilScalar,
+                                           EngineKind::kPlaneVector,
+                                           EngineKind::kPencilSimd));
 
 TEST(Solver, VectorAndRiscProduceSameSolution) {
   // The paper's core validation requirement: the RISC/parallel version must
@@ -59,8 +60,8 @@ TEST(Solver, VectorAndRiscProduceSameSolution) {
   f3d::add_gaussian_pulse(grid_v, 0.08, 2.0);
   f3d::add_gaussian_pulse(grid_r, 0.08, 2.0);
 
-  Solver sv(grid_v, config_for(spec, SweepMode::kVector, "sol.eq_v"));
-  Solver sr(grid_r, config_for(spec, SweepMode::kRisc, "sol.eq_r"));
+  Solver sv(grid_v, config_for(spec, EngineKind::kPlaneVector, "sol.eq_v"));
+  Solver sr(grid_r, config_for(spec, EngineKind::kPencilScalar, "sol.eq_r"));
   for (int i = 0; i < 8; ++i) {
     sv.step();
     sr.step();
@@ -69,6 +70,47 @@ TEST(Solver, VectorAndRiscProduceSameSolution) {
         << "step " << i;
   }
   EXPECT_LT(f3d::linf_diff(grid_v, grid_r), 1e-11);
+}
+
+TEST(Solver, SimdAgreesWithRiscToFmaRounding) {
+  // The SIMD pencil engine fuses multiply-adds where the scalar engines
+  // round twice, so parity is tolerance-bounded, not bitwise (the ULP
+  // policy in simd/pack.hpp) — but the bound is tight.
+  auto spec = f3d::paper_1m_case(0.1);
+  auto grid_s = f3d::build_grid(spec);
+  auto grid_r = f3d::build_grid(spec);
+  f3d::add_gaussian_pulse(grid_s, 0.08, 2.0);
+  f3d::add_gaussian_pulse(grid_r, 0.08, 2.0);
+
+  Solver ss(grid_s, config_for(spec, EngineKind::kPencilSimd, "sol.eq_s"));
+  Solver sr(grid_r, config_for(spec, EngineKind::kPencilScalar, "sol.eq_r2"));
+  for (int i = 0; i < 8; ++i) {
+    ss.step();
+    sr.step();
+    EXPECT_NEAR(ss.residual(), sr.residual(), 1e-10 * (1.0 + sr.residual()))
+        << "step " << i;
+  }
+  EXPECT_LT(f3d::linf_diff(grid_s, grid_r), 1e-10);
+}
+
+TEST(Solver, SimdMatchesRiscOnPeriodicGrid) {
+  // Periodic directions take the cyclic fallback inside SimdSweeps — the
+  // same per-line solver RiscSweeps uses, so this pairing is exact on the
+  // periodic sweeps and FMA-bounded on the rest.
+  auto spec = f3d::vortex_case(12);
+  auto make = [&](EngineKind engine, const char* prefix) {
+    auto grid = f3d::build_grid(spec);
+    f3d::make_periodic(grid);
+    f3d::add_gaussian_pulse(grid, 0.05, 2.0);
+    Solver s(grid, config_for(spec, engine, prefix));
+    s.run(6);
+    return std::make_pair(std::move(grid), s.residual());
+  };
+  auto [grid_s, res_s] = make(EngineKind::kPencilSimd, "sol.per_s");
+  auto [grid_r, res_r] = make(EngineKind::kPencilScalar, "sol.per_r");
+  EXPECT_TRUE(std::isfinite(res_s));
+  EXPECT_NEAR(res_s, res_r, 1e-10 * (1.0 + res_r));
+  EXPECT_LT(f3d::linf_diff(grid_s, grid_r), 1e-10);
 }
 
 TEST(Solver, ThreadCountDoesNotChangeSolution) {
@@ -80,7 +122,7 @@ TEST(Solver, ThreadCountDoesNotChangeSolution) {
     auto grid = f3d::build_grid(spec);
     f3d::add_kmin_wall(grid);
     f3d::add_gaussian_pulse(grid, 0.05, 2.0);
-    Solver s(grid, config_for(spec, SweepMode::kRisc,
+    Solver s(grid, config_for(spec, EngineKind::kPencilScalar,
                               "sol.th" + std::to_string(threads)));
     s.run(6);
     return f3d::checksum(grid);
@@ -95,7 +137,7 @@ TEST(Solver, ThreadCountDoesNotChangeSolution) {
 TEST(Solver, DtFollowsCflAndSpacing) {
   auto spec = f3d::wall_compression_case(10, 2.0);
   auto grid = f3d::build_grid(spec);
-  SolverConfig cfg = config_for(spec, SweepMode::kRisc, "sol.dt");
+  SolverConfig cfg = config_for(spec, EngineKind::kPencilScalar, "sol.dt");
   cfg.cfl = 3.0;
   Solver s(grid, cfg);
   EXPECT_NEAR(s.dt(), 3.0 * spec.spacing / 3.0, 1e-12);  // cfl*h/(M+1)
@@ -106,8 +148,8 @@ TEST(Solver, FlopsPerStepScalesWithPoints) {
   auto big_spec = f3d::wall_compression_case(16);
   auto small_grid = f3d::build_grid(small_spec);
   auto big_grid = f3d::build_grid(big_spec);
-  Solver small(small_grid, config_for(small_spec, SweepMode::kRisc, "sol.fa"));
-  Solver big(big_grid, config_for(big_spec, SweepMode::kRisc, "sol.fb"));
+  Solver small(small_grid, config_for(small_spec, EngineKind::kPencilScalar, "sol.fa"));
+  Solver big(big_grid, config_for(big_spec, EngineKind::kPencilScalar, "sol.fb"));
   // Per-point flops must be size-independent (the property the trace
   // extrapolation to the paper's full-size cases relies on).
   const double per_small =
@@ -122,7 +164,7 @@ TEST(Solver, RegionsRecordFlopsAndTrips) {
   auto spec = f3d::paper_1m_case(0.1);
   auto grid = f3d::build_grid(spec);
   llp::regions().reset_stats();
-  Solver s(grid, config_for(spec, SweepMode::kRisc, "sol.reg"));
+  Solver s(grid, config_for(spec, EngineKind::kPencilScalar, "sol.reg"));
   s.run(2);
   auto& reg = llp::regions();
   const auto id = reg.find("sol.reg.z0.sweep_j");
@@ -141,7 +183,7 @@ TEST(Solver, RegionsRecordFlopsAndTrips) {
 TEST(Solver, VectorModeRegistersSerialRegions) {
   auto spec = f3d::wall_compression_case(8);
   auto grid = f3d::build_grid(spec);
-  Solver s(grid, config_for(spec, SweepMode::kVector, "sol.vser"));
+  Solver s(grid, config_for(spec, EngineKind::kPlaneVector, "sol.vser"));
   const auto id = llp::regions().find("sol.vser.z0.sweep_j");
   ASSERT_NE(id, llp::kNoRegion);
   EXPECT_EQ(llp::regions().stats(id).kind, llp::RegionKind::kSerial);
@@ -150,7 +192,7 @@ TEST(Solver, VectorModeRegistersSerialRegions) {
 TEST(Solver, BytesPerStepPositiveAndLinear) {
   auto spec = f3d::wall_compression_case(8);
   auto grid = f3d::build_grid(spec);
-  Solver s(grid, config_for(spec, SweepMode::kRisc, "sol.bytes"));
+  Solver s(grid, config_for(spec, EngineKind::kPencilScalar, "sol.bytes"));
   EXPECT_GT(s.bytes_per_step(), 0.0);
   EXPECT_LT(s.bytes_per_step() / grid.total_points(), 2000.0);
 }
@@ -158,7 +200,7 @@ TEST(Solver, BytesPerStepPositiveAndLinear) {
 TEST(Solver, RunCountsSteps) {
   auto spec = f3d::wall_compression_case(8);
   auto grid = f3d::build_grid(spec);
-  Solver s(grid, config_for(spec, SweepMode::kRisc, "sol.count"));
+  Solver s(grid, config_for(spec, EngineKind::kPencilScalar, "sol.count"));
   s.run(5);
   EXPECT_EQ(s.steps_taken(), 5);
   EXPECT_THROW(s.run(0), llp::Error);
@@ -167,7 +209,7 @@ TEST(Solver, RunCountsSteps) {
 TEST(Solver, RejectsBadConfig) {
   auto spec = f3d::wall_compression_case(8);
   auto grid = f3d::build_grid(spec);
-  SolverConfig cfg = config_for(spec, SweepMode::kRisc, "sol.bad");
+  SolverConfig cfg = config_for(spec, EngineKind::kPencilScalar, "sol.bad");
   cfg.cfl = 0.0;
   EXPECT_THROW(Solver(grid, cfg), llp::Error);
 }
@@ -241,7 +283,7 @@ TEST(Solver, SerialRegionsCarryWorkForAmdahlAccounting) {
   auto spec = f3d::paper_1m_case(0.1);
   auto grid = f3d::build_grid(spec);
   llp::regions().reset_stats();
-  Solver s(grid, config_for(spec, SweepMode::kRisc, "sol.amdahl"));
+  Solver s(grid, config_for(spec, EngineKind::kPencilScalar, "sol.amdahl"));
   s.run(2);
   const auto bc = llp::regions().stats(llp::regions().find("sol.amdahl.bc"));
   const auto ex =

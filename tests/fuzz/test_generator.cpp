@@ -32,21 +32,20 @@ TEST(Generator, SequenceHasVariety) {
   Generator gen(7);
   std::set<std::size_t> zone_counts;
   std::set<int> threads;
-  bool saw_vector = false, saw_risc = false;
+  std::set<f3d::EngineKind> engines;
   bool saw_ckpt = false, saw_fault = false;
   for (int i = 0; i < 80; ++i) {
     const Scenario s = gen.next();
     zone_counts.insert(s.zones.size());
     threads.insert(s.threads);
-    saw_vector |= s.mode == f3d::SweepMode::kVector;
-    saw_risc |= s.mode == f3d::SweepMode::kRisc;
+    engines.insert(s.engine);
     saw_ckpt |= s.ckpt_every > 0;
     saw_fault |= !s.fault.empty();
   }
   EXPECT_GT(zone_counts.size(), 1u);
   EXPECT_GT(threads.size(), 1u);
-  EXPECT_TRUE(saw_vector);
-  EXPECT_TRUE(saw_risc);
+  // Every registered engine must appear in the population.
+  EXPECT_EQ(engines.size(), static_cast<std::size_t>(f3d::kNumEngines));
   EXPECT_TRUE(saw_ckpt);
   EXPECT_TRUE(saw_fault);
 }

@@ -87,12 +87,16 @@ TEST(Oracle, RecoveredFaultStillPasses) {
 }
 
 TEST(Oracle, DifferentialRunsOnCleanCases) {
-  // Both engines on the same scenario: the differential oracle passes on
-  // the shipped solver (this is the regression canary for oracle 3).
-  Scenario s = small_clean();
-  s.mode = f3d::SweepMode::kVector;
-  const CaseResult r = run_case(s, {});
-  EXPECT_TRUE(r.passed()) << describe(r);
+  // Every registered engine as the primary: the all-pairs differential
+  // oracle passes on the shipped solver (the regression canary for
+  // oracle 3, which re-runs the case under every other engine).
+  for (const f3d::EngineInfo& info : f3d::engines()) {
+    Scenario s = small_clean();
+    s.engine = info.kind;
+    const CaseResult r = run_case(s, {});
+    EXPECT_TRUE(r.passed())
+        << "primary=" << std::string(info.name) << ": " << describe(r);
+  }
 }
 
 TEST(Oracle, CrashIsResumedThroughTheStore) {

@@ -27,7 +27,7 @@ TEST(Scenario, FullyPopulatedRoundTripsByteExact) {
   s.cfl_growth = 1.05;
   s.cfl_max = 6.5;
   s.steps = 11;
-  s.mode = f3d::SweepMode::kVector;
+  s.engine = f3d::EngineKind::kPlaneVector;
   s.threads = 3;
   s.max_recoveries = 2;
   s.mem_ckpt_every = 3;
@@ -42,7 +42,7 @@ TEST(Scenario, FullyPopulatedRoundTripsByteExact) {
   EXPECT_EQ(back.zones[1].jmax, 11);
   EXPECT_DOUBLE_EQ(back.spacing, s.spacing);
   EXPECT_EQ(back.bc, BcCombo::kKminWall);
-  EXPECT_EQ(back.mode, f3d::SweepMode::kVector);
+  EXPECT_EQ(back.engine, f3d::EngineKind::kPlaneVector);
   EXPECT_EQ(back.fault.specs.size(), 1u);
   EXPECT_EQ(back.fault.seed, 99u);
 }

@@ -66,6 +66,14 @@ TEST(JobSpec, RoundTripsThroughJson) {
   EXPECT_EQ(back->to_json().dump(), spec.to_json().dump());
 }
 
+TEST(JobSpec, AcceptsEveryRegisteredEngineName) {
+  for (const char* name : {"vector", "risc", "simd"}) {
+    const JobSpec spec =
+        parse_spec(std::string(R"({"mode":")") + name + R"("})");
+    EXPECT_EQ(spec.mode, name);
+  }
+}
+
 TEST(JobSpec, RejectsOutOfRangeAndGarbage) {
   EXPECT_NE(spec_error(R"({"case":"sphere"})").find("case"),
             std::string::npos);
@@ -73,6 +81,10 @@ TEST(JobSpec, RejectsOutOfRangeAndGarbage) {
   EXPECT_FALSE(spec_error(R"({"steps":0})").empty());
   EXPECT_FALSE(spec_error(R"({"cfl":-1})").empty());
   EXPECT_FALSE(spec_error(R"({"mode":"cisc"})").empty());
+  // The rejection names the registered engines, so the message tracks the
+  // registry instead of hard-coding a list.
+  EXPECT_NE(spec_error(R"({"mode":"cisc"})").find("vector|risc|simd"),
+            std::string::npos);
   EXPECT_FALSE(spec_error(R"({"priority":11})").empty());
   EXPECT_FALSE(spec_error(R"({"priority":-1})").empty());
   EXPECT_FALSE(spec_error(R"({"threads":-2})").empty());

@@ -1,0 +1,118 @@
+// interleave/deinterleave: the lane transposes under the SIMD pencil
+// kernels. Round trips must be exact (pure copies, no arithmetic) at every
+// count from 1 to W, including strided sources and the replicated-tail
+// policy for partial batches.
+#include "simd/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+constexpr int kW = 4;
+
+TEST(Batch, FullBatchRoundTripIsExact) {
+  const int n = 17;
+  std::vector<std::vector<double>> pencils(kW, std::vector<double>(n));
+  for (int p = 0; p < kW; ++p)
+    for (int i = 0; i < n; ++i) pencils[p][i] = 100.0 * p + i + 0.25;
+
+  const double* srcs[kW];
+  for (int p = 0; p < kW; ++p) srcs[p] = pencils[p].data();
+  std::vector<double> lanes(static_cast<std::size_t>(n) * kW, -1.0);
+  simd::interleave<kW>(srcs, kW, n, lanes.data());
+
+  // Lane layout: element i of pencil p at i*W + p.
+  for (int i = 0; i < n; ++i)
+    for (int p = 0; p < kW; ++p)
+      ASSERT_EQ(lanes[static_cast<std::size_t>(i) * kW + p], pencils[p][i]);
+
+  std::vector<std::vector<double>> back(kW, std::vector<double>(n, 0.0));
+  double* dsts[kW];
+  for (int p = 0; p < kW; ++p) dsts[p] = back[p].data();
+  simd::deinterleave<kW>(lanes.data(), kW, n, dsts);
+  for (int p = 0; p < kW; ++p) EXPECT_EQ(back[p], pencils[p]);
+}
+
+TEST(Batch, OddTailCountsRoundTripAndReplicate) {
+  const int n = 9;
+  for (int count = 1; count < kW; ++count) {
+    std::vector<std::vector<double>> pencils(count, std::vector<double>(n));
+    for (int p = 0; p < count; ++p)
+      for (int i = 0; i < n; ++i) pencils[p][i] = 10.0 * p - i;
+
+    std::vector<const double*> srcs(count);
+    for (int p = 0; p < count; ++p) srcs[p] = pencils[p].data();
+    std::vector<double> lanes(static_cast<std::size_t>(n) * kW, -7.0);
+    simd::interleave<kW>(srcs.data(), count, n, lanes.data());
+
+    // Padding lanes replicate the last real pencil so the kernel always
+    // runs well-conditioned data in every lane.
+    for (int i = 0; i < n; ++i)
+      for (int p = count; p < kW; ++p)
+        ASSERT_EQ(lanes[static_cast<std::size_t>(i) * kW + p],
+                  pencils[count - 1][i])
+            << "count " << count << " i " << i << " lane " << p;
+
+    // Scribble on the padding lanes: deinterleave must never read them.
+    for (int i = 0; i < n; ++i)
+      for (int p = count; p < kW; ++p)
+        lanes[static_cast<std::size_t>(i) * kW + p] = 1e300;
+
+    std::vector<std::vector<double>> back(count, std::vector<double>(n));
+    std::vector<double*> dsts(count);
+    for (int p = 0; p < count; ++p) dsts[p] = back[p].data();
+    simd::deinterleave<kW>(lanes.data(), count, n, dsts.data());
+    for (int p = 0; p < count; ++p)
+      EXPECT_EQ(back[p], pencils[p]) << "count " << count;
+  }
+}
+
+TEST(Batch, StridedSourcesAndDestinations) {
+  // Pencils embedded in a larger array with stride 3 (the shape of a
+  // variable slice inside an interleaved multi-variable buffer).
+  const int n = 6, stride = 3;
+  std::vector<double> host(static_cast<std::size_t>(n) * stride * kW, -1.0);
+  const double* srcs[kW];
+  for (int p = 0; p < kW; ++p) {
+    double* base = host.data() + static_cast<std::size_t>(p) * n * stride;
+    for (int i = 0; i < n; ++i) base[i * stride] = p + 0.1 * i;
+    srcs[p] = base;
+  }
+  std::vector<double> lanes(static_cast<std::size_t>(n) * kW);
+  simd::interleave<kW>(srcs, kW, n, lanes.data(), stride);
+  for (int i = 0; i < n; ++i)
+    for (int p = 0; p < kW; ++p)
+      ASSERT_EQ(lanes[static_cast<std::size_t>(i) * kW + p], p + 0.1 * i);
+
+  std::vector<double> out(host.size(), 0.0);
+  double* dsts[kW];
+  for (int p = 0; p < kW; ++p)
+    dsts[p] = out.data() + static_cast<std::size_t>(p) * n * stride;
+  simd::deinterleave<kW>(lanes.data(), kW, n, dsts, stride);
+  for (int p = 0; p < kW; ++p)
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(dsts[p][i * stride], p + 0.1 * i);
+  // Gaps between strided elements stay untouched.
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(Batch, SingleElementLines) {
+  // n = 1 is legal (degenerate pencils) and must still transpose.
+  const double v0 = 3.5, v1 = -2.0;
+  const double* srcs[2] = {&v0, &v1};
+  double lanes[kW] = {};
+  simd::interleave<kW>(srcs, 2, 1, lanes);
+  EXPECT_EQ(lanes[0], 3.5);
+  EXPECT_EQ(lanes[1], -2.0);
+  EXPECT_EQ(lanes[2], -2.0);  // replicated tail
+  EXPECT_EQ(lanes[3], -2.0);
+  double o0 = 0.0, o1 = 0.0;
+  double* dsts[2] = {&o0, &o1};
+  simd::deinterleave<kW>(lanes, 2, 1, dsts);
+  EXPECT_EQ(o0, 3.5);
+  EXPECT_EQ(o1, -2.0);
+}
+
+}  // namespace

@@ -107,6 +107,54 @@ TEST(TuningDb, ParseRejectsMalformedLines) {
   }
 }
 
+TEST(TuningDb, EngineColumnRoundTrips) {
+  TuningDb db;
+  TunedEntry e;
+  e.config = {Schedule::kStaticBlock, 1, 2};
+  e.seconds = 3.5e-4;
+  e.trials = 2;
+  e.engine = "simd";
+  db.put("engine.sel|b9|hc8-p8", e);
+
+  TuningDb loaded;
+  ASSERT_TRUE(loaded.parse_text(db.to_text()));
+  TunedEntry out;
+  ASSERT_TRUE(loaded.lookup("engine.sel|b9|hc8-p8", &out));
+  EXPECT_EQ(out.engine, "simd");
+  EXPECT_EQ(out.config, e.config);
+  EXPECT_DOUBLE_EQ(out.seconds, e.seconds);
+}
+
+TEST(TuningDb, EnginelessEntriesStayByteStable) {
+  // Entries without an engine serialize exactly as the pre-engine format:
+  // six TAB-separated fields, no trailing column. Old readers keep working.
+  TuningDb db;
+  TunedEntry e;
+  e.config = {Schedule::kDynamic, 2, 4};
+  e.seconds = 1e-3;
+  e.trials = 5;
+  db.put("k|b1|f", e);
+  const std::string text = db.to_text();
+  EXPECT_NE(text.find("k|b1|f\tdynamic\t2\t4\t1.000000000e-03\t5\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(TuningDb, ParsesLegacySixFieldLines) {
+  TuningDb db;
+  ASSERT_TRUE(db.parse_text("k|b1|f\tdynamic\t2\t4\t1e-3\t5\n"));
+  TunedEntry out;
+  ASSERT_TRUE(db.lookup("k|b1|f", &out));
+  EXPECT_TRUE(out.engine.empty());
+}
+
+TEST(TuningDb, RejectsEmptySeventhField) {
+  TuningDb db;
+  std::string error;
+  EXPECT_FALSE(db.parse_text("k|b1|f\tdynamic\t2\t4\t1e-3\t5\t\n", &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(TuningDb, LoadMissingFileFails) {
   TuningDb db;
   std::string error;

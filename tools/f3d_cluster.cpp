@@ -10,7 +10,8 @@
 //     --worker-threads T   llp threads inside each worker     (default: 1)
 //     --cfl C              CFL number                         (default: 2)
 //     --mach M             free-stream Mach number            (default: 2)
-//     --mode risc|vector   sweep engine organization          (default: risc)
+//     --engine vector|risc|simd  sweep engine organization    (default: risc)
+//                          (--mode is a legacy alias)
 //     --ckpt-dir DIR       checkpoint generation root         (required)
 //     --ckpt-every N       generation cadence in steps        (default: 5)
 //     --keep-generations K generations kept                   (default: 3)
@@ -39,6 +40,7 @@
 #include "cluster/coordinator.hpp"
 #include "cluster/worker.hpp"
 #include "f3d/cases.hpp"
+#include "f3d/engine.hpp"
 #include "util/error.hpp"
 #include "util/exit_codes.hpp"
 
@@ -50,7 +52,7 @@ namespace {
       stderr,
       "usage: f3d_cluster --ckpt-dir DIR [--case 1m|59m|cube] [--scale S]\n"
       "  [--n N] [--zones Z] [--steps N] [--workers W] [--worker-threads T]\n"
-      "  [--cfl C] [--mach M] [--mode risc|vector] [--ckpt-every N]\n"
+      "  [--cfl C] [--mach M] [--engine vector|risc|simd] [--ckpt-every N]\n"
       "  [--keep-generations K] [--heartbeat-ms MS] [--heartbeat-misses N]\n"
       "  [--step-deadline-ms MS] [--max-respawns N] [--max-recoveries N]\n"
       "  [--fault SPEC] [--verbose]\n");
@@ -148,11 +150,12 @@ int main(int argc, char** argv) {
       cfg.cfl = parse_double(a, need(i++));
     } else if (a == "--mach") {
       mach = parse_double(a, need(i++));
-    } else if (a == "--mode") {
+    } else if (a == "--mode" || a == "--engine") {
       const std::string m = need(i++);
-      if (m == "risc") cfg.mode = f3d::SweepMode::kRisc;
-      else if (m == "vector") cfg.mode = f3d::SweepMode::kVector;
-      else usage("--mode wants risc or vector, got '" + m + "'");
+      if (!f3d::parse_engine(m, &cfg.engine)) {
+        usage("--engine wants " + f3d::engine_names_usage() + ", got '" + m +
+              "'");
+      }
     } else if (a == "--ckpt-dir") {
       cfg.ckpt_dir = need(i++);
     } else if (a == "--ckpt-every") {

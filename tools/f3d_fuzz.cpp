@@ -25,8 +25,9 @@
 //                        through the oracle stack; exit 1 if any fails
 //
 // Every case runs in-process on its own llp::Runtime through the oracle
-// stack (validation health, dynamic race check, kRisc/kVector
-// differential, kill-and-resume via the durable checkpoint ladder); see
+// stack (validation health, dynamic race check, an all-pairs engine
+// differential across the registry — risc/vector bitwise, FMA engines
+// under simd_diff_tol — kill-and-resume via the checkpoint ladder); see
 // src/fuzz/oracle.hpp. Failures are bucketed by signature, shrunk to a
 // minimal repro, and saved as replayable one-line specs.
 //

@@ -6,7 +6,11 @@
 //     --n N              cube/vortex size                 (default: 24)
 //     --steps N          time steps                       (default: 50)
 //     --cfl X            CFL number                       (default: 2.0)
-//     --mode M           risc | vector                    (default: risc)
+//     --engine E         vector | risc | simd | auto      (default: risc)
+//                        auto probes every registered engine on the actual
+//                        grid and picks the fastest, persisting the choice
+//                        in the tuning DB when LLP_TUNE=1
+//     --mode M           legacy alias for --engine (no auto)
 //     --threads T        loop-level threads               (default: runtime)
 //     --viscous RE       enable thin-layer terms at Re    (default: off)
 //     --wall             slip wall on KMin
@@ -74,6 +78,8 @@
 #include "ckpt/checkpoint.hpp"
 #include "core/llp.hpp"
 #include "f3d/cases.hpp"
+#include "f3d/engine.hpp"
+#include "f3d/engine_select.hpp"
 #include "f3d/forces.hpp"
 #include "f3d/io.hpp"
 #include "f3d/solver.hpp"
@@ -85,6 +91,7 @@
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
 #include "serve/job.hpp"
+#include "tune/tuner.hpp"
 #include "util/exit_codes.hpp"
 #include "util/format.hpp"
 
@@ -95,7 +102,8 @@ namespace {
   std::fprintf(stderr,
                "usage: f3d_run [--case 1m|59m|cube|vortex] [--scale S] "
                "[--n N]\n"
-               "  [--steps N] [--cfl X] [--mode risc|vector] [--threads T]\n"
+               "  [--steps N] [--cfl X] [--engine vector|risc|simd|auto]\n"
+               "  [--mode M] [--threads T]\n"
                "  [--viscous RE] [--wall] [--pulse AMP] [--save F] "
                "[--load F]\n"
                "  [--csv F] [--profile] [--advise P]\n"
@@ -182,7 +190,8 @@ Options parse(int argc, char** argv) {
       o.steps = static_cast<int>(parse_int(a, need(i++), 1, 1 << 24));
     } else if (a == "--cfl") {
       o.cfl = parse_num(a, need(i++), 1e-9, 1e6);
-    } else if (a == "--mode") {
+    } else if (a == "--engine" || a == "--mode") {
+      // --mode is the pre-registry spelling; both set the same option.
       o.mode = need(i++);
     } else if (a == "--threads") {
       o.threads = static_cast<int>(parse_int(a, need(i++), 0, 1 << 12));
@@ -233,7 +242,12 @@ Options parse(int argc, char** argv) {
       usage("unknown option " + a);
     }
   }
-  if (o.mode != "risc" && o.mode != "vector") usage("bad --mode");
+  {
+    f3d::EngineKind parsed;
+    if (o.mode != "auto" && !f3d::parse_engine(o.mode, &parsed)) {
+      usage("bad --engine (want " + f3d::engine_names_usage() + "|auto)");
+    }
+  }
   if (o.case_name != "1m" && o.case_name != "59m" && o.case_name != "cube" &&
       o.case_name != "vortex") {
     usage("unknown --case " + o.case_name);
@@ -316,8 +330,22 @@ int run_main(const Options& o) {
   f3d::SolverConfig cfg;
   cfg.freestream = spec.freestream;
   cfg.cfl = o.cfl;
-  cfg.mode = o.mode == "risc" ? f3d::SweepMode::kRisc : f3d::SweepMode::kVector;
   cfg.region_prefix = "run";
+  std::string engine_label = o.mode;
+  if (o.mode == "auto") {
+    // Probe the registered engines on this grid (reusing a tuning-DB
+    // decision when one matches); LLP_TUNE=1 persists fresh probes.
+    llp::tune::init_from_env();
+    const f3d::EngineChoice choice =
+        f3d::select_engine(grid, cfg, llp::tune::global_tuner());
+    cfg.engine = choice.kind;
+    engine_label = f3d::engine_name(choice.kind);
+    std::printf("engine auto: picked %s (%.3g s/sweep%s)\n",
+                engine_label.c_str(), choice.seconds,
+                choice.from_db ? ", from tuning DB" : "");
+  } else if (!f3d::parse_engine(o.mode, &cfg.engine)) {
+    usage("bad --engine " + o.mode);
+  }
   cfg.recovery.max_recoveries = o.max_recoveries;
   cfg.recovery.checkpoint_every = o.checkpoint_every;
   if (o.viscous_re > 0.0) {
@@ -394,7 +422,7 @@ int run_main(const Options& o) {
   std::printf("f3d_run: case=%s zones=%d points=%zu mode=%s threads=%d "
               "steps=%d cfl=%.2f%s\n",
               o.case_name.c_str(), grid.num_zones(), grid.total_points(),
-              o.mode.c_str(), llp::num_threads(), o.steps, o.cfl,
+              engine_label.c_str(), llp::num_threads(), o.steps, o.cfl,
               o.viscous_re > 0 ? " (viscous)" : "");
 
   // --steps is the run's overall target: a resumed run only covers the
