@@ -7,7 +7,12 @@
 //   * dynamic:  running this binary exits 1, printing the loop-carried
 //               dependence (exact region, lanes, and conflicting index
 //               intervals) and the shared plane scratch the pencil rule
-//               forbids.
+//               forbids;
+//   * affine:   the declared access signatures classify bad.recurrence as
+//               DOACROSS(d=1) and bad.stride_alias — a stride-aliased
+//               write that this binary deliberately runs on ONE thread, so
+//               the dynamic checker never sees it race — as carried too.
+//               Only the static dependence tests catch Bug 4.
 //
 // Everything here is a bug on purpose. Do NOT use as a template; the
 // correct versions of these loops are in examples/quickstart.cpp.
@@ -17,9 +22,39 @@
 #include <vector>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/static/affine.hpp"
+#include "analyze/static/registry.hpp"
 #include "core/access_span.hpp"
 #include "core/doacross.hpp"
 #include "core/parallel_for.hpp"
+
+namespace {
+
+/// Declare the true affine shapes of the seeded loops so the static pass
+/// can judge them without running anything. bad.recurrence's signature is
+/// honest (W a[i], R a[i-1]); bad.stride_alias's is the canary the dynamic
+/// mode cannot reach.
+void declare_bad_signatures(std::int64_t recurrence_trips,
+                            std::int64_t alias_trips) {
+  using llp::analyze::AffineAccess;
+  using llp::analyze::AffineSignature;
+
+  AffineSignature recurrence;
+  recurrence.trips = recurrence_trips;
+  recurrence.accesses.push_back(AffineAccess::write("a", 1, 0));
+  recurrence.accesses.push_back(AffineAccess::read("a", 1, -1));
+  llp::analyze::declare_access("bad.recurrence", std::move(recurrence));
+
+  // W b[2i] overlaps W b[2(i+1)] one iteration later: a carried output
+  // dependence at distance 1 that serial execution hides from the logger.
+  AffineSignature alias;
+  alias.trips = alias_trips;
+  alias.accesses.push_back(AffineAccess::write("b", 2, 0));
+  alias.accesses.push_back(AffineAccess::write("b", 2, 2));
+  llp::analyze::declare_access("bad.stride_alias", std::move(alias));
+}
+
+}  // namespace
 
 int main() {
   // Deterministic lane layout: the seeded conflicts below sit on the
@@ -60,10 +95,46 @@ int main() {
   double* raw = a.data();
   llp::parallel_for(1, kN, [&](std::int64_t i) { raw[i - 1] = raw[i]; });
 
+  // --- Bug 4: a stride-aliased affine write — b[2i] this iteration collides
+  // --- with b[2i+2] written by the PREVIOUS iteration — deliberately run on
+  // --- one thread. One lane means the dynamic checker can never observe a
+  // --- cross-lane conflict, so only the static GCD/Banerjee tests (over the
+  // --- signature declared above) flag this loop: the affine canary.
+  constexpr std::int64_t kM = 1 << 10;
+  std::vector<double> b(static_cast<std::size_t>(2 * kM + 2), 0.0);
+  declare_bad_signatures(kN, kM);
+  llp::doacross(
+      "bad.stride_alias", kM,
+      [&](std::int64_t i, const llp::LaneContext& ctx) {
+        llp::AccessSpan<double> bs(b.data(),
+                                   static_cast<std::int64_t>(b.size()), ctx,
+                                   "b");
+        bs.wr(2 * i) = static_cast<double>(i);
+        bs.wr(2 * i + 2) = static_cast<double>(i) + 0.5;
+      },
+      llp::ForOptions{}.with_threads(1));
+
   auto* logger = llp::analyze::global_logger();
   std::printf("%s", logger->report().c_str());
   std::printf("checksum (racy, do not trust): %g\n", checksum);
 
-  // A demo of bugs has succeeded when the analyzer failed the run.
-  return logger->num_findings() > 0 ? 1 : 0;
+  // The static half of the verdict: classify every declared bad.* region.
+  std::size_t static_flags = 0;
+  for (const auto& row : llp::analyze::classification_table()) {
+    const llp::analyze::StaticVerdict& v = row.verdict;
+    std::printf("static %s: %s\n", row.region.c_str(),
+                v.class_string().c_str());
+    if (!v.parallel_ok()) {
+      ++static_flags;
+      for (const llp::analyze::DepWitness& w : v.witnesses) {
+        std::printf("  carried dep on %s: %s\n", w.array.c_str(),
+                    w.detail.c_str());
+      }
+    }
+  }
+  std::printf("static: %zu region(s) carried a dependence\n", static_flags);
+
+  // A demo of bugs has succeeded when both analyzer modes failed the run:
+  // the dynamic logger on Bugs 1-2, the static classifier on Bugs 1 and 4.
+  return (logger->num_findings() > 0 || static_flags > 0) ? 1 : 0;
 }

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "analyze/static/registry.hpp"
 #include "core/runtime.hpp"
 #include "util/format.hpp"
 
@@ -38,7 +39,22 @@ void AccessLogger::on_event(const Event& event) {
   AccessLog log = std::move(it->second.log);
   active_.erase(it);
   log.arrays = array_names_;
-  for (Finding& f : check(log, config_.check)) {
+  std::vector<Finding> found = check(log, config_.check);
+  if (!found.empty()) {
+    // Cross-validation against the static pass: a region whose declared
+    // affine signature classified DOALL must never race dynamically. If it
+    // did, the static analyzer itself is broken — surface that as its own
+    // finding ahead of the races that prove it.
+    const StaticLegality legality = static_legality(log.region_name);
+    if (legality.declared && legality.verdict.parallel_ok()) {
+      Finding contradiction;
+      contradiction.kind = FindingKind::kStaticContradiction;
+      contradiction.region = log.region_name;
+      contradiction.invocation = log.invocation;
+      found.insert(found.begin(), std::move(contradiction));
+    }
+  }
+  for (Finding& f : found) {
     if (findings_.size() >= config_.max_findings) break;
     findings_.push_back(std::move(f));
   }

@@ -9,11 +9,20 @@ const char* finding_kind_name(FindingKind kind) noexcept {
     case FindingKind::kWriteWrite: return "write-write";
     case FindingKind::kReadWrite: return "read-write";
     case FindingKind::kSharedScratch: return "shared-scratch";
+    case FindingKind::kStaticContradiction: return "static-contradiction";
   }
   return "?";
 }
 
 std::string format_finding(const Finding& f) {
+  if (f.kind == FindingKind::kStaticContradiction) {
+    return strfmt(
+        "static-analyzer contradiction in region %s (invocation %llu): "
+        "declared affine signature classified DOALL but the run raced — "
+        "the static verdict was MORE permissive than the dynamic analysis; "
+        "fix the signature or the dependence engine",
+        f.region.c_str(), static_cast<unsigned long long>(f.invocation));
+  }
   if (f.kind == FindingKind::kSharedScratch) {
     std::string lanes;
     lanes = strfmt("lanes %d and %d", f.lane_a, f.lane_b);

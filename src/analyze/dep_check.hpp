@@ -29,6 +29,11 @@ enum class FindingKind : std::uint8_t {
   kWriteWrite,     ///< two lanes wrote overlapping intervals
   kReadWrite,      ///< one lane wrote what another read
   kSharedScratch,  ///< a plane-sized scratch buffer reachable from >1 lane
+  /// The region's declared affine signature classified DOALL, yet this
+  /// very invocation raced dynamically: the STATIC ANALYZER itself is
+  /// broken (its verdict was more permissive than an observed execution).
+  /// Emitted by AccessLogger alongside the dynamic findings that prove it.
+  kStaticContradiction,
 };
 
 const char* finding_kind_name(FindingKind kind) noexcept;

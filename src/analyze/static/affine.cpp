@@ -1,0 +1,95 @@
+#include "analyze/static/affine.hpp"
+
+#include <limits>
+
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+namespace {
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+}  // namespace
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  if (a > 0 && b > kMax - a) return kMax;
+  if (a < 0 && b < kMin - a) return kMin;
+  return a + b;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > 0 ? (b > 0 ? a > kMax / b : b < kMin / a)
+            : (b > 0 ? a < kMin / b : a != 0 && b < kMax / a)) {
+    return (a > 0) == (b > 0) ? kMax : kMin;
+  }
+  return a * b;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  if (a < 0) a = a == kMin ? kMax : -a;
+  if (b < 0) b = b == kMin ? kMax : -b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t AffineAccess::footprint_min() const noexcept {
+  std::int64_t lo = 0;
+  for (const AffineTerm& t : inner) {
+    if (t.stride >= 0) continue;
+    // Negative stride: most negative at the largest j. Unknown extent
+    // saturates to the unbounded side.
+    lo = t.extent <= 0 ? kMin
+                       : sat_add(lo, sat_mul(t.stride, t.extent - 1));
+  }
+  return lo;
+}
+
+std::int64_t AffineAccess::footprint_max() const noexcept {
+  std::int64_t hi = span >= 1 ? span - 1 : 0;
+  for (const AffineTerm& t : inner) {
+    if (t.stride <= 0) continue;
+    hi = t.extent <= 0 ? kMax
+                       : sat_add(hi, sat_mul(t.stride, t.extent - 1));
+  }
+  return hi;
+}
+
+std::int64_t AffineAccess::variation_gcd() const noexcept {
+  std::int64_t g = span > 1 ? 1 : 0;
+  for (const AffineTerm& t : inner) {
+    if (t.extent == 1) continue;  // a one-trip dim adds nothing
+    g = gcd64(g, t.stride);
+  }
+  return g;
+}
+
+std::string AffineAccess::to_string() const {
+  std::string s = strfmt("%s %s[", is_write() ? "W" : "R", array.c_str());
+  if (stride != 0) {
+    s += strfmt("%lld*i", static_cast<long long>(stride));
+    if (offset != 0) {
+      s += strfmt(" %s %lld", offset > 0 ? "+" : "-",
+                  static_cast<long long>(offset > 0 ? offset : -offset));
+    }
+  } else {
+    s += strfmt("%lld", static_cast<long long>(offset));
+  }
+  for (const AffineTerm& t : inner) {
+    if (t.extent <= 0) {
+      s += strfmt(" + %lld*j?", static_cast<long long>(t.stride));
+    } else {
+      s += strfmt(" + %lld*j<%lld", static_cast<long long>(t.stride),
+                  static_cast<long long>(t.extent));
+    }
+  }
+  if (span > 1) s += strfmt(" ..+%lld", static_cast<long long>(span));
+  s += ']';
+  return s;
+}
+
+}  // namespace llp::analyze

@@ -1,0 +1,105 @@
+// Affine access-pattern IR — the static half of the loop-safety analyzer.
+//
+// PR 5's dynamic checker (dep_check.hpp) proves "this execution raced"
+// after paying to run the loop. The static pass works the other way
+// around: a parallel region *declares*, at registration time, the affine
+// shape of every shared-array access its body will make as a function of
+// the parallel index i, and the dependence engine (dependence.hpp) decides
+// DOALL / DOACROSS(d) / SERIAL before the loop ever runs — the same
+// front-loaded legality question the paper's authors answered by hand for
+// each C$doacross directive (§4).
+//
+// The IR deliberately matches what the instrumented f3d bodies actually
+// log: one parallel dimension (the outer doacross index), an optional
+// contiguous span per access point (a plane slab, a stencil window), and
+// optional sequential inner dimensions with their own strides. The
+// footprint of access A at iteration i is
+//
+//   { offset + stride*i + sum_k inner[k].stride * j_k + e :
+//     0 <= j_k < inner[k].extent, 0 <= e < span }
+//
+// in the same caller-chosen coordinate space the dynamic logger uses
+// (element indices for rhs/update, outer-task coordinates for sweeps —
+// see core/access_hook.hpp). Declaring in the logged coordinate space is
+// what makes the two analyses cross-validatable: a region the static pass
+// classifies DOALL must never produce a dynamic race finding, and the
+// analyzer treats any such contradiction as a hard failure of itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/access_hook.hpp"
+
+namespace llp::analyze {
+
+/// Trip count not known at declaration time; the dependence engine falls
+/// back to conservative (unbounded-domain) Banerjee limits.
+inline constexpr std::int64_t kUnknownTrips = -1;
+
+/// One sequential (non-parallel) loop dimension inside the body:
+/// contributes stride * j for j in [0, extent). Extent <= 0 means the
+/// dimension's extent is unknown; the engine treats it as unbounded.
+struct AffineTerm {
+  std::int64_t stride = 0;
+  std::int64_t extent = 1;
+};
+
+/// One declared access: array name, read/write, and the affine footprint
+/// per parallel iteration (see file comment for the exact element set).
+struct AffineAccess {
+  std::string array;
+  AccessKind kind = AccessKind::kRead;
+  std::int64_t offset = 0;  ///< element index at i = 0, all inner j = 0
+  std::int64_t stride = 0;  ///< coefficient of the parallel index i
+  std::int64_t span = 1;    ///< contiguous [f, f+span) per access point
+  std::vector<AffineTerm> inner;
+
+  bool is_write() const noexcept { return kind == AccessKind::kWrite; }
+
+  /// Smallest / largest displacement the inner dims + span can add to
+  /// offset + stride*i (inclusive bounds of the per-iteration footprint,
+  /// relative to stride*i). Unknown inner extents saturate the bound.
+  std::int64_t footprint_min() const noexcept;
+  std::int64_t footprint_max() const noexcept;
+
+  /// gcd of every non-parallel coefficient that can vary the element index
+  /// within one iteration (inner strides; 1 when span > 1). 0 when the
+  /// footprint is a single fixed element per iteration.
+  std::int64_t variation_gcd() const noexcept;
+
+  /// "W rhs[4096*i + 1024 ..+4096)" — one line for tables and witnesses.
+  std::string to_string() const;
+
+  // Fluent builders keep call sites one expression per access.
+  static AffineAccess read(std::string array, std::int64_t stride,
+                           std::int64_t offset = 0, std::int64_t span = 1) {
+    return AffineAccess{std::move(array), AccessKind::kRead, offset, stride,
+                        span, {}};
+  }
+  static AffineAccess write(std::string array, std::int64_t stride,
+                            std::int64_t offset = 0, std::int64_t span = 1) {
+    return AffineAccess{std::move(array), AccessKind::kWrite, offset, stride,
+                        span, {}};
+  }
+  AffineAccess& with_inner(std::int64_t stride_, std::int64_t extent_) {
+    inner.push_back(AffineTerm{stride_, extent_});
+    return *this;
+  }
+};
+
+/// The declared access shape of one parallel region.
+struct AffineSignature {
+  /// Parallel-loop trip count as declared (kUnknownTrips = symbolic; the
+  /// engine then proves independence for *all* trip counts or not at all).
+  std::int64_t trips = kUnknownTrips;
+  std::vector<AffineAccess> accesses;
+};
+
+/// Overflow-safe helpers shared by the dependence engine and tests.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept;
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;
+
+}  // namespace llp::analyze

@@ -1,0 +1,369 @@
+#include "analyze/static/dependence.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/format.hpp"
+
+namespace llp::analyze {
+
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t sat_neg(std::int64_t a) noexcept {
+  if (a == kMin) return kMax;
+  if (a == kMax) return kMin;
+  return -a;
+}
+
+std::int64_t sat_sub(std::int64_t a, std::int64_t b) noexcept {
+  return sat_add(a, sat_neg(b));
+}
+
+// Floor/ceil division for b != 0 (C++ '/' truncates toward zero).
+std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+// a normalized into [0, m) for m > 0.
+std::int64_t mod_norm(std::int64_t a, std::int64_t m) noexcept {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+std::int64_t mul_mod(std::int64_t a, std::int64_t b,
+                     std::int64_t m) noexcept {
+  return static_cast<std::int64_t>(
+      static_cast<__int128>(a) * static_cast<__int128>(b) % m);
+}
+
+// Inverse of a modulo m (gcd(a, m) == 1, m >= 1), via extended Euclid.
+std::int64_t mod_inverse(std::int64_t a, std::int64_t m) noexcept {
+  std::int64_t r0 = m, r1 = mod_norm(a, m), t0 = 0, t1 = 1;
+  while (r1 != 0) {
+    const std::int64_t q = r0 / r1;
+    const std::int64_t r2 = r0 - q * r1;
+    const std::int64_t t2 = t0 - q * t1;
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t1 = t2;
+  }
+  return mod_norm(t0, m);
+}
+
+// Smallest d in [lo, hi] with d === d0 (mod m); false when none.
+bool first_in(std::int64_t lo, std::int64_t hi, std::int64_t d0,
+              std::int64_t m, std::int64_t* out) noexcept {
+  if (lo > hi) return false;
+  const std::int64_t d = sat_add(lo, mod_norm(d0 - lo, m));
+  if (d > hi) return false;
+  *out = d;
+  return true;
+}
+
+// Largest d in [lo, hi] with d === d0 (mod m); false when none.
+bool last_in(std::int64_t lo, std::int64_t hi, std::int64_t d0,
+             std::int64_t m, std::int64_t* out) noexcept {
+  if (lo > hi) return false;
+  const std::int64_t d = sat_sub(hi, mod_norm(hi - d0, m));
+  if (d < lo) return false;
+  *out = d;
+  return true;
+}
+
+bool trips_known(std::int64_t trips) noexcept { return trips >= 0; }
+
+}  // namespace
+
+const char* dep_test_name(DepTest test) noexcept {
+  switch (test) {
+    case DepTest::kNone: return "none";
+    case DepTest::kGcd: return "gcd";
+    case DepTest::kBanerjee: return "banerjee";
+  }
+  return "?";
+}
+
+const char* loop_class_name(LoopClass cls) noexcept {
+  switch (cls) {
+    case LoopClass::kDoall: return "DOALL";
+    case LoopClass::kDoacross: return "DOACROSS";
+    case LoopClass::kSerial: return "SERIAL";
+  }
+  return "?";
+}
+
+std::string DirectionSet::to_string() const {
+  if (lt && eq && gt) return "(*)";
+  std::string s = "(";
+  if (lt) s += '<';
+  if (eq) s += '=';
+  if (gt) s += '>';
+  s += ')';
+  return s;
+}
+
+bool DirectionSet::parse(std::string_view text, DirectionSet* out) {
+  if (text.size() < 2 || text.front() != '(' || text.back() != ')') {
+    return false;
+  }
+  DirectionSet d;
+  for (const char ch : text.substr(1, text.size() - 2)) {
+    switch (ch) {
+      case '<':
+        if (d.lt) return false;
+        d.lt = true;
+        break;
+      case '=':
+        if (d.eq) return false;
+        d.eq = true;
+        break;
+      case '>':
+        if (d.gt) return false;
+        d.gt = true;
+        break;
+      case '*':
+        if (d.lt || d.eq || d.gt) return false;
+        d.lt = d.eq = d.gt = true;
+        break;
+      default:
+        return false;
+    }
+  }
+  *out = d;
+  return true;
+}
+
+PairDep analyze_pair(const AffineAccess& a, const AffineAccess& b,
+                     std::int64_t trips) {
+  PairDep out;
+  // A loop of 0 or 1 iterations cannot carry a dependence across
+  // iterations (the Banerjee domain bound, degenerate form).
+  if (trips == 0 || trips == 1) {
+    out.proof = DepTest::kBanerjee;
+    return out;
+  }
+
+  const std::int64_t sa = a.stride, sb = b.stride;
+  const std::int64_t fmin_a = a.footprint_min(), fmax_a = a.footprint_max();
+  const std::int64_t fmin_b = b.footprint_min(), fmax_b = b.footprint_max();
+  const bool v_unbounded = fmin_a == kMin || fmax_a == kMax ||
+                           fmin_b == kMin || fmax_b == kMax;
+  // Achievable v = v_a - v_b: interval [lo_v, hi_v] intersected with the
+  // residue class v === c (mod g); g == 0 means v is exactly c.
+  const std::int64_t lo_v =
+      sat_sub(sat_add(a.offset, fmin_a), sat_add(b.offset, fmax_b));
+  const std::int64_t hi_v =
+      sat_sub(sat_add(a.offset, fmax_a), sat_add(b.offset, fmin_b));
+  const std::int64_t g = gcd64(a.variation_gcd(), b.variation_gcd());
+  const std::int64_t c = sat_sub(a.offset, b.offset);
+
+  if (sa == sb) {
+    const std::int64_t s = sa;
+    if (s == 0) {
+      // Iteration-invariant footprints: every iteration touches the same
+      // elements, so any overlap recurs at every distance.
+      if (g == 0 ? c != 0 : mod_norm(c, g) != 0) {
+        out.proof = DepTest::kGcd;
+        return out;
+      }
+      if (!v_unbounded && (lo_v > 0 || hi_v < 0)) {
+        out.proof = DepTest::kBanerjee;
+        return out;
+      }
+      out.carried = true;
+      out.intra = true;
+      out.bounded = trips_known(trips);
+      out.min_distance = 1;
+      out.max_distance = out.bounded ? trips - 1 : 0;
+      out.direction = DirectionSet{true, true, true};
+      return out;
+    }
+
+    // Equal nonzero strides: the dependence equation collapses to
+    // s*d == v, giving an exact integer distance range.
+    if (g == 0) {
+      if (c % s != 0) {
+        out.proof = DepTest::kGcd;
+        return out;
+      }
+      const std::int64_t d = c / s;
+      if (d == 0) {
+        out.intra = true;  // same-iteration only: not loop-carried
+        return out;
+      }
+      if (trips_known(trips) && (d >= trips || d <= -trips)) {
+        out.proof = DepTest::kBanerjee;
+        return out;
+      }
+      out.carried = true;
+      out.bounded = true;
+      out.min_distance = out.max_distance = d < 0 ? -d : d;
+      out.direction.lt = d > 0;
+      out.direction.gt = d < 0;
+      return out;
+    }
+
+    // g > 0: s*d must hit the residue class c (mod g).
+    const std::int64_t e = gcd64(s, g);
+    if (mod_norm(c, e) != 0) {
+      out.proof = DepTest::kGcd;
+      return out;
+    }
+    const std::int64_t m = g / e;  // d === d0 (mod m)
+    std::int64_t d0 = 0;
+    if (m > 1) {
+      d0 = mul_mod(mod_inverse(mod_norm(s / e, m), m),
+                   mod_norm(floor_div(c, e), m), m);
+    }
+    std::int64_t dlo, dhi;
+    if (v_unbounded) {
+      if (!trips_known(trips)) {
+        out.carried = true;
+        out.bounded = false;
+        out.intra = mod_norm(-d0, m) == 0;
+        out.direction = DirectionSet{true, out.intra, true};
+        return out;
+      }
+      dlo = -(trips - 1);
+      dhi = trips - 1;
+    } else {
+      dlo = s > 0 ? ceil_div(lo_v, s) : ceil_div(hi_v, s);
+      dhi = s > 0 ? floor_div(hi_v, s) : floor_div(lo_v, s);
+      if (trips_known(trips)) {
+        dlo = std::max(dlo, -(trips - 1));
+        dhi = std::min(dhi, trips - 1);
+      }
+    }
+    if (dlo > dhi) {
+      out.proof = DepTest::kBanerjee;
+      return out;
+    }
+    out.intra = dlo <= 0 && 0 <= dhi && mod_norm(-d0, m) == 0;
+    std::int64_t dpos = 0, dneg = 0;
+    const bool has_pos =
+        first_in(std::max<std::int64_t>(dlo, 1), dhi, d0, m, &dpos);
+    const bool has_neg =
+        last_in(dlo, std::min<std::int64_t>(dhi, -1), d0, m, &dneg);
+    if (!has_pos && !has_neg) {
+      if (!out.intra) out.proof = DepTest::kBanerjee;
+      return out;
+    }
+    out.carried = true;
+    out.bounded = true;
+    out.direction = DirectionSet{has_pos, out.intra, has_neg};
+    std::int64_t mind = kMax, maxd = 0;
+    if (has_pos) {
+      std::int64_t pmax = dpos;
+      last_in(std::max<std::int64_t>(dlo, 1), dhi, d0, m, &pmax);
+      mind = std::min(mind, dpos);
+      maxd = std::max(maxd, pmax);
+    }
+    if (has_neg) {
+      std::int64_t nmin = dneg;
+      first_in(dlo, std::min<std::int64_t>(dhi, -1), d0, m, &nmin);
+      mind = std::min(mind, -dneg);
+      maxd = std::max(maxd, -nmin);
+    }
+    out.min_distance = mind;
+    out.max_distance = maxd;
+    return out;
+  }
+
+  // Unequal parallel strides: sa*i - sb*i' == -v. GCD over every
+  // coefficient of the full Diophantine equation first.
+  const std::int64_t big_g = gcd64(gcd64(sa, sb), g);  // >= 1: sa != sb
+  if (mod_norm(c, big_g) != 0) {
+    out.proof = DepTest::kGcd;
+    return out;
+  }
+  if (trips_known(trips) && !v_unbounded) {
+    // Banerjee extreme-value bound of h = sa*i - sb*i' over the domain.
+    const std::int64_t t1 = trips - 1;
+    const std::int64_t hmin = sat_sub(sa < 0 ? sat_mul(sa, t1) : 0,
+                                      sb > 0 ? sat_mul(sb, t1) : 0);
+    const std::int64_t hmax = sat_sub(sa > 0 ? sat_mul(sa, t1) : 0,
+                                      sb < 0 ? sat_mul(sb, t1) : 0);
+    if (hmax < sat_neg(hi_v) || hmin > sat_neg(lo_v)) {
+      out.proof = DepTest::kBanerjee;
+      return out;
+    }
+  }
+  // A dependence may exist at an iteration-dependent distance: no single
+  // pipelining lag covers it, so the pair is unbounded (SERIAL-grade).
+  out.carried = true;
+  out.intra = true;
+  out.bounded = false;
+  out.direction = DirectionSet{true, true, true};
+  return out;
+}
+
+std::string StaticVerdict::class_string() const {
+  if (cls == LoopClass::kDoacross) {
+    return strfmt("DOACROSS(d=%lld)", static_cast<long long>(min_distance));
+  }
+  return loop_class_name(cls);
+}
+
+StaticVerdict classify(const AffineSignature& sig) {
+  StaticVerdict verdict;
+  const std::vector<AffineAccess>& acc = sig.accesses;
+  std::int64_t min_carried = kMax;
+  bool any_unbounded = false;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    for (std::size_t j = i; j < acc.size(); ++j) {
+      if (acc[i].array != acc[j].array) continue;
+      if (!acc[i].is_write() && !acc[j].is_write()) continue;
+      ++verdict.pairs_checked;
+      const PairDep dep = analyze_pair(acc[i], acc[j], sig.trips);
+      if (!dep.carried) {
+        if (dep.proof == DepTest::kGcd) ++verdict.gcd_independent;
+        if (dep.proof == DepTest::kBanerjee) ++verdict.banerjee_independent;
+        continue;
+      }
+      DepWitness w;
+      w.access_a = i;
+      w.access_b = j;
+      w.array = acc[i].array;
+      w.dep = dep;
+      if (dep.bounded) {
+        w.detail = strfmt(
+            "%s vs %s: distance [%lld..%lld], dir %s",
+            acc[i].to_string().c_str(), acc[j].to_string().c_str(),
+            static_cast<long long>(dep.min_distance),
+            static_cast<long long>(dep.max_distance),
+            dep.direction.to_string().c_str());
+        min_carried = std::min(min_carried, dep.min_distance);
+      } else {
+        w.detail = strfmt("%s vs %s: unbounded distance, dir %s",
+                          acc[i].to_string().c_str(),
+                          acc[j].to_string().c_str(),
+                          dep.direction.to_string().c_str());
+        any_unbounded = true;
+      }
+      verdict.witnesses.push_back(std::move(w));
+    }
+  }
+  if (verdict.witnesses.empty()) {
+    verdict.cls = LoopClass::kDoall;
+  } else if (any_unbounded) {
+    verdict.cls = LoopClass::kSerial;
+  } else {
+    verdict.cls = LoopClass::kDoacross;
+    verdict.min_distance = min_carried;
+  }
+  return verdict;
+}
+
+}  // namespace llp::analyze

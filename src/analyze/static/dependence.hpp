@@ -1,0 +1,117 @@
+// Static dependence engine over the affine IR: GCD + Banerjee tests,
+// direction/distance vectors, DOALL / DOACROSS(d) / SERIAL classification.
+//
+// For an ordered pair of accesses A (source, iteration i) and B (sink,
+// iteration i' = i + d) on the same array, a dependence at distance d != 0
+// requires integers in the declared footprints with
+//
+//   stride_A*i + v_A  ==  stride_B*i' + v_B,
+//
+// where v_X ranges over X's per-iteration footprint (offset + inner dims +
+// span). The engine works on the difference v = v_A - v_B, whose achievable
+// values it over-approximates by an interval [lo, hi] plus a residue class
+// v === offset_A - offset_B (mod g) — g the gcd of both footprints'
+// variation strides. Over-approximating v keeps the engine SOUND in the
+// direction that matters: it may report a dependence that cannot happen,
+// but it never reports independence when a dependence exists. The
+// cross-validation oracle against the dynamic checker (registry.hpp)
+// enforces exactly that contract at runtime.
+//
+//   * GCD test — the residue class admits no solution of the dependence
+//     equation (classic: gcd of the coefficients does not divide the
+//     constant term).
+//   * Banerjee test — the extreme values of the dependence equation over
+//     the iteration domain [0, trips) exclude every admissible v (range
+//     test; with symbolic trips the domain is unbounded and the test can
+//     only exclude via the v-interval itself).
+//
+// Equal parallel strides give an exact integer distance range; unequal
+// strides with a surviving dependence give an unbounded distance, which
+// classifies the region SERIAL (no pipelining schedule is legal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/static/affine.hpp"
+
+namespace llp::analyze {
+
+/// Which test proved an access pair independent.
+enum class DepTest : std::uint8_t { kNone, kGcd, kBanerjee };
+const char* dep_test_name(DepTest test) noexcept;
+
+enum class LoopClass : std::uint8_t { kDoall, kDoacross, kSerial };
+const char* loop_class_name(LoopClass cls) noexcept;
+
+/// The set of dependence directions a pair admits in the parallel dim:
+/// '<' (sink at a later iteration), '=' (same iteration), '>' (earlier).
+struct DirectionSet {
+  bool lt = false;
+  bool eq = false;
+  bool gt = false;
+
+  /// "(<)", "(<=)", "(=)", "(<>)", "(*)" — "()" when empty. "(<=)" means
+  /// {<, =}; all three print as "(*)".
+  std::string to_string() const;
+  /// Inverse of to_string (accepts any order of '<', '=', '>', or '*').
+  /// Returns false on malformed input.
+  static bool parse(std::string_view text, DirectionSet* out);
+
+  bool operator==(const DirectionSet& o) const noexcept {
+    return lt == o.lt && eq == o.eq && gt == o.gt;
+  }
+};
+
+/// Dependence analysis of one ordered access pair.
+struct PairDep {
+  bool carried = false;  ///< a loop-carried (d != 0) dependence may exist
+  bool intra = false;    ///< a same-iteration (d == 0) overlap may exist
+  /// Valid when carried: is the distance set finite with known bounds?
+  bool bounded = false;
+  std::int64_t min_distance = 0;  ///< carried && bounded: smallest |d|
+  std::int64_t max_distance = 0;  ///< carried && bounded: largest |d|
+  DirectionSet direction;
+  DepTest proof = DepTest::kNone;  ///< valid when !carried && !intra
+};
+
+/// Analyze source A against sink B over a parallel loop of `trips`
+/// iterations (kUnknownTrips = symbolic bound, conservative fallback).
+/// The pair is assumed same-array with at least one write; callers filter.
+PairDep analyze_pair(const AffineAccess& a, const AffineAccess& b,
+                     std::int64_t trips);
+
+/// One surviving (carried) dependence, with the evidence llp_check prints.
+struct DepWitness {
+  std::size_t access_a = 0;  ///< indices into AffineSignature::accesses
+  std::size_t access_b = 0;
+  std::string array;
+  PairDep dep;
+  std::string detail;  ///< "W a[2*i] vs W a[2*i + 2]: distance 1, dir (<)"
+};
+
+/// The classification of one declared region.
+struct StaticVerdict {
+  LoopClass cls = LoopClass::kDoall;
+  /// kDoacross: the smallest carried distance across all witnesses — the
+  /// minimum pipelining lag a legal DOACROSS schedule must respect.
+  std::int64_t min_distance = 0;
+  std::vector<DepWitness> witnesses;  ///< every surviving carried pair
+  std::size_t pairs_checked = 0;
+  std::size_t gcd_independent = 0;       ///< pairs the GCD test cleared
+  std::size_t banerjee_independent = 0;  ///< pairs Banerjee cleared
+
+  bool parallel_ok() const noexcept { return cls == LoopClass::kDoall; }
+  /// "DOALL" | "DOACROSS(d=1)" | "SERIAL".
+  std::string class_string() const;
+};
+
+/// Classify a region from its declared signature: every same-array pair
+/// with at least one write (including an access against itself — a span
+/// or inner dim can collide with the next iteration) is run through
+/// analyze_pair and the surviving carried dependences decide the class.
+StaticVerdict classify(const AffineSignature& sig);
+
+}  // namespace llp::analyze

@@ -1,0 +1,100 @@
+#include "analyze/static/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace llp::analyze {
+
+namespace {
+
+struct SignatureStore {
+  std::mutex mu;
+  // std::map: stable iteration order gives a deterministic table, and
+  // heterogeneous lookup avoids a temporary string on the hot query path.
+  std::map<std::string, AffineSignature, std::less<>> signatures;
+};
+
+SignatureStore& store() {
+  static SignatureStore* s = new SignatureStore();  // leaked: outlives exit
+  return *s;
+}
+
+}  // namespace
+
+void declare_access(std::string_view region, AffineSignature signature) {
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.signatures.find(region);
+  if (it == s.signatures.end()) {
+    s.signatures.emplace(std::string(region), std::move(signature));
+  } else {
+    it->second = std::move(signature);
+  }
+}
+
+bool declare_access_if_absent(std::string_view region,
+                              AffineSignature signature) {
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.signatures.find(region) != s.signatures.end()) return false;
+  s.signatures.emplace(std::string(region), std::move(signature));
+  return true;
+}
+
+bool find_signature(std::string_view region, AffineSignature* out) {
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.signatures.find(region);
+  if (it == s.signatures.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+StaticLegality static_legality(std::string_view region, std::int64_t trips) {
+  AffineSignature sig;
+  if (!find_signature(region, &sig)) return StaticLegality{};
+  StaticLegality legality;
+  legality.declared = true;
+  // A declared concrete trip count wins; a symbolic declaration picks up
+  // the caller's observed trips so Banerjee gets a real domain bound.
+  if (sig.trips == kUnknownTrips && trips >= 0) sig.trips = trips;
+  legality.verdict = classify(sig);
+  return legality;
+}
+
+std::vector<ClassifiedRegion> classification_table() {
+  std::vector<ClassifiedRegion> table;
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  table.reserve(s.signatures.size());
+  for (const auto& [name, sig] : s.signatures) {
+    ClassifiedRegion row;
+    row.region = name;
+    row.signature = sig;
+    row.verdict = classify(sig);
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string legal_schedules_string(const StaticVerdict& verdict) {
+  if (verdict.parallel_ok()) {
+    return "static_block static_chunked dynamic guided";
+  }
+  return "serial only";
+}
+
+std::size_t num_declared() {
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.signatures.size();
+}
+
+void clear_declarations() {
+  SignatureStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.signatures.clear();
+}
+
+}  // namespace llp::analyze

@@ -1,0 +1,86 @@
+// Process-global registry of declared affine signatures, keyed by region
+// NAME (RegionIds are dense per-Runtime handles; names are the stable
+// cross-runtime identity, the same key TuningDb uses).
+//
+// Three consumers:
+//
+//   * Tuner::state_for consults static_legality() before building a
+//     candidate set: a region whose declared signature classifies
+//     DOACROSS/SERIAL gets exactly one serial arm — the illegal
+//     schedule x thread configs are pruned before a single sample runs.
+//   * f3d::select_engine skips probing engines whose parallel outer loop
+//     a non-DOALL sweep signature forbids.
+//   * The dynamic checker cross-validates: a region declared and
+//     classified DOALL that nevertheless produces a dynamic race finding
+//     is a hard failure OF THE ANALYZER (FindingKind::kStaticContradiction,
+//     fuzz OracleId::kStaticCross) — the static pass promised too much.
+//
+// Undeclared regions are unconstrained: legality defaults to "parallel
+// ok", exactly the pre-PR-10 behavior. Declaring is opt-in per region.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/static/dependence.hpp"
+
+namespace llp::analyze {
+
+/// The static pass's answer to "may this region run in parallel?".
+struct StaticLegality {
+  bool declared = false;  ///< false: no signature, no constraint
+  StaticVerdict verdict;  ///< valid when declared
+
+  /// Parallel execution (any multi-thread schedule) is statically legal.
+  /// Undeclared regions stay legal — the static pass only ever removes
+  /// configurations, never invents permission the default didn't have.
+  bool parallel_ok() const noexcept {
+    return !declared || verdict.parallel_ok();
+  }
+};
+
+/// One row of the classification table (llp_check deps).
+struct ClassifiedRegion {
+  std::string region;
+  AffineSignature signature;
+  StaticVerdict verdict;
+};
+
+/// Declare (or replace) the affine signature of a region. Re-declaring is
+/// normal: each Solver instance re-derives signatures from its own zone
+/// dimensions, and the latest declaration wins.
+void declare_access(std::string_view region, AffineSignature signature);
+
+/// Declare only if no signature exists yet — probe paths use this so a
+/// more specific declaration (a test's, a solver's) is never clobbered.
+bool declare_access_if_absent(std::string_view region,
+                              AffineSignature signature);
+
+/// Fetch a declared signature by region name. Returns false when the
+/// region never declared one (out is untouched).
+bool find_signature(std::string_view region, AffineSignature* out);
+
+/// Classify `region`'s declared signature. `trips` (the observed trip
+/// count, kUnknownTrips if the caller has none) refines a signature that
+/// declared symbolic trips; a declared concrete trip count wins.
+StaticLegality static_legality(std::string_view region,
+                               std::int64_t trips = kUnknownTrips);
+
+/// Every declared region with its verdict, sorted by name.
+std::vector<ClassifiedRegion> classification_table();
+
+/// Schedules legal under a verdict, for tables: DOALL admits every
+/// schedule; anything else only serial execution (the runtime has no
+/// cross-iteration synchronization, so DOACROSS(d) cannot yet be run
+/// pipelined — it is reported, not scheduled).
+std::string legal_schedules_string(const StaticVerdict& verdict);
+
+/// Number of declared regions (bench/tests).
+std::size_t num_declared();
+
+/// Drop every declaration (tests; process-global state).
+void clear_declarations();
+
+}  // namespace llp::analyze

@@ -5,7 +5,9 @@
 #include <limits>
 #include <string>
 
+#include "analyze/static/registry.hpp"
 #include "core/runtime.hpp"
+#include "f3d/signatures.hpp"
 #include "tune/candidates.hpp"
 #include "tune/tuner.hpp"
 #include "util/error.hpp"
@@ -13,6 +15,21 @@
 namespace f3d {
 
 namespace {
+
+// Static legality gate for the engine axis: an engine that runs the sweep
+// regions as parallel outer loops is only eligible when every sweep
+// signature classifies DOALL. Signatures are declared if_absent first, so
+// a caller (or test) that declared a stricter pattern wins over the
+// default derivation — exactly how an illegal engine config gets pruned
+// before a single probe sweep is paid for.
+bool parallel_sweeps_legal(const MultiZoneGrid& grid,
+                           const SolverConfig& config) {
+  declare_region_signatures(grid, config, /*overwrite=*/false);
+  for (const std::string& region : sweep_region_names(grid, config)) {
+    if (!llp::analyze::static_legality(region).parallel_ok()) return false;
+  }
+  return true;
+}
 
 // Deterministic, cheap, non-trivial rhs payload for the probe sweep: the
 // same bytes every call, so probe timings across runs measure the engine,
@@ -80,7 +97,12 @@ EngineChoice select_engine(const MultiZoneGrid& grid,
 
   EngineChoice best;
   best.seconds = std::numeric_limits<double>::infinity();
+  const bool parallel_ok = parallel_sweeps_legal(grid, config);
   for (const EngineInfo& info : engines()) {
+    // Statically illegal engine x schedule config: never probed. The
+    // serial plane-buffer engine (parallel_outer == false) stays legal
+    // under any verdict, so the candidate set is never empty.
+    if (info.parallel_outer && !parallel_ok) continue;
     const llp::RegionId region = rt.regions().define(
         "engine_select.probe." + std::string(info.name),
         info.parallel_outer ? llp::RegionKind::kParallelLoop

@@ -1,0 +1,92 @@
+#include "f3d/signatures.hpp"
+
+#include "analyze/static/registry.hpp"
+#include "f3d/gas.hpp"
+
+namespace f3d {
+
+namespace {
+
+using llp::analyze::AffineAccess;
+using llp::analyze::AffineSignature;
+
+// Ghosted L-plane stride of a zone's (n,j,k,l) storage — identical for
+// zone.q and its matching rhs array (same padded dims by construction).
+std::int64_t plane_stride(const Zone& zone) {
+  return static_cast<std::int64_t>(kNumVars) *
+         (zone.jmax() + 2 * Zone::kGhost) * (zone.kmax() + 2 * Zone::kGhost);
+}
+
+std::string zone_base(const SolverConfig& config, int z) {
+  const std::string pre =
+      config.region_prefix.empty() ? "" : config.region_prefix + ".";
+  return pre + "z" + std::to_string(z) + ".";
+}
+
+}  // namespace
+
+AffineSignature rhs_region_signature(const Zone& zone) {
+  const std::int64_t plane = plane_stride(zone);
+  AffineSignature sig;
+  sig.trips = zone.lmax();
+  // Task l reads the stencil's ghost slab [l, l + 2*kGhost] of zone.q …
+  sig.accesses.push_back(AffineAccess::read(
+      "zone.q", plane, 0, (2 * Zone::kGhost + 1) * plane));
+  // … and writes exactly its own interior rhs plane l + kGhost.
+  sig.accesses.push_back(
+      AffineAccess::write("rhs", plane, Zone::kGhost * plane, plane));
+  return sig;
+}
+
+AffineSignature update_region_signature(const Zone& zone) {
+  const std::int64_t plane = plane_stride(zone);
+  AffineSignature sig;
+  sig.trips = zone.lmax();
+  sig.accesses.push_back(AffineAccess::write(
+      "zone.q", plane, Zone::kGhost * plane, plane));
+  sig.accesses.push_back(AffineAccess::read(
+      "rhs", plane, Zone::kGhost * plane, plane));
+  return sig;
+}
+
+AffineSignature sweep_region_signature() {
+  AffineSignature sig;  // trips symbolic: batching is engine-dependent
+  sig.accesses.push_back(AffineAccess::read("zone.q", 1));
+  sig.accesses.push_back(AffineAccess::write("rhs", 1));
+  return sig;
+}
+
+std::vector<std::string> sweep_region_names(const MultiZoneGrid& grid,
+                                            const SolverConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(grid.num_zones()) * 3);
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    const std::string base = zone_base(config, z);
+    names.push_back(base + "sweep_j");
+    names.push_back(base + "sweep_k");
+    names.push_back(base + "sweep_l");
+  }
+  return names;
+}
+
+void declare_region_signatures(const MultiZoneGrid& grid,
+                               const SolverConfig& config, bool overwrite) {
+  auto put = [overwrite](const std::string& region, AffineSignature sig) {
+    if (overwrite) {
+      llp::analyze::declare_access(region, std::move(sig));
+    } else {
+      llp::analyze::declare_access_if_absent(region, std::move(sig));
+    }
+  };
+  for (int z = 0; z < grid.num_zones(); ++z) {
+    const Zone& zone = grid.zone(z);
+    const std::string base = zone_base(config, z);
+    put(base + "rhs", rhs_region_signature(zone));
+    put(base + "sweep_j", sweep_region_signature());
+    put(base + "sweep_k", sweep_region_signature());
+    put(base + "sweep_l", sweep_region_signature());
+    put(base + "update", update_region_signature(zone));
+  }
+}
+
+}  // namespace f3d

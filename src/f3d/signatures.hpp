@@ -1,0 +1,54 @@
+// Affine access signatures of the f3d hot regions, declared to the static
+// dependence analyzer (analyze/static/) in the SAME coordinate space the
+// dynamic logger records (core/access_hook.hpp):
+//
+//   * rhs / update — element coordinates of the zone's ghosted (n,j,k,l)
+//     storage. One parallel task per interior L plane: the rhs task reads
+//     the 2*kGhost+1 ghost-slab around its plane and writes exactly its
+//     own rhs plane; the update task read-modify-writes its q plane from
+//     its rhs plane. Plane strides make these exact affine accesses, and
+//     the engine proves the ghost-slab reads never collide with any write
+//     (reads may overlap freely) — DOALL.
+//   * sweep_j/k/l — outer-task coordinates (one index per pencil batch):
+//     stride-1, span-1 read of zone.q and write of rhs. Trivially DOALL;
+//     the per-lane tridiag pencils and sweep_common projections live in
+//     note_scratch'd workspaces the pencil rule polices dynamically.
+//
+// Keeping declaration in lockstep with what the bodies log is the
+// soundness contract: the cross-validation oracle (static DOALL must
+// never race dynamically) checks the pair on every analyzed run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/static/affine.hpp"
+#include "f3d/multizone.hpp"
+#include "f3d/solver.hpp"
+
+namespace f3d {
+
+/// Signature of z<i>.rhs for one zone (trips = lmax).
+llp::analyze::AffineSignature rhs_region_signature(const Zone& zone);
+
+/// Signature of z<i>.update for one zone (trips = lmax).
+llp::analyze::AffineSignature update_region_signature(const Zone& zone);
+
+/// Signature of z<i>.sweep_{j,k,l} (outer-task coordinates; the pencil
+/// batch count is engine-dependent, so trips stays symbolic — the verdict
+/// must hold for every batching).
+llp::analyze::AffineSignature sweep_region_signature();
+
+/// Region names the solver will register for `grid` under `config`'s
+/// prefix, sweep regions only (what select_engine checks for legality).
+std::vector<std::string> sweep_region_names(const MultiZoneGrid& grid,
+                                            const SolverConfig& config);
+
+/// Declare every hot-region signature for `grid` under `config`'s prefix.
+/// overwrite=true (Solver::define_regions) re-derives from this grid's
+/// dimensions and wins; overwrite=false (select_engine's probe path)
+/// yields to any existing declaration.
+void declare_region_signatures(const MultiZoneGrid& grid,
+                               const SolverConfig& config, bool overwrite);
+
+}  // namespace f3d

@@ -9,6 +9,7 @@
 #include "core/runtime.hpp"
 #include "f3d/engine.hpp"
 #include "f3d/io.hpp"
+#include "f3d/signatures.hpp"
 #include "f3d/validation.hpp"
 #include "obs/obs.hpp"
 #include "tune/tuner.hpp"
@@ -105,6 +106,11 @@ void Solver::define_regions() {
   }
   bc_region_ = reg.define(pre + "bc", llp::RegionKind::kSerial);
   exchange_region_ = reg.define(pre + "exchange", llp::RegionKind::kSerial);
+  // Declare every hot region's affine access signature to the static
+  // dependence analyzer, derived from this grid's real plane strides. The
+  // tuner and engine selector prune illegal configs from these verdicts,
+  // and the dynamic checker cross-validates them on every analyzed run.
+  declare_region_signatures(grid_, config_, /*overwrite=*/true);
 }
 
 namespace {

@@ -74,6 +74,7 @@ const char* to_string(OracleId oracle) {
     case OracleId::kConstruction: return "construction";
     case OracleId::kValidation: return "validation";
     case OracleId::kRace: return "race";
+    case OracleId::kStaticCross: return "static-cross";
     case OracleId::kDifferential: return "differential";
     case OracleId::kRestart: return "restart";
     case OracleId::kCluster: return "cluster";
@@ -198,6 +199,17 @@ CaseResult run_case(const Scenario& scenario, const RunCaseOptions& options) {
 
   // --- oracle 2: dynamic race check ------------------------------------
   if (logger.num_findings() > 0) {
+    // Cross-validation first: a kStaticContradiction finding means the
+    // STATIC analyzer promised DOALL for a region this very run raced —
+    // a hard failure of the tooling itself, reported as its own oracle so
+    // it can never hide inside an ordinary race bucket.
+    for (const analyze::Finding& f : logger.findings()) {
+      if (f.kind == analyze::FindingKind::kStaticContradiction) {
+        return fail(std::move(result), OracleId::kStaticCross,
+                    analyze::finding_kind_name(f.kind), f.region,
+                    analyze::format_finding(f));
+      }
+    }
     const analyze::Finding f = logger.findings().front();
     return fail(std::move(result), OracleId::kRace,
                 analyze::finding_kind_name(f.kind), f.region,

@@ -46,6 +46,12 @@ enum class OracleId {
   kConstruction,  ///< wrong rejection behaviour while building the case
   kValidation,    ///< unhealthy protected run / non-finite final state
   kRace,          ///< dynamic analyzer finding
+  /// Static/dynamic cross-validation: a region the static affine pass
+  /// classified DOALL raced dynamically — the STATIC ANALYZER is broken
+  /// (its verdict was more permissive than an observed execution). Checked
+  /// before kRace: an ordinary race means the case has a bug, this means
+  /// the tooling does.
+  kStaticCross,
   kDifferential,  ///< two engines' solutions disagree
   kRestart,       ///< resume-from-checkpoint broke parity or failed
   kCluster,       ///< sharded backend diverged or failed to recover

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "analyze/static/registry.hpp"
 #include "core/runtime.hpp"
 #include "tune/candidates.hpp"
 #include "util/env.hpp"
@@ -51,6 +52,21 @@ Tuner::State& Tuner::state_for(RegionId region, std::int64_t trips) {
   const std::string name = llp::regions().stats(region).name;
   s.key = make_key(name, trips, machine_fingerprint(max_threads));
   s.rng = SplitMix64(opts_.seed ^ std::hash<std::string>{}(s.key));
+
+  if (opts_.respect_static_legality &&
+      !analyze::static_legality(name, trips).parallel_ok()) {
+    // The declared affine signature classifies DOACROSS/SERIAL: every
+    // multi-thread schedule x chunk x threads candidate is statically
+    // illegal. Collapse to the one legal config without sampling — and
+    // without consulting or writing the DB (legality is a property of the
+    // code, not a measurement; a stale tuned entry must not override it).
+    Arm serial;
+    serial.config = {Schedule::kStaticBlock, 1, 1};
+    s.arms.push_back(serial);
+    s.converged = true;
+    s.committed = serial.config;
+    return states_.emplace(key, std::move(s)).first->second;
+  }
 
   TunedEntry cached;
   if (db_.lookup(s.key, &cached)) {

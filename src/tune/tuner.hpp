@@ -57,6 +57,14 @@ struct TunerOptions {
   int max_threads = 0;      ///< candidate thread cap; 0 = runtime lane count
   bool prune_with_table1 = true;  ///< drop sync-dominated thread counts
 
+  /// Consult the static dependence analyzer (analyze/static/) before
+  /// building a candidate set: a region whose declared affine signature
+  /// classifies DOACROSS/SERIAL is statically illegal to run multi-
+  /// threaded, so its search collapses to the single serial config — no
+  /// runtime samples are spent discovering what the GCD/Banerjee tests
+  /// already proved. Regions with no declared signature are unaffected.
+  bool respect_static_legality = true;
+
   /// Sync-overhead budget for pruning. Deliberately looser than Table 1's
   /// 1% efficiency bar: pruning is a coarse pre-filter (the search still
   /// measures everything it keeps), and the strict bar would veto every

@@ -1,0 +1,243 @@
+// Region classification, the signature registry, and the static/dynamic
+// cross-validation contract: a deliberately WRONG DOALL declaration on a
+// racing loop must surface FindingKind::kStaticContradiction — the
+// analyzer indicting itself — while honest or absent declarations never do.
+#include "analyze/static/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/access_logger.hpp"
+#include "analyze/dep_check.hpp"
+#include "core/parallel_for.hpp"
+#include "core/runtime.hpp"
+
+namespace llp::analyze {
+namespace {
+
+AffineSignature disjoint_writes(std::int64_t trips = kUnknownTrips) {
+  AffineSignature sig;
+  sig.trips = trips;
+  sig.accesses.push_back(AffineAccess::write("a", 1, 0));
+  return sig;
+}
+
+AffineSignature recurrence(std::int64_t trips = kUnknownTrips) {
+  AffineSignature sig;
+  sig.trips = trips;
+  sig.accesses.push_back(AffineAccess::write("a", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("a", 1, -1));
+  return sig;
+}
+
+class ClassifyTest : public ::testing::Test {
+protected:
+  void SetUp() override { clear_declarations(); }
+  void TearDown() override { clear_declarations(); }
+};
+
+TEST_F(ClassifyTest, DirectionSetRoundTripsAllSubsets) {
+  for (int bits = 0; bits < 8; ++bits) {
+    DirectionSet d;
+    d.lt = (bits & 1) != 0;
+    d.eq = (bits & 2) != 0;
+    d.gt = (bits & 4) != 0;
+    DirectionSet back;
+    ASSERT_TRUE(DirectionSet::parse(d.to_string(), &back)) << d.to_string();
+    EXPECT_EQ(back, d) << d.to_string();
+  }
+  DirectionSet star;
+  ASSERT_TRUE(DirectionSet::parse("(*)", &star));
+  EXPECT_TRUE(star.lt && star.eq && star.gt);
+  DirectionSet reordered;
+  ASSERT_TRUE(DirectionSet::parse("(>=<)", &reordered));
+  EXPECT_TRUE(reordered.lt && reordered.eq && reordered.gt);
+  DirectionSet out;
+  EXPECT_FALSE(DirectionSet::parse("<", &out));
+  EXPECT_FALSE(DirectionSet::parse("(<<)", &out));
+  EXPECT_FALSE(DirectionSet::parse("(x)", &out));
+  EXPECT_FALSE(DirectionSet::parse("(*<)", &out));
+}
+
+TEST_F(ClassifyTest, DisjointWritesAreDoall) {
+  const StaticVerdict v = classify(disjoint_writes());
+  EXPECT_EQ(v.cls, LoopClass::kDoall);
+  EXPECT_TRUE(v.parallel_ok());
+  EXPECT_TRUE(v.witnesses.empty());
+  EXPECT_EQ(v.pairs_checked, 1u);  // the write's self-pair
+  EXPECT_EQ(v.class_string(), "DOALL");
+}
+
+TEST_F(ClassifyTest, DoacrossTakesTheMinimumCarriedDistance) {
+  AffineSignature sig;
+  sig.accesses.push_back(AffineAccess::write("a", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("a", 1, -2));  // distance 2
+  sig.accesses.push_back(AffineAccess::write("b", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("b", 1, -5));  // distance 5
+  const StaticVerdict v = classify(sig);
+  EXPECT_EQ(v.cls, LoopClass::kDoacross);
+  EXPECT_FALSE(v.parallel_ok());
+  EXPECT_EQ(v.min_distance, 2);
+  EXPECT_EQ(v.witnesses.size(), 2u);
+  EXPECT_EQ(v.class_string(), "DOACROSS(d=2)");
+}
+
+TEST_F(ClassifyTest, AnyUnboundedPairMakesTheRegionSerial)  {
+  AffineSignature sig;
+  sig.accesses.push_back(AffineAccess::write("a", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("a", 1, -1));  // bounded, d=1
+  sig.accesses.push_back(AffineAccess::read("a", 2, 0));   // unbounded
+  const StaticVerdict v = classify(sig);
+  EXPECT_EQ(v.cls, LoopClass::kSerial);
+  EXPECT_EQ(v.class_string(), "SERIAL");
+  EXPECT_EQ(v.witnesses.size(), 2u);
+}
+
+TEST_F(ClassifyTest, ProofCountersBucketByTest) {
+  AffineSignature sig;
+  sig.trips = 50;
+  sig.accesses.push_back(AffineAccess::write("a", 2, 0));   // even elements
+  sig.accesses.push_back(AffineAccess::read("a", 2, 1));    // odd: GCD
+  sig.accesses.push_back(AffineAccess::write("b", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("b", 1, 100));  // > trips: Banerjee
+  const StaticVerdict v = classify(sig);
+  EXPECT_EQ(v.cls, LoopClass::kDoall);
+  EXPECT_EQ(v.pairs_checked, 4u);
+  EXPECT_EQ(v.gcd_independent, 1u);
+  EXPECT_EQ(v.banerjee_independent, 1u);
+  // The two write self-pairs clear via the trivial d == 0 intra case, so
+  // they land in neither proof bucket.
+}
+
+TEST_F(ClassifyTest, RegistryDeclareFindOverwriteIfAbsentClear) {
+  EXPECT_EQ(num_declared(), 0u);
+  AffineSignature probe;
+  EXPECT_FALSE(find_signature("cl.none", &probe));
+
+  declare_access("cl.region", recurrence(64));
+  EXPECT_EQ(num_declared(), 1u);
+  ASSERT_TRUE(find_signature("cl.region", &probe));
+  EXPECT_EQ(probe.trips, 64);
+  EXPECT_EQ(probe.accesses.size(), 2u);
+
+  // declare_access replaces; if_absent does not.
+  declare_access("cl.region", disjoint_writes(32));
+  ASSERT_TRUE(find_signature("cl.region", &probe));
+  EXPECT_EQ(probe.accesses.size(), 1u);
+  EXPECT_FALSE(declare_access_if_absent("cl.region", recurrence()));
+  ASSERT_TRUE(find_signature("cl.region", &probe));
+  EXPECT_EQ(probe.accesses.size(), 1u);
+  EXPECT_TRUE(declare_access_if_absent("cl.other", recurrence()));
+  EXPECT_EQ(num_declared(), 2u);
+
+  const std::vector<ClassifiedRegion> table = classification_table();
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].region, "cl.other");  // sorted by name
+  EXPECT_EQ(table[1].region, "cl.region");
+  EXPECT_EQ(table[0].verdict.cls, LoopClass::kDoacross);
+  EXPECT_EQ(table[1].verdict.cls, LoopClass::kDoall);
+
+  clear_declarations();
+  EXPECT_EQ(num_declared(), 0u);
+  EXPECT_FALSE(find_signature("cl.region", &probe));
+}
+
+TEST_F(ClassifyTest, UndeclaredRegionsStayLegal) {
+  const StaticLegality legality = static_legality("cl.never_declared");
+  EXPECT_FALSE(legality.declared);
+  EXPECT_TRUE(legality.parallel_ok());
+}
+
+TEST_F(ClassifyTest, CallerTripsRefineSymbolicSignatures) {
+  // W a[i] + R a[i+100] declared with symbolic trips: conservative
+  // (carried). A caller who KNOWS the loop runs 50 iterations gets the
+  // Banerjee exclusion; a declared concrete trip count beats the caller's.
+  AffineSignature sig;
+  sig.accesses.push_back(AffineAccess::write("a", 1, 0));
+  sig.accesses.push_back(AffineAccess::read("a", 1, 100));
+  declare_access("cl.symbolic", sig);
+  EXPECT_FALSE(static_legality("cl.symbolic").parallel_ok());
+  EXPECT_TRUE(static_legality("cl.symbolic", 50).parallel_ok());
+  EXPECT_FALSE(static_legality("cl.symbolic", 200).parallel_ok());
+
+  sig.trips = 200;  // declared concrete count wins over the caller's 50
+  declare_access("cl.concrete", sig);
+  EXPECT_FALSE(static_legality("cl.concrete", 50).parallel_ok());
+}
+
+TEST_F(ClassifyTest, LegalScheduleStrings) {
+  declare_access("cl.doall", disjoint_writes());
+  declare_access("cl.carried", recurrence());
+  const StaticLegality doall = static_legality("cl.doall");
+  const StaticLegality carried = static_legality("cl.carried");
+  EXPECT_NE(legal_schedules_string(doall.verdict).find("dynamic"),
+            std::string::npos);
+  EXPECT_EQ(legal_schedules_string(carried.verdict), "serial only");
+}
+
+// --- Cross-validation: the dynamic logger indicts a lying declaration. ---
+
+class CrossValidationTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    clear_declarations();
+    llp::set_num_threads(4);
+    llp::Runtime::instance().add_observer(&logger_);
+  }
+  void TearDown() override {
+    llp::Runtime::instance().remove_observer(&logger_);
+    clear_declarations();
+  }
+
+  /// A loop that genuinely races: every lane logs a write to the whole
+  /// array, so the dynamic checker always finds a conflict.
+  void run_racing_loop(const char* name) {
+    const auto region = llp::regions().define(name);
+    llp::parallel_for(
+        0, 64,
+        [&](std::int64_t, const llp::LaneContext& ctx) {
+          ctx.log_write(ctx.array_id("a"), 0, 64);
+        },
+        llp::ForOptions::in_region(region));
+  }
+
+  AccessLogger logger_;
+};
+
+TEST_F(CrossValidationTest, LyingDoallDeclarationIsAContradiction) {
+  // The declaration claims disjoint writes (DOALL); the body races.
+  declare_access("cv.lie", disjoint_writes());
+  run_racing_loop("cv.lie");
+  ASSERT_GT(logger_.num_findings(), 1u);
+  const std::vector<Finding> findings = logger_.findings();
+  // The contradiction leads the finding list: the tooling failure is more
+  // important than the race it was caught by.
+  EXPECT_EQ(findings[0].kind, FindingKind::kStaticContradiction);
+  EXPECT_EQ(findings[0].region, "cv.lie");
+  EXPECT_NE(format_finding(findings[0]).find("static-analyzer contradiction"),
+            std::string::npos);
+}
+
+TEST_F(CrossValidationTest, HonestCarriedDeclarationIsNotContradicted) {
+  // The declaration already says DOACROSS; a dynamic race is then the
+  // CASE's bug, not the analyzer's.
+  declare_access("cv.honest", recurrence());
+  run_racing_loop("cv.honest");
+  ASSERT_GT(logger_.num_findings(), 0u);
+  for (const Finding& f : logger_.findings()) {
+    EXPECT_NE(f.kind, FindingKind::kStaticContradiction);
+  }
+}
+
+TEST_F(CrossValidationTest, UndeclaredRacingRegionIsNotContradicted) {
+  run_racing_loop("cv.undeclared");
+  ASSERT_GT(logger_.num_findings(), 0u);
+  for (const Finding& f : logger_.findings()) {
+    EXPECT_NE(f.kind, FindingKind::kStaticContradiction);
+  }
+}
+
+}  // namespace
+}  // namespace llp::analyze

@@ -1,0 +1,91 @@
+// The f3d hot-region affine signatures: every region the solver declares
+// must classify parallel-legal (non-SERIAL, in fact DOALL — the paper's
+// whole premise is that these loops parallelize), and select_engine must
+// refuse parallel-outer engines when a sweep signature says otherwise.
+#include "f3d/signatures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/static/registry.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/engine_select.hpp"
+
+namespace f3d {
+namespace {
+
+class SignaturesTest : public ::testing::Test {
+protected:
+  void SetUp() override { llp::analyze::clear_declarations(); }
+  void TearDown() override { llp::analyze::clear_declarations(); }
+
+  static MultiZoneGrid small_grid() {
+    return build_grid(paper_1m_case(/*scale=*/0.05));
+  }
+};
+
+TEST_F(SignaturesTest, EveryDeclaredRegionClassifiesDoall) {
+  const MultiZoneGrid grid = small_grid();
+  const SolverConfig config;
+  declare_region_signatures(grid, config, /*overwrite=*/true);
+  const auto table = llp::analyze::classification_table();
+  // rhs + update + three sweeps per zone.
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(grid.num_zones()) * 5);
+  for (const auto& row : table) {
+    EXPECT_EQ(row.verdict.cls, llp::analyze::LoopClass::kDoall)
+        << row.region << " classified " << row.verdict.class_string();
+  }
+}
+
+TEST_F(SignaturesTest, SweepNamesMatchTheDeclaredRegions) {
+  const MultiZoneGrid grid = small_grid();
+  const SolverConfig config;
+  declare_region_signatures(grid, config, /*overwrite=*/true);
+  const std::vector<std::string> sweeps = sweep_region_names(grid, config);
+  ASSERT_EQ(sweeps.size(), static_cast<std::size_t>(grid.num_zones()) * 3);
+  for (const std::string& name : sweeps) {
+    llp::analyze::AffineSignature sig;
+    EXPECT_TRUE(llp::analyze::find_signature(name, &sig)) << name;
+  }
+}
+
+TEST_F(SignaturesTest, RhsSlabReadsNeverCollideWithPlaneWrites) {
+  const MultiZoneGrid grid = small_grid();
+  const auto sig = rhs_region_signature(grid.zone(0));
+  const auto v = llp::analyze::classify(sig);
+  EXPECT_TRUE(v.parallel_ok()) << v.class_string();
+  EXPECT_GT(v.pairs_checked, 0u);
+}
+
+TEST_F(SignaturesTest, SelectEngineHonorsAPoisonedSweepSignature) {
+  const MultiZoneGrid grid = small_grid();
+  const SolverConfig config;
+
+  // Poison ONE sweep region with a carried recurrence before the probe;
+  // the probe's if_absent declarations must yield to it, and every
+  // parallel-outer engine becomes illegal.
+  const std::vector<std::string> sweeps = sweep_region_names(grid, config);
+  ASSERT_FALSE(sweeps.empty());
+  llp::analyze::AffineSignature carried;
+  carried.accesses.push_back(llp::analyze::AffineAccess::write("q", 1, 0));
+  carried.accesses.push_back(llp::analyze::AffineAccess::read("q", 1, -1));
+  llp::analyze::declare_access(sweeps.front(), carried);
+
+  const EngineChoice choice = select_engine(grid, config, nullptr,
+                                            /*repeats=*/1);
+  EXPECT_EQ(choice.kind, EngineKind::kPlaneVector)
+      << "parallel-outer engine selected despite a carried sweep signature";
+
+  // With the poison cleared the probe is free to pick any engine again —
+  // and the probe-path declarations classify clean.
+  llp::analyze::clear_declarations();
+  declare_region_signatures(grid, config, /*overwrite=*/false);
+  for (const auto& row : llp::analyze::classification_table()) {
+    EXPECT_TRUE(row.verdict.parallel_ok()) << row.region;
+  }
+}
+
+}  // namespace
+}  // namespace f3d

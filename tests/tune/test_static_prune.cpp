@@ -1,0 +1,106 @@
+// Static-legality pruning: a region whose declared affine signature is
+// not DOALL must never be sampled multi-threaded — its search collapses
+// to the single serial configuration before the first trial, with no
+// TuningDb traffic. Undeclared / DOALL regions keep the full search, and
+// respect_static_legality=false restores the pre-PR behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyze/static/registry.hpp"
+#include "core/llp.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+using llp::LoopConfig;
+using llp::Schedule;
+using llp::tune::Tuner;
+using llp::tune::TunerOptions;
+
+constexpr std::int64_t kTrips = 256;
+
+TunerOptions options(bool respect_static = true) {
+  TunerOptions opts;
+  opts.max_threads = 4;  // host-independent candidate set
+  opts.respect_static_legality = respect_static;
+  return opts;
+}
+
+llp::analyze::AffineSignature carried_signature() {
+  llp::analyze::AffineSignature sig;
+  sig.accesses.push_back(llp::analyze::AffineAccess::write("a", 1, 0));
+  sig.accesses.push_back(llp::analyze::AffineAccess::read("a", 1, -1));
+  return sig;
+}
+
+llp::analyze::AffineSignature doall_signature() {
+  llp::analyze::AffineSignature sig;
+  sig.accesses.push_back(llp::analyze::AffineAccess::write("a", 1, 0));
+  return sig;
+}
+
+class StaticPruneTest : public ::testing::Test {
+protected:
+  void SetUp() override { llp::analyze::clear_declarations(); }
+  void TearDown() override { llp::analyze::clear_declarations(); }
+};
+
+TEST_F(StaticPruneTest, CarriedRegionCollapsesToTheSerialConfig) {
+  const auto region = llp::regions().define("sp.carried");
+  llp::analyze::declare_access("sp.carried", carried_signature());
+  Tuner tuner(options());
+
+  const LoopConfig chosen = tuner.choose(region, kTrips);
+  EXPECT_EQ(chosen.schedule, Schedule::kStaticBlock);
+  EXPECT_EQ(chosen.num_threads, 1);
+  // No search: converged before the first sample, exactly one candidate.
+  EXPECT_TRUE(tuner.converged(region, kTrips));
+  EXPECT_EQ(tuner.active_candidates(region, kTrips).size(), 1u);
+  EXPECT_EQ(tuner.best(region, kTrips), chosen);
+  // Stays serial on every subsequent choice — no exploration ever.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tuner.choose(region, kTrips).num_threads, 1);
+  }
+}
+
+TEST_F(StaticPruneTest, RespectFlagOffRestoresTheFullSearch) {
+  const auto region = llp::regions().define("sp.carried_off");
+  llp::analyze::declare_access("sp.carried_off", carried_signature());
+  Tuner tuner(options(/*respect_static=*/false));
+
+  (void)tuner.choose(region, kTrips);
+  EXPECT_FALSE(tuner.converged(region, kTrips));
+  EXPECT_GT(tuner.active_candidates(region, kTrips).size(), 1u);
+}
+
+TEST_F(StaticPruneTest, DoallDeclarationKeepsTheFullSearch) {
+  const auto region = llp::regions().define("sp.doall");
+  llp::analyze::declare_access("sp.doall", doall_signature());
+  Tuner tuner(options());
+
+  (void)tuner.choose(region, kTrips);
+  EXPECT_FALSE(tuner.converged(region, kTrips));
+  EXPECT_GT(tuner.active_candidates(region, kTrips).size(), 1u);
+}
+
+TEST_F(StaticPruneTest, UndeclaredRegionIsUnaffected) {
+  const auto region = llp::regions().define("sp.undeclared");
+  Tuner tuner(options());
+
+  (void)tuner.choose(region, kTrips);
+  EXPECT_FALSE(tuner.converged(region, kTrips));
+  EXPECT_GT(tuner.active_candidates(region, kTrips).size(), 1u);
+}
+
+TEST_F(StaticPruneTest, SerialVerdictNeverReachesTheDb) {
+  const auto region = llp::regions().define("sp.no_db");
+  llp::analyze::declare_access("sp.no_db", carried_signature());
+  Tuner tuner(options());
+  (void)tuner.choose(region, kTrips);
+  // Legality is a property of the code, not a measurement: nothing is
+  // committed to (or read from) the tuning DB for a pruned region.
+  EXPECT_EQ(tuner.db().size(), 0u);
+}
+
+}  // namespace

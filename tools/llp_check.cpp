@@ -10,9 +10,23 @@
 //                                  access logs saved by a dynamic-mode run
 //                                  (f3d_run --analyze-log F, or
 //                                  LLP_ANALYZE_LOG=F).
+//   llp_check deps [--scale S] [--zones N] [--demo]
+//                                  declare the f3d hot-region affine
+//                                  signatures for a paper-case grid and
+//                                  print the static classification table:
+//                                  DOALL / DOACROSS(d) / SERIAL per region,
+//                                  the GCD/Banerjee evidence, and the legal
+//                                  engine/schedule sets. --demo adds three
+//                                  known-dependent example loops so the
+//                                  non-DOALL rows (and the violated tests)
+//                                  are visible. "--deps" is accepted as an
+//                                  alias for the mode name.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/IO error — so CI can gate on
-// "no new findings" directly.
+// Exit codes follow the util/exit_codes.hpp contract (see README):
+//   0  clean (lint/replay: no findings; deps: every region DOALL)
+//   1  findings (lint/replay hazards, or a non-DOALL deps classification)
+//   2  usage error
+//   5  I/O error: unreadable input file or unwalkable directory
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -23,7 +37,12 @@
 #include "analyze/access_log.hpp"
 #include "analyze/dep_check.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/static/registry.hpp"
+#include "f3d/cases.hpp"
+#include "f3d/engine.hpp"
+#include "f3d/signatures.hpp"
 #include "util/error.hpp"
+#include "util/exit_codes.hpp"
 
 namespace {
 
@@ -33,8 +52,9 @@ using namespace llp::analyze;
 int usage() {
   std::fprintf(stderr,
                "usage: llp_check lint FILE|DIR...\n"
-               "       llp_check replay LOG...\n");
-  return 2;
+               "       llp_check replay LOG...\n"
+               "       llp_check deps [--scale S] [--zones N] [--demo]\n");
+  return llp::kExitUsage;
 }
 
 bool lintable(const fs::path& p) {
@@ -74,7 +94,7 @@ std::vector<std::string> collect(const std::vector<std::string>& args,
 int run_lint(const std::vector<std::string>& args) {
   bool ok = true;
   const std::vector<std::string> files = collect(args, &ok);
-  if (!ok) return 2;
+  if (!ok) return llp::kExitIo;
   std::size_t findings = 0;
   for (const std::string& file : files) {
     for (const LintFinding& f : lint_file(file)) {
@@ -84,7 +104,7 @@ int run_lint(const std::vector<std::string>& args) {
   }
   std::printf("llp_check: %zu finding(s) in %zu file(s)\n", findings,
               files.size());
-  return findings == 0 ? 0 : 1;
+  return findings == 0 ? llp::kExitOk : llp::kExitRunFailure;
 }
 
 int run_replay(const std::vector<std::string>& args) {
@@ -94,7 +114,7 @@ int run_replay(const std::vector<std::string>& args) {
     std::ifstream in(path);
     if (!in) {
       std::fprintf(stderr, "llp_check: cannot read %s\n", path.c_str());
-      return 2;
+      return llp::kExitIo;
     }
     for (const AccessLog& log : load_logs(in)) {
       ++logs;
@@ -106,21 +126,134 @@ int run_replay(const std::vector<std::string>& args) {
   }
   std::printf("llp_check: %zu finding(s) across %zu replayed log(s)\n",
               findings, logs);
-  return findings == 0 ? 0 : 1;
+  return findings == 0 ? llp::kExitOk : llp::kExitRunFailure;
+}
+
+/// Engines whose outer-loop parallelism the verdict permits. The serial
+/// plane-buffer engine is legal under any verdict.
+std::string legal_engines_string(const StaticVerdict& verdict) {
+  std::string out;
+  for (const f3d::EngineInfo& info : f3d::engines()) {
+    if (info.parallel_outer && !verdict.parallel_ok()) continue;
+    if (!out.empty()) out += ' ';
+    out += info.name;
+  }
+  return out;
+}
+
+/// The classic-test evidence line for one carried dependence: a surviving
+/// dependence means the GCD residue test AND the Banerjee bound test both
+/// admit a solution — those are the violated independence conditions.
+void print_witness(const DepWitness& w) {
+  std::printf("    dep %s: %s — violates gcd (residue admits) + banerjee "
+              "(bounds admit)\n",
+              w.array.c_str(), w.detail.c_str());
+}
+
+int run_deps(const std::vector<std::string>& args) {
+  double scale = 0.08;
+  int zones = 0;  // 0 = all zones of the case
+  bool demo = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= args.size()) return false;
+      *out = std::stod(args[++i]);
+      return true;
+    };
+    if (a == "--demo") {
+      demo = true;
+    } else if (a == "--scale") {
+      if (!next(&scale) || scale <= 0.0) return usage();
+    } else if (a == "--zones") {
+      double z = 0.0;
+      if (!next(&z) || z < 1.0) return usage();
+      zones = static_cast<int>(z);
+    } else {
+      return usage();
+    }
+  }
+
+  clear_declarations();
+
+  // The paper's 1M-point case at `scale` carries the real multi-zone
+  // shape; the signatures the solver would declare are derived from the
+  // same helper Solver::define_regions uses, so this table IS the
+  // production classification.
+  f3d::CaseSpec spec = f3d::paper_1m_case(scale);
+  if (zones > 0 && static_cast<std::size_t>(zones) < spec.zones.size()) {
+    spec.zones.resize(static_cast<std::size_t>(zones));
+  }
+  f3d::MultiZoneGrid grid = f3d::build_grid(spec);
+  const f3d::SolverConfig config;
+  f3d::declare_region_signatures(grid, config, /*overwrite=*/true);
+
+  if (demo) {
+    // Known-dependent shapes, so the non-DOALL rows and their violated
+    // tests are visible without a buggy solver. The same patterns are the
+    // seeded bugs of examples/bad_doacross.
+    AffineSignature recurrence;  // q[i] = f(q[i-1]): flow dep, distance 1
+    recurrence.accesses.push_back(AffineAccess::write("q", 1, 0));
+    recurrence.accesses.push_back(AffineAccess::read("q", 1, -1));
+    declare_access("demo.recurrence", std::move(recurrence));
+
+    AffineSignature alias;  // a[2i] and a[2i+2]: tail-aliased, distance 1
+    alias.accesses.push_back(AffineAccess::write("a", 2, 0));
+    alias.accesses.push_back(AffineAccess::write("a", 2, 2));
+    declare_access("demo.stride_alias", std::move(alias));
+
+    AffineSignature gather;  // a[i] = f(a[2i]): iteration-dependent dist
+    gather.accesses.push_back(AffineAccess::write("a", 1, 0));
+    gather.accesses.push_back(AffineAccess::read("a", 2, 0));
+    declare_access("demo.unequal_stride", std::move(gather));
+  }
+
+  std::printf("%-22s %-16s %6s %6s %9s  %-18s %s\n", "region", "class",
+              "pairs", "gcd", "banerjee", "legal engines",
+              "legal schedules");
+  std::size_t not_doall = 0;
+  const std::vector<ClassifiedRegion> table = classification_table();
+  for (const ClassifiedRegion& row : table) {
+    const StaticVerdict& v = row.verdict;
+    std::printf("%-22s %-16s %6zu %6zu %9zu  %-18s %s\n", row.region.c_str(),
+                v.class_string().c_str(), v.pairs_checked, v.gcd_independent,
+                v.banerjee_independent, legal_engines_string(v).c_str(),
+                legal_schedules_string(v).c_str());
+    if (!v.parallel_ok()) {
+      ++not_doall;
+      for (const DepWitness& w : v.witnesses) print_witness(w);
+    }
+  }
+  std::printf("llp_check: %zu region(s) classified, %zu not DOALL\n",
+              table.size(), not_doall);
+  return not_doall == 0 ? llp::kExitOk : llp::kExitRunFailure;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
+  if (argc < 2) return usage();
+  std::string mode = argv[1];
+  if (mode == "--deps") mode = "deps";  // documented alias
   const std::vector<std::string> args(argv + 2, argv + argc);
   try {
+    if (mode == "deps") return run_deps(args);
+    if (argc < 3) return usage();
     if (mode == "lint") return run_lint(args);
     if (mode == "replay") return run_replay(args);
+  } catch (const llp::IoError& e) {
+    std::fprintf(stderr, "llp_check: %s\n", e.what());
+    return llp::kExitIo;
+  } catch (const llp::ValidationError& e) {
+    std::fprintf(stderr, "llp_check: %s\n", e.what());
+    return llp::kExitValidation;
   } catch (const llp::Error& e) {
     std::fprintf(stderr, "llp_check: %s\n", e.what());
-    return 2;
+    return llp::kExitRunFailure;
+  } catch (const std::exception& e) {
+    // std::stod and friends on malformed flag values.
+    std::fprintf(stderr, "llp_check: %s\n", e.what());
+    return llp::kExitUsage;
   }
   return usage();
 }
